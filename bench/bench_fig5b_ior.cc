@@ -1,0 +1,65 @@
+// Figure 5b: IOR aggregated read/write bandwidth vs block size, native
+// POSIX vs Wasm/WASI.
+//
+// Paper result: MPIWasm's userspace permission handling and virtual
+// directory tree (§3.4) have no significant impact on achievable I/O
+// bandwidth — the native and Wasm curves overlap across block sizes.
+#include <filesystem>
+
+#include "bench_common.h"
+
+using namespace mpiwasm;
+using namespace mpiwasm::bench;
+using namespace mpiwasm::toolchain;
+
+namespace fs = std::filesystem;
+
+int main() {
+  print_banner("Figure 5b — IOR bandwidth vs block size: native vs WASM/WASI");
+  const int np = 2;
+  auto dir = fs::temp_directory_path() / "mpiwasm-bench-ior";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  std::vector<ComparisonRow> write_rows, read_rows;
+  for (u32 mib : {1, 4, 8, 12, 16}) {
+    IorParams p;
+    p.block_bytes = mib << 20;
+    p.blocks = 4;
+    p.repetitions = 2;
+
+    IorResult native{};
+    simmpi::World world(np);
+    world.run([&](simmpi::Rank& r) {
+      auto res = native_ior_run(r, p, dir.string());
+      if (r.rank() == 0) native = res;
+    });
+
+    auto bytes = build_ior_module(p);
+    ReportCollector collector;
+    embed::EmbedderConfig cfg;
+    cfg.preopens = {{dir.string(), "data", false}};
+    cfg.extra_imports = collector.hook();
+    embed::Embedder emb(cfg);
+    auto result = emb.run_world({bytes.data(), bytes.size()}, np);
+    MW_CHECK(result.exit_code == 0, "ior wasm kernel failed");
+    auto rows = collector.rows_with_id(p.report_id);
+    MW_CHECK(!rows.empty(), "no ior report");
+
+    write_rows.push_back({f64(mib), native.write_mibs, rows[0].a});
+    read_rows.push_back({f64(mib), native.read_mibs, rows[0].b});
+  }
+
+  print_subhead("write bandwidth (MiB/s) by block size (MiB)");
+  print_comparison_table("MiB/s", write_rows, /*lower_is_better=*/false);
+  print_subhead("read bandwidth (MiB/s) by block size (MiB)");
+  print_comparison_table("MiB/s", read_rows, /*lower_is_better=*/false);
+  write_csv("fig5b_write.csv", "block_mib,native_mibs,wasm_mibs", write_rows);
+  write_csv("fig5b_read.csv", "block_mib,native_mibs,wasm_mibs", read_rows);
+
+  fs::remove_all(dir);
+  std::printf(
+      "\nPaper reference: with 4 nodes, wasm ~29.4 GiB/s read / ~40.2 GiB/s\n"
+      "write, indistinguishable from native — sandboxing adds no I/O cost.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Figure 6: datatype translation overhead inside the embedder's Send path.
+//
+// Paper result: translating a datatype handle costs ~85-105ns on average
+// (BYTE 85.44, CHAR 84.72, INT 99.78, FLOAT 96.32, DOUBLE 103.35, LONG
+// 104.79), roughly flat in message size until >256KiB where read-lock
+// acquisition on the shared Env state gets more expensive (§4.6).
+#include <map>
+
+#include "bench_common.h"
+
+#include "embedder/abi.h"
+
+using namespace mpiwasm;
+using namespace mpiwasm::bench;
+using namespace mpiwasm::toolchain;
+namespace abi = embed::abi;
+
+namespace {
+
+const char* dt_name(i32 handle) {
+  switch (handle) {
+    case abi::MPI_BYTE: return "MPI_BYTE";
+    case abi::MPI_CHAR: return "MPI_CHAR";
+    case abi::MPI_INT: return "MPI_INT";
+    case abi::MPI_FLOAT: return "MPI_FLOAT";
+    case abi::MPI_DOUBLE: return "MPI_DOUBLE";
+    case abi::MPI_LONG: return "MPI_LONG";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+int main() {
+  print_banner("Figure 6 — datatype translation overhead in MPIWasm");
+
+  DatatypePingPongParams p;
+  p.max_bytes = 1 << 22;  // 8B .. 4MiB in x8 steps
+  p.iters_per_size = 64;
+  auto bytes = build_datatype_pingpong_module(p);
+
+  ReportCollector collector;
+  embed::EmbedderConfig cfg;
+  cfg.profile = simmpi::NetworkProfile::omnipath();
+  cfg.record_translation = true;
+  cfg.extra_imports = collector.hook();
+  embed::Embedder emb(cfg);
+  auto result = emb.run_world({bytes.data(), bytes.size()}, 2);
+  MW_CHECK(result.exit_code == 0, "datatype probe failed");
+
+  // Aggregate instrumented samples by (datatype, message size).
+  std::map<std::pair<i32, u64>, RunningStat> cells;
+  std::map<i32, RunningStat> by_dt;
+  for (const auto& s : result.translation_samples) {
+    if (s.msg_bytes == 0) continue;
+    cells[{s.wasm_datatype, s.msg_bytes}].add(f64(s.ns));
+    by_dt[s.wasm_datatype].add(f64(s.ns));
+  }
+
+  std::printf("%-12s", "bytes");
+  const i32 dts[] = {abi::MPI_BYTE, abi::MPI_CHAR,  abi::MPI_INT,
+                     abi::MPI_FLOAT, abi::MPI_DOUBLE, abi::MPI_LONG};
+  for (i32 dt : dts) std::printf(" %11s", dt_name(dt));
+  std::printf("   (mean translation ns)\n");
+  for (u64 size = 8; size <= p.max_bytes; size *= 8) {
+    std::printf("%-12llu", (unsigned long long)size);
+    for (i32 dt : dts) {
+      auto it = cells.find({dt, size});
+      std::printf(" %11.1f", it == cells.end() ? 0.0 : it->second.mean());
+    }
+    std::printf("\n");
+  }
+  std::printf("\n%-12s", "mean[ns]");
+  for (i32 dt : dts) std::printf(" %11.1f", by_dt[dt].mean());
+  std::printf("\n");
+
+  std::printf(
+      "\nPaper reference: BYTE 85.4ns, CHAR 84.7ns, INT 99.8ns, FLOAT "
+      "96.3ns,\nDOUBLE 103.4ns, LONG 104.8ns averaged over sizes; overhead "
+      "rises for\nmessages > 256KiB (read-lock acquisition on the shared Env "
+      "state).\nShape to check: O(100ns) flat-ish per-call cost, all six "
+      "datatypes close.\n");
+  return 0;
+}

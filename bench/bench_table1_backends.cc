@@ -1,0 +1,72 @@
+// Table 1: compile duration vs single-core HPCG performance for the
+// compiler backends.
+//
+// Paper (Wasmer backends):      Singlepass 52ms/0.38 GF, Cranelift
+// 150ms/1.32 GF, LLVM 2811ms/1.54 GF — a monotone compile-time/run-time
+// trade-off. Our three compiled tiers reproduce the same monotone
+// trade-off (DESIGN.md §2): Baseline = Singlepass analogue (linear-time
+// emit), LightOpt = Cranelift analogue (one cheap pass round), Optimizing
+// = LLVM analogue (fixpoint pipeline with fusion).
+//
+// Compile durations are measured on an application-sized module
+// (build_compile_stress_module; the paper's HPCG compiles to 722 KiB of
+// Wasm, far larger than our hand-assembled CG kernel); GFLOP/s comes from
+// the actual HPCG kernel at 1 rank.
+#include "bench_common.h"
+
+#include "runtime/engine.h"
+
+using namespace mpiwasm;
+using namespace mpiwasm::bench;
+using namespace mpiwasm::toolchain;
+
+int main() {
+  print_banner("Table 1 — compiler backends: compile duration vs performance");
+
+  HpcgParams p;
+  p.n_per_rank = 1 << 15;
+  p.iterations = 30;
+  auto hpcg_bytes = build_hpcg_module(p);
+  auto stress_bytes = build_compile_stress_module(400);
+  std::printf("compile workload: %.1f KiB wasm module\n",
+              f64(stress_bytes.size()) / 1024.0);
+
+  std::printf("%-14s %22s %28s\n", "Backend", "Compile Duration (ms)",
+              "Single-Core HPCG (GFLOP/s)");
+  struct Row {
+    rt::EngineTier tier;
+    const char* paper_analogue;
+  };
+  const Row tiers[] = {
+      {rt::EngineTier::kBaseline, "Singlepass-analogue"},
+      {rt::EngineTier::kLightOpt, "Cranelift-analogue"},
+      {rt::EngineTier::kOptimizing, "LLVM-analogue"},
+  };
+  for (const Row& row : tiers) {
+    std::vector<f64> compile_times;
+    for (int i = 0; i < 5; ++i) {
+      rt::EngineConfig ec;
+      ec.tier = row.tier;
+      auto cm = rt::compile({stress_bytes.data(), stress_bytes.size()}, ec);
+      compile_times.push_back(cm->compile_ms);
+    }
+    f64 compile_ms = percentile(compile_times, 50);
+
+    ReportCollector collector;
+    embed::EmbedderConfig cfg;
+    cfg.engine.tier = row.tier;
+    cfg.extra_imports = collector.hook();
+    embed::Embedder emb(cfg);
+    auto result = emb.run_world({hpcg_bytes.data(), hpcg_bytes.size()}, 1);
+    MW_CHECK(result.exit_code == 0, "hpcg failed");
+    auto rows = collector.rows_with_id(p.report_id);
+    f64 gflops = rows.empty() ? 0 : rows[0].a;
+    std::printf("%-14s %22.2f %28.4f   (%s)\n", rt::tier_name(row.tier),
+                compile_ms, gflops, row.paper_analogue);
+  }
+  std::printf(
+      "\nPaper reference: Singlepass 52ms / 0.3769 GF, Cranelift 150ms / "
+      "1.3240 GF,\nLLVM 2811ms / 1.5426 GF — shape to check: compile cost "
+      "and runtime speed\nboth increase monotonically across backends.\n");
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Native NPB-DT executable (Table 2 artifact).
+#include <cstdio>
+
+#include "toolchain/native_kernels.h"
+
+using namespace mpiwasm;
+
+int main() {
+  toolchain::DtParams p;
+  p.topology = toolchain::DtTopology::kShuffle;
+  p.doubles_per_msg = 1 << 10;
+  p.repetitions = 4;
+  simmpi::World world(2);
+  world.run([&](simmpi::Rank& r) {
+    auto res = toolchain::native_dt_run(r, p);
+    if (r.rank() == 0)
+      std::printf("DT(sh): %.2f MB/s  checksum %.6e\n", res.mbps, res.checksum);
+  });
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Native HPCG executable (Table 2 artifact).
+#include <cstdio>
+
+#include "toolchain/native_kernels.h"
+
+using namespace mpiwasm;
+
+int main() {
+  toolchain::HpcgParams p;
+  p.n_per_rank = 1 << 12;
+  p.iterations = 10;
+  simmpi::World world(2);
+  world.run([&](simmpi::Rank& r) {
+    auto res = toolchain::native_hpcg_run(r, p);
+    if (r.rank() == 0)
+      std::printf("HPCG: %.4f GFLOP/s  %.4f GB/s  residual %.6e\n", res.gflops,
+                  res.gbps, res.residual);
+  });
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Native IMB executable (Table 2 artifact): the dynamically/statically
+// linked twin of imb_*.wasm.
+#include <cstdio>
+
+#include "toolchain/native_kernels.h"
+
+using namespace mpiwasm;
+
+int main() {
+  toolchain::ImbParams p;
+  p.routine = toolchain::ImbRoutine::kPingPong;
+  p.max_bytes = 1 << 12;
+  p.max_iters = 8;
+  simmpi::World world(2);
+  world.run([&](simmpi::Rank& r) {
+    auto rows = toolchain::native_imb_run(r, p);
+    for (const auto& row : rows)
+      std::printf("%8u bytes  %10.3f usec\n", row.bytes, row.t_avg_us);
+  });
+  return 0;
+}

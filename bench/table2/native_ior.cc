@@ -1,0 +1,25 @@
+// Native IOR executable (Table 2 artifact).
+#include <cstdio>
+#include <filesystem>
+
+#include "toolchain/native_kernels.h"
+
+using namespace mpiwasm;
+
+int main() {
+  auto dir = std::filesystem::temp_directory_path() / "mpiwasm-native-ior";
+  std::filesystem::create_directories(dir);
+  toolchain::IorParams p;
+  p.block_bytes = 1 << 16;
+  p.blocks = 4;
+  p.repetitions = 1;
+  simmpi::World world(2);
+  world.run([&](simmpi::Rank& r) {
+    auto res = toolchain::native_ior_run(r, p, dir.string());
+    if (r.rank() == 0)
+      std::printf("IOR: write %.1f MiB/s  read %.1f MiB/s\n", res.write_mibs,
+                  res.read_mibs);
+  });
+  std::filesystem::remove_all(dir);
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Native NPB-IS executable (Table 2 artifact).
+#include <cstdio>
+
+#include "toolchain/native_kernels.h"
+
+using namespace mpiwasm;
+
+int main() {
+  toolchain::IsParams p;
+  p.keys_per_rank = 1 << 12;
+  p.repetitions = 2;
+  simmpi::World world(2);
+  world.run([&](simmpi::Rank& r) {
+    auto res = toolchain::native_is_run(r, p);
+    if (r.rank() == 0)
+      std::printf("IS: %.2f Mop/s  verification %s\n", res.mops,
+                  res.ok ? "PASSED" : "FAILED");
+  });
+  return 0;
+}

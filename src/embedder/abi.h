@@ -1,0 +1,59 @@
+// The Wasm-side MPI ABI: the constants our custom `mpi.h` exposes to
+// modules (paper §3.2, Listing 2) and that MPIWasm's translation layer
+// decodes (§3.6).
+//
+// The paper's key observation: MPI mandates no ABI, so the embedder defines
+// its own portable one — every opaque MPI type becomes a 32-bit integer ID
+// from the module's perspective, translated to host-library handles inside
+// the embedder. This header is the single source of truth shared by the
+// embedder (decoder side) and the kernel toolchain (encoder side).
+#pragma once
+
+#include "support/common.h"
+
+namespace mpiwasm::embed::abi {
+
+// Return codes.
+constexpr i32 MPI_SUCCESS = 0;
+constexpr i32 MPI_ERR_OTHER = 1;
+
+// Communicators.
+constexpr i32 MPI_COMM_WORLD = 0;
+constexpr i32 MPI_COMM_NULL = -1;
+
+// Wildcards.
+constexpr i32 MPI_ANY_SOURCE = -1;
+constexpr i32 MPI_ANY_TAG = -1;
+
+// Datatypes (values align with simmpi::Datatype).
+constexpr i32 MPI_BYTE = 0;
+constexpr i32 MPI_CHAR = 1;
+constexpr i32 MPI_INT = 2;
+constexpr i32 MPI_FLOAT = 3;
+constexpr i32 MPI_DOUBLE = 4;
+constexpr i32 MPI_LONG = 5;
+constexpr i32 MPI_UNSIGNED = 6;
+constexpr i32 MPI_LONG_LONG = 7;
+
+// Reduction ops (values align with simmpi::ReduceOp).
+constexpr i32 MPI_SUM = 0;
+constexpr i32 MPI_PROD = 1;
+constexpr i32 MPI_MAX = 2;
+constexpr i32 MPI_MIN = 3;
+constexpr i32 MPI_LAND = 4;
+constexpr i32 MPI_LOR = 5;
+constexpr i32 MPI_BAND = 6;
+constexpr i32 MPI_BOR = 7;
+
+// Requests.
+constexpr i32 MPI_REQUEST_NULL = 0;
+
+// MPI_Status layout in module memory: 4 x i32
+//   { MPI_SOURCE, MPI_TAG, MPI_ERROR, internal_count_bytes }
+constexpr u32 kStatusSizeBytes = 16;
+constexpr i32 MPI_STATUS_IGNORE = 0;  // null pointer
+
+// comm_split sentinel.
+constexpr i32 MPI_UNDEFINED = -9999;
+
+}  // namespace mpiwasm::embed::abi

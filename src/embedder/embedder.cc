@@ -1,0 +1,88 @@
+#include "embedder/embedder.h"
+
+#include <mutex>
+
+#include "embedder/mpi_host.h"
+#include "support/log.h"
+#include "support/timing.h"
+
+namespace mpiwasm::embed {
+
+Embedder::Embedder(EmbedderConfig config) : config_(std::move(config)) {
+  if (config_.faasm_compat) {
+    // Faasm routes MPI through its gRPC-based Faabric messaging layer and
+    // stages buffers through its state store — model both (§6).
+    config_.profile = simmpi::NetworkProfile::grpc_messaging();
+    config_.zero_copy = false;
+  }
+}
+
+std::shared_ptr<const rt::CompiledModule> Embedder::compile(
+    std::span<const u8> wasm_bytes) {
+  return rt::compile(wasm_bytes, config_.engine);
+}
+
+RunResult Embedder::run_world(std::span<const u8> wasm_bytes, int ranks) {
+  return run_world(compile(wasm_bytes), ranks);
+}
+
+RunResult Embedder::run_world(std::shared_ptr<const rt::CompiledModule> cm,
+                              int ranks) {
+  RunResult result;
+  result.compile_ms = cm->compile_ms;
+  result.loaded_from_cache = cm->loaded_from_cache;
+
+  auto shared_state = std::make_shared<SharedHandleState>();
+  simmpi::World world(ranks, config_.profile);
+
+  std::mutex result_mu;
+  Stopwatch wall;
+
+  world.run([&](simmpi::Rank& rank) {
+    // Per-rank embedder instance state (paper §4.3: "each MPI rank
+    // corresponds to one instance of the embedder with its own module").
+    Env env(&rank, shared_state, config_.zero_copy,
+            config_.record_translation);
+
+    wasi::WasiConfig wcfg;
+    wcfg.args = config_.args;
+    wcfg.env = {{"MPIWASM_RANK", std::to_string(rank.world_rank())},
+                {"MPIWASM_SIZE", std::to_string(world.size())}};
+    wcfg.preopens = config_.preopens;
+    wcfg.random_seed = u64(rank.world_rank()) * 0x9E3779B97F4A7C15ull + 1;
+    if (config_.stdout_sink) {
+      int r = rank.world_rank();
+      wcfg.stdout_sink = [this, r](std::string_view s) {
+        config_.stdout_sink(r, s);
+      };
+    }
+    wasi::WasiEnv wasi_env(std::move(wcfg));
+
+    rt::ImportTable imports;
+    wasi_env.register_imports(imports);
+    register_mpi_host_functions(imports, config_.faasm_compat);
+    if (config_.extra_imports) config_.extra_imports(imports, rank.world_rank());
+
+    rt::Instance instance(cm, imports, &env);
+
+    int exit_code = 0;
+    try {
+      instance.invoke("_start");
+    } catch (const rt::ProcExit& e) {
+      exit_code = e.code();
+    }
+
+    std::lock_guard<std::mutex> lock(result_mu);
+    if (exit_code != 0 && result.exit_code == 0) result.exit_code = exit_code;
+    if (config_.record_translation) {
+      result.translation_samples.insert(result.translation_samples.end(),
+                                        env.samples().begin(),
+                                        env.samples().end());
+    }
+  });
+
+  result.wall_seconds = wall.elapsed_s();
+  return result;
+}
+
+}  // namespace mpiwasm::embed

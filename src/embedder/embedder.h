@@ -1,0 +1,66 @@
+// MPIWasm embedder driver: compiles a module once, then instantiates and
+// runs it on N rank threads (the in-process analogue of
+// `mpirun -np N ./mpiwasm app.wasm`, paper Listing 4 — each MPI rank gets
+// its own embedder instance with its own Wasm module instance, §4.3).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "embedder/env.h"
+#include "runtime/engine.h"
+#include "simmpi/world.h"
+#include "wasi/wasi.h"
+
+namespace mpiwasm::embed {
+
+struct EmbedderConfig {
+  rt::EngineConfig engine;                 // tier + compilation cache (§3.3)
+  simmpi::NetworkProfile profile = simmpi::NetworkProfile::zero();
+  std::vector<std::string> args = {"app.wasm"};
+  std::vector<wasi::Preopen> preopens;     // the -d flag entries (§3.4)
+  bool zero_copy = true;                   // §3.5 (false = ablation mode)
+  bool record_translation = false;         // Figure 6 instrumentation
+  /// Faasm-like baseline (§6 / Figure 7): MPI re-implemented over a
+  /// distributed messaging substrate — copies instead of zero-copy, gRPC
+  /// profile costs, and no user-defined communicators.
+  bool faasm_compat = false;
+  /// Per-rank stdout capture; default discards into process stdout.
+  std::function<void(int rank, std::string_view)> stdout_sink;
+  /// Extra host imports (e.g. the bench harness's "bench.report"). Called
+  /// once per rank before instantiation; mirrors Wasmer's ergonomic
+  /// dynamic extension of the embedder's functionality (§3.1).
+  std::function<void(rt::ImportTable&, int rank)> extra_imports;
+};
+
+struct RunResult {
+  int exit_code = 0;
+  f64 compile_ms = 0;
+  f64 wall_seconds = 0;
+  bool loaded_from_cache = false;
+  /// Merged Figure-6 samples from all ranks (record_translation only).
+  std::vector<TranslationSample> translation_samples;
+};
+
+class Embedder {
+ public:
+  explicit Embedder(EmbedderConfig config);
+
+  const EmbedderConfig& config() const { return config_; }
+
+  /// Decode + validate + compile (cache-aware). Throws rt::CompileError.
+  std::shared_ptr<const rt::CompiledModule> compile(
+      std::span<const u8> wasm_bytes);
+
+  /// Runs `_start` of the compiled module on `ranks` MPI ranks.
+  RunResult run_world(std::shared_ptr<const rt::CompiledModule> cm, int ranks);
+  RunResult run_world(std::span<const u8> wasm_bytes, int ranks);
+
+ private:
+  EmbedderConfig config_;
+};
+
+}  // namespace mpiwasm::embed

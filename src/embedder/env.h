@@ -1,0 +1,106 @@
+// Env: MPIWasm's per-world translation state (paper §3.7).
+//
+// The paper's Env stores "the global state required by these translations":
+// information about the module's memory (its base pointer, §3.5) and the
+// datatype/communicator/op structures the embedder creates on behalf of
+// the module (§3.6). Lookups take a read lock on a shared_mutex — the
+// measured ~85-105ns translation overhead of Figure 6, and the source of
+// the Allreduce-frequency scaling effect of §4.5, both live here.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "embedder/abi.h"
+#include "runtime/memory.h"
+#include "simmpi/world.h"
+
+namespace mpiwasm::embed {
+
+/// One Figure-6 sample: translating `wasm_datatype` for a message of
+/// `msg_bytes` took `ns` nanoseconds.
+struct TranslationSample {
+  i32 wasm_datatype = 0;
+  u64 msg_bytes = 0;
+  u64 ns = 0;
+};
+
+/// World-shared translation tables. All ranks of a run consult the same
+/// tables under a reader-writer lock, exactly the design whose read-lock
+/// acquisition cost the paper measures (§4.6).
+class SharedHandleState {
+ public:
+  SharedHandleState();
+
+  /// Datatype handle -> host datatype (throws Trap(kHostError) on bad id).
+  simmpi::Datatype lookup_datatype(i32 handle) const;
+  /// Reduce-op handle -> host op.
+  simmpi::ReduceOp lookup_op(i32 handle) const;
+  /// Communicator handle -> host communicator id.
+  simmpi::Comm lookup_comm(i32 handle) const;
+  /// Registers a newly created host communicator; returns its module handle.
+  i32 intern_comm(simmpi::Comm host_comm);
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::unordered_map<i32, simmpi::Datatype> datatypes_;
+  std::unordered_map<i32, simmpi::ReduceOp> ops_;
+  std::unordered_map<i32, simmpi::Comm> comms_;
+};
+
+/// Per-rank embedder state handed to every env.MPI_* host function via
+/// Instance::user_data.
+class Env {
+ public:
+  Env(simmpi::Rank* rank, std::shared_ptr<SharedHandleState> shared,
+      bool zero_copy, bool record_translation);
+
+  simmpi::Rank& rank() { return *rank_; }
+  bool zero_copy() const { return zero_copy_; }
+
+  // --- Address translation (§3.5) -----------------------------------------
+  /// Zero-copy: 32-bit module pointer -> host pointer after a bounds check.
+  /// This is the entire translation — base + offset — which is what lets
+  /// the host MPI library read/write module memory directly.
+  u8* translate(rt::LinearMemory& mem, u32 ptr, u64 len) {
+    mem.check(ptr, len);
+    return mem.base() + ptr;
+  }
+
+  // --- Handle translation (§3.6), instrumented for Figure 6 ----------------
+  simmpi::Datatype translate_datatype(i32 handle, u64 msg_bytes_hint);
+  simmpi::ReduceOp translate_op(i32 handle);
+  simmpi::Comm translate_comm(i32 handle);
+  i32 intern_comm(simmpi::Comm host_comm) { return shared_->intern_comm(host_comm); }
+
+  // --- Request table (rank-local; requests are not shared across ranks) ---
+  i32 add_request(simmpi::Request req);
+  simmpi::Request* find_request(i32 handle);
+  void drop_request(i32 handle);
+
+  // --- MPI_Init bookkeeping -------------------------------------------------
+  bool initialized = false;
+  bool finalized = false;
+
+  // --- Figure 6 instrumentation ---------------------------------------------
+  const std::vector<TranslationSample>& samples() const { return samples_; }
+
+  /// Staging buffer for the copy-based ablation mode (zero_copy = false).
+  std::vector<u8>& staging() { return staging_; }
+
+ private:
+  simmpi::Rank* rank_;
+  std::shared_ptr<SharedHandleState> shared_;
+  bool zero_copy_;
+  bool record_translation_;
+  std::map<i32, simmpi::Request> requests_;
+  i32 next_request_ = 1;
+  std::vector<TranslationSample> samples_;
+  std::vector<u8> staging_;
+};
+
+}  // namespace mpiwasm::embed

@@ -1,0 +1,588 @@
+#include "embedder/mpi_host.h"
+
+#include <cstring>
+
+#include "simmpi/api.h"
+#include "support/timing.h"
+
+namespace mpiwasm::embed {
+
+namespace {
+
+using rt::HostContext;
+using rt::LinearMemory;
+using rt::Slot;
+using simmpi::Datatype;
+using simmpi::Status;
+using wasm::FuncType;
+using wasm::ValType;
+
+constexpr ValType I32 = ValType::kI32;
+constexpr ValType F64V = ValType::kF64;
+
+Env& env_of(HostContext& ctx) {
+  auto* env = static_cast<Env*>(ctx.user_data());
+  if (env == nullptr)
+    throw rt::Trap(rt::TrapKind::kHostError, "MPI host call without Env");
+  return *env;
+}
+
+/// Converts host-side MPI failures into guest-visible traps: the default
+/// MPI error handler is MPI_ERRORS_ARE_FATAL, and a fatal error inside a
+/// sandboxed module surfaces as a trap delivered to the embedder (§2.2).
+template <typename Fn>
+void guarded(Fn&& fn) {
+  try {
+    fn();
+  } catch (const simmpi::MpiError& e) {
+    throw rt::Trap(rt::TrapKind::kHostError, std::string("MPI error: ") + e.what());
+  }
+}
+
+void write_status(LinearMemory& mem, u32 status_ptr, const Status& st) {
+  if (status_ptr == u32(abi::MPI_STATUS_IGNORE)) return;
+  mem.store<i32>(status_ptr + 0, st.source);
+  mem.store<i32>(status_ptr + 4, st.tag);
+  mem.store<i32>(status_ptr + 8, abi::MPI_SUCCESS);
+  mem.store<i32>(status_ptr + 12, i32(st.bytes));
+}
+
+/// Resolves a guest buffer for sending. In zero-copy mode this is exactly
+/// `memory.base() + ptr` (§3.5); the ablation mode stages through a copy,
+/// which is what bench_ablation_zerocopy quantifies.
+const u8* send_view(Env& env, LinearMemory& mem, u32 ptr, u64 bytes) {
+  u8* host = env.translate(mem, ptr, bytes);
+  if (env.zero_copy()) return host;
+  auto& staging = env.staging();
+  staging.assign(host, host + bytes);
+  return staging.data();
+}
+
+struct RecvView {
+  u8* host = nullptr;     // where the MPI library writes
+  u8* guest = nullptr;    // final destination in module memory
+  u64 bytes = 0;
+  bool staged = false;
+  void commit() const {
+    if (staged) std::memcpy(guest, host, bytes);
+  }
+};
+
+RecvView recv_view(Env& env, LinearMemory& mem, u32 ptr, u64 bytes) {
+  RecvView v;
+  v.guest = env.translate(mem, ptr, bytes);
+  v.bytes = bytes;
+  if (env.zero_copy()) {
+    v.host = v.guest;
+  } else {
+    auto& staging = env.staging();
+    staging.resize(bytes);
+    v.host = staging.data();
+    v.staged = true;
+  }
+  return v;
+}
+
+u64 msg_bytes(Env& env, i32 dt_handle, i32 count) {
+  // Size query does not go through the instrumented path; it mirrors the
+  // wasm-side sizeof knowledge in mpi.h.
+  switch (dt_handle) {
+    case abi::MPI_BYTE: case abi::MPI_CHAR: return u64(count);
+    case abi::MPI_INT: case abi::MPI_FLOAT: case abi::MPI_UNSIGNED:
+      return u64(count) * 4;
+    default:
+      return u64(count) * 8;
+  }
+  (void)env;
+}
+
+}  // namespace
+
+void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
+  const std::string ns = "env";
+
+  t.add(ns, "MPI_Init", FuncType{{I32, I32}, {I32}},
+        [](HostContext& ctx, const Slot*, Slot* r) {
+          env_of(ctx).initialized = true;
+          r->i32v = abi::MPI_SUCCESS;
+        });
+
+  t.add(ns, "MPI_Initialized", FuncType{{I32}, {I32}},
+        [](HostContext& ctx, const Slot* a, Slot* r) {
+          ctx.memory().store<i32>(a[0].u32v, env_of(ctx).initialized ? 1 : 0);
+          r->i32v = abi::MPI_SUCCESS;
+        });
+
+  t.add(ns, "MPI_Finalize", FuncType{{}, {I32}},
+        [](HostContext& ctx, const Slot*, Slot* r) {
+          env_of(ctx).finalized = true;
+          r->i32v = abi::MPI_SUCCESS;
+        });
+
+  t.add(ns, "MPI_Comm_rank", FuncType{{I32, I32}, {I32}},
+        [](HostContext& ctx, const Slot* a, Slot* r) {
+          Env& env = env_of(ctx);
+          guarded([&] {
+            simmpi::Comm comm = env.translate_comm(a[0].i32v);
+            ctx.memory().store<i32>(a[1].u32v, env.rank().rank(comm));
+          });
+          r->i32v = abi::MPI_SUCCESS;
+        });
+
+  t.add(ns, "MPI_Comm_size", FuncType{{I32, I32}, {I32}},
+        [](HostContext& ctx, const Slot* a, Slot* r) {
+          Env& env = env_of(ctx);
+          guarded([&] {
+            simmpi::Comm comm = env.translate_comm(a[0].i32v);
+            ctx.memory().store<i32>(a[1].u32v, env.rank().size(comm));
+          });
+          r->i32v = abi::MPI_SUCCESS;
+        });
+
+  t.add(ns, "MPI_Wtime", FuncType{{}, {F64V}},
+        [](HostContext& ctx, const Slot*, Slot* r) {
+          r->f64v = env_of(ctx).rank().wtime();
+        });
+
+  t.add(ns, "MPI_Abort", FuncType{{I32, I32}, {I32}},
+        [](HostContext& ctx, const Slot* a, Slot* r) {
+          env_of(ctx).rank().abort(a[1].i32v);
+          r->i32v = abi::MPI_SUCCESS;  // unreachable
+        });
+
+  t.add(ns, "MPI_Type_size", FuncType{{I32, I32}, {I32}},
+        [](HostContext& ctx, const Slot* a, Slot* r) {
+          Env& env = env_of(ctx);
+          guarded([&] {
+            Datatype dt = env.translate_datatype(a[0].i32v, 0);
+            ctx.memory().store<i32>(a[1].u32v, i32(simmpi::datatype_size(dt)));
+          });
+          r->i32v = abi::MPI_SUCCESS;
+        });
+
+  t.add(ns, "MPI_Get_count", FuncType{{I32, I32, I32}, {I32}},
+        [](HostContext& ctx, const Slot* a, Slot* r) {
+          Env& env = env_of(ctx);
+          guarded([&] {
+            LinearMemory& mem = ctx.memory();
+            i32 bytes = mem.load<i32>(a[0].u32v + 12);
+            Datatype dt = env.translate_datatype(a[1].i32v, 0);
+            mem.store<i32>(a[2].u32v, i32(u32(bytes) / simmpi::datatype_size(dt)));
+          });
+          r->i32v = abi::MPI_SUCCESS;
+        });
+
+  // --- Point-to-point -------------------------------------------------------
+
+  t.add(ns, "MPI_Send", FuncType{{I32, I32, I32, I32, I32, I32}, {I32}},
+        [](HostContext& ctx, const Slot* a, Slot* r) {
+          Env& env = env_of(ctx);
+          guarded([&] {
+            u64 bytes = msg_bytes(env, a[2].i32v, a[1].i32v);
+            Datatype dt = env.translate_datatype(a[2].i32v, bytes);
+            simmpi::Comm comm = env.translate_comm(a[5].i32v);
+            const u8* buf = send_view(env, ctx.memory(), a[0].u32v, bytes);
+            env.rank().send(buf, a[1].i32v, dt, a[3].i32v, a[4].i32v, comm);
+          });
+          r->i32v = abi::MPI_SUCCESS;
+        });
+
+  t.add(ns, "MPI_Recv", FuncType{{I32, I32, I32, I32, I32, I32, I32}, {I32}},
+        [](HostContext& ctx, const Slot* a, Slot* r) {
+          Env& env = env_of(ctx);
+          guarded([&] {
+            u64 bytes = msg_bytes(env, a[2].i32v, a[1].i32v);
+            Datatype dt = env.translate_datatype(a[2].i32v, bytes);
+            simmpi::Comm comm = env.translate_comm(a[5].i32v);
+            RecvView v = recv_view(env, ctx.memory(), a[0].u32v, bytes);
+            Status st =
+                env.rank().recv(v.host, a[1].i32v, dt, a[3].i32v, a[4].i32v, comm);
+            v.commit();
+            write_status(ctx.memory(), a[6].u32v, st);
+          });
+          r->i32v = abi::MPI_SUCCESS;
+        });
+
+  t.add(ns, "MPI_Isend", FuncType{{I32, I32, I32, I32, I32, I32, I32}, {I32}},
+        [](HostContext& ctx, const Slot* a, Slot* r) {
+          Env& env = env_of(ctx);
+          guarded([&] {
+            u64 bytes = msg_bytes(env, a[2].i32v, a[1].i32v);
+            Datatype dt = env.translate_datatype(a[2].i32v, bytes);
+            simmpi::Comm comm = env.translate_comm(a[5].i32v);
+            // Nonblocking sends must reference stable memory: linear memory
+            // base is stable (mmap reservation), so zero-copy is safe here.
+            u8* buf = env.translate(ctx.memory(), a[0].u32v, bytes);
+            simmpi::Request req =
+                env.rank().isend(buf, a[1].i32v, dt, a[3].i32v, a[4].i32v, comm);
+            ctx.memory().store<i32>(a[6].u32v, env.add_request(std::move(req)));
+          });
+          r->i32v = abi::MPI_SUCCESS;
+        });
+
+  t.add(ns, "MPI_Irecv", FuncType{{I32, I32, I32, I32, I32, I32, I32}, {I32}},
+        [](HostContext& ctx, const Slot* a, Slot* r) {
+          Env& env = env_of(ctx);
+          guarded([&] {
+            u64 bytes = msg_bytes(env, a[2].i32v, a[1].i32v);
+            Datatype dt = env.translate_datatype(a[2].i32v, bytes);
+            simmpi::Comm comm = env.translate_comm(a[5].i32v);
+            u8* buf = env.translate(ctx.memory(), a[0].u32v, bytes);
+            simmpi::Request req =
+                env.rank().irecv(buf, a[1].i32v, dt, a[3].i32v, a[4].i32v, comm);
+            ctx.memory().store<i32>(a[6].u32v, env.add_request(std::move(req)));
+          });
+          r->i32v = abi::MPI_SUCCESS;
+        });
+
+  t.add(ns, "MPI_Wait", FuncType{{I32, I32}, {I32}},
+        [](HostContext& ctx, const Slot* a, Slot* r) {
+          Env& env = env_of(ctx);
+          guarded([&] {
+            LinearMemory& mem = ctx.memory();
+            i32 handle = mem.load<i32>(a[0].u32v);
+            if (handle != abi::MPI_REQUEST_NULL) {
+              simmpi::Request* req = env.find_request(handle);
+              if (req == nullptr)
+                throw simmpi::MpiError("MPI_Wait: invalid request handle");
+              Status st = env.rank().wait(*req);
+              env.drop_request(handle);
+              write_status(mem, a[1].u32v, st);
+              mem.store<i32>(a[0].u32v, abi::MPI_REQUEST_NULL);
+            }
+          });
+          r->i32v = abi::MPI_SUCCESS;
+        });
+
+  t.add(ns, "MPI_Waitall", FuncType{{I32, I32, I32}, {I32}},
+        [](HostContext& ctx, const Slot* a, Slot* r) {
+          Env& env = env_of(ctx);
+          guarded([&] {
+            LinearMemory& mem = ctx.memory();
+            i32 count = a[0].i32v;
+            for (i32 i = 0; i < count; ++i) {
+              u32 req_ptr = a[1].u32v + u32(i) * 4;
+              i32 handle = mem.load<i32>(req_ptr);
+              if (handle == abi::MPI_REQUEST_NULL) continue;
+              simmpi::Request* req = env.find_request(handle);
+              if (req == nullptr)
+                throw simmpi::MpiError("MPI_Waitall: invalid request handle");
+              Status st = env.rank().wait(*req);
+              env.drop_request(handle);
+              if (a[2].u32v != u32(abi::MPI_STATUS_IGNORE))
+                write_status(mem, a[2].u32v + u32(i) * abi::kStatusSizeBytes, st);
+              mem.store<i32>(req_ptr, abi::MPI_REQUEST_NULL);
+            }
+          });
+          r->i32v = abi::MPI_SUCCESS;
+        });
+
+  t.add(ns, "MPI_Test", FuncType{{I32, I32, I32}, {I32}},
+        [](HostContext& ctx, const Slot* a, Slot* r) {
+          Env& env = env_of(ctx);
+          guarded([&] {
+            LinearMemory& mem = ctx.memory();
+            i32 handle = mem.load<i32>(a[0].u32v);
+            if (handle == abi::MPI_REQUEST_NULL) {
+              mem.store<i32>(a[1].u32v, 1);
+              return;
+            }
+            simmpi::Request* req = env.find_request(handle);
+            if (req == nullptr)
+              throw simmpi::MpiError("MPI_Test: invalid request handle");
+            Status st;
+            bool done = env.rank().test(*req, &st);
+            mem.store<i32>(a[1].u32v, done ? 1 : 0);
+            if (done) {
+              env.drop_request(handle);
+              write_status(mem, a[2].u32v, st);
+              mem.store<i32>(a[0].u32v, abi::MPI_REQUEST_NULL);
+            }
+          });
+          r->i32v = abi::MPI_SUCCESS;
+        });
+
+  t.add(ns, "MPI_Sendrecv",
+        FuncType{{I32, I32, I32, I32, I32, I32, I32, I32, I32, I32, I32, I32},
+                 {I32}},
+        [](HostContext& ctx, const Slot* a, Slot* r) {
+          Env& env = env_of(ctx);
+          guarded([&] {
+            u64 sbytes = msg_bytes(env, a[2].i32v, a[1].i32v);
+            u64 rbytes = msg_bytes(env, a[7].i32v, a[6].i32v);
+            Datatype sdt = env.translate_datatype(a[2].i32v, sbytes);
+            Datatype rdt = env.translate_datatype(a[7].i32v, rbytes);
+            simmpi::Comm comm = env.translate_comm(a[10].i32v);
+            LinearMemory& mem = ctx.memory();
+            const u8* sbuf = send_view(env, mem, a[0].u32v, sbytes);
+            RecvView v = recv_view(env, mem, a[5].u32v, rbytes);
+            Status st = env.rank().sendrecv(sbuf, a[1].i32v, sdt, a[3].i32v,
+                                            a[4].i32v, v.host, a[6].i32v, rdt,
+                                            a[8].i32v, a[9].i32v, comm);
+            v.commit();
+            write_status(mem, a[11].u32v, st);
+          });
+          r->i32v = abi::MPI_SUCCESS;
+        });
+
+  // --- Collectives -----------------------------------------------------------
+
+  t.add(ns, "MPI_Barrier", FuncType{{I32}, {I32}},
+        [](HostContext& ctx, const Slot* a, Slot* r) {
+          Env& env = env_of(ctx);
+          guarded([&] { env.rank().barrier(env.translate_comm(a[0].i32v)); });
+          r->i32v = abi::MPI_SUCCESS;
+        });
+
+  t.add(ns, "MPI_Bcast", FuncType{{I32, I32, I32, I32, I32}, {I32}},
+        [](HostContext& ctx, const Slot* a, Slot* r) {
+          Env& env = env_of(ctx);
+          guarded([&] {
+            u64 bytes = msg_bytes(env, a[2].i32v, a[1].i32v);
+            Datatype dt = env.translate_datatype(a[2].i32v, bytes);
+            simmpi::Comm comm = env.translate_comm(a[4].i32v);
+            RecvView v = recv_view(env, ctx.memory(), a[0].u32v, bytes);
+            if (v.staged) std::memcpy(v.host, v.guest, bytes);  // root payload
+            env.rank().bcast(v.host, a[1].i32v, dt, a[3].i32v, comm);
+            v.commit();
+          });
+          r->i32v = abi::MPI_SUCCESS;
+        });
+
+  t.add(ns, "MPI_Reduce", FuncType{{I32, I32, I32, I32, I32, I32, I32}, {I32}},
+        [](HostContext& ctx, const Slot* a, Slot* r) {
+          Env& env = env_of(ctx);
+          guarded([&] {
+            u64 bytes = msg_bytes(env, a[3].i32v, a[2].i32v);
+            Datatype dt = env.translate_datatype(a[3].i32v, bytes);
+            simmpi::ReduceOp op = env.translate_op(a[4].i32v);
+            simmpi::Comm comm = env.translate_comm(a[6].i32v);
+            LinearMemory& mem = ctx.memory();
+            const u8* sbuf = env.translate(mem, a[0].u32v, bytes);
+            bool is_root = env.rank().rank(comm) == a[5].i32v;
+            u8* rbuf = is_root ? env.translate(mem, a[1].u32v, bytes) : nullptr;
+            env.rank().reduce(sbuf, rbuf, a[2].i32v, dt, op, a[5].i32v, comm);
+          });
+          r->i32v = abi::MPI_SUCCESS;
+        });
+
+  t.add(ns, "MPI_Allreduce", FuncType{{I32, I32, I32, I32, I32, I32}, {I32}},
+        [](HostContext& ctx, const Slot* a, Slot* r) {
+          Env& env = env_of(ctx);
+          guarded([&] {
+            u64 bytes = msg_bytes(env, a[3].i32v, a[2].i32v);
+            Datatype dt = env.translate_datatype(a[3].i32v, bytes);
+            simmpi::ReduceOp op = env.translate_op(a[4].i32v);
+            simmpi::Comm comm = env.translate_comm(a[5].i32v);
+            LinearMemory& mem = ctx.memory();
+            const u8* sbuf = env.translate(mem, a[0].u32v, bytes);
+            u8* rbuf = env.translate(mem, a[1].u32v, bytes);
+            env.rank().allreduce(sbuf, rbuf, a[2].i32v, dt, op, comm);
+          });
+          r->i32v = abi::MPI_SUCCESS;
+        });
+
+  t.add(ns, "MPI_Gather",
+        FuncType{{I32, I32, I32, I32, I32, I32, I32, I32}, {I32}},
+        [](HostContext& ctx, const Slot* a, Slot* r) {
+          Env& env = env_of(ctx);
+          guarded([&] {
+            u64 sbytes = msg_bytes(env, a[2].i32v, a[1].i32v);
+            Datatype sdt = env.translate_datatype(a[2].i32v, sbytes);
+            env.translate_datatype(a[5].i32v, sbytes);  // recv type handle
+            simmpi::Comm comm = env.translate_comm(a[7].i32v);
+            LinearMemory& mem = ctx.memory();
+            const u8* sbuf = env.translate(mem, a[0].u32v, sbytes);
+            bool is_root = env.rank().rank(comm) == a[6].i32v;
+            u64 total = msg_bytes(env, a[5].i32v, a[4].i32v) *
+                        u64(env.rank().size(comm));
+            u8* rbuf = is_root ? env.translate(mem, a[3].u32v, total) : nullptr;
+            env.rank().gather(sbuf, a[1].i32v, rbuf, a[4].i32v, sdt, a[6].i32v,
+                              comm);
+          });
+          r->i32v = abi::MPI_SUCCESS;
+        });
+
+  t.add(ns, "MPI_Scatter",
+        FuncType{{I32, I32, I32, I32, I32, I32, I32, I32}, {I32}},
+        [](HostContext& ctx, const Slot* a, Slot* r) {
+          Env& env = env_of(ctx);
+          guarded([&] {
+            u64 rbytes = msg_bytes(env, a[5].i32v, a[4].i32v);
+            Datatype dt = env.translate_datatype(a[5].i32v, rbytes);
+            env.translate_datatype(a[2].i32v, rbytes);
+            simmpi::Comm comm = env.translate_comm(a[7].i32v);
+            LinearMemory& mem = ctx.memory();
+            bool is_root = env.rank().rank(comm) == a[6].i32v;
+            u64 total = msg_bytes(env, a[2].i32v, a[1].i32v) *
+                        u64(env.rank().size(comm));
+            const u8* sbuf =
+                is_root ? env.translate(mem, a[0].u32v, total) : nullptr;
+            u8* rbuf = env.translate(mem, a[3].u32v, rbytes);
+            env.rank().scatter(sbuf, a[1].i32v, rbuf, a[4].i32v, dt, a[6].i32v,
+                               comm);
+          });
+          r->i32v = abi::MPI_SUCCESS;
+        });
+
+  t.add(ns, "MPI_Allgather",
+        FuncType{{I32, I32, I32, I32, I32, I32, I32}, {I32}},
+        [](HostContext& ctx, const Slot* a, Slot* r) {
+          Env& env = env_of(ctx);
+          guarded([&] {
+            u64 sbytes = msg_bytes(env, a[2].i32v, a[1].i32v);
+            Datatype dt = env.translate_datatype(a[2].i32v, sbytes);
+            env.translate_datatype(a[5].i32v, sbytes);
+            simmpi::Comm comm = env.translate_comm(a[6].i32v);
+            LinearMemory& mem = ctx.memory();
+            const u8* sbuf = env.translate(mem, a[0].u32v, sbytes);
+            u64 total = msg_bytes(env, a[5].i32v, a[4].i32v) *
+                        u64(env.rank().size(comm));
+            u8* rbuf = env.translate(mem, a[3].u32v, total);
+            env.rank().allgather(sbuf, a[1].i32v, rbuf, a[4].i32v, dt, comm);
+          });
+          r->i32v = abi::MPI_SUCCESS;
+        });
+
+  t.add(ns, "MPI_Alltoall",
+        FuncType{{I32, I32, I32, I32, I32, I32, I32}, {I32}},
+        [](HostContext& ctx, const Slot* a, Slot* r) {
+          Env& env = env_of(ctx);
+          guarded([&] {
+            u64 sblock = msg_bytes(env, a[2].i32v, a[1].i32v);
+            Datatype dt = env.translate_datatype(a[2].i32v, sblock);
+            env.translate_datatype(a[5].i32v, sblock);
+            simmpi::Comm comm = env.translate_comm(a[6].i32v);
+            LinearMemory& mem = ctx.memory();
+            int n = env.rank().size(comm);
+            const u8* sbuf = env.translate(mem, a[0].u32v, sblock * u64(n));
+            u64 rblock = msg_bytes(env, a[5].i32v, a[4].i32v);
+            u8* rbuf = env.translate(mem, a[3].u32v, rblock * u64(n));
+            env.rank().alltoall(sbuf, a[1].i32v, rbuf, a[4].i32v, dt, comm);
+          });
+          r->i32v = abi::MPI_SUCCESS;
+        });
+
+  t.add(ns, "MPI_Alltoallv",
+        FuncType{{I32, I32, I32, I32, I32, I32, I32, I32, I32}, {I32}},
+        [](HostContext& ctx, const Slot* a, Slot* r) {
+          Env& env = env_of(ctx);
+          guarded([&] {
+            Datatype dt = env.translate_datatype(a[3].i32v, 0);
+            env.translate_datatype(a[7].i32v, 0);
+            simmpi::Comm comm = env.translate_comm(a[8].i32v);
+            LinearMemory& mem = ctx.memory();
+            int n = env.rank().size(comm);
+            size_t esz = simmpi::datatype_size(dt);
+            // Counts/displacements live in module memory as i32 arrays;
+            // copy them out (they may be unaligned in linear memory).
+            auto load_i32s = [&](u32 ptr) {
+              std::vector<i32> v(static_cast<size_t>(n));
+              for (int i = 0; i < n; ++i) v[i] = mem.load<i32>(ptr + u32(i) * 4);
+              return v;
+            };
+            std::vector<i32> scounts = load_i32s(a[1].u32v);
+            std::vector<i32> sdispls = load_i32s(a[2].u32v);
+            std::vector<i32> rcounts = load_i32s(a[5].u32v);
+            std::vector<i32> rdispls = load_i32s(a[6].u32v);
+            // Validate extents before handing pointers to the host library.
+            u64 smax = 0, rmax = 0;
+            for (int i = 0; i < n; ++i) {
+              smax = std::max(smax, u64(sdispls[i]) + u64(scounts[i]));
+              rmax = std::max(rmax, u64(rdispls[i]) + u64(rcounts[i]));
+            }
+            const u8* sbuf = env.translate(mem, a[0].u32v, smax * esz);
+            u8* rbuf = env.translate(mem, a[4].u32v, rmax * esz);
+            env.rank().alltoallv(sbuf, scounts.data(), sdispls.data(), rbuf,
+                                 rcounts.data(), rdispls.data(), dt, comm);
+          });
+          r->i32v = abi::MPI_SUCCESS;
+        });
+
+  // --- Communicator management (not available in faasm_compat mode; Faasm
+  // supports no user-defined communicators, §6) ------------------------------
+
+  if (!faasm_compat) {
+    t.add(ns, "MPI_Comm_dup", FuncType{{I32, I32}, {I32}},
+          [](HostContext& ctx, const Slot* a, Slot* r) {
+            Env& env = env_of(ctx);
+            guarded([&] {
+              simmpi::Comm parent = env.translate_comm(a[0].i32v);
+              simmpi::Comm dup = env.rank().comm_dup(parent);
+              ctx.memory().store<i32>(a[1].u32v, env.intern_comm(dup));
+            });
+            r->i32v = abi::MPI_SUCCESS;
+          });
+
+    t.add(ns, "MPI_Comm_split", FuncType{{I32, I32, I32, I32}, {I32}},
+          [](HostContext& ctx, const Slot* a, Slot* r) {
+            Env& env = env_of(ctx);
+            guarded([&] {
+              simmpi::Comm parent = env.translate_comm(a[0].i32v);
+              int color = a[1].i32v == abi::MPI_UNDEFINED ? simmpi::kUndefined
+                                                          : a[1].i32v;
+              simmpi::Comm nc = env.rank().comm_split(parent, color, a[2].i32v);
+              i32 handle = nc == simmpi::kCommNull ? abi::MPI_COMM_NULL
+                                                   : env.intern_comm(nc);
+              ctx.memory().store<i32>(a[3].u32v, handle);
+            });
+            r->i32v = abi::MPI_SUCCESS;
+          });
+
+    t.add(ns, "MPI_Comm_free", FuncType{{I32}, {I32}},
+          [](HostContext& ctx, const Slot* a, Slot* r) {
+            Env& env = env_of(ctx);
+            guarded([&] {
+              LinearMemory& mem = ctx.memory();
+              i32 handle = mem.load<i32>(a[0].u32v);
+              env.rank().comm_free(env.translate_comm(handle));
+              mem.store<i32>(a[0].u32v, abi::MPI_COMM_NULL);
+            });
+            r->i32v = abi::MPI_SUCCESS;
+          });
+  }
+
+  // --- Memory management (§3.7): MPI_Alloc_mem must return a module-space
+  // pointer, so it is implemented via the module's own exported malloc. ----
+
+  t.add(ns, "MPI_Alloc_mem", FuncType{{I32, I32, I32}, {I32}},
+        [](HostContext& ctx, const Slot* a, Slot* r) {
+          auto malloc_idx = ctx.instance().exported_func("malloc");
+          if (!malloc_idx.has_value()) {
+            r->i32v = abi::MPI_ERR_OTHER;  // module does not export malloc
+            return;
+          }
+          rt::Value size = rt::Value::from_i32(a[0].i32v);
+          rt::Value p = ctx.instance().invoke_index(*malloc_idx, {&size, 1});
+          ctx.memory().store<u32>(a[2].u32v, p.as_u32());
+          r->i32v = p.as_u32() != 0 ? abi::MPI_SUCCESS : abi::MPI_ERR_OTHER;
+        });
+
+  t.add(ns, "MPI_Free_mem", FuncType{{I32}, {I32}},
+        [](HostContext& ctx, const Slot* a, Slot* r) {
+          auto free_idx = ctx.instance().exported_func("free");
+          if (!free_idx.has_value()) {
+            r->i32v = abi::MPI_ERR_OTHER;
+            return;
+          }
+          rt::Value ptr = rt::Value::from_u32(a[0].u32v);
+          ctx.instance().invoke_index(*free_idx, {&ptr, 1});
+          r->i32v = abi::MPI_SUCCESS;
+        });
+
+  t.add(ns, "MPI_Iprobe", FuncType{{I32, I32, I32, I32, I32}, {I32}},
+        [](HostContext& ctx, const Slot* a, Slot* r) {
+          Env& env = env_of(ctx);
+          guarded([&] {
+            simmpi::Comm comm = env.translate_comm(a[2].i32v);
+            Status st;
+            bool ready = env.rank().iprobe(a[0].i32v, a[1].i32v, comm, &st);
+            LinearMemory& mem = ctx.memory();
+            mem.store<i32>(a[3].u32v, ready ? 1 : 0);
+            if (ready) write_status(mem, a[4].u32v, st);
+          });
+          r->i32v = abi::MPI_SUCCESS;
+        });
+}
+
+}  // namespace mpiwasm::embed

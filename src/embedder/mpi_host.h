@@ -1,0 +1,19 @@
+// Registration of the env.MPI_* host functions MPIWasm provides to modules
+// (paper §3.7, Listing 3). Each function combines the address translation
+// of §3.5 with the handle translation of §3.6 and defers to the host MPI
+// library (simmpi).
+#pragma once
+
+#include "embedder/env.h"
+#include "runtime/instance.h"
+
+namespace mpiwasm::embed {
+
+/// Registers the MPI-2.2 subset under the "env" namespace. The Env for the
+/// executing rank is recovered from Instance::user_data at call time.
+/// `faasm_compat` restricts the surface to the MPI-1-ish subset Faasm
+/// supports (no user communicators; §6) for the Figure-7 baseline.
+void register_mpi_host_functions(rt::ImportTable& imports,
+                                 bool faasm_compat = false);
+
+}  // namespace mpiwasm::embed

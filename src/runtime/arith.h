@@ -1,0 +1,159 @@
+// Shared numeric semantics for every execution tier.
+//
+// Each Wasm numeric instruction is implemented exactly once here, with spec
+// trap behaviour (division by zero, INT_MIN/-1 overflow, NaN/out-of-range
+// float->int truncation, NaN-propagating min/max). Both the RegCode
+// executor and the interpreter tier call these, so differential tests
+// across tiers exercise dispatch logic, not divergent math.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "runtime/value.h"
+
+namespace mpiwasm::rt::arith {
+
+// --- Integer division/remainder with Wasm trap semantics -----------------
+
+inline i32 i32_div_s(i32 a, i32 b) {
+  if (b == 0) throw Trap(TrapKind::kIntegerDivByZero, "i32.div_s");
+  if (a == std::numeric_limits<i32>::min() && b == -1)
+    throw Trap(TrapKind::kIntegerOverflow, "i32.div_s overflow");
+  return a / b;
+}
+inline u32 i32_div_u(u32 a, u32 b) {
+  if (b == 0) throw Trap(TrapKind::kIntegerDivByZero, "i32.div_u");
+  return a / b;
+}
+inline i32 i32_rem_s(i32 a, i32 b) {
+  if (b == 0) throw Trap(TrapKind::kIntegerDivByZero, "i32.rem_s");
+  if (a == std::numeric_limits<i32>::min() && b == -1) return 0;
+  return a % b;
+}
+inline u32 i32_rem_u(u32 a, u32 b) {
+  if (b == 0) throw Trap(TrapKind::kIntegerDivByZero, "i32.rem_u");
+  return a % b;
+}
+inline i64 i64_div_s(i64 a, i64 b) {
+  if (b == 0) throw Trap(TrapKind::kIntegerDivByZero, "i64.div_s");
+  if (a == std::numeric_limits<i64>::min() && b == -1)
+    throw Trap(TrapKind::kIntegerOverflow, "i64.div_s overflow");
+  return a / b;
+}
+inline u64 i64_div_u(u64 a, u64 b) {
+  if (b == 0) throw Trap(TrapKind::kIntegerDivByZero, "i64.div_u");
+  return a / b;
+}
+inline i64 i64_rem_s(i64 a, i64 b) {
+  if (b == 0) throw Trap(TrapKind::kIntegerDivByZero, "i64.rem_s");
+  if (a == std::numeric_limits<i64>::min() && b == -1) return 0;
+  return a % b;
+}
+inline u64 i64_rem_u(u64 a, u64 b) {
+  if (b == 0) throw Trap(TrapKind::kIntegerDivByZero, "i64.rem_u");
+  return a % b;
+}
+
+// --- Shifts / rotates (count taken mod bit width, per spec) ---------------
+
+inline u32 i32_shl(u32 a, u32 n) { return a << (n & 31); }
+inline i32 i32_shr_s(i32 a, u32 n) { return a >> (n & 31); }
+inline u32 i32_shr_u(u32 a, u32 n) { return a >> (n & 31); }
+inline u32 i32_rotl(u32 a, u32 n) { return std::rotl(a, int(n & 31)); }
+inline u32 i32_rotr(u32 a, u32 n) { return std::rotr(a, int(n & 31)); }
+inline u64 i64_shl(u64 a, u64 n) { return a << (n & 63); }
+inline i64 i64_shr_s(i64 a, u64 n) { return a >> (n & 63); }
+inline u64 i64_shr_u(u64 a, u64 n) { return a >> (n & 63); }
+inline u64 i64_rotl(u64 a, u64 n) { return std::rotl(a, int(n & 63)); }
+inline u64 i64_rotr(u64 a, u64 n) { return std::rotr(a, int(n & 63)); }
+
+// --- Float min/max/nearest with Wasm NaN semantics ------------------------
+
+template <typename F>
+inline F fmin_wasm(F a, F b) {
+  if (std::isnan(a) || std::isnan(b)) return std::numeric_limits<F>::quiet_NaN();
+  if (a == 0 && b == 0) return std::signbit(a) ? a : b;  // -0 < +0
+  return a < b ? a : b;
+}
+template <typename F>
+inline F fmax_wasm(F a, F b) {
+  if (std::isnan(a) || std::isnan(b)) return std::numeric_limits<F>::quiet_NaN();
+  if (a == 0 && b == 0) return std::signbit(a) ? b : a;
+  return a > b ? a : b;
+}
+template <typename F>
+inline F fnearest(F v) {
+  // Round half to even: default FP environment rounding via rint.
+  return std::rint(v);
+}
+
+// --- Trapping float -> int truncation -------------------------------------
+
+template <typename To, typename From>
+inline To trunc_checked(From v, const char* what) {
+  if (std::isnan(v)) throw Trap(TrapKind::kInvalidConversion, what);
+  From t = std::trunc(v);
+  // Exact-boundary comparisons in double space. The min bound for signed
+  // types is exactly representable; the max bound (2^31 or 2^63) must be
+  // excluded with >=.
+  f64 d = f64(t);
+  if constexpr (std::is_same_v<To, i32>) {
+    if (d < -2147483648.0 || d >= 2147483648.0)
+      throw Trap(TrapKind::kInvalidConversion, what);
+  } else if constexpr (std::is_same_v<To, u32>) {
+    if (d <= -1.0 || d >= 4294967296.0)
+      throw Trap(TrapKind::kInvalidConversion, what);
+  } else if constexpr (std::is_same_v<To, i64>) {
+    if (d < -9223372036854775808.0 || d >= 9223372036854775808.0)
+      throw Trap(TrapKind::kInvalidConversion, what);
+  } else if constexpr (std::is_same_v<To, u64>) {
+    if (d <= -1.0 || d >= 18446744073709551616.0)
+      throw Trap(TrapKind::kInvalidConversion, what);
+  }
+  return To(t);
+}
+
+// --- SIMD lane helpers -----------------------------------------------------
+
+template <typename T, int N, typename F>
+inline V128 v128_binop(const V128& x, const V128& y, F f) {
+  V128 out{};
+  for (int i = 0; i < N; ++i)
+    out.set_lane<T, N>(i, T(f(x.lane<T, N>(i), y.lane<T, N>(i))));
+  return out;
+}
+
+inline V128 v128_bitop_and(const V128& x, const V128& y) {
+  V128 out{};
+  for (int i = 0; i < 16; ++i) out.bytes[i] = x.bytes[i] & y.bytes[i];
+  return out;
+}
+inline V128 v128_bitop_or(const V128& x, const V128& y) {
+  V128 out{};
+  for (int i = 0; i < 16; ++i) out.bytes[i] = x.bytes[i] | y.bytes[i];
+  return out;
+}
+inline V128 v128_bitop_xor(const V128& x, const V128& y) {
+  V128 out{};
+  for (int i = 0; i < 16; ++i) out.bytes[i] = x.bytes[i] ^ y.bytes[i];
+  return out;
+}
+inline V128 v128_not(const V128& x) {
+  V128 out{};
+  for (int i = 0; i < 16; ++i) out.bytes[i] = u8(~x.bytes[i]);
+  return out;
+}
+inline i32 v128_any_true(const V128& x) {
+  for (int i = 0; i < 16; ++i)
+    if (x.bytes[i] != 0) return 1;
+  return 0;
+}
+inline V128 i8x16_eq(const V128& x, const V128& y) {
+  V128 out{};
+  for (int i = 0; i < 16; ++i) out.bytes[i] = x.bytes[i] == y.bytes[i] ? 0xFF : 0x00;
+  return out;
+}
+
+}  // namespace mpiwasm::rt::arith

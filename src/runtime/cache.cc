@@ -1,0 +1,151 @@
+#include "runtime/cache.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "support/byte_buffer.h"
+#include "support/log.h"
+
+namespace mpiwasm::rt {
+
+namespace fs = std::filesystem;
+
+namespace {
+constexpr u32 kCacheMagic = 0x4357524D;  // "MRWC"
+constexpr u32 kCacheVersion = 2;
+}  // namespace
+
+std::vector<u8> serialize_regcode(const RModule& rm) {
+  ByteWriter w;
+  w.write_u32_le(kCacheMagic);
+  w.write_u32_le(kCacheVersion);
+  w.write_leb_u32(u32(rm.funcs.size()));
+  for (const RFunc& f : rm.funcs) {
+    w.write_leb_u32(f.num_params);
+    w.write_leb_u32(f.num_locals);
+    w.write_leb_u32(f.num_regs);
+    w.write_u8(f.has_result ? 1 : 0);
+    w.write_leb_u32(u32(f.code.size()));
+    for (const RInstr& in : f.code) {
+      w.write_u32_le(u32(in.op));
+      w.write_u32_le(in.a);
+      w.write_u32_le(in.b);
+      w.write_u32_le(in.c);
+      w.write_u32_le(in.d);
+      w.write_u64_le(in.imm);
+    }
+    w.write_leb_u32(u32(f.v128_pool.size()));
+    for (const auto& v : f.v128_pool) w.write_bytes({v.bytes, 16});
+    w.write_leb_u32(u32(f.br_pool.size()));
+    for (const auto& pool : f.br_pool) {
+      w.write_leb_u32(u32(pool.size()));
+      for (u32 t : pool) w.write_leb_u32(t);
+    }
+  }
+  return w.take();
+}
+
+std::optional<RModule> deserialize_regcode(std::span<const u8> bytes) {
+  try {
+    ByteReader r(bytes);
+    if (r.read_u32_le() != kCacheMagic) return std::nullopt;
+    if (r.read_u32_le() != kCacheVersion) return std::nullopt;
+    RModule rm;
+    u32 nfuncs = r.read_leb_u32();
+    rm.funcs.resize(nfuncs);
+    for (RFunc& f : rm.funcs) {
+      f.num_params = r.read_leb_u32();
+      f.num_locals = r.read_leb_u32();
+      f.num_regs = r.read_leb_u32();
+      f.has_result = r.read_u8() != 0;
+      u32 ninstr = r.read_leb_u32();
+      f.code.resize(ninstr);
+      for (RInstr& in : f.code) {
+        u32 op = r.read_u32_le();
+        if (op >= u32(ROp::kCount)) return std::nullopt;
+        in.op = ROp(op);
+        in.a = r.read_u32_le();
+        in.b = r.read_u32_le();
+        in.c = r.read_u32_le();
+        in.d = r.read_u32_le();
+        in.imm = r.read_u64_le();
+      }
+      u32 nv = r.read_leb_u32();
+      f.v128_pool.resize(nv);
+      for (auto& v : f.v128_pool) {
+        auto b = r.read_bytes(16);
+        std::memcpy(v.bytes, b.data(), 16);
+      }
+      u32 np = r.read_leb_u32();
+      f.br_pool.resize(np);
+      for (auto& pool : f.br_pool) {
+        u32 n = r.read_leb_u32();
+        pool.resize(n);
+        for (u32& t : pool) t = r.read_leb_u32();
+      }
+    }
+    if (!r.done()) return std::nullopt;
+    return rm;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+FileSystemCache::FileSystemCache(std::string dir) : dir_(std::move(dir)) {
+  if (dir_.empty())
+    dir_ = (fs::temp_directory_path() / "mpiwasm-cache").string();
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) MW_WARN("cannot create cache dir " << dir_ << ": " << ec.message());
+}
+
+std::string FileSystemCache::entry_path(const Sha256Digest& hash,
+                                        const std::string& tier_tag) const {
+  return dir_ + "/" + hash.hex() + "-" + tier_tag + ".rcache";
+}
+
+std::optional<RModule> FileSystemCache::load(const Sha256Digest& hash,
+                                             const std::string& tier_tag) const {
+  const std::string path = entry_path(hash, tier_tag);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::vector<u8> bytes((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  auto rm = deserialize_regcode(bytes);
+  if (!rm.has_value()) {
+    MW_WARN("removing corrupt cache entry " << path);
+    std::error_code ec;
+    fs::remove(path, ec);
+  }
+  return rm;
+}
+
+void FileSystemCache::store(const Sha256Digest& hash,
+                            const std::string& tier_tag,
+                            const RModule& rm) const {
+  const std::string path = entry_path(hash, tier_tag);
+  const std::string tmp = path + ".tmp";
+  std::vector<u8> bytes = serialize_regcode(rm);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      MW_WARN("cannot write cache entry " << tmp);
+      return;
+    }
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              std::streamsize(bytes.size()));
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);  // atomic publish; concurrent ranks race benignly
+  if (ec) fs::remove(tmp, ec);
+}
+
+void FileSystemCache::clear() const {
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (entry.path().extension() == ".rcache") fs::remove(entry.path(), ec);
+  }
+}
+
+}  // namespace mpiwasm::rt

@@ -1,0 +1,47 @@
+// FileSystemCache for compiled RegCode.
+//
+// Reproduces MPIWasm's compilation cache (paper §3.3): the module bytes are
+// hashed (BLAKE-3 there, SHA-256 here), and the compiled artifact is stored
+// in the local filesystem under that hash. Any change to the module yields
+// a new hash and triggers recompilation; repeated executions of the same
+// application skip compilation entirely.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "runtime/regcode.h"
+#include "support/sha256.h"
+
+namespace mpiwasm::rt {
+
+class FileSystemCache {
+ public:
+  /// `dir` empty selects "<system temp>/mpiwasm-cache".
+  explicit FileSystemCache(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  /// Loads a compiled module for (hash, tier_tag); nullopt on miss or on a
+  /// corrupt/incompatible entry (which is removed).
+  std::optional<RModule> load(const Sha256Digest& hash,
+                              const std::string& tier_tag) const;
+
+  /// Stores `rm`; best-effort (failures are logged, not fatal).
+  void store(const Sha256Digest& hash, const std::string& tier_tag,
+             const RModule& rm) const;
+
+  /// Removes every cache entry (used by tests and the cache ablation).
+  void clear() const;
+
+ private:
+  std::string entry_path(const Sha256Digest& hash,
+                         const std::string& tier_tag) const;
+  std::string dir_;
+};
+
+/// Serialization used by the cache (exposed for round-trip tests).
+std::vector<u8> serialize_regcode(const RModule& rm);
+std::optional<RModule> deserialize_regcode(std::span<const u8> bytes);
+
+}  // namespace mpiwasm::rt

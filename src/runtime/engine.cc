@@ -1,0 +1,105 @@
+#include "runtime/engine.h"
+
+#include "runtime/cache.h"
+#include "runtime/lowering.h"
+#include "runtime/optimizer.h"
+#include "support/log.h"
+#include "support/timing.h"
+#include "wasm/decoder.h"
+#include "wasm/validator.h"
+
+namespace mpiwasm::rt {
+
+const char* tier_name(EngineTier tier) {
+  switch (tier) {
+    case EngineTier::kInterp: return "interp";
+    case EngineTier::kBaseline: return "baseline";
+    case EngineTier::kLightOpt: return "lightopt";
+    case EngineTier::kOptimizing: return "optimizing";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Canonicalizes structurally equal function types so call_indirect
+/// signature checks are integer comparisons (MPI libraries lean on
+/// call_indirect-heavy code for reduction op tables).
+void compute_canonical_ids(CompiledModule& cm) {
+  const auto& types = cm.module.types;
+  cm.canon_type_ids.resize(types.size());
+  for (u32 i = 0; i < types.size(); ++i) {
+    u32 canon = i;
+    for (u32 j = 0; j < i; ++j) {
+      if (types[j] == types[i]) {
+        canon = j;
+        break;
+      }
+    }
+    cm.canon_type_ids[i] = canon;
+  }
+  const u32 nfuncs = cm.module.total_funcs();
+  cm.func_canon.resize(nfuncs);
+  for (u32 f = 0; f < nfuncs; ++f) {
+    // func_type returns a reference into types; find its index.
+    const wasm::FuncType& ft = cm.module.func_type(f);
+    u32 ti = u32(&ft - types.data());
+    cm.func_canon[f] = cm.canon_type_ids.at(ti);
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<const CompiledModule> compile(std::span<const u8> bytes,
+                                              const EngineConfig& cfg) {
+  auto cm = std::make_shared<CompiledModule>();
+  cm->tier = cfg.tier;
+
+  Stopwatch decode_watch;
+  wasm::DecodeResult decoded = wasm::decode_module(bytes);
+  if (!decoded.ok()) throw CompileError("decode error: " + decoded.error);
+  cm->module = std::move(*decoded.module);
+  wasm::ValidationResult vr = wasm::validate_module(cm->module);
+  if (!vr.ok) throw CompileError("validation error: " + vr.error);
+  cm->decode_ms = decode_watch.elapsed_ms();
+
+  cm->hash = sha256(bytes);
+  compute_canonical_ids(*cm);
+
+  Stopwatch compile_watch;
+  if (cfg.tier == EngineTier::kInterp) {
+    cm->predecoded = predecode_module(cm->module);
+    cm->compile_ms = compile_watch.elapsed_ms();
+    return cm;
+  }
+
+  if (cfg.enable_cache) {
+    FileSystemCache cache(cfg.cache_dir);
+    if (auto rm = cache.load(cm->hash, tier_name(cfg.tier))) {
+      cm->regcode = std::move(*rm);
+      cm->loaded_from_cache = true;
+      cm->compile_ms = compile_watch.elapsed_ms();
+      MW_DEBUG("cache hit for " << cm->hash.hex() << " (" << tier_name(cfg.tier)
+                                << ")");
+      return cm;
+    }
+  }
+
+  cm->regcode = lower_module(cm->module);
+  if (cfg.tier == EngineTier::kLightOpt) {
+    optimize_module(cm->regcode, OptOptions::light());
+  } else if (cfg.tier == EngineTier::kOptimizing) {
+    OptStats stats = optimize_module(cm->regcode, OptOptions::full());
+    MW_DEBUG("optimizer: " << stats.instrs_before << " -> "
+                           << stats.instrs_after << " instrs");
+  }
+  cm->compile_ms = compile_watch.elapsed_ms();
+
+  if (cfg.enable_cache) {
+    FileSystemCache cache(cfg.cache_dir);
+    cache.store(cm->hash, tier_name(cfg.tier), cm->regcode);
+  }
+  return cm;
+}
+
+}  // namespace mpiwasm::rt

@@ -1,0 +1,71 @@
+// Compilation engine: turns Wasm binaries into executable CompiledModules.
+//
+// Four tiers; the three compiled ones reproduce the paper's
+// compiler-backend trade-off (Table 1):
+//   kInterp     — predecode + stack-machine execution (not in Table 1;
+//                 kept for differential testing and instant startup)
+//   kBaseline   — linear-time stack->register lowering, no optimization
+//                 (the Singlepass point of the trade-off curve)
+//   kLightOpt   — one cheap pass round: copy propagation, constant
+//                 folding, DCE (the Cranelift point)
+//   kOptimizing — fixpoint pass pipeline with compare/branch, immediate,
+//                 and mul-add fusion (the LLVM point: slowest compile,
+//                 fastest run)
+//
+// A FileSystemCache keyed by a SHA-256 module digest (paper §3.3 uses
+// BLAKE-3) lets repeated executions skip recompilation entirely.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "runtime/interp.h"
+#include "runtime/regcode.h"
+#include "support/sha256.h"
+#include "wasm/module.h"
+
+namespace mpiwasm::rt {
+
+enum class EngineTier : u8 {
+  kInterp = 0,
+  kBaseline = 1,
+  kLightOpt = 2,
+  kOptimizing = 3,
+};
+
+const char* tier_name(EngineTier tier);
+
+struct EngineConfig {
+  EngineTier tier = EngineTier::kOptimizing;
+  bool enable_cache = false;
+  std::string cache_dir;  // empty -> "<tmp>/mpiwasm-cache"
+};
+
+/// Raised when a module fails to decode or validate.
+class CompileError : public std::runtime_error {
+ public:
+  explicit CompileError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// An immutable compiled module, shareable across rank instances.
+struct CompiledModule {
+  wasm::Module module;
+  EngineTier tier = EngineTier::kOptimizing;
+  RModule regcode;              // kBaseline / kOptimizing
+  PreModule predecoded;         // kInterp
+  std::vector<u32> canon_type_ids;  // type index -> canonical sig id
+  std::vector<u32> func_canon;      // func index (combined) -> canonical sig id
+  Sha256Digest hash;
+  f64 compile_ms = 0;           // excludes decode/validate
+  f64 decode_ms = 0;
+  bool loaded_from_cache = false;
+};
+
+/// Compiles `bytes` under `cfg`. Throws CompileError on malformed or
+/// type-incorrect modules.
+std::shared_ptr<const CompiledModule> compile(std::span<const u8> bytes,
+                                              const EngineConfig& cfg);
+
+}  // namespace mpiwasm::rt

@@ -1,0 +1,17 @@
+// RegCode dispatch-loop executor shared by the Baseline and Optimizing
+// tiers (they differ only in the code they feed it).
+#pragma once
+
+#include "runtime/regcode.h"
+#include "runtime/value.h"
+
+namespace mpiwasm::rt {
+
+class Instance;
+
+/// Executes `f` with the register frame `regs` (num_regs slots; locals
+/// pre-initialized, params placed by the caller). On return, the function
+/// result (if any) is in regs[0].
+void exec_regcode(Instance& inst, const RFunc& f, Slot* regs);
+
+}  // namespace mpiwasm::rt

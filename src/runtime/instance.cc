@@ -1,0 +1,229 @@
+#include "runtime/instance.h"
+
+#include <cstring>
+
+#include "runtime/engine.h"
+#include "runtime/exec.h"
+#include "runtime/interp.h"
+
+namespace mpiwasm::rt {
+
+const char* trap_kind_name(TrapKind k) {
+  switch (k) {
+    case TrapKind::kUnreachable: return "unreachable";
+    case TrapKind::kMemoryOutOfBounds: return "out of bounds memory access";
+    case TrapKind::kIntegerDivByZero: return "integer divide by zero";
+    case TrapKind::kIntegerOverflow: return "integer overflow";
+    case TrapKind::kInvalidConversion: return "invalid conversion to integer";
+    case TrapKind::kIndirectCallTypeMismatch: return "indirect call type mismatch";
+    case TrapKind::kUndefinedTableElement: return "undefined table element";
+    case TrapKind::kCallStackExhausted: return "call stack exhausted";
+    case TrapKind::kHostError: return "host error";
+  }
+  return "unknown trap";
+}
+
+LinearMemory& HostContext::memory() { return inst_.memory(); }
+void* HostContext::user_data() { return inst_.user_data(); }
+
+void ImportTable::add(const std::string& module, const std::string& name,
+                      wasm::FuncType type, HostFn fn) {
+  entries_[{module, name}] = Entry{module, name, std::move(type), std::move(fn)};
+}
+
+const ImportTable::Entry* ImportTable::lookup(const std::string& module,
+                                              const std::string& name) const {
+  auto it = entries_.find({module, name});
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+Slot eval_const(const wasm::ConstExpr& e) {
+  Slot s;
+  switch (e.kind) {
+    case wasm::ConstExpr::Kind::kI32: s.u32v = u32(e.i); break;
+    case wasm::ConstExpr::Kind::kI64: s.u64v = u64(e.i); break;
+    case wasm::ConstExpr::Kind::kF32: s.f32v = f32(e.f); break;
+    case wasm::ConstExpr::Kind::kF64: s.f64v = e.f; break;
+    case wasm::ConstExpr::Kind::kGlobalGet:
+      throw LinkError("imported-global initializers are not supported");
+  }
+  return s;
+}
+
+constexpr size_t kArenaSlots = 1 << 17;  // 2 MiB of Slot frames per instance
+
+}  // namespace
+
+Instance::Instance(std::shared_ptr<const CompiledModule> cm,
+                   const ImportTable& imports, void* user_data)
+    : cm_(std::move(cm)), user_data_(user_data) {
+  const wasm::Module& m = cm_->module;
+
+  // Memory (at most one; imported memories unsupported).
+  if (!m.memories.empty()) {
+    const wasm::Limits& lim = m.memories[0];
+    memory_ = LinearMemory(lim.min, lim.has_max ? lim.max : 0);
+  }
+
+  // Globals (module-defined only).
+  globals_.resize(m.globals.size());
+  for (size_t i = 0; i < m.globals.size(); ++i)
+    globals_[i] = eval_const(m.globals[i].init);
+
+  // Table.
+  if (!m.tables.empty()) table_.assign(m.tables[0].min, UINT32_MAX);
+
+  // Import resolution: every function import must have a host definition
+  // with a matching signature (Wasmer-style link-time checking).
+  for (const auto& imp : m.imports) {
+    switch (imp.kind) {
+      case wasm::ExternKind::kFunc: {
+        const ImportTable::Entry* e = imports.lookup(imp.module, imp.name);
+        if (e == nullptr)
+          throw LinkError("unresolved import " + imp.module + "." + imp.name);
+        if (!(e->type == m.types.at(imp.type_index)))
+          throw LinkError("import signature mismatch for " + imp.module + "." +
+                          imp.name + ": module wants " +
+                          m.types.at(imp.type_index).to_string() +
+                          ", host provides " + e->type.to_string());
+        resolved_.push_back(e);
+        break;
+      }
+      default:
+        throw LinkError("non-function imports are not supported");
+    }
+  }
+
+  apply_segments();
+  arena_.resize(kArenaSlots);
+
+  if (m.start.has_value()) invoke_index(*m.start, {});
+}
+
+void Instance::apply_segments() {
+  const wasm::Module& m = cm_->module;
+  for (const auto& seg : m.datas) {
+    u32 off = eval_const(seg.offset).u32v;
+    memory_.check(off, seg.bytes.size());
+    std::memcpy(memory_.base() + off, seg.bytes.data(), seg.bytes.size());
+  }
+  for (const auto& seg : m.elems) {
+    u32 off = eval_const(seg.offset).u32v;
+    if (u64(off) + seg.func_indices.size() > table_.size())
+      throw LinkError("element segment out of table bounds");
+    for (size_t i = 0; i < seg.func_indices.size(); ++i)
+      table_[off + i] = seg.func_indices[i];
+  }
+}
+
+std::optional<u32> Instance::exported_func(const std::string& name) const {
+  const wasm::Export* e =
+      cm_->module.find_export(name, wasm::ExternKind::kFunc);
+  if (e == nullptr) return std::nullopt;
+  return e->index;
+}
+
+Slot* Instance::alloc_frame(u32 slots) {
+  if (arena_top_ + slots > arena_.size())
+    throw Trap(TrapKind::kCallStackExhausted, "frame arena exhausted");
+  Slot* p = arena_.data() + arena_top_;
+  arena_top_ += slots;
+  return p;
+}
+
+void Instance::release_frame(u32 slots) {
+  MW_CHECK(arena_top_ >= slots, "frame arena underflow");
+  arena_top_ -= slots;
+}
+
+void Instance::call_function(u32 fidx, Slot* base) {
+  const CompiledModule& cm = *cm_;
+  const u32 imported = cm.module.num_imported_funcs();
+
+  if (++depth_ > kMaxCallDepth) {
+    --depth_;
+    throw Trap(TrapKind::kCallStackExhausted,
+               "call depth exceeds " + std::to_string(kMaxCallDepth));
+  }
+
+  struct DepthGuard {
+    int& d;
+    ~DepthGuard() { --d; }
+  } depth_guard{depth_};
+
+  if (fidx < imported) {
+    HostContext ctx(*this);
+    resolved_[fidx]->fn(ctx, base, base);
+    return;
+  }
+
+  const u32 di = fidx - imported;
+  if (cm.tier == EngineTier::kInterp) {
+    const PreFunc& f = cm.predecoded.funcs[di];
+    const u32 frame_slots = f.num_locals + f.max_stack;
+    Slot* frame = alloc_frame(frame_slots);
+    struct FrameGuard {
+      Instance& inst;
+      u32 n;
+      ~FrameGuard() { inst.release_frame(n); }
+    } frame_guard{*this, frame_slots};
+    // Zero locals beyond params (spec: locals start zeroed), copy args.
+    std::memset(frame + f.num_params, 0,
+                (frame_slots - f.num_params) * sizeof(Slot));
+    if (f.num_params > 0) std::memcpy(frame, base, f.num_params * sizeof(Slot));
+    interp_exec(*this, f, frame);
+    if (f.has_result) base[0] = frame[0];
+    return;
+  }
+
+  const RFunc& f = cm.regcode.funcs[di];
+  Slot* frame = alloc_frame(f.num_regs);
+  struct FrameGuard {
+    Instance& inst;
+    u32 n;
+    ~FrameGuard() { inst.release_frame(n); }
+  } frame_guard{*this, f.num_regs};
+  std::memset(frame + f.num_params, 0,
+              (f.num_regs - f.num_params) * sizeof(Slot));
+  if (f.num_params > 0) std::memcpy(frame, base, f.num_params * sizeof(Slot));
+  exec_regcode(*this, f, frame);
+  if (f.has_result) base[0] = frame[0];
+}
+
+Value Instance::invoke_index(u32 func_index, std::span<const Value> args) {
+  const wasm::FuncType& ft = cm_->module.func_type(func_index);
+  MW_CHECK(args.size() == ft.params.size(), "invoke: arg count mismatch");
+
+  // Reserve a small argument window; call_function reads args in place and
+  // writes the result to slot 0.
+  const u32 window = u32(std::max<size_t>(args.size(), 1));
+  const size_t saved_top = arena_top_;
+  Slot* base = alloc_frame(window);
+  for (size_t i = 0; i < args.size(); ++i) base[i] = args[i].slot;
+  try {
+    call_function(func_index, base);
+  } catch (...) {
+    arena_top_ = saved_top;  // unwind any frames the trap skipped
+    depth_ = 0;
+    throw;
+  }
+  Value result;
+  if (!ft.results.empty()) {
+    result.type = ft.results[0];
+    result.slot = base[0];
+  }
+  release_frame(window);
+  return result;
+}
+
+Value Instance::invoke(const std::string& export_name,
+                       std::span<const Value> args) {
+  auto idx = exported_func(export_name);
+  if (!idx.has_value())
+    throw LinkError("no exported function named '" + export_name + "'");
+  return invoke_index(*idx, args);
+}
+
+}  // namespace mpiwasm::rt

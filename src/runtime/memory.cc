@@ -1,0 +1,69 @@
+#include "runtime/memory.h"
+
+#include <sys/mman.h>
+
+#include <algorithm>
+
+namespace mpiwasm::rt {
+
+namespace {
+// Virtual reservation ceiling for modules that declare no maximum. Virtual
+// space is free with MAP_NORESERVE; physical pages are committed only when
+// touched, so this does not inflate RSS with many rank instances.
+constexpr u32 kDefaultMaxPages = 16384;  // 1 GiB virtual per module
+}  // namespace
+
+LinearMemory::LinearMemory(u32 min_pages, u32 max_pages) {
+  pages_ = min_pages;
+  max_pages_ = max_pages == 0 ? std::max(min_pages, kDefaultMaxPages)
+                              : std::min(max_pages, wasm::kMaxPages);
+  max_pages_ = std::max(max_pages_, min_pages);
+  reserved_bytes_ = u64(max_pages_) * wasm::kPageSize;
+  void* p = ::mmap(nullptr, reserved_bytes_, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  if (p == MAP_FAILED) fatal("mmap failed reserving linear memory");
+  base_ = static_cast<u8*>(p);
+}
+
+LinearMemory::~LinearMemory() { release(); }
+
+void LinearMemory::release() {
+  if (base_ != nullptr) {
+    ::munmap(base_, reserved_bytes_);
+    base_ = nullptr;
+  }
+}
+
+LinearMemory::LinearMemory(LinearMemory&& o) noexcept
+    : base_(o.base_),
+      reserved_bytes_(o.reserved_bytes_),
+      pages_(o.pages_),
+      max_pages_(o.max_pages_) {
+  o.base_ = nullptr;
+  o.reserved_bytes_ = 0;
+  o.pages_ = 0;
+}
+
+LinearMemory& LinearMemory::operator=(LinearMemory&& o) noexcept {
+  if (this != &o) {
+    release();
+    base_ = o.base_;
+    reserved_bytes_ = o.reserved_bytes_;
+    pages_ = o.pages_;
+    max_pages_ = o.max_pages_;
+    o.base_ = nullptr;
+    o.reserved_bytes_ = 0;
+    o.pages_ = 0;
+  }
+  return *this;
+}
+
+i32 LinearMemory::grow(u32 delta_pages) {
+  u64 target = u64(pages_) + delta_pages;
+  if (target > max_pages_) return -1;
+  u32 prev = pages_;
+  pages_ = u32(target);
+  return i32(prev);
+}
+
+}  // namespace mpiwasm::rt

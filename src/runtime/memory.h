@@ -1,0 +1,85 @@
+// Linear memory: a module's 32-bit sandboxed address space.
+//
+// MPIWasm reserves a contiguous range of the embedder's 64-bit address
+// space for the module, records the base address at instantiation, and
+// translates 32-bit module pointers by adding the base (paper §3.5,
+// Figure 2). Like the paper (§2.2), we reserve the full range virtually and
+// let the kernel map physical pages lazily; `base()` is therefore stable
+// across memory.grow. Guest accesses are bounds-checked against the
+// *logical* size (pages_), so growth semantics are exact.
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <string>
+
+#include "runtime/value.h"
+#include "wasm/types.h"
+
+namespace mpiwasm::rt {
+
+class LinearMemory {
+ public:
+  LinearMemory() = default;
+  LinearMemory(u32 min_pages, u32 max_pages);
+  ~LinearMemory();
+  LinearMemory(const LinearMemory&) = delete;
+  LinearMemory& operator=(const LinearMemory&) = delete;
+  LinearMemory(LinearMemory&& o) noexcept;
+  LinearMemory& operator=(LinearMemory&& o) noexcept;
+
+  /// Host address of module offset 0 (the "base address" of paper Fig. 2).
+  u8* base() { return base_; }
+  const u8* base() const { return base_; }
+
+  u64 byte_size() const { return u64(pages_) * wasm::kPageSize; }
+  u32 pages() const { return pages_; }
+  u32 max_pages() const { return max_pages_; }
+
+  /// memory.grow semantics: returns previous page count, or -1 on failure.
+  i32 grow(u32 delta_pages);
+
+  /// Bounds check used by every guest memory access and by the embedder's
+  /// address translation; traps on out-of-bounds (never UB).
+  void check(u64 addr, u64 len) const {
+    if (addr + len > byte_size()) {
+      throw Trap(TrapKind::kMemoryOutOfBounds,
+                 "access at " + std::to_string(addr) + "+" +
+                     std::to_string(len) + " exceeds memory size " +
+                     std::to_string(byte_size()));
+    }
+  }
+
+  /// Checked span over guest memory [ptr, ptr+len).
+  std::span<u8> span(u32 ptr, u64 len) {
+    check(ptr, len);
+    return {base_ + ptr, size_t(len)};
+  }
+  std::span<const u8> span(u32 ptr, u64 len) const {
+    check(ptr, len);
+    return {base_ + ptr, size_t(len)};
+  }
+
+  template <typename T>
+  T load(u64 addr) const {
+    check(addr, sizeof(T));
+    T v;
+    std::memcpy(&v, base_ + addr, sizeof(T));
+    return v;
+  }
+  template <typename T>
+  void store(u64 addr, T v) {
+    check(addr, sizeof(T));
+    std::memcpy(base_ + addr, &v, sizeof(T));
+  }
+
+ private:
+  void release();
+
+  u8* base_ = nullptr;
+  u64 reserved_bytes_ = 0;
+  u32 pages_ = 0;
+  u32 max_pages_ = 0;
+};
+
+}  // namespace mpiwasm::rt

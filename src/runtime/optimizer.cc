@@ -1,0 +1,601 @@
+#include "runtime/optimizer.h"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/arith.h"
+
+namespace mpiwasm::rt {
+namespace {
+
+bool is_branch(ROp op) {
+  switch (op) {
+    case ROp::kBr: case ROp::kBrIf: case ROp::kBrIfNot: case ROp::kBrTable:
+    case ROp::kBrIfI32Eq: case ROp::kBrIfI32Ne: case ROp::kBrIfI32LtS:
+    case ROp::kBrIfI32LtU: case ROp::kBrIfI32GtS: case ROp::kBrIfI32GtU:
+    case ROp::kBrIfI32LeS: case ROp::kBrIfI32LeU: case ROp::kBrIfI32GeS:
+    case ROp::kBrIfI32GeU:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_terminator(ROp op) {
+  return op == ROp::kBr || op == ROp::kBrTable || op == ROp::kReturn ||
+         op == ROp::kReturnVoid || op == ROp::kUnreachable;
+}
+
+/// Register reads of an instruction (calls handled by callers).
+void collect_reads(const RInstr& in, std::vector<u32>& out) {
+  out.clear();
+  switch (in.op) {
+    case ROp::kNop: case ROp::kConst: case ROp::kConstV128:
+    case ROp::kGlobalGet: case ROp::kBr: case ROp::kReturnVoid:
+    case ROp::kUnreachable: case ROp::kMemorySize:
+      break;
+    case ROp::kMov:
+      out.push_back(in.b);
+      break;
+    case ROp::kSelect:
+      out.push_back(in.a); out.push_back(in.b); out.push_back(in.c);
+      break;
+    case ROp::kGlobalSet: case ROp::kBrIf: case ROp::kBrIfNot:
+    case ROp::kBrTable: case ROp::kReturn: case ROp::kMemoryGrow:
+      out.push_back(in.a);
+      break;
+    case ROp::kMemoryCopy: case ROp::kMemoryFill:
+      out.push_back(in.a); out.push_back(in.b); out.push_back(in.c);
+      break;
+    case ROp::kCall:
+      for (u32 i = 0; i < in.b; ++i) out.push_back(in.a + i);
+      break;
+    case ROp::kCallIndirect:
+      for (u32 i = 0; i < in.b + 1; ++i) out.push_back(in.a + i);
+      break;
+    case ROp::kBrIfI32Eq: case ROp::kBrIfI32Ne: case ROp::kBrIfI32LtS:
+    case ROp::kBrIfI32LtU: case ROp::kBrIfI32GtS: case ROp::kBrIfI32GtU:
+    case ROp::kBrIfI32LeS: case ROp::kBrIfI32LeU: case ROp::kBrIfI32GeS:
+    case ROp::kBrIfI32GeU:
+      out.push_back(in.a); out.push_back(in.b);
+      break;
+    case ROp::kF64MulAdd:
+      out.push_back(in.b); out.push_back(in.c); out.push_back(in.d);
+      break;
+    case ROp::kI32AddImm: case ROp::kI64AddImm: case ROp::kI32ShlImm:
+    case ROp::kI32ShrUImm: case ROp::kI32AndImm: case ROp::kI32MulImm:
+      out.push_back(in.b);
+      break;
+    // Loads read the address in b.
+    case ROp::kI32Load: case ROp::kI64Load: case ROp::kF32Load:
+    case ROp::kF64Load: case ROp::kI32Load8S: case ROp::kI32Load8U:
+    case ROp::kI32Load16S: case ROp::kI32Load16U: case ROp::kI64Load8S:
+    case ROp::kI64Load8U: case ROp::kI64Load16S: case ROp::kI64Load16U:
+    case ROp::kI64Load32S: case ROp::kI64Load32U: case ROp::kV128Load:
+      out.push_back(in.b);
+      break;
+    // Stores read address (a) and value (b).
+    case ROp::kI32Store: case ROp::kI64Store: case ROp::kF32Store:
+    case ROp::kF64Store: case ROp::kI32Store8: case ROp::kI32Store16:
+    case ROp::kI64Store8: case ROp::kI64Store16: case ROp::kI64Store32:
+    case ROp::kV128Store:
+      out.push_back(in.a); out.push_back(in.b);
+      break;
+    default:
+      // Numeric ops: unops read b; binops read b and c. We conservatively
+      // report both; b==c for unops is harmless.
+      out.push_back(in.b);
+      out.push_back(in.c);
+      break;
+  }
+}
+
+bool writes_dest(const RInstr& in) {
+  switch (in.op) {
+    case ROp::kNop: case ROp::kGlobalSet: case ROp::kBr: case ROp::kBrIf:
+    case ROp::kBrIfNot: case ROp::kBrTable: case ROp::kReturn:
+    case ROp::kReturnVoid: case ROp::kUnreachable: case ROp::kMemoryCopy:
+    case ROp::kMemoryFill:
+    case ROp::kI32Store: case ROp::kI64Store: case ROp::kF32Store:
+    case ROp::kF64Store: case ROp::kI32Store8: case ROp::kI32Store16:
+    case ROp::kI64Store8: case ROp::kI64Store16: case ROp::kI64Store32:
+    case ROp::kV128Store:
+    case ROp::kBrIfI32Eq: case ROp::kBrIfI32Ne: case ROp::kBrIfI32LtS:
+    case ROp::kBrIfI32LtU: case ROp::kBrIfI32GtS: case ROp::kBrIfI32GtU:
+    case ROp::kBrIfI32LeS: case ROp::kBrIfI32LeU: case ROp::kBrIfI32GeS:
+    case ROp::kBrIfI32GeU:
+      return false;
+    default:
+      return true;
+  }
+}
+
+/// Instructions that may be removed when their destination is dead: no
+/// traps, no control flow, no stores/calls/global writes.
+bool is_pure(ROp op) {
+  switch (op) {
+    case ROp::kMov: case ROp::kConst: case ROp::kConstV128: case ROp::kSelect:
+    case ROp::kGlobalGet:
+    case ROp::kI32Eqz: case ROp::kI32Eq: case ROp::kI32Ne: case ROp::kI32LtS:
+    case ROp::kI32LtU: case ROp::kI32GtS: case ROp::kI32GtU: case ROp::kI32LeS:
+    case ROp::kI32LeU: case ROp::kI32GeS: case ROp::kI32GeU:
+    case ROp::kI64Eqz: case ROp::kI64Eq: case ROp::kI64Ne: case ROp::kI64LtS:
+    case ROp::kI64LtU: case ROp::kI64GtS: case ROp::kI64GtU: case ROp::kI64LeS:
+    case ROp::kI64LeU: case ROp::kI64GeS: case ROp::kI64GeU:
+    case ROp::kF32Eq: case ROp::kF32Ne: case ROp::kF32Lt: case ROp::kF32Gt:
+    case ROp::kF32Le: case ROp::kF32Ge:
+    case ROp::kF64Eq: case ROp::kF64Ne: case ROp::kF64Lt: case ROp::kF64Gt:
+    case ROp::kF64Le: case ROp::kF64Ge:
+    case ROp::kI32Clz: case ROp::kI32Ctz: case ROp::kI32Popcnt:
+    case ROp::kI32Add: case ROp::kI32Sub: case ROp::kI32Mul:
+    case ROp::kI32And: case ROp::kI32Or: case ROp::kI32Xor: case ROp::kI32Shl:
+    case ROp::kI32ShrS: case ROp::kI32ShrU: case ROp::kI32Rotl: case ROp::kI32Rotr:
+    case ROp::kI64Clz: case ROp::kI64Ctz: case ROp::kI64Popcnt:
+    case ROp::kI64Add: case ROp::kI64Sub: case ROp::kI64Mul:
+    case ROp::kI64And: case ROp::kI64Or: case ROp::kI64Xor: case ROp::kI64Shl:
+    case ROp::kI64ShrS: case ROp::kI64ShrU: case ROp::kI64Rotl: case ROp::kI64Rotr:
+    case ROp::kF32Abs: case ROp::kF32Neg: case ROp::kF32Ceil: case ROp::kF32Floor:
+    case ROp::kF32Trunc: case ROp::kF32Nearest: case ROp::kF32Sqrt:
+    case ROp::kF32Add: case ROp::kF32Sub: case ROp::kF32Mul: case ROp::kF32Div:
+    case ROp::kF32Min: case ROp::kF32Max: case ROp::kF32Copysign:
+    case ROp::kF64Abs: case ROp::kF64Neg: case ROp::kF64Ceil: case ROp::kF64Floor:
+    case ROp::kF64Trunc: case ROp::kF64Nearest: case ROp::kF64Sqrt:
+    case ROp::kF64Add: case ROp::kF64Sub: case ROp::kF64Mul: case ROp::kF64Div:
+    case ROp::kF64Min: case ROp::kF64Max: case ROp::kF64Copysign:
+    case ROp::kI32WrapI64: case ROp::kI64ExtendI32S: case ROp::kI64ExtendI32U:
+    case ROp::kF32ConvertI32S: case ROp::kF32ConvertI32U:
+    case ROp::kF32ConvertI64S: case ROp::kF32ConvertI64U: case ROp::kF32DemoteF64:
+    case ROp::kF64ConvertI32S: case ROp::kF64ConvertI32U:
+    case ROp::kF64ConvertI64S: case ROp::kF64ConvertI64U: case ROp::kF64PromoteF32:
+    case ROp::kI32ReinterpretF32: case ROp::kI64ReinterpretF64:
+    case ROp::kF32ReinterpretI32: case ROp::kF64ReinterpretI64:
+    case ROp::kI32Extend8S: case ROp::kI32Extend16S: case ROp::kI64Extend8S:
+    case ROp::kI64Extend16S: case ROp::kI64Extend32S:
+    case ROp::kI8x16Splat: case ROp::kI32x4Splat: case ROp::kI64x2Splat:
+    case ROp::kF32x4Splat: case ROp::kF64x2Splat:
+    case ROp::kI32x4ExtractLane: case ROp::kI64x2ExtractLane:
+    case ROp::kF32x4ExtractLane: case ROp::kF64x2ExtractLane:
+    case ROp::kI8x16Eq: case ROp::kV128Not: case ROp::kV128And:
+    case ROp::kV128Or: case ROp::kV128Xor: case ROp::kV128AnyTrue:
+    case ROp::kI32x4Add: case ROp::kI32x4Sub: case ROp::kI32x4Mul:
+    case ROp::kI64x2Add: case ROp::kI64x2Sub:
+    case ROp::kF32x4Add: case ROp::kF32x4Sub: case ROp::kF32x4Mul:
+    case ROp::kF32x4Div:
+    case ROp::kF64x2Add: case ROp::kF64x2Sub: case ROp::kF64x2Mul:
+    case ROp::kF64x2Div:
+    case ROp::kI32AddImm: case ROp::kI64AddImm: case ROp::kI32ShlImm:
+    case ROp::kI32ShrUImm: case ROp::kI32AndImm: case ROp::kI32MulImm:
+    case ROp::kF64MulAdd:
+      return true;
+    default:
+      return false;  // div/rem/trunc trap; loads trap; calls/stores effect
+  }
+}
+
+struct Cfg {
+  std::vector<size_t> leaders;               // sorted block start indices
+  std::vector<size_t> block_of;              // instr -> block id
+  std::vector<std::vector<u32>> successors;  // block id -> block ids
+
+  size_t block_start(size_t b) const { return leaders[b]; }
+  size_t block_end(size_t b, size_t n) const {
+    return b + 1 < leaders.size() ? leaders[b + 1] : n;
+  }
+};
+
+std::vector<u32> branch_targets(const RFunc& f, const RInstr& in) {
+  std::vector<u32> out;
+  if (in.op == ROp::kBrTable) {
+    for (u32 t : f.br_pool[in.imm]) out.push_back(t);
+  } else if (is_branch(in.op)) {
+    out.push_back(u32(in.imm));
+  }
+  return out;
+}
+
+Cfg build_cfg(const RFunc& f) {
+  const size_t n = f.code.size();
+  std::vector<bool> leader(n + 1, false);
+  leader[0] = true;
+  for (size_t i = 0; i < n; ++i) {
+    const RInstr& in = f.code[i];
+    if (is_branch(in.op) || is_terminator(in.op)) {
+      for (u32 t : branch_targets(f, in)) {
+        MW_CHECK(t <= n, "branch target out of range");
+        if (t < n) leader[t] = true;
+      }
+      if (i + 1 < n) leader[i + 1] = true;
+    }
+  }
+  Cfg cfg;
+  cfg.block_of.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (leader[i]) cfg.leaders.push_back(i);
+    cfg.block_of[i] = cfg.leaders.size() - 1;
+  }
+  cfg.successors.resize(cfg.leaders.size());
+  for (size_t b = 0; b < cfg.leaders.size(); ++b) {
+    size_t last = cfg.block_end(b, n) - 1;
+    const RInstr& in = f.code[last];
+    if (is_terminator(in.op)) {
+      for (u32 t : branch_targets(f, in))
+        if (t < n) cfg.successors[b].push_back(u32(cfg.block_of[t]));
+    } else {
+      if (is_branch(in.op))
+        for (u32 t : branch_targets(f, in))
+          if (t < n) cfg.successors[b].push_back(u32(cfg.block_of[t]));
+      if (last + 1 < n) cfg.successors[b].push_back(u32(cfg.block_of[last + 1]));
+    }
+  }
+  return cfg;
+}
+
+// ---- Pass 1+2: block-local copy propagation & constant folding -----------
+
+std::optional<u64> fold_binop(ROp op, u64 x, u64 y) {
+  using namespace arith;
+  auto xi32 = i32(u32(x)); auto yi32 = i32(u32(y));
+  auto xu32 = u32(x); auto yu32 = u32(y);
+  auto xi64 = i64(x); auto yi64 = i64(y);
+  switch (op) {
+    case ROp::kI32Add: return u64(u32(xi32 + yi32));
+    case ROp::kI32Sub: return u64(u32(xi32 - yi32));
+    case ROp::kI32Mul: return u64(u32(xi32 * yi32));
+    case ROp::kI32And: return u64(xu32 & yu32);
+    case ROp::kI32Or: return u64(xu32 | yu32);
+    case ROp::kI32Xor: return u64(xu32 ^ yu32);
+    case ROp::kI32Shl: return u64(i32_shl(xu32, yu32));
+    case ROp::kI32ShrS: return u64(u32(i32_shr_s(xi32, yu32)));
+    case ROp::kI32ShrU: return u64(i32_shr_u(xu32, yu32));
+    case ROp::kI32Eq: return u64(xi32 == yi32);
+    case ROp::kI32Ne: return u64(xi32 != yi32);
+    case ROp::kI32LtS: return u64(xi32 < yi32);
+    case ROp::kI32LtU: return u64(xu32 < yu32);
+    case ROp::kI32GtS: return u64(xi32 > yi32);
+    case ROp::kI32GtU: return u64(xu32 > yu32);
+    case ROp::kI32LeS: return u64(xi32 <= yi32);
+    case ROp::kI32LeU: return u64(xu32 <= yu32);
+    case ROp::kI32GeS: return u64(xi32 >= yi32);
+    case ROp::kI32GeU: return u64(xu32 >= yu32);
+    case ROp::kI64Add: return u64(xi64 + yi64);
+    case ROp::kI64Sub: return u64(xi64 - yi64);
+    case ROp::kI64Mul: return u64(xi64 * yi64);
+    case ROp::kI64And: return x & y;
+    case ROp::kI64Or: return x | y;
+    case ROp::kI64Xor: return x ^ y;
+    case ROp::kI64Shl: return i64_shl(x, y);
+    default: return std::nullopt;
+  }
+}
+
+struct ImmFusion {
+  ROp fused;
+  bool commutative;
+};
+
+std::optional<ImmFusion> imm_fusable(ROp op) {
+  switch (op) {
+    case ROp::kI32Add: return ImmFusion{ROp::kI32AddImm, true};
+    case ROp::kI64Add: return ImmFusion{ROp::kI64AddImm, true};
+    case ROp::kI32Shl: return ImmFusion{ROp::kI32ShlImm, false};
+    case ROp::kI32ShrU: return ImmFusion{ROp::kI32ShrUImm, false};
+    case ROp::kI32And: return ImmFusion{ROp::kI32AndImm, true};
+    case ROp::kI32Mul: return ImmFusion{ROp::kI32MulImm, true};
+    default: return std::nullopt;
+  }
+}
+
+u32 local_forward_pass(RFunc& f, const Cfg& cfg) {
+  u32 changes = 0;
+  std::vector<u32> reads;
+  const size_t n = f.code.size();
+  for (size_t b = 0; b < cfg.leaders.size(); ++b) {
+    std::unordered_map<u32, u32> copy_of;   // reg -> original reg
+    std::unordered_map<u32, u64> const_of;  // reg -> constant bits
+    auto resolve = [&](u32 r) {
+      auto it = copy_of.find(r);
+      return it == copy_of.end() ? r : it->second;
+    };
+    auto kill = [&](u32 r) {
+      copy_of.erase(r);
+      const_of.erase(r);
+      for (auto it = copy_of.begin(); it != copy_of.end();) {
+        if (it->second == r) it = copy_of.erase(it);
+        else ++it;
+      }
+    };
+    for (size_t i = cfg.block_start(b); i < cfg.block_end(b, n); ++i) {
+      RInstr& in = f.code[i];
+      // Copy propagation on register operands.
+      switch (in.op) {
+        case ROp::kMov: {
+          u32 src = resolve(in.b);
+          if (src != in.b) { in.b = src; ++changes; }
+          break;
+        }
+        case ROp::kCall: case ROp::kCallIndirect:
+          break;  // contiguous arg window: cannot rewrite operands
+        case ROp::kSelect:
+          // a is both source and dest; only b/c are rewritable.
+          if (resolve(in.b) != in.b) { in.b = resolve(in.b); ++changes; }
+          if (resolve(in.c) != in.c) { in.c = resolve(in.c); ++changes; }
+          break;
+        default: {
+          collect_reads(in, reads);
+          bool dest_written = writes_dest(in);
+          for (u32 r : reads) {
+            u32 rr = resolve(r);
+            if (rr == r) continue;
+            // Rewrite matching operand fields (careful: dest alias in.a).
+            if (!dest_written && in.a == r) { in.a = rr; ++changes; }
+            if (in.op == ROp::kF64MulAdd) {
+              if (in.b == r) { in.b = rr; ++changes; }
+              if (in.c == r) { in.c = rr; ++changes; }
+              if (in.d == r) { in.d = rr; ++changes; }
+            } else {
+              if (in.b == r) { in.b = rr; ++changes; }
+              if (writes_dest(in) && in.c == r &&
+                  in.op != ROp::kMov) { in.c = rr; ++changes; }
+              if (!writes_dest(in) && in.c == r) { in.c = rr; ++changes; }
+            }
+          }
+          break;
+        }
+      }
+      // Constant folding.
+      if (writes_dest(in)) {
+        bool b_const = const_of.count(in.b) != 0;
+        bool c_const = const_of.count(in.c) != 0;
+        if (in.op != ROp::kMov && in.op != ROp::kConst &&
+            in.op != ROp::kConstV128 && in.op != ROp::kSelect &&
+            in.op != ROp::kCall && in.op != ROp::kCallIndirect) {
+          if (b_const && c_const) {
+            if (auto v = fold_binop(in.op, const_of[in.b], const_of[in.c])) {
+              in = RInstr{ROp::kConst, in.a, 0, 0, 0, *v};
+              ++changes;
+            }
+          } else if (c_const) {
+            if (auto fu = imm_fusable(in.op)) {
+              in = RInstr{fu->fused, in.a, in.b, 0, 0, const_of[in.c]};
+              ++changes;
+            }
+          } else if (b_const) {
+            if (auto fu = imm_fusable(in.op); fu && fu->commutative) {
+              in = RInstr{fu->fused, in.a, in.c, 0, 0, const_of[in.b]};
+              ++changes;
+            }
+          }
+        }
+        if (in.op == ROp::kMov && const_of.count(in.b)) {
+          in = RInstr{ROp::kConst, in.a, 0, 0, 0, const_of[in.b]};
+          ++changes;
+        }
+      }
+      // Update maps.
+      if (writes_dest(in)) {
+        kill(in.a);
+        if (in.op == ROp::kConst) const_of[in.a] = in.imm;
+        else if (in.op == ROp::kMov && in.a != in.b) copy_of[in.a] = resolve(in.b);
+      }
+      if (in.op == ROp::kMemoryGrow) kill(in.a);
+    }
+  }
+  return changes;
+}
+
+// ---- Pass 3: peephole fusion ----------------------------------------------
+
+std::optional<ROp> fused_brif(ROp cmp, bool negate) {
+  switch (cmp) {
+    case ROp::kI32Eq: return negate ? ROp::kBrIfI32Ne : ROp::kBrIfI32Eq;
+    case ROp::kI32Ne: return negate ? ROp::kBrIfI32Eq : ROp::kBrIfI32Ne;
+    case ROp::kI32LtS: return negate ? ROp::kBrIfI32GeS : ROp::kBrIfI32LtS;
+    case ROp::kI32LtU: return negate ? ROp::kBrIfI32GeU : ROp::kBrIfI32LtU;
+    case ROp::kI32GtS: return negate ? ROp::kBrIfI32LeS : ROp::kBrIfI32GtS;
+    case ROp::kI32GtU: return negate ? ROp::kBrIfI32LeU : ROp::kBrIfI32GtU;
+    case ROp::kI32LeS: return negate ? ROp::kBrIfI32GtS : ROp::kBrIfI32LeS;
+    case ROp::kI32LeU: return negate ? ROp::kBrIfI32GtU : ROp::kBrIfI32LeU;
+    case ROp::kI32GeS: return negate ? ROp::kBrIfI32LtS : ROp::kBrIfI32GeS;
+    case ROp::kI32GeU: return negate ? ROp::kBrIfI32LtU : ROp::kBrIfI32GeU;
+    default: return std::nullopt;
+  }
+}
+
+// ---- Liveness ---------------------------------------------------------------
+
+/// Per-instruction live-out sets (reg live immediately after the instruction
+/// executes, considering all CFG paths). O(n_instr * n_regs) memory, which is
+/// fine at RegCode function sizes.
+struct Liveness {
+  std::vector<std::vector<bool>> out;  // [instr][reg]
+  bool live_after(size_t i, u32 reg) const { return out[i][reg]; }
+};
+
+Liveness compute_liveness(const RFunc& f, const Cfg& cfg) {
+  const size_t n = f.code.size();
+  const size_t nb = cfg.leaders.size();
+  const u32 nregs = f.num_regs;
+  std::vector<std::vector<bool>> live_in(nb, std::vector<bool>(nregs, false));
+  std::vector<std::vector<bool>> block_out(nb, std::vector<bool>(nregs, false));
+  std::vector<u32> reads;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t b = nb; b-- > 0;) {
+      std::vector<bool> out(nregs, false);
+      for (u32 s : cfg.successors[b])
+        for (u32 r = 0; r < nregs; ++r)
+          if (live_in[s][r]) out[r] = true;
+      std::vector<bool> in = out;
+      for (size_t i = cfg.block_end(b, n); i-- > cfg.block_start(b);) {
+        const RInstr& instr = f.code[i];
+        if (writes_dest(instr)) in[instr.a] = false;
+        collect_reads(instr, reads);
+        for (u32 r : reads) in[r] = true;
+      }
+      if (in != live_in[b]) { live_in[b] = in; changed = true; }
+      block_out[b] = out;
+    }
+  }
+
+  Liveness lv;
+  lv.out.assign(n, {});
+  for (size_t b = 0; b < nb; ++b) {
+    std::vector<bool> live = block_out[b];
+    for (size_t i = cfg.block_end(b, n); i-- > cfg.block_start(b);) {
+      const RInstr& instr = f.code[i];
+      lv.out[i] = live;
+      if (writes_dest(instr)) live[instr.a] = false;
+      collect_reads(instr, reads);
+      for (u32 r : reads) live[r] = true;
+    }
+  }
+  return lv;
+}
+
+// ---- Pass 3: peephole fusion ----------------------------------------------
+
+u32 peephole_pass(RFunc& f, const Cfg& cfg, const Liveness& lv) {
+  u32 changes = 0;
+  const size_t n = f.code.size();
+  for (size_t b = 0; b < cfg.leaders.size(); ++b) {
+    for (size_t i = cfg.block_start(b); i + 1 < cfg.block_end(b, n); ++i) {
+      RInstr& a = f.code[i];
+      RInstr& next = f.code[i + 1];
+      // cmp t <- x, y ; br_if t  -->  br_if_cmp x, y   (t dead after br_if)
+      if ((next.op == ROp::kBrIf || next.op == ROp::kBrIfNot) &&
+          next.a == a.a && writes_dest(a) && !lv.live_after(i + 1, a.a)) {
+        if (auto fop = fused_brif(a.op, next.op == ROp::kBrIfNot)) {
+          next = RInstr{*fop, a.b, a.c, 0, 0, next.imm};
+          a = RInstr{ROp::kNop};
+          ++changes;
+          continue;
+        }
+        // eqz t <- x ; br_if t  -->  br_if_not x  (and the inverse)
+        if (a.op == ROp::kI32Eqz) {
+          next.op = next.op == ROp::kBrIf ? ROp::kBrIfNot : ROp::kBrIf;
+          next.a = a.b;
+          a = RInstr{ROp::kNop};
+          ++changes;
+          continue;
+        }
+      }
+      // f64.mul t <- x, y ; f64.add d <- t, z  -->  fma d <- x, y, z
+      // Legal when the mul's value dies at the add: either the add
+      // overwrites t, or t is not live past the add.
+      if (a.op == ROp::kF64Mul && next.op == ROp::kF64Add &&
+          (next.a == a.a || !lv.live_after(i + 1, a.a))) {
+        u32 t = a.a;
+        if (next.b == t && next.c != t) {
+          next = RInstr{ROp::kF64MulAdd, next.a, a.b, a.c, next.c, 0};
+          a = RInstr{ROp::kNop};
+          ++changes;
+        } else if (next.c == t && next.b != t) {
+          next = RInstr{ROp::kF64MulAdd, next.a, a.b, a.c, next.b, 0};
+          a = RInstr{ROp::kNop};
+          ++changes;
+        }
+      }
+    }
+  }
+  return changes;
+}
+
+// ---- Pass 4: DCE ------------------------------------------------------------
+
+u32 dce_pass(RFunc& f, const Liveness& lv) {
+  u32 changes = 0;
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    RInstr& in = f.code[i];
+    if (in.op == ROp::kNop) continue;
+    if (is_pure(in.op) && writes_dest(in) && !lv.live_after(i, in.a)) {
+      in = RInstr{ROp::kNop};
+      ++changes;
+    }
+    if (in.op == ROp::kMov && in.a == in.b) {
+      in = RInstr{ROp::kNop};
+      ++changes;
+    }
+  }
+  return changes;
+}
+
+// ---- Pass 5: branch threading + compaction --------------------------------
+
+void thread_branches(RFunc& f) {
+  auto final_target = [&](u32 t) {
+    u32 seen = 0;
+    while (t < f.code.size() && f.code[t].op == ROp::kBr && seen < 8) {
+      t = u32(f.code[t].imm);
+      ++seen;
+    }
+    return t;
+  };
+  for (auto& in : f.code) {
+    if (is_branch(in.op) && in.op != ROp::kBrTable)
+      in.imm = final_target(u32(in.imm));
+  }
+  for (auto& pool : f.br_pool)
+    for (u32& t : pool) t = final_target(t);
+}
+
+void compact(RFunc& f) {
+  const size_t n = f.code.size();
+  std::vector<u32> remap(n + 1, 0);
+  u32 next = 0;
+  for (size_t i = 0; i < n; ++i) {
+    remap[i] = next;
+    if (f.code[i].op != ROp::kNop) ++next;
+  }
+  remap[n] = next;
+  std::vector<RInstr> out;
+  out.reserve(next);
+  for (const auto& in : f.code)
+    if (in.op != ROp::kNop) out.push_back(in);
+  for (auto& in : out) {
+    if (is_branch(in.op) && in.op != ROp::kBrTable) in.imm = remap[in.imm];
+  }
+  for (auto& pool : f.br_pool)
+    for (u32& t : pool) t = remap[t];
+  f.code = std::move(out);
+}
+
+}  // namespace
+
+OptStats optimize_function(RFunc& f, const OptOptions& opts) {
+  OptStats stats;
+  stats.instrs_before = f.code.size();
+  for (u32 round = 0; round < opts.max_rounds; ++round) {
+    ++stats.rounds;
+    Cfg cfg = build_cfg(f);
+    u32 changes = local_forward_pass(f, cfg);
+    Liveness live = compute_liveness(f, cfg);
+    if (opts.fuse) {
+      changes += peephole_pass(f, cfg, live);
+      // Peephole invalidates liveness; recompute before DCE.
+      live = compute_liveness(f, cfg);
+    }
+    changes += dce_pass(f, live);
+    thread_branches(f);
+    compact(f);
+    if (changes == 0) break;
+  }
+  stats.instrs_after = f.code.size();
+  return stats;
+}
+
+OptStats optimize_module(RModule& m, const OptOptions& opts) {
+  OptStats total;
+  for (auto& f : m.funcs) {
+    OptStats s = optimize_function(f, opts);
+    total.instrs_before += s.instrs_before;
+    total.instrs_after += s.instrs_after;
+    total.rounds = std::max(total.rounds, s.rounds);
+  }
+  return total;
+}
+
+}  // namespace mpiwasm::rt

@@ -1,0 +1,66 @@
+#include "runtime/regcode.h"
+
+#include <sstream>
+
+namespace mpiwasm::rt {
+
+const char* rop_name(ROp op) {
+  switch (op) {
+    case ROp::kNop: return "nop";
+    case ROp::kMov: return "mov";
+    case ROp::kConst: return "const";
+    case ROp::kConstV128: return "const.v128";
+    case ROp::kSelect: return "select";
+    case ROp::kGlobalGet: return "global.get";
+    case ROp::kGlobalSet: return "global.set";
+    case ROp::kBr: return "br";
+    case ROp::kBrIf: return "br_if";
+    case ROp::kBrIfNot: return "br_if_not";
+    case ROp::kBrTable: return "br_table";
+    case ROp::kReturn: return "return";
+    case ROp::kReturnVoid: return "return.void";
+    case ROp::kCall: return "call";
+    case ROp::kCallIndirect: return "call_indirect";
+    case ROp::kUnreachable: return "unreachable";
+    case ROp::kMemorySize: return "memory.size";
+    case ROp::kMemoryGrow: return "memory.grow";
+    case ROp::kMemoryCopy: return "memory.copy";
+    case ROp::kMemoryFill: return "memory.fill";
+    case ROp::kI32AddImm: return "i32.add_imm";
+    case ROp::kI64AddImm: return "i64.add_imm";
+    case ROp::kI32ShlImm: return "i32.shl_imm";
+    case ROp::kI32ShrUImm: return "i32.shr_u_imm";
+    case ROp::kI32AndImm: return "i32.and_imm";
+    case ROp::kI32MulImm: return "i32.mul_imm";
+    case ROp::kBrIfI32Eq: return "br_if.i32.eq";
+    case ROp::kBrIfI32Ne: return "br_if.i32.ne";
+    case ROp::kBrIfI32LtS: return "br_if.i32.lt_s";
+    case ROp::kBrIfI32LtU: return "br_if.i32.lt_u";
+    case ROp::kBrIfI32GtS: return "br_if.i32.gt_s";
+    case ROp::kBrIfI32GtU: return "br_if.i32.gt_u";
+    case ROp::kBrIfI32LeS: return "br_if.i32.le_s";
+    case ROp::kBrIfI32LeU: return "br_if.i32.le_u";
+    case ROp::kBrIfI32GeS: return "br_if.i32.ge_s";
+    case ROp::kBrIfI32GeU: return "br_if.i32.ge_u";
+    case ROp::kF64MulAdd: return "f64.mul_add";
+    default: return nullptr;
+  }
+}
+
+std::string RFunc::to_string() const {
+  std::ostringstream os;
+  os << "func params=" << num_params << " locals=" << num_locals
+     << " regs=" << num_regs << " result=" << (has_result ? 1 : 0) << "\n";
+  for (size_t i = 0; i < code.size(); ++i) {
+    const RInstr& in = code[i];
+    os << "  [" << i << "] ";
+    if (const char* n = rop_name(in.op)) os << n;
+    else os << "rop#" << u16(in.op);
+    os << " a=" << in.a << " b=" << in.b << " c=" << in.c;
+    if (in.d != 0) os << " d=" << in.d;
+    os << " imm=" << i64(in.imm) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mpiwasm::rt

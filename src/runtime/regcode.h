@@ -1,0 +1,129 @@
+// RegCode: the register-transfer IR both compiled tiers execute.
+//
+// Wasm's operand stack is statically typed, so a stack slot at height h can
+// be assigned the fixed virtual register (num_locals + h). The Baseline
+// tier emits this mapping in a single linear pass (the Singlepass analogue
+// of paper Table 1); the Optimizing tier then runs real passes over it
+// (the Cranelift/LLVM analogue). See DESIGN.md §5.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/common.h"
+#include "wasm/opcodes.h"
+#include "wasm/types.h"
+
+namespace mpiwasm::rt {
+
+enum class ROp : u16 {
+  kNop = 0,
+  kMov,          // r[a] = r[b]
+  kConst,        // r[a] = imm (raw 64-bit pattern)
+  kConstV128,    // r[a] = v128_pool[imm]
+  kSelect,       // r[a] = (r[c].i32 != 0) ? r[a] : r[b]
+  kGlobalGet,    // r[a] = globals[imm]
+  kGlobalSet,    // globals[imm] = r[a]
+  // Control flow. Branch targets are absolute instruction indices in imm.
+  kBr,
+  kBrIf,         // taken if r[a].i32 != 0
+  kBrIfNot,      // taken if r[a].i32 == 0
+  kBrTable,      // index r[a]; imm = index into br_pool
+  kReturn,       // result in r[a]
+  kReturnVoid,
+  kCall,         // imm = function index (combined space); args at r[a...]
+                 // b = arg count; result (if any) lands in r[a]
+  kCallIndirect, // imm = canonical sig id; args r[a..a+b), index r[a+b]
+  kUnreachable,
+  // Memory management.
+  kMemorySize,   // r[a] = pages
+  kMemoryGrow,   // r[a] = grow(r[a])
+  kMemoryCopy,   // copy(dst=r[a], src=r[b], n=r[c])
+  kMemoryFill,   // fill(dst=r[a], val=r[b], n=r[c])
+  // Loads: r[a] = mem[r[b].u32 + imm].
+  kI32Load, kI64Load, kF32Load, kF64Load,
+  kI32Load8S, kI32Load8U, kI32Load16S, kI32Load16U,
+  kI64Load8S, kI64Load8U, kI64Load16S, kI64Load16U, kI64Load32S, kI64Load32U,
+  kV128Load,
+  // Stores: mem[r[a].u32 + imm] = r[b].
+  kI32Store, kI64Store, kF32Store, kF64Store,
+  kI32Store8, kI32Store16, kI64Store8, kI64Store16, kI64Store32,
+  kV128Store,
+  // Numeric ops: unops r[a] = op(r[b]); binops r[a] = op(r[b], r[c]).
+  kI32Eqz, kI32Eq, kI32Ne, kI32LtS, kI32LtU, kI32GtS, kI32GtU,
+  kI32LeS, kI32LeU, kI32GeS, kI32GeU,
+  kI64Eqz, kI64Eq, kI64Ne, kI64LtS, kI64LtU, kI64GtS, kI64GtU,
+  kI64LeS, kI64LeU, kI64GeS, kI64GeU,
+  kF32Eq, kF32Ne, kF32Lt, kF32Gt, kF32Le, kF32Ge,
+  kF64Eq, kF64Ne, kF64Lt, kF64Gt, kF64Le, kF64Ge,
+  kI32Clz, kI32Ctz, kI32Popcnt,
+  kI32Add, kI32Sub, kI32Mul, kI32DivS, kI32DivU, kI32RemS, kI32RemU,
+  kI32And, kI32Or, kI32Xor, kI32Shl, kI32ShrS, kI32ShrU, kI32Rotl, kI32Rotr,
+  kI64Clz, kI64Ctz, kI64Popcnt,
+  kI64Add, kI64Sub, kI64Mul, kI64DivS, kI64DivU, kI64RemS, kI64RemU,
+  kI64And, kI64Or, kI64Xor, kI64Shl, kI64ShrS, kI64ShrU, kI64Rotl, kI64Rotr,
+  kF32Abs, kF32Neg, kF32Ceil, kF32Floor, kF32Trunc, kF32Nearest, kF32Sqrt,
+  kF32Add, kF32Sub, kF32Mul, kF32Div, kF32Min, kF32Max, kF32Copysign,
+  kF64Abs, kF64Neg, kF64Ceil, kF64Floor, kF64Trunc, kF64Nearest, kF64Sqrt,
+  kF64Add, kF64Sub, kF64Mul, kF64Div, kF64Min, kF64Max, kF64Copysign,
+  kI32WrapI64,
+  kI32TruncF32S, kI32TruncF32U, kI32TruncF64S, kI32TruncF64U,
+  kI64ExtendI32S, kI64ExtendI32U,
+  kI64TruncF32S, kI64TruncF32U, kI64TruncF64S, kI64TruncF64U,
+  kF32ConvertI32S, kF32ConvertI32U, kF32ConvertI64S, kF32ConvertI64U,
+  kF32DemoteF64,
+  kF64ConvertI32S, kF64ConvertI32U, kF64ConvertI64S, kF64ConvertI64U,
+  kF64PromoteF32,
+  kI32ReinterpretF32, kI64ReinterpretF64, kF32ReinterpretI32, kF64ReinterpretI64,
+  kI32Extend8S, kI32Extend16S, kI64Extend8S, kI64Extend16S, kI64Extend32S,
+  // SIMD subset.
+  kI8x16Splat, kI32x4Splat, kI64x2Splat, kF32x4Splat, kF64x2Splat,
+  kI32x4ExtractLane, kI64x2ExtractLane, kF32x4ExtractLane, kF64x2ExtractLane,
+  kI8x16Eq, kV128Not, kV128And, kV128Or, kV128Xor, kV128AnyTrue,
+  kI32x4Add, kI32x4Sub, kI32x4Mul, kI64x2Add, kI64x2Sub,
+  kF32x4Add, kF32x4Sub, kF32x4Mul, kF32x4Div,
+  kF64x2Add, kF64x2Sub, kF64x2Mul, kF64x2Div,
+  // ---- Fused forms emitted only by the Optimizing tier ----
+  kI32AddImm,    // r[a] = r[b] + i32(imm)
+  kI64AddImm,    // r[a] = r[b] + i64(imm)
+  kI32ShlImm, kI32ShrUImm, kI32AndImm, kI32MulImm,
+  // Fused compare-and-branch: taken if cmp(r[a], r[b]); target in imm.
+  kBrIfI32Eq, kBrIfI32Ne, kBrIfI32LtS, kBrIfI32LtU, kBrIfI32GtS, kBrIfI32GtU,
+  kBrIfI32LeS, kBrIfI32LeU, kBrIfI32GeS, kBrIfI32GeU,
+  kF64MulAdd,    // r[a] = r[b] * r[c] + r[d]
+
+  kCount,
+};
+
+const char* rop_name(ROp op);
+
+struct RInstr {
+  ROp op = ROp::kNop;
+  u32 a = 0, b = 0, c = 0, d = 0;
+  u64 imm = 0;
+};
+
+/// One lowered function.
+struct RFunc {
+  u32 num_params = 0;
+  u32 num_locals = 0;  // params + declared locals
+  u32 num_regs = 0;    // locals + max stack depth
+  bool has_result = false;
+  std::vector<RInstr> code;
+  std::vector<wasm::V128> v128_pool;
+  std::vector<std::vector<u32>> br_pool;  // br_table target lists (default last)
+
+  std::string to_string() const;  // disassembly, for tests/debugging
+};
+
+/// A lowered module: RFuncs parallel to Module::bodies.
+struct RModule {
+  std::vector<RFunc> funcs;
+  u64 instruction_count() const {
+    u64 n = 0;
+    for (const auto& f : funcs) n += f.code.size();
+    return n;
+  }
+};
+
+}  // namespace mpiwasm::rt

@@ -1,0 +1,90 @@
+// Runtime value representation and guest-visible traps.
+#pragma once
+
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "support/common.h"
+#include "wasm/types.h"
+
+namespace mpiwasm::rt {
+
+using wasm::V128;
+using wasm::ValType;
+
+/// Untyped 16-byte register slot. The validator guarantees type-correct
+/// access, so execution frames store raw slots (paper §2.1: static typing
+/// allows translating stack semantics to a register machine).
+struct alignas(16) Slot {
+  union {
+    u32 u32v;
+    i32 i32v;
+    u64 u64v;
+    i64 i64v;
+    f32 f32v;
+    f64 f64v;
+    V128 v128v;
+  };
+};
+static_assert(sizeof(Slot) == 16);
+static_assert(std::is_trivially_copyable_v<Slot>);
+
+/// A typed value crossing the embedder/module boundary.
+struct Value {
+  ValType type = ValType::kI32;
+  Slot slot{};
+
+  static Value from_i32(i32 v) { Value x; x.type = ValType::kI32; x.slot.i32v = v; return x; }
+  static Value from_u32(u32 v) { Value x; x.type = ValType::kI32; x.slot.u32v = v; return x; }
+  static Value from_i64(i64 v) { Value x; x.type = ValType::kI64; x.slot.i64v = v; return x; }
+  static Value from_f32(f32 v) { Value x; x.type = ValType::kF32; x.slot.f32v = v; return x; }
+  static Value from_f64(f64 v) { Value x; x.type = ValType::kF64; x.slot.f64v = v; return x; }
+  static Value from_v128(const V128& v) { Value x; x.type = ValType::kV128; x.slot.v128v = v; return x; }
+
+  i32 as_i32() const { return slot.i32v; }
+  u32 as_u32() const { return slot.u32v; }
+  i64 as_i64() const { return slot.i64v; }
+  f32 as_f32() const { return slot.f32v; }
+  f64 as_f64() const { return slot.f64v; }
+};
+
+enum class TrapKind : u8 {
+  kUnreachable,
+  kMemoryOutOfBounds,
+  kIntegerDivByZero,
+  kIntegerOverflow,
+  kInvalidConversion,   // float->int of NaN / out of range
+  kIndirectCallTypeMismatch,
+  kUndefinedTableElement,
+  kCallStackExhausted,
+  kHostError,           // raised by host functions (WASI / MPI layer)
+};
+
+const char* trap_kind_name(TrapKind k);
+
+/// Guest trap: unwinds the Wasm stack out to the embedder (paper §2.2: the
+/// embedder handles faults; the module cannot corrupt embedder state).
+class Trap : public std::runtime_error {
+ public:
+  Trap(TrapKind kind, std::string message)
+      : std::runtime_error(std::string(trap_kind_name(kind)) + ": " + message),
+        kind_(kind) {}
+  TrapKind kind() const { return kind_; }
+
+ private:
+  TrapKind kind_;
+};
+
+/// Raised by the WASI proc_exit host call; carries the guest exit code.
+class ProcExit : public std::exception {
+ public:
+  explicit ProcExit(i32 code) : code_(code) {}
+  i32 code() const { return code_; }
+  const char* what() const noexcept override { return "proc_exit"; }
+
+ private:
+  i32 code_;
+};
+
+}  // namespace mpiwasm::rt

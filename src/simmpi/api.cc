@@ -1,0 +1,14 @@
+#include "simmpi/api.h"
+
+namespace mpiwasm::simmpi {
+
+Rank& ctx() {
+  Rank* r = World::current();
+  if (r == nullptr)
+    throw MpiError("MPI call outside a rank thread (before MPI_Init?)");
+  return *r;
+}
+
+bool in_mpi_context() { return World::current() != nullptr; }
+
+}  // namespace mpiwasm::simmpi

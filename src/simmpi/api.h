@@ -1,0 +1,18 @@
+// Convenience access to the calling thread's MPI context.
+//
+// Native benchmark twins and the embedder's host functions run on rank
+// threads spawned by World::run; `ctx()` fetches the thread's Rank the way
+// a real MPI library resolves its per-process state.
+#pragma once
+
+#include "simmpi/world.h"
+
+namespace mpiwasm::simmpi {
+
+/// The calling thread's Rank. Throws MpiError outside World::run.
+Rank& ctx();
+
+/// True when called from a rank thread.
+bool in_mpi_context();
+
+}  // namespace mpiwasm::simmpi

@@ -1,0 +1,288 @@
+// Collective communication algorithms over simmpi point-to-point.
+//
+// Algorithm choices mirror common MPI implementations: binomial trees for
+// bcast/reduce, reduce+bcast allreduce, linear gather/scatter rooted
+// collectives, ring allgather, and a rotated pairwise exchange for
+// alltoall. All collective traffic uses the reserved kCollectiveTag; MPI
+// semantics guarantee identical collective ordering on all ranks of a
+// communicator, so FIFO matching per (comm, src, tag) suffices.
+#include <cstring>
+#include <vector>
+
+#include "simmpi/reduce_ops.h"
+#include "simmpi/world.h"
+
+namespace mpiwasm::simmpi {
+
+namespace {
+
+/// Relative rank helper for binomial trees rooted at `root`.
+int rel(int r, int root, int size) { return (r - root + size) % size; }
+int unrel(int r, int root, int size) { return (r + root) % size; }
+
+}  // namespace
+
+void Rank::barrier(Comm comm) {
+  // Dissemination barrier: ceil(log2(n)) rounds.
+  const detail::CommData& c = comm_data(comm);
+  int n = int(c.world_ranks.size());
+  int me = c.my_comm_rank;
+  u8 token = 1;
+  for (int k = 1; k < n; k <<= 1) {
+    int to = (me + k) % n;
+    int from = (me - k + n) % n;
+    u8 dummy;
+    Request r = irecv_internal(&dummy, 1, from, kCollectiveTag, c);
+    send_internal(&token, 1, to, kCollectiveTag, c);
+    wait(r);
+  }
+}
+
+void Rank::bcast(void* buf, int count, Datatype type, int root, Comm comm) {
+  const detail::CommData& c = comm_data(comm);
+  int n = int(c.world_ranks.size());
+  if (root < 0 || root >= n) throw MpiError("bcast: root out of range");
+  if (n == 1) return;
+  size_t bytes = size_t(count) * datatype_size(type);
+  int me = rel(c.my_comm_rank, root, n);
+
+  // Binomial tree: relative rank me receives from me - 2^j where 2^j is
+  // the lowest set bit, then forwards to me + 2^k for growing k.
+  if (me != 0) {
+    int lsb = me & -me;
+    recv_internal(buf, bytes, unrel(me - lsb, root, n), kCollectiveTag, c);
+  }
+  int lsb = me == 0 ? (1 << 30) : (me & -me);
+  for (int k = 1; k < lsb && k < n; k <<= 1) {
+    if (me + k < n)
+      send_internal(buf, bytes, unrel(me + k, root, n), kCollectiveTag, c);
+  }
+}
+
+void Rank::reduce(const void* sendbuf, void* recvbuf, int count, Datatype type,
+                  ReduceOp op, int root, Comm comm) {
+  const detail::CommData& c = comm_data(comm);
+  int n = int(c.world_ranks.size());
+  if (root < 0 || root >= n) throw MpiError("reduce: root out of range");
+  size_t bytes = size_t(count) * datatype_size(type);
+  int me = rel(c.my_comm_rank, root, n);
+
+  // Local accumulation buffer (root may pass sendbuf == recvbuf semantics
+  // via MPI_IN_PLACE upstream; here we always stage).
+  std::vector<u8> acc(bytes);
+  std::memcpy(acc.data(), sendbuf, bytes);
+  std::vector<u8> incoming(bytes);
+
+  // Binomial tree reduction: receive from children (me + 2^k), fold, then
+  // send to parent (me - lsb).
+  for (int k = 1; k < n; k <<= 1) {
+    if ((me & k) != 0) {
+      send_internal(acc.data(), bytes, unrel(me - k, root, n), kCollectiveTag, c);
+      break;
+    }
+    if (me + k < n) {
+      recv_internal(incoming.data(), bytes, unrel(me + k, root, n),
+                    kCollectiveTag, c);
+      apply_reduce(op, type, incoming.data(), acc.data(), count);
+    }
+  }
+  if (me == 0 && recvbuf != nullptr) std::memcpy(recvbuf, acc.data(), bytes);
+}
+
+void Rank::allreduce(const void* sendbuf, void* recvbuf, int count,
+                     Datatype type, ReduceOp op, Comm comm) {
+  const detail::CommData& c = comm_data(comm);
+  int n = int(c.world_ranks.size());
+  size_t bytes = size_t(count) * datatype_size(type);
+  if (n == 1) {
+    std::memmove(recvbuf, sendbuf, bytes);
+    return;
+  }
+  reduce(sendbuf, recvbuf, count, type, op, 0, comm);
+  bcast(recvbuf, count, type, 0, comm);
+}
+
+void Rank::gather(const void* sendbuf, int sendcount, void* recvbuf,
+                  int recvcount, Datatype type, int root, Comm comm) {
+  const detail::CommData& c = comm_data(comm);
+  int n = int(c.world_ranks.size());
+  if (root < 0 || root >= n) throw MpiError("gather: root out of range");
+  size_t send_bytes = size_t(sendcount) * datatype_size(type);
+  size_t recv_bytes = size_t(recvcount) * datatype_size(type);
+  if (c.my_comm_rank == root) {
+    u8* out = static_cast<u8*>(recvbuf);
+    std::memcpy(out + size_t(root) * recv_bytes, sendbuf, send_bytes);
+    for (int r = 0; r < n; ++r) {
+      if (r == root) continue;
+      recv_internal(out + size_t(r) * recv_bytes, recv_bytes, r,
+                    kCollectiveTag, c);
+    }
+  } else {
+    send_internal(sendbuf, send_bytes, root, kCollectiveTag, c);
+  }
+}
+
+void Rank::scatter(const void* sendbuf, int sendcount, void* recvbuf,
+                   int recvcount, Datatype type, int root, Comm comm) {
+  const detail::CommData& c = comm_data(comm);
+  int n = int(c.world_ranks.size());
+  if (root < 0 || root >= n) throw MpiError("scatter: root out of range");
+  size_t send_bytes = size_t(sendcount) * datatype_size(type);
+  size_t recv_bytes = size_t(recvcount) * datatype_size(type);
+  if (c.my_comm_rank == root) {
+    const u8* in = static_cast<const u8*>(sendbuf);
+    for (int r = 0; r < n; ++r) {
+      if (r == root) continue;
+      send_internal(in + size_t(r) * send_bytes, send_bytes, r,
+                    kCollectiveTag, c);
+    }
+    std::memcpy(recvbuf, in + size_t(root) * send_bytes, recv_bytes);
+  } else {
+    recv_internal(recvbuf, recv_bytes, root, kCollectiveTag, c);
+  }
+}
+
+void Rank::allgather(const void* sendbuf, int sendcount, void* recvbuf,
+                     int recvcount, Datatype type, Comm comm) {
+  const detail::CommData& c = comm_data(comm);
+  int n = int(c.world_ranks.size());
+  int me = c.my_comm_rank;
+  size_t block = size_t(recvcount) * datatype_size(type);
+  u8* out = static_cast<u8*>(recvbuf);
+  std::memcpy(out + size_t(me) * block, sendbuf,
+              size_t(sendcount) * datatype_size(type));
+  // Ring: in step s, send block (me - s) to the right, receive block
+  // (me - s - 1) from the left.
+  int right = (me + 1) % n;
+  int left = (me - 1 + n) % n;
+  for (int s = 0; s < n - 1; ++s) {
+    int send_block = (me - s + n) % n;
+    int recv_block = (me - s - 1 + n) % n;
+    Request r = irecv_internal(out + size_t(recv_block) * block, block, left,
+                               kCollectiveTag, c);
+    send_internal(out + size_t(send_block) * block, block, right,
+                  kCollectiveTag, c);
+    wait(r);
+  }
+}
+
+void Rank::alltoall(const void* sendbuf, int sendcount, void* recvbuf,
+                    int recvcount, Datatype type, Comm comm) {
+  const detail::CommData& c = comm_data(comm);
+  int n = int(c.world_ranks.size());
+  int me = c.my_comm_rank;
+  size_t sblock = size_t(sendcount) * datatype_size(type);
+  size_t rblock = size_t(recvcount) * datatype_size(type);
+  const u8* in = static_cast<const u8*>(sendbuf);
+  u8* out = static_cast<u8*>(recvbuf);
+  std::memcpy(out + size_t(me) * rblock, in + size_t(me) * sblock, sblock);
+  // Rotated pairwise exchange: step s pairs me with me^s when n is a power
+  // of two; otherwise with (me + s) / (me - s).
+  for (int s = 1; s < n; ++s) {
+    int to = (me + s) % n;
+    int from = (me - s + n) % n;
+    Request r = irecv_internal(out + size_t(from) * rblock, rblock, from,
+                               kCollectiveTag, c);
+    send_internal(in + size_t(to) * sblock, sblock, to, kCollectiveTag, c);
+    wait(r);
+  }
+}
+
+void Rank::alltoallv(const void* sendbuf, const int* sendcounts,
+                     const int* sdispls, void* recvbuf, const int* recvcounts,
+                     const int* rdispls, Datatype type, Comm comm) {
+  const detail::CommData& c = comm_data(comm);
+  int n = int(c.world_ranks.size());
+  int me = c.my_comm_rank;
+  size_t esize = datatype_size(type);
+  const u8* in = static_cast<const u8*>(sendbuf);
+  u8* out = static_cast<u8*>(recvbuf);
+  std::memcpy(out + size_t(rdispls[me]) * esize,
+              in + size_t(sdispls[me]) * esize,
+              size_t(std::min(sendcounts[me], recvcounts[me])) * esize);
+  for (int s = 1; s < n; ++s) {
+    int to = (me + s) % n;
+    int from = (me - s + n) % n;
+    Request r = irecv_internal(out + size_t(rdispls[from]) * esize,
+                               size_t(recvcounts[from]) * esize, from,
+                               kCollectiveTag, c);
+    send_internal(in + size_t(sdispls[to]) * esize,
+                  size_t(sendcounts[to]) * esize, to, kCollectiveTag, c);
+    wait(r);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Communicator management
+// ---------------------------------------------------------------------------
+
+Comm Rank::comm_dup(Comm comm) {
+  const detail::CommData parent = comm_data(comm);
+  // Rank 0 of the parent allocates the new id; everyone learns it by bcast.
+  i32 new_id = 0;
+  if (parent.my_comm_rank == 0) new_id = world_->alloc_comm_ids(1);
+  bcast(&new_id, 1, Datatype::kInt, 0, comm);
+  detail::CommData dup = parent;
+  dup.id = new_id;
+  comms_[new_id] = std::move(dup);
+  return new_id;
+}
+
+Comm Rank::comm_split(Comm comm, int color, int key) {
+  const detail::CommData parent = comm_data(comm);
+  int n = int(parent.world_ranks.size());
+
+  // Gather everyone's (color, key).
+  std::vector<int> pairs(size_t(n) * 2);
+  int mine[2] = {color, key};
+  allgather(mine, 2, pairs.data(), 2, Datatype::kInt, comm);
+
+  // Distinct colors in sorted order (excluding kUndefined) determine the
+  // per-color communicator index.
+  std::vector<int> colors;
+  for (int r = 0; r < n; ++r) {
+    int col = pairs[2 * r];
+    if (col == kUndefined) continue;
+    bool seen = false;
+    for (int c2 : colors) seen = seen || c2 == col;
+    if (!seen) colors.push_back(col);
+  }
+  std::sort(colors.begin(), colors.end());
+
+  // Parent rank 0 allocates a contiguous id range; broadcast the base.
+  i32 base = 0;
+  if (parent.my_comm_rank == 0) base = world_->alloc_comm_ids(i32(colors.size()));
+  bcast(&base, 1, Datatype::kInt, 0, comm);
+
+  if (color == kUndefined) return kCommNull;
+
+  int color_index = 0;
+  for (size_t i = 0; i < colors.size(); ++i)
+    if (colors[i] == color) color_index = int(i);
+
+  // Members of my color, ordered by (key, parent rank).
+  std::vector<std::pair<int, int>> members;  // (key, parent rank)
+  for (int r = 0; r < n; ++r)
+    if (pairs[2 * r] == color) members.push_back({pairs[2 * r + 1], r});
+  std::sort(members.begin(), members.end());
+
+  detail::CommData nc;
+  nc.id = base + color_index;
+  nc.world_ranks.reserve(members.size());
+  for (size_t i = 0; i < members.size(); ++i) {
+    nc.world_ranks.push_back(parent.world_ranks[members[i].second]);
+    if (members[i].second == parent.my_comm_rank) nc.my_comm_rank = int(i);
+  }
+  Comm id = nc.id;
+  comms_[id] = std::move(nc);
+  return id;
+}
+
+void Rank::comm_free(Comm comm) {
+  if (comm == kCommWorld) throw MpiError("cannot free MPI_COMM_WORLD");
+  auto it = comms_.find(comm);
+  if (it == comms_.end()) throw MpiError("comm_free: invalid communicator");
+  comms_.erase(it);
+}
+
+}  // namespace mpiwasm::simmpi

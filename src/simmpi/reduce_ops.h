@@ -1,0 +1,12 @@
+// Typed reduction kernels for simmpi collectives.
+#pragma once
+
+#include "simmpi/types.h"
+
+namespace mpiwasm::simmpi {
+
+/// inout[i] = op(inout[i], in[i]) for count elements of type t.
+void apply_reduce(ReduceOp op, Datatype t, const void* in, void* inout,
+                  int count);
+
+}  // namespace mpiwasm::simmpi

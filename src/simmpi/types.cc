@@ -1,0 +1,62 @@
+#include "simmpi/types.h"
+
+namespace mpiwasm::simmpi {
+
+size_t datatype_size(Datatype t) {
+  switch (t) {
+    case Datatype::kByte: return 1;
+    case Datatype::kChar: return 1;
+    case Datatype::kInt: return 4;
+    case Datatype::kFloat: return 4;
+    case Datatype::kDouble: return 8;
+    case Datatype::kLong: return 8;
+    case Datatype::kUnsigned: return 4;
+    case Datatype::kLongLong: return 8;
+  }
+  throw MpiError("invalid datatype");
+}
+
+const char* datatype_name(Datatype t) {
+  switch (t) {
+    case Datatype::kByte: return "MPI_BYTE";
+    case Datatype::kChar: return "MPI_CHAR";
+    case Datatype::kInt: return "MPI_INT";
+    case Datatype::kFloat: return "MPI_FLOAT";
+    case Datatype::kDouble: return "MPI_DOUBLE";
+    case Datatype::kLong: return "MPI_LONG";
+    case Datatype::kUnsigned: return "MPI_UNSIGNED";
+    case Datatype::kLongLong: return "MPI_LONG_LONG";
+  }
+  return "?";
+}
+
+NetworkProfile NetworkProfile::zero() { return NetworkProfile{}; }
+
+NetworkProfile NetworkProfile::omnipath() {
+  NetworkProfile p;
+  p.name = "omnipath";
+  p.latency_ns = 900;        // ~0.9us MPI half-round-trip latency
+  p.bytes_per_ns = 12.5;     // 100 Gbit/s
+  return p;
+}
+
+NetworkProfile NetworkProfile::graviton2() {
+  NetworkProfile p;
+  p.name = "graviton2";
+  p.latency_ns = 450;        // single-node shared-memory transport
+  p.bytes_per_ns = 11.0;     // ~11 GiB/s effective
+  return p;
+}
+
+NetworkProfile NetworkProfile::grpc_messaging() {
+  NetworkProfile p;
+  p.name = "grpc-messaging";
+  p.latency_ns = 18'000;        // broker round trip
+  p.bytes_per_ns = 1.25;        // 10 Gbit/s
+  p.serialize_ns_per_kib = 250; // protobuf-style encode/decode
+  p.force_copy = true;          // no zero-copy handoff
+  p.eager_limit = SIZE_MAX;     // everything is staged through buffers
+  return p;
+}
+
+}  // namespace mpiwasm::simmpi

@@ -1,0 +1,106 @@
+// simmpi core types: datatypes, reduction ops, status, error handling, and
+// the interconnect cost model.
+//
+// simmpi is the repository's "host MPI library" substitute (DESIGN.md §2):
+// an in-process, rank-per-thread MPI-2.2 subset with eager/rendezvous
+// point-to-point protocols, tag/source matching, collectives, communicator
+// management, and a configurable interconnect cost model standing in for
+// OmniPath / Graviton interconnects. Both the native benchmark twins and
+// the MPIWasm embedder call into this same library, which is exactly the
+// comparison the paper makes (native MPI app vs Wasm app over one MPI).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "support/common.h"
+
+namespace mpiwasm::simmpi {
+
+/// MPI basic datatypes (the set exercised by the paper's Figure 6 plus the
+/// ones the benchmark kernels need).
+enum class Datatype : i32 {
+  kByte = 0,
+  kChar = 1,
+  kInt = 2,
+  kFloat = 3,
+  kDouble = 4,
+  kLong = 5,
+  kUnsigned = 6,
+  kLongLong = 7,
+};
+constexpr i32 kNumDatatypes = 8;
+
+size_t datatype_size(Datatype t);
+const char* datatype_name(Datatype t);
+
+enum class ReduceOp : i32 {
+  kSum = 0,
+  kProd = 1,
+  kMax = 2,
+  kMin = 3,
+  kLand = 4,
+  kLor = 5,
+  kBand = 6,
+  kBor = 7,
+};
+constexpr i32 kNumReduceOps = 8;
+
+constexpr int kAnySource = -1;
+constexpr int kAnyTag = -1;
+/// Reserved tag for collective traffic; user tags must be >= 0.
+constexpr int kCollectiveTag = -42;
+
+struct Status {
+  int source = kAnySource;
+  int tag = kAnyTag;
+  size_t bytes = 0;  // received payload size
+  int count(Datatype t) const { return int(bytes / datatype_size(t)); }
+};
+
+/// MPI usage / internal errors (invalid handles, truncation, deadlock).
+class MpiError : public std::runtime_error {
+ public:
+  explicit MpiError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised on MPI_Abort; unwinds the calling rank thread.
+class MpiAbort : public std::exception {
+ public:
+  explicit MpiAbort(int code) : code_(code) {}
+  int code() const { return code_; }
+  const char* what() const noexcept override { return "MPI_Abort"; }
+
+ private:
+  int code_ = 1;
+};
+
+/// Interconnect cost model: deterministic spin-based per-message costs so
+/// benchmark *shapes* are stable on shared CI hardware (DESIGN.md §5).
+struct NetworkProfile {
+  std::string name = "zero";
+  u64 latency_ns = 0;          // per-message injection latency
+  f64 bytes_per_ns = 0;        // bandwidth; 0 = infinite
+  u64 serialize_ns_per_kib = 0;  // messaging-layer serialization overhead
+  bool force_copy = false;       // models gRPC-style buffer handoff
+  size_t eager_limit = 64 * 1024;
+
+  u64 message_cost_ns(size_t bytes) const {
+    u64 cost = latency_ns;
+    if (bytes_per_ns > 0) cost += u64(f64(bytes) / bytes_per_ns);
+    if (serialize_ns_per_kib > 0)
+      cost += serialize_ns_per_kib * (u64(bytes) / 1024 + 1);
+    return cost;
+  }
+
+  /// No artificial costs; used by unit tests.
+  static NetworkProfile zero();
+  /// SuperMUC-NG-like: Intel OmniPath, 100 Gbit/s, ~1us MPI latency (§4.1).
+  static NetworkProfile omnipath();
+  /// AWS Graviton2 single node: shared-memory transport (§4.1).
+  static NetworkProfile graviton2();
+  /// Faasm-like distributed messaging: gRPC hops + serialization (§6).
+  static NetworkProfile grpc_messaging();
+};
+
+}  // namespace mpiwasm::simmpi

@@ -1,0 +1,429 @@
+#include "simmpi/world.h"
+
+#include <cstring>
+
+#include "support/log.h"
+#include "support/timing.h"
+
+namespace mpiwasm::simmpi {
+
+namespace {
+
+thread_local Rank* tl_current_rank = nullptr;
+
+/// Deadlock watchdog: a blocking MPI call stuck this long aborts the test
+/// run with a diagnostic instead of hanging CI forever.
+constexpr auto kBlockTimeout = std::chrono::seconds(120);
+
+bool key_matches(const detail::RecvDesc& r, const detail::SendDesc& s) {
+  return r.comm_id == s.comm_id &&
+         (r.src == kAnySource || r.src == s.src_comm_rank) &&
+         (r.tag == kAnyTag || r.tag == s.tag);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// World
+// ---------------------------------------------------------------------------
+
+World::World(int size, NetworkProfile profile)
+    : size_(size), profile_(std::move(profile)) {
+  MW_CHECK(size >= 1, "world size must be >= 1");
+  boxes_.reserve(size_);
+  for (int i = 0; i < size_; ++i)
+    boxes_.push_back(std::make_unique<detail::Mailbox>());
+}
+
+World::~World() = default;
+
+i32 World::alloc_comm_ids(i32 n) { return next_comm_id_.fetch_add(n); }
+
+void World::request_abort(int code) {
+  abort_flag_ = true;
+  abort_code_ = code;
+  for (auto& b : boxes_) {
+    std::lock_guard<std::mutex> lock(b->mu);
+    b->cv.notify_all();
+  }
+}
+
+Rank* World::current() { return tl_current_rank; }
+
+void World::run(const std::function<void(Rank&)>& fn) {
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(size_);
+  threads.reserve(size_);
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back([this, r, &fn, &errors] {
+      Rank rank(this, r);
+      tl_current_rank = &rank;
+      try {
+        fn(rank);
+      } catch (const MpiAbort&) {
+        // request_abort was already called; peers are unblocking.
+      } catch (...) {
+        errors[r] = std::current_exception();
+        // Unblock peers that might be waiting on this rank forever.
+        request_abort(-1);
+      }
+      tl_current_rank = nullptr;
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Reset for potential reuse of the world object.
+  bool aborted = abort_flag_.exchange(false);
+  for (int r = 0; r < size_; ++r) {
+    if (errors[r]) std::rethrow_exception(errors[r]);
+  }
+  if (aborted)
+    throw MpiError("MPI_Abort called with code " +
+                   std::to_string(abort_code_.load()));
+}
+
+// ---------------------------------------------------------------------------
+// Rank: construction & communicators
+// ---------------------------------------------------------------------------
+
+Rank::Rank(World* world, int world_rank)
+    : world_(world), world_rank_(world_rank) {
+  detail::CommData w;
+  w.id = kCommWorld;
+  w.world_ranks.resize(world->size());
+  for (int i = 0; i < world->size(); ++i) w.world_ranks[i] = i;
+  w.my_comm_rank = world_rank;
+  comms_[kCommWorld] = std::move(w);
+}
+
+const detail::CommData& Rank::comm_data(Comm comm) const {
+  auto it = comms_.find(comm);
+  if (it == comms_.end() || it->second.my_comm_rank < 0)
+    throw MpiError("invalid communicator handle " + std::to_string(comm));
+  return it->second;
+}
+
+int Rank::rank(Comm comm) const { return comm_data(comm).my_comm_rank; }
+int Rank::size(Comm comm) const {
+  return int(comm_data(comm).world_ranks.size());
+}
+
+f64 Rank::wtime() const { return now_seconds(); }
+
+void Rank::abort(int code, Comm) {
+  MW_WARN("rank " << world_rank_ << " called MPI_Abort(" << code << ")");
+  world_->request_abort(code);
+  throw MpiAbort(code);
+}
+
+void Rank::check_user_tag(int tag) const {
+  if (tag < 0 && tag != kAnyTag)
+    throw MpiError("user tags must be non-negative (got " +
+                   std::to_string(tag) + ")");
+}
+
+// ---------------------------------------------------------------------------
+// Point-to-point
+// ---------------------------------------------------------------------------
+
+void Rank::send_internal(const void* buf, size_t bytes, int dest, int tag,
+                         const detail::CommData& c) {
+  if (dest < 0 || dest >= int(c.world_ranks.size()))
+    throw MpiError("send: destination rank out of range");
+  const NetworkProfile& prof = world_->profile();
+  // Model wire time at injection (deterministic spin; DESIGN.md §5).
+  spin_for_ns(prof.message_cost_ns(bytes));
+
+  detail::Mailbox& box = world_->box(c.world_ranks[dest]);
+  std::unique_lock<std::mutex> lock(box.mu);
+
+  // Try to match an already-posted receive (fast path: copy straight from
+  // the sender's buffer into the receiver's buffer — single copy).
+  for (auto it = box.posted.begin(); it != box.posted.end(); ++it) {
+    detail::RecvDesc& r = **it;
+    if (r.done) continue;
+    detail::SendDesc probe;
+    probe.comm_id = c.id;
+    probe.src_comm_rank = c.my_comm_rank;
+    probe.tag = tag;
+    if (!key_matches(r, probe)) continue;
+    size_t n = std::min(bytes, r.capacity);
+    if (bytes > r.capacity) r.truncated = true;
+    std::memcpy(r.dst, buf, n);
+    r.status = Status{c.my_comm_rank, tag, n};
+    r.done = true;
+    box.posted.erase(it);
+    box.cv.notify_all();
+    return;
+  }
+
+  auto desc = std::make_shared<detail::SendDesc>();
+  desc->comm_id = c.id;
+  desc->src_comm_rank = c.my_comm_rank;
+  desc->tag = tag;
+  desc->bytes = bytes;
+  if (bytes <= prof.eager_limit || prof.force_copy) {
+    desc->eager = true;
+    desc->eager_buf.assign(static_cast<const u8*>(buf),
+                           static_cast<const u8*>(buf) + bytes);
+    box.unexpected.push_back(std::move(desc));
+    box.cv.notify_all();
+    return;  // eager send completes locally
+  }
+  // Rendezvous: park the sender's buffer pointer and wait for the receiver
+  // to complete the single copy.
+  desc->eager = false;
+  desc->payload = static_cast<const u8*>(buf);
+  box.unexpected.push_back(desc);
+  box.cv.notify_all();
+  bool ok = box.cv.wait_for(lock, kBlockTimeout, [&] {
+    return desc->completed || world_->aborting();
+  });
+  if (world_->aborting()) throw MpiAbort(-1);
+  if (!ok)
+    throw MpiError("send: rendezvous timed out (deadlock?) from rank " +
+                   std::to_string(c.my_comm_rank) + " tag " +
+                   std::to_string(tag));
+}
+
+Status Rank::recv_internal(void* buf, size_t bytes, int source, int tag,
+                           const detail::CommData& c) {
+  if (source != kAnySource &&
+      (source < 0 || source >= int(c.world_ranks.size())))
+    throw MpiError("recv: source rank out of range");
+  detail::Mailbox& box = world_->box(world_rank_);
+  std::unique_lock<std::mutex> lock(box.mu);
+
+  auto try_match = [&]() -> std::shared_ptr<detail::SendDesc> {
+    for (auto it = box.unexpected.begin(); it != box.unexpected.end(); ++it) {
+      detail::SendDesc& s = **it;
+      if (s.comm_id != c.id) continue;
+      if (source != kAnySource && s.src_comm_rank != source) continue;
+      if (tag != kAnyTag && s.tag != tag) continue;
+      auto found = *it;
+      box.unexpected.erase(it);
+      return found;
+    }
+    return nullptr;
+  };
+
+  std::shared_ptr<detail::SendDesc> s = try_match();
+  if (s == nullptr) {
+    // Post the receive and block until a sender completes it.
+    auto desc = std::make_shared<detail::RecvDesc>();
+    desc->comm_id = c.id;
+    desc->src = source;
+    desc->tag = tag;
+    desc->dst = static_cast<u8*>(buf);
+    desc->capacity = bytes;
+    box.posted.push_back(desc);
+    bool ok = box.cv.wait_for(lock, kBlockTimeout, [&] {
+      return desc->done || world_->aborting();
+    });
+    if (world_->aborting()) throw MpiAbort(-1);
+    if (!ok)
+      throw MpiError("recv: timed out (deadlock?) at rank " +
+                     std::to_string(c.my_comm_rank) + " source " +
+                     std::to_string(source) + " tag " + std::to_string(tag));
+    if (desc->truncated)
+      throw MpiError("recv: message truncated (buffer too small)");
+    return desc->status;
+  }
+
+  // Matched an unexpected send.
+  size_t n = std::min(s->bytes, bytes);
+  if (s->bytes > bytes) throw MpiError("recv: message truncated");
+  if (s->eager) {
+    std::memcpy(buf, s->eager_buf.data(), n);
+  } else {
+    std::memcpy(buf, s->payload, n);
+    s->completed = true;
+    box.cv.notify_all();  // wake the rendezvous sender
+  }
+  return Status{s->src_comm_rank, s->tag, n};
+}
+
+void Rank::send(const void* buf, int count, Datatype type, int dest, int tag,
+                Comm comm) {
+  check_user_tag(tag);
+  if (count < 0) throw MpiError("send: negative count");
+  const detail::CommData& c = comm_data(comm);
+  send_internal(buf, size_t(count) * datatype_size(type), dest, tag, c);
+}
+
+Status Rank::recv(void* buf, int count, Datatype type, int source, int tag,
+                  Comm comm) {
+  if (tag < 0 && tag != kAnyTag) throw MpiError("recv: invalid tag");
+  if (count < 0) throw MpiError("recv: negative count");
+  const detail::CommData& c = comm_data(comm);
+  return recv_internal(buf, size_t(count) * datatype_size(type), source, tag, c);
+}
+
+Request Rank::isend(const void* buf, int count, Datatype type, int dest,
+                    int tag, Comm comm) {
+  check_user_tag(tag);
+  const detail::CommData& c = comm_data(comm);
+  size_t bytes = size_t(count) * datatype_size(type);
+  if (dest < 0 || dest >= int(c.world_ranks.size()))
+    throw MpiError("isend: destination rank out of range");
+  const NetworkProfile& prof = world_->profile();
+  spin_for_ns(prof.message_cost_ns(bytes));
+
+  detail::Mailbox& box = world_->box(c.world_ranks[dest]);
+  std::unique_lock<std::mutex> lock(box.mu);
+
+  // Match a posted receive immediately if possible.
+  for (auto it = box.posted.begin(); it != box.posted.end(); ++it) {
+    detail::RecvDesc& r = **it;
+    if (r.done) continue;
+    detail::SendDesc probe;
+    probe.comm_id = c.id;
+    probe.src_comm_rank = c.my_comm_rank;
+    probe.tag = tag;
+    if (!key_matches(r, probe)) continue;
+    size_t n = std::min(bytes, r.capacity);
+    if (bytes > r.capacity) r.truncated = true;
+    std::memcpy(r.dst, buf, n);
+    r.status = Status{c.my_comm_rank, tag, n};
+    r.done = true;
+    box.posted.erase(it);
+    box.cv.notify_all();
+    return Request{};  // already complete (kind None == trivially done)
+  }
+
+  auto desc = std::make_shared<detail::SendDesc>();
+  desc->comm_id = c.id;
+  desc->src_comm_rank = c.my_comm_rank;
+  desc->tag = tag;
+  desc->bytes = bytes;
+  Request req;
+  req.kind_ = Request::Kind::kSend;
+  req.box = &box;
+  if (bytes <= prof.eager_limit || prof.force_copy) {
+    desc->eager = true;
+    desc->eager_buf.assign(static_cast<const u8*>(buf),
+                           static_cast<const u8*>(buf) + bytes);
+    desc->completed = true;  // buffered: sender side is done
+  } else {
+    desc->eager = false;
+    desc->payload = static_cast<const u8*>(buf);
+  }
+  req.send = desc;
+  box.unexpected.push_back(desc);
+  box.cv.notify_all();
+  return req;
+}
+
+Request Rank::irecv(void* buf, int count, Datatype type, int source, int tag,
+                    Comm comm) {
+  if (tag < 0 && tag != kAnyTag) throw MpiError("irecv: invalid tag");
+  const detail::CommData& c = comm_data(comm);
+  return irecv_internal(buf, size_t(count) * datatype_size(type), source, tag,
+                        c);
+}
+
+Request Rank::irecv_internal(void* buf, size_t bytes, int source, int tag,
+                             const detail::CommData& c) {
+  detail::Mailbox& box = world_->box(world_rank_);
+  std::unique_lock<std::mutex> lock(box.mu);
+
+  auto desc = std::make_shared<detail::RecvDesc>();
+  desc->comm_id = c.id;
+  desc->src = source;
+  desc->tag = tag;
+  desc->dst = static_cast<u8*>(buf);
+  desc->capacity = bytes;
+
+  // Check the unexpected queue first (message may already be here).
+  for (auto it = box.unexpected.begin(); it != box.unexpected.end(); ++it) {
+    detail::SendDesc& s = **it;
+    if (s.comm_id != c.id) continue;
+    if (source != kAnySource && s.src_comm_rank != source) continue;
+    if (tag != kAnyTag && s.tag != tag) continue;
+    size_t n = std::min(s.bytes, bytes);
+    if (s.bytes > bytes) throw MpiError("irecv: message truncated");
+    if (s.eager) {
+      std::memcpy(buf, s.eager_buf.data(), n);
+    } else {
+      std::memcpy(buf, s.payload, n);
+      s.completed = true;
+    }
+    desc->status = Status{s.src_comm_rank, s.tag, n};
+    desc->done = true;
+    box.unexpected.erase(it);
+    box.cv.notify_all();
+    break;
+  }
+  if (!desc->done) box.posted.push_back(desc);
+
+  Request req;
+  req.kind_ = Request::Kind::kRecv;
+  req.recv = desc;
+  req.box = &box;
+  return req;
+}
+
+Status Rank::wait(Request& req) {
+  Status status;
+  if (!req.valid()) return status;  // trivially complete request
+  detail::Mailbox& box = *req.box;
+  std::unique_lock<std::mutex> lock(box.mu);
+  if (req.kind_ == Request::Kind::kRecv) {
+    bool ok = box.cv.wait_for(lock, kBlockTimeout, [&] {
+      return req.recv->done || world_->aborting();
+    });
+    if (world_->aborting()) throw MpiAbort(-1);
+    if (!ok) throw MpiError("wait: recv timed out (deadlock?)");
+    if (req.recv->truncated) throw MpiError("wait: message truncated");
+    status = req.recv->status;
+  } else {
+    bool ok = box.cv.wait_for(lock, kBlockTimeout, [&] {
+      return req.send->completed || world_->aborting();
+    });
+    if (world_->aborting()) throw MpiAbort(-1);
+    if (!ok) throw MpiError("wait: send timed out (deadlock?)");
+  }
+  req = Request{};
+  return status;
+}
+
+bool Rank::test(Request& req, Status* status) {
+  if (!req.valid()) return true;
+  detail::Mailbox& box = *req.box;
+  std::lock_guard<std::mutex> lock(box.mu);
+  bool done = req.kind_ == Request::Kind::kRecv ? req.recv->done
+                                                : req.send->completed;
+  if (done) {
+    if (req.kind_ == Request::Kind::kRecv && status != nullptr)
+      *status = req.recv->status;
+    req = Request{};
+  }
+  return done;
+}
+
+void Rank::waitall(std::span<Request> reqs) {
+  for (Request& r : reqs) wait(r);
+}
+
+Status Rank::sendrecv(const void* sendbuf, int sendcount, Datatype sendtype,
+                      int dest, int sendtag, void* recvbuf, int recvcount,
+                      Datatype recvtype, int source, int recvtag, Comm comm) {
+  Request r = irecv(recvbuf, recvcount, recvtype, source, recvtag, comm);
+  send(sendbuf, sendcount, sendtype, dest, sendtag, comm);
+  return wait(r);
+}
+
+bool Rank::iprobe(int source, int tag, Comm comm, Status* status) {
+  const detail::CommData& c = comm_data(comm);
+  detail::Mailbox& box = world_->box(world_rank_);
+  std::lock_guard<std::mutex> lock(box.mu);
+  for (const auto& s : box.unexpected) {
+    if (s->comm_id != c.id) continue;
+    if (source != kAnySource && s->src_comm_rank != source) continue;
+    if (tag != kAnyTag && s->tag != tag) continue;
+    if (status != nullptr) *status = Status{s->src_comm_rank, s->tag, s->bytes};
+    return true;
+  }
+  return false;
+}
+
+}  // namespace mpiwasm::simmpi

@@ -1,0 +1,201 @@
+// simmpi execution core: World (the "mpirun"), Rank (per-thread MPI
+// context), mailboxes with tag/source matching, eager/rendezvous p2p, and
+// nonblocking requests. Collectives are layered on top in collectives.cc.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "simmpi/types.h"
+
+namespace mpiwasm::simmpi {
+
+class World;
+class Rank;
+
+/// Communicator handle (dense id). kCommWorld is always valid.
+using Comm = i32;
+constexpr Comm kCommWorld = 0;
+constexpr Comm kCommNull = -1;
+/// comm_split color for ranks excluded from the new communicator.
+constexpr int kUndefined = -9999;
+
+namespace detail {
+
+struct SendDesc {
+  i32 comm_id = 0;
+  int src_comm_rank = 0;
+  int tag = 0;
+  const u8* payload = nullptr;   // rendezvous: sender-owned buffer
+  std::vector<u8> eager_buf;     // eager: library-owned copy
+  size_t bytes = 0;
+  bool eager = true;
+  bool completed = false;        // rendezvous: receiver copied the payload
+};
+
+struct RecvDesc {
+  i32 comm_id = 0;
+  int src = kAnySource;
+  int tag = kAnyTag;
+  u8* dst = nullptr;
+  size_t capacity = 0;
+  bool done = false;
+  bool truncated = false;
+  Status status;
+};
+
+/// One per world rank: incoming traffic addressed to that rank.
+struct Mailbox {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::shared_ptr<SendDesc>> unexpected;
+  std::deque<std::shared_ptr<RecvDesc>> posted;
+};
+
+struct CommData {
+  i32 id = kCommNull;
+  std::vector<int> world_ranks;  // comm rank -> world rank
+  int my_comm_rank = -1;
+};
+
+}  // namespace detail
+
+/// Nonblocking operation handle.
+class Request {
+ public:
+  Request() = default;
+  bool valid() const { return kind_ != Kind::kNone; }
+
+ private:
+  friend class Rank;
+  enum class Kind { kNone, kSend, kRecv };
+  Kind kind_ = Kind::kNone;
+  std::shared_ptr<detail::SendDesc> send;
+  std::shared_ptr<detail::RecvDesc> recv;
+  detail::Mailbox* box = nullptr;  // box whose cv signals completion
+};
+
+/// Per-thread MPI context; the API mirrors the MPI-2.2 subset MPIWasm
+/// implements (paper §3.1). Rank methods are called only from the owning
+/// rank thread.
+class Rank {
+ public:
+  int rank(Comm comm = kCommWorld) const;
+  int size(Comm comm = kCommWorld) const;
+  int world_rank() const { return world_rank_; }
+
+  // --- Point-to-point ------------------------------------------------------
+  void send(const void* buf, int count, Datatype type, int dest, int tag,
+            Comm comm = kCommWorld);
+  Status recv(void* buf, int count, Datatype type, int source, int tag,
+              Comm comm = kCommWorld);
+  Request isend(const void* buf, int count, Datatype type, int dest, int tag,
+                Comm comm = kCommWorld);
+  Request irecv(void* buf, int count, Datatype type, int source, int tag,
+                Comm comm = kCommWorld);
+  Status wait(Request& req);
+  bool test(Request& req, Status* status);
+  void waitall(std::span<Request> reqs);
+  Status sendrecv(const void* sendbuf, int sendcount, Datatype sendtype,
+                  int dest, int sendtag, void* recvbuf, int recvcount,
+                  Datatype recvtype, int source, int recvtag,
+                  Comm comm = kCommWorld);
+  /// Nonblocking probe-free message availability check (MPI_Iprobe).
+  bool iprobe(int source, int tag, Comm comm, Status* status);
+
+  // --- Collectives ---------------------------------------------------------
+  void barrier(Comm comm = kCommWorld);
+  void bcast(void* buf, int count, Datatype type, int root,
+             Comm comm = kCommWorld);
+  void reduce(const void* sendbuf, void* recvbuf, int count, Datatype type,
+              ReduceOp op, int root, Comm comm = kCommWorld);
+  void allreduce(const void* sendbuf, void* recvbuf, int count, Datatype type,
+                 ReduceOp op, Comm comm = kCommWorld);
+  void gather(const void* sendbuf, int sendcount, void* recvbuf, int recvcount,
+              Datatype type, int root, Comm comm = kCommWorld);
+  void scatter(const void* sendbuf, int sendcount, void* recvbuf,
+               int recvcount, Datatype type, int root, Comm comm = kCommWorld);
+  void allgather(const void* sendbuf, int sendcount, void* recvbuf,
+                 int recvcount, Datatype type, Comm comm = kCommWorld);
+  void alltoall(const void* sendbuf, int sendcount, void* recvbuf,
+                int recvcount, Datatype type, Comm comm = kCommWorld);
+  void alltoallv(const void* sendbuf, const int* sendcounts,
+                 const int* sdispls, void* recvbuf, const int* recvcounts,
+                 const int* rdispls, Datatype type, Comm comm = kCommWorld);
+
+  // --- Communicator management --------------------------------------------
+  Comm comm_dup(Comm comm);
+  Comm comm_split(Comm comm, int color, int key);
+  void comm_free(Comm comm);
+
+  // --- Environment ---------------------------------------------------------
+  f64 wtime() const;
+  [[noreturn]] void abort(int code, Comm comm = kCommWorld);
+  World& world() { return *world_; }
+
+ private:
+  friend class World;
+  Rank(World* world, int world_rank);
+
+  const detail::CommData& comm_data(Comm comm) const;
+  /// Internal p2p allowing reserved (negative) tags for collectives.
+  void send_internal(const void* buf, size_t bytes, int dest, int tag,
+                     const detail::CommData& c);
+  Status recv_internal(void* buf, size_t bytes, int source, int tag,
+                       const detail::CommData& c);
+  /// Internal nonblocking receive matching only `tag` (collective traffic
+  /// must never match concurrently in-flight user messages).
+  Request irecv_internal(void* buf, size_t bytes, int source, int tag,
+                         const detail::CommData& c);
+  void check_user_tag(int tag) const;
+
+  World* world_ = nullptr;
+  int world_rank_ = 0;
+  std::map<Comm, detail::CommData> comms_;
+  i32 next_local_comm_slot_ = 1;
+};
+
+/// A simulated MPI job: N rank threads over an interconnect profile.
+class World {
+ public:
+  World(int size, NetworkProfile profile = NetworkProfile::zero());
+  ~World();
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  int size() const { return size_; }
+  const NetworkProfile& profile() const { return profile_; }
+
+  /// Runs `fn(rank)` on `size` threads (one per rank) and joins them.
+  /// The first exception thrown by any rank is rethrown here; an MPI_Abort
+  /// maps to MpiError carrying the abort code.
+  void run(const std::function<void(Rank&)>& fn);
+
+  /// Current thread's Rank context (valid only inside run()).
+  static Rank* current();
+
+  // --- internals used by Rank ---------------------------------------------
+  detail::Mailbox& box(int world_rank) { return *boxes_[world_rank]; }
+  i32 alloc_comm_ids(i32 n);
+  bool aborting() const { return abort_flag_; }
+  void request_abort(int code);
+
+ private:
+  friend class Rank;
+  int size_;
+  NetworkProfile profile_;
+  std::vector<std::unique_ptr<detail::Mailbox>> boxes_;
+  std::atomic<i32> next_comm_id_{1};
+  std::atomic<bool> abort_flag_{false};
+  std::atomic<int> abort_code_{0};
+};
+
+}  // namespace mpiwasm::simmpi

@@ -1,0 +1,85 @@
+// Bounds-checked byte reading/writing used by the Wasm binary decoder,
+// the module builder, and the compiled-code cache serializer.
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/common.h"
+
+namespace mpiwasm {
+
+/// Error raised when a reader runs past the end of its input or decodes a
+/// malformed variable-length integer. Decoding errors are recoverable; the
+/// Wasm decoder converts them into Status values at the module boundary.
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Sequential reader over a non-owning byte span.
+class ByteReader {
+ public:
+  ByteReader() = default;
+  explicit ByteReader(std::span<const u8> data) : data_(data) {}
+
+  size_t pos() const { return pos_; }
+  size_t size() const { return data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ >= data_.size(); }
+
+  void seek(size_t pos);
+  void skip(size_t n);
+
+  u8 read_u8();
+  u8 peek_u8() const;
+  u32 read_u32_le();
+  u64 read_u64_le();
+  f32 read_f32_le();
+  f64 read_f64_le();
+
+  /// LEB128 readers (unsigned/signed, 32/64-bit), per the Wasm spec.
+  u32 read_leb_u32();
+  u64 read_leb_u64();
+  i32 read_leb_i32();
+  i64 read_leb_i64();
+
+  std::span<const u8> read_bytes(size_t n);
+  std::string read_name();  // LEB length-prefixed UTF-8 name
+
+ private:
+  std::span<const u8> data_;
+  size_t pos_ = 0;
+};
+
+/// Append-only byte writer; the inverse of ByteReader.
+class ByteWriter {
+ public:
+  const std::vector<u8>& bytes() const { return buf_; }
+  std::vector<u8> take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+  void write_u8(u8 v) { buf_.push_back(v); }
+  void write_u32_le(u32 v);
+  void write_u64_le(u64 v);
+  void write_f32_le(f32 v);
+  void write_f64_le(f64 v);
+  void write_leb_u32(u32 v);
+  void write_leb_u64(u64 v);
+  void write_leb_i32(i32 v);
+  void write_leb_i64(i64 v);
+  void write_bytes(std::span<const u8> b);
+  void write_name(const std::string& s);
+
+  /// Patches a previously reserved fixed-width 32-bit LEB at `at`.
+  void patch_leb_u32_fixed5(size_t at, u32 v);
+  /// Reserves 5 bytes for a later patch_leb_u32_fixed5 and returns offset.
+  size_t reserve_leb_u32();
+
+ private:
+  std::vector<u8> buf_;
+};
+
+}  // namespace mpiwasm

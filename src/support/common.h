@@ -1,0 +1,43 @@
+// Common aliases and small utilities shared across all MPIWasm-CPP modules.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace mpiwasm {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using f32 = float;
+using f64 = double;
+
+// The paper's embedder assumes little-endian byte order in both the module
+// and the host address space (MPIWasm §3.8); we inherit the limitation.
+static_assert(std::endian::native == std::endian::little,
+              "MPIWasm-CPP supports little-endian hosts only (paper §3.8)");
+
+/// Thrown for internal invariant violations (never for guest-visible traps).
+class InternalError : public std::runtime_error {
+ public:
+  explicit InternalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void fatal(const std::string& msg) {
+  throw InternalError(msg);
+}
+
+#define MW_CHECK(cond, msg)                                      \
+  do {                                                           \
+    if (!(cond)) ::mpiwasm::fatal(std::string("check failed: ") + (msg)); \
+  } while (0)
+
+}  // namespace mpiwasm

@@ -1,0 +1,46 @@
+#include "support/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace mpiwasm {
+namespace {
+
+LogLevel initial_level() {
+  const char* env = std::getenv("MPIWASM_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "off") == 0) return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+std::atomic<int> g_threshold{int(initial_level())};
+std::mutex g_io_mutex;
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+LogLevel log_threshold() { return LogLevel(g_threshold.load(std::memory_order_relaxed)); }
+void set_log_threshold(LogLevel level) { g_threshold.store(int(level), std::memory_order_relaxed); }
+
+void log_message(LogLevel level, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(g_io_mutex);
+  std::fprintf(stderr, "[mpiwasm %s] %s\n", level_name(level), msg.c_str());
+}
+
+}  // namespace mpiwasm

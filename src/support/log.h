@@ -1,0 +1,30 @@
+// Minimal leveled logger. Quiet by default so benchmark output stays clean;
+// MPIWASM_LOG=debug|info|warn|error raises/lowers verbosity at runtime.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mpiwasm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+void log_message(LogLevel level, const std::string& msg);
+
+#define MW_LOG(level, expr)                                       \
+  do {                                                            \
+    if ((level) >= ::mpiwasm::log_threshold()) {                  \
+      std::ostringstream mw_log_os_;                              \
+      mw_log_os_ << expr;                                         \
+      ::mpiwasm::log_message((level), mw_log_os_.str());          \
+    }                                                             \
+  } while (0)
+
+#define MW_DEBUG(expr) MW_LOG(::mpiwasm::LogLevel::kDebug, expr)
+#define MW_INFO(expr) MW_LOG(::mpiwasm::LogLevel::kInfo, expr)
+#define MW_WARN(expr) MW_LOG(::mpiwasm::LogLevel::kWarn, expr)
+#define MW_ERROR(expr) MW_LOG(::mpiwasm::LogLevel::kError, expr)
+
+}  // namespace mpiwasm

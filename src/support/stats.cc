@@ -1,0 +1,65 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mpiwasm {
+
+void RunningStat::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / double(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  return n_ > 1 ? m2_ / double(n_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double geomean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double x : xs) {
+    if (x <= 0.0) return 0.0;
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / double(xs.size()));
+}
+
+double gm_slowdown_from_time_ratios(const std::vector<double>& ratios) {
+  // ratios are native_time / wasm_time; GM < 1 means wasm is slower.
+  double gm = geomean(ratios);
+  if (gm == 0.0) return 0.0;
+  return 1.0 - gm;  // e.g. gm=0.95 -> 0.05x slowdown, matching §4.5.
+}
+
+double gm_speedup(const std::vector<double>& baseline_times,
+                  const std::vector<double>& subject_times) {
+  std::vector<double> ratios;
+  size_t n = std::min(baseline_times.size(), subject_times.size());
+  ratios.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (subject_times[i] > 0.0) ratios.push_back(baseline_times[i] / subject_times[i]);
+  }
+  return geomean(ratios);
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  double idx = p / 100.0 * double(xs.size() - 1);
+  size_t lo = size_t(idx);
+  size_t hi = std::min(lo + 1, xs.size() - 1);
+  double frac = idx - double(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+}  // namespace mpiwasm

@@ -1,0 +1,49 @@
+// Statistics helpers for the benchmark harnesses.
+//
+// The paper reports geometric-mean (GM) slowdowns/speedups across message
+// sizes ("GM average slowdown of 0.05x", §4.5) following the benchmarking
+// guidance of Hoefler & Belli (SC'15): we reproduce the same reduction.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/common.h"
+
+namespace mpiwasm {
+
+/// Online min/max/mean/stddev accumulator.
+class RunningStat {
+ public:
+  void add(double x);
+  size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double variance() const;
+  double stddev() const;
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Geometric mean of strictly positive samples. Returns 0 for empty input.
+double geomean(const std::vector<double>& xs);
+
+/// Paper-style GM slowdown: GM of (native_time / wasm_time) minus one,
+/// negated so that "0.05x slowdown" means wasm is 5% slower on GM average.
+/// ratios[i] must be native_metric / wasm_metric with time-like metrics
+/// (lower is better).
+double gm_slowdown_from_time_ratios(const std::vector<double>& ratios);
+
+/// GM speedup: GM of (baseline_time / subject_time); >1 means subject wins.
+double gm_speedup(const std::vector<double>& baseline_times,
+                  const std::vector<double>& subject_times);
+
+double percentile(std::vector<double> xs, double p);
+
+}  // namespace mpiwasm

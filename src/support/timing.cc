@@ -1,0 +1,26 @@
+#include "support/timing.h"
+
+#include <thread>
+
+namespace mpiwasm {
+
+u64 now_ns() {
+  return u64(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+                 .count());
+}
+
+f64 now_seconds() { return f64(now_ns()) / 1e9; }
+
+void spin_for_ns(u64 ns) {
+  if (ns == 0) return;
+  const u64 deadline = now_ns() + ns;
+  // Yield for waits beyond ~50us: on oversubscribed hosts (rank threads >
+  // cores) pure spinning would serialize the whole world.
+  const bool yielding = ns > 50'000;
+  while (now_ns() < deadline) {
+    if (yielding) std::this_thread::yield();
+  }
+}
+
+}  // namespace mpiwasm

@@ -1,0 +1,400 @@
+// NPB DT (data traffic) equivalent in Wasm: f64 payloads flow through a
+// graph topology (BlackHole / WhiteHole / Shuffle) and every receiver runs
+// an element-wise combine kernel. The combine is the vectorizable hot loop
+// whose SIMD build demonstrates the paper's -msimd128 effect (§4.5:
+// "WASM w SIMD" is ~1.36x faster than "WASM w/o SIMD" on DT).
+#include "toolchain/kernels.h"
+
+#include "embedder/abi.h"
+#include "toolchain/mpi_imports.h"
+#include "wasm/decoder.h"
+#include "wasm/validator.h"
+
+namespace mpiwasm::toolchain {
+
+using wasm::ModuleBuilder;
+using wasm::Op;
+using wasm::ValType;
+namespace abi = embed::abi;
+
+namespace {
+constexpr u32 kRankPtr = 1024;
+constexpr u32 kSizePtr = 1032;
+constexpr u32 kScratchIn = 1040;
+constexpr u32 kScratchOut = 1048;
+}  // namespace
+
+const char* dt_topology_name(DtTopology t) {
+  switch (t) {
+    case DtTopology::kBlackHole: return "bh";
+    case DtTopology::kWhiteHole: return "wh";
+    case DtTopology::kShuffle: return "sh";
+  }
+  return "?";
+}
+
+std::vector<u8> build_dt_module(const DtParams& p) {
+  MW_CHECK(p.doubles_per_msg % 2 == 0, "DT payload must be even for f64x2");
+  const u32 D = p.doubles_per_msg;
+  const u32 SRC = 1 << 16;
+  const u32 RCV = SRC + D * 8;
+  const u32 ACC = RCV + D * 8;
+  const u32 heap = ACC + D * 8 + 4096;
+
+  ModuleBuilder b;
+  MpiImportSet set;
+  set.collectives = true;
+  set.p2p = true;
+  set.sendrecv = true;
+  MpiImports mpi = declare_mpi_imports(b, set);
+  u32 report = declare_report_import(b);
+  b.add_memory((heap >> 16) + 2);
+  b.export_memory();
+  add_bump_allocator(b, heap);
+
+  auto& f = b.begin_func({{}, {}}, "_start");
+  const u32 rank = f.add_local(ValType::kI32);
+  const u32 size = f.add_local(ValType::kI32);
+  const u32 i = f.add_local(ValType::kI32);
+  const u32 lim = f.add_local(ValType::kI32);
+  const u32 src = f.add_local(ValType::kI32);
+  const u32 stage = f.add_local(ValType::kI32);
+  const u32 partner = f.add_local(ValType::kI32);
+  const u32 rep = f.add_local(ValType::kI32);
+  const u32 rep_lim = f.add_local(ValType::kI32);
+  const u32 t0 = f.add_local(ValType::kF64);
+  const u32 t1 = f.add_local(ValType::kF64);
+  const u32 checksum = f.add_local(ValType::kF64);
+
+  // Element-wise combine: ACC[i] += RCV[i]*0.5 + RCV[i]*RCV[i]*1e-9.
+  auto emit_combine = [&] {
+    if (p.use_simd) {
+      f.i32_const(i32(D * 8));
+      f.local_set(lim);
+      f.for_loop_i32(i, 0, lim, 16, [&] {
+        f.i32_const(i32(ACC));
+        f.local_get(i);
+        f.op(Op::kI32Add);
+        // acc + rcv*0.5 + rcv*rcv*1e-9 (two lanes at a time)
+        f.i32_const(i32(ACC));
+        f.local_get(i);
+        f.op(Op::kI32Add);
+        f.mem_op(Op::kV128Load);
+        f.i32_const(i32(RCV));
+        f.local_get(i);
+        f.op(Op::kI32Add);
+        f.mem_op(Op::kV128Load);
+        f.f64_const(0.5);
+        f.op(Op::kF64x2Splat);
+        f.op(Op::kF64x2Mul);
+        f.op(Op::kF64x2Add);
+        f.i32_const(i32(RCV));
+        f.local_get(i);
+        f.op(Op::kI32Add);
+        f.mem_op(Op::kV128Load);
+        f.i32_const(i32(RCV));
+        f.local_get(i);
+        f.op(Op::kI32Add);
+        f.mem_op(Op::kV128Load);
+        f.op(Op::kF64x2Mul);
+        f.f64_const(1e-9);
+        f.op(Op::kF64x2Splat);
+        f.op(Op::kF64x2Mul);
+        f.op(Op::kF64x2Add);
+        f.mem_op(Op::kV128Store);
+      });
+    } else {
+      f.i32_const(i32(D * 8));
+      f.local_set(lim);
+      f.for_loop_i32(i, 0, lim, 8, [&] {
+        f.i32_const(i32(ACC));
+        f.local_get(i);
+        f.op(Op::kI32Add);
+        f.i32_const(i32(ACC));
+        f.local_get(i);
+        f.op(Op::kI32Add);
+        f.mem_op(Op::kF64Load);
+        f.i32_const(i32(RCV));
+        f.local_get(i);
+        f.op(Op::kI32Add);
+        f.mem_op(Op::kF64Load);
+        f.f64_const(0.5);
+        f.op(Op::kF64Mul);
+        f.op(Op::kF64Add);
+        f.i32_const(i32(RCV));
+        f.local_get(i);
+        f.op(Op::kI32Add);
+        f.mem_op(Op::kF64Load);
+        f.i32_const(i32(RCV));
+        f.local_get(i);
+        f.op(Op::kI32Add);
+        f.mem_op(Op::kF64Load);
+        f.op(Op::kF64Mul);
+        f.f64_const(1e-9);
+        f.op(Op::kF64Mul);
+        f.op(Op::kF64Add);
+        f.mem_op(Op::kF64Store);
+      });
+    }
+  };
+
+  f.i32_const(0);
+  f.i32_const(0);
+  f.call(mpi.init);
+  f.op(Op::kDrop);
+  f.i32_const(abi::MPI_COMM_WORLD);
+  f.i32_const(i32(kRankPtr));
+  f.call(mpi.comm_rank);
+  f.op(Op::kDrop);
+  f.i32_const(i32(kRankPtr));
+  f.mem_op(Op::kI32Load);
+  f.local_set(rank);
+  f.i32_const(abi::MPI_COMM_WORLD);
+  f.i32_const(i32(kSizePtr));
+  f.call(mpi.comm_size);
+  f.op(Op::kDrop);
+  f.i32_const(i32(kSizePtr));
+  f.mem_op(Op::kI32Load);
+  f.local_set(size);
+
+  // SRC[i] = rank + i * 1e-6
+  f.i32_const(i32(D * 8));
+  f.local_set(lim);
+  f.for_loop_i32(i, 0, lim, 8, [&] {
+    f.i32_const(i32(SRC));
+    f.local_get(i);
+    f.op(Op::kI32Add);
+    f.local_get(rank);
+    f.op(Op::kF64ConvertI32S);
+    f.local_get(i);
+    f.op(Op::kF64ConvertI32S);
+    f.f64_const(1e-6 / 8.0);
+    f.op(Op::kF64Mul);
+    f.op(Op::kF64Add);
+    f.mem_op(Op::kF64Store);
+  });
+
+  f.i32_const(abi::MPI_COMM_WORLD);
+  f.call(mpi.barrier);
+  f.op(Op::kDrop);
+  f.call(mpi.wtime);
+  f.local_set(t0);
+
+  f.i32_const(i32(p.repetitions));
+  f.local_set(rep_lim);
+  f.for_loop_i32(rep, 0, rep_lim, 1, [&] {
+    switch (p.topology) {
+      case DtTopology::kBlackHole:
+        // Everyone streams into rank 0, which combines every payload.
+        f.local_get(rank);
+        f.op(Op::kI32Eqz);
+        f.if_();
+        {
+          // rank 0: receive from 1..size-1 in order, combine each.
+          f.i32_const(1);
+          f.local_set(src);
+          f.block();
+          f.loop();
+          f.local_get(src);
+          f.local_get(size);
+          f.op(Op::kI32GeS);
+          f.br_if(1);
+          f.i32_const(i32(RCV));
+          f.i32_const(i32(D));
+          f.i32_const(abi::MPI_DOUBLE);
+          f.local_get(src);
+          f.i32_const(7);
+          f.i32_const(abi::MPI_COMM_WORLD);
+          f.i32_const(abi::MPI_STATUS_IGNORE);
+          f.call(mpi.recv);
+          f.op(Op::kDrop);
+          emit_combine();
+          f.local_get(src);
+          f.i32_const(1);
+          f.op(Op::kI32Add);
+          f.local_set(src);
+          f.br(0);
+          f.end();
+          f.end();
+        }
+        f.else_();
+        {
+          f.i32_const(i32(SRC));
+          f.i32_const(i32(D));
+          f.i32_const(abi::MPI_DOUBLE);
+          f.i32_const(0);
+          f.i32_const(7);
+          f.i32_const(abi::MPI_COMM_WORLD);
+          f.call(mpi.send);
+          f.op(Op::kDrop);
+        }
+        f.end();
+        break;
+      case DtTopology::kWhiteHole:
+        // Rank 0 streams to everyone; receivers combine.
+        f.local_get(rank);
+        f.op(Op::kI32Eqz);
+        f.if_();
+        {
+          f.i32_const(1);
+          f.local_set(src);
+          f.block();
+          f.loop();
+          f.local_get(src);
+          f.local_get(size);
+          f.op(Op::kI32GeS);
+          f.br_if(1);
+          f.i32_const(i32(SRC));
+          f.i32_const(i32(D));
+          f.i32_const(abi::MPI_DOUBLE);
+          f.local_get(src);
+          f.i32_const(7);
+          f.i32_const(abi::MPI_COMM_WORLD);
+          f.call(mpi.send);
+          f.op(Op::kDrop);
+          f.local_get(src);
+          f.i32_const(1);
+          f.op(Op::kI32Add);
+          f.local_set(src);
+          f.br(0);
+          f.end();
+          f.end();
+        }
+        f.else_();
+        {
+          f.i32_const(i32(RCV));
+          f.i32_const(i32(D));
+          f.i32_const(abi::MPI_DOUBLE);
+          f.i32_const(0);
+          f.i32_const(7);
+          f.i32_const(abi::MPI_COMM_WORLD);
+          f.i32_const(abi::MPI_STATUS_IGNORE);
+          f.call(mpi.recv);
+          f.op(Op::kDrop);
+          emit_combine();
+        }
+        f.end();
+        break;
+      case DtTopology::kShuffle:
+        // Butterfly: stage k exchanges with rank ^ 2^k (power-of-two sizes;
+        // trailing ranks sit out a stage when the partner is out of range).
+        f.i32_const(1);
+        f.local_set(stage);
+        f.block();
+        f.loop();
+        f.local_get(stage);
+        f.local_get(size);
+        f.op(Op::kI32GeS);
+        f.br_if(1);
+        f.local_get(rank);
+        f.local_get(stage);
+        f.op(Op::kI32Xor);
+        f.local_set(partner);
+        f.local_get(partner);
+        f.local_get(size);
+        f.op(Op::kI32LtS);
+        f.if_();
+        {
+          f.i32_const(i32(SRC));
+          f.i32_const(i32(D));
+          f.i32_const(abi::MPI_DOUBLE);
+          f.local_get(partner);
+          f.i32_const(7);
+          f.i32_const(i32(RCV));
+          f.i32_const(i32(D));
+          f.i32_const(abi::MPI_DOUBLE);
+          f.local_get(partner);
+          f.i32_const(7);
+          f.i32_const(abi::MPI_COMM_WORLD);
+          f.i32_const(abi::MPI_STATUS_IGNORE);
+          f.call(mpi.sendrecv);
+          f.op(Op::kDrop);
+          emit_combine();
+        }
+        f.end();
+        f.local_get(stage);
+        f.i32_const(1);
+        f.op(Op::kI32Shl);
+        f.local_set(stage);
+        f.br(0);
+        f.end();
+        f.end();
+        break;
+    }
+  });
+
+  f.call(mpi.wtime);
+  f.local_set(t1);
+
+  // checksum = allreduce(sum(ACC)) keeps results comparable across builds.
+  f.f64_const(0);
+  f.local_set(checksum);
+  f.i32_const(i32(D * 8));
+  f.local_set(lim);
+  f.for_loop_i32(i, 0, lim, 8, [&] {
+    f.local_get(checksum);
+    f.i32_const(i32(ACC));
+    f.local_get(i);
+    f.op(Op::kI32Add);
+    f.mem_op(Op::kF64Load);
+    f.op(Op::kF64Add);
+    f.local_set(checksum);
+  });
+  f.i32_const(i32(kScratchIn));
+  f.local_get(checksum);
+  f.mem_op(Op::kF64Store);
+  f.i32_const(i32(kScratchIn));
+  f.i32_const(i32(kScratchOut));
+  f.i32_const(1);
+  f.i32_const(abi::MPI_DOUBLE);
+  f.i32_const(abi::MPI_SUM);
+  f.i32_const(abi::MPI_COMM_WORLD);
+  f.call(mpi.allreduce);
+  f.op(Op::kDrop);
+
+  // Throughput model matches NPB DT: bytes moved per repetition depends on
+  // the topology (edges * payload).
+  f.local_get(rank);
+  f.op(Op::kI32Eqz);
+  f.if_();
+  {
+    f.i32_const(p.report_id);
+    // MB/s = reps * edges * D * 8 / elapsed / 1e6; edges = size-1 for
+    // bh/wh, size*log2(size) for sh — computed with runtime size.
+    f.f64_const(f64(p.repetitions) * f64(D) * 8.0 / 1e6);
+    if (p.topology == DtTopology::kShuffle) {
+      // edges ~= size * ceil(log2(size)); approximate with size * stages.
+      f.local_get(size);
+      f.op(Op::kF64ConvertI32S);
+      f.op(Op::kF64Mul);
+    } else {
+      f.local_get(size);
+      f.i32_const(1);
+      f.op(Op::kI32Sub);
+      f.op(Op::kF64ConvertI32S);
+      f.op(Op::kF64Mul);
+    }
+    f.local_get(t1);
+    f.local_get(t0);
+    f.op(Op::kF64Sub);
+    f.op(Op::kF64Div);
+    f.i32_const(i32(kScratchOut));
+    f.mem_op(Op::kF64Load);
+    f.f64_const(f64(p.repetitions));
+    f.call(report);
+  }
+  f.end();
+
+  f.call(mpi.finalize);
+  f.op(Op::kDrop);
+  f.end();
+
+  std::vector<u8> bytes = b.build();
+  auto decoded = wasm::decode_module({bytes.data(), bytes.size()});
+  MW_CHECK(decoded.ok(), "dt module failed to decode: " + decoded.error);
+  auto vr = wasm::validate_module(*decoded.module);
+  MW_CHECK(vr.ok, "dt module failed to validate: " + vr.error);
+  return bytes;
+}
+
+}  // namespace mpiwasm::toolchain

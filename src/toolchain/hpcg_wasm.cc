@@ -1,0 +1,384 @@
+// HPCG-equivalent kernel in Wasm: distributed conjugate gradient on the
+// 1-D Laplacian with halo exchange and Allreduce dot products (§4.2).
+//
+// The communication pattern is the one the paper's §4.5 analysis leans on:
+// every CG iteration issues two MPI_Allreduce calls on a single double, so
+// the per-call translation overhead in the embedder grows linearly with
+// iteration count and rank count — the mechanism behind the 14% GFLOP/s
+// gap at 6144 ranks.
+#include "toolchain/kernels.h"
+
+#include "embedder/abi.h"
+#include "toolchain/mpi_imports.h"
+#include "wasm/decoder.h"
+#include "wasm/validator.h"
+
+namespace mpiwasm::toolchain {
+
+using wasm::FunctionBuilder;
+using wasm::ModuleBuilder;
+using wasm::Op;
+using wasm::ValType;
+namespace abi = embed::abi;
+
+namespace {
+
+constexpr u32 kRankPtr = 1024;
+constexpr u32 kSizePtr = 1032;
+constexpr u32 kScratchIn = 1040;   // f64 allreduce input
+constexpr u32 kScratchOut = 1048;  // f64 allreduce output
+constexpr u32 kArrayBase = 1 << 16;
+
+}  // namespace
+
+std::vector<u8> build_hpcg_module(const HpcgParams& p) {
+  const u32 n = p.n_per_rank;
+  const u64 stride = u64(n + 2) * 8;  // ghost cells at [0] and [n+1]
+  const u32 X0 = kArrayBase;
+  const u32 R0 = u32(X0 + stride);
+  const u32 P0 = u32(R0 + stride);
+  const u32 A0 = u32(P0 + stride);  // Ap
+  const u32 heap = u32(A0 + stride + 4096);
+
+  ModuleBuilder b;
+  MpiImportSet set;
+  set.collectives = true;
+  set.sendrecv = true;
+  MpiImports mpi = declare_mpi_imports(b, set);
+  u32 report = declare_report_import(b);
+  b.add_memory((heap >> 16) + 2);
+  b.export_memory();
+  add_bump_allocator(b, heap);
+
+  u32 g_rank = b.add_global(ValType::kI32, true, 0);
+  u32 g_size = b.add_global(ValType::kI32, true, 1);
+
+  // --- dot(a_base, b_base) -> f64 : local dot product over [1, n] --------
+  auto& dot = b.begin_func({{ValType::kI32, ValType::kI32}, {ValType::kF64}});
+  {
+    u32 off = dot.add_local(ValType::kI32);
+    u32 lim = dot.add_local(ValType::kI32);
+    u32 acc = dot.add_local(ValType::kF64);
+    dot.i32_const(i32(8 * (n + 1)));
+    dot.local_set(lim);
+    dot.for_loop_i32(off, 8, lim, 8, [&] {
+      dot.local_get(acc);
+      dot.local_get(0);
+      dot.local_get(off);
+      dot.op(Op::kI32Add);
+      dot.mem_op(Op::kF64Load);
+      dot.local_get(1);
+      dot.local_get(off);
+      dot.op(Op::kI32Add);
+      dot.mem_op(Op::kF64Load);
+      dot.op(Op::kF64Mul);
+      dot.op(Op::kF64Add);
+      dot.local_set(acc);
+    });
+    dot.local_get(acc);
+    dot.end();
+  }
+
+  // --- halo(base) : exchange ghost cells with neighbours ------------------
+  auto& halo = b.begin_func({{ValType::kI32}, {}});
+  {
+    // if (rank > 0) Sendrecv(base+8 -> left, tag 2; base+0 <- left, tag 1)
+    halo.global_get(g_rank);
+    halo.i32_const(0);
+    halo.op(Op::kI32GtS);
+    halo.if_();
+    {
+      halo.local_get(0);
+      halo.i32_const(8);
+      halo.op(Op::kI32Add);       // sendbuf = &v[1]
+      halo.i32_const(1);          // count
+      halo.i32_const(abi::MPI_DOUBLE);
+      halo.global_get(g_rank);
+      halo.i32_const(1);
+      halo.op(Op::kI32Sub);       // dest = rank - 1
+      halo.i32_const(2);          // sendtag: leftward data
+      halo.local_get(0);          // recvbuf = &v[0]
+      halo.i32_const(1);
+      halo.i32_const(abi::MPI_DOUBLE);
+      halo.global_get(g_rank);
+      halo.i32_const(1);
+      halo.op(Op::kI32Sub);       // source = rank - 1
+      halo.i32_const(1);          // recvtag: rightward data
+      halo.i32_const(abi::MPI_COMM_WORLD);
+      halo.i32_const(abi::MPI_STATUS_IGNORE);
+      halo.call(mpi.sendrecv);
+      halo.op(Op::kDrop);
+    }
+    halo.end();
+    // if (rank < size-1) Sendrecv(base+8n -> right, tag 1; base+8(n+1) <- right, tag 2)
+    halo.global_get(g_rank);
+    halo.global_get(g_size);
+    halo.i32_const(1);
+    halo.op(Op::kI32Sub);
+    halo.op(Op::kI32LtS);
+    halo.if_();
+    {
+      halo.local_get(0);
+      halo.i32_const(i32(8 * n));
+      halo.op(Op::kI32Add);       // sendbuf = &v[n]
+      halo.i32_const(1);
+      halo.i32_const(abi::MPI_DOUBLE);
+      halo.global_get(g_rank);
+      halo.i32_const(1);
+      halo.op(Op::kI32Add);       // dest = rank + 1
+      halo.i32_const(1);          // sendtag: rightward data
+      halo.local_get(0);
+      halo.i32_const(i32(8 * (n + 1)));
+      halo.op(Op::kI32Add);       // recvbuf = &v[n+1]
+      halo.i32_const(1);
+      halo.i32_const(abi::MPI_DOUBLE);
+      halo.global_get(g_rank);
+      halo.i32_const(1);
+      halo.op(Op::kI32Add);       // source = rank + 1
+      halo.i32_const(2);          // recvtag: leftward data
+      halo.i32_const(abi::MPI_COMM_WORLD);
+      halo.i32_const(abi::MPI_STATUS_IGNORE);
+      halo.call(mpi.sendrecv);
+      halo.op(Op::kDrop);
+    }
+    halo.end();
+    halo.end();
+  }
+
+  // --- allreduce_sum(x: f64) -> f64 ----------------------------------------
+  auto& ar = b.begin_func({{ValType::kF64}, {ValType::kF64}});
+  {
+    ar.i32_const(i32(kScratchIn));
+    ar.local_get(0);
+    ar.mem_op(Op::kF64Store);
+    ar.i32_const(i32(kScratchIn));
+    ar.i32_const(i32(kScratchOut));
+    ar.i32_const(1);
+    ar.i32_const(abi::MPI_DOUBLE);
+    ar.i32_const(abi::MPI_SUM);
+    ar.i32_const(abi::MPI_COMM_WORLD);
+    ar.call(mpi.allreduce);
+    ar.op(Op::kDrop);
+    ar.i32_const(i32(kScratchOut));
+    ar.mem_op(Op::kF64Load);
+    ar.end();
+  }
+
+  // --- _start ---------------------------------------------------------------
+  auto& f = b.begin_func({{}, {}}, "_start");
+  {
+    const u32 off = f.add_local(ValType::kI32);
+    const u32 lim = f.add_local(ValType::kI32);
+    const u32 it = f.add_local(ValType::kI32);
+    const u32 iter_lim = f.add_local(ValType::kI32);
+    const u32 rr = f.add_local(ValType::kF64);
+    const u32 rr_new = f.add_local(ValType::kF64);
+    const u32 alpha = f.add_local(ValType::kF64);
+    const u32 beta = f.add_local(ValType::kF64);
+    const u32 t0 = f.add_local(ValType::kF64);
+    const u32 t1 = f.add_local(ValType::kF64);
+
+    f.i32_const(0);
+    f.i32_const(0);
+    f.call(mpi.init);
+    f.op(Op::kDrop);
+    f.i32_const(abi::MPI_COMM_WORLD);
+    f.i32_const(i32(kRankPtr));
+    f.call(mpi.comm_rank);
+    f.op(Op::kDrop);
+    f.i32_const(i32(kRankPtr));
+    f.mem_op(Op::kI32Load);
+    f.global_set(g_rank);
+    f.i32_const(abi::MPI_COMM_WORLD);
+    f.i32_const(i32(kSizePtr));
+    f.call(mpi.comm_size);
+    f.op(Op::kDrop);
+    f.i32_const(i32(kSizePtr));
+    f.mem_op(Op::kI32Load);
+    f.global_set(g_size);
+
+    // Init: x = 0 (memory starts zeroed); r = p = b where b[i] = 1.
+    f.i32_const(i32(8 * (n + 1)));
+    f.local_set(lim);
+    f.for_loop_i32(off, 8, lim, 8, [&] {
+      f.i32_const(i32(R0));
+      f.local_get(off);
+      f.op(Op::kI32Add);
+      f.f64_const(1.0);
+      f.mem_op(Op::kF64Store);
+      f.i32_const(i32(P0));
+      f.local_get(off);
+      f.op(Op::kI32Add);
+      f.f64_const(1.0);
+      f.mem_op(Op::kF64Store);
+    });
+
+    // rr = allreduce(dot(r, r))
+    f.i32_const(i32(R0));
+    f.i32_const(i32(R0));
+    f.call(dot.index());
+    f.call(ar.index());
+    f.local_set(rr);
+
+    f.i32_const(abi::MPI_COMM_WORLD);
+    f.call(mpi.barrier);
+    f.op(Op::kDrop);
+    f.call(mpi.wtime);
+    f.local_set(t0);
+
+    f.i32_const(i32(p.iterations));
+    f.local_set(iter_lim);
+    f.for_loop_i32(it, 0, iter_lim, 1, [&] {
+      // halo(p); Ap = A p   (Ap[i] = 2 p[i] - p[i-1] - p[i+1])
+      f.i32_const(i32(P0));
+      f.call(halo.index());
+      f.i32_const(i32(8 * (n + 1)));
+      f.local_set(lim);
+      f.for_loop_i32(off, 8, lim, 8, [&] {
+        f.i32_const(i32(A0));
+        f.local_get(off);
+        f.op(Op::kI32Add);
+        // 2*p[i]
+        f.i32_const(i32(P0));
+        f.local_get(off);
+        f.op(Op::kI32Add);
+        f.mem_op(Op::kF64Load);
+        f.f64_const(2.0);
+        f.op(Op::kF64Mul);
+        // - p[i-1]
+        f.i32_const(i32(P0 - 8));
+        f.local_get(off);
+        f.op(Op::kI32Add);
+        f.mem_op(Op::kF64Load);
+        f.op(Op::kF64Sub);
+        // - p[i+1]
+        f.i32_const(i32(P0 + 8));
+        f.local_get(off);
+        f.op(Op::kI32Add);
+        f.mem_op(Op::kF64Load);
+        f.op(Op::kF64Sub);
+        f.mem_op(Op::kF64Store);
+      });
+      // alpha = rr / allreduce(dot(p, Ap))
+      f.local_get(rr);
+      f.i32_const(i32(P0));
+      f.i32_const(i32(A0));
+      f.call(dot.index());
+      f.call(ar.index());
+      f.op(Op::kF64Div);
+      f.local_set(alpha);
+      // x += alpha p ; r -= alpha Ap
+      f.for_loop_i32(off, 8, lim, 8, [&] {
+        f.i32_const(i32(X0));
+        f.local_get(off);
+        f.op(Op::kI32Add);
+        f.i32_const(i32(X0));
+        f.local_get(off);
+        f.op(Op::kI32Add);
+        f.mem_op(Op::kF64Load);
+        f.local_get(alpha);
+        f.i32_const(i32(P0));
+        f.local_get(off);
+        f.op(Op::kI32Add);
+        f.mem_op(Op::kF64Load);
+        f.op(Op::kF64Mul);
+        f.op(Op::kF64Add);
+        f.mem_op(Op::kF64Store);
+        f.i32_const(i32(R0));
+        f.local_get(off);
+        f.op(Op::kI32Add);
+        f.i32_const(i32(R0));
+        f.local_get(off);
+        f.op(Op::kI32Add);
+        f.mem_op(Op::kF64Load);
+        f.local_get(alpha);
+        f.i32_const(i32(A0));
+        f.local_get(off);
+        f.op(Op::kI32Add);
+        f.mem_op(Op::kF64Load);
+        f.op(Op::kF64Mul);
+        f.op(Op::kF64Sub);
+        f.mem_op(Op::kF64Store);
+      });
+      // rr_new = allreduce(dot(r, r)); beta = rr_new / rr; rr = rr_new
+      f.i32_const(i32(R0));
+      f.i32_const(i32(R0));
+      f.call(dot.index());
+      f.call(ar.index());
+      f.local_set(rr_new);
+      f.local_get(rr_new);
+      f.local_get(rr);
+      f.op(Op::kF64Div);
+      f.local_set(beta);
+      f.local_get(rr_new);
+      f.local_set(rr);
+      // p = r + beta p
+      f.for_loop_i32(off, 8, lim, 8, [&] {
+        f.i32_const(i32(P0));
+        f.local_get(off);
+        f.op(Op::kI32Add);
+        f.i32_const(i32(R0));
+        f.local_get(off);
+        f.op(Op::kI32Add);
+        f.mem_op(Op::kF64Load);
+        f.local_get(beta);
+        f.i32_const(i32(P0));
+        f.local_get(off);
+        f.op(Op::kI32Add);
+        f.mem_op(Op::kF64Load);
+        f.op(Op::kF64Mul);
+        f.op(Op::kF64Add);
+        f.mem_op(Op::kF64Store);
+      });
+    });
+
+    f.call(mpi.wtime);
+    f.local_set(t1);
+
+    // FLOP model: matvec 4n, dots 2*2n each (incl. the final one), axpy
+    // pair 4n, p-update 2n => ~14n flops per iteration per rank.
+    const f64 flops_per_rank = f64(p.iterations) * 14.0 * f64(n);
+    const f64 bytes_per_rank = f64(p.iterations) * 144.0 * f64(n);
+    f.global_get(g_rank);
+    f.op(Op::kI32Eqz);
+    f.if_();
+    {
+      f.i32_const(p.report_id);
+      // gflops = flops_per_rank * size / elapsed / 1e9
+      f.f64_const(flops_per_rank / 1e9);
+      f.global_get(g_size);
+      f.op(Op::kF64ConvertI32S);
+      f.op(Op::kF64Mul);
+      f.local_get(t1);
+      f.local_get(t0);
+      f.op(Op::kF64Sub);
+      f.op(Op::kF64Div);
+      // gbps
+      f.f64_const(bytes_per_rank / 1e9);
+      f.global_get(g_size);
+      f.op(Op::kF64ConvertI32S);
+      f.op(Op::kF64Mul);
+      f.local_get(t1);
+      f.local_get(t0);
+      f.op(Op::kF64Sub);
+      f.op(Op::kF64Div);
+      // residual (for correctness cross-checks vs native twin)
+      f.local_get(rr);
+      f.call(report);
+    }
+    f.end();
+
+    f.call(mpi.finalize);
+    f.op(Op::kDrop);
+    f.end();
+  }
+
+  std::vector<u8> bytes = b.build();
+  auto decoded = wasm::decode_module({bytes.data(), bytes.size()});
+  MW_CHECK(decoded.ok(), "hpcg module failed to decode: " + decoded.error);
+  auto vr = wasm::validate_module(*decoded.module);
+  MW_CHECK(vr.ok, "hpcg module failed to validate: " + vr.error);
+  return bytes;
+}
+
+}  // namespace mpiwasm::toolchain

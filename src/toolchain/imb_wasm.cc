@@ -1,0 +1,337 @@
+// Intel-MPI-Benchmarks-equivalent kernels authored in Wasm (paper §4.2).
+//
+// One module per routine. Each module sweeps message sizes (powers of two,
+// unrolled at build time), times `iters` repetitions between MPI_Wtime
+// calls, and reports per-size average iteration time in microseconds via
+// bench.report — the same t_avg_us metric the paper's Figures 3/4 plot.
+#include "toolchain/kernels.h"
+
+#include <algorithm>
+
+#include "embedder/abi.h"
+#include "toolchain/mpi_imports.h"
+#include "wasm/decoder.h"
+#include "wasm/validator.h"
+
+namespace mpiwasm::toolchain {
+
+using wasm::FunctionBuilder;
+using wasm::ModuleBuilder;
+using wasm::Op;
+using wasm::ValType;
+namespace abi = embed::abi;
+
+namespace {
+
+// Scratch layout (below the first buffer).
+constexpr u32 kRankPtr = 1024;
+constexpr u32 kSizePtr = 1032;
+constexpr u32 kBufA = 1 << 16;
+
+u32 align_up(u64 v, u64 a) { return u32((v + a - 1) / a * a); }
+
+}  // namespace
+
+const char* imb_routine_name(ImbRoutine r) {
+  switch (r) {
+    case ImbRoutine::kPingPong: return "PingPong";
+    case ImbRoutine::kSendRecv: return "Sendrecv";
+    case ImbRoutine::kBcast: return "Bcast";
+    case ImbRoutine::kAllReduce: return "Allreduce";
+    case ImbRoutine::kAllGather: return "Allgather";
+    case ImbRoutine::kAlltoall: return "Alltoall";
+    case ImbRoutine::kReduce: return "Reduce";
+    case ImbRoutine::kGather: return "Gather";
+    case ImbRoutine::kScatter: return "Scatter";
+  }
+  return "?";
+}
+
+u32 imb_iters_for(const ImbParams& p, u32 bytes) {
+  u32 iters = p.base_iters / std::max<u32>(bytes, 1);
+  return std::clamp(iters, p.min_iters, p.max_iters);
+}
+
+std::vector<u8> build_imb_module(const ImbParams& p) {
+  const u32 max_ranks = 64;  // buffer sizing assumption, checked at runtime
+  ModuleBuilder b;
+
+  MpiImportSet set;
+  set.collectives = true;  // barrier around every size
+  switch (p.routine) {
+    case ImbRoutine::kPingPong: set.p2p = true; break;
+    case ImbRoutine::kSendRecv: set.sendrecv = true; break;
+    case ImbRoutine::kBcast:
+    case ImbRoutine::kAllReduce:
+    case ImbRoutine::kReduce:
+      break;  // covered by collectives
+    case ImbRoutine::kAllGather:
+    case ImbRoutine::kAlltoall:
+      set.alltoall = true;
+      break;
+    case ImbRoutine::kGather:
+    case ImbRoutine::kScatter:
+      set.gather_scatter = true;
+      break;
+  }
+  MpiImports mpi = declare_mpi_imports(b, set);
+  u32 report = declare_report_import(b);
+
+  // Buffer capacities: rooted/all collectives need size-scaled buffers.
+  const bool scaled_a = p.routine == ImbRoutine::kAlltoall ||
+                        p.routine == ImbRoutine::kScatter;
+  const bool scaled_b = p.routine == ImbRoutine::kAllGather ||
+                        p.routine == ImbRoutine::kAlltoall ||
+                        p.routine == ImbRoutine::kGather;
+  const u64 cap_a = u64(p.max_bytes) * (scaled_a ? max_ranks : 1);
+  const u64 cap_b = u64(p.max_bytes) * (scaled_b ? max_ranks : 1);
+  const u32 buf_b = align_up(kBufA + cap_a, 4096);
+  const u32 heap = align_up(buf_b + cap_b, 4096);
+  const u32 pages = (heap >> 16) + 2;
+  b.add_memory(pages);
+  b.export_memory();
+  add_bump_allocator(b, heap);
+
+  auto& f = b.begin_func({{}, {}}, "_start");
+  const u32 rank = f.add_local(ValType::kI32);
+  const u32 size = f.add_local(ValType::kI32);
+  const u32 left = f.add_local(ValType::kI32);
+  const u32 right = f.add_local(ValType::kI32);
+  const u32 i = f.add_local(ValType::kI32);
+  const u32 iters = f.add_local(ValType::kI32);
+  const u32 t0 = f.add_local(ValType::kF64);
+  const u32 t1 = f.add_local(ValType::kF64);
+
+  // MPI_Init(NULL, NULL); rank/size via scratch slots.
+  f.i32_const(0);
+  f.i32_const(0);
+  f.call(mpi.init);
+  f.op(Op::kDrop);
+  f.i32_const(abi::MPI_COMM_WORLD);
+  f.i32_const(kRankPtr);
+  f.call(mpi.comm_rank);
+  f.op(Op::kDrop);
+  f.i32_const(kRankPtr);
+  f.mem_op(Op::kI32Load);
+  f.local_set(rank);
+  f.i32_const(abi::MPI_COMM_WORLD);
+  f.i32_const(kSizePtr);
+  f.call(mpi.comm_size);
+  f.op(Op::kDrop);
+  f.i32_const(kSizePtr);
+  f.mem_op(Op::kI32Load);
+  f.local_set(size);
+  // Ring neighbours (SendRecv).
+  f.local_get(rank);
+  f.i32_const(1);
+  f.op(Op::kI32Add);
+  f.local_get(size);
+  f.op(Op::kI32RemS);
+  f.local_set(right);
+  f.local_get(rank);
+  f.i32_const(1);
+  f.op(Op::kI32Add);
+  f.local_get(size);
+  f.op(Op::kI32Add);
+  f.i32_const(2);
+  f.op(Op::kI32Sub);
+  f.local_get(size);
+  f.op(Op::kI32RemS);
+  f.local_set(left);  // (rank - 1 + size) % size
+
+  // Emits one inner-loop iteration of the routine for message size s.
+  auto emit_iteration = [&](u32 s) {
+    const i32 dcount = i32(std::max<u32>(s / 8, 1));
+    switch (p.routine) {
+      case ImbRoutine::kPingPong:
+        // rank 0: send then recv; rank 1: recv then send; others idle.
+        f.local_get(rank);
+        f.op(Op::kI32Eqz);
+        f.if_();
+        {
+          f.i32_const(i32(kBufA));
+          f.i32_const(i32(s));
+          f.i32_const(abi::MPI_BYTE);
+          f.i32_const(1);
+          f.i32_const(0);
+          f.i32_const(abi::MPI_COMM_WORLD);
+          f.call(mpi.send);
+          f.op(Op::kDrop);
+          f.i32_const(i32(buf_b));
+          f.i32_const(i32(s));
+          f.i32_const(abi::MPI_BYTE);
+          f.i32_const(1);
+          f.i32_const(0);
+          f.i32_const(abi::MPI_COMM_WORLD);
+          f.i32_const(abi::MPI_STATUS_IGNORE);
+          f.call(mpi.recv);
+          f.op(Op::kDrop);
+        }
+        f.else_();
+        {
+          f.local_get(rank);
+          f.i32_const(1);
+          f.op(Op::kI32Eq);
+          f.if_();
+          f.i32_const(i32(buf_b));
+          f.i32_const(i32(s));
+          f.i32_const(abi::MPI_BYTE);
+          f.i32_const(0);
+          f.i32_const(0);
+          f.i32_const(abi::MPI_COMM_WORLD);
+          f.i32_const(abi::MPI_STATUS_IGNORE);
+          f.call(mpi.recv);
+          f.op(Op::kDrop);
+          f.i32_const(i32(kBufA));
+          f.i32_const(i32(s));
+          f.i32_const(abi::MPI_BYTE);
+          f.i32_const(0);
+          f.i32_const(0);
+          f.i32_const(abi::MPI_COMM_WORLD);
+          f.call(mpi.send);
+          f.op(Op::kDrop);
+          f.end();
+        }
+        f.end();
+        break;
+      case ImbRoutine::kSendRecv:
+        f.i32_const(i32(kBufA));
+        f.i32_const(i32(s));
+        f.i32_const(abi::MPI_BYTE);
+        f.local_get(right);
+        f.i32_const(0);
+        f.i32_const(i32(buf_b));
+        f.i32_const(i32(s));
+        f.i32_const(abi::MPI_BYTE);
+        f.local_get(left);
+        f.i32_const(0);
+        f.i32_const(abi::MPI_COMM_WORLD);
+        f.i32_const(abi::MPI_STATUS_IGNORE);
+        f.call(mpi.sendrecv);
+        f.op(Op::kDrop);
+        break;
+      case ImbRoutine::kBcast:
+        f.i32_const(i32(kBufA));
+        f.i32_const(i32(s));
+        f.i32_const(abi::MPI_BYTE);
+        f.i32_const(0);
+        f.i32_const(abi::MPI_COMM_WORLD);
+        f.call(mpi.bcast);
+        f.op(Op::kDrop);
+        break;
+      case ImbRoutine::kAllReduce:
+        f.i32_const(i32(kBufA));
+        f.i32_const(i32(buf_b));
+        f.i32_const(dcount);
+        f.i32_const(abi::MPI_DOUBLE);
+        f.i32_const(abi::MPI_SUM);
+        f.i32_const(abi::MPI_COMM_WORLD);
+        f.call(mpi.allreduce);
+        f.op(Op::kDrop);
+        break;
+      case ImbRoutine::kReduce:
+        f.i32_const(i32(kBufA));
+        f.i32_const(i32(buf_b));
+        f.i32_const(dcount);
+        f.i32_const(abi::MPI_DOUBLE);
+        f.i32_const(abi::MPI_SUM);
+        f.i32_const(0);
+        f.i32_const(abi::MPI_COMM_WORLD);
+        f.call(mpi.reduce);
+        f.op(Op::kDrop);
+        break;
+      case ImbRoutine::kAllGather:
+        f.i32_const(i32(kBufA));
+        f.i32_const(i32(s));
+        f.i32_const(abi::MPI_BYTE);
+        f.i32_const(i32(buf_b));
+        f.i32_const(i32(s));
+        f.i32_const(abi::MPI_BYTE);
+        f.i32_const(abi::MPI_COMM_WORLD);
+        f.call(mpi.allgather);
+        f.op(Op::kDrop);
+        break;
+      case ImbRoutine::kAlltoall:
+        f.i32_const(i32(kBufA));
+        f.i32_const(i32(s));
+        f.i32_const(abi::MPI_BYTE);
+        f.i32_const(i32(buf_b));
+        f.i32_const(i32(s));
+        f.i32_const(abi::MPI_BYTE);
+        f.i32_const(abi::MPI_COMM_WORLD);
+        f.call(mpi.alltoall);
+        f.op(Op::kDrop);
+        break;
+      case ImbRoutine::kGather:
+        f.i32_const(i32(kBufA));
+        f.i32_const(i32(s));
+        f.i32_const(abi::MPI_BYTE);
+        f.i32_const(i32(buf_b));
+        f.i32_const(i32(s));
+        f.i32_const(abi::MPI_BYTE);
+        f.i32_const(0);
+        f.i32_const(abi::MPI_COMM_WORLD);
+        f.call(mpi.gather);
+        f.op(Op::kDrop);
+        break;
+      case ImbRoutine::kScatter:
+        f.i32_const(i32(kBufA));
+        f.i32_const(i32(s));
+        f.i32_const(abi::MPI_BYTE);
+        f.i32_const(i32(buf_b));
+        f.i32_const(i32(s));
+        f.i32_const(abi::MPI_BYTE);
+        f.i32_const(0);
+        f.i32_const(abi::MPI_COMM_WORLD);
+        f.call(mpi.scatter);
+        f.op(Op::kDrop);
+        break;
+    }
+  };
+
+  // Unrolled sweep over message sizes.
+  for (u32 s = p.min_bytes; s <= p.max_bytes; s *= 2) {
+    const u32 n_iters = imb_iters_for(p, s);
+    // Synchronize ranks, then time the repetition loop.
+    f.i32_const(abi::MPI_COMM_WORLD);
+    f.call(mpi.barrier);
+    f.op(Op::kDrop);
+    f.i32_const(i32(n_iters));
+    f.local_set(iters);
+    f.call(mpi.wtime);
+    f.local_set(t0);
+    f.for_loop_i32(i, 0, iters, 1, [&] { emit_iteration(s); });
+    f.call(mpi.wtime);
+    f.local_set(t1);
+    // rank 0 reports t_avg in usec (PingPong reports half round-trip).
+    f.local_get(rank);
+    f.op(Op::kI32Eqz);
+    f.if_();
+    {
+      f.i32_const(p.report_id);
+      f.f64_const(f64(s));
+      f.local_get(t1);
+      f.local_get(t0);
+      f.op(Op::kF64Sub);
+      f.f64_const(1e6 / f64(n_iters) /
+                  (p.routine == ImbRoutine::kPingPong ? 2.0 : 1.0));
+      f.op(Op::kF64Mul);
+      f.f64_const(f64(n_iters));
+      f.call(report);
+    }
+    f.end();
+  }
+
+  f.call(mpi.finalize);
+  f.op(Op::kDrop);
+  f.end();
+
+  std::vector<u8> bytes = b.build();
+  auto decoded = wasm::decode_module({bytes.data(), bytes.size()});
+  MW_CHECK(decoded.ok(), "imb module failed to decode: " + decoded.error);
+  auto vr = wasm::validate_module(*decoded.module);
+  MW_CHECK(vr.ok, "imb module failed to validate: " + vr.error);
+  return bytes;
+}
+
+}  // namespace mpiwasm::toolchain

@@ -1,0 +1,261 @@
+// IOR-equivalent file I/O kernel through WASI (POSIX backend; §4.2).
+//
+// Each rank writes and reads back its own file under the first preopened
+// directory, timing both phases. All filesystem traffic flows through the
+// embedder's userspace permission handling and virtual directory tree
+// (§3.4) — the overhead Figure 5b shows to be negligible.
+#include "toolchain/kernels.h"
+
+#include "embedder/abi.h"
+#include "toolchain/mpi_imports.h"
+#include "wasm/decoder.h"
+#include "wasm/validator.h"
+
+namespace mpiwasm::toolchain {
+
+using wasm::FuncType;
+using wasm::ModuleBuilder;
+using wasm::Op;
+using wasm::ValType;
+namespace abi = embed::abi;
+
+namespace {
+constexpr ValType I32 = ValType::kI32;
+constexpr ValType I64 = ValType::kI64;
+constexpr u32 kRankPtr = 1024;
+constexpr u32 kSizePtr = 1032;
+constexpr u32 kScratchIn = 1040;   // f64 x2 (elapsed write/read)
+constexpr u32 kScratchOut = 1056;  // f64 x2
+constexpr u32 kPath = 1100;        // "rA.dat" template
+constexpr u32 kFdPtr = 1120;
+constexpr u32 kIov = 1128;         // (ptr, len)
+constexpr u32 kNPtr = 1136;
+constexpr u32 kBuf = 1 << 16;
+}  // namespace
+
+std::vector<u8> build_ior_module(const IorParams& p) {
+  const u32 heap = kBuf + p.block_bytes + 4096;
+
+  ModuleBuilder b;
+  MpiImportSet set;
+  set.collectives = true;
+  MpiImports mpi = declare_mpi_imports(b, set);
+  u32 report = declare_report_import(b);
+  // WASI file imports (the module's POSIX layer, Listing 1).
+  u32 path_open = b.import_func(
+      "wasi_snapshot_preview1", "path_open",
+      FuncType{{I32, I32, I32, I32, I32, I64, I64, I32, I32}, {I32}});
+  u32 fd_write = b.import_func("wasi_snapshot_preview1", "fd_write",
+                               FuncType{{I32, I32, I32, I32}, {I32}});
+  u32 fd_read = b.import_func("wasi_snapshot_preview1", "fd_read",
+                              FuncType{{I32, I32, I32, I32}, {I32}});
+  u32 fd_close = b.import_func("wasi_snapshot_preview1", "fd_close",
+                               FuncType{{I32}, {I32}});
+  u32 proc_exit = b.import_func("wasi_snapshot_preview1", "proc_exit",
+                                FuncType{{I32}, {}});
+
+  b.add_memory((heap >> 16) + 2);
+  b.export_memory();
+  b.add_data_string(kPath, "rA.dat");
+  add_bump_allocator(b, heap);
+
+  auto& f = b.begin_func({{}, {}}, "_start");
+  const u32 rank = f.add_local(I32);
+  const u32 size = f.add_local(I32);
+  const u32 i = f.add_local(I32);
+  const u32 lim = f.add_local(I32);
+  const u32 blk = f.add_local(I32);
+  const u32 blk_lim = f.add_local(I32);
+  const u32 rep = f.add_local(I32);
+  const u32 rep_lim = f.add_local(I32);
+  const u32 fd = f.add_local(I32);
+  const u32 t0 = f.add_local(ValType::kF64);
+  const u32 tw = f.add_local(ValType::kF64);  // accumulated write seconds
+  const u32 tr = f.add_local(ValType::kF64);  // accumulated read seconds
+  const u32 err = f.add_local(I32);
+
+  f.i32_const(0);
+  f.i32_const(0);
+  f.call(mpi.init);
+  f.op(Op::kDrop);
+  f.i32_const(abi::MPI_COMM_WORLD);
+  f.i32_const(i32(kRankPtr));
+  f.call(mpi.comm_rank);
+  f.op(Op::kDrop);
+  f.i32_const(i32(kRankPtr));
+  f.mem_op(Op::kI32Load);
+  f.local_set(rank);
+  f.i32_const(abi::MPI_COMM_WORLD);
+  f.i32_const(i32(kSizePtr));
+  f.call(mpi.comm_size);
+  f.op(Op::kDrop);
+  f.i32_const(i32(kSizePtr));
+  f.mem_op(Op::kI32Load);
+  f.local_set(size);
+
+  // Patch the per-rank filename: path[1] = 'A' + rank.
+  f.i32_const(i32(kPath + 1));
+  f.i32_const('A');
+  f.local_get(rank);
+  f.op(Op::kI32Add);
+  f.mem_op(Op::kI32Store8);
+
+  // Fill the block with a rank-tagged pattern.
+  f.i32_const(i32(p.block_bytes));
+  f.local_set(lim);
+  f.for_loop_i32(i, 0, lim, 4, [&] {
+    f.i32_const(i32(kBuf));
+    f.local_get(i);
+    f.op(Op::kI32Add);
+    f.local_get(i);
+    f.local_get(rank);
+    f.op(Op::kI32Xor);
+    f.mem_op(Op::kI32Store);
+  });
+
+  // iovec is constant across calls.
+  f.i32_const(i32(kIov));
+  f.i32_const(i32(kBuf));
+  f.mem_op(Op::kI32Store);
+  f.i32_const(i32(kIov + 4));
+  f.i32_const(i32(p.block_bytes));
+  f.mem_op(Op::kI32Store);
+
+  // Opens the rank file; oflags/rights per phase. Traps via proc_exit(9x)
+  // on failure so misconfiguration is loud.
+  auto emit_open = [&](bool writing) {
+    f.i32_const(3);  // first preopen
+    f.i32_const(0);  // dirflags
+    f.i32_const(i32(kPath));
+    f.i32_const(6);  // path length
+    f.i32_const(writing ? 9 : 0);  // O_CREAT|O_TRUNC : none
+    f.i64_const(writing ? (1 << 6) : (1 << 1));  // rights: fd_write : fd_read
+    f.i64_const(0);
+    f.i32_const(0);
+    f.i32_const(i32(kFdPtr));
+    f.call(path_open);
+    f.local_set(err);
+    f.local_get(err);
+    f.if_();
+    f.i32_const(90);
+    f.call(proc_exit);
+    f.end();
+    f.i32_const(i32(kFdPtr));
+    f.mem_op(Op::kI32Load);
+    f.local_set(fd);
+  };
+
+  f.i32_const(i32(p.repetitions));
+  f.local_set(rep_lim);
+  f.i32_const(i32(p.blocks));
+  f.local_set(blk_lim);
+
+  f.for_loop_i32(rep, 0, rep_lim, 1, [&] {
+    // --- Write phase --------------------------------------------------------
+    f.i32_const(abi::MPI_COMM_WORLD);
+    f.call(mpi.barrier);
+    f.op(Op::kDrop);
+    f.call(mpi.wtime);
+    f.local_set(t0);
+    emit_open(true);
+    f.for_loop_i32(blk, 0, blk_lim, 1, [&] {
+      f.local_get(fd);
+      f.i32_const(i32(kIov));
+      f.i32_const(1);
+      f.i32_const(i32(kNPtr));
+      f.call(fd_write);
+      f.op(Op::kDrop);
+    });
+    f.local_get(fd);
+    f.call(fd_close);
+    f.op(Op::kDrop);
+    f.local_get(tw);
+    f.call(mpi.wtime);
+    f.local_get(t0);
+    f.op(Op::kF64Sub);
+    f.op(Op::kF64Add);
+    f.local_set(tw);
+
+    // --- Read phase ---------------------------------------------------------
+    f.i32_const(abi::MPI_COMM_WORLD);
+    f.call(mpi.barrier);
+    f.op(Op::kDrop);
+    f.call(mpi.wtime);
+    f.local_set(t0);
+    emit_open(false);
+    f.for_loop_i32(blk, 0, blk_lim, 1, [&] {
+      f.local_get(fd);
+      f.i32_const(i32(kIov));
+      f.i32_const(1);
+      f.i32_const(i32(kNPtr));
+      f.call(fd_read);
+      f.op(Op::kDrop);
+    });
+    f.local_get(fd);
+    f.call(fd_close);
+    f.op(Op::kDrop);
+    f.local_get(tr);
+    f.call(mpi.wtime);
+    f.local_get(t0);
+    f.op(Op::kF64Sub);
+    f.op(Op::kF64Add);
+    f.local_set(tr);
+  });
+
+  // Aggregate IOR-style: total bytes / max-across-ranks elapsed.
+  f.i32_const(i32(kScratchIn));
+  f.local_get(tw);
+  f.mem_op(Op::kF64Store);
+  f.i32_const(i32(kScratchIn + 8));
+  f.local_get(tr);
+  f.mem_op(Op::kF64Store);
+  f.i32_const(i32(kScratchIn));
+  f.i32_const(i32(kScratchOut));
+  f.i32_const(2);
+  f.i32_const(abi::MPI_DOUBLE);
+  f.i32_const(abi::MPI_MAX);
+  f.i32_const(abi::MPI_COMM_WORLD);
+  f.call(mpi.allreduce);
+  f.op(Op::kDrop);
+
+  f.local_get(rank);
+  f.op(Op::kI32Eqz);
+  f.if_();
+  {
+    const f64 mib = f64(p.blocks) * f64(p.block_bytes) * f64(p.repetitions) /
+                    (1024.0 * 1024.0);
+    f.i32_const(p.report_id);
+    // write MiB/s (aggregate)
+    f.f64_const(mib);
+    f.local_get(size);
+    f.op(Op::kF64ConvertI32S);
+    f.op(Op::kF64Mul);
+    f.i32_const(i32(kScratchOut));
+    f.mem_op(Op::kF64Load);
+    f.op(Op::kF64Div);
+    // read MiB/s (aggregate)
+    f.f64_const(mib);
+    f.local_get(size);
+    f.op(Op::kF64ConvertI32S);
+    f.op(Op::kF64Mul);
+    f.i32_const(i32(kScratchOut + 8));
+    f.mem_op(Op::kF64Load);
+    f.op(Op::kF64Div);
+    f.f64_const(f64(p.block_bytes));
+    f.call(report);
+  }
+  f.end();
+
+  f.call(mpi.finalize);
+  f.op(Op::kDrop);
+  f.end();
+
+  std::vector<u8> bytes = b.build();
+  auto decoded = wasm::decode_module({bytes.data(), bytes.size()});
+  MW_CHECK(decoded.ok(), "ior module failed to decode: " + decoded.error);
+  auto vr = wasm::validate_module(*decoded.module);
+  MW_CHECK(vr.ok, "ior module failed to validate: " + vr.error);
+  return bytes;
+}
+
+}  // namespace mpiwasm::toolchain

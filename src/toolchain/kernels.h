@@ -1,0 +1,148 @@
+// The kernel toolchain: every benchmark from the paper's evaluation (§4.2)
+// authored as a Wasm module against the ModuleBuilder — our WASI-SDK
+// substitute (DESIGN.md §2). Each builder returns validated .wasm bytes
+// that import env.MPI_* (and WASI where needed) and report results through
+// the bench.report host import.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/common.h"
+
+namespace mpiwasm::toolchain {
+
+// ---------------------------------------------------------------------------
+// Intel MPI Benchmarks (IMB) — Figures 3 and 4.
+// ---------------------------------------------------------------------------
+
+enum class ImbRoutine : i32 {
+  kPingPong = 0,
+  kSendRecv = 1,
+  kBcast = 2,
+  kAllReduce = 3,
+  kAllGather = 4,
+  kAlltoall = 5,
+  kReduce = 6,
+  kGather = 7,
+  kScatter = 8,
+};
+
+const char* imb_routine_name(ImbRoutine r);
+
+struct ImbParams {
+  ImbRoutine routine = ImbRoutine::kPingPong;
+  u32 min_bytes = 1;
+  u32 max_bytes = 1 << 22;   // 4 MiB, like the paper's sweeps
+  u32 base_iters = 1 << 20;  // per-size iterations ~= base_iters / bytes
+  u32 max_iters = 400;
+  u32 min_iters = 4;
+  /// Report id passed back through bench.report as the first argument.
+  i32 report_id = 0;
+};
+
+/// Per-size iteration count used by both the Wasm and native twins.
+u32 imb_iters_for(const ImbParams& p, u32 bytes);
+
+std::vector<u8> build_imb_module(const ImbParams& p);
+
+// ---------------------------------------------------------------------------
+// HPCG — Table 1, Figure 4f, Figure 5c.
+// ---------------------------------------------------------------------------
+
+struct HpcgParams {
+  u32 n_per_rank = 1 << 15;  // local 1-D subdomain size
+  u32 iterations = 25;       // fixed CG iterations (deterministic timing)
+  i32 report_id = 100;
+};
+
+/// Distributed conjugate gradient on the 1-D Laplacian [-1, 2, -1] with
+/// halo exchange between neighbouring ranks and Allreduce dot products.
+/// Reports (gflops, gbps, residual) through bench.report.
+std::vector<u8> build_hpcg_module(const HpcgParams& p);
+
+// ---------------------------------------------------------------------------
+// NPB IS (integer sort) — Figure 5a.
+// ---------------------------------------------------------------------------
+
+struct IsParams {
+  u32 keys_per_rank = 1 << 15;
+  u32 key_log2_max = 19;  // keys in [0, 2^19)
+  u32 repetitions = 10;
+  i32 report_id = 200;
+};
+
+/// Bucketed parallel integer sort: local histogram, Alltoall of counts,
+/// Alltoallv of keys, local counting sort, distributed verification.
+/// Reports (mops_total, checksum_ok, reps).
+std::vector<u8> build_is_module(const IsParams& p);
+
+// ---------------------------------------------------------------------------
+// NPB DT (data traffic) — Figure 5a.
+// ---------------------------------------------------------------------------
+
+enum class DtTopology : i32 { kBlackHole = 0, kWhiteHole = 1, kShuffle = 2 };
+const char* dt_topology_name(DtTopology t);
+
+struct DtParams {
+  DtTopology topology = DtTopology::kBlackHole;
+  u32 doubles_per_msg = 1 << 15;  // payload per edge
+  u32 repetitions = 20;
+  bool use_simd = false;          // -msimd128 analogue (§4.3/§4.5)
+  i32 report_id = 300;
+};
+
+/// Sends f64 payloads through the topology; every receiver runs the
+/// element-wise combine kernel (vectorizable; the SIMD build uses f64x2).
+/// Reports (mbytes_per_s, checksum, reps).
+std::vector<u8> build_dt_module(const DtParams& p);
+
+// ---------------------------------------------------------------------------
+// IOR — Figure 5b.
+// ---------------------------------------------------------------------------
+
+struct IorParams {
+  u32 block_bytes = 1 << 20;
+  u32 blocks = 8;
+  u32 repetitions = 3;
+  i32 report_id = 400;
+};
+
+/// POSIX-backend IOR equivalent through WASI: each rank writes/reads its
+/// own file under the first preopen. Reports write and read MiB/s.
+std::vector<u8> build_ior_module(const IorParams& p);
+
+// ---------------------------------------------------------------------------
+// Datatype-translation probe — Figure 6.
+// ---------------------------------------------------------------------------
+
+struct DatatypePingPongParams {
+  u32 max_bytes = 1 << 22;
+  u32 iters_per_size = 16;
+  i32 report_id = 500;
+};
+
+/// PingPong iterating over MPI_BYTE/CHAR/INT/FLOAT/DOUBLE/LONG so the
+/// embedder's instrumented Send path sees every datatype at every size
+/// (paper §4.6).
+std::vector<u8> build_datatype_pingpong_module(const DatatypePingPongParams& p);
+
+// ---------------------------------------------------------------------------
+// Micro kernels (tests, quickstart, Table 1 single-core runs).
+// ---------------------------------------------------------------------------
+
+/// Prints "hello from rank R of N" via fd_write and exits 0.
+std::vector<u8> build_hello_module();
+/// Compile-time workload: `copies` structurally distinct compute functions
+/// (Table 1's compile-duration column needs an application-sized module;
+/// the real HPCG application compiles to ~722 KiB of Wasm, our CG kernel
+/// to ~1 KiB).
+std::vector<u8> build_compile_stress_module(u32 copies);
+/// Computes a fixed arithmetic workload; returns via proc_exit code.
+std::vector<u8> build_compute_module(u32 inner_iters);
+/// Allreduce correctness probe: exit code 0 iff sum over ranks matches.
+std::vector<u8> build_allreduce_check_module();
+/// MPI_Alloc_mem/Free_mem round-trip probe (exercises exported malloc).
+std::vector<u8> build_alloc_mem_module();
+
+}  // namespace mpiwasm::toolchain

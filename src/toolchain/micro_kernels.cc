@@ -1,0 +1,432 @@
+// Small self-contained kernels: smoke-test modules for the embedder, the
+// quickstart example, and the Figure-6 datatype-translation probe.
+#include "toolchain/kernels.h"
+
+#include "embedder/abi.h"
+#include "toolchain/mpi_imports.h"
+#include "wasm/decoder.h"
+#include "wasm/validator.h"
+
+namespace mpiwasm::toolchain {
+
+using wasm::FuncType;
+using wasm::ModuleBuilder;
+using wasm::Op;
+using wasm::ValType;
+namespace abi = embed::abi;
+
+namespace {
+constexpr ValType I32 = ValType::kI32;
+constexpr u32 kRankPtr = 1024;
+constexpr u32 kSizePtr = 1032;
+
+std::vector<u8> finish(ModuleBuilder& b, const char* what) {
+  std::vector<u8> bytes = b.build();
+  auto decoded = wasm::decode_module({bytes.data(), bytes.size()});
+  MW_CHECK(decoded.ok(), std::string(what) + " failed to decode: " + decoded.error);
+  auto vr = wasm::validate_module(*decoded.module);
+  MW_CHECK(vr.ok, std::string(what) + " failed to validate: " + vr.error);
+  return bytes;
+}
+
+}  // namespace
+
+std::vector<u8> build_hello_module() {
+  ModuleBuilder b;
+  MpiImports mpi = declare_mpi_imports(b, {});
+  u32 fd_write = b.import_func("wasi_snapshot_preview1", "fd_write",
+                               FuncType{{I32, I32, I32, I32}, {I32}});
+  b.add_memory(1);
+  b.export_memory();
+  const u32 kMsg = 4096;
+  const u32 kIov = 4080;
+  const u32 kNPtr = 4072;
+  b.add_data_string(kMsg, "hello from rank X of Y\n");
+
+  auto& f = b.begin_func({{}, {}}, "_start");
+  f.i32_const(0);
+  f.i32_const(0);
+  f.call(mpi.init);
+  f.op(Op::kDrop);
+  // Patch rank/size digits (single-digit worlds; fine for a demo).
+  f.i32_const(abi::MPI_COMM_WORLD);
+  f.i32_const(i32(kRankPtr));
+  f.call(mpi.comm_rank);
+  f.op(Op::kDrop);
+  f.i32_const(i32(kMsg + 16));
+  f.i32_const('0');
+  f.i32_const(i32(kRankPtr));
+  f.mem_op(Op::kI32Load);
+  f.op(Op::kI32Add);
+  f.mem_op(Op::kI32Store8);
+  f.i32_const(abi::MPI_COMM_WORLD);
+  f.i32_const(i32(kSizePtr));
+  f.call(mpi.comm_size);
+  f.op(Op::kDrop);
+  f.i32_const(i32(kMsg + 21));
+  f.i32_const('0');
+  f.i32_const(i32(kSizePtr));
+  f.mem_op(Op::kI32Load);
+  f.op(Op::kI32Add);
+  f.mem_op(Op::kI32Store8);
+  // fd_write(stdout, iov, 1, &nwritten)
+  f.i32_const(i32(kIov));
+  f.i32_const(i32(kMsg));
+  f.mem_op(Op::kI32Store);
+  f.i32_const(i32(kIov + 4));
+  f.i32_const(23);
+  f.mem_op(Op::kI32Store);
+  f.i32_const(1);
+  f.i32_const(i32(kIov));
+  f.i32_const(1);
+  f.i32_const(i32(kNPtr));
+  f.call(fd_write);
+  f.op(Op::kDrop);
+  f.call(mpi.finalize);
+  f.op(Op::kDrop);
+  f.end();
+  return finish(b, "hello module");
+}
+
+std::vector<u8> build_compile_stress_module(u32 copies) {
+  ModuleBuilder b;
+  b.add_memory(4);
+  b.export_memory();
+  for (u32 c = 0; c < copies; ++c) {
+    // Each clone mixes loops, memory traffic, float math, and branches so
+    // every optimizer pass has real work to do.
+    auto& f = b.begin_func({{I32}, {ValType::kF64}},
+                           c == 0 ? "run" : "");
+    u32 i = f.add_local(I32);
+    u32 acc = f.add_local(ValType::kF64);
+    f.for_loop_i32(i, 0, 0, 1, [&] {
+      f.local_get(i);
+      f.i32_const(i32(c * 7 + 3));
+      f.op(Op::kI32Mul);
+      f.i32_const(0xFFF8);
+      f.op(Op::kI32And);
+      f.local_get(i);
+      f.op(Op::kF64ConvertI32S);
+      f.f64_const(1.0 + c * 0.01);
+      f.op(Op::kF64Mul);
+      f.mem_op(Op::kF64Store);
+      f.local_get(acc);
+      f.local_get(i);
+      f.i32_const(3);
+      f.op(Op::kI32And);
+      f.op(Op::kI32Eqz);
+      f.if_(ValType::kF64);
+      f.local_get(i);
+      f.op(Op::kF64ConvertI32S);
+      f.f64_const(0.5);
+      f.op(Op::kF64Mul);
+      f.else_();
+      f.local_get(i);
+      f.op(Op::kF64ConvertI32S);
+      f.f64_const(2.0);
+      f.op(Op::kF64Add);
+      f.end();
+      f.op(Op::kF64Add);
+      f.local_set(acc);
+    });
+    f.local_get(acc);
+    f.end();
+  }
+  return finish(b, "compile stress module");
+}
+
+std::vector<u8> build_compute_module(u32 inner_iters) {
+  ModuleBuilder b;
+  u32 proc_exit = b.import_func("wasi_snapshot_preview1", "proc_exit",
+                                FuncType{{I32}, {}});
+  b.add_memory(1);
+  b.export_memory();
+  auto& f = b.begin_func({{}, {}}, "_start");
+  u32 i = f.add_local(I32);
+  u32 lim = f.add_local(I32);
+  u32 acc = f.add_local(I32);
+  f.i32_const(i32(inner_iters));
+  f.local_set(lim);
+  f.for_loop_i32(i, 0, lim, 1, [&] {
+    // acc = (acc * 31 + i) ^ (acc >> 3)
+    f.local_get(acc);
+    f.i32_const(31);
+    f.op(Op::kI32Mul);
+    f.local_get(i);
+    f.op(Op::kI32Add);
+    f.local_get(acc);
+    f.i32_const(3);
+    f.op(Op::kI32ShrU);
+    f.op(Op::kI32Xor);
+    f.local_set(acc);
+  });
+  f.local_get(acc);
+  f.i32_const(0x7F);
+  f.op(Op::kI32And);
+  f.call(proc_exit);
+  f.end();
+  return finish(b, "compute module");
+}
+
+/// Host-side twin of build_compute_module, for exit-code assertions.
+i32 compute_module_expected(u32 inner_iters) {
+  i32 acc = 0;
+  for (u32 i = 0; i < inner_iters; ++i)
+    acc = i32((acc * 31 + i32(i)) ^ (u32(acc) >> 3));
+  return acc & 0x7F;
+}
+
+std::vector<u8> build_allreduce_check_module() {
+  ModuleBuilder b;
+  MpiImportSet set;
+  set.collectives = true;
+  MpiImports mpi = declare_mpi_imports(b, set);
+  u32 proc_exit = b.import_func("wasi_snapshot_preview1", "proc_exit",
+                                FuncType{{I32}, {}});
+  b.add_memory(1);
+  b.export_memory();
+  const u32 kIn = 2048, kOut = 2056;
+
+  auto& f = b.begin_func({{}, {}}, "_start");
+  u32 rank = f.add_local(I32);
+  u32 size = f.add_local(I32);
+  f.i32_const(0);
+  f.i32_const(0);
+  f.call(mpi.init);
+  f.op(Op::kDrop);
+  f.i32_const(abi::MPI_COMM_WORLD);
+  f.i32_const(i32(kRankPtr));
+  f.call(mpi.comm_rank);
+  f.op(Op::kDrop);
+  f.i32_const(i32(kRankPtr));
+  f.mem_op(Op::kI32Load);
+  f.local_set(rank);
+  f.i32_const(abi::MPI_COMM_WORLD);
+  f.i32_const(i32(kSizePtr));
+  f.call(mpi.comm_size);
+  f.op(Op::kDrop);
+  f.i32_const(i32(kSizePtr));
+  f.mem_op(Op::kI32Load);
+  f.local_set(size);
+  // in = rank + 1 ; allreduce SUM
+  f.i32_const(i32(kIn));
+  f.local_get(rank);
+  f.i32_const(1);
+  f.op(Op::kI32Add);
+  f.mem_op(Op::kI32Store);
+  f.i32_const(i32(kIn));
+  f.i32_const(i32(kOut));
+  f.i32_const(1);
+  f.i32_const(abi::MPI_INT);
+  f.i32_const(abi::MPI_SUM);
+  f.i32_const(abi::MPI_COMM_WORLD);
+  f.call(mpi.allreduce);
+  f.op(Op::kDrop);
+  f.call(mpi.finalize);
+  f.op(Op::kDrop);
+  // exit(sum == n(n+1)/2 ? 0 : 1)
+  f.i32_const(i32(kOut));
+  f.mem_op(Op::kI32Load);
+  f.local_get(size);
+  f.local_get(size);
+  f.i32_const(1);
+  f.op(Op::kI32Add);
+  f.op(Op::kI32Mul);
+  f.i32_const(2);
+  f.op(Op::kI32DivS);
+  f.op(Op::kI32Eq);
+  f.if_(I32);
+  f.i32_const(0);
+  f.else_();
+  f.i32_const(1);
+  f.end();
+  f.call(proc_exit);
+  f.end();
+  return finish(b, "allreduce check module");
+}
+
+std::vector<u8> build_alloc_mem_module() {
+  ModuleBuilder b;
+  MpiImportSet set;
+  set.mem_mgmt = true;
+  MpiImports mpi = declare_mpi_imports(b, set);
+  u32 proc_exit = b.import_func("wasi_snapshot_preview1", "proc_exit",
+                                FuncType{{I32}, {}});
+  b.add_memory(4);
+  b.export_memory();
+  add_bump_allocator(b, 1 << 16);
+  const u32 kPtrPtr = 2048;
+
+  auto& f = b.begin_func({{}, {}}, "_start");
+  u32 p = f.add_local(I32);
+  f.i32_const(0);
+  f.i32_const(0);
+  f.call(mpi.init);
+  f.op(Op::kDrop);
+  // MPI_Alloc_mem(1024, info=0, &p) -> must yield a valid module pointer.
+  f.i32_const(1024);
+  f.i32_const(0);
+  f.i32_const(i32(kPtrPtr));
+  f.call(mpi.alloc_mem);
+  f.if_(I32);  // nonzero return = failure
+  f.i32_const(2);
+  f.else_();
+  f.i32_const(0);
+  f.end();
+  f.op(Op::kDrop);
+  f.i32_const(i32(kPtrPtr));
+  f.mem_op(Op::kI32Load);
+  f.local_set(p);
+  // Write/read through the allocated block.
+  f.local_get(p);
+  f.i32_const(i32(0xABCD1234u));
+  f.mem_op(Op::kI32Store);
+  f.local_get(p);
+  f.i32_const(512);
+  f.op(Op::kI32Add);
+  f.i32_const(i32(0x5A5A5A5Au));
+  f.mem_op(Op::kI32Store);
+  f.local_get(p);
+  f.call(mpi.free_mem);
+  f.op(Op::kDrop);
+  f.call(mpi.finalize);
+  f.op(Op::kDrop);
+  // exit(readback ok && p != 0 && p aligned ? 0 : 1)
+  f.local_get(p);
+  f.op(Op::kI32Eqz);
+  f.if_();
+  f.i32_const(1);
+  f.call(proc_exit);
+  f.end();
+  f.local_get(p);
+  f.mem_op(Op::kI32Load);
+  f.i32_const(i32(0xABCD1234u));
+  f.op(Op::kI32Ne);
+  f.if_();
+  f.i32_const(1);
+  f.call(proc_exit);
+  f.end();
+  f.i32_const(0);
+  f.call(proc_exit);
+  f.end();
+  return finish(b, "alloc_mem module");
+}
+
+std::vector<u8> build_datatype_pingpong_module(const DatatypePingPongParams& p) {
+  ModuleBuilder b;
+  MpiImportSet set;
+  set.p2p = true;
+  set.collectives = true;
+  MpiImports mpi = declare_mpi_imports(b, set);
+  u32 report = declare_report_import(b);
+  const u32 kBufA = 1 << 16;
+  const u32 buf_b = kBufA + p.max_bytes + 4096;
+  const u32 heap = buf_b + p.max_bytes + 4096;
+  b.add_memory((heap >> 16) + 2);
+  b.export_memory();
+  add_bump_allocator(b, heap);
+
+  struct Dt {
+    i32 handle;
+    u32 elem;
+  };
+  const Dt dts[] = {{abi::MPI_BYTE, 1},  {abi::MPI_CHAR, 1},
+                    {abi::MPI_INT, 4},   {abi::MPI_FLOAT, 4},
+                    {abi::MPI_DOUBLE, 8}, {abi::MPI_LONG, 8}};
+
+  auto& f = b.begin_func({{}, {}}, "_start");
+  u32 rank = f.add_local(I32);
+  u32 i = f.add_local(I32);
+  u32 iters = f.add_local(I32);
+
+  f.i32_const(0);
+  f.i32_const(0);
+  f.call(mpi.init);
+  f.op(Op::kDrop);
+  f.i32_const(abi::MPI_COMM_WORLD);
+  f.i32_const(i32(kRankPtr));
+  f.call(mpi.comm_rank);
+  f.op(Op::kDrop);
+  f.i32_const(i32(kRankPtr));
+  f.mem_op(Op::kI32Load);
+  f.local_set(rank);
+
+  // Sweep: message sizes x datatypes (paper Figure 6's x-axis/series).
+  for (u32 bytes = 8; bytes <= p.max_bytes; bytes *= 8) {
+    for (const Dt& dt : dts) {
+      const i32 count = i32(bytes / dt.elem);
+      f.i32_const(abi::MPI_COMM_WORLD);
+      f.call(mpi.barrier);
+      f.op(Op::kDrop);
+      f.i32_const(i32(p.iters_per_size));
+      f.local_set(iters);
+      f.for_loop_i32(i, 0, iters, 1, [&] {
+        f.local_get(rank);
+        f.op(Op::kI32Eqz);
+        f.if_();
+        {
+          f.i32_const(i32(kBufA));
+          f.i32_const(count);
+          f.i32_const(dt.handle);
+          f.i32_const(1);
+          f.i32_const(0);
+          f.i32_const(abi::MPI_COMM_WORLD);
+          f.call(mpi.send);
+          f.op(Op::kDrop);
+          f.i32_const(i32(buf_b));
+          f.i32_const(count);
+          f.i32_const(dt.handle);
+          f.i32_const(1);
+          f.i32_const(0);
+          f.i32_const(abi::MPI_COMM_WORLD);
+          f.i32_const(abi::MPI_STATUS_IGNORE);
+          f.call(mpi.recv);
+          f.op(Op::kDrop);
+        }
+        f.else_();
+        {
+          f.local_get(rank);
+          f.i32_const(1);
+          f.op(Op::kI32Eq);
+          f.if_();
+          f.i32_const(i32(buf_b));
+          f.i32_const(count);
+          f.i32_const(dt.handle);
+          f.i32_const(0);
+          f.i32_const(0);
+          f.i32_const(abi::MPI_COMM_WORLD);
+          f.i32_const(abi::MPI_STATUS_IGNORE);
+          f.call(mpi.recv);
+          f.op(Op::kDrop);
+          f.i32_const(i32(kBufA));
+          f.i32_const(count);
+          f.i32_const(dt.handle);
+          f.i32_const(0);
+          f.i32_const(0);
+          f.i32_const(abi::MPI_COMM_WORLD);
+          f.call(mpi.send);
+          f.op(Op::kDrop);
+          f.end();
+        }
+        f.end();
+      });
+      // Report completion of this (datatype, size) cell.
+      f.local_get(rank);
+      f.op(Op::kI32Eqz);
+      f.if_();
+      f.i32_const(p.report_id);
+      f.f64_const(f64(bytes));
+      f.f64_const(f64(dt.handle));
+      f.f64_const(f64(p.iters_per_size));
+      f.call(report);
+      f.end();
+    }
+  }
+
+  f.call(mpi.finalize);
+  f.op(Op::kDrop);
+  f.end();
+  return finish(b, "datatype pingpong module");
+}
+
+}  // namespace mpiwasm::toolchain

@@ -1,0 +1,89 @@
+#include "toolchain/mpi_imports.h"
+
+namespace mpiwasm::toolchain {
+
+using wasm::FuncType;
+using wasm::ModuleBuilder;
+using wasm::Op;
+using wasm::ValType;
+
+namespace {
+constexpr ValType I32 = ValType::kI32;
+constexpr ValType F64 = ValType::kF64;
+std::vector<ValType> i32s(size_t n) { return std::vector<ValType>(n, I32); }
+}  // namespace
+
+MpiImports declare_mpi_imports(ModuleBuilder& b, const MpiImportSet& set) {
+  MpiImports m;
+  m.init = b.import_func("env", "MPI_Init", {i32s(2), {I32}});
+  m.finalize = b.import_func("env", "MPI_Finalize", {{}, {I32}});
+  m.comm_rank = b.import_func("env", "MPI_Comm_rank", {i32s(2), {I32}});
+  m.comm_size = b.import_func("env", "MPI_Comm_size", {i32s(2), {I32}});
+  m.wtime = b.import_func("env", "MPI_Wtime", {{}, {F64}});
+  if (set.p2p) {
+    m.send = b.import_func("env", "MPI_Send", {i32s(6), {I32}});
+    m.recv = b.import_func("env", "MPI_Recv", {i32s(7), {I32}});
+  }
+  if (set.nonblocking) {
+    m.isend = b.import_func("env", "MPI_Isend", {i32s(7), {I32}});
+    m.irecv = b.import_func("env", "MPI_Irecv", {i32s(7), {I32}});
+    m.wait = b.import_func("env", "MPI_Wait", {i32s(2), {I32}});
+    m.waitall = b.import_func("env", "MPI_Waitall", {i32s(3), {I32}});
+  }
+  if (set.sendrecv)
+    m.sendrecv = b.import_func("env", "MPI_Sendrecv", {i32s(12), {I32}});
+  if (set.collectives) {
+    m.barrier = b.import_func("env", "MPI_Barrier", {i32s(1), {I32}});
+    m.bcast = b.import_func("env", "MPI_Bcast", {i32s(5), {I32}});
+    m.reduce = b.import_func("env", "MPI_Reduce", {i32s(7), {I32}});
+    m.allreduce = b.import_func("env", "MPI_Allreduce", {i32s(6), {I32}});
+  }
+  if (set.gather_scatter) {
+    m.gather = b.import_func("env", "MPI_Gather", {i32s(8), {I32}});
+    m.scatter = b.import_func("env", "MPI_Scatter", {i32s(8), {I32}});
+  }
+  if (set.alltoall) {
+    m.allgather = b.import_func("env", "MPI_Allgather", {i32s(7), {I32}});
+    m.alltoall = b.import_func("env", "MPI_Alltoall", {i32s(7), {I32}});
+    m.alltoallv = b.import_func("env", "MPI_Alltoallv", {i32s(9), {I32}});
+  }
+  if (set.comm_mgmt) {
+    m.comm_dup = b.import_func("env", "MPI_Comm_dup", {i32s(2), {I32}});
+    m.comm_split = b.import_func("env", "MPI_Comm_split", {i32s(4), {I32}});
+    m.comm_free = b.import_func("env", "MPI_Comm_free", {i32s(1), {I32}});
+  }
+  if (set.mem_mgmt) {
+    m.alloc_mem = b.import_func("env", "MPI_Alloc_mem", {i32s(3), {I32}});
+    m.free_mem = b.import_func("env", "MPI_Free_mem", {i32s(1), {I32}});
+  }
+  return m;
+}
+
+u32 declare_report_import(ModuleBuilder& b) {
+  return b.import_func("bench", "report", {{I32, F64, F64, F64}, {}});
+}
+
+void add_bump_allocator(ModuleBuilder& b, u32 heap_base) {
+  // global $heap_top (mut i32) = heap_base
+  u32 heap_top = b.add_global(I32, true, i64(heap_base));
+  // malloc(size) -> ptr : 16-byte aligned bump; no free (HPC batch model).
+  auto& m = b.begin_func({{I32}, {I32}}, "malloc");
+  u32 ptr = m.add_local(I32);
+  m.global_get(heap_top);
+  m.local_set(ptr);
+  m.global_get(heap_top);
+  m.local_get(0);
+  m.op(Op::kI32Add);
+  m.i32_const(15);
+  m.op(Op::kI32Add);
+  m.i32_const(~15);
+  m.op(Op::kI32And);
+  m.global_set(heap_top);
+  m.local_get(ptr);
+  m.end();
+  // free(ptr): bump allocators don't reclaim; intentionally a no-op.
+  auto& f = b.begin_func({{I32}, {}}, "free");
+  f.end();
+}
+
+}  // namespace mpiwasm::toolchain

@@ -1,0 +1,49 @@
+// MPI import declarations for Wasm kernels — the encoder side of the
+// custom mpi.h (paper §3.2, Listings 2/3). Each helper declares the import
+// with exactly the signature the embedder provides in the "env" namespace;
+// a mismatch is caught at link (instantiation) time.
+#pragma once
+
+#include "wasm/builder.h"
+
+namespace mpiwasm::toolchain {
+
+/// Function indices of the MPI imports a kernel requested.
+struct MpiImports {
+  static constexpr u32 kNone = UINT32_MAX;
+  u32 init = kNone, finalize = kNone, comm_rank = kNone, comm_size = kNone;
+  u32 wtime = kNone, barrier = kNone;
+  u32 send = kNone, recv = kNone, isend = kNone, irecv = kNone;
+  u32 wait = kNone, waitall = kNone, sendrecv = kNone;
+  u32 bcast = kNone, reduce = kNone, allreduce = kNone;
+  u32 gather = kNone, scatter = kNone, allgather = kNone, alltoall = kNone;
+  u32 alltoallv = kNone;
+  u32 comm_dup = kNone, comm_split = kNone, comm_free = kNone;
+  u32 alloc_mem = kNone, free_mem = kNone;
+};
+
+/// Selects which imports to declare.
+struct MpiImportSet {
+  bool p2p = false;         // Send/Recv
+  bool nonblocking = false; // Isend/Irecv/Wait/Waitall
+  bool sendrecv = false;
+  bool collectives = false; // Barrier/Bcast/Reduce/Allreduce
+  bool gather_scatter = false;
+  bool alltoall = false;    // Allgather/Alltoall/Alltoallv
+  bool comm_mgmt = false;
+  bool mem_mgmt = false;
+};
+
+/// Declares the core (Init/Finalize/rank/size/Wtime) plus selected imports.
+/// Must be called before any begin_func on the builder.
+MpiImports declare_mpi_imports(wasm::ModuleBuilder& b, const MpiImportSet& set);
+
+/// Declares the bench-harness reporting import
+///   bench.report(id: i32, a: f64, b: f64, c: f64)
+u32 declare_report_import(wasm::ModuleBuilder& b);
+
+/// Adds a bump allocator exported as malloc/free (enables MPI_Alloc_mem,
+/// §3.7). `heap_base` is the first byte the allocator may hand out.
+void add_bump_allocator(wasm::ModuleBuilder& b, u32 heap_base);
+
+}  // namespace mpiwasm::toolchain

@@ -1,0 +1,310 @@
+#include "toolchain/native_kernels.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+
+namespace mpiwasm::toolchain {
+
+using simmpi::Datatype;
+using simmpi::Rank;
+using simmpi::ReduceOp;
+
+std::vector<ImbRow> native_imb_run(Rank& rank, const ImbParams& p) {
+  const int me = rank.rank();
+  const int n = rank.size();
+  const int right = (me + 1) % n;
+  const int left = (me - 1 + n) % n;
+  const bool scaled = p.routine == ImbRoutine::kAllGather ||
+                      p.routine == ImbRoutine::kAlltoall ||
+                      p.routine == ImbRoutine::kGather ||
+                      p.routine == ImbRoutine::kScatter;
+  std::vector<u8> a(size_t(p.max_bytes) * (scaled ? n : 1));
+  std::vector<u8> b(size_t(p.max_bytes) * (scaled ? n : 1));
+  std::vector<ImbRow> rows;
+
+  for (u32 s = p.min_bytes; s <= p.max_bytes; s *= 2) {
+    const u32 iters = imb_iters_for(p, s);
+    const int dcount = int(std::max<u32>(s / 8, 1));
+    rank.barrier();
+    f64 t0 = rank.wtime();
+    for (u32 it = 0; it < iters; ++it) {
+      switch (p.routine) {
+        case ImbRoutine::kPingPong:
+          if (me == 0) {
+            rank.send(a.data(), int(s), Datatype::kByte, 1, 0);
+            rank.recv(b.data(), int(s), Datatype::kByte, 1, 0);
+          } else if (me == 1) {
+            rank.recv(b.data(), int(s), Datatype::kByte, 0, 0);
+            rank.send(a.data(), int(s), Datatype::kByte, 0, 0);
+          }
+          break;
+        case ImbRoutine::kSendRecv:
+          rank.sendrecv(a.data(), int(s), Datatype::kByte, right, 0, b.data(),
+                        int(s), Datatype::kByte, left, 0);
+          break;
+        case ImbRoutine::kBcast:
+          rank.bcast(a.data(), int(s), Datatype::kByte, 0);
+          break;
+        case ImbRoutine::kAllReduce:
+          rank.allreduce(a.data(), b.data(), dcount, Datatype::kDouble,
+                         ReduceOp::kSum);
+          break;
+        case ImbRoutine::kReduce:
+          rank.reduce(a.data(), b.data(), dcount, Datatype::kDouble,
+                      ReduceOp::kSum, 0);
+          break;
+        case ImbRoutine::kAllGather:
+          rank.allgather(a.data(), int(s), b.data(), int(s), Datatype::kByte);
+          break;
+        case ImbRoutine::kAlltoall:
+          rank.alltoall(a.data(), int(s), b.data(), int(s), Datatype::kByte);
+          break;
+        case ImbRoutine::kGather:
+          rank.gather(a.data(), int(s), b.data(), int(s), Datatype::kByte, 0);
+          break;
+        case ImbRoutine::kScatter:
+          rank.scatter(a.data(), int(s), b.data(), int(s), Datatype::kByte, 0);
+          break;
+      }
+    }
+    f64 t1 = rank.wtime();
+    if (me == 0) {
+      f64 t_avg = (t1 - t0) / f64(iters) * 1e6;
+      if (p.routine == ImbRoutine::kPingPong) t_avg /= 2.0;
+      rows.push_back({s, t_avg, iters});
+    }
+  }
+  return rows;
+}
+
+HpcgResult native_hpcg_run(Rank& rank, const HpcgParams& p) {
+  const int me = rank.rank();
+  const int n_ranks = rank.size();
+  const u32 n = p.n_per_rank;
+  std::vector<f64> x(n + 2, 0.0), r(n + 2, 0.0), pv(n + 2, 0.0), ap(n + 2, 0.0);
+  for (u32 i = 1; i <= n; ++i) r[i] = pv[i] = 1.0;
+
+  auto dot = [&](const std::vector<f64>& u, const std::vector<f64>& v) {
+    f64 local = 0;
+    for (u32 i = 1; i <= n; ++i) local += u[i] * v[i];
+    f64 global = 0;
+    rank.allreduce(&local, &global, 1, Datatype::kDouble, ReduceOp::kSum);
+    return global;
+  };
+  auto halo = [&](std::vector<f64>& v) {
+    if (me > 0)
+      rank.sendrecv(&v[1], 1, Datatype::kDouble, me - 1, 2, &v[0], 1,
+                    Datatype::kDouble, me - 1, 1);
+    if (me < n_ranks - 1)
+      rank.sendrecv(&v[n], 1, Datatype::kDouble, me + 1, 1, &v[n + 1], 1,
+                    Datatype::kDouble, me + 1, 2);
+  };
+
+  f64 rr = dot(r, r);
+  rank.barrier();
+  f64 t0 = rank.wtime();
+  for (u32 it = 0; it < p.iterations; ++it) {
+    halo(pv);
+    for (u32 i = 1; i <= n; ++i) ap[i] = 2.0 * pv[i] - pv[i - 1] - pv[i + 1];
+    f64 alpha = rr / dot(pv, ap);
+    for (u32 i = 1; i <= n; ++i) {
+      x[i] += alpha * pv[i];
+      r[i] -= alpha * ap[i];
+    }
+    f64 rr_new = dot(r, r);
+    f64 beta = rr_new / rr;
+    rr = rr_new;
+    for (u32 i = 1; i <= n; ++i) pv[i] = r[i] + beta * pv[i];
+  }
+  f64 t1 = rank.wtime();
+
+  HpcgResult out;
+  out.residual = rr;
+  const f64 flops = f64(p.iterations) * 14.0 * f64(n) * f64(n_ranks);
+  const f64 bytes = f64(p.iterations) * 144.0 * f64(n) * f64(n_ranks);
+  out.gflops = flops / (t1 - t0) / 1e9;
+  out.gbps = bytes / (t1 - t0) / 1e9;
+  return out;
+}
+
+IsResult native_is_run(Rank& rank, const IsParams& p) {
+  const int me = rank.rank();
+  const int n = rank.size();
+  const u32 K = p.keys_per_rank;
+  const u32 range = 1u << p.key_log2_max;
+  const u32 width = (range + u32(n) - 1) / u32(n);
+
+  std::vector<i32> keys(K), sendbuf(K);
+  std::vector<i32> scnt(n), sdis(n), rcnt(n), rdis(n), pos(n);
+  std::vector<i32> recv(size_t(K) * n);
+  std::vector<i32> hist(width);
+  bool ok = true;
+
+  rank.barrier();
+  f64 t0 = rank.wtime();
+  for (u32 rep = 0; rep < p.repetitions; ++rep) {
+    u32 x = u32(me) * 0x9E3779B1u + rep + 12345;
+    for (u32 i = 0; i < K; ++i) {
+      x = x * 1664525u + 1013904223u;
+      keys[i] = i32((x >> 8) & (range - 1));
+    }
+    std::fill(scnt.begin(), scnt.end(), 0);
+    for (u32 i = 0; i < K; ++i) ++scnt[u32(keys[i]) / width];
+    i32 acc = 0;
+    for (int b = 0; b < n; ++b) {
+      sdis[b] = pos[b] = acc;
+      acc += scnt[b];
+    }
+    for (u32 i = 0; i < K; ++i) {
+      u32 b = u32(keys[i]) / width;
+      sendbuf[size_t(pos[b]++)] = keys[i];
+    }
+    rank.alltoall(scnt.data(), 1, rcnt.data(), 1, Datatype::kInt);
+    acc = 0;
+    for (int b = 0; b < n; ++b) {
+      rdis[b] = acc;
+      acc += rcnt[b];
+    }
+    const i32 total = acc;
+    rank.alltoallv(sendbuf.data(), scnt.data(), sdis.data(), recv.data(),
+                   rcnt.data(), rdis.data(), Datatype::kInt);
+    std::fill(hist.begin(), hist.end(), 0);
+    i32 sum = 0;
+    for (i32 i = 0; i < total; ++i) {
+      i32 k = recv[size_t(i)];
+      sum += k;
+      ++hist[u32(k) - u32(me) * width];
+    }
+    i32 emitted = 0;
+    for (u32 v = 0; v < width; ++v) {
+      for (i32 c = 0; c < hist[v]; ++c)
+        recv[size_t(emitted++)] = i32(u32(me) * width + v);
+    }
+    if (emitted != total) ok = false;
+    i32 sum_all = 0;
+    rank.allreduce(&sum, &sum_all, 1, Datatype::kInt, ReduceOp::kSum);
+  }
+  f64 t1 = rank.wtime();
+
+  IsResult out;
+  out.mops = f64(K) * f64(n) * f64(p.repetitions) / (t1 - t0) / 1e6;
+  out.ok = ok;
+  return out;
+}
+
+DtResult native_dt_run(Rank& rank, const DtParams& p) {
+  const int me = rank.rank();
+  const int n = rank.size();
+  const u32 D = p.doubles_per_msg;
+  std::vector<f64> src(D), rcv(D), acc_buf(D, 0.0);
+  for (u32 i = 0; i < D; ++i) src[i] = f64(me) + f64(i) * 1e-6;
+
+  auto combine = [&] {
+    // Same arithmetic as the Wasm kernel — including association order, so
+    // checksums agree bit-for-bit. Auto-vectorizable here, which is exactly
+    // the native advantage the paper attributes to AVX-512 (§4.5).
+    for (u32 i = 0; i < D; ++i)
+      acc_buf[i] = acc_buf[i] + rcv[i] * 0.5 + rcv[i] * rcv[i] * 1e-9;
+  };
+
+  rank.barrier();
+  f64 t0 = rank.wtime();
+  for (u32 rep = 0; rep < p.repetitions; ++rep) {
+    switch (p.topology) {
+      case DtTopology::kBlackHole:
+        if (me == 0) {
+          for (int s = 1; s < n; ++s) {
+            rank.recv(rcv.data(), int(D), Datatype::kDouble, s, 7);
+            combine();
+          }
+        } else {
+          rank.send(src.data(), int(D), Datatype::kDouble, 0, 7);
+        }
+        break;
+      case DtTopology::kWhiteHole:
+        if (me == 0) {
+          for (int s = 1; s < n; ++s)
+            rank.send(src.data(), int(D), Datatype::kDouble, s, 7);
+        } else {
+          rank.recv(rcv.data(), int(D), Datatype::kDouble, 0, 7);
+          combine();
+        }
+        break;
+      case DtTopology::kShuffle:
+        for (int stage = 1; stage < n; stage <<= 1) {
+          int partner = me ^ stage;
+          if (partner < n) {
+            rank.sendrecv(src.data(), int(D), Datatype::kDouble, partner, 7,
+                          rcv.data(), int(D), Datatype::kDouble, partner, 7);
+            combine();
+          }
+        }
+        break;
+    }
+  }
+  f64 t1 = rank.wtime();
+
+  f64 local_sum = std::accumulate(acc_buf.begin(), acc_buf.end(), 0.0);
+  f64 checksum = 0;
+  rank.allreduce(&local_sum, &checksum, 1, Datatype::kDouble, ReduceOp::kSum);
+
+  DtResult out;
+  f64 edges = p.topology == DtTopology::kShuffle ? f64(n) : f64(n - 1);
+  out.mbps = f64(p.repetitions) * edges * f64(D) * 8.0 / (t1 - t0) / 1e6;
+  out.checksum = checksum;
+  return out;
+}
+
+IorResult native_ior_run(Rank& rank, const IorParams& p,
+                         const std::string& dir) {
+  const int me = rank.rank();
+  const int n = rank.size();
+  std::vector<u8> block(p.block_bytes);
+  for (u32 i = 0; i < p.block_bytes; i += 4) {
+    i32 v = i32(i) ^ me;
+    std::memcpy(block.data() + i, &v, std::min<size_t>(4, p.block_bytes - i));
+  }
+  const std::string path = dir + "/r" + std::string(1, char('A' + me)) + ".dat";
+
+  f64 tw = 0, tr = 0;
+  for (u32 rep = 0; rep < p.repetitions; ++rep) {
+    rank.barrier();
+    f64 t0 = rank.wtime();
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    MW_CHECK(fd >= 0, "native ior: open for write failed");
+    for (u32 b = 0; b < p.blocks; ++b) {
+      ssize_t w = ::write(fd, block.data(), block.size());
+      MW_CHECK(w == ssize_t(block.size()), "native ior: short write");
+    }
+    ::close(fd);
+    tw += rank.wtime() - t0;
+
+    rank.barrier();
+    t0 = rank.wtime();
+    fd = ::open(path.c_str(), O_RDONLY);
+    MW_CHECK(fd >= 0, "native ior: open for read failed");
+    for (u32 b = 0; b < p.blocks; ++b) {
+      ssize_t rres = ::read(fd, block.data(), block.size());
+      MW_CHECK(rres == ssize_t(block.size()), "native ior: short read");
+    }
+    ::close(fd);
+    tr += rank.wtime() - t0;
+  }
+
+  f64 elapsed[2] = {tw, tr}, max_elapsed[2] = {0, 0};
+  rank.allreduce(elapsed, max_elapsed, 2, Datatype::kDouble, ReduceOp::kMax);
+
+  IorResult out;
+  const f64 mib = f64(p.blocks) * f64(p.block_bytes) * f64(p.repetitions) *
+                  f64(n) / (1024.0 * 1024.0);
+  out.write_mibs = mib / max_elapsed[0];
+  out.read_mibs = mib / max_elapsed[1];
+  return out;
+}
+
+}  // namespace mpiwasm::toolchain

@@ -1,0 +1,57 @@
+// Native twins of every Wasm kernel: the same algorithms implemented
+// directly against simmpi (the "compiled with clang -O3, run with mpirun"
+// side of the paper's comparisons). Kept structurally 1:1 with the Wasm
+// builders so that native-vs-Wasm deltas measure the embedder, not
+// algorithmic drift.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "simmpi/world.h"
+#include "toolchain/kernels.h"
+
+namespace mpiwasm::toolchain {
+
+struct ImbRow {
+  u32 bytes = 0;
+  f64 t_avg_us = 0;
+  u32 iters = 0;
+};
+
+/// Runs the IMB routine; rank 0 returns one row per message size, other
+/// ranks return an empty vector.
+std::vector<ImbRow> native_imb_run(simmpi::Rank& rank, const ImbParams& p);
+
+struct HpcgResult {
+  f64 gflops = 0;
+  f64 gbps = 0;
+  f64 residual = 0;
+};
+HpcgResult native_hpcg_run(simmpi::Rank& rank, const HpcgParams& p);
+
+struct IsResult {
+  f64 mops = 0;
+  bool ok = false;
+};
+IsResult native_is_run(simmpi::Rank& rank, const IsParams& p);
+
+struct DtResult {
+  f64 mbps = 0;
+  f64 checksum = 0;
+};
+DtResult native_dt_run(simmpi::Rank& rank, const DtParams& p);
+
+struct IorResult {
+  f64 write_mibs = 0;
+  f64 read_mibs = 0;
+};
+/// `dir` is the host directory files are written into (the native analogue
+/// of the Wasm kernel's preopen).
+IorResult native_ior_run(simmpi::Rank& rank, const IorParams& p,
+                         const std::string& dir);
+
+/// Expected exit code of build_compute_module (shared with tests).
+i32 compute_module_expected(u32 inner_iters);
+
+}  // namespace mpiwasm::toolchain

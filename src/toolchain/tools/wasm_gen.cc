@@ -1,0 +1,65 @@
+// wasm-gen: emits every benchmark kernel as a .wasm file on disk — the
+// "compile once on your local system, distribute the binary" half of the
+// paper's Figure 1 workflow.
+//
+// Usage: wasm-gen <output-dir>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "toolchain/kernels.h"
+
+namespace fs = std::filesystem;
+using namespace mpiwasm;
+using namespace mpiwasm::toolchain;
+
+namespace {
+
+void emit(const fs::path& dir, const std::string& name,
+          const std::vector<u8>& bytes) {
+  fs::path out = dir / name;
+  std::ofstream f(out, std::ios::binary | std::ios::trunc);
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          std::streamsize(bytes.size()));
+  std::printf("  %-28s %8zu bytes\n", name.c_str(), bytes.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <output-dir>\n", argv[0]);
+    return 2;
+  }
+  fs::path dir(argv[1]);
+  fs::create_directories(dir);
+  std::printf("emitting kernels to %s\n", dir.string().c_str());
+
+  for (ImbRoutine r :
+       {ImbRoutine::kPingPong, ImbRoutine::kSendRecv, ImbRoutine::kBcast,
+        ImbRoutine::kAllReduce, ImbRoutine::kAllGather, ImbRoutine::kAlltoall,
+        ImbRoutine::kReduce, ImbRoutine::kGather, ImbRoutine::kScatter}) {
+    ImbParams p;
+    p.routine = r;
+    emit(dir, std::string("imb_") + imb_routine_name(r) + ".wasm",
+         build_imb_module(p));
+  }
+  emit(dir, "xhpcg.wasm", build_hpcg_module({}));
+  emit(dir, "is.wasm", build_is_module({}));
+  for (DtTopology t :
+       {DtTopology::kBlackHole, DtTopology::kWhiteHole, DtTopology::kShuffle}) {
+    DtParams p;
+    p.topology = t;
+    p.use_simd = false;
+    emit(dir, std::string("dt_") + dt_topology_name(t) + "_scalar.wasm",
+         build_dt_module(p));
+    p.use_simd = true;
+    emit(dir, std::string("dt_") + dt_topology_name(t) + "_simd.wasm",
+         build_dt_module(p));
+  }
+  emit(dir, "ior.wasm", build_ior_module({}));
+  emit(dir, "hello.wasm", build_hello_module());
+  emit(dir, "alloc_mem.wasm", build_alloc_mem_module());
+  emit(dir, "allreduce_check.wasm", build_allreduce_check_module());
+  return 0;
+}

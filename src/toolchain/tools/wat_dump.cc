@@ -1,0 +1,36 @@
+// wat-dump: decodes a .wasm binary and prints it in WebAssembly text
+// format (paper Listing 1 style).
+//
+// Usage: wat-dump <module.wasm> [--no-code]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "wasm/decoder.h"
+#include "wasm/wat.h"
+
+using namespace mpiwasm;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <module.wasm> [--no-code]\n", argv[0]);
+    return 2;
+  }
+  std::ifstream in(argv[1], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 1;
+  }
+  std::vector<u8> bytes((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  auto decoded = wasm::decode_module({bytes.data(), bytes.size()});
+  if (!decoded.ok()) {
+    std::fprintf(stderr, "decode error: %s\n", decoded.error.c_str());
+    return 1;
+  }
+  wasm::WatOptions opts;
+  if (argc > 2 && std::strcmp(argv[2], "--no-code") == 0) opts.print_code = false;
+  std::fputs(wasm::to_wat(*decoded.module, opts).c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,145 @@
+#include "wasi/vfs.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+namespace mpiwasm::wasi {
+
+namespace {
+
+/// Normalizes a guest-relative path into components, rejecting escapes.
+/// Returns false if the path is absolute, empty, or traverses above root.
+bool normalize(const std::string& path, std::vector<std::string>& out) {
+  if (path.empty() || path[0] == '/') return false;
+  size_t i = 0;
+  while (i < path.size()) {
+    size_t j = path.find('/', i);
+    if (j == std::string::npos) j = path.size();
+    std::string comp = path.substr(i, j - i);
+    i = j + 1;
+    if (comp.empty() || comp == ".") continue;
+    if (comp == "..") {
+      if (out.empty()) return false;  // would escape the preopen root
+      out.pop_back();
+      continue;
+    }
+    out.push_back(std::move(comp));
+  }
+  return !out.empty();
+}
+
+}  // namespace
+
+VirtualFs::VirtualFs(std::vector<Preopen> preopens)
+    : preopens_(std::move(preopens)) {
+  first_file_fd_ = kFirstPreopenFd + i32(preopens_.size());
+}
+
+VirtualFs::~VirtualFs() {
+  for (auto& f : files_) {
+    if (f.has_value() && f->host_fd >= 0) ::close(f->host_fd);
+  }
+}
+
+std::optional<std::string> VirtualFs::preopen_name(i32 fd) const {
+  i32 idx = fd - kFirstPreopenFd;
+  if (idx < 0 || idx >= i32(preopens_.size())) return std::nullopt;
+  return "/" + preopens_[idx].guest_name;
+}
+
+std::optional<std::string> VirtualFs::resolve(i32 dirfd,
+                                              const std::string& path) const {
+  i32 idx = dirfd - kFirstPreopenFd;
+  if (idx < 0 || idx >= i32(preopens_.size())) return std::nullopt;
+  std::vector<std::string> comps;
+  if (!normalize(path, comps)) return std::nullopt;
+  std::string host = preopens_[idx].host_dir;
+  for (const auto& c : comps) host += "/" + c;
+  return host;
+}
+
+VirtualFs::OpenResult VirtualFs::open(i32 dirfd, const std::string& path,
+                                      OpenFlags flags) {
+  i32 idx = dirfd - kFirstPreopenFd;
+  if (idx < 0 || idx >= i32(preopens_.size())) return {-1, kBadf};
+  const Preopen& pre = preopens_[idx];
+  if (pre.read_only && (flags.write || flags.create || flags.trunc))
+    return {-1, kNotcapable};  // application-level policy, stricter than OS
+  auto host = resolve(dirfd, path);
+  if (!host.has_value()) return {-1, kNoent};
+
+  int oflags = 0;
+  if (flags.read && flags.write) oflags = O_RDWR;
+  else if (flags.write) oflags = O_WRONLY;
+  else oflags = O_RDONLY;
+  if (flags.create) oflags |= O_CREAT;
+  if (flags.trunc) oflags |= O_TRUNC;
+  if (flags.append) oflags |= O_APPEND;
+
+  int host_fd = ::open(host->c_str(), oflags, 0644);
+  if (host_fd < 0) {
+    switch (errno) {
+      case ENOENT: return {-1, kNoent};
+      case EACCES: return {-1, kAcces};
+      case EISDIR: return {-1, kIsdir};
+      case ENOTDIR: return {-1, kNotdir};
+      default: return {-1, kIo};
+    }
+  }
+  // Reuse a free slot or append.
+  for (size_t s = 0; s < files_.size(); ++s) {
+    if (!files_[s].has_value()) {
+      files_[s] = OpenFile{host_fd, flags.write};
+      return {first_file_fd_ + i32(s), kSuccess};
+    }
+  }
+  files_.push_back(OpenFile{host_fd, flags.write});
+  return {first_file_fd_ + i32(files_.size()) - 1, kSuccess};
+}
+
+bool VirtualFs::is_open_file(i32 fd) const {
+  i32 idx = fd - first_file_fd_;
+  return idx >= 0 && idx < i32(files_.size()) && files_[idx].has_value();
+}
+
+Errno VirtualFs::close(i32 fd) {
+  i32 idx = fd - first_file_fd_;
+  if (idx < 0 || idx >= i32(files_.size()) || !files_[idx].has_value())
+    return kBadf;
+  ::close(files_[idx]->host_fd);
+  files_[idx].reset();
+  return kSuccess;
+}
+
+VirtualFs::IoResult VirtualFs::read(i32 fd, u8* buf, size_t len) {
+  i32 idx = fd - first_file_fd_;
+  if (idx < 0 || idx >= i32(files_.size()) || !files_[idx].has_value())
+    return {0, kBadf};
+  ssize_t n = ::read(files_[idx]->host_fd, buf, len);
+  if (n < 0) return {0, kIo};
+  return {size_t(n), kSuccess};
+}
+
+VirtualFs::IoResult VirtualFs::write(i32 fd, const u8* buf, size_t len) {
+  i32 idx = fd - first_file_fd_;
+  if (idx < 0 || idx >= i32(files_.size()) || !files_[idx].has_value())
+    return {0, kBadf};
+  if (!files_[idx]->writable) return {0, kNotcapable};
+  ssize_t n = ::write(files_[idx]->host_fd, buf, len);
+  if (n < 0) return {0, kIo};
+  return {size_t(n), kSuccess};
+}
+
+VirtualFs::SeekResult VirtualFs::seek(i32 fd, i64 offset, u8 whence) {
+  i32 idx = fd - first_file_fd_;
+  if (idx < 0 || idx >= i32(files_.size()) || !files_[idx].has_value())
+    return {0, kBadf};
+  int w = whence == 0 ? SEEK_SET : whence == 1 ? SEEK_CUR : SEEK_END;
+  off_t pos = ::lseek(files_[idx]->host_fd, offset, w);
+  if (pos < 0) return {0, kInval};
+  return {u64(pos), kSuccess};
+}
+
+}  // namespace mpiwasm::wasi

@@ -1,0 +1,102 @@
+// VirtualFs: the userspace filesystem isolation layer of MPIWasm (§3.4).
+//
+// Preopened host directories are mounted as direct children of the virtual
+// root ("/data", "/scratch", ...), so the module never sees host paths —
+// the paper calls out that exposing "/home/<username>/..." would leak
+// information. Every open goes through in-process permission handling that
+// is separate from (and can be stricter than) the OS permissions: a
+// preopen may be mounted read-only even if the user could write to it.
+// Path resolution rejects absolute host paths and any ".." traversal that
+// would escape the preopen root.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/common.h"
+
+namespace mpiwasm::wasi {
+
+/// WASI errno values (subset used by this implementation).
+enum Errno : u16 {
+  kSuccess = 0,
+  kAcces = 2,
+  kBadf = 8,
+  kExist = 20,
+  kInval = 28,
+  kIo = 29,
+  kIsdir = 31,
+  kNoent = 44,
+  kNotdir = 54,
+  kPerm = 63,
+  kNotcapable = 76,
+};
+
+struct Preopen {
+  std::string host_dir;    // existing host directory
+  std::string guest_name;  // mounted as "/<guest_name>"
+  bool read_only = false;
+};
+
+/// Open-file rights derived from the owning preopen.
+struct OpenFlags {
+  bool read = false;
+  bool write = false;
+  bool create = false;
+  bool trunc = false;
+  bool append = false;
+};
+
+class VirtualFs {
+ public:
+  explicit VirtualFs(std::vector<Preopen> preopens);
+  ~VirtualFs();
+  VirtualFs(const VirtualFs&) = delete;
+  VirtualFs& operator=(const VirtualFs&) = delete;
+
+  static constexpr i32 kFirstPreopenFd = 3;  // after stdio
+
+  i32 num_preopens() const { return i32(preopens_.size()); }
+  /// Virtual name ("/data") of preopen fd, or nullopt if not a preopen fd.
+  std::optional<std::string> preopen_name(i32 fd) const;
+
+  /// Opens `path` relative to preopen `dirfd`. Returns the new guest fd or
+  /// an Errno. Enforces the preopen's read-only right and path containment.
+  struct OpenResult {
+    i32 fd = -1;
+    Errno err = kSuccess;
+  };
+  OpenResult open(i32 dirfd, const std::string& path, OpenFlags flags);
+
+  Errno close(i32 fd);
+  /// Returns bytes read/written or an Errno.
+  struct IoResult {
+    size_t bytes = 0;
+    Errno err = kSuccess;
+  };
+  IoResult read(i32 fd, u8* buf, size_t len);
+  IoResult write(i32 fd, const u8* buf, size_t len);
+  struct SeekResult {
+    u64 pos = 0;
+    Errno err = kSuccess;
+  };
+  SeekResult seek(i32 fd, i64 offset, u8 whence);
+
+  bool is_open_file(i32 fd) const;
+
+  /// Resolves a guest path against a preopen; exposed for sandbox tests.
+  /// Returns the host path or nullopt when the path escapes the sandbox.
+  std::optional<std::string> resolve(i32 dirfd, const std::string& path) const;
+
+ private:
+  struct OpenFile {
+    int host_fd = -1;
+    bool writable = false;
+  };
+  std::vector<Preopen> preopens_;
+  std::vector<std::optional<OpenFile>> files_;  // indexed by fd - first_file_fd
+  i32 first_file_fd_ = 0;
+};
+
+}  // namespace mpiwasm::wasi

@@ -1,0 +1,279 @@
+#include "wasi/wasi.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "support/timing.h"
+
+namespace mpiwasm::wasi {
+
+namespace {
+
+using rt::HostContext;
+using rt::LinearMemory;
+using rt::Slot;
+using wasm::FuncType;
+using wasm::ValType;
+
+constexpr ValType I32 = ValType::kI32;
+constexpr ValType I64 = ValType::kI64;
+
+/// xorshift64* for deterministic random_get streams.
+u64 next_rand(u64& state) {
+  state ^= state >> 12;
+  state ^= state << 25;
+  state ^= state >> 27;
+  return state * 0x2545F4914F6CDD1Dull;
+}
+
+}  // namespace
+
+WasiEnv::WasiEnv(WasiConfig config)
+    : config_(std::move(config)), fs_(config_.preopens) {
+  rng_state_ = config_.random_seed != 0 ? config_.random_seed : now_ns() | 1;
+  if (!config_.stdout_sink)
+    config_.stdout_sink = [](std::string_view s) {
+      std::fwrite(s.data(), 1, s.size(), stdout);
+    };
+  if (!config_.stderr_sink)
+    config_.stderr_sink = [](std::string_view s) {
+      std::fwrite(s.data(), 1, s.size(), stderr);
+    };
+}
+
+/// All host bindings in one place; each lambda captures the WasiEnv*.
+struct WasiBindings {
+  static void register_all(WasiEnv* env, rt::ImportTable& t) {
+    const std::string ns = "wasi_snapshot_preview1";
+
+    t.add(ns, "args_sizes_get", FuncType{{I32, I32}, {I32}},
+          [env](HostContext& ctx, const Slot* a, Slot* r) {
+            LinearMemory& mem = ctx.memory();
+            u32 total = 0;
+            for (const auto& s : env->config_.args) total += u32(s.size()) + 1;
+            mem.store<u32>(a[0].u32v, u32(env->config_.args.size()));
+            mem.store<u32>(a[1].u32v, total);
+            r->i32v = kSuccess;
+          });
+
+    t.add(ns, "args_get", FuncType{{I32, I32}, {I32}},
+          [env](HostContext& ctx, const Slot* a, Slot* r) {
+            LinearMemory& mem = ctx.memory();
+            u32 argv = a[0].u32v, buf = a[1].u32v;
+            for (size_t i = 0; i < env->config_.args.size(); ++i) {
+              const std::string& s = env->config_.args[i];
+              mem.store<u32>(argv + 4 * i, buf);
+              auto dst = mem.span(buf, s.size() + 1);
+              std::memcpy(dst.data(), s.c_str(), s.size() + 1);
+              buf += u32(s.size()) + 1;
+            }
+            r->i32v = kSuccess;
+          });
+
+    t.add(ns, "environ_sizes_get", FuncType{{I32, I32}, {I32}},
+          [env](HostContext& ctx, const Slot* a, Slot* r) {
+            LinearMemory& mem = ctx.memory();
+            u32 total = 0;
+            for (const auto& [k, v] : env->config_.env)
+              total += u32(k.size() + v.size()) + 2;
+            mem.store<u32>(a[0].u32v, u32(env->config_.env.size()));
+            mem.store<u32>(a[1].u32v, total);
+            r->i32v = kSuccess;
+          });
+
+    t.add(ns, "environ_get", FuncType{{I32, I32}, {I32}},
+          [env](HostContext& ctx, const Slot* a, Slot* r) {
+            LinearMemory& mem = ctx.memory();
+            u32 envp = a[0].u32v, buf = a[1].u32v;
+            for (size_t i = 0; i < env->config_.env.size(); ++i) {
+              std::string kv =
+                  env->config_.env[i].first + "=" + env->config_.env[i].second;
+              mem.store<u32>(envp + 4 * i, buf);
+              auto dst = mem.span(buf, kv.size() + 1);
+              std::memcpy(dst.data(), kv.c_str(), kv.size() + 1);
+              buf += u32(kv.size()) + 1;
+            }
+            r->i32v = kSuccess;
+          });
+
+    t.add(ns, "clock_time_get", FuncType{{I32, I64, I32}, {I32}},
+          [](HostContext& ctx, const Slot* a, Slot* r) {
+            // clock ids: 0 = realtime, 1 = monotonic; both served from the
+            // monotonic clock (sufficient for benchmark timing).
+            ctx.memory().store<u64>(a[2].u32v, now_ns());
+            r->i32v = kSuccess;
+          });
+
+    t.add(ns, "random_get", FuncType{{I32, I32}, {I32}},
+          [env](HostContext& ctx, const Slot* a, Slot* r) {
+            auto dst = ctx.memory().span(a[0].u32v, a[1].u32v);
+            for (size_t i = 0; i < dst.size(); i += 8) {
+              u64 x = next_rand(env->rng_state_);
+              std::memcpy(dst.data() + i, &x, std::min<size_t>(8, dst.size() - i));
+            }
+            r->i32v = kSuccess;
+          });
+
+    t.add(ns, "proc_exit", FuncType{{I32}, {}},
+          [env](HostContext&, const Slot* a, Slot*) {
+            env->exit_code_ = a[0].i32v;
+            throw rt::ProcExit(a[0].i32v);
+          });
+
+    t.add(ns, "fd_prestat_get", FuncType{{I32, I32}, {I32}},
+          [env](HostContext& ctx, const Slot* a, Slot* r) {
+            auto name = env->fs_.preopen_name(a[0].i32v);
+            if (!name.has_value()) {
+              r->i32v = kBadf;
+              return;
+            }
+            // prestat: tag u8(0 = dir) + padding, then name length.
+            LinearMemory& mem = ctx.memory();
+            mem.store<u32>(a[1].u32v, 0);
+            mem.store<u32>(a[1].u32v + 4, u32(name->size()));
+            r->i32v = kSuccess;
+          });
+
+    t.add(ns, "fd_prestat_dir_name", FuncType{{I32, I32, I32}, {I32}},
+          [env](HostContext& ctx, const Slot* a, Slot* r) {
+            auto name = env->fs_.preopen_name(a[0].i32v);
+            if (!name.has_value()) {
+              r->i32v = kBadf;
+              return;
+            }
+            size_t n = std::min<size_t>(a[2].u32v, name->size());
+            auto dst = ctx.memory().span(a[1].u32v, n);
+            std::memcpy(dst.data(), name->data(), n);
+            r->i32v = kSuccess;
+          });
+
+    t.add(ns, "fd_fdstat_get", FuncType{{I32, I32}, {I32}},
+          [env](HostContext& ctx, const Slot* a, Slot* r) {
+            i32 fd = a[0].i32v;
+            LinearMemory& mem = ctx.memory();
+            u8 filetype;
+            if (fd >= 0 && fd <= 2) filetype = 2;  // character device
+            else if (env->fs_.preopen_name(fd).has_value()) filetype = 3;  // dir
+            else if (env->fs_.is_open_file(fd)) filetype = 4;  // regular file
+            else {
+              r->i32v = kBadf;
+              return;
+            }
+            // fdstat: filetype u8, flags u16, rights u64 x2 (all granted).
+            mem.store<u8>(a[1].u32v, filetype);
+            mem.store<u8>(a[1].u32v + 1, 0);
+            mem.store<u16>(a[1].u32v + 2, 0);
+            mem.store<u64>(a[1].u32v + 8, ~0ull);
+            mem.store<u64>(a[1].u32v + 16, ~0ull);
+            r->i32v = kSuccess;
+          });
+
+    t.add(ns, "fd_write", FuncType{{I32, I32, I32, I32}, {I32}},
+          [env](HostContext& ctx, const Slot* a, Slot* r) {
+            LinearMemory& mem = ctx.memory();
+            i32 fd = a[0].i32v;
+            u32 iovs = a[1].u32v, iovs_len = a[2].u32v;
+            size_t written = 0;
+            for (u32 i = 0; i < iovs_len; ++i) {
+              u32 buf = mem.load<u32>(iovs + 8 * i);
+              u32 len = mem.load<u32>(iovs + 8 * i + 4);
+              auto src = mem.span(buf, len);
+              if (fd == 1) {
+                env->config_.stdout_sink(
+                    {reinterpret_cast<const char*>(src.data()), src.size()});
+                written += len;
+              } else if (fd == 2) {
+                env->config_.stderr_sink(
+                    {reinterpret_cast<const char*>(src.data()), src.size()});
+                written += len;
+              } else {
+                auto res = env->fs_.write(fd, src.data(), src.size());
+                if (res.err != kSuccess) {
+                  r->i32v = res.err;
+                  return;
+                }
+                written += res.bytes;
+                if (res.bytes < src.size()) break;
+              }
+            }
+            mem.store<u32>(a[3].u32v, u32(written));
+            r->i32v = kSuccess;
+          });
+
+    t.add(ns, "fd_read", FuncType{{I32, I32, I32, I32}, {I32}},
+          [env](HostContext& ctx, const Slot* a, Slot* r) {
+            LinearMemory& mem = ctx.memory();
+            i32 fd = a[0].i32v;
+            if (fd <= 2) {  // no interactive stdin in HPC batch context
+              mem.store<u32>(a[3].u32v, 0);
+              r->i32v = kSuccess;
+              return;
+            }
+            u32 iovs = a[1].u32v, iovs_len = a[2].u32v;
+            size_t total = 0;
+            for (u32 i = 0; i < iovs_len; ++i) {
+              u32 buf = mem.load<u32>(iovs + 8 * i);
+              u32 len = mem.load<u32>(iovs + 8 * i + 4);
+              auto dst = mem.span(buf, len);
+              auto res = env->fs_.read(fd, dst.data(), dst.size());
+              if (res.err != kSuccess) {
+                r->i32v = res.err;
+                return;
+              }
+              total += res.bytes;
+              if (res.bytes < dst.size()) break;  // EOF
+            }
+            mem.store<u32>(a[3].u32v, u32(total));
+            r->i32v = kSuccess;
+          });
+
+    t.add(ns, "fd_seek", FuncType{{I32, I64, I32, I32}, {I32}},
+          [env](HostContext& ctx, const Slot* a, Slot* r) {
+            auto res = env->fs_.seek(a[0].i32v, a[1].i64v, u8(a[2].u32v));
+            if (res.err != kSuccess) {
+              r->i32v = res.err;
+              return;
+            }
+            ctx.memory().store<u64>(a[3].u32v, res.pos);
+            r->i32v = kSuccess;
+          });
+
+    t.add(ns, "fd_close", FuncType{{I32}, {I32}},
+          [env](HostContext&, const Slot* a, Slot* r) {
+            r->i32v = env->fs_.close(a[0].i32v);
+          });
+
+    // path_open(dirfd, dirflags, path, path_len, oflags, rights_base,
+    //           rights_inheriting, fdflags, opened_fd_out) -> errno
+    t.add(ns, "path_open",
+          FuncType{{I32, I32, I32, I32, I32, I64, I64, I32, I32}, {I32}},
+          [env](HostContext& ctx, const Slot* a, Slot* r) {
+            LinearMemory& mem = ctx.memory();
+            auto path_bytes = mem.span(a[2].u32v, a[3].u32v);
+            std::string path(reinterpret_cast<const char*>(path_bytes.data()),
+                             path_bytes.size());
+            u32 oflags = a[4].u32v;
+            u64 rights = a[5].u64v;
+            OpenFlags flags;
+            // WASI rights: fd_read = 1<<1, fd_write = 1<<6.
+            flags.read = (rights & (1ull << 1)) != 0 || rights == 0;
+            flags.write = (rights & (1ull << 6)) != 0;
+            flags.create = (oflags & 1) != 0;   // O_CREAT
+            flags.trunc = (oflags & 8) != 0;    // O_TRUNC
+            flags.append = (a[7].u32v & 1) != 0;
+            auto res = env->fs_.open(a[0].i32v, path, flags);
+            if (res.err != kSuccess) {
+              r->i32v = res.err;
+              return;
+            }
+            mem.store<u32>(a[8].u32v, u32(res.fd));
+            r->i32v = kSuccess;
+          });
+  }
+};
+
+void WasiEnv::register_imports(rt::ImportTable& imports) {
+  WasiBindings::register_all(this, imports);
+}
+
+}  // namespace mpiwasm::wasi

@@ -1,0 +1,51 @@
+// WASI snapshot-preview1 host implementation (subset).
+//
+// Implements the system interface the paper's toolchain relies on (§2.3,
+// Listing 1): args/environ, clocks, random, fd and path I/O, proc_exit.
+// File access is mediated by VirtualFs (§3.4); stdout/stderr can be routed
+// to per-rank sinks so multi-rank runs keep ordered, attributable output.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/instance.h"
+#include "wasi/vfs.h"
+
+namespace mpiwasm::wasi {
+
+struct WasiConfig {
+  std::vector<std::string> args;  // argv; args[0] conventionally module name
+  std::vector<std::pair<std::string, std::string>> env;
+  std::vector<Preopen> preopens;  // the embedder's -d flag entries
+  /// Sinks for guest stdout/stderr; default writes to the process streams.
+  std::function<void(std::string_view)> stdout_sink;
+  std::function<void(std::string_view)> stderr_sink;
+  /// Deterministic random_get stream seed (0 = non-deterministic).
+  u64 random_seed = 0;
+};
+
+/// Per-instance WASI state. Register into an ImportTable before
+/// instantiation; one WasiEnv per module instance (per MPI rank).
+class WasiEnv {
+ public:
+  explicit WasiEnv(WasiConfig config);
+
+  /// Registers every implemented function under "wasi_snapshot_preview1".
+  void register_imports(rt::ImportTable& imports);
+
+  VirtualFs& fs() { return fs_; }
+  /// Exit code recorded by proc_exit (if the guest called it).
+  i32 exit_code() const { return exit_code_; }
+
+ private:
+  friend struct WasiBindings;
+  WasiConfig config_;
+  VirtualFs fs_;
+  u64 rng_state_;
+  i32 exit_code_ = 0;
+};
+
+}  // namespace mpiwasm::wasi

@@ -1,0 +1,481 @@
+#include "wasm/builder.h"
+
+#include <algorithm>
+
+namespace mpiwasm::wasm {
+namespace {
+
+u32 natural_align_log2(Op o) {
+  switch (o) {
+    case Op::kI32Load8S: case Op::kI32Load8U: case Op::kI64Load8S:
+    case Op::kI64Load8U: case Op::kI32Store8: case Op::kI64Store8:
+      return 0;
+    case Op::kI32Load16S: case Op::kI32Load16U: case Op::kI64Load16S:
+    case Op::kI64Load16U: case Op::kI32Store16: case Op::kI64Store16:
+      return 1;
+    case Op::kI32Load: case Op::kF32Load: case Op::kI64Load32S:
+    case Op::kI64Load32U: case Op::kI32Store: case Op::kF32Store:
+    case Op::kI64Store32:
+      return 2;
+    case Op::kI64Load: case Op::kF64Load: case Op::kI64Store:
+    case Op::kF64Store:
+      return 3;
+    case Op::kV128Load: case Op::kV128Store:
+      return 4;
+    default:
+      fatal("mem_op on non-memory opcode");
+  }
+}
+
+void emit_opcode(ByteWriter& w, Op o) {
+  u16 code = u16(o);
+  if (code > 0xFF) {
+    w.write_u8(u8(code >> 8));
+    w.write_leb_u32(code & 0xFF);
+  } else {
+    w.write_u8(u8(code));
+  }
+}
+
+}  // namespace
+
+FunctionBuilder::FunctionBuilder(ModuleBuilder* parent, u32 func_index,
+                                 u32 num_params)
+    : parent_(parent), func_index_(func_index), num_params_(num_params) {}
+
+u32 FunctionBuilder::add_local(ValType t) {
+  locals_.push_back(t);
+  return num_params_ + u32(locals_.size()) - 1;
+}
+
+void FunctionBuilder::op(Op o) {
+  MW_CHECK(!finished_, "emitting into a finished function");
+  emit_opcode(code_, o);
+  // Reserved index immediates required by the binary format.
+  switch (op_imm_kind(o)) {
+    case ImmKind::kMemIdx:
+      code_.write_u8(0);
+      break;
+    case ImmKind::kMemCopy:
+      code_.write_u8(0);
+      code_.write_u8(0);
+      break;
+    default:
+      break;
+  }
+  if (o == Op::kEnd) {
+    --open_blocks_;
+    if (open_blocks_ == 0) {
+      finished_ = true;
+      parent_->finish_func(*this);
+    }
+  }
+}
+
+void FunctionBuilder::i32_const(i32 v) {
+  emit_opcode(code_, Op::kI32Const);
+  code_.write_leb_i32(v);
+}
+void FunctionBuilder::i64_const(i64 v) {
+  emit_opcode(code_, Op::kI64Const);
+  code_.write_leb_i64(v);
+}
+void FunctionBuilder::f32_const(f32 v) {
+  emit_opcode(code_, Op::kF32Const);
+  code_.write_f32_le(v);
+}
+void FunctionBuilder::f64_const(f64 v) {
+  emit_opcode(code_, Op::kF64Const);
+  code_.write_f64_le(v);
+}
+void FunctionBuilder::v128_const(const V128& v) {
+  emit_opcode(code_, Op::kV128Const);
+  code_.write_bytes({v.bytes, 16});
+}
+
+void FunctionBuilder::local_get(u32 idx) {
+  emit_opcode(code_, Op::kLocalGet);
+  code_.write_leb_u32(idx);
+}
+void FunctionBuilder::local_set(u32 idx) {
+  emit_opcode(code_, Op::kLocalSet);
+  code_.write_leb_u32(idx);
+}
+void FunctionBuilder::local_tee(u32 idx) {
+  emit_opcode(code_, Op::kLocalTee);
+  code_.write_leb_u32(idx);
+}
+void FunctionBuilder::global_get(u32 idx) {
+  emit_opcode(code_, Op::kGlobalGet);
+  code_.write_leb_u32(idx);
+}
+void FunctionBuilder::global_set(u32 idx) {
+  emit_opcode(code_, Op::kGlobalSet);
+  code_.write_leb_u32(idx);
+}
+
+void FunctionBuilder::call(u32 func_index) {
+  emit_opcode(code_, Op::kCall);
+  code_.write_leb_u32(func_index);
+}
+void FunctionBuilder::call_indirect(u32 type_index) {
+  emit_opcode(code_, Op::kCallIndirect);
+  code_.write_leb_u32(type_index);
+  code_.write_u8(0);
+}
+
+void FunctionBuilder::mem_op(Op o, u32 offset, i32 align_log2) {
+  u32 align = align_log2 >= 0 ? u32(align_log2) : natural_align_log2(o);
+  emit_opcode(code_, o);
+  code_.write_leb_u32(align);
+  code_.write_leb_u32(offset);
+}
+
+void FunctionBuilder::block(u8 block_type) {
+  emit_opcode(code_, Op::kBlock);
+  code_.write_u8(block_type);
+  ++open_blocks_;
+}
+void FunctionBuilder::block(ValType result) { block(u8(result)); }
+void FunctionBuilder::loop(u8 block_type) {
+  emit_opcode(code_, Op::kLoop);
+  code_.write_u8(block_type);
+  ++open_blocks_;
+}
+void FunctionBuilder::if_(u8 block_type) {
+  emit_opcode(code_, Op::kIf);
+  code_.write_u8(block_type);
+  ++open_blocks_;
+}
+void FunctionBuilder::if_(ValType result) { if_(u8(result)); }
+void FunctionBuilder::else_() { emit_opcode(code_, Op::kElse); }
+
+void FunctionBuilder::end() { op(Op::kEnd); }
+
+void FunctionBuilder::br(u32 depth) {
+  emit_opcode(code_, Op::kBr);
+  code_.write_leb_u32(depth);
+}
+void FunctionBuilder::br_if(u32 depth) {
+  emit_opcode(code_, Op::kBrIf);
+  code_.write_leb_u32(depth);
+}
+void FunctionBuilder::br_table(const std::vector<u32>& targets, u32 dflt) {
+  emit_opcode(code_, Op::kBrTable);
+  code_.write_leb_u32(u32(targets.size()));
+  for (u32 t : targets) code_.write_leb_u32(t);
+  code_.write_leb_u32(dflt);
+}
+
+void FunctionBuilder::lane_op(Op o, u8 lane) {
+  emit_opcode(code_, o);
+  code_.write_u8(lane);
+}
+
+void FunctionBuilder::for_loop_i32(u32 counter_local, i32 start,
+                                   u32 limit_local, i32 step,
+                                   const std::function<void()>& body) {
+  // counter = start;
+  i32_const(start);
+  local_set(counter_local);
+  block();  // break target (depth 1 inside loop body)
+  loop();   // continue target (depth 0 inside loop body)
+  // if (counter >= limit) break;
+  local_get(counter_local);
+  local_get(limit_local);
+  op(Op::kI32GeS);
+  br_if(1);
+  body();
+  // counter += step; continue;
+  local_get(counter_local);
+  i32_const(step);
+  op(Op::kI32Add);
+  local_set(counter_local);
+  br(0);
+  end();  // loop
+  end();  // block
+}
+
+void FunctionBuilder::while_i32(const std::function<void()>& cond,
+                                const std::function<void()>& body) {
+  block();
+  loop();
+  cond();
+  op(Op::kI32Eqz);
+  br_if(1);
+  body();
+  br(0);
+  end();
+  end();
+}
+
+ModuleBuilder::ModuleBuilder() = default;
+ModuleBuilder::~ModuleBuilder() = default;
+
+u32 ModuleBuilder::add_type(const FuncType& t) {
+  for (u32 i = 0; i < types_.size(); ++i)
+    if (types_[i] == t) return i;
+  types_.push_back(t);
+  return u32(types_.size()) - 1;
+}
+
+u32 ModuleBuilder::import_func(const std::string& module,
+                               const std::string& name, const FuncType& type) {
+  MW_CHECK(funcs_.empty() && open_funcs_.empty(),
+           "all imports must precede function definitions");
+  imports_.push_back({module, name, add_type(type)});
+  return u32(imports_.size()) - 1;
+}
+
+void ModuleBuilder::add_memory(u32 min_pages, u32 max_pages, bool has_max) {
+  MW_CHECK(!has_memory_, "at most one memory");
+  has_memory_ = true;
+  memory_limits_.min = min_pages;
+  memory_limits_.has_max = has_max;
+  memory_limits_.max = max_pages;
+}
+
+void ModuleBuilder::export_memory(const std::string& name) {
+  MW_CHECK(has_memory_, "export_memory without memory");
+  memory_exported_ = true;
+  memory_export_name_ = name;
+}
+
+u32 ModuleBuilder::add_global(ValType type, bool mutable_, i64 init_i,
+                              f64 init_f) {
+  globals_.push_back({type, mutable_, init_i, init_f});
+  return u32(globals_.size()) - 1;
+}
+
+void ModuleBuilder::export_global(const std::string& name, u32 index) {
+  exports_.push_back({name, ExternKind::kGlobal, index});
+}
+
+void ModuleBuilder::add_table(u32 min_entries) {
+  MW_CHECK(!has_table_, "at most one table");
+  has_table_ = true;
+  table_min_ = min_entries;
+}
+
+void ModuleBuilder::add_elem(u32 offset, const std::vector<u32>& funcs) {
+  MW_CHECK(has_table_, "add_elem without table");
+  elems_.push_back({offset, funcs});
+}
+
+void ModuleBuilder::add_data(u32 offset, std::span<const u8> bytes) {
+  datas_.push_back({offset, {bytes.begin(), bytes.end()}});
+}
+
+void ModuleBuilder::add_data_string(u32 offset, const std::string& s) {
+  add_data(offset, {reinterpret_cast<const u8*>(s.data()), s.size()});
+}
+
+FunctionBuilder& ModuleBuilder::begin_func(const FuncType& type,
+                                           const std::string& export_name) {
+  u32 type_index = add_type(type);
+  // funcs_ already contains one (possibly still-empty) slot per previously
+  // begun function, so its size alone determines the next index.
+  u32 func_index = u32(imports_.size() + funcs_.size());
+  auto fb = std::unique_ptr<FunctionBuilder>(
+      new FunctionBuilder(this, func_index, u32(type.params.size())));
+  // Reserve the definition slot now so indices stay stable even when
+  // several functions are under construction.
+  func_type_indices_.push_back(type_index);
+  funcs_.push_back({type_index, {}, {}});
+  if (!export_name.empty()) export_func(export_name, func_index);
+  open_funcs_.push_back(std::move(fb));
+  return *open_funcs_.back();
+}
+
+void ModuleBuilder::finish_func(FunctionBuilder& fb) {
+  u32 slot = fb.index() - u32(imports_.size());
+  MW_CHECK(slot < funcs_.size(), "finish_func: bad index");
+  funcs_[slot].locals = fb.locals_;
+  funcs_[slot].code = fb.code_.take();
+}
+
+void ModuleBuilder::export_func(const std::string& name, u32 func_index) {
+  exports_.push_back({name, ExternKind::kFunc, func_index});
+}
+
+void ModuleBuilder::set_start(u32 func_index) { start_ = func_index; }
+
+namespace {
+void write_section(ByteWriter& out, SectionId id, const ByteWriter& content) {
+  out.write_u8(u8(id));
+  out.write_leb_u32(u32(content.bytes().size()));
+  out.write_bytes({content.bytes().data(), content.bytes().size()});
+}
+
+void write_limits(ByteWriter& w, const Limits& lim) {
+  w.write_u8(lim.has_max ? 1 : 0);
+  w.write_leb_u32(lim.min);
+  if (lim.has_max) w.write_leb_u32(lim.max);
+}
+}  // namespace
+
+std::vector<u8> ModuleBuilder::build() const {
+  for (const auto& f : open_funcs_)
+    MW_CHECK(f->finished_, "build() with unfinished function");
+
+  ByteWriter out;
+  out.write_u32_le(kWasmMagic);
+  out.write_u32_le(kWasmVersion);
+
+  if (!types_.empty()) {
+    ByteWriter s;
+    s.write_leb_u32(u32(types_.size()));
+    for (const auto& t : types_) {
+      s.write_u8(0x60);
+      s.write_leb_u32(u32(t.params.size()));
+      for (ValType p : t.params) s.write_u8(u8(p));
+      s.write_leb_u32(u32(t.results.size()));
+      for (ValType r : t.results) s.write_u8(u8(r));
+    }
+    write_section(out, SectionId::kType, s);
+  }
+
+  if (!imports_.empty()) {
+    ByteWriter s;
+    s.write_leb_u32(u32(imports_.size()));
+    for (const auto& imp : imports_) {
+      s.write_name(imp.module);
+      s.write_name(imp.name);
+      s.write_u8(0);  // func
+      s.write_leb_u32(imp.type_index);
+    }
+    write_section(out, SectionId::kImport, s);
+  }
+
+  if (!funcs_.empty()) {
+    ByteWriter s;
+    s.write_leb_u32(u32(funcs_.size()));
+    for (const auto& f : funcs_) s.write_leb_u32(f.type_index);
+    write_section(out, SectionId::kFunction, s);
+  }
+
+  if (has_table_) {
+    ByteWriter s;
+    s.write_leb_u32(1);
+    s.write_u8(0x70);
+    write_limits(s, Limits{table_min_, false, 0});
+    write_section(out, SectionId::kTable, s);
+  }
+
+  if (has_memory_) {
+    ByteWriter s;
+    s.write_leb_u32(1);
+    write_limits(s, memory_limits_);
+    write_section(out, SectionId::kMemory, s);
+  }
+
+  if (!globals_.empty()) {
+    ByteWriter s;
+    s.write_leb_u32(u32(globals_.size()));
+    for (const auto& g : globals_) {
+      s.write_u8(u8(g.type));
+      s.write_u8(g.mutable_ ? 1 : 0);
+      switch (g.type) {
+        case ValType::kI32:
+          s.write_u8(u8(Op::kI32Const));
+          s.write_leb_i32(i32(g.init_i));
+          break;
+        case ValType::kI64:
+          s.write_u8(u8(Op::kI64Const));
+          s.write_leb_i64(g.init_i);
+          break;
+        case ValType::kF32:
+          s.write_u8(u8(Op::kF32Const));
+          s.write_f32_le(f32(g.init_f));
+          break;
+        case ValType::kF64:
+          s.write_u8(u8(Op::kF64Const));
+          s.write_f64_le(g.init_f);
+          break;
+        default:
+          fatal("unsupported global type in builder");
+      }
+      s.write_u8(u8(Op::kEnd));
+    }
+    write_section(out, SectionId::kGlobal, s);
+  }
+
+  {
+    std::vector<Export> all = exports_;
+    if (memory_exported_)
+      all.push_back({memory_export_name_, ExternKind::kMemory, 0});
+    if (!all.empty()) {
+      ByteWriter s;
+      s.write_leb_u32(u32(all.size()));
+      for (const auto& e : all) {
+        s.write_name(e.name);
+        s.write_u8(u8(e.kind));
+        s.write_leb_u32(e.index);
+      }
+      write_section(out, SectionId::kExport, s);
+    }
+  }
+
+  if (start_.has_value()) {
+    ByteWriter s;
+    s.write_leb_u32(*start_);
+    write_section(out, SectionId::kStart, s);
+  }
+
+  if (!elems_.empty()) {
+    ByteWriter s;
+    s.write_leb_u32(u32(elems_.size()));
+    for (const auto& e : elems_) {
+      s.write_leb_u32(0);  // active, table 0
+      s.write_u8(u8(Op::kI32Const));
+      s.write_leb_i32(i32(e.offset));
+      s.write_u8(u8(Op::kEnd));
+      s.write_leb_u32(u32(e.funcs.size()));
+      for (u32 fi : e.funcs) s.write_leb_u32(fi);
+    }
+    write_section(out, SectionId::kElement, s);
+  }
+
+  if (!funcs_.empty()) {
+    ByteWriter s;
+    s.write_leb_u32(u32(funcs_.size()));
+    for (const auto& f : funcs_) {
+      ByteWriter body;
+      // Compress locals into (count, type) runs.
+      std::vector<std::pair<u32, ValType>> runs;
+      for (ValType t : f.locals) {
+        if (!runs.empty() && runs.back().second == t)
+          ++runs.back().first;
+        else
+          runs.push_back({1, t});
+      }
+      body.write_leb_u32(u32(runs.size()));
+      for (auto [n, t] : runs) {
+        body.write_leb_u32(n);
+        body.write_u8(u8(t));
+      }
+      body.write_bytes({f.code.data(), f.code.size()});
+      s.write_leb_u32(u32(body.bytes().size()));
+      s.write_bytes({body.bytes().data(), body.bytes().size()});
+    }
+    write_section(out, SectionId::kCode, s);
+  }
+
+  if (!datas_.empty()) {
+    ByteWriter s;
+    s.write_leb_u32(u32(datas_.size()));
+    for (const auto& d : datas_) {
+      s.write_leb_u32(0);  // active, memory 0
+      s.write_u8(u8(Op::kI32Const));
+      s.write_leb_i32(i32(d.offset));
+      s.write_u8(u8(Op::kEnd));
+      s.write_leb_u32(u32(d.bytes.size()));
+      s.write_bytes({d.bytes.data(), d.bytes.size()});
+    }
+    write_section(out, SectionId::kData, s);
+  }
+
+  return out.take();
+}
+
+}  // namespace mpiwasm::wasm

@@ -1,0 +1,75 @@
+#include "wasm/module.h"
+
+#include <sstream>
+
+namespace mpiwasm::wasm {
+
+const char* val_type_name(ValType t) {
+  switch (t) {
+    case ValType::kI32: return "i32";
+    case ValType::kI64: return "i64";
+    case ValType::kF32: return "f32";
+    case ValType::kF64: return "f64";
+    case ValType::kV128: return "v128";
+    case ValType::kFuncRef: return "funcref";
+  }
+  return "<bad>";
+}
+
+bool is_num_type(ValType t) {
+  return t == ValType::kI32 || t == ValType::kI64 || t == ValType::kF32 ||
+         t == ValType::kF64 || t == ValType::kV128;
+}
+
+std::string FuncType::to_string() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (i) os << " ";
+    os << val_type_name(params[i]);
+  }
+  os << ") -> (";
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (i) os << " ";
+    os << val_type_name(results[i]);
+  }
+  os << ")";
+  return os.str();
+}
+
+u32 Module::num_imported_funcs() const {
+  u32 n = 0;
+  for (const auto& imp : imports)
+    if (imp.kind == ExternKind::kFunc) ++n;
+  return n;
+}
+
+u32 Module::num_imported_globals() const {
+  u32 n = 0;
+  for (const auto& imp : imports)
+    if (imp.kind == ExternKind::kGlobal) ++n;
+  return n;
+}
+
+const FuncType& Module::func_type(u32 index) const {
+  u32 imported = num_imported_funcs();
+  if (index < imported) {
+    u32 seen = 0;
+    for (const auto& imp : imports) {
+      if (imp.kind != ExternKind::kFunc) continue;
+      if (seen == index) return types.at(imp.type_index);
+      ++seen;
+    }
+  }
+  return types.at(functions.at(index - imported));
+}
+
+const Export* Module::find_export(const std::string& name,
+                                  ExternKind kind) const {
+  for (const auto& e : exports) {
+    if (e.kind == kind && e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+}  // namespace mpiwasm::wasm

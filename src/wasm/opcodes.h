@@ -1,0 +1,272 @@
+// WebAssembly opcode definitions.
+//
+// Internal representation: a 16-bit code. Single-byte opcodes keep their
+// spec byte value; 0xFC-prefixed (bulk memory) and 0xFD-prefixed (SIMD)
+// opcodes are encoded as (prefix << 8) | sub-opcode.
+#pragma once
+
+#include <cstdint>
+
+#include "support/common.h"
+
+namespace mpiwasm::wasm {
+
+enum class Op : u16 {
+  // Control.
+  kUnreachable = 0x00,
+  kNop = 0x01,
+  kBlock = 0x02,
+  kLoop = 0x03,
+  kIf = 0x04,
+  kElse = 0x05,
+  kEnd = 0x0B,
+  kBr = 0x0C,
+  kBrIf = 0x0D,
+  kBrTable = 0x0E,
+  kReturn = 0x0F,
+  kCall = 0x10,
+  kCallIndirect = 0x11,
+  // Parametric.
+  kDrop = 0x1A,
+  kSelect = 0x1B,
+  // Variables.
+  kLocalGet = 0x20,
+  kLocalSet = 0x21,
+  kLocalTee = 0x22,
+  kGlobalGet = 0x23,
+  kGlobalSet = 0x24,
+  // Memory loads.
+  kI32Load = 0x28,
+  kI64Load = 0x29,
+  kF32Load = 0x2A,
+  kF64Load = 0x2B,
+  kI32Load8S = 0x2C,
+  kI32Load8U = 0x2D,
+  kI32Load16S = 0x2E,
+  kI32Load16U = 0x2F,
+  kI64Load8S = 0x30,
+  kI64Load8U = 0x31,
+  kI64Load16S = 0x32,
+  kI64Load16U = 0x33,
+  kI64Load32S = 0x34,
+  kI64Load32U = 0x35,
+  // Memory stores.
+  kI32Store = 0x36,
+  kI64Store = 0x37,
+  kF32Store = 0x38,
+  kF64Store = 0x39,
+  kI32Store8 = 0x3A,
+  kI32Store16 = 0x3B,
+  kI64Store8 = 0x3C,
+  kI64Store16 = 0x3D,
+  kI64Store32 = 0x3E,
+  kMemorySize = 0x3F,
+  kMemoryGrow = 0x40,
+  // Constants.
+  kI32Const = 0x41,
+  kI64Const = 0x42,
+  kF32Const = 0x43,
+  kF64Const = 0x44,
+  // i32 comparisons.
+  kI32Eqz = 0x45,
+  kI32Eq = 0x46,
+  kI32Ne = 0x47,
+  kI32LtS = 0x48,
+  kI32LtU = 0x49,
+  kI32GtS = 0x4A,
+  kI32GtU = 0x4B,
+  kI32LeS = 0x4C,
+  kI32LeU = 0x4D,
+  kI32GeS = 0x4E,
+  kI32GeU = 0x4F,
+  // i64 comparisons.
+  kI64Eqz = 0x50,
+  kI64Eq = 0x51,
+  kI64Ne = 0x52,
+  kI64LtS = 0x53,
+  kI64LtU = 0x54,
+  kI64GtS = 0x55,
+  kI64GtU = 0x56,
+  kI64LeS = 0x57,
+  kI64LeU = 0x58,
+  kI64GeS = 0x59,
+  kI64GeU = 0x5A,
+  // f32/f64 comparisons.
+  kF32Eq = 0x5B,
+  kF32Ne = 0x5C,
+  kF32Lt = 0x5D,
+  kF32Gt = 0x5E,
+  kF32Le = 0x5F,
+  kF32Ge = 0x60,
+  kF64Eq = 0x61,
+  kF64Ne = 0x62,
+  kF64Lt = 0x63,
+  kF64Gt = 0x64,
+  kF64Le = 0x65,
+  kF64Ge = 0x66,
+  // i32 arithmetic.
+  kI32Clz = 0x67,
+  kI32Ctz = 0x68,
+  kI32Popcnt = 0x69,
+  kI32Add = 0x6A,
+  kI32Sub = 0x6B,
+  kI32Mul = 0x6C,
+  kI32DivS = 0x6D,
+  kI32DivU = 0x6E,
+  kI32RemS = 0x6F,
+  kI32RemU = 0x70,
+  kI32And = 0x71,
+  kI32Or = 0x72,
+  kI32Xor = 0x73,
+  kI32Shl = 0x74,
+  kI32ShrS = 0x75,
+  kI32ShrU = 0x76,
+  kI32Rotl = 0x77,
+  kI32Rotr = 0x78,
+  // i64 arithmetic.
+  kI64Clz = 0x79,
+  kI64Ctz = 0x7A,
+  kI64Popcnt = 0x7B,
+  kI64Add = 0x7C,
+  kI64Sub = 0x7D,
+  kI64Mul = 0x7E,
+  kI64DivS = 0x7F,
+  kI64DivU = 0x80,
+  kI64RemS = 0x81,
+  kI64RemU = 0x82,
+  kI64And = 0x83,
+  kI64Or = 0x84,
+  kI64Xor = 0x85,
+  kI64Shl = 0x86,
+  kI64ShrS = 0x87,
+  kI64ShrU = 0x88,
+  kI64Rotl = 0x89,
+  kI64Rotr = 0x8A,
+  // f32 arithmetic.
+  kF32Abs = 0x8B,
+  kF32Neg = 0x8C,
+  kF32Ceil = 0x8D,
+  kF32Floor = 0x8E,
+  kF32Trunc = 0x8F,
+  kF32Nearest = 0x90,
+  kF32Sqrt = 0x91,
+  kF32Add = 0x92,
+  kF32Sub = 0x93,
+  kF32Mul = 0x94,
+  kF32Div = 0x95,
+  kF32Min = 0x96,
+  kF32Max = 0x97,
+  kF32Copysign = 0x98,
+  // f64 arithmetic.
+  kF64Abs = 0x99,
+  kF64Neg = 0x9A,
+  kF64Ceil = 0x9B,
+  kF64Floor = 0x9C,
+  kF64Trunc = 0x9D,
+  kF64Nearest = 0x9E,
+  kF64Sqrt = 0x9F,
+  kF64Add = 0xA0,
+  kF64Sub = 0xA1,
+  kF64Mul = 0xA2,
+  kF64Div = 0xA3,
+  kF64Min = 0xA4,
+  kF64Max = 0xA5,
+  kF64Copysign = 0xA6,
+  // Conversions.
+  kI32WrapI64 = 0xA7,
+  kI32TruncF32S = 0xA8,
+  kI32TruncF32U = 0xA9,
+  kI32TruncF64S = 0xAA,
+  kI32TruncF64U = 0xAB,
+  kI64ExtendI32S = 0xAC,
+  kI64ExtendI32U = 0xAD,
+  kI64TruncF32S = 0xAE,
+  kI64TruncF32U = 0xAF,
+  kI64TruncF64S = 0xB0,
+  kI64TruncF64U = 0xB1,
+  kF32ConvertI32S = 0xB2,
+  kF32ConvertI32U = 0xB3,
+  kF32ConvertI64S = 0xB4,
+  kF32ConvertI64U = 0xB5,
+  kF32DemoteF64 = 0xB6,
+  kF64ConvertI32S = 0xB7,
+  kF64ConvertI32U = 0xB8,
+  kF64ConvertI64S = 0xB9,
+  kF64ConvertI64U = 0xBA,
+  kF64PromoteF32 = 0xBB,
+  kI32ReinterpretF32 = 0xBC,
+  kI64ReinterpretF64 = 0xBD,
+  kF32ReinterpretI32 = 0xBE,
+  kF64ReinterpretI64 = 0xBF,
+  // Sign extension ops.
+  kI32Extend8S = 0xC0,
+  kI32Extend16S = 0xC1,
+  kI64Extend8S = 0xC2,
+  kI64Extend16S = 0xC3,
+  kI64Extend32S = 0xC4,
+  // 0xFC-prefixed bulk memory.
+  kMemoryCopy = 0xFC0A,
+  kMemoryFill = 0xFC0B,
+  // 0xFD-prefixed SIMD (subset used by the toolchain; lane numbering
+  // matches the finalized fixed-width SIMD proposal).
+  kV128Load = 0xFD00,
+  kV128Store = 0xFD0B,
+  kV128Const = 0xFD0C,
+  kI8x16Splat = 0xFD0F,
+  kI32x4Splat = 0xFD11,
+  kI64x2Splat = 0xFD12,
+  kF32x4Splat = 0xFD13,
+  kF64x2Splat = 0xFD14,
+  kI32x4ExtractLane = 0xFD1B,
+  kI64x2ExtractLane = 0xFD1D,
+  kF32x4ExtractLane = 0xFD1F,
+  kF64x2ExtractLane = 0xFD21,
+  kI8x16Eq = 0xFD23,
+  kV128Not = 0xFD4D,
+  kV128And = 0xFD4E,
+  kV128Or = 0xFD50,
+  kV128Xor = 0xFD51,
+  kV128AnyTrue = 0xFD53,
+  kI32x4Add = 0xFDAE,
+  kI32x4Sub = 0xFDB1,
+  kI32x4Mul = 0xFDB5,
+  kI64x2Add = 0xFDCE,
+  kI64x2Sub = 0xFDD1,
+  kF32x4Add = 0xFDE4,
+  kF32x4Sub = 0xFDE5,
+  kF32x4Mul = 0xFDE6,
+  kF32x4Div = 0xFDE7,
+  kF64x2Add = 0xFDF0,
+  kF64x2Sub = 0xFDF1,
+  kF64x2Mul = 0xFDF2,
+  kF64x2Div = 0xFDF3,
+};
+
+/// Immediate operand shapes an opcode carries in the binary encoding.
+enum class ImmKind : u8 {
+  kNone,
+  kBlockType,    // block/loop/if
+  kLabel,        // br/br_if
+  kBrTable,      // vector of labels + default
+  kFuncIdx,      // call
+  kCallIndirect, // type idx + table idx
+  kLocalIdx,
+  kGlobalIdx,
+  kMemArg,       // align + offset
+  kMemArgLane,   // unused (reserved for SIMD load/store lane)
+  kMemIdx,       // memory.size/grow (single 0x00 byte)
+  kMemCopy,      // two 0x00 bytes
+  kI32Const,
+  kI64Const,
+  kF32Const,
+  kF64Const,
+  kV128Const,    // 16 literal bytes
+  kLaneIdx,      // SIMD extract lane
+};
+
+/// Whether `op` is a recognized opcode; unknown opcodes fail decoding.
+bool op_is_known(u16 code);
+ImmKind op_imm_kind(Op op);
+const char* op_name(Op op);
+
+}  // namespace mpiwasm::wasm

@@ -1,0 +1,82 @@
+// Core WebAssembly type definitions (value types, function types, limits)
+// following the Wasm 1.0 spec plus the 128-bit SIMD value type.
+#pragma once
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "support/common.h"
+
+namespace mpiwasm::wasm {
+
+/// Wasm value types. Binary encodings per spec: i32=0x7F i64=0x7E f32=0x7D
+/// f64=0x7C v128=0x7B funcref=0x70.
+enum class ValType : u8 {
+  kI32 = 0x7F,
+  kI64 = 0x7E,
+  kF32 = 0x7D,
+  kF64 = 0x7C,
+  kV128 = 0x7B,
+  kFuncRef = 0x70,
+};
+
+const char* val_type_name(ValType t);
+bool is_num_type(ValType t);
+
+/// Binary encoding of an empty block result type in block/loop/if.
+constexpr u8 kBlockTypeEmpty = 0x40;
+
+/// 128-bit SIMD value, viewable as any lane shape. Kept trivially default-
+/// constructible so it can live inside the runtime's untyped Slot union;
+/// value-initialize (`V128 v{};`) where zeroing matters.
+struct V128 {
+  alignas(16) u8 bytes[16];
+
+  template <typename T, int N>
+  T lane(int i) const {
+    static_assert(sizeof(T) * N == 16);
+    T v;
+    std::memcpy(&v, bytes + i * sizeof(T), sizeof(T));
+    return v;
+  }
+  template <typename T, int N>
+  void set_lane(int i, T v) {
+    static_assert(sizeof(T) * N == 16);
+    std::memcpy(bytes + i * sizeof(T), &v, sizeof(T));
+  }
+  template <typename T>
+  static V128 splat(T v) {
+    V128 out;
+    for (size_t i = 0; i < 16 / sizeof(T); ++i)
+      std::memcpy(out.bytes + i * sizeof(T), &v, sizeof(T));
+    return out;
+  }
+  bool operator==(const V128& o) const {
+    return std::memcmp(bytes, o.bytes, 16) == 0;
+  }
+};
+
+/// A function signature. Wasm MVP allows multiple results in the type
+/// section, but our validator restricts function results to <= 1 (all
+/// toolchain output satisfies this, matching the paper's C/C++ focus).
+struct FuncType {
+  std::vector<ValType> params;
+  std::vector<ValType> results;
+  bool operator==(const FuncType&) const = default;
+  std::string to_string() const;
+};
+
+/// Memory/table limits (unit: 64KiB pages for memories, entries for tables).
+struct Limits {
+  u32 min = 0;
+  bool has_max = false;
+  u32 max = 0;
+  bool operator==(const Limits&) const = default;
+};
+
+constexpr u32 kPageSize = 64 * 1024;
+/// 32-bit address space cap: 65536 pages = 4GiB (paper §3.8 limitation).
+constexpr u32 kMaxPages = 65536;
+
+}  // namespace mpiwasm::wasm

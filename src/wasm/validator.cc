@@ -1,0 +1,612 @@
+#include "wasm/validator.h"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "wasm/decoder.h"
+
+namespace mpiwasm::wasm {
+namespace {
+
+class ValidationError : public std::runtime_error {
+ public:
+  explicit ValidationError(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] void verr(const std::string& msg) { throw ValidationError(msg); }
+
+// nullopt = "Unknown" type from unreachable polymorphism.
+using StackType = std::optional<ValType>;
+
+struct ControlFrame {
+  Op opcode = Op::kBlock;
+  std::optional<ValType> result;  // at most one result per block
+  size_t height = 0;
+  bool unreachable = false;
+};
+
+/// Function-body validator implementing the spec algorithm.
+class FuncValidator {
+ public:
+  FuncValidator(const Module& m, u32 func_index)
+      : m_(m),
+        type_(m.func_type(m.num_imported_funcs() + func_index)),
+        body_(m.bodies.at(func_index)) {
+    locals_ = type_.params;
+    locals_.insert(locals_.end(), body_.locals.begin(), body_.locals.end());
+    num_globals_ = m.num_imported_globals() + u32(m.globals.size());
+    has_memory_ = !m.memories.empty() ||
+                  std::any_of(m.imports.begin(), m.imports.end(), [](const Import& i) {
+                    return i.kind == ExternKind::kMemory;
+                  });
+    has_table_ = !m.tables.empty() ||
+                 std::any_of(m.imports.begin(), m.imports.end(), [](const Import& i) {
+                   return i.kind == ExternKind::kTable;
+                 });
+  }
+
+  void run() {
+    if (type_.results.size() > 1) verr("multi-value function results unsupported");
+    push_frame(Op::kBlock, result_type());
+    InstrReader reader({body_.code.data(), body_.code.size()});
+    while (!reader.done()) {
+      InstrView in = reader.next();
+      if (ctrl_.empty()) verr("instructions after function end");
+      step(in);
+    }
+    if (!ctrl_.empty()) verr("function body missing end");
+    if (result_type().has_value()) {
+      if (stack_.size() != 1) verr("function must leave exactly its result on the stack");
+    } else if (!stack_.empty()) {
+      verr("function with no result must leave empty stack");
+    }
+  }
+
+ private:
+  std::optional<ValType> result_type() const {
+    return type_.results.empty() ? std::nullopt
+                                 : std::make_optional(type_.results[0]);
+  }
+
+  void push_val(StackType t) { stack_.push_back(t); }
+  void push_val(ValType t) { stack_.push_back(t); }
+
+  StackType pop_val() {
+    ControlFrame& f = ctrl_.back();
+    if (stack_.size() == f.height) {
+      if (f.unreachable) return std::nullopt;
+      verr("value stack underflow");
+    }
+    StackType t = stack_.back();
+    stack_.pop_back();
+    return t;
+  }
+
+  StackType pop_val(ValType expect) {
+    StackType t = pop_val();
+    if (t.has_value() && *t != expect) {
+      std::ostringstream os;
+      os << "type mismatch: expected " << val_type_name(expect) << ", got "
+         << val_type_name(*t);
+      verr(os.str());
+    }
+    return t.has_value() ? t : StackType(expect);
+  }
+
+  void push_frame(Op opcode, std::optional<ValType> result) {
+    ctrl_.push_back({opcode, result, stack_.size(), false});
+  }
+
+  ControlFrame pop_frame() {
+    if (ctrl_.empty()) verr("control stack underflow");
+    ControlFrame f = ctrl_.back();
+    if (f.result.has_value()) pop_val(*f.result);
+    if (stack_.size() != f.height) verr("block left extra values on the stack");
+    ctrl_.pop_back();
+    return f;
+  }
+
+  void set_unreachable() {
+    ControlFrame& f = ctrl_.back();
+    stack_.resize(f.height);
+    f.unreachable = true;
+  }
+
+  /// Types a branch to relative label `depth` must provide.
+  std::optional<ValType> label_result(u32 depth) {
+    if (depth >= ctrl_.size()) verr("branch label out of range");
+    const ControlFrame& f = ctrl_[ctrl_.size() - 1 - depth];
+    // Branching to a loop re-enters its beginning: no values expected.
+    if (f.opcode == Op::kLoop) return std::nullopt;
+    return f.result;
+  }
+
+  std::optional<ValType> block_result(u8 block_type) {
+    if (block_type == kBlockTypeEmpty) return std::nullopt;
+    return ValType(block_type);
+  }
+
+  void require_memory() {
+    if (!has_memory_) verr("instruction requires a memory");
+  }
+
+  void check_align(u32 align, u32 natural_bytes) {
+    u32 natural_log2 = 0;
+    while ((1u << natural_log2) < natural_bytes) ++natural_log2;
+    if (align > natural_log2) verr("alignment exceeds natural alignment");
+  }
+
+  void load(ValType result, u32 bytes, const InstrView& in) {
+    require_memory();
+    check_align(in.mem_align, bytes);
+    pop_val(ValType::kI32);
+    push_val(result);
+  }
+
+  void store(ValType operand, u32 bytes, const InstrView& in) {
+    require_memory();
+    check_align(in.mem_align, bytes);
+    pop_val(operand);
+    pop_val(ValType::kI32);
+  }
+
+  void binop(ValType t) {
+    pop_val(t);
+    pop_val(t);
+    push_val(t);
+  }
+
+  void unop(ValType t) {
+    pop_val(t);
+    push_val(t);
+  }
+
+  void cmp(ValType t) {
+    pop_val(t);
+    pop_val(t);
+    push_val(ValType::kI32);
+  }
+
+  void convert(ValType from, ValType to) {
+    pop_val(from);
+    push_val(to);
+  }
+
+  void step(const InstrView& in);
+
+  const Module& m_;
+  const FuncType& type_;
+  const FuncBody& body_;
+  std::vector<ValType> locals_;
+  u32 num_globals_ = 0;
+  bool has_memory_ = false;
+  bool has_table_ = false;
+  std::vector<StackType> stack_;
+  std::vector<ControlFrame> ctrl_;
+};
+
+void FuncValidator::step(const InstrView& in) {
+  switch (in.op) {
+    case Op::kUnreachable:
+      set_unreachable();
+      break;
+    case Op::kNop:
+      break;
+    case Op::kBlock:
+    case Op::kLoop:
+      push_frame(in.op, block_result(in.block_type));
+      break;
+    case Op::kIf:
+      pop_val(ValType::kI32);
+      push_frame(Op::kIf, block_result(in.block_type));
+      break;
+    case Op::kElse: {
+      if (ctrl_.empty() || ctrl_.back().opcode != Op::kIf)
+        verr("else without matching if");
+      ControlFrame f = pop_frame();
+      push_frame(Op::kElse, f.result);
+      break;
+    }
+    case Op::kEnd: {
+      ControlFrame f = pop_frame();
+      if (f.opcode == Op::kIf && f.result.has_value())
+        verr("if with result requires an else branch");
+      if (f.result.has_value()) push_val(*f.result);
+      break;
+    }
+    case Op::kBr: {
+      auto r = label_result(in.idx());
+      if (r.has_value()) pop_val(*r);
+      set_unreachable();
+      break;
+    }
+    case Op::kBrIf: {
+      pop_val(ValType::kI32);
+      auto r = label_result(in.idx());
+      if (r.has_value()) {
+        pop_val(*r);
+        push_val(*r);
+      }
+      break;
+    }
+    case Op::kBrTable: {
+      pop_val(ValType::kI32);
+      auto expect = label_result(in.br_default);
+      for (u32 t : in.br_targets) {
+        auto r = label_result(t);
+        if (r != expect) verr("br_table targets have mismatched result types");
+      }
+      if (expect.has_value()) pop_val(*expect);
+      set_unreachable();
+      break;
+    }
+    case Op::kReturn: {
+      if (result_type().has_value()) pop_val(*result_type());
+      set_unreachable();
+      break;
+    }
+    case Op::kCall: {
+      u32 fi = in.idx();
+      if (fi >= m_.total_funcs()) verr("call to out-of-range function index");
+      const FuncType& ft = m_.func_type(fi);
+      for (auto it = ft.params.rbegin(); it != ft.params.rend(); ++it) pop_val(*it);
+      for (ValType r : ft.results) push_val(r);
+      break;
+    }
+    case Op::kCallIndirect: {
+      if (!has_table_) verr("call_indirect requires a table");
+      if (in.indirect_type_index >= m_.types.size())
+        verr("call_indirect type index out of range");
+      pop_val(ValType::kI32);
+      const FuncType& ft = m_.types[in.indirect_type_index];
+      if (ft.results.size() > 1) verr("multi-value results unsupported");
+      for (auto it = ft.params.rbegin(); it != ft.params.rend(); ++it) pop_val(*it);
+      for (ValType r : ft.results) push_val(r);
+      break;
+    }
+    case Op::kDrop:
+      pop_val();
+      break;
+    case Op::kSelect: {
+      pop_val(ValType::kI32);
+      StackType a = pop_val();
+      StackType b = pop_val();
+      if (a.has_value() && b.has_value() && *a != *b)
+        verr("select operands must have the same type");
+      StackType out = a.has_value() ? a : b;
+      if (out.has_value() && !is_num_type(*out)) verr("select requires numeric types");
+      push_val(out);
+      break;
+    }
+    case Op::kLocalGet:
+      if (in.idx() >= locals_.size()) verr("local.get index out of range");
+      push_val(locals_[in.idx()]);
+      break;
+    case Op::kLocalSet:
+      if (in.idx() >= locals_.size()) verr("local.set index out of range");
+      pop_val(locals_[in.idx()]);
+      break;
+    case Op::kLocalTee:
+      if (in.idx() >= locals_.size()) verr("local.tee index out of range");
+      pop_val(locals_[in.idx()]);
+      push_val(locals_[in.idx()]);
+      break;
+    case Op::kGlobalGet: {
+      u32 gi = in.idx();
+      if (gi >= num_globals_) verr("global.get index out of range");
+      u32 imported = m_.num_imported_globals();
+      ValType t;
+      if (gi < imported) {
+        u32 seen = 0;
+        t = ValType::kI32;
+        for (const auto& imp : m_.imports) {
+          if (imp.kind != ExternKind::kGlobal) continue;
+          if (seen == gi) { t = imp.global_type; break; }
+          ++seen;
+        }
+      } else {
+        t = m_.globals[gi - imported].type;
+      }
+      push_val(t);
+      break;
+    }
+    case Op::kGlobalSet: {
+      u32 gi = in.idx();
+      if (gi >= num_globals_) verr("global.set index out of range");
+      u32 imported = m_.num_imported_globals();
+      if (gi < imported) verr("global.set on imported global unsupported");
+      const GlobalDef& g = m_.globals[gi - imported];
+      if (!g.mutable_) verr("global.set on immutable global");
+      pop_val(g.type);
+      break;
+    }
+    case Op::kI32Load: load(ValType::kI32, 4, in); break;
+    case Op::kI64Load: load(ValType::kI64, 8, in); break;
+    case Op::kF32Load: load(ValType::kF32, 4, in); break;
+    case Op::kF64Load: load(ValType::kF64, 8, in); break;
+    case Op::kI32Load8S: case Op::kI32Load8U: load(ValType::kI32, 1, in); break;
+    case Op::kI32Load16S: case Op::kI32Load16U: load(ValType::kI32, 2, in); break;
+    case Op::kI64Load8S: case Op::kI64Load8U: load(ValType::kI64, 1, in); break;
+    case Op::kI64Load16S: case Op::kI64Load16U: load(ValType::kI64, 2, in); break;
+    case Op::kI64Load32S: case Op::kI64Load32U: load(ValType::kI64, 4, in); break;
+    case Op::kI32Store: store(ValType::kI32, 4, in); break;
+    case Op::kI64Store: store(ValType::kI64, 8, in); break;
+    case Op::kF32Store: store(ValType::kF32, 4, in); break;
+    case Op::kF64Store: store(ValType::kF64, 8, in); break;
+    case Op::kI32Store8: store(ValType::kI32, 1, in); break;
+    case Op::kI32Store16: store(ValType::kI32, 2, in); break;
+    case Op::kI64Store8: store(ValType::kI64, 1, in); break;
+    case Op::kI64Store16: store(ValType::kI64, 2, in); break;
+    case Op::kI64Store32: store(ValType::kI64, 4, in); break;
+    case Op::kMemorySize:
+      require_memory();
+      push_val(ValType::kI32);
+      break;
+    case Op::kMemoryGrow:
+      require_memory();
+      pop_val(ValType::kI32);
+      push_val(ValType::kI32);
+      break;
+    case Op::kMemoryCopy:
+    case Op::kMemoryFill:
+      require_memory();
+      pop_val(ValType::kI32);
+      pop_val(ValType::kI32);
+      pop_val(ValType::kI32);
+      break;
+    case Op::kI32Const: push_val(ValType::kI32); break;
+    case Op::kI64Const: push_val(ValType::kI64); break;
+    case Op::kF32Const: push_val(ValType::kF32); break;
+    case Op::kF64Const: push_val(ValType::kF64); break;
+    case Op::kI32Eqz: convert(ValType::kI32, ValType::kI32); break;
+    case Op::kI64Eqz: convert(ValType::kI64, ValType::kI32); break;
+    case Op::kI32Eq: case Op::kI32Ne: case Op::kI32LtS: case Op::kI32LtU:
+    case Op::kI32GtS: case Op::kI32GtU: case Op::kI32LeS: case Op::kI32LeU:
+    case Op::kI32GeS: case Op::kI32GeU:
+      cmp(ValType::kI32);
+      break;
+    case Op::kI64Eq: case Op::kI64Ne: case Op::kI64LtS: case Op::kI64LtU:
+    case Op::kI64GtS: case Op::kI64GtU: case Op::kI64LeS: case Op::kI64LeU:
+    case Op::kI64GeS: case Op::kI64GeU:
+      cmp(ValType::kI64);
+      break;
+    case Op::kF32Eq: case Op::kF32Ne: case Op::kF32Lt: case Op::kF32Gt:
+    case Op::kF32Le: case Op::kF32Ge:
+      cmp(ValType::kF32);
+      break;
+    case Op::kF64Eq: case Op::kF64Ne: case Op::kF64Lt: case Op::kF64Gt:
+    case Op::kF64Le: case Op::kF64Ge:
+      cmp(ValType::kF64);
+      break;
+    case Op::kI32Clz: case Op::kI32Ctz: case Op::kI32Popcnt:
+    case Op::kI32Extend8S: case Op::kI32Extend16S:
+      unop(ValType::kI32);
+      break;
+    case Op::kI32Add: case Op::kI32Sub: case Op::kI32Mul: case Op::kI32DivS:
+    case Op::kI32DivU: case Op::kI32RemS: case Op::kI32RemU: case Op::kI32And:
+    case Op::kI32Or: case Op::kI32Xor: case Op::kI32Shl: case Op::kI32ShrS:
+    case Op::kI32ShrU: case Op::kI32Rotl: case Op::kI32Rotr:
+      binop(ValType::kI32);
+      break;
+    case Op::kI64Clz: case Op::kI64Ctz: case Op::kI64Popcnt:
+    case Op::kI64Extend8S: case Op::kI64Extend16S: case Op::kI64Extend32S:
+      unop(ValType::kI64);
+      break;
+    case Op::kI64Add: case Op::kI64Sub: case Op::kI64Mul: case Op::kI64DivS:
+    case Op::kI64DivU: case Op::kI64RemS: case Op::kI64RemU: case Op::kI64And:
+    case Op::kI64Or: case Op::kI64Xor: case Op::kI64Shl: case Op::kI64ShrS:
+    case Op::kI64ShrU: case Op::kI64Rotl: case Op::kI64Rotr:
+      binop(ValType::kI64);
+      break;
+    case Op::kF32Abs: case Op::kF32Neg: case Op::kF32Ceil: case Op::kF32Floor:
+    case Op::kF32Trunc: case Op::kF32Nearest: case Op::kF32Sqrt:
+      unop(ValType::kF32);
+      break;
+    case Op::kF32Add: case Op::kF32Sub: case Op::kF32Mul: case Op::kF32Div:
+    case Op::kF32Min: case Op::kF32Max: case Op::kF32Copysign:
+      binop(ValType::kF32);
+      break;
+    case Op::kF64Abs: case Op::kF64Neg: case Op::kF64Ceil: case Op::kF64Floor:
+    case Op::kF64Trunc: case Op::kF64Nearest: case Op::kF64Sqrt:
+      unop(ValType::kF64);
+      break;
+    case Op::kF64Add: case Op::kF64Sub: case Op::kF64Mul: case Op::kF64Div:
+    case Op::kF64Min: case Op::kF64Max: case Op::kF64Copysign:
+      binop(ValType::kF64);
+      break;
+    case Op::kI32WrapI64: convert(ValType::kI64, ValType::kI32); break;
+    case Op::kI32TruncF32S: case Op::kI32TruncF32U:
+      convert(ValType::kF32, ValType::kI32);
+      break;
+    case Op::kI32TruncF64S: case Op::kI32TruncF64U:
+      convert(ValType::kF64, ValType::kI32);
+      break;
+    case Op::kI64ExtendI32S: case Op::kI64ExtendI32U:
+      convert(ValType::kI32, ValType::kI64);
+      break;
+    case Op::kI64TruncF32S: case Op::kI64TruncF32U:
+      convert(ValType::kF32, ValType::kI64);
+      break;
+    case Op::kI64TruncF64S: case Op::kI64TruncF64U:
+      convert(ValType::kF64, ValType::kI64);
+      break;
+    case Op::kF32ConvertI32S: case Op::kF32ConvertI32U:
+      convert(ValType::kI32, ValType::kF32);
+      break;
+    case Op::kF32ConvertI64S: case Op::kF32ConvertI64U:
+      convert(ValType::kI64, ValType::kF32);
+      break;
+    case Op::kF32DemoteF64: convert(ValType::kF64, ValType::kF32); break;
+    case Op::kF64ConvertI32S: case Op::kF64ConvertI32U:
+      convert(ValType::kI32, ValType::kF64);
+      break;
+    case Op::kF64ConvertI64S: case Op::kF64ConvertI64U:
+      convert(ValType::kI64, ValType::kF64);
+      break;
+    case Op::kF64PromoteF32: convert(ValType::kF32, ValType::kF64); break;
+    case Op::kI32ReinterpretF32: convert(ValType::kF32, ValType::kI32); break;
+    case Op::kI64ReinterpretF64: convert(ValType::kF64, ValType::kI64); break;
+    case Op::kF32ReinterpretI32: convert(ValType::kI32, ValType::kF32); break;
+    case Op::kF64ReinterpretI64: convert(ValType::kI64, ValType::kF64); break;
+    // SIMD subset.
+    case Op::kV128Load: load(ValType::kV128, 16, in); break;
+    case Op::kV128Store: store(ValType::kV128, 16, in); break;
+    case Op::kV128Const: push_val(ValType::kV128); break;
+    case Op::kI8x16Splat: case Op::kI32x4Splat:
+      convert(ValType::kI32, ValType::kV128);
+      break;
+    case Op::kI64x2Splat: convert(ValType::kI64, ValType::kV128); break;
+    case Op::kF32x4Splat: convert(ValType::kF32, ValType::kV128); break;
+    case Op::kF64x2Splat: convert(ValType::kF64, ValType::kV128); break;
+    case Op::kI32x4ExtractLane:
+      if (in.imm_i >= 4) verr("lane index out of range");
+      convert(ValType::kV128, ValType::kI32);
+      break;
+    case Op::kI64x2ExtractLane:
+      if (in.imm_i >= 2) verr("lane index out of range");
+      convert(ValType::kV128, ValType::kI64);
+      break;
+    case Op::kF32x4ExtractLane:
+      if (in.imm_i >= 4) verr("lane index out of range");
+      convert(ValType::kV128, ValType::kF32);
+      break;
+    case Op::kF64x2ExtractLane:
+      if (in.imm_i >= 2) verr("lane index out of range");
+      convert(ValType::kV128, ValType::kF64);
+      break;
+    case Op::kV128Not: unop(ValType::kV128); break;
+    case Op::kV128AnyTrue: convert(ValType::kV128, ValType::kI32); break;
+    case Op::kI8x16Eq: case Op::kV128And: case Op::kV128Or: case Op::kV128Xor:
+    case Op::kI32x4Add: case Op::kI32x4Sub: case Op::kI32x4Mul:
+    case Op::kI64x2Add: case Op::kI64x2Sub:
+    case Op::kF32x4Add: case Op::kF32x4Sub: case Op::kF32x4Mul: case Op::kF32x4Div:
+    case Op::kF64x2Add: case Op::kF64x2Sub: case Op::kF64x2Mul: case Op::kF64x2Div:
+      binop(ValType::kV128);
+      break;
+  }
+}
+
+void check_const_expr(const Module& m, const ConstExpr& e, ValType expect,
+                      const char* what) {
+  ValType actual;
+  switch (e.kind) {
+    case ConstExpr::Kind::kI32: actual = ValType::kI32; break;
+    case ConstExpr::Kind::kI64: actual = ValType::kI64; break;
+    case ConstExpr::Kind::kF32: actual = ValType::kF32; break;
+    case ConstExpr::Kind::kF64: actual = ValType::kF64; break;
+    case ConstExpr::Kind::kGlobalGet: {
+      if (e.global_index >= m.num_imported_globals())
+        verr(std::string(what) + ": global.get init must reference imported global");
+      u32 seen = 0;
+      actual = ValType::kI32;
+      for (const auto& imp : m.imports) {
+        if (imp.kind != ExternKind::kGlobal) continue;
+        if (seen == e.global_index) {
+          if (imp.global_mutable)
+            verr(std::string(what) + ": init from mutable global");
+          actual = imp.global_type;
+          break;
+        }
+        ++seen;
+      }
+      break;
+    }
+    default: verr(std::string(what) + ": bad const expr");
+  }
+  if (actual != expect) verr(std::string(what) + ": const expr type mismatch");
+}
+
+void validate_module_shell(const Module& m) {
+  for (const auto& t : m.types) {
+    if (t.results.size() > 1) verr("multi-value function types unsupported");
+    for (ValType p : t.params)
+      if (!is_num_type(p)) verr("function params must be numeric");
+  }
+  for (const auto& imp : m.imports) {
+    if (imp.kind == ExternKind::kFunc && imp.type_index >= m.types.size())
+      verr("import type index out of range");
+  }
+  for (u32 ti : m.functions)
+    if (ti >= m.types.size()) verr("function type index out of range");
+  for (const auto& mem : m.memories) {
+    if (mem.min > kMaxPages || (mem.has_max && mem.max > kMaxPages))
+      verr("memory limits exceed 4GiB (65536 pages)");
+  }
+  u32 nglobals = m.num_imported_globals() + u32(m.globals.size());
+  for (const auto& g : m.globals)
+    check_const_expr(m, g.init, g.type, "global init");
+  (void)nglobals;
+  u32 nfuncs = m.total_funcs();
+  bool has_table = !m.tables.empty() ||
+                   std::any_of(m.imports.begin(), m.imports.end(), [](const Import& i) {
+                     return i.kind == ExternKind::kTable;
+                   });
+  bool has_memory = !m.memories.empty() ||
+                    std::any_of(m.imports.begin(), m.imports.end(), [](const Import& i) {
+                      return i.kind == ExternKind::kMemory;
+                    });
+  for (const auto& e : m.exports) {
+    switch (e.kind) {
+      case ExternKind::kFunc:
+        if (e.index >= nfuncs) verr("export func index out of range");
+        break;
+      case ExternKind::kMemory:
+        if (!has_memory || e.index != 0) verr("export memory index out of range");
+        break;
+      case ExternKind::kTable:
+        if (!has_table || e.index != 0) verr("export table index out of range");
+        break;
+      case ExternKind::kGlobal:
+        if (e.index >= m.num_imported_globals() + m.globals.size())
+          verr("export global index out of range");
+        break;
+    }
+  }
+  for (const auto& seg : m.elems) {
+    if (!has_table) verr("element segment without table");
+    check_const_expr(m, seg.offset, ValType::kI32, "elem offset");
+    for (u32 fi : seg.func_indices)
+      if (fi >= nfuncs) verr("element function index out of range");
+  }
+  for (const auto& seg : m.datas) {
+    if (!has_memory) verr("data segment without memory");
+    check_const_expr(m, seg.offset, ValType::kI32, "data offset");
+  }
+  if (m.start.has_value()) {
+    if (*m.start >= nfuncs) verr("start function index out of range");
+    const FuncType& ft = m.func_type(*m.start);
+    if (!ft.params.empty() || !ft.results.empty())
+      verr("start function must have type () -> ()");
+  }
+}
+
+}  // namespace
+
+ValidationResult validate_module(const Module& m) {
+  ValidationResult result;
+  try {
+    validate_module_shell(m);
+    for (u32 i = 0; i < m.bodies.size(); ++i) {
+      try {
+        FuncValidator v(m, i);
+        v.run();
+      } catch (const ValidationError& e) {
+        std::ostringstream os;
+        os << "func[" << (m.num_imported_funcs() + i) << "]: " << e.what();
+        verr(os.str());
+      } catch (const DecodeError& e) {
+        std::ostringstream os;
+        os << "func[" << (m.num_imported_funcs() + i) << "]: " << e.what();
+        verr(os.str());
+      }
+    }
+    result.ok = true;
+  } catch (const ValidationError& e) {
+    result.error = e.what();
+  }
+  return result;
+}
+
+}  // namespace mpiwasm::wasm

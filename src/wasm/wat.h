@@ -1,0 +1,21 @@
+// WebAssembly text format (WAT) printer.
+//
+// Produces human-readable module listings in the style of the paper's
+// Listing 1/3 (types, imports, function bodies, exports). Used by the
+// `wat-dump` tool and by tests that assert on module structure.
+#pragma once
+
+#include <string>
+
+#include "wasm/module.h"
+
+namespace mpiwasm::wasm {
+
+struct WatOptions {
+  bool print_code = true;   // include function bodies
+  size_t max_code_lines = 0;  // 0 = unlimited
+};
+
+std::string to_wat(const Module& m, const WatOptions& opts = {});
+
+}  // namespace mpiwasm::wasm

@@ -1,0 +1,166 @@
+// FileSystemCache tests: serialization round-trip, hit/miss behaviour,
+// hash-keyed invalidation, corrupt-entry recovery (paper §3.3 semantics).
+#include "testlib.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "runtime/cache.h"
+
+namespace mpiwasm::test {
+namespace {
+
+namespace fs = std::filesystem;
+using rt::FileSystemCache;
+
+std::string fresh_cache_dir() {
+  static int counter = 0;
+  auto dir = fs::temp_directory_path() /
+             ("mpiwasm-test-cache-" + std::to_string(::getpid()) + "-" +
+              std::to_string(counter++));
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::vector<u8> make_module(i32 magic) {
+  return build_single_func({{}, {I32}}, [&](auto& f) {
+    f.i32_const(magic);
+    f.end();
+  }, 0);
+}
+
+TEST(Cache, SerializationRoundTrip) {
+  auto bytes = make_module(1234);
+  EngineConfig cfg;
+  cfg.tier = EngineTier::kOptimizing;
+  auto cm = rt::compile({bytes.data(), bytes.size()}, cfg);
+  auto blob = rt::serialize_regcode(cm->regcode);
+  auto rm = rt::deserialize_regcode({blob.data(), blob.size()});
+  ASSERT_TRUE(rm.has_value());
+  ASSERT_EQ(rm->funcs.size(), cm->regcode.funcs.size());
+  for (size_t i = 0; i < rm->funcs.size(); ++i) {
+    const auto& a = rm->funcs[i];
+    const auto& b = cm->regcode.funcs[i];
+    ASSERT_EQ(a.code.size(), b.code.size());
+    for (size_t j = 0; j < a.code.size(); ++j) {
+      EXPECT_EQ(u16(a.code[j].op), u16(b.code[j].op));
+      EXPECT_EQ(a.code[j].imm, b.code[j].imm);
+    }
+  }
+}
+
+TEST(Cache, DeserializeRejectsGarbage) {
+  std::vector<u8> garbage{1, 2, 3, 4, 5};
+  EXPECT_FALSE(rt::deserialize_regcode({garbage.data(), garbage.size()}).has_value());
+  std::vector<u8> empty;
+  EXPECT_FALSE(rt::deserialize_regcode({empty.data(), empty.size()}).has_value());
+}
+
+TEST(Cache, SecondCompileHitsCache) {
+  auto dir = fresh_cache_dir();
+  auto bytes = make_module(42);
+  EngineConfig cfg;
+  cfg.tier = EngineTier::kOptimizing;
+  cfg.enable_cache = true;
+  cfg.cache_dir = dir;
+
+  auto cold = rt::compile({bytes.data(), bytes.size()}, cfg);
+  EXPECT_FALSE(cold->loaded_from_cache);
+  auto warm = rt::compile({bytes.data(), bytes.size()}, cfg);
+  EXPECT_TRUE(warm->loaded_from_cache);
+
+  // Cached module still executes correctly.
+  rt::ImportTable imports;
+  rt::Instance inst(warm, imports);
+  EXPECT_EQ(inst.invoke("run").as_i32(), 42);
+  fs::remove_all(dir);
+}
+
+TEST(Cache, DifferentModulesGetDifferentEntries) {
+  auto dir = fresh_cache_dir();
+  EngineConfig cfg;
+  cfg.tier = EngineTier::kBaseline;
+  cfg.enable_cache = true;
+  cfg.cache_dir = dir;
+
+  auto a = make_module(1);
+  auto b = make_module(2);
+  auto ca = rt::compile({a.data(), a.size()}, cfg);
+  auto cb = rt::compile({b.data(), b.size()}, cfg);
+  EXPECT_FALSE(cb->loaded_from_cache) << "different bytes must not hit";
+  EXPECT_NE(ca->hash.hex(), cb->hash.hex());
+  fs::remove_all(dir);
+}
+
+TEST(Cache, TiersAreCachedSeparately) {
+  auto dir = fresh_cache_dir();
+  auto bytes = make_module(7);
+  EngineConfig cfg;
+  cfg.enable_cache = true;
+  cfg.cache_dir = dir;
+
+  cfg.tier = EngineTier::kBaseline;
+  rt::compile({bytes.data(), bytes.size()}, cfg);
+  cfg.tier = EngineTier::kOptimizing;
+  auto opt = rt::compile({bytes.data(), bytes.size()}, cfg);
+  EXPECT_FALSE(opt->loaded_from_cache)
+      << "baseline cache entry must not satisfy optimizing tier";
+  fs::remove_all(dir);
+}
+
+TEST(Cache, CorruptEntryIsIgnoredAndRemoved) {
+  auto dir = fresh_cache_dir();
+  auto bytes = make_module(9);
+  EngineConfig cfg;
+  cfg.tier = EngineTier::kOptimizing;
+  cfg.enable_cache = true;
+  cfg.cache_dir = dir;
+  rt::compile({bytes.data(), bytes.size()}, cfg);
+
+  // Corrupt every cache entry.
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    std::ofstream out(entry.path(), std::ios::binary | std::ios::trunc);
+    out << "corruption";
+  }
+  auto again = rt::compile({bytes.data(), bytes.size()}, cfg);
+  EXPECT_FALSE(again->loaded_from_cache);
+  rt::ImportTable imports;
+  rt::Instance inst(again, imports);
+  EXPECT_EQ(inst.invoke("run").as_i32(), 9);
+  fs::remove_all(dir);
+}
+
+TEST(Cache, ClearRemovesEntries) {
+  auto dir = fresh_cache_dir();
+  auto bytes = make_module(11);
+  EngineConfig cfg;
+  cfg.tier = EngineTier::kBaseline;
+  cfg.enable_cache = true;
+  cfg.cache_dir = dir;
+  rt::compile({bytes.data(), bytes.size()}, cfg);
+  FileSystemCache cache(dir);
+  cache.clear();
+  auto again = rt::compile({bytes.data(), bytes.size()}, cfg);
+  EXPECT_FALSE(again->loaded_from_cache);
+  fs::remove_all(dir);
+}
+
+TEST(Cache, InterpTierSkipsCache) {
+  auto dir = fresh_cache_dir();
+  auto bytes = make_module(5);
+  EngineConfig cfg;
+  cfg.tier = EngineTier::kInterp;
+  cfg.enable_cache = true;
+  cfg.cache_dir = dir;
+  auto cm = rt::compile({bytes.data(), bytes.size()}, cfg);
+  EXPECT_FALSE(cm->loaded_from_cache);
+  // No .rcache files written for the interpreter tier.
+  size_t entries = 0;
+  for (const auto& e : fs::directory_iterator(dir))
+    if (e.path().extension() == ".rcache") ++entries;
+  EXPECT_EQ(entries, 0u);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace mpiwasm::test

@@ -1,0 +1,271 @@
+// Differential property tests: for a corpus of generated programs and
+// pseudo-random inputs, all three execution tiers must agree bit-exactly.
+// This is the core correctness argument for the compiled tiers — any
+// lowering or optimization bug shows up as a tier divergence.
+#include "testlib.h"
+
+namespace mpiwasm::test {
+namespace {
+
+struct Program {
+  std::string name;
+  std::vector<u8> bytes;
+  std::vector<std::vector<Value>> inputs;
+};
+
+Program make_arith_mix() {
+  // Mixes i32/i64 arithmetic, shifts, rotates, comparisons.
+  Program p;
+  p.name = "arith_mix";
+  p.bytes = build_single_func({{I32, I32}, {I64}}, [](auto& f) {
+    u32 a = 0, b = 1;
+    f.local_get(a);
+    f.local_get(b);
+    f.op(Op::kI32Rotl);
+    f.local_get(a);
+    f.local_get(b);
+    f.op(Op::kI32Xor);
+    f.op(Op::kI32Sub);
+    f.op(Op::kI64ExtendI32S);
+    f.local_get(a);
+    f.op(Op::kI64ExtendI32U);
+    f.i64_const(2654435761);
+    f.op(Op::kI64Mul);
+    f.op(Op::kI64Add);
+    f.local_get(b);
+    f.op(Op::kI64ExtendI32S);
+    f.i64_const(13);
+    f.op(Op::kI64Rotr);
+    f.op(Op::kI64Xor);
+    f.end();
+  });
+  for (i32 x : {0, 1, -1, 12345, -98765, INT32_MAX, INT32_MIN})
+    for (i32 y : {0, 3, 31, 33, -7})
+      p.inputs.push_back({Value::from_i32(x), Value::from_i32(y)});
+  return p;
+}
+
+Program make_float_kernel() {
+  // A float-heavy kernel with min/max/copysign/nearest edge semantics.
+  Program p;
+  p.name = "float_kernel";
+  p.bytes = build_single_func({{F64, F64}, {F64}}, [](auto& f) {
+    f.local_get(0);
+    f.local_get(1);
+    f.op(Op::kF64Min);
+    f.local_get(0);
+    f.local_get(1);
+    f.op(Op::kF64Max);
+    f.op(Op::kF64Mul);
+    f.local_get(0);
+    f.op(Op::kF64Nearest);
+    f.op(Op::kF64Add);
+    f.local_get(1);
+    f.op(Op::kF64Copysign);
+    f.end();
+  });
+  for (f64 x : {0.0, -0.0, 1.5, -2.5, 1e300, -3.7})
+    for (f64 y : {0.5, -0.5, 2.5, 1e-300})
+      p.inputs.push_back({Value::from_f64(x), Value::from_f64(y)});
+  return p;
+}
+
+Program make_loop_memory() {
+  // Writes a[i] = i*i for i in 0..n, then sums with stride 3.
+  Program p;
+  p.name = "loop_memory";
+  p.bytes = build_single_func({{I32}, {I64}}, [](auto& f) {
+    u32 n = 0;
+    u32 i = f.add_local(I32);
+    u32 acc = f.add_local(I64);
+    f.for_loop_i32(i, 0, n, 1, [&] {
+      f.local_get(i);
+      f.i32_const(4);
+      f.op(Op::kI32Mul);
+      f.local_get(i);
+      f.local_get(i);
+      f.op(Op::kI32Mul);
+      f.mem_op(Op::kI32Store);
+    });
+    f.for_loop_i32(i, 0, n, 3, [&] {
+      f.local_get(acc);
+      f.local_get(i);
+      f.i32_const(4);
+      f.op(Op::kI32Mul);
+      f.mem_op(Op::kI32Load);
+      f.op(Op::kI64ExtendI32U);
+      f.op(Op::kI64Add);
+      f.local_set(acc);
+    });
+    f.local_get(acc);
+    f.end();
+  });
+  for (i32 n : {0, 1, 2, 17, 100, 1000})
+    p.inputs.push_back({Value::from_i32(n)});
+  return p;
+}
+
+Program make_branchy() {
+  // Dense control flow: br_table + nested ifs + early returns.
+  Program p;
+  p.name = "branchy";
+  p.bytes = build_single_func({{I32, I32}, {I32}}, [](auto& f) {
+    u32 out = f.add_local(I32);
+    f.block();
+    f.block();
+    f.block();
+    f.block();
+    f.local_get(0);
+    f.i32_const(4);
+    f.op(Op::kI32RemU);
+    f.br_table({0, 1, 2}, 3);
+    f.end();
+    f.local_get(1);
+    f.i32_const(10);
+    f.op(Op::kI32Add);
+    f.local_set(out);
+    f.br(2);
+    f.end();
+    f.local_get(1);
+    f.i32_const(3);
+    f.op(Op::kI32GtS);
+    f.if_();
+    f.i32_const(777);
+    f.ret();
+    f.end();
+    f.i32_const(20);
+    f.local_set(out);
+    f.br(1);
+    f.end();
+    f.local_get(1);
+    f.i32_const(0);
+    f.op(Op::kI32Sub);
+    f.local_set(out);
+    f.br(0);
+    f.end();
+    f.local_get(out);
+    f.i32_const(0);
+    f.op(Op::kI32Eq);
+    f.if_();
+    f.i32_const(-1);
+    f.local_set(out);
+    f.end();
+    f.local_get(out);
+    f.end();
+  });
+  for (i32 x : {0, 1, 2, 3, 4, 5, 6, 7})
+    for (i32 y : {0, 2, 4, 9, -3})
+      p.inputs.push_back({Value::from_i32(x), Value::from_i32(y)});
+  return p;
+}
+
+Program make_simd_dot() {
+  // v128 dot-product-ish kernel over memory.
+  Program p;
+  p.name = "simd_dot";
+  p.bytes = build_single_func({{I32}, {F64}}, [](auto& f) {
+    u32 n = 0;
+    u32 i = f.add_local(I32);
+    u32 acc = f.add_local(V128T);
+    // init: a[i] = i + 0.5 ; b[i] = 2i at bytes 0.. and 32768..
+    f.for_loop_i32(i, 0, n, 1, [&] {
+      f.local_get(i);
+      f.i32_const(8);
+      f.op(Op::kI32Mul);
+      f.local_get(i);
+      f.op(Op::kF64ConvertI32S);
+      f.f64_const(0.5);
+      f.op(Op::kF64Add);
+      f.mem_op(Op::kF64Store);
+      f.local_get(i);
+      f.i32_const(8);
+      f.op(Op::kI32Mul);
+      f.local_get(i);
+      f.i32_const(2);
+      f.op(Op::kI32Mul);
+      f.op(Op::kF64ConvertI32S);
+      f.mem_op(Op::kF64Store, 32768);
+    });
+    // acc (f64x2) += a[i..i+2) * b[i..i+2), i += 2
+    f.for_loop_i32(i, 0, n, 2, [&] {
+      f.local_get(acc);
+      f.local_get(i);
+      f.i32_const(8);
+      f.op(Op::kI32Mul);
+      f.mem_op(Op::kV128Load);
+      f.local_get(i);
+      f.i32_const(8);
+      f.op(Op::kI32Mul);
+      f.mem_op(Op::kV128Load, 32768);
+      f.op(Op::kF64x2Mul);
+      f.op(Op::kF64x2Add);
+      f.local_set(acc);
+    });
+    f.local_get(acc);
+    f.lane_op(Op::kF64x2ExtractLane, 0);
+    f.local_get(acc);
+    f.lane_op(Op::kF64x2ExtractLane, 1);
+    f.op(Op::kF64Add);
+    f.end();
+  });
+  for (i32 n : {0, 2, 8, 64, 256})
+    p.inputs.push_back({Value::from_i32(n)});
+  return p;
+}
+
+class DifferentialTest : public ::testing::TestWithParam<int> {};
+
+std::vector<Program>& corpus() {
+  static std::vector<Program> c = {make_arith_mix(), make_float_kernel(),
+                                   make_loop_memory(), make_branchy(),
+                                   make_simd_dot()};
+  return c;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, DifferentialTest,
+                         ::testing::Range(0, 5), [](const auto& info) {
+                           return corpus()[info.param].name;
+                         });
+
+TEST_P(DifferentialTest, AllTiersAgreeBitExactly) {
+  const Program& p = corpus()[GetParam()];
+  std::vector<std::shared_ptr<rt::Instance>> instances;
+  for (EngineTier tier : all_tiers())
+    instances.push_back(instantiate(p.bytes, tier));
+  for (size_t k = 0; k < p.inputs.size(); ++k) {
+    std::vector<u64> results;
+    for (auto& inst : instances) {
+      Value v = inst->invoke("run", p.inputs[k]);
+      results.push_back(v.slot.u64v);
+    }
+    for (size_t t = 1; t < results.size(); ++t) {
+      EXPECT_EQ(results[0], results[t])
+          << p.name << " input#" << k << ": interp vs "
+          << rt::tier_name(all_tiers()[t]);
+    }
+  }
+}
+
+TEST(DifferentialTraps, TierAgreeOnTrapKind) {
+  // A trapping program must trap identically everywhere.
+  auto bytes = build_single_func({{I32}, {I32}}, [](auto& f) {
+    f.i32_const(100);
+    f.local_get(0);
+    f.op(Op::kI32DivU);
+    f.end();
+  });
+  for (EngineTier tier : all_tiers()) {
+    auto inst = instantiate(bytes, tier);
+    EXPECT_EQ(inst->invoke("run", std::vector<Value>{Value::from_i32(5)}).as_i32(),
+              20);
+    try {
+      inst->invoke("run", std::vector<Value>{Value::from_i32(0)});
+      FAIL() << "expected trap on " << rt::tier_name(tier);
+    } catch (const rt::Trap& t) {
+      EXPECT_EQ(t.kind(), rt::TrapKind::kIntegerDivByZero);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mpiwasm::test

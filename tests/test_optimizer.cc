@@ -1,0 +1,235 @@
+// Optimizer pass tests: transformations fire where expected and never
+// change observable results (checked against the Baseline tier).
+#include "testlib.h"
+
+#include "runtime/lowering.h"
+#include "runtime/optimizer.h"
+#include "wasm/decoder.h"
+
+namespace mpiwasm::test {
+namespace {
+
+using rt::RFunc;
+using rt::RModule;
+using rt::ROp;
+
+RFunc lower_one(const std::vector<u8>& bytes, bool optimize) {
+  auto decoded = wasm::decode_module({bytes.data(), bytes.size()});
+  EXPECT_TRUE(decoded.ok()) << decoded.error;
+  RFunc f = rt::lower_function(*decoded.module, 0);
+  if (optimize) rt::optimize_function(f);
+  return f;
+}
+
+bool contains_op(const RFunc& f, ROp op) {
+  for (const auto& in : f.code)
+    if (in.op == op) return true;
+  return false;
+}
+
+size_t count_op(const RFunc& f, ROp op) {
+  size_t n = 0;
+  for (const auto& in : f.code)
+    if (in.op == op) ++n;
+  return n;
+}
+
+TEST(Optimizer, FoldsConstantExpressions) {
+  auto bytes = build_single_func({{}, {I32}}, [](auto& f) {
+    f.i32_const(6);
+    f.i32_const(7);
+    f.op(Op::kI32Mul);
+    f.end();
+  }, 0);
+  RFunc f = lower_one(bytes, true);
+  // Must collapse to a single Const + Return.
+  EXPECT_FALSE(contains_op(f, ROp::kI32Mul));
+  ASSERT_GE(f.code.size(), 1u);
+  EXPECT_EQ(f.code[0].op, ROp::kConst);
+  EXPECT_EQ(u32(f.code[0].imm), 42u);
+}
+
+TEST(Optimizer, FusesCompareBranchInLoops) {
+  auto bytes = build_single_func({{I32}, {I32}}, [](auto& f) {
+    u32 i = f.add_local(I32);
+    u32 acc = f.add_local(I32);
+    f.for_loop_i32(i, 0, 0, 1, [&] {
+      f.local_get(acc);
+      f.local_get(i);
+      f.op(Op::kI32Add);
+      f.local_set(acc);
+    });
+    f.local_get(acc);
+    f.end();
+  }, 0);
+  RFunc base = lower_one(bytes, false);
+  RFunc opt = lower_one(bytes, true);
+  EXPECT_FALSE(contains_op(base, ROp::kBrIfI32GeS));
+  EXPECT_TRUE(contains_op(opt, ROp::kBrIfI32GeS))
+      << opt.to_string();
+  // The loop body must shrink substantially.
+  EXPECT_LT(opt.code.size(), base.code.size());
+}
+
+TEST(Optimizer, EmitsAddImmForConstIncrements) {
+  auto bytes = build_single_func({{I32}, {I32}}, [](auto& f) {
+    f.local_get(0);
+    f.i32_const(5);
+    f.op(Op::kI32Add);
+    f.i32_const(3);
+    f.op(Op::kI32Shl);
+    f.end();
+  }, 0);
+  RFunc opt = lower_one(bytes, true);
+  EXPECT_TRUE(contains_op(opt, ROp::kI32AddImm)) << opt.to_string();
+  EXPECT_TRUE(contains_op(opt, ROp::kI32ShlImm)) << opt.to_string();
+}
+
+TEST(Optimizer, FusesF64MulAdd) {
+  auto bytes = build_single_func({{F64, F64, F64}, {F64}}, [](auto& f) {
+    f.local_get(0);
+    f.local_get(1);
+    f.op(Op::kF64Mul);
+    f.local_get(2);
+    f.op(Op::kF64Add);
+    f.end();
+  }, 0);
+  RFunc opt = lower_one(bytes, true);
+  EXPECT_TRUE(contains_op(opt, ROp::kF64MulAdd)) << opt.to_string();
+  EXPECT_FALSE(contains_op(opt, ROp::kF64Mul));
+}
+
+TEST(Optimizer, RemovesDeadPureCode) {
+  auto bytes = build_single_func({{I32}, {I32}}, [](auto& f) {
+    f.local_get(0);
+    f.i32_const(9);
+    f.op(Op::kI32Mul);
+    f.op(Op::kDrop);  // dead computation
+    f.local_get(0);
+    f.end();
+  }, 0);
+  RFunc base = lower_one(bytes, false);
+  RFunc opt = lower_one(bytes, true);
+  EXPECT_TRUE(contains_op(base, ROp::kI32Mul) ||
+              contains_op(base, ROp::kI32MulImm));
+  EXPECT_FALSE(contains_op(opt, ROp::kI32Mul));
+  EXPECT_FALSE(contains_op(opt, ROp::kI32MulImm));
+}
+
+TEST(Optimizer, KeepsTrappingOpsEvenIfDead) {
+  auto bytes = build_single_func({{I32}, {I32}}, [](auto& f) {
+    f.i32_const(1);
+    f.local_get(0);
+    f.op(Op::kI32DivU);  // may trap: must NOT be eliminated
+    f.op(Op::kDrop);
+    f.i32_const(7);
+    f.end();
+  }, 0);
+  RFunc opt = lower_one(bytes, true);
+  EXPECT_TRUE(contains_op(opt, ROp::kI32DivU)) << opt.to_string();
+  // And it still traps at runtime on every tier.
+  for (EngineTier tier : all_tiers()) {
+    auto inst = instantiate(bytes, tier);
+    EXPECT_THROW(inst->invoke("run", std::vector<Value>{Value::from_i32(0)}),
+                 rt::Trap);
+  }
+}
+
+TEST(Optimizer, KeepsStoresAndCalls) {
+  ModuleBuilder b;
+  u32 imp = b.import_func("env", "sink", {{I32}, {}});
+  b.add_memory(1);
+  auto& f = b.begin_func({{I32}, {I32}}, "run");
+  f.i32_const(0);
+  f.local_get(0);
+  f.mem_op(Op::kI32Store);
+  f.local_get(0);
+  f.call(imp);
+  f.local_get(0);
+  f.end();
+  auto bytes = b.build();
+  auto decoded = wasm::decode_module({bytes.data(), bytes.size()});
+  ASSERT_TRUE(decoded.ok());
+  RFunc opt = rt::lower_function(*decoded.module, 0);
+  rt::optimize_function(opt);
+  EXPECT_TRUE(contains_op(opt, ROp::kI32Store));
+  EXPECT_TRUE(contains_op(opt, ROp::kCall));
+}
+
+TEST(Optimizer, CopyPropagationRemovesLocalShuffles) {
+  auto bytes = build_single_func({{I32}, {I32}}, [](auto& f) {
+    u32 t1 = f.add_local(I32);
+    u32 t2 = f.add_local(I32);
+    f.local_get(0);
+    f.local_set(t1);
+    f.local_get(t1);
+    f.local_set(t2);
+    f.local_get(t2);
+    f.end();
+  }, 0);
+  RFunc base = lower_one(bytes, false);
+  RFunc opt = lower_one(bytes, true);
+  EXPECT_LT(count_op(opt, ROp::kMov), count_op(base, ROp::kMov));
+}
+
+TEST(Optimizer, ReducesInstructionCountOnHotLoop) {
+  auto bytes = build_single_func({{I32}, {I64}}, [](auto& f) {
+    u32 i = f.add_local(I32);
+    u32 acc = f.add_local(I64);
+    f.for_loop_i32(i, 0, 0, 1, [&] {
+      f.local_get(acc);
+      f.local_get(i);
+      f.op(Op::kI64ExtendI32S);
+      f.local_get(i);
+      f.op(Op::kI64ExtendI32S);
+      f.op(Op::kI64Mul);
+      f.op(Op::kI64Add);
+      f.local_set(acc);
+    });
+    f.local_get(acc);
+    f.end();
+  }, 0);
+  RFunc base = lower_one(bytes, false);
+  RFunc opt = lower_one(bytes, true);
+  // At least 25% fewer executed instruction slots.
+  EXPECT_LE(opt.code.size() * 4, base.code.size() * 3)
+      << "base=" << base.code.size() << " opt=" << opt.code.size();
+  // Semantics preserved.
+  auto ib = instantiate(bytes, EngineTier::kBaseline);
+  auto io = instantiate(bytes, EngineTier::kOptimizing);
+  auto in = std::vector<Value>{Value::from_i32(1000)};
+  EXPECT_EQ(ib->invoke("run", in).as_i64(), io->invoke("run", in).as_i64());
+}
+
+TEST(Optimizer, BranchThreadingCollapsesBrChains) {
+  // if/else both branching to end generates Br-to-Br chains.
+  auto bytes = build_single_func({{I32}, {I32}}, [](auto& f) {
+    f.block(I32);
+    f.block(I32);
+    f.local_get(0);
+    f.if_(I32);
+    f.i32_const(1);
+    f.else_();
+    f.i32_const(2);
+    f.end();
+    f.br(1);  // br over the middle block -> threads through
+    f.end();
+    f.br(0);
+    f.end();
+    f.end();
+  }, 0);
+  RFunc opt = lower_one(bytes, true);
+  // Every Br must point at a non-Br instruction (fully threaded).
+  for (const auto& in : opt.code) {
+    if (in.op == ROp::kBr)
+      EXPECT_NE(opt.code[in.imm].op, ROp::kBr) << opt.to_string();
+  }
+  for (EngineTier tier : all_tiers()) {
+    auto inst = instantiate(bytes, tier);
+    EXPECT_EQ(inst->invoke("run", std::vector<Value>{Value::from_i32(1)}).as_i32(), 1);
+    EXPECT_EQ(inst->invoke("run", std::vector<Value>{Value::from_i32(0)}).as_i32(), 2);
+  }
+}
+
+}  // namespace
+}  // namespace mpiwasm::test

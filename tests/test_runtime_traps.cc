@@ -1,0 +1,272 @@
+// Trap semantics: every tier must produce the same guest-visible traps
+// (paper §2.2/§3.5 — faults are contained and reported to the embedder).
+#include "testlib.h"
+
+namespace mpiwasm::test {
+namespace {
+
+using rt::Trap;
+using rt::TrapKind;
+
+class TrapTest : public ::testing::TestWithParam<EngineTier> {};
+
+INSTANTIATE_TEST_SUITE_P(AllTiers, TrapTest, ::testing::ValuesIn(all_tiers()),
+                         [](const auto& info) {
+                           return rt::tier_name(info.param);
+                         });
+
+template <typename Fn>
+TrapKind expect_trap(Fn&& fn) {
+  try {
+    fn();
+  } catch (const Trap& t) {
+    return t.kind();
+  }
+  ADD_FAILURE() << "expected a trap";
+  return TrapKind::kHostError;
+}
+
+TEST_P(TrapTest, DivByZero) {
+  auto bytes = build_single_func({{I32, I32}, {I32}}, [](auto& f) {
+    f.local_get(0);
+    f.local_get(1);
+    f.op(Op::kI32DivS);
+    f.end();
+  });
+  auto inst = instantiate(bytes, GetParam());
+  EXPECT_EQ(expect_trap([&] {
+              inst->invoke("run", std::vector<Value>{Value::from_i32(1),
+                                                     Value::from_i32(0)});
+            }),
+            TrapKind::kIntegerDivByZero);
+}
+
+TEST_P(TrapTest, SignedDivOverflow) {
+  auto bytes = build_single_func({{I32, I32}, {I32}}, [](auto& f) {
+    f.local_get(0);
+    f.local_get(1);
+    f.op(Op::kI32DivS);
+    f.end();
+  });
+  auto inst = instantiate(bytes, GetParam());
+  EXPECT_EQ(expect_trap([&] {
+              inst->invoke("run",
+                           std::vector<Value>{Value::from_i32(INT32_MIN),
+                                              Value::from_i32(-1)});
+            }),
+            TrapKind::kIntegerOverflow);
+}
+
+TEST_P(TrapTest, RemOverflowIsZeroNotTrap) {
+  auto bytes = build_single_func({{I32, I32}, {I32}}, [](auto& f) {
+    f.local_get(0);
+    f.local_get(1);
+    f.op(Op::kI32RemS);
+    f.end();
+  });
+  auto inst = instantiate(bytes, GetParam());
+  EXPECT_EQ(inst->invoke("run", std::vector<Value>{Value::from_i32(INT32_MIN),
+                                                   Value::from_i32(-1)})
+                .as_i32(),
+            0);
+}
+
+TEST_P(TrapTest, MemoryOutOfBounds) {
+  auto bytes = build_single_func({{I32}, {I32}}, [](auto& f) {
+    f.local_get(0);
+    f.mem_op(Op::kI32Load);
+    f.end();
+  });
+  auto inst = instantiate(bytes, GetParam());
+  // One page = 64 KiB; reading at the boundary must trap.
+  EXPECT_EQ(expect_trap([&] {
+              inst->invoke("run", std::vector<Value>{Value::from_i32(65533)});
+            }),
+            TrapKind::kMemoryOutOfBounds);
+  // And a in-bounds access right below succeeds.
+  EXPECT_EQ(inst->invoke("run", std::vector<Value>{Value::from_i32(65532)})
+                .as_i32(),
+            0);
+}
+
+TEST_P(TrapTest, MemoryOutOfBoundsWithOffset) {
+  // offset + addr overflows past the page: must trap, not wrap.
+  auto bytes = build_single_func({{I32}, {I32}}, [](auto& f) {
+    f.local_get(0);
+    f.mem_op(Op::kI32Load, /*offset=*/60000);
+    f.end();
+  });
+  auto inst = instantiate(bytes, GetParam());
+  EXPECT_EQ(expect_trap([&] {
+              inst->invoke("run", std::vector<Value>{Value::from_i32(60000)});
+            }),
+            TrapKind::kMemoryOutOfBounds);
+}
+
+TEST_P(TrapTest, MemoryCopyOutOfBounds) {
+  auto bytes = build_single_func({{}, {}}, [](auto& f) {
+    f.i32_const(65530);
+    f.i32_const(0);
+    f.i32_const(64);
+    f.op(Op::kMemoryCopy);
+    f.end();
+  });
+  auto inst = instantiate(bytes, GetParam());
+  EXPECT_EQ(expect_trap([&] { inst->invoke("run"); }),
+            TrapKind::kMemoryOutOfBounds);
+}
+
+TEST_P(TrapTest, UnreachableInstruction) {
+  auto bytes = build_single_func({{}, {}}, [](auto& f) {
+    f.op(Op::kUnreachable);
+    f.end();
+  });
+  auto inst = instantiate(bytes, GetParam());
+  EXPECT_EQ(expect_trap([&] { inst->invoke("run"); }), TrapKind::kUnreachable);
+}
+
+TEST_P(TrapTest, TruncNaNTraps) {
+  auto bytes = build_single_func({{F64}, {I32}}, [](auto& f) {
+    f.local_get(0);
+    f.op(Op::kI32TruncF64S);
+    f.end();
+  });
+  auto inst = instantiate(bytes, GetParam());
+  EXPECT_EQ(expect_trap([&] {
+              inst->invoke("run",
+                           std::vector<Value>{Value::from_f64(
+                               std::numeric_limits<double>::quiet_NaN())});
+            }),
+            TrapKind::kInvalidConversion);
+  EXPECT_EQ(expect_trap([&] {
+              inst->invoke("run", std::vector<Value>{Value::from_f64(3e10)});
+            }),
+            TrapKind::kInvalidConversion);
+  EXPECT_EQ(
+      inst->invoke("run", std::vector<Value>{Value::from_f64(-7.9)}).as_i32(),
+      -7);
+}
+
+TEST_P(TrapTest, TruncUnsignedNegativeTraps) {
+  auto bytes = build_single_func({{F64}, {I32}}, [](auto& f) {
+    f.local_get(0);
+    f.op(Op::kI32TruncF64U);
+    f.end();
+  });
+  auto inst = instantiate(bytes, GetParam());
+  EXPECT_EQ(expect_trap([&] {
+              inst->invoke("run", std::vector<Value>{Value::from_f64(-2.0)});
+            }),
+            TrapKind::kInvalidConversion);
+  // -0.9 truncates to 0: allowed.
+  EXPECT_EQ(
+      inst->invoke("run", std::vector<Value>{Value::from_f64(-0.9)}).as_u32(),
+      0u);
+}
+
+TEST_P(TrapTest, CallIndirectNullEntry) {
+  ModuleBuilder b;
+  b.add_table(4);  // no elem segment: all entries null
+  u32 sig = b.add_type({{}, {}});
+  auto& f = b.begin_func({{I32}, {}}, "run");
+  f.local_get(0);
+  f.call_indirect(sig);
+  f.end();
+  auto inst = instantiate(b.build(), GetParam());
+  EXPECT_EQ(expect_trap([&] {
+              inst->invoke("run", std::vector<Value>{Value::from_i32(2)});
+            }),
+            TrapKind::kUndefinedTableElement);
+  // Out-of-range index traps the same way.
+  EXPECT_EQ(expect_trap([&] {
+              inst->invoke("run", std::vector<Value>{Value::from_i32(99)});
+            }),
+            TrapKind::kUndefinedTableElement);
+}
+
+TEST_P(TrapTest, CallIndirectSignatureMismatch) {
+  ModuleBuilder b;
+  b.add_table(1);
+  auto& g = b.begin_func({{}, {I64}}, "");  // () -> i64
+  g.i64_const(1);
+  g.end();
+  b.add_elem(0, {g.index()});
+  u32 sig = b.add_type({{}, {I32}});  // expects () -> i32
+  auto& f = b.begin_func({{}, {I32}}, "run");
+  f.i32_const(0);
+  f.call_indirect(sig);
+  f.end();
+  auto inst = instantiate(b.build(), GetParam());
+  EXPECT_EQ(expect_trap([&] { inst->invoke("run"); }),
+            TrapKind::kIndirectCallTypeMismatch);
+}
+
+TEST_P(TrapTest, InfiniteRecursionExhaustsStack) {
+  ModuleBuilder b;
+  auto& f = b.begin_func({{}, {}}, "run");
+  f.call(f.index());
+  f.end();
+  auto inst = instantiate(b.build(), GetParam());
+  EXPECT_EQ(expect_trap([&] { inst->invoke("run"); }),
+            TrapKind::kCallStackExhausted);
+  // The instance must remain usable after the trap unwound the arena.
+  EXPECT_EQ(expect_trap([&] { inst->invoke("run"); }),
+            TrapKind::kCallStackExhausted);
+}
+
+TEST_P(TrapTest, HostTrapPropagates) {
+  ModuleBuilder b;
+  u32 imp = b.import_func("env", "boom", {{}, {}});
+  auto& f = b.begin_func({{}, {}}, "run");
+  f.call(imp);
+  f.end();
+  rt::ImportTable imports;
+  imports.add("env", "boom", {{}, {}},
+              [](rt::HostContext&, const rt::Slot*, rt::Slot*) {
+                throw Trap(TrapKind::kHostError, "host says no");
+              });
+  auto inst = instantiate(b.build(), GetParam(), imports);
+  EXPECT_EQ(expect_trap([&] { inst->invoke("run"); }), TrapKind::kHostError);
+}
+
+TEST_P(TrapTest, GrowBeyondMaxFailsGracefully) {
+  ModuleBuilder b;
+  b.add_memory(1, 2, true);
+  auto& f = b.begin_func({{}, {I32}}, "run");
+  f.i32_const(100);
+  f.op(Op::kMemoryGrow);
+  f.end();
+  auto inst = instantiate(b.build(), GetParam());
+  EXPECT_EQ(inst->invoke("run").as_i32(), -1);
+}
+
+TEST_P(TrapTest, LinkErrorOnMissingImport) {
+  ModuleBuilder b;
+  b.import_func("env", "missing", {{}, {}});
+  auto& f = b.begin_func({{}, {}}, "run");
+  f.end();
+  auto bytes = b.build();
+  EngineConfig cfg;
+  cfg.tier = GetParam();
+  auto cm = rt::compile({bytes.data(), bytes.size()}, cfg);
+  rt::ImportTable empty;
+  EXPECT_THROW(rt::Instance(cm, empty), rt::LinkError);
+}
+
+TEST_P(TrapTest, LinkErrorOnSignatureMismatch) {
+  ModuleBuilder b;
+  b.import_func("env", "f", {{I32}, {}});
+  auto& f = b.begin_func({{}, {}}, "run");
+  f.end();
+  auto bytes = b.build();
+  EngineConfig cfg;
+  cfg.tier = GetParam();
+  auto cm = rt::compile({bytes.data(), bytes.size()}, cfg);
+  rt::ImportTable imports;
+  imports.add("env", "f", {{I64}, {}},
+              [](rt::HostContext&, const rt::Slot*, rt::Slot*) {});
+  EXPECT_THROW(rt::Instance(cm, imports), rt::LinkError);
+}
+
+}  // namespace
+}  // namespace mpiwasm::test

@@ -1,0 +1,121 @@
+// Communicator management: dup, split (colors/keys/undefined), isolation
+// of traffic between communicators.
+#include <gtest/gtest.h>
+
+#include "simmpi/world.h"
+
+namespace mpiwasm::simmpi {
+namespace {
+
+TEST(SimMpiComm, DupBehavesLikeParent) {
+  World world(4);
+  world.run([](Rank& r) {
+    Comm dup = r.comm_dup(kCommWorld);
+    EXPECT_NE(dup, kCommWorld);
+    EXPECT_EQ(r.rank(dup), r.rank());
+    EXPECT_EQ(r.size(dup), r.size());
+    int v = r.rank() == 0 ? 77 : 0;
+    r.bcast(&v, 1, Datatype::kInt, 0, dup);
+    EXPECT_EQ(v, 77);
+    r.comm_free(dup);
+  });
+}
+
+TEST(SimMpiComm, TrafficIsIsolatedByCommunicator) {
+  World world(2);
+  world.run([](Rank& r) {
+    Comm dup = r.comm_dup(kCommWorld);
+    if (r.rank() == 0) {
+      int a = 1, b = 2;
+      r.send(&a, 1, Datatype::kInt, 1, 0, kCommWorld);
+      r.send(&b, 1, Datatype::kInt, 1, 0, dup);
+    } else {
+      // Receive from the dup comm FIRST: must match the dup-send even
+      // though the world-send arrived earlier.
+      int vd = 0, vw = 0;
+      r.recv(&vd, 1, Datatype::kInt, 0, 0, dup);
+      r.recv(&vw, 1, Datatype::kInt, 0, 0, kCommWorld);
+      EXPECT_EQ(vd, 2);
+      EXPECT_EQ(vw, 1);
+    }
+    r.comm_free(dup);
+  });
+}
+
+TEST(SimMpiComm, SplitEvenOdd) {
+  World world(6);
+  world.run([](Rank& r) {
+    int color = r.rank() % 2;
+    Comm sub = r.comm_split(kCommWorld, color, r.rank());
+    ASSERT_NE(sub, kCommNull);
+    EXPECT_EQ(r.size(sub), 3);
+    EXPECT_EQ(r.rank(sub), r.rank() / 2);
+    // Sum of world ranks within each parity class.
+    int mine = r.rank(), sum = 0;
+    r.allreduce(&mine, &sum, 1, Datatype::kInt, ReduceOp::kSum, sub);
+    EXPECT_EQ(sum, color == 0 ? 0 + 2 + 4 : 1 + 3 + 5);
+    r.comm_free(sub);
+  });
+}
+
+TEST(SimMpiComm, SplitKeyReordersRanks) {
+  World world(4);
+  world.run([](Rank& r) {
+    // Same color for all; key = -world_rank reverses the order.
+    Comm sub = r.comm_split(kCommWorld, 0, -r.rank());
+    EXPECT_EQ(r.rank(sub), r.size() - 1 - r.rank());
+    r.comm_free(sub);
+  });
+}
+
+TEST(SimMpiComm, SplitUndefinedExcludes) {
+  World world(4);
+  world.run([](Rank& r) {
+    int color = r.rank() == 0 ? kUndefined : 1;
+    Comm sub = r.comm_split(kCommWorld, color, 0);
+    if (r.rank() == 0) {
+      EXPECT_EQ(sub, kCommNull);
+    } else {
+      ASSERT_NE(sub, kCommNull);
+      EXPECT_EQ(r.size(sub), 3);
+      r.comm_free(sub);
+    }
+  });
+}
+
+TEST(SimMpiComm, NestedSplits) {
+  World world(8);
+  world.run([](Rank& r) {
+    Comm half = r.comm_split(kCommWorld, r.rank() / 4, r.rank());
+    ASSERT_EQ(r.size(half), 4);
+    Comm quarter = r.comm_split(half, r.rank(half) / 2, r.rank(half));
+    ASSERT_EQ(r.size(quarter), 2);
+    int mine = 1, total = 0;
+    r.allreduce(&mine, &total, 1, Datatype::kInt, ReduceOp::kSum, quarter);
+    EXPECT_EQ(total, 2);
+    r.comm_free(quarter);
+    r.comm_free(half);
+  });
+}
+
+TEST(SimMpiComm, InvalidHandleThrows) {
+  World world(2);
+  world.run([](Rank& r) {
+    EXPECT_THROW(r.rank(999), MpiError);
+    EXPECT_THROW(r.barrier(999), MpiError);
+    EXPECT_THROW(r.comm_free(kCommWorld), MpiError);
+    EXPECT_THROW(r.comm_free(12345), MpiError);
+  });
+}
+
+TEST(SimMpiComm, FreedCommIsInvalid) {
+  World world(2);
+  world.run([](Rank& r) {
+    Comm dup = r.comm_dup(kCommWorld);
+    r.comm_free(dup);
+    EXPECT_THROW(r.rank(dup), MpiError);
+  });
+}
+
+}  // namespace
+}  // namespace mpiwasm::simmpi

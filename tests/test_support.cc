@@ -1,0 +1,144 @@
+// Unit tests for the support library: LEB128, SHA-256, statistics.
+#include <gtest/gtest.h>
+
+#include "support/byte_buffer.h"
+#include "support/sha256.h"
+#include "support/stats.h"
+#include "support/timing.h"
+
+namespace mpiwasm {
+namespace {
+
+TEST(Leb128, UnsignedRoundTrip) {
+  for (u32 v : std::vector<u32>{0, 1, 127, 128, 300, 16383, 16384,
+                                0x7FFFFFFF, 0xFFFFFFFF}) {
+    ByteWriter w;
+    w.write_leb_u32(v);
+    ByteReader r({w.bytes().data(), w.bytes().size()});
+    EXPECT_EQ(r.read_leb_u32(), v);
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST(Leb128, SignedRoundTrip) {
+  for (i32 v : std::vector<i32>{0, 1, -1, 63, 64, -64, -65, 127, -128,
+                                0x7FFFFFFF, i32(0x80000000)}) {
+    ByteWriter w;
+    w.write_leb_i32(v);
+    ByteReader r({w.bytes().data(), w.bytes().size()});
+    EXPECT_EQ(r.read_leb_i32(), v);
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST(Leb128, Signed64RoundTrip) {
+  for (i64 v : std::vector<i64>{0, -1, 1LL << 40, -(1LL << 40),
+                                INT64_MAX, INT64_MIN}) {
+    ByteWriter w;
+    w.write_leb_i64(v);
+    ByteReader r({w.bytes().data(), w.bytes().size()});
+    EXPECT_EQ(r.read_leb_i64(), v);
+  }
+}
+
+TEST(Leb128, RejectsOverlongU32) {
+  // 6-byte continuation chain overflows the 5-byte u32 limit.
+  std::vector<u8> bytes{0x80, 0x80, 0x80, 0x80, 0x80, 0x01};
+  ByteReader r({bytes.data(), bytes.size()});
+  EXPECT_THROW(r.read_leb_u32(), DecodeError);
+}
+
+TEST(Leb128, RejectsU32HighBitsSet) {
+  // 5th byte carries bits >= 2^32.
+  std::vector<u8> bytes{0xFF, 0xFF, 0xFF, 0xFF, 0x7F};
+  ByteReader r({bytes.data(), bytes.size()});
+  EXPECT_THROW(r.read_leb_u32(), DecodeError);
+}
+
+TEST(ByteReader, BoundsChecked) {
+  std::vector<u8> bytes{1, 2, 3};
+  ByteReader r({bytes.data(), bytes.size()});
+  r.skip(2);
+  EXPECT_EQ(r.read_u8(), 3);
+  EXPECT_THROW(r.read_u8(), DecodeError);
+  EXPECT_THROW(r.read_u32_le(), DecodeError);
+}
+
+TEST(ByteWriter, Patching) {
+  ByteWriter w;
+  size_t at = w.reserve_leb_u32();
+  w.write_u8(0xAA);
+  w.patch_leb_u32_fixed5(at, 1234567);
+  ByteReader r({w.bytes().data(), w.bytes().size()});
+  EXPECT_EQ(r.read_leb_u32(), 1234567u);
+  EXPECT_EQ(r.read_u8(), 0xAA);
+}
+
+TEST(Sha256, KnownVectors) {
+  // Empty string.
+  EXPECT_EQ(sha256({}).hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  // "abc".
+  const char* abc = "abc";
+  EXPECT_EQ(sha256({reinterpret_cast<const u8*>(abc), 3}).hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  std::vector<u8> data(1000);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = u8(i * 7);
+  Sha256 h;
+  h.update({data.data(), 13});
+  h.update({data.data() + 13, 400});
+  h.update({data.data() + 413, data.size() - 413});
+  EXPECT_EQ(h.finish().hex(), sha256({data.data(), data.size()}).hex());
+}
+
+TEST(Sha256, MultiBlockBoundary) {
+  // Exactly 64 bytes forces a full-block + padding-only-block path.
+  std::vector<u8> data(64, 0x61);  // "aaaa..."
+  EXPECT_EQ(sha256({data.data(), data.size()}).hex(),
+            "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb");
+}
+
+TEST(Stats, RunningStat) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+}
+
+TEST(Stats, Geomean) {
+  EXPECT_DOUBLE_EQ(geomean({1.0, 4.0}), 2.0);
+  EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+  EXPECT_DOUBLE_EQ(geomean({2.0, 0.0}), 0.0);  // non-positive -> 0
+}
+
+TEST(Stats, GmSlowdownMatchesPaperConvention) {
+  // Wasm 5% slower at every size: ratios native/wasm = 1/1.05.
+  std::vector<double> ratios(10, 1.0 / 1.05);
+  EXPECT_NEAR(gm_slowdown_from_time_ratios(ratios), 0.0476, 1e-3);
+}
+
+TEST(Stats, GmSpeedup) {
+  std::vector<double> base{4.0, 4.0}, subj{1.0, 4.0};
+  EXPECT_DOUBLE_EQ(gm_speedup(base, subj), 2.0);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 5.5);
+}
+
+TEST(Timing, SpinForApproximatesTarget) {
+  Stopwatch sw;
+  spin_for_ns(200'000);  // 200us
+  EXPECT_GE(sw.elapsed_ns(), 200'000u);
+}
+
+}  // namespace
+}  // namespace mpiwasm

@@ -1,0 +1,302 @@
+// Validator tests: well-typed modules pass; a catalogue of type errors,
+// index errors, and structural errors must be rejected with messages.
+#include <gtest/gtest.h>
+
+#include "wasm/builder.h"
+#include "wasm/decoder.h"
+#include "wasm/validator.h"
+
+namespace mpiwasm::wasm {
+namespace {
+
+ValidationResult validate_bytes(const std::vector<u8>& bytes) {
+  auto decoded = decode_module({bytes.data(), bytes.size()});
+  EXPECT_TRUE(decoded.ok()) << decoded.error;
+  if (!decoded.ok()) return {false, "decode failed"};
+  return validate_module(*decoded.module);
+}
+
+constexpr ValType I32 = ValType::kI32;
+constexpr ValType I64 = ValType::kI64;
+constexpr ValType F64 = ValType::kF64;
+
+TEST(Validator, AcceptsWellTypedModule) {
+  ModuleBuilder b;
+  b.add_memory(1);
+  auto& f = b.begin_func({{I32, I32}, {I32}}, "add");
+  f.local_get(0);
+  f.local_get(1);
+  f.op(Op::kI32Add);
+  f.end();
+  EXPECT_TRUE(validate_bytes(b.build()).ok);
+}
+
+TEST(Validator, RejectsBinopTypeMismatch) {
+  ModuleBuilder b;
+  auto& f = b.begin_func({{I32, I64}, {I32}}, "bad");
+  f.local_get(0);
+  f.local_get(1);
+  f.op(Op::kI32Add);  // i32 + i64
+  f.end();
+  auto r = validate_bytes(b.build());
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("type mismatch"), std::string::npos);
+}
+
+TEST(Validator, RejectsStackUnderflow) {
+  ModuleBuilder b;
+  auto& f = b.begin_func({{}, {I32}}, "bad");
+  f.op(Op::kI32Add);  // nothing on the stack
+  f.end();
+  EXPECT_FALSE(validate_bytes(b.build()).ok);
+}
+
+TEST(Validator, RejectsMissingResult) {
+  ModuleBuilder b;
+  auto& f = b.begin_func({{}, {I32}}, "bad");
+  f.end();  // no value produced
+  EXPECT_FALSE(validate_bytes(b.build()).ok);
+}
+
+TEST(Validator, RejectsExtraResult) {
+  ModuleBuilder b;
+  auto& f = b.begin_func({{}, {}}, "bad");
+  f.i32_const(1);
+  f.end();
+  EXPECT_FALSE(validate_bytes(b.build()).ok);
+}
+
+TEST(Validator, RejectsWrongResultType) {
+  ModuleBuilder b;
+  auto& f = b.begin_func({{}, {F64}}, "bad");
+  f.i32_const(1);
+  f.end();
+  EXPECT_FALSE(validate_bytes(b.build()).ok);
+}
+
+TEST(Validator, RejectsBadLocalIndex) {
+  ModuleBuilder b;
+  auto& f = b.begin_func({{I32}, {I32}}, "bad");
+  f.local_get(3);
+  f.end();
+  auto r = validate_bytes(b.build());
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("local"), std::string::npos);
+}
+
+TEST(Validator, RejectsBadBranchDepth) {
+  ModuleBuilder b;
+  auto& f = b.begin_func({{}, {}}, "bad");
+  f.block();
+  f.br(5);
+  f.end();
+  f.end();
+  EXPECT_FALSE(validate_bytes(b.build()).ok);
+}
+
+TEST(Validator, RejectsBranchValueMismatch) {
+  ModuleBuilder b;
+  auto& f = b.begin_func({{}, {}}, "bad");
+  f.block(I32);
+  f.f64_const(1.0);
+  f.br(0);  // carries f64 into an i32 label
+  f.end();
+  f.op(Op::kDrop);
+  f.end();
+  EXPECT_FALSE(validate_bytes(b.build()).ok);
+}
+
+TEST(Validator, RejectsIfWithoutCondition) {
+  ModuleBuilder b;
+  auto& f = b.begin_func({{}, {}}, "bad");
+  f.if_();
+  f.end();
+  f.end();
+  EXPECT_FALSE(validate_bytes(b.build()).ok);
+}
+
+TEST(Validator, RejectsIfResultWithoutElse) {
+  ModuleBuilder b;
+  auto& f = b.begin_func({{I32}, {I32}}, "bad");
+  f.local_get(0);
+  f.if_(I32);
+  f.i32_const(1);
+  f.end();  // if with result but no else
+  f.end();
+  EXPECT_FALSE(validate_bytes(b.build()).ok);
+}
+
+TEST(Validator, AcceptsIfElseWithResult) {
+  ModuleBuilder b;
+  auto& f = b.begin_func({{I32}, {I32}}, "ok");
+  f.local_get(0);
+  f.if_(I32);
+  f.i32_const(1);
+  f.else_();
+  f.i32_const(2);
+  f.end();
+  f.end();
+  EXPECT_TRUE(validate_bytes(b.build()).ok);
+}
+
+TEST(Validator, RejectsCallArgMismatch) {
+  ModuleBuilder b;
+  u32 imp = b.import_func("env", "f", {{I32, I32}, {}});
+  auto& f = b.begin_func({{}, {}}, "bad");
+  f.i32_const(1);
+  f.call(imp);  // missing second arg
+  f.end();
+  EXPECT_FALSE(validate_bytes(b.build()).ok);
+}
+
+TEST(Validator, RejectsCallBadIndex) {
+  ModuleBuilder b;
+  auto& f = b.begin_func({{}, {}}, "bad");
+  f.call(99);
+  f.end();
+  EXPECT_FALSE(validate_bytes(b.build()).ok);
+}
+
+TEST(Validator, RejectsMemoryOpWithoutMemory) {
+  ModuleBuilder b;
+  auto& f = b.begin_func({{}, {I32}}, "bad");
+  f.i32_const(0);
+  f.mem_op(Op::kI32Load);
+  f.end();
+  auto r = validate_bytes(b.build());
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("memory"), std::string::npos);
+}
+
+TEST(Validator, RejectsOveralignedAccess) {
+  ModuleBuilder b;
+  b.add_memory(1);
+  auto& f = b.begin_func({{}, {I32}}, "bad");
+  f.i32_const(0);
+  f.mem_op(Op::kI32Load, 0, /*align_log2=*/3);  // 8-byte align on 4-byte load
+  f.end();
+  EXPECT_FALSE(validate_bytes(b.build()).ok);
+}
+
+TEST(Validator, RejectsGlobalSetOnImmutable) {
+  ModuleBuilder b;
+  u32 g = b.add_global(I32, false, 1);
+  auto& f = b.begin_func({{}, {}}, "bad");
+  f.i32_const(2);
+  f.global_set(g);
+  f.end();
+  EXPECT_FALSE(validate_bytes(b.build()).ok);
+}
+
+TEST(Validator, RejectsSelectMismatchedOperands) {
+  ModuleBuilder b;
+  auto& f = b.begin_func({{}, {}}, "bad");
+  f.i32_const(1);
+  f.f64_const(2.0);
+  f.i32_const(0);
+  f.op(Op::kSelect);
+  f.op(Op::kDrop);
+  f.end();
+  EXPECT_FALSE(validate_bytes(b.build()).ok);
+}
+
+TEST(Validator, RejectsBrTableInconsistentLabels) {
+  ModuleBuilder b;
+  auto& f = b.begin_func({{I32}, {}}, "bad");
+  f.block(I32);   // label with result
+  f.block();      // label without
+  f.i32_const(1);
+  f.local_get(0);
+  f.br_table({0}, 1);  // depth0: no result, depth1: i32 result
+  f.end();
+  f.op(Op::kDrop);
+  f.end();
+  f.op(Op::kDrop);
+  f.end();
+  EXPECT_FALSE(validate_bytes(b.build()).ok);
+}
+
+TEST(Validator, AcceptsDeadCodeAfterBranch) {
+  // After br, stack-polymorphic code is legal per spec.
+  ModuleBuilder b;
+  auto& f = b.begin_func({{}, {I32}}, "ok");
+  f.block(I32);
+  f.i32_const(1);
+  f.br(0);
+  f.op(Op::kI32Add);  // dead, polymorphic
+  f.end();
+  f.end();
+  EXPECT_TRUE(validate_bytes(b.build()).ok);
+}
+
+TEST(Validator, AcceptsUnreachableThenAnything) {
+  ModuleBuilder b;
+  auto& f = b.begin_func({{}, {I32}}, "ok");
+  f.op(Op::kUnreachable);
+  f.op(Op::kF64Mul);  // polymorphic after unreachable
+  f.op(Op::kDrop);
+  f.i32_const(3);
+  f.end();
+  EXPECT_TRUE(validate_bytes(b.build()).ok);
+}
+
+TEST(Validator, RejectsCallIndirectWithoutTable) {
+  ModuleBuilder b;
+  u32 sig = b.add_type({{}, {}});
+  auto& f = b.begin_func({{}, {}}, "bad");
+  f.i32_const(0);
+  f.call_indirect(sig);
+  f.end();
+  EXPECT_FALSE(validate_bytes(b.build()).ok);
+}
+
+TEST(Validator, RejectsElemFuncIndexOutOfRange) {
+  ModuleBuilder b;
+  b.add_table(4);
+  b.add_elem(0, {17});
+  auto& f = b.begin_func({{}, {}}, "f");
+  f.end();
+  EXPECT_FALSE(validate_bytes(b.build()).ok);
+}
+
+TEST(Validator, RejectsStartWithSignature) {
+  ModuleBuilder b;
+  auto& f = b.begin_func({{I32}, {}}, "f");
+  f.end();
+  b.set_start(f.index());
+  EXPECT_FALSE(validate_bytes(b.build()).ok);
+}
+
+TEST(Validator, RejectsSimdLaneOutOfRange) {
+  ModuleBuilder b;
+  b.add_memory(1);
+  auto& f = b.begin_func({{}, {F64}}, "bad");
+  f.v128_const(V128{});
+  f.lane_op(Op::kF64x2ExtractLane, 2);  // lanes are 0..1
+  f.end();
+  EXPECT_FALSE(validate_bytes(b.build()).ok);
+}
+
+TEST(Validator, RejectsMemoryOver4GiB) {
+  ModuleBuilder b;
+  b.add_memory(70000);  // > 65536 pages
+  auto& f = b.begin_func({{}, {}}, "f");
+  f.end();
+  EXPECT_FALSE(validate_bytes(b.build()).ok);
+}
+
+TEST(Validator, ErrorMessagesNameTheFunction) {
+  ModuleBuilder b;
+  b.import_func("env", "x", {{}, {}});
+  auto& ok = b.begin_func({{}, {}}, "ok");
+  ok.end();
+  auto& bad = b.begin_func({{}, {}}, "bad");
+  bad.i32_const(1);
+  bad.end();
+  auto r = validate_bytes(b.build());
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("func[2]"), std::string::npos) << r.error;
+}
+
+}  // namespace
+}  // namespace mpiwasm::wasm

@@ -1,0 +1,210 @@
+// Builder -> binary -> decoder round-trip tests plus malformed-input
+// failure injection for the decoder.
+#include <gtest/gtest.h>
+
+#include "wasm/builder.h"
+#include "wasm/decoder.h"
+#include "wasm/wat.h"
+
+namespace mpiwasm::wasm {
+namespace {
+
+std::vector<u8> simple_module() {
+  ModuleBuilder b;
+  u32 imp = b.import_func("env", "MPI_Init", {{ValType::kI32, ValType::kI32},
+                                              {ValType::kI32}});
+  b.add_memory(2, 10, true);
+  b.export_memory();
+  b.add_data_string(16, "hello");
+  auto& f = b.begin_func({{}, {ValType::kI32}}, "_start");
+  f.i32_const(0);
+  f.i32_const(0);
+  f.call(imp);
+  f.end();
+  return b.build();
+}
+
+TEST(BuilderDecoder, RoundTripStructure) {
+  auto bytes = simple_module();
+  auto result = decode_module({bytes.data(), bytes.size()});
+  ASSERT_TRUE(result.ok()) << result.error;
+  const Module& m = *result.module;
+  ASSERT_EQ(m.imports.size(), 1u);
+  EXPECT_EQ(m.imports[0].module, "env");
+  EXPECT_EQ(m.imports[0].name, "MPI_Init");
+  ASSERT_EQ(m.memories.size(), 1u);
+  EXPECT_EQ(m.memories[0].min, 2u);
+  EXPECT_TRUE(m.memories[0].has_max);
+  EXPECT_EQ(m.memories[0].max, 10u);
+  ASSERT_EQ(m.functions.size(), 1u);
+  ASSERT_EQ(m.bodies.size(), 1u);
+  EXPECT_NE(m.find_export("_start", ExternKind::kFunc), nullptr);
+  EXPECT_NE(m.find_export("memory", ExternKind::kMemory), nullptr);
+  ASSERT_EQ(m.datas.size(), 1u);
+  EXPECT_EQ(m.datas[0].bytes.size(), 5u);
+  EXPECT_EQ(m.num_imported_funcs(), 1u);
+  EXPECT_EQ(m.total_funcs(), 2u);
+}
+
+TEST(BuilderDecoder, FuncTypeDedup) {
+  ModuleBuilder b;
+  FuncType t{{ValType::kI32}, {ValType::kI32}};
+  EXPECT_EQ(b.add_type(t), b.add_type(t));
+}
+
+TEST(BuilderDecoder, InstrStreamRoundTrip) {
+  ModuleBuilder b;
+  auto& f = b.begin_func({{ValType::kI32}, {ValType::kI32}}, "f");
+  f.block(ValType::kI32);
+  f.local_get(0);
+  f.i32_const(-42);
+  f.op(Op::kI32Add);
+  f.end();
+  f.end();
+  auto bytes = b.build();
+  auto result = decode_module({bytes.data(), bytes.size()});
+  ASSERT_TRUE(result.ok()) << result.error;
+  const FuncBody& body = result.module->bodies[0];
+  InstrReader r({body.code.data(), body.code.size()});
+  std::vector<Op> ops;
+  std::vector<i64> imms;
+  while (!r.done()) {
+    InstrView v = r.next();
+    ops.push_back(v.op);
+    imms.push_back(v.imm_i);
+  }
+  ASSERT_EQ(ops.size(), 6u);
+  EXPECT_EQ(ops[0], Op::kBlock);
+  EXPECT_EQ(ops[1], Op::kLocalGet);
+  EXPECT_EQ(ops[2], Op::kI32Const);
+  EXPECT_EQ(imms[2], -42);
+  EXPECT_EQ(ops[3], Op::kI32Add);
+  EXPECT_EQ(ops[4], Op::kEnd);
+  EXPECT_EQ(ops[5], Op::kEnd);
+}
+
+TEST(BuilderDecoder, SimdAndPrefixedOpsRoundTrip) {
+  ModuleBuilder b;
+  b.add_memory(1);
+  auto& f = b.begin_func({{}, {ValType::kF64}}, "f");
+  V128 k{};
+  k.set_lane<f64, 2>(0, 1.5);
+  k.set_lane<f64, 2>(1, 2.5);
+  f.v128_const(k);
+  f.v128_const(k);
+  f.op(Op::kF64x2Add);
+  f.lane_op(Op::kF64x2ExtractLane, 1);
+  f.end();
+  auto bytes = b.build();
+  auto result = decode_module({bytes.data(), bytes.size()});
+  ASSERT_TRUE(result.ok()) << result.error;
+  InstrReader r({result.module->bodies[0].code.data(),
+                 result.module->bodies[0].code.size()});
+  InstrView c1 = r.next();
+  EXPECT_EQ(c1.op, Op::kV128Const);
+  EXPECT_EQ((c1.imm_v128.lane<f64, 2>(1)), 2.5);
+  r.next();
+  EXPECT_EQ(r.next().op, Op::kF64x2Add);
+  InstrView lane = r.next();
+  EXPECT_EQ(lane.op, Op::kF64x2ExtractLane);
+  EXPECT_EQ(lane.imm_i, 1);
+}
+
+TEST(DecoderFailure, BadMagic) {
+  std::vector<u8> bytes{0x00, 0x61, 0x73, 0x6E, 1, 0, 0, 0};
+  auto r = decode_module({bytes.data(), bytes.size()});
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("magic"), std::string::npos);
+}
+
+TEST(DecoderFailure, BadVersion) {
+  std::vector<u8> bytes{0x00, 0x61, 0x73, 0x6D, 2, 0, 0, 0};
+  auto r = decode_module({bytes.data(), bytes.size()});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(DecoderFailure, TruncatedModule) {
+  auto bytes = simple_module();
+  for (size_t cut : {size_t(9), bytes.size() / 2, bytes.size() - 1}) {
+    std::vector<u8> trunc(bytes.begin(), bytes.begin() + cut);
+    auto r = decode_module({trunc.data(), trunc.size()});
+    EXPECT_FALSE(r.ok()) << "cut at " << cut << " should fail";
+  }
+}
+
+TEST(DecoderFailure, SectionSizeOverrun) {
+  // Type section claiming a huge size.
+  std::vector<u8> bytes{0x00, 0x61, 0x73, 0x6D, 1, 0, 0, 0, 0x01, 0x7F};
+  auto r = decode_module({bytes.data(), bytes.size()});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(DecoderFailure, OutOfOrderSections) {
+  // Function section (3) before type section (1).
+  std::vector<u8> bytes{0x00, 0x61, 0x73, 0x6D, 1, 0, 0, 0,
+                        0x03, 0x01, 0x00,   // function section, empty
+                        0x01, 0x01, 0x00};  // type section, empty
+  auto r = decode_module({bytes.data(), bytes.size()});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(DecoderFailure, CodeCountMismatch) {
+  ModuleBuilder b;
+  auto& f = b.begin_func({{}, {}}, "f");
+  f.end();
+  auto bytes = b.build();
+  // Corrupt the code section count (find section id 10 and bump the count).
+  for (size_t i = 8; i + 2 < bytes.size(); ++i) {
+    if (bytes[i] == 10) {  // code section id at a section boundary
+      bytes[i + 2] = 2;    // count: 1 -> 2
+      break;
+    }
+  }
+  auto r = decode_module({bytes.data(), bytes.size()});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(DecoderFailure, UnknownOpcodeInBody) {
+  ModuleBuilder b;
+  auto& f = b.begin_func({{}, {}}, "f");
+  f.end();
+  auto bytes = b.build();
+  auto result = decode_module({bytes.data(), bytes.size()});
+  ASSERT_TRUE(result.ok());
+  // Inject an unknown opcode directly into the decoded body and re-walk it.
+  FuncBody body = result.module->bodies[0];
+  body.code.insert(body.code.begin(), 0xFE);
+  InstrReader r({body.code.data(), body.code.size()});
+  EXPECT_THROW({ while (!r.done()) r.next(); }, DecodeError);
+}
+
+TEST(Wat, PrintsPaperStyleListing) {
+  auto bytes = simple_module();
+  auto result = decode_module({bytes.data(), bytes.size()});
+  ASSERT_TRUE(result.ok());
+  std::string wat = to_wat(*result.module);
+  EXPECT_NE(wat.find("(import \"env\" \"MPI_Init\" (func (type"), std::string::npos);
+  EXPECT_NE(wat.find("(export \"_start\" (func"), std::string::npos);
+  EXPECT_NE(wat.find("(memory (;0;) 2 10)"), std::string::npos);
+  EXPECT_NE(wat.find("i32.const"), std::string::npos);
+}
+
+TEST(Wat, TruncatesLongBodies) {
+  ModuleBuilder b;
+  auto& f = b.begin_func({{}, {}}, "f");
+  for (int i = 0; i < 100; ++i) {
+    f.i32_const(i);
+    f.op(Op::kDrop);
+  }
+  f.end();
+  auto bytes = b.build();
+  auto result = decode_module({bytes.data(), bytes.size()});
+  ASSERT_TRUE(result.ok());
+  WatOptions opts;
+  opts.max_code_lines = 5;
+  std::string wat = to_wat(*result.module, opts);
+  EXPECT_NE(wat.find(";; ..."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mpiwasm::wasm
