@@ -82,6 +82,8 @@ RunResult Embedder::run_world(std::shared_ptr<const rt::CompiledModule> cm,
   });
 
   result.wall_seconds = wall.elapsed_s();
+  if (cm->tier == rt::EngineTier::kTiered)
+    result.tierup = rt::tierup_snapshot(*cm);
   return result;
 }
 

@@ -41,6 +41,9 @@ struct RunResult {
   f64 compile_ms = 0;
   f64 wall_seconds = 0;
   bool loaded_from_cache = false;
+  /// Tier-up counters accumulated across all ranks (kTiered engine only;
+  /// zeros otherwise). Taken after the world finishes.
+  rt::TierUpSnapshot tierup;
   /// Merged Figure-6 samples from all ranks (record_translation only).
   std::vector<TranslationSample> translation_samples;
 };

@@ -1,6 +1,7 @@
 #include "runtime/cache.h"
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 
@@ -13,7 +14,109 @@ namespace fs = std::filesystem;
 
 namespace {
 constexpr u32 kCacheMagic = 0x4357524D;  // "MRWC"
-constexpr u32 kCacheVersion = 2;
+// v3: per-function records (shared by whole-module entries and the tiered
+// engine's per-function entries).
+constexpr u32 kCacheVersion = 3;
+
+void write_rfunc(ByteWriter& w, const RFunc& f) {
+  w.write_leb_u32(f.num_params);
+  w.write_leb_u32(f.num_locals);
+  w.write_leb_u32(f.num_regs);
+  w.write_u8(f.has_result ? 1 : 0);
+  w.write_leb_u32(u32(f.code.size()));
+  for (const RInstr& in : f.code) {
+    w.write_u32_le(u32(in.op));
+    w.write_u32_le(in.a);
+    w.write_u32_le(in.b);
+    w.write_u32_le(in.c);
+    w.write_u32_le(in.d);
+    w.write_u64_le(in.imm);
+  }
+  w.write_leb_u32(u32(f.v128_pool.size()));
+  for (const auto& v : f.v128_pool) w.write_bytes({v.bytes, 16});
+  w.write_leb_u32(u32(f.br_pool.size()));
+  for (const auto& pool : f.br_pool) {
+    w.write_leb_u32(u32(pool.size()));
+    for (u32 t : pool) w.write_leb_u32(t);
+  }
+}
+
+/// Reads one function record; false on a malformed record (the caller
+/// treats the whole entry as corrupt).
+bool read_rfunc(ByteReader& r, RFunc& f) {
+  f.num_params = r.read_leb_u32();
+  f.num_locals = r.read_leb_u32();
+  f.num_regs = r.read_leb_u32();
+  f.has_result = r.read_u8() != 0;
+  u32 ninstr = r.read_leb_u32();
+  if (u64(ninstr) * 28 > r.remaining()) return false;  // cheap size sanity
+  f.code.resize(ninstr);
+  for (RInstr& in : f.code) {
+    u32 op = r.read_u32_le();
+    if (op >= u32(ROp::kCount)) return false;
+    in.op = ROp(op);
+    in.a = r.read_u32_le();
+    in.b = r.read_u32_le();
+    in.c = r.read_u32_le();
+    in.d = r.read_u32_le();
+    in.imm = r.read_u64_le();
+  }
+  u32 nv = r.read_leb_u32();
+  if (u64(nv) * 16 > r.remaining()) return false;
+  f.v128_pool.resize(nv);
+  for (auto& v : f.v128_pool) {
+    auto b = r.read_bytes(16);
+    std::memcpy(v.bytes, b.data(), 16);
+  }
+  u32 np = r.read_leb_u32();
+  if (np > r.remaining()) return false;
+  f.br_pool.resize(np);
+  for (auto& pool : f.br_pool) {
+    u32 n = r.read_leb_u32();
+    if (n > r.remaining()) return false;
+    pool.resize(n);
+    for (u32& t : pool) t = r.read_leb_u32();
+  }
+  return true;
+}
+
+bool read_header(ByteReader& r) {
+  if (r.remaining() < 8) return false;
+  if (r.read_u32_le() != kCacheMagic) return false;
+  if (r.read_u32_le() != kCacheVersion) return false;
+  return true;
+}
+
+std::optional<std::vector<u8>> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  return std::vector<u8>((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+}
+
+/// Atomically publishes `bytes` at `path`; concurrent ranks race benignly.
+void write_entry(const std::string& path, std::span<const u8> bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      MW_WARN("cannot write cache entry " << tmp);
+      return;
+    }
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              std::streamsize(bytes.size()));
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) fs::remove(tmp, ec);
+}
+
+void remove_corrupt(const std::string& path) {
+  MW_WARN("removing corrupt cache entry " << path);
+  std::error_code ec;
+  fs::remove(path, ec);
+}
+
 }  // namespace
 
 std::vector<u8> serialize_regcode(const RModule& rm) {
@@ -21,72 +124,45 @@ std::vector<u8> serialize_regcode(const RModule& rm) {
   w.write_u32_le(kCacheMagic);
   w.write_u32_le(kCacheVersion);
   w.write_leb_u32(u32(rm.funcs.size()));
-  for (const RFunc& f : rm.funcs) {
-    w.write_leb_u32(f.num_params);
-    w.write_leb_u32(f.num_locals);
-    w.write_leb_u32(f.num_regs);
-    w.write_u8(f.has_result ? 1 : 0);
-    w.write_leb_u32(u32(f.code.size()));
-    for (const RInstr& in : f.code) {
-      w.write_u32_le(u32(in.op));
-      w.write_u32_le(in.a);
-      w.write_u32_le(in.b);
-      w.write_u32_le(in.c);
-      w.write_u32_le(in.d);
-      w.write_u64_le(in.imm);
-    }
-    w.write_leb_u32(u32(f.v128_pool.size()));
-    for (const auto& v : f.v128_pool) w.write_bytes({v.bytes, 16});
-    w.write_leb_u32(u32(f.br_pool.size()));
-    for (const auto& pool : f.br_pool) {
-      w.write_leb_u32(u32(pool.size()));
-      for (u32 t : pool) w.write_leb_u32(t);
-    }
-  }
+  for (const RFunc& f : rm.funcs) write_rfunc(w, f);
   return w.take();
 }
 
 std::optional<RModule> deserialize_regcode(std::span<const u8> bytes) {
   try {
     ByteReader r(bytes);
-    if (r.read_u32_le() != kCacheMagic) return std::nullopt;
-    if (r.read_u32_le() != kCacheVersion) return std::nullopt;
+    if (!read_header(r)) return std::nullopt;
     RModule rm;
     u32 nfuncs = r.read_leb_u32();
+    // Each record is several bytes; a count beyond the remaining input is
+    // corruption, not a module (guards the resize against huge LEBs).
+    if (nfuncs > r.remaining()) return std::nullopt;
     rm.funcs.resize(nfuncs);
-    for (RFunc& f : rm.funcs) {
-      f.num_params = r.read_leb_u32();
-      f.num_locals = r.read_leb_u32();
-      f.num_regs = r.read_leb_u32();
-      f.has_result = r.read_u8() != 0;
-      u32 ninstr = r.read_leb_u32();
-      f.code.resize(ninstr);
-      for (RInstr& in : f.code) {
-        u32 op = r.read_u32_le();
-        if (op >= u32(ROp::kCount)) return std::nullopt;
-        in.op = ROp(op);
-        in.a = r.read_u32_le();
-        in.b = r.read_u32_le();
-        in.c = r.read_u32_le();
-        in.d = r.read_u32_le();
-        in.imm = r.read_u64_le();
-      }
-      u32 nv = r.read_leb_u32();
-      f.v128_pool.resize(nv);
-      for (auto& v : f.v128_pool) {
-        auto b = r.read_bytes(16);
-        std::memcpy(v.bytes, b.data(), 16);
-      }
-      u32 np = r.read_leb_u32();
-      f.br_pool.resize(np);
-      for (auto& pool : f.br_pool) {
-        u32 n = r.read_leb_u32();
-        pool.resize(n);
-        for (u32& t : pool) t = r.read_leb_u32();
-      }
-    }
+    for (RFunc& f : rm.funcs)
+      if (!read_rfunc(r, f)) return std::nullopt;
     if (!r.done()) return std::nullopt;
     return rm;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+std::vector<u8> serialize_rfunc(const RFunc& f) {
+  ByteWriter w;
+  w.write_u32_le(kCacheMagic);
+  w.write_u32_le(kCacheVersion);
+  write_rfunc(w, f);
+  return w.take();
+}
+
+std::optional<RFunc> deserialize_rfunc(std::span<const u8> bytes) {
+  try {
+    ByteReader r(bytes);
+    if (!read_header(r)) return std::nullopt;
+    RFunc f;
+    if (!read_rfunc(r, f)) return std::nullopt;
+    if (!r.done()) return std::nullopt;
+    return f;
   } catch (const DecodeError&) {
     return std::nullopt;
   }
@@ -105,40 +181,45 @@ std::string FileSystemCache::entry_path(const Sha256Digest& hash,
   return dir_ + "/" + hash.hex() + "-" + tier_tag + ".rcache";
 }
 
+std::string FileSystemCache::func_entry_path(const Sha256Digest& hash,
+                                             u32 func_index,
+                                             const std::string& tier_tag) const {
+  return dir_ + "/" + hash.hex() + "-f" + std::to_string(func_index) + "-" +
+         tier_tag + ".rcache";
+}
+
 std::optional<RModule> FileSystemCache::load(const Sha256Digest& hash,
                                              const std::string& tier_tag) const {
   const std::string path = entry_path(hash, tier_tag);
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
-  std::vector<u8> bytes((std::istreambuf_iterator<char>(in)),
-                        std::istreambuf_iterator<char>());
-  auto rm = deserialize_regcode(bytes);
-  if (!rm.has_value()) {
-    MW_WARN("removing corrupt cache entry " << path);
-    std::error_code ec;
-    fs::remove(path, ec);
-  }
+  auto bytes = read_file(path);
+  if (!bytes.has_value()) return std::nullopt;
+  auto rm = deserialize_regcode(*bytes);
+  if (!rm.has_value()) remove_corrupt(path);
   return rm;
 }
 
 void FileSystemCache::store(const Sha256Digest& hash,
                             const std::string& tier_tag,
                             const RModule& rm) const {
-  const std::string path = entry_path(hash, tier_tag);
-  const std::string tmp = path + ".tmp";
-  std::vector<u8> bytes = serialize_regcode(rm);
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      MW_WARN("cannot write cache entry " << tmp);
-      return;
-    }
-    out.write(reinterpret_cast<const char*>(bytes.data()),
-              std::streamsize(bytes.size()));
-  }
-  std::error_code ec;
-  fs::rename(tmp, path, ec);  // atomic publish; concurrent ranks race benignly
-  if (ec) fs::remove(tmp, ec);
+  write_entry(entry_path(hash, tier_tag), serialize_regcode(rm));
+}
+
+std::optional<RFunc> FileSystemCache::load_func(
+    const Sha256Digest& hash, u32 func_index,
+    const std::string& tier_tag) const {
+  const std::string path = func_entry_path(hash, func_index, tier_tag);
+  auto bytes = read_file(path);
+  if (!bytes.has_value()) return std::nullopt;
+  auto f = deserialize_rfunc(*bytes);
+  if (!f.has_value()) remove_corrupt(path);
+  return f;
+}
+
+void FileSystemCache::store_func(const Sha256Digest& hash, u32 func_index,
+                                 const std::string& tier_tag,
+                                 const RFunc& f) const {
+  write_entry(func_entry_path(hash, func_index, tier_tag),
+              serialize_rfunc(f));
 }
 
 void FileSystemCache::clear() const {

@@ -5,6 +5,12 @@
 // in the local filesystem under that hash. Any change to the module yields
 // a new hash and triggers recompilation; repeated executions of the same
 // application skip compilation entirely.
+//
+// The unit of serialization is a *function*: the static tiers store one
+// entry holding every function's record, while the tiered engine stores
+// and loads individual functions keyed by (module hash, function index,
+// tier) as they get promoted — a hot function compiled on one run
+// warm-starts on the next.
 #pragma once
 
 #include <optional>
@@ -31,17 +37,30 @@ class FileSystemCache {
   void store(const Sha256Digest& hash, const std::string& tier_tag,
              const RModule& rm) const;
 
+  /// Loads one function's compiled body for (hash, func_index, tier_tag);
+  /// nullopt on miss or on a corrupt entry (which is removed).
+  std::optional<RFunc> load_func(const Sha256Digest& hash, u32 func_index,
+                                 const std::string& tier_tag) const;
+
+  /// Stores one function's compiled body; best-effort.
+  void store_func(const Sha256Digest& hash, u32 func_index,
+                  const std::string& tier_tag, const RFunc& f) const;
+
   /// Removes every cache entry (used by tests and the cache ablation).
   void clear() const;
 
  private:
   std::string entry_path(const Sha256Digest& hash,
                          const std::string& tier_tag) const;
+  std::string func_entry_path(const Sha256Digest& hash, u32 func_index,
+                              const std::string& tier_tag) const;
   std::string dir_;
 };
 
 /// Serialization used by the cache (exposed for round-trip tests).
 std::vector<u8> serialize_regcode(const RModule& rm);
 std::optional<RModule> deserialize_regcode(std::span<const u8> bytes);
+std::vector<u8> serialize_rfunc(const RFunc& f);
+std::optional<RFunc> deserialize_rfunc(std::span<const u8> bytes);
 
 }  // namespace mpiwasm::rt

@@ -1,6 +1,7 @@
 #include "runtime/engine.h"
 
 #include "runtime/cache.h"
+#include "runtime/instance.h"
 #include "runtime/lowering.h"
 #include "runtime/optimizer.h"
 #include "support/log.h"
@@ -16,6 +17,7 @@ const char* tier_name(EngineTier tier) {
     case EngineTier::kBaseline: return "baseline";
     case EngineTier::kLightOpt: return "lightopt";
     case EngineTier::kOptimizing: return "optimizing";
+    case EngineTier::kTiered: return "tiered";
   }
   return "?";
 }
@@ -48,7 +50,117 @@ void compute_canonical_ids(CompiledModule& cm) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Tiered entry thunks.
+//
+// Steady: installed once the Optimizing body is published; calls go
+// straight to the regcode executor with no counter traffic.
+void tiered_steady_entry(Instance& inst, const CompiledModule& cm,
+                         u32 defined_index, Slot* base) {
+  const FuncUnit& u = cm.tiered.units[defined_index];
+  inst.run_regcode(*u.active.load(std::memory_order_acquire), base);
+}
+
+// Counting: bumps the call counter, requests promotion when a threshold
+// is crossed, then runs whatever body is currently published (regcode if
+// promoted, predecoded bytecode otherwise).
+void tiered_counting_entry(Instance& inst, const CompiledModule& cm,
+                           u32 defined_index, Slot* base) {
+  TieredState& ts = cm.tiered;
+  FuncUnit& u = ts.units[defined_index];
+  const u64 n = u.calls.fetch_add(1, std::memory_order_relaxed) + 1;
+  const EngineTier cur = u.tier.load(std::memory_order_relaxed);
+  if (cur != EngineTier::kOptimizing) {
+    if (n >= ts.opt_threshold) {
+      tier_up(cm, defined_index, EngineTier::kOptimizing);
+    } else if (cur == EngineTier::kInterp && n >= ts.baseline_threshold) {
+      tier_up(cm, defined_index, EngineTier::kBaseline);
+    }
+  }
+  if (const RFunc* rf = u.active.load(std::memory_order_acquire)) {
+    inst.run_regcode(*rf, base);
+  } else {
+    inst.run_predecoded(cm.predecoded.funcs[defined_index], base);
+  }
+}
+
 }  // namespace
+
+void tier_up(const CompiledModule& cm, u32 defined_index, EngineTier target) {
+  MW_CHECK(target == EngineTier::kBaseline || target == EngineTier::kOptimizing,
+           "tier_up targets a compiled tier");
+  TieredState& ts = cm.tiered;
+  // Never stall a rank thread behind an in-progress promotion: if another
+  // thread holds the compile lock, skip — the caller runs the currently
+  // published body and promotion is retried on a later call.
+  std::unique_lock<std::mutex> lock(ts.mu, std::try_to_lock);
+  if (!lock.owns_lock()) return;
+  FuncUnit& u = ts.units[defined_index];
+  if (u.active.load(std::memory_order_relaxed) != nullptr &&
+      u.tier.load(std::memory_order_relaxed) >= target) {
+    return;  // another rank thread won the race
+  }
+
+  Stopwatch watch;
+  const char* tag = tier_name(target);
+  std::unique_ptr<RFunc> body;
+  bool from_cache = false;
+  std::optional<FileSystemCache> cache;
+  if (ts.cache_enabled) cache.emplace(ts.cache_dir);
+  if (cache) {
+    if (auto cached = cache->load_func(cm.hash, defined_index, tag)) {
+      body = std::make_unique<RFunc>(std::move(*cached));
+      from_cache = true;
+    }
+  }
+  if (!body) {
+    body = std::make_unique<RFunc>(lower_function(cm.module, defined_index));
+    if (target == EngineTier::kOptimizing)
+      optimize_function(*body, OptOptions::full());
+    if (cache) cache->store_func(cm.hash, defined_index, tag, *body);
+  }
+
+  // Publish. The superseded body (if any) stays alive: another thread may
+  // still be executing it.
+  std::unique_ptr<RFunc>& slot = target == EngineTier::kOptimizing
+                                     ? u.optimized_body
+                                     : u.baseline_body;
+  slot = std::move(body);
+  u.state.store(FuncState::kRegcode, std::memory_order_relaxed);
+  u.active.store(slot.get(), std::memory_order_release);
+  u.tier.store(target, std::memory_order_release);
+  if (target == EngineTier::kOptimizing)
+    u.entry.store(&tiered_steady_entry, std::memory_order_release);
+
+  ts.stats.tierup_compile_ns.fetch_add(watch.elapsed_ns(),
+                                       std::memory_order_relaxed);
+  auto& counter = target == EngineTier::kOptimizing
+                      ? ts.stats.promoted_optimizing
+                      : ts.stats.promoted_baseline;
+  counter.fetch_add(1, std::memory_order_relaxed);
+  if (from_cache)
+    ts.stats.func_cache_hits.fetch_add(1, std::memory_order_relaxed);
+  MW_DEBUG("tier-up: func " << defined_index << " -> " << tag
+                            << (from_cache ? " (cache)" : ""));
+}
+
+TierUpSnapshot tierup_snapshot(const CompiledModule& cm) {
+  const TieredState& ts = cm.tiered;
+  TierUpSnapshot s;
+  s.funcs_total = ts.num_units;
+  for (u32 i = 0; i < ts.num_units; ++i) {
+    switch (ts.units[i].state.load(std::memory_order_acquire)) {
+      case FuncState::kNone: break;
+      case FuncState::kPredecoded: ++s.funcs_predecoded; break;
+      case FuncState::kRegcode: ++s.funcs_regcode; break;
+    }
+  }
+  s.promoted_baseline = ts.stats.promoted_baseline.load();
+  s.promoted_optimizing = ts.stats.promoted_optimizing.load();
+  s.func_cache_hits = ts.stats.func_cache_hits.load();
+  s.tierup_compile_ms = f64(ts.stats.tierup_compile_ns.load()) / 1e6;
+  return s;
+}
 
 std::shared_ptr<const CompiledModule> compile(std::span<const u8> bytes,
                                               const EngineConfig& cfg) {
@@ -69,6 +181,28 @@ std::shared_ptr<const CompiledModule> compile(std::span<const u8> bytes,
   Stopwatch compile_watch;
   if (cfg.tier == EngineTier::kInterp) {
     cm->predecoded = predecode_module(cm->module);
+    cm->compile_ms = compile_watch.elapsed_ms();
+    return cm;
+  }
+
+  if (cfg.tier == EngineTier::kTiered) {
+    // Instant startup: predecode every function (cheap, linear), defer all
+    // lowering/optimization to the counting thunks.
+    cm->predecoded = predecode_module(cm->module);
+    TieredState& ts = cm->tiered;
+    ts.num_units = u32(cm->predecoded.funcs.size());
+    ts.units = std::make_unique<FuncUnit[]>(ts.num_units);
+    ts.baseline_threshold = std::max<u64>(1, cfg.tierup_baseline_threshold);
+    ts.opt_threshold =
+        std::max<u64>(ts.baseline_threshold, cfg.tierup_opt_threshold);
+    ts.cache_enabled = cfg.enable_cache;
+    ts.cache_dir = cfg.cache_dir;
+    for (u32 i = 0; i < ts.num_units; ++i) {
+      ts.units[i].state.store(FuncState::kPredecoded,
+                              std::memory_order_relaxed);
+      ts.units[i].entry.store(&tiered_counting_entry,
+                              std::memory_order_relaxed);
+    }
     cm->compile_ms = compile_watch.elapsed_ms();
     return cm;
   }

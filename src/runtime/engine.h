@@ -1,6 +1,6 @@
 // Compilation engine: turns Wasm binaries into executable CompiledModules.
 //
-// Four tiers; the three compiled ones reproduce the paper's
+// Four static tiers; the three compiled ones reproduce the paper's
 // compiler-backend trade-off (Table 1):
 //   kInterp     — predecode + stack-machine execution (not in Table 1;
 //                 kept for differential testing and instant startup)
@@ -12,27 +12,45 @@
 //                 and mul-add fusion (the LLVM point: slowest compile,
 //                 fastest run)
 //
+// kTiered dissolves the compile-time/run-time trade-off: the unit of
+// compilation becomes the *function*, not the module. compile() only
+// predecodes (instant startup, like kInterp); each function carries an
+// atomic call counter and is lazily lowered to Baseline regcode, then
+// re-lowered + fully optimized, as its counter crosses the configured
+// thresholds. Publication is thread-safe: CompiledModule is shared across
+// rank threads, so promoted bodies are handed off through atomic pointers
+// and never freed while the module lives.
+//
 // A FileSystemCache keyed by a SHA-256 module digest (paper §3.3 uses
-// BLAKE-3) lets repeated executions skip recompilation entirely.
+// BLAKE-3) lets repeated executions skip recompilation entirely; in tiered
+// mode the cache holds per-function entries keyed by
+// (module hash, function index, tier) so hot functions warm-start.
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "runtime/interp.h"
 #include "runtime/regcode.h"
+#include "runtime/value.h"
 #include "support/sha256.h"
 #include "wasm/module.h"
 
 namespace mpiwasm::rt {
+
+class Instance;
+struct CompiledModule;
 
 enum class EngineTier : u8 {
   kInterp = 0,
   kBaseline = 1,
   kLightOpt = 2,
   kOptimizing = 3,
+  kTiered = 4,  // lazy per-function compile with dynamic tier-up
 };
 
 const char* tier_name(EngineTier tier);
@@ -41,6 +59,12 @@ struct EngineConfig {
   EngineTier tier = EngineTier::kOptimizing;
   bool enable_cache = false;
   std::string cache_dir;  // empty -> "<tmp>/mpiwasm-cache"
+  // kTiered promotion thresholds (call counts). A function is lowered to
+  // Baseline regcode once it has been entered `tierup_baseline_threshold`
+  // times and re-compiled at the full Optimizing tier at
+  // `tierup_opt_threshold`. Threshold 1 promotes on the first call.
+  u64 tierup_baseline_threshold = 8;
+  u64 tierup_opt_threshold = 512;
 };
 
 /// Raised when a module fails to decode or validate.
@@ -49,23 +73,99 @@ class CompileError : public std::runtime_error {
   explicit CompileError(const std::string& what) : std::runtime_error(what) {}
 };
 
-/// An immutable compiled module, shareable across rank instances.
+/// Lifecycle of one function's code in tiered mode.
+enum class FuncState : u8 {
+  kNone = 0,        // nothing derived from the body yet
+  kPredecoded = 1,  // interpreter bytecode ready (module load)
+  kRegcode = 2,     // compiled regcode published (baseline or optimizing)
+};
+
+/// Entry thunk: how a call enters one function. Tiered dispatch swaps the
+/// thunk as the function is promoted so steady-state calls pay no
+/// counting/promotion checks.
+using EntryThunk = void (*)(Instance& inst, const CompiledModule& cm,
+                            u32 defined_index, Slot* base);
+
+/// Per-function compilation unit (tiered mode). Readers are lock-free:
+/// they load `entry`/`active` with acquire semantics. Writers serialize on
+/// TieredState::mu and publish with release stores. Promoted bodies are
+/// kept alive for the module's lifetime (another rank thread may still be
+/// executing the superseded one).
+struct FuncUnit {
+  std::atomic<FuncState> state{FuncState::kNone};
+  std::atomic<EngineTier> tier{EngineTier::kInterp};  // tier of `active`
+  std::atomic<u64> calls{0};
+  std::atomic<const RFunc*> active{nullptr};  // best published body
+  std::atomic<EntryThunk> entry{nullptr};
+  // Writer-owned storage behind the published pointers.
+  std::unique_ptr<RFunc> baseline_body;
+  std::unique_ptr<RFunc> optimized_body;
+};
+
+/// Monotonic tier-up counters, aggregated across all rank threads.
+struct TierUpStats {
+  std::atomic<u64> promoted_baseline{0};
+  std::atomic<u64> promoted_optimizing{0};
+  std::atomic<u64> func_cache_hits{0};   // promotions served from cache
+  std::atomic<u64> tierup_compile_ns{0};  // wall time spent promoting
+};
+
+/// Plain-value copy of TierUpStats for reports, plus a census of the
+/// unit table's current FuncState distribution.
+struct TierUpSnapshot {
+  u64 funcs_total = 0;
+  u64 funcs_predecoded = 0;  // still interpreter-only
+  u64 funcs_regcode = 0;     // promoted to compiled code
+  u64 promoted_baseline = 0;
+  u64 promoted_optimizing = 0;
+  u64 func_cache_hits = 0;
+  f64 tierup_compile_ms = 0;
+};
+
+/// Mutable tiered-execution state hanging off an otherwise immutable
+/// CompiledModule.
+struct TieredState {
+  std::unique_ptr<FuncUnit[]> units;  // parallel to Module::bodies
+  u32 num_units = 0;
+  u64 baseline_threshold = 8;
+  u64 opt_threshold = 512;
+  bool cache_enabled = false;
+  std::string cache_dir;
+  std::mutex mu;  // serializes promotion compilation/publication
+  TierUpStats stats;
+};
+
+/// An immutable compiled module, shareable across rank instances. (In
+/// kTiered mode `tiered` is the one mutable, internally synchronized
+/// exception: code is born lazily but each published body is immutable.)
 struct CompiledModule {
   wasm::Module module;
   EngineTier tier = EngineTier::kOptimizing;
-  RModule regcode;              // kBaseline / kOptimizing
-  PreModule predecoded;         // kInterp
+  RModule regcode;              // kBaseline / kLightOpt / kOptimizing
+  PreModule predecoded;         // kInterp / kTiered
   std::vector<u32> canon_type_ids;  // type index -> canonical sig id
   std::vector<u32> func_canon;      // func index (combined) -> canonical sig id
   Sha256Digest hash;
   f64 compile_ms = 0;           // excludes decode/validate
   f64 decode_ms = 0;
   bool loaded_from_cache = false;
+  mutable TieredState tiered;   // kTiered only
 };
 
 /// Compiles `bytes` under `cfg`. Throws CompileError on malformed or
 /// type-incorrect modules.
 std::shared_ptr<const CompiledModule> compile(std::span<const u8> bytes,
                                               const EngineConfig& cfg);
+
+/// Promotes defined function `defined_index` to `target` (kBaseline or
+/// kOptimizing) and publishes the body; no-op if the function is already
+/// at or above `target`, or if another thread currently holds the
+/// promotion lock (callers fall through to the published body and retry
+/// on a later call — promotion never stalls execution). Normally driven
+/// by the counting entry thunk, exposed for tests and warm-up hooks.
+void tier_up(const CompiledModule& cm, u32 defined_index, EngineTier target);
+
+/// Reads the module's tier-up counters (zeros for non-tiered modules).
+TierUpSnapshot tierup_snapshot(const CompiledModule& cm);
 
 }  // namespace mpiwasm::rt

@@ -160,25 +160,39 @@ void Instance::call_function(u32 fidx, Slot* base) {
   }
 
   const u32 di = fidx - imported;
-  if (cm.tier == EngineTier::kInterp) {
-    const PreFunc& f = cm.predecoded.funcs[di];
-    const u32 frame_slots = f.num_locals + f.max_stack;
-    Slot* frame = alloc_frame(frame_slots);
-    struct FrameGuard {
-      Instance& inst;
-      u32 n;
-      ~FrameGuard() { inst.release_frame(n); }
-    } frame_guard{*this, frame_slots};
-    // Zero locals beyond params (spec: locals start zeroed), copy args.
-    std::memset(frame + f.num_params, 0,
-                (frame_slots - f.num_params) * sizeof(Slot));
-    if (f.num_params > 0) std::memcpy(frame, base, f.num_params * sizeof(Slot));
-    interp_exec(*this, f, frame);
-    if (f.has_result) base[0] = frame[0];
-    return;
+  switch (cm.tier) {
+    case EngineTier::kTiered:
+      // Per-function dispatch: the entry thunk reflects the unit's current
+      // tier (counting/interp, counting/baseline, or steady/optimizing).
+      cm.tiered.units[di].entry.load(std::memory_order_acquire)(*this, cm, di,
+                                                                base);
+      return;
+    case EngineTier::kInterp:
+      run_predecoded(cm.predecoded.funcs[di], base);
+      return;
+    default:
+      run_regcode(cm.regcode.funcs[di], base);
+      return;
   }
+}
 
-  const RFunc& f = cm.regcode.funcs[di];
+void Instance::run_predecoded(const PreFunc& f, Slot* base) {
+  const u32 frame_slots = f.num_locals + f.max_stack;
+  Slot* frame = alloc_frame(frame_slots);
+  struct FrameGuard {
+    Instance& inst;
+    u32 n;
+    ~FrameGuard() { inst.release_frame(n); }
+  } frame_guard{*this, frame_slots};
+  // Zero locals beyond params (spec: locals start zeroed), copy args.
+  std::memset(frame + f.num_params, 0,
+              (frame_slots - f.num_params) * sizeof(Slot));
+  if (f.num_params > 0) std::memcpy(frame, base, f.num_params * sizeof(Slot));
+  interp_exec(*this, f, frame);
+  if (f.has_result) base[0] = frame[0];
+}
+
+void Instance::run_regcode(const RFunc& f, Slot* base) {
   Slot* frame = alloc_frame(f.num_regs);
   struct FrameGuard {
     Instance& inst;

@@ -17,6 +17,8 @@
 namespace mpiwasm::rt {
 
 struct CompiledModule;
+struct PreFunc;
+struct RFunc;
 class Instance;
 
 /// Context handed to host functions; the embedder uses it for the paper's
@@ -88,8 +90,16 @@ class Instance {
 
   // --- Executor internals (public for the tier executors) ----------------
   /// Calls function `fidx`; args pre-placed at `base[0..nargs)`; the result
-  /// (if any) is written to `base[0]`.
+  /// (if any) is written to `base[0]`. In tiered mode this dispatches
+  /// through the module's FuncUnit table (each function may be at a
+  /// different tier); otherwise the module-wide tier picks the executor.
   void call_function(u32 fidx, Slot* base);
+
+  /// Runs a predecoded body: allocates the frame, zeroes locals, copies the
+  /// args from `base`, executes, and writes the result back to `base[0]`.
+  void run_predecoded(const PreFunc& f, Slot* base);
+  /// Same, for a lowered RegCode body (any compiled tier).
+  void run_regcode(const RFunc& f, Slot* base);
   Slot* globals() { return globals_.data(); }
   std::vector<u32>& table() { return table_; }
 

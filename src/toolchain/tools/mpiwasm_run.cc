@@ -2,9 +2,12 @@
 // the paper's `mpirun -np N ./mpiWasm app.wasm` (Listing 4).
 //
 // Usage:
-//   mpiwasm-run --np N [--tier interp|baseline|optimizing] [--cache]
+//   mpiwasm-run --np N [--tier interp|baseline|lightopt|optimizing|tiered]
+//               [--tierup-threshold N] [--tierup-opt-threshold N] [--cache]
 //               [--dir host_dir[:guest_name[:ro]]] module.wasm [args...]
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <vector>
@@ -17,10 +20,24 @@ namespace {
 
 void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --np N [--tier interp|baseline|optimizing] "
-               "[--cache] [--faasm] [--profile omnipath|graviton2|zero]\n"
+               "usage: %s --np N [--tier interp|baseline|lightopt|"
+               "optimizing|tiered]\n"
+               "       [--tierup-threshold N] [--tierup-opt-threshold N]\n"
+               "       [--cache] [--faasm] [--profile omnipath|graviton2|zero]\n"
                "       [--dir host[:guest[:ro]]] module.wasm [args...]\n",
                argv0);
+}
+
+/// Strict positive-integer parse for the tier-up threshold flags;
+/// rejects garbage, negatives, and zero instead of silently clamping.
+bool parse_threshold(const char* s, mpiwasm::u64& out) {
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0' || s[0] == '-' || v == 0)
+    return false;
+  out = v;
+  return true;
 }
 
 }  // namespace
@@ -42,7 +59,18 @@ int main(int argc, char** argv) {
       else if (t == "baseline") cfg.engine.tier = rt::EngineTier::kBaseline;
       else if (t == "lightopt") cfg.engine.tier = rt::EngineTier::kLightOpt;
       else if (t == "optimizing") cfg.engine.tier = rt::EngineTier::kOptimizing;
+      else if (t == "tiered") cfg.engine.tier = rt::EngineTier::kTiered;
       else { usage(argv[0]); return 2; }
+    } else if (arg == "--tierup-threshold" && i + 1 < argc) {
+      if (!parse_threshold(argv[++i], cfg.engine.tierup_baseline_threshold)) {
+        usage(argv[0]);
+        return 2;
+      }
+    } else if (arg == "--tierup-opt-threshold" && i + 1 < argc) {
+      if (!parse_threshold(argv[++i], cfg.engine.tierup_opt_threshold)) {
+        usage(argv[0]);
+        return 2;
+      }
     } else if (arg == "--cache") {
       cfg.engine.enable_cache = true;
     } else if (arg == "--faasm") {
@@ -110,6 +138,18 @@ int main(int argc, char** argv) {
     embed::RunResult result = embedder.run_world(cm, ranks);
     std::fprintf(stderr, "[mpiwasm] %d ranks finished in %.3fs, exit=%d\n",
                  ranks, result.wall_seconds, result.exit_code);
+    if (cm->tier == rt::EngineTier::kTiered) {
+      const auto& t = result.tierup;
+      std::fprintf(stderr,
+                   "[mpiwasm] tier-up: %llu funcs (%llu compiled), "
+                   "%llu -> baseline, %llu -> optimizing, %llu cache hits, "
+                   "%.2fms compiling\n",
+                   (unsigned long long)t.funcs_total,
+                   (unsigned long long)t.funcs_regcode,
+                   (unsigned long long)t.promoted_baseline,
+                   (unsigned long long)t.promoted_optimizing,
+                   (unsigned long long)t.func_cache_hits, t.tierup_compile_ms);
+    }
     return result.exit_code;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "[mpiwasm] error: %s\n", e.what());

@@ -56,6 +56,181 @@ TEST(Cache, DeserializeRejectsGarbage) {
   EXPECT_FALSE(rt::deserialize_regcode({empty.data(), empty.size()}).has_value());
 }
 
+TEST(Cache, EmptyModuleRoundTrips) {
+  rt::RModule rm;  // module with zero defined functions
+  auto blob = rt::serialize_regcode(rm);
+  auto back = rt::deserialize_regcode({blob.data(), blob.size()});
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->funcs.empty());
+}
+
+TEST(Cache, EmptyPoolsRoundTrip) {
+  // A function with code but empty v128/br pools keeps its exact shape.
+  rt::RFunc f;
+  f.num_params = 1;
+  f.num_locals = 2;
+  f.num_regs = 5;
+  f.has_result = true;
+  f.code.push_back({rt::ROp::kConst, 0, 0, 0, 0, 7});
+  f.code.push_back({rt::ROp::kReturn, 0, 0, 0, 0, 0});
+  ASSERT_TRUE(f.v128_pool.empty());
+  ASSERT_TRUE(f.br_pool.empty());
+  auto blob = rt::serialize_rfunc(f);
+  auto back = rt::deserialize_rfunc({blob.data(), blob.size()});
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->num_params, f.num_params);
+  EXPECT_EQ(back->num_locals, f.num_locals);
+  EXPECT_EQ(back->num_regs, f.num_regs);
+  EXPECT_EQ(back->has_result, f.has_result);
+  ASSERT_EQ(back->code.size(), f.code.size());
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    EXPECT_EQ(u16(back->code[i].op), u16(f.code[i].op));
+    EXPECT_EQ(back->code[i].imm, f.code[i].imm);
+  }
+  EXPECT_TRUE(back->v128_pool.empty());
+  EXPECT_TRUE(back->br_pool.empty());
+}
+
+TEST(Cache, TruncatedBlobIsRejected) {
+  auto bytes = make_module(77);
+  EngineConfig cfg;
+  cfg.tier = EngineTier::kOptimizing;
+  auto cm = rt::compile({bytes.data(), bytes.size()}, cfg);
+  auto blob = rt::serialize_regcode(cm->regcode);
+  // Every strict prefix must be rejected, never crash or mis-parse.
+  for (size_t cut : {size_t(0), size_t(3), size_t(7), size_t(8),
+                     blob.size() / 2, blob.size() - 1}) {
+    EXPECT_FALSE(rt::deserialize_regcode({blob.data(), cut}).has_value())
+        << "prefix of " << cut << " bytes";
+  }
+  // Trailing junk is also rejected (entry must parse exactly).
+  auto extended = blob;
+  extended.push_back(0);
+  EXPECT_FALSE(
+      rt::deserialize_regcode({extended.data(), extended.size()}).has_value());
+}
+
+TEST(Cache, HugeFunctionCountIsRejectedNotAllocated) {
+  // A corrupt count must be a clean miss, not a multi-GB resize.
+  rt::RModule empty_rm;
+  auto blob = rt::serialize_regcode(empty_rm);
+  blob.resize(8);  // keep magic + version only
+  for (int k = 0; k < 5; ++k) blob.push_back(0xFF);  // LEB ~ 2^32
+  blob.back() = 0x0F;
+  EXPECT_FALSE(rt::deserialize_regcode({blob.data(), blob.size()}).has_value());
+}
+
+TEST(Cache, ZeroByteEntryIsTreatedAsCorruptAndRemoved) {
+  auto dir = fresh_cache_dir();
+  auto bytes = make_module(21);
+  EngineConfig cfg;
+  cfg.tier = EngineTier::kBaseline;
+  cfg.enable_cache = true;
+  cfg.cache_dir = dir;
+  rt::compile({bytes.data(), bytes.size()}, cfg);
+
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    std::ofstream out(entry.path(), std::ios::binary | std::ios::trunc);
+  }
+  auto again = rt::compile({bytes.data(), bytes.size()}, cfg);
+  EXPECT_FALSE(again->loaded_from_cache);
+  size_t leftover = 0;
+  for (const auto& e : fs::directory_iterator(dir))
+    if (e.path().extension() == ".rcache" && fs::file_size(e.path()) == 0)
+      ++leftover;
+  EXPECT_EQ(leftover, 0u) << "zero-byte entries must be removed";
+  fs::remove_all(dir);
+}
+
+TEST(Cache, WrongVersionIsRejected) {
+  rt::RModule rm;
+  auto blob = rt::serialize_regcode(rm);
+  blob[4] ^= 0xFF;  // flip a version byte after the magic
+  EXPECT_FALSE(rt::deserialize_regcode({blob.data(), blob.size()}).has_value());
+}
+
+TEST(Cache, PerFunctionEntriesRoundTripAndKeySeparately) {
+  auto dir = fresh_cache_dir();
+  FileSystemCache cache(dir);
+  auto bytes = make_module(31);
+  EngineConfig cfg;
+  cfg.tier = EngineTier::kOptimizing;
+  auto cm = rt::compile({bytes.data(), bytes.size()}, cfg);
+  const rt::RFunc& f = cm->regcode.funcs[0];
+
+  cache.store_func(cm->hash, 0, "baseline", f);
+  EXPECT_TRUE(cache.load_func(cm->hash, 0, "baseline").has_value());
+  // Different function index and tier are separate keys.
+  EXPECT_FALSE(cache.load_func(cm->hash, 1, "baseline").has_value());
+  EXPECT_FALSE(cache.load_func(cm->hash, 0, "optimizing").has_value());
+  // The per-function entry does not satisfy a whole-module lookup.
+  EXPECT_FALSE(cache.load(cm->hash, "baseline").has_value());
+
+  auto loaded = cache.load_func(cm->hash, 0, "baseline");
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->code.size(), f.code.size());
+  for (size_t i = 0; i < f.code.size(); ++i)
+    EXPECT_EQ(u16(loaded->code[i].op), u16(f.code[i].op));
+  fs::remove_all(dir);
+}
+
+TEST(Cache, CorruptPerFunctionEntryIsIgnoredAndRemoved) {
+  auto dir = fresh_cache_dir();
+  FileSystemCache cache(dir);
+  auto bytes = make_module(13);
+  EngineConfig cfg;
+  cfg.tier = EngineTier::kBaseline;
+  auto cm = rt::compile({bytes.data(), bytes.size()}, cfg);
+  cache.store_func(cm->hash, 0, "baseline", cm->regcode.funcs[0]);
+
+  size_t entries = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    std::ofstream out(entry.path(), std::ios::binary | std::ios::trunc);
+    out << "truncated-garbage";
+    ++entries;
+  }
+  ASSERT_EQ(entries, 1u);
+  EXPECT_FALSE(cache.load_func(cm->hash, 0, "baseline").has_value());
+  // The corrupt file was removed from disk.
+  entries = 0;
+  for (const auto& e : fs::directory_iterator(dir))
+    if (e.path().extension() == ".rcache") ++entries;
+  EXPECT_EQ(entries, 0u);
+  fs::remove_all(dir);
+}
+
+TEST(Cache, TieredPromotionsWarmStartFromCache) {
+  auto dir = fresh_cache_dir();
+  auto bytes = make_module(55);
+  EngineConfig cfg;
+  cfg.tier = EngineTier::kTiered;
+  cfg.tierup_baseline_threshold = 1;
+  cfg.tierup_opt_threshold = 2;
+  cfg.enable_cache = true;
+  cfg.cache_dir = dir;
+
+  auto run_twice_and_snapshot = [&] {
+    auto cm = rt::compile({bytes.data(), bytes.size()}, cfg);
+    rt::ImportTable imports;
+    rt::Instance inst(cm, imports);
+    EXPECT_EQ(inst.invoke("run").as_i32(), 55);  // promotes to baseline
+    EXPECT_EQ(inst.invoke("run").as_i32(), 55);  // promotes to optimizing
+    return rt::tierup_snapshot(*cm);
+  };
+
+  auto cold = run_twice_and_snapshot();
+  EXPECT_EQ(cold.promoted_baseline, 1u);
+  EXPECT_EQ(cold.promoted_optimizing, 1u);
+  EXPECT_EQ(cold.func_cache_hits, 0u);
+
+  auto warm = run_twice_and_snapshot();
+  EXPECT_EQ(warm.promoted_baseline, 1u);
+  EXPECT_EQ(warm.promoted_optimizing, 1u);
+  EXPECT_EQ(warm.func_cache_hits, 2u)
+      << "second execution must warm-start both promotions from cache";
+  fs::remove_all(dir);
+}
+
 TEST(Cache, SecondCompileHitsCache) {
   auto dir = fresh_cache_dir();
   auto bytes = make_module(42);

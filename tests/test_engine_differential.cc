@@ -1,8 +1,19 @@
 // Differential property tests: for a corpus of generated programs and
-// pseudo-random inputs, all three execution tiers must agree bit-exactly.
-// This is the core correctness argument for the compiled tiers — any
-// lowering or optimization bug shows up as a tier divergence.
+// pseudo-random inputs, every execution configuration must agree
+// bit-exactly — the four static tiers *and* tiered mode with threshold 1,
+// which forces a lazy promotion mid-run. This is the core correctness
+// argument for the compiled tiers and for tier-up publication — any
+// lowering, optimization, or promotion bug shows up as a divergence.
 #include "testlib.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <mutex>
+#include <sstream>
+
+#include "benchlib/harness.h"
+#include "embedder/embedder.h"
+#include "toolchain/kernels.h"
 
 namespace mpiwasm::test {
 namespace {
@@ -227,11 +238,12 @@ INSTANTIATE_TEST_SUITE_P(Corpus, DifferentialTest,
                            return corpus()[info.param].name;
                          });
 
-TEST_P(DifferentialTest, AllTiersAgreeBitExactly) {
+TEST_P(DifferentialTest, AllConfigsAgreeBitExactly) {
   const Program& p = corpus()[GetParam()];
+  const auto cfgs = all_engine_configs();
   std::vector<std::shared_ptr<rt::Instance>> instances;
-  for (EngineTier tier : all_tiers())
-    instances.push_back(instantiate(p.bytes, tier));
+  for (const EngineConfig& cfg : cfgs)
+    instances.push_back(instantiate_cfg(p.bytes, cfg));
   for (size_t k = 0; k < p.inputs.size(); ++k) {
     std::vector<u64> results;
     for (auto& inst : instances) {
@@ -240,31 +252,202 @@ TEST_P(DifferentialTest, AllTiersAgreeBitExactly) {
     }
     for (size_t t = 1; t < results.size(); ++t) {
       EXPECT_EQ(results[0], results[t])
-          << p.name << " input#" << k << ": interp vs "
-          << rt::tier_name(all_tiers()[t]);
+          << p.name << " input#" << k << ": interp vs " << config_label(cfgs[t]);
     }
   }
 }
 
-TEST(DifferentialTraps, TierAgreeOnTrapKind) {
-  // A trapping program must trap identically everywhere.
+TEST(DifferentialTraps, AllConfigsAgreeOnTrapKind) {
+  // A trapping program must trap identically everywhere — including in a
+  // function promoted between the successful and the trapping call.
   auto bytes = build_single_func({{I32}, {I32}}, [](auto& f) {
     f.i32_const(100);
     f.local_get(0);
     f.op(Op::kI32DivU);
     f.end();
   });
-  for (EngineTier tier : all_tiers()) {
-    auto inst = instantiate(bytes, tier);
-    EXPECT_EQ(inst->invoke("run", std::vector<Value>{Value::from_i32(5)}).as_i32(),
-              20);
+  for (const EngineConfig& cfg : all_engine_configs()) {
+    auto inst = instantiate_cfg(bytes, cfg);
+    // Several good calls first so a tiered config promotes mid-sequence.
+    for (int k = 0; k < 5; ++k) {
+      EXPECT_EQ(
+          inst->invoke("run", std::vector<Value>{Value::from_i32(5)}).as_i32(),
+          20)
+          << config_label(cfg);
+    }
     try {
       inst->invoke("run", std::vector<Value>{Value::from_i32(0)});
-      FAIL() << "expected trap on " << rt::tier_name(tier);
+      FAIL() << "expected trap on " << config_label(cfg);
     } catch (const rt::Trap& t) {
       EXPECT_EQ(t.kind(), rt::TrapKind::kIntegerDivByZero);
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Toolchain-kernel differential: every generated benchmark kernel runs
+// through the embedder under all static tiers plus tiered(threshold=1) and
+// must produce identical correctness-relevant outputs (exit codes, report
+// row counts, checksums/residuals/verification flags — not timings).
+// ---------------------------------------------------------------------------
+
+struct KernelRun {
+  int exit_code = 0;
+  std::string stdout_text;
+  std::vector<bench::ReportRow> rows;
+};
+
+/// Rank threads interleave nondeterministically; compare stdout as a
+/// sorted line multiset.
+std::string normalized_stdout(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const auto& l : lines) out += l + "\n";
+  return out;
+}
+
+KernelRun run_kernel_cfg(const std::vector<u8>& bytes, int ranks,
+                         const EngineConfig& engine,
+                         embed::EmbedderConfig cfg = {}) {
+  bench::ReportCollector collector;
+  cfg.engine = engine;
+  cfg.extra_imports = collector.hook();
+  KernelRun out;
+  std::mutex mu;
+  cfg.stdout_sink = [&](int, std::string_view s) {
+    std::lock_guard<std::mutex> lock(mu);
+    out.stdout_text.append(s);
+  };
+  embed::Embedder emb(cfg);
+  auto result = emb.run_world({bytes.data(), bytes.size()}, ranks);
+  out.exit_code = result.exit_code;
+  out.rows = collector.rows();
+  return out;
+}
+
+/// Runs `bytes` under every engine config and checks the deterministic
+/// projection of each run against the interp reference.
+void expect_kernel_agreement(
+    const std::string& kernel, const std::vector<u8>& bytes, int ranks,
+    const std::function<std::vector<f64>(const KernelRun&)>& project,
+    embed::EmbedderConfig cfg = {}) {
+  const auto cfgs = all_engine_configs();
+  KernelRun ref;
+  std::vector<f64> ref_proj;
+  for (size_t i = 0; i < cfgs.size(); ++i) {
+    KernelRun run = run_kernel_cfg(bytes, ranks, cfgs[i], cfg);
+    if (i == 0) {
+      ref = std::move(run);
+      ref_proj = project(ref);
+      continue;
+    }
+    const std::string label = kernel + ": interp vs " + config_label(cfgs[i]);
+    EXPECT_EQ(ref.exit_code, run.exit_code) << label;
+    EXPECT_EQ(normalized_stdout(ref.stdout_text),
+              normalized_stdout(run.stdout_text))
+        << label;
+    EXPECT_EQ(ref.rows.size(), run.rows.size()) << label;
+    std::vector<f64> proj = project(run);
+    ASSERT_EQ(ref_proj.size(), proj.size()) << label;
+    for (size_t k = 0; k < proj.size(); ++k) {
+      EXPECT_EQ(ref_proj[k], proj[k]) << label << " field#" << k;
+    }
+  }
+}
+
+std::vector<f64> no_fields(const KernelRun&) { return {}; }
+
+TEST(KernelDifferential, MicroKernels) {
+  using namespace toolchain;
+  expect_kernel_agreement("hello", build_hello_module(), 2, no_fields);
+  expect_kernel_agreement("compute", build_compute_module(2000), 1, no_fields);
+  expect_kernel_agreement("allreduce_check", build_allreduce_check_module(), 4,
+                          no_fields);
+  expect_kernel_agreement("alloc_mem", build_alloc_mem_module(), 1, no_fields);
+}
+
+TEST(KernelDifferential, Hpcg) {
+  toolchain::HpcgParams p;
+  p.n_per_rank = 128;
+  p.iterations = 5;
+  expect_kernel_agreement("hpcg", toolchain::build_hpcg_module(p), 2,
+                          [](const KernelRun& r) {
+                            std::vector<f64> v;
+                            for (const auto& row : r.rows)
+                              v.push_back(row.c);  // residual
+                            return v;
+                          });
+}
+
+TEST(KernelDifferential, IntegerSort) {
+  toolchain::IsParams p;
+  p.keys_per_rank = 1 << 9;
+  p.repetitions = 2;
+  expect_kernel_agreement("is", toolchain::build_is_module(p), 2,
+                          [](const KernelRun& r) {
+                            std::vector<f64> v;
+                            for (const auto& row : r.rows)
+                              v.push_back(row.b);  // verification flag
+                            return v;
+                          });
+}
+
+TEST(KernelDifferential, DataTraffic) {
+  toolchain::DtParams p;
+  p.doubles_per_msg = 1 << 7;
+  p.repetitions = 2;
+  expect_kernel_agreement("dt", toolchain::build_dt_module(p), 3,
+                          [](const KernelRun& r) {
+                            std::vector<f64> v;
+                            for (const auto& row : r.rows)
+                              v.push_back(row.b);  // checksum
+                            return v;
+                          });
+}
+
+TEST(KernelDifferential, ImbPingPong) {
+  toolchain::ImbParams p;
+  p.max_bytes = 1 << 8;
+  p.base_iters = 1 << 10;
+  p.max_iters = 4;
+  // Timings differ run to run; row count + exit code are the contract.
+  expect_kernel_agreement("imb_pingpong", toolchain::build_imb_module(p), 2,
+                          no_fields);
+}
+
+TEST(KernelDifferential, DatatypeProbe) {
+  toolchain::DatatypePingPongParams p;
+  p.max_bytes = 1 << 9;
+  p.iters_per_size = 2;
+  expect_kernel_agreement("datatype_probe",
+                          toolchain::build_datatype_pingpong_module(p), 2,
+                          no_fields);
+}
+
+TEST(KernelDifferential, IorThroughSandbox) {
+  namespace fs = std::filesystem;
+  auto dir = fs::temp_directory_path() /
+             ("mpiwasm-difftest-ior-" + std::to_string(::getpid()));
+  toolchain::IorParams p;
+  p.block_bytes = 1 << 12;
+  p.blocks = 2;
+  p.repetitions = 1;
+  auto bytes = toolchain::build_ior_module(p);
+  for (const EngineConfig& engine : all_engine_configs()) {
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    embed::EmbedderConfig cfg;
+    cfg.preopens = {{dir.string(), "data", false}};
+    KernelRun run = run_kernel_cfg(bytes, 2, engine, cfg);
+    EXPECT_EQ(run.exit_code, 0) << config_label(engine);
+    ASSERT_EQ(run.rows.size(), 1u) << config_label(engine);
+    EXPECT_GT(run.rows[0].a, 0.0) << config_label(engine);
+    EXPECT_GT(run.rows[0].b, 0.0) << config_label(engine);
+  }
+  fs::remove_all(dir);
 }
 
 }  // namespace

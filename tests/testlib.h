@@ -32,6 +32,49 @@ inline std::vector<EngineTier> all_tiers() {
           EngineTier::kOptimizing};
 }
 
+/// Every engine configuration a module should behave identically under:
+/// the four static tiers plus tiered mode with threshold 1, which forces a
+/// lazy promotion on the very first call of every function (maximum
+/// mid-run tier churn).
+inline std::vector<EngineConfig> all_engine_configs() {
+  std::vector<EngineConfig> cfgs;
+  for (EngineTier tier : all_tiers()) {
+    EngineConfig c;
+    c.tier = tier;
+    cfgs.push_back(c);
+  }
+  EngineConfig tiered;
+  tiered.tier = EngineTier::kTiered;
+  tiered.tierup_baseline_threshold = 1;
+  tiered.tierup_opt_threshold = 1;
+  cfgs.push_back(tiered);
+  // A staged variant: interp first, baseline on call 2, optimizing on
+  // call 4 — promotions land mid-sweep in multi-input tests.
+  EngineConfig staged;
+  staged.tier = EngineTier::kTiered;
+  staged.tierup_baseline_threshold = 2;
+  staged.tierup_opt_threshold = 4;
+  cfgs.push_back(staged);
+  return cfgs;
+}
+
+/// Human-readable label for a config (tier name + thresholds for tiered).
+inline std::string config_label(const EngineConfig& cfg) {
+  std::string s = rt::tier_name(cfg.tier);
+  if (cfg.tier == EngineTier::kTiered)
+    s += "(" + std::to_string(cfg.tierup_baseline_threshold) + "," +
+         std::to_string(cfg.tierup_opt_threshold) + ")";
+  return s;
+}
+
+/// Compiles `bytes` under `cfg` and returns a fresh instance.
+inline std::shared_ptr<rt::Instance> instantiate_cfg(
+    const std::vector<u8>& bytes, const EngineConfig& cfg,
+    const rt::ImportTable& imports = {}) {
+  auto cm = rt::compile({bytes.data(), bytes.size()}, cfg);
+  return std::make_shared<rt::Instance>(cm, imports);
+}
+
 /// Compiles `bytes` at `tier` (no cache) and returns a fresh instance.
 inline std::shared_ptr<rt::Instance> instantiate(
     const std::vector<u8>& bytes, EngineTier tier,
@@ -39,8 +82,7 @@ inline std::shared_ptr<rt::Instance> instantiate(
   EngineConfig cfg;
   cfg.tier = tier;
   cfg.enable_cache = false;
-  auto cm = rt::compile({bytes.data(), bytes.size()}, cfg);
-  return std::make_shared<rt::Instance>(cm, imports);
+  return instantiate_cfg(bytes, cfg, imports);
 }
 
 /// Builds a single-export module around `emit` and asserts it validates.
