@@ -1,0 +1,288 @@
+// bench_dispatch: the execution-core perf trajectory.
+//
+// Measures the three executor optimizations separately and combined, per
+// kernel, always at the Optimizing tier:
+//   prepr    — portable switch dispatch, no superinstructions, no
+//              bounds-check hoisting: the closest in-tree proxy for the
+//              pre-optimization executor (the always-on core-pipeline
+//              improvements — lowering-time imm fusion, FMA, cmp+branch,
+//              dest sinking — remain active, so it under-reports the
+//              true vs-history gain)
+//   switch   — switch dispatch + superinstructions + hoisting
+//   threaded — computed-goto dispatch, plain pipeline
+//   full     — computed-goto + superinstructions + hoisting (the default)
+//
+// Output: a table on stdout and a machine-readable BENCH_exec.json (path
+// via --out), so the perf trajectory of the executor is tracked in-repo.
+// --smoke shrinks problem sizes for CI (keeps the perf code compiling and
+// running, not a measurement).
+//
+// Acceptance target: geomean(full / prepr) >= 1.3x on the micro +
+// toolchain kernels.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "runtime/exec.h"
+#include "support/timing.h"
+#include "wasm/builder.h"
+
+using namespace mpiwasm;
+using namespace mpiwasm::bench;
+using wasm::Op;
+using wasm::ValType;
+
+namespace {
+
+struct ExecConfig {
+  const char* name;
+  bool force_switch;
+  bool fused;  // superinstructions + bounds-check hoisting
+};
+
+const ExecConfig kConfigs[] = {
+    {"prepr", true, false},
+    {"switch", true, true},
+    {"threaded", false, false},
+    {"full", false, true},
+};
+
+rt::EngineConfig engine_for(const ExecConfig& c) {
+  rt::EngineConfig cfg;
+  cfg.tier = rt::EngineTier::kOptimizing;
+  cfg.opt_superinstructions = c.fused;
+  cfg.opt_hoist_bounds = c.fused;
+  return cfg;
+}
+
+// --- micro kernels (pure engine, no embedder) ------------------------------
+
+std::vector<u8> sum_squares_module() {
+  // run(n): i64 acc = 0; for (i = 0; i < n; ++i) acc += i*i
+  wasm::ModuleBuilder b;
+  auto& f = b.begin_func({{ValType::kI32}, {ValType::kI64}}, "run");
+  u32 i = f.add_local(ValType::kI32);
+  u32 acc = f.add_local(ValType::kI64);
+  f.for_loop_i32(i, 0, 0, 1, [&] {
+    f.local_get(acc);
+    f.local_get(i);
+    f.op(Op::kI64ExtendI32S);
+    f.local_get(i);
+    f.op(Op::kI64ExtendI32S);
+    f.op(Op::kI64Mul);
+    f.op(Op::kI64Add);
+    f.local_set(acc);
+  });
+  f.local_get(acc);
+  f.end();
+  return b.build();
+}
+
+std::vector<u8> stream_scale_module() {
+  // run(n): for i < n: a[i] = 2*a[i] + i  (i32, bounds-check heavy)
+  wasm::ModuleBuilder b;
+  b.add_memory(64);  // 4 MiB
+  auto& f = b.begin_func({{ValType::kI32}, {ValType::kI32}}, "run");
+  u32 i = f.add_local(ValType::kI32);
+  f.for_loop_i32(i, 0, 0, 1, [&] {
+    f.local_get(i);
+    f.i32_const(4);
+    f.op(Op::kI32Mul);
+    f.local_get(i);
+    f.i32_const(4);
+    f.op(Op::kI32Mul);
+    f.mem_op(Op::kI32Load);
+    f.i32_const(1);
+    f.op(Op::kI32Shl);
+    f.local_get(i);
+    f.op(Op::kI32Add);
+    f.mem_op(Op::kI32Store);
+  });
+  f.i32_const(0);
+  f.mem_op(Op::kI32Load);
+  f.end();
+  return b.build();
+}
+
+std::vector<u8> daxpy_module() {
+  // run(n): for i < n: y[i] = 2.5*x[i] + y[i]  (f64 FMA + loads/stores)
+  wasm::ModuleBuilder b;
+  b.add_memory(128);  // x at 0, y at 4 MiB
+  auto& f = b.begin_func({{ValType::kI32}, {ValType::kF64}}, "run");
+  u32 i = f.add_local(ValType::kI32);
+  f.for_loop_i32(i, 0, 0, 1, [&] {
+    f.local_get(i);
+    f.i32_const(8);
+    f.op(Op::kI32Mul);
+    f.f64_const(2.5);
+    f.local_get(i);
+    f.i32_const(8);
+    f.op(Op::kI32Mul);
+    f.mem_op(Op::kF64Load);
+    f.op(Op::kF64Mul);
+    f.local_get(i);
+    f.i32_const(8);
+    f.op(Op::kI32Mul);
+    f.mem_op(Op::kF64Load, 1 << 22);
+    f.op(Op::kF64Add);
+    f.mem_op(Op::kF64Store, 1 << 22);
+  });
+  f.i32_const(0);
+  f.mem_op(Op::kF64Load, 1 << 22);
+  f.end();
+  return b.build();
+}
+
+/// Steady-state seconds per call for a single-function micro module.
+f64 time_micro(const std::vector<u8>& bytes, const rt::EngineConfig& engine,
+               i32 n, int warm, int timed) {
+  auto cm = rt::compile({bytes.data(), bytes.size()}, engine);
+  rt::ImportTable imports;
+  rt::Instance inst(cm, imports);
+  auto arg = rt::Value::from_i32(n);
+  for (int k = 0; k < warm; ++k) inst.invoke("run", {&arg, 1});
+  Stopwatch watch;
+  for (int k = 0; k < timed; ++k) inst.invoke("run", {&arg, 1});
+  return watch.elapsed_s() / timed;
+}
+
+/// Wall seconds for a toolchain kernel through the embedder.
+f64 time_kernel(const std::vector<u8>& bytes, const rt::EngineConfig& engine,
+                int ranks) {
+  embed::EmbedderConfig ec;
+  ec.engine = engine;
+  ReportCollector collector;
+  ec.extra_imports = collector.hook();
+  embed::Embedder emb(ec);
+  auto result = emb.run_world({bytes.data(), bytes.size()}, ranks);
+  MW_CHECK(result.exit_code == 0, "kernel failed");
+  return result.wall_seconds;
+}
+
+struct Row {
+  std::string name;
+  f64 seconds[4] = {0, 0, 0, 0};  // parallel to kConfigs
+  f64 speedup() const { return seconds[3] > 0 ? seconds[0] / seconds[3] : 0; }
+};
+
+void write_json(const std::string& path, const std::vector<Row>& rows,
+                f64 geomean, bool smoke) {
+  FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"bench_dispatch\",\n");
+  std::fprintf(out, "  \"schema\": 1,\n");
+  std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(out, "  \"threaded_dispatch_compiled\": %s,\n",
+               rt::threaded_dispatch_compiled() ? "true" : "false");
+  std::fprintf(out, "  \"tier\": \"optimizing\",\n");
+  std::fprintf(out, "  \"configs\": [\"prepr\", \"switch\", \"threaded\", \"full\"],\n");
+  std::fprintf(out, "  \"kernels\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"seconds\": {\"prepr\": %.9f, "
+                 "\"switch\": %.9f, \"threaded\": %.9f, \"full\": %.9f}, "
+                 "\"speedup_full_vs_prepr\": %.3f}%s\n",
+                 r.name.c_str(), r.seconds[0], r.seconds[1], r.seconds[2],
+                 r.seconds[3], r.speedup(), i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"geomean_speedup_full_vs_prepr\": %.3f\n", geomean);
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_exec.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      out_path = argv[++i];
+  }
+
+  print_banner("Executor dispatch / bounds-check / fusion trajectory");
+  if (!rt::threaded_dispatch_compiled())
+    std::printf("note: switch-dispatch build — threaded == switch here\n");
+
+  struct Micro {
+    const char* name;
+    std::vector<u8> bytes;
+    i32 n;
+  };
+  std::vector<Micro> micros;
+  micros.push_back({"micro_sum_squares", sum_squares_module(),
+                    smoke ? 5000 : 200000});
+  micros.push_back({"micro_stream_scale", stream_scale_module(),
+                    smoke ? 5000 : 200000});
+  micros.push_back({"micro_daxpy", daxpy_module(), smoke ? 5000 : 200000});
+  const int warm = smoke ? 2 : 8, timed = smoke ? 3 : 32;
+
+  toolchain::HpcgParams hpcg;
+  hpcg.n_per_rank = smoke ? 64 : 4096;
+  hpcg.iterations = smoke ? 2 : 20;
+  toolchain::IsParams is;
+  is.keys_per_rank = smoke ? 1 << 9 : 1 << 14;
+  is.repetitions = smoke ? 1 : 6;
+  toolchain::DtParams dt;
+  dt.doubles_per_msg = smoke ? 1 << 7 : 1 << 13;
+  dt.repetitions = smoke ? 1 : 12;
+  struct Kernel {
+    const char* name;
+    std::vector<u8> bytes;
+  };
+  std::vector<Kernel> kernels;
+  kernels.push_back({"hpcg", toolchain::build_hpcg_module(hpcg)});
+  kernels.push_back({"npb_is", toolchain::build_is_module(is)});
+  kernels.push_back({"npb_dt", toolchain::build_dt_module(dt)});
+
+  std::vector<Row> rows;
+  for (const auto& m : micros) {
+    Row row;
+    row.name = m.name;
+    for (size_t c = 0; c < 4; ++c) {
+      rt::set_dispatch_force_switch(kConfigs[c].force_switch);
+      row.seconds[c] =
+          time_micro(m.bytes, engine_for(kConfigs[c]), m.n, warm, timed);
+    }
+    rt::set_dispatch_force_switch(false);
+    rows.push_back(std::move(row));
+  }
+  for (const auto& k : kernels) {
+    Row row;
+    row.name = k.name;
+    for (size_t c = 0; c < 4; ++c) {
+      rt::set_dispatch_force_switch(kConfigs[c].force_switch);
+      row.seconds[c] = time_kernel(k.bytes, engine_for(kConfigs[c]), 2);
+    }
+    rt::set_dispatch_force_switch(false);
+    rows.push_back(std::move(row));
+  }
+
+  print_subhead("seconds per run (optimizing tier)");
+  std::printf("%-20s %12s %12s %12s %12s %10s\n", "kernel", "prepr", "switch",
+              "threaded", "full", "speedup");
+  f64 log_sum = 0;
+  for (const Row& r : rows) {
+    std::printf("%-20s %12.6f %12.6f %12.6f %12.6f %9.2fx\n", r.name.c_str(),
+                r.seconds[0], r.seconds[1], r.seconds[2], r.seconds[3],
+                r.speedup());
+    log_sum += std::log(r.speedup());
+  }
+  f64 geomean = std::exp(log_sum / f64(rows.size()));
+  std::printf("\n  => geomean speedup full vs plain-switch executor: %.2fx "
+              "(target >= 1.30x)\n", geomean);
+
+  write_json(out_path, rows, geomean, smoke);
+  return 0;
+}

@@ -16,7 +16,12 @@ namespace {
 constexpr u32 kCacheMagic = 0x4357524D;  // "MRWC"
 // v3: per-function records (shared by whole-module entries and the tiered
 // engine's per-function entries).
-constexpr u32 kCacheVersion = 3;
+// v4: the superinstruction/hoisting opcode space (fused select/load-op/
+// op-store/indexed forms, kMemGuard, raw ops). v3 entries would decode to
+// the wrong opcodes, so the header check rejects them and the engine
+// silently recompiles. RFunc::handlers is derived state and is never
+// serialized; prepare_rfunc() re-resolves it after every load.
+constexpr u32 kCacheVersion = 4;
 
 void write_rfunc(ByteWriter& w, const RFunc& f) {
   w.write_leb_u32(f.num_params);

@@ -1,6 +1,7 @@
 #include "runtime/engine.h"
 
 #include "runtime/cache.h"
+#include "runtime/exec.h"
 #include "runtime/instance.h"
 #include "runtime/lowering.h"
 #include "runtime/optimizer.h"
@@ -23,6 +24,20 @@ const char* tier_name(EngineTier tier) {
 }
 
 namespace {
+
+/// Cache tag for a compiled artifact. The optimizing tier's ablation flags
+/// change the generated code, so they are part of the key — a warm cache
+/// must never serve fused/hoisted code to a run that disabled those passes
+/// (or vice versa). Default flags keep the plain tier name.
+std::string cache_tag(EngineTier tier, bool superinstructions,
+                      bool hoist_bounds) {
+  std::string tag = tier_name(tier);
+  if (tier == EngineTier::kOptimizing) {
+    if (!superinstructions) tag += "-nosuper";
+    if (!hoist_bounds) tag += "-nohoist";
+  }
+  return tag;
+}
 
 /// Canonicalizes structurally equal function types so call_indirect
 /// signature checks are integer comparisons (MPI libraries lean on
@@ -102,7 +117,8 @@ void tier_up(const CompiledModule& cm, u32 defined_index, EngineTier target) {
   }
 
   Stopwatch watch;
-  const char* tag = tier_name(target);
+  const std::string tag = cache_tag(target, ts.opt_superinstructions,
+                                    ts.opt_hoist_bounds);
   std::unique_ptr<RFunc> body;
   bool from_cache = false;
   std::optional<FileSystemCache> cache;
@@ -115,10 +131,17 @@ void tier_up(const CompiledModule& cm, u32 defined_index, EngineTier target) {
   }
   if (!body) {
     body = std::make_unique<RFunc>(lower_function(cm.module, defined_index));
-    if (target == EngineTier::kOptimizing)
-      optimize_function(*body, OptOptions::full());
+    if (target == EngineTier::kOptimizing) {
+      OptOptions opt = OptOptions::full();
+      opt.fuse_super = ts.opt_superinstructions;
+      opt.hoist_bounds = ts.opt_hoist_bounds;
+      optimize_function(*body, opt);
+    }
     if (cache) cache->store_func(cm.hash, defined_index, tag, *body);
   }
+  // Resolve direct-threading handler addresses before anyone can see the
+  // body (handlers are derived state, never serialized to the cache).
+  prepare_rfunc(*body);
 
   // Publish. The superseded body (if any) stays alive: another thread may
   // still be executing it.
@@ -197,6 +220,8 @@ std::shared_ptr<const CompiledModule> compile(std::span<const u8> bytes,
         std::max<u64>(ts.baseline_threshold, cfg.tierup_opt_threshold);
     ts.cache_enabled = cfg.enable_cache;
     ts.cache_dir = cfg.cache_dir;
+    ts.opt_superinstructions = cfg.opt_superinstructions;
+    ts.opt_hoist_bounds = cfg.opt_hoist_bounds;
     for (u32 i = 0; i < ts.num_units; ++i) {
       ts.units[i].state.store(FuncState::kPredecoded,
                               std::memory_order_relaxed);
@@ -207,14 +232,16 @@ std::shared_ptr<const CompiledModule> compile(std::span<const u8> bytes,
     return cm;
   }
 
+  const std::string tag = cache_tag(cfg.tier, cfg.opt_superinstructions,
+                                    cfg.opt_hoist_bounds);
   if (cfg.enable_cache) {
     FileSystemCache cache(cfg.cache_dir);
-    if (auto rm = cache.load(cm->hash, tier_name(cfg.tier))) {
+    if (auto rm = cache.load(cm->hash, tag)) {
       cm->regcode = std::move(*rm);
       cm->loaded_from_cache = true;
+      for (auto& rf : cm->regcode.funcs) prepare_rfunc(rf);
       cm->compile_ms = compile_watch.elapsed_ms();
-      MW_DEBUG("cache hit for " << cm->hash.hex() << " (" << tier_name(cfg.tier)
-                                << ")");
+      MW_DEBUG("cache hit for " << cm->hash.hex() << " (" << tag << ")");
       return cm;
     }
   }
@@ -223,15 +250,22 @@ std::shared_ptr<const CompiledModule> compile(std::span<const u8> bytes,
   if (cfg.tier == EngineTier::kLightOpt) {
     optimize_module(cm->regcode, OptOptions::light());
   } else if (cfg.tier == EngineTier::kOptimizing) {
-    OptStats stats = optimize_module(cm->regcode, OptOptions::full());
+    OptOptions opt = OptOptions::full();
+    opt.fuse_super = cfg.opt_superinstructions;
+    opt.hoist_bounds = cfg.opt_hoist_bounds;
+    OptStats stats = optimize_module(cm->regcode, opt);
     MW_DEBUG("optimizer: " << stats.instrs_before << " -> "
-                           << stats.instrs_after << " instrs");
+                           << stats.instrs_after << " instrs, "
+                           << stats.fused_super << " superinstrs, "
+                           << stats.guards_hoisted << " guards hoisted");
   }
+  // Resolve direct-threading handler addresses once per published body.
+  for (auto& rf : cm->regcode.funcs) prepare_rfunc(rf);
   cm->compile_ms = compile_watch.elapsed_ms();
 
   if (cfg.enable_cache) {
     FileSystemCache cache(cfg.cache_dir);
-    cache.store(cm->hash, tier_name(cfg.tier), cm->regcode);
+    cache.store(cm->hash, tag, cm->regcode);
   }
   return cm;
 }

@@ -65,6 +65,11 @@ struct EngineConfig {
   // `tierup_opt_threshold`. Threshold 1 promotes on the first call.
   u64 tierup_baseline_threshold = 8;
   u64 tierup_opt_threshold = 512;
+  // Optimizing-tier pass toggles (bench/test ablation; both on by default
+  // and applied wherever the full pipeline runs — kOptimizing and tiered
+  // promotions to it).
+  bool opt_superinstructions = true;  // load+op, op+store, select, indexed
+  bool opt_hoist_bounds = true;       // kMemGuard loop versioning + raw ops
 };
 
 /// Raised when a module fails to decode or validate.
@@ -130,6 +135,8 @@ struct TieredState {
   u64 baseline_threshold = 8;
   u64 opt_threshold = 512;
   bool cache_enabled = false;
+  bool opt_superinstructions = true;
+  bool opt_hoist_bounds = true;
   std::string cache_dir;
   std::mutex mu;  // serializes promotion compilation/publication
   TierUpStats stats;

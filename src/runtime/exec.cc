@@ -1,8 +1,10 @@
 #include "runtime/exec.h"
 
+#include <atomic>
 #include <bit>
 #include <cmath>
 #include <cstring>
+#include <mutex>
 
 #include "runtime/arith.h"
 #include "runtime/engine.h"
@@ -12,341 +14,83 @@ namespace mpiwasm::rt {
 
 using namespace arith;
 
-void exec_regcode(Instance& inst, const RFunc& f, Slot* r) {
+namespace {
+
+std::atomic<bool> g_force_switch{false};
+
+// Operand access helpers shared by every HANDLER body (exec_ops.inc).
+#define A r[in.a]
+#define B r[in.b]
+#define C r[in.c]
+#define D r[in.d]
+// Indexed effective address: u32-wrapped base + (index << shift), then the
+// 64-bit static offset — identical wrap behavior to the unfused
+// shl/add/load sequence it replaces.
+#define IXADDR(basefield) \
+  (u64(u32(basefield.u32v + (C.u32v << in.d))) + in.imm)
+#define LOADM(dst_field, T) A.dst_field = mem.load<T>(u64(B.u32v) + in.imm)
+#define STOREM(T, val_field) \
+  mem.store<T>(u64(A.u32v) + in.imm, T(B.val_field))
+#define BIN(field, expr)   \
+  {                        \
+    auto x = B.field;      \
+    auto y = C.field;      \
+    A.field = (expr);      \
+  }
+#define CMP(field, expr)   \
+  {                        \
+    auto x = B.field;      \
+    auto y = C.field;      \
+    A.u32v = (expr) ? 1u : 0u; \
+  }
+#define UN(dfield, sfield, expr) \
+  {                              \
+    auto x = B.sfield;           \
+    (void)x;                     \
+    A.dfield = (expr);           \
+  }
+#define VBIN(T, N, expr)                                              \
+  A.v128v = v128_binop<T, N>(B.v128v, C.v128v,                        \
+                             [](T x, T y) { (void)x; (void)y; return (expr); })
+#define BRCMP(field, expr) \
+  {                        \
+    auto x = A.field;      \
+    auto y = B.field;      \
+    if (expr) JUMP(in.imm); \
+  }
+#define SELCMP(field, expr) \
+  {                         \
+    auto x = C.field;       \
+    auto y = D.field;       \
+    if (!(expr)) A = B;     \
+  }
+
+// ---------------------------------------------------------------------------
+// Portable switch executor (always compiled; the only executor when
+// MPIWASM_SWITCH_DISPATCH is defined).
+// ---------------------------------------------------------------------------
+
+void exec_switch(Instance& inst, const RFunc& f, Slot* r) {
   LinearMemory& mem = inst.memory();
   const RInstr* code = f.code.data();
   const size_t n = f.code.size();
   size_t pc = 0;
 
-// Operand access helpers.
-#define A r[in.a]
-#define B r[in.b]
-#define C r[in.c]
-#define D r[in.d]
-#define LOADM(dst_field, T, addr_field)                          \
-  A.dst_field = mem.load<T>(u64(B.addr_field) + in.imm)
-#define STOREM(T, val_field)                                     \
-  mem.store<T>(u64(A.u32v) + in.imm, T(B.val_field))
-#define BIN(field, expr)                \
-  {                                     \
-    auto x = B.field;                   \
-    auto y = C.field;                   \
-    A.field = (expr);                   \
-  }                                     \
-  break
-#define CMP(field, expr)                \
-  {                                     \
-    auto x = B.field;                   \
-    auto y = C.field;                   \
-    A.u32v = (expr) ? 1u : 0u;          \
-  }                                     \
-  break
-#define UN(dfield, sfield, expr)        \
-  {                                     \
-    auto x = B.sfield;                  \
-    (void)x;                            \
-    A.dfield = (expr);                  \
-  }                                     \
-  break
-#define VBIN(T, N, expr)                                              \
-  A.v128v = v128_binop<T, N>(B.v128v, C.v128v,                        \
-                             [](T x, T y) { (void)x; (void)y; return (expr); }); \
-  break
-#define BRCMP(field, expr)              \
-  {                                     \
-    auto x = A.field;                   \
-    auto y = B.field;                   \
-    if (expr) {                         \
-      pc = size_t(in.imm);              \
-      continue;                         \
-    }                                   \
-  }                                     \
-  break
-
   while (pc < n) {
     const RInstr& in = code[pc];
     switch (in.op) {
-      case ROp::kNop: break;
-      case ROp::kMov: A = B; break;
-      case ROp::kConst: A.u64v = in.imm; break;
-      case ROp::kConstV128: A.v128v = f.v128_pool[in.imm]; break;
-      case ROp::kSelect:
-        if (C.i32v == 0) A = B;
-        break;
-      case ROp::kGlobalGet: A = inst.globals()[in.imm]; break;
-      case ROp::kGlobalSet: inst.globals()[in.imm] = A; break;
-
-      case ROp::kBr: pc = size_t(in.imm); continue;
-      case ROp::kBrIf:
-        if (A.i32v != 0) { pc = size_t(in.imm); continue; }
-        break;
-      case ROp::kBrIfNot:
-        if (A.i32v == 0) { pc = size_t(in.imm); continue; }
-        break;
-      case ROp::kBrTable: {
-        const auto& pool = f.br_pool[in.imm];
-        u32 idx = A.u32v;
-        u32 k = idx < pool.size() - 1 ? idx : u32(pool.size() - 1);
-        pc = pool[k];
-        continue;
-      }
-      case ROp::kReturn:
-        r[0] = A;
-        return;
-      case ROp::kReturnVoid:
-        return;
-      case ROp::kCall:
-        inst.call_function(u32(in.imm), &r[in.a]);
-        break;
-      case ROp::kCallIndirect: {
-        u32 idx = r[in.a + in.b].u32v;
-        const auto& tbl = inst.table();
-        if (idx >= tbl.size() || tbl[idx] == UINT32_MAX)
-          throw Trap(TrapKind::kUndefinedTableElement,
-                     "table index " + std::to_string(idx));
-        u32 fidx = tbl[idx];
-        const CompiledModule& cm = inst.compiled();
-        if (cm.func_canon[fidx] != cm.canon_type_ids[in.imm])
-          throw Trap(TrapKind::kIndirectCallTypeMismatch,
-                     "signature mismatch at table index " + std::to_string(idx));
-        inst.call_function(fidx, &r[in.a]);
-        break;
-      }
-      case ROp::kUnreachable:
-        throw Trap(TrapKind::kUnreachable, "unreachable executed");
-
-      case ROp::kMemorySize: A.u32v = mem.pages(); break;
-      case ROp::kMemoryGrow: A.i32v = mem.grow(A.u32v); break;
-      case ROp::kMemoryCopy: {
-        u64 d = A.u32v, s = B.u32v, cnt = C.u32v;
-        mem.check(d, cnt);
-        mem.check(s, cnt);
-        std::memmove(mem.base() + d, mem.base() + s, size_t(cnt));
-        break;
-      }
-      case ROp::kMemoryFill: {
-        u64 d = A.u32v, cnt = C.u32v;
-        mem.check(d, cnt);
-        std::memset(mem.base() + d, int(B.u32v & 0xFF), size_t(cnt));
-        break;
-      }
-
-      case ROp::kI32Load: LOADM(u32v, u32, u32v); break;
-      case ROp::kI64Load: LOADM(u64v, u64, u32v); break;
-      case ROp::kF32Load: LOADM(f32v, f32, u32v); break;
-      case ROp::kF64Load: LOADM(f64v, f64, u32v); break;
-      case ROp::kI32Load8S: A.i32v = i32(mem.load<i8>(u64(B.u32v) + in.imm)); break;
-      case ROp::kI32Load8U: A.u32v = u32(mem.load<u8>(u64(B.u32v) + in.imm)); break;
-      case ROp::kI32Load16S: A.i32v = i32(mem.load<i16>(u64(B.u32v) + in.imm)); break;
-      case ROp::kI32Load16U: A.u32v = u32(mem.load<u16>(u64(B.u32v) + in.imm)); break;
-      case ROp::kI64Load8S: A.i64v = i64(mem.load<i8>(u64(B.u32v) + in.imm)); break;
-      case ROp::kI64Load8U: A.u64v = u64(mem.load<u8>(u64(B.u32v) + in.imm)); break;
-      case ROp::kI64Load16S: A.i64v = i64(mem.load<i16>(u64(B.u32v) + in.imm)); break;
-      case ROp::kI64Load16U: A.u64v = u64(mem.load<u16>(u64(B.u32v) + in.imm)); break;
-      case ROp::kI64Load32S: A.i64v = i64(mem.load<i32>(u64(B.u32v) + in.imm)); break;
-      case ROp::kI64Load32U: A.u64v = u64(mem.load<u32>(u64(B.u32v) + in.imm)); break;
-      case ROp::kV128Load: A.v128v = mem.load<V128>(u64(B.u32v) + in.imm); break;
-
-      case ROp::kI32Store: STOREM(u32, u32v); break;
-      case ROp::kI64Store: STOREM(u64, u64v); break;
-      case ROp::kF32Store: STOREM(f32, f32v); break;
-      case ROp::kF64Store: STOREM(f64, f64v); break;
-      case ROp::kI32Store8: STOREM(u8, u32v); break;
-      case ROp::kI32Store16: STOREM(u16, u32v); break;
-      case ROp::kI64Store8: STOREM(u8, u64v); break;
-      case ROp::kI64Store16: STOREM(u16, u64v); break;
-      case ROp::kI64Store32: STOREM(u32, u64v); break;
-      case ROp::kV128Store: mem.store<V128>(u64(A.u32v) + in.imm, B.v128v); break;
-
-      case ROp::kI32Eqz: UN(u32v, i32v, x == 0 ? 1u : 0u);
-      case ROp::kI32Eq: CMP(i32v, x == y);
-      case ROp::kI32Ne: CMP(i32v, x != y);
-      case ROp::kI32LtS: CMP(i32v, x < y);
-      case ROp::kI32LtU: CMP(u32v, x < y);
-      case ROp::kI32GtS: CMP(i32v, x > y);
-      case ROp::kI32GtU: CMP(u32v, x > y);
-      case ROp::kI32LeS: CMP(i32v, x <= y);
-      case ROp::kI32LeU: CMP(u32v, x <= y);
-      case ROp::kI32GeS: CMP(i32v, x >= y);
-      case ROp::kI32GeU: CMP(u32v, x >= y);
-      case ROp::kI64Eqz: UN(u32v, i64v, x == 0 ? 1u : 0u);
-      case ROp::kI64Eq: CMP(i64v, x == y);
-      case ROp::kI64Ne: CMP(i64v, x != y);
-      case ROp::kI64LtS: CMP(i64v, x < y);
-      case ROp::kI64LtU: CMP(u64v, x < y);
-      case ROp::kI64GtS: CMP(i64v, x > y);
-      case ROp::kI64GtU: CMP(u64v, x > y);
-      case ROp::kI64LeS: CMP(i64v, x <= y);
-      case ROp::kI64LeU: CMP(u64v, x <= y);
-      case ROp::kI64GeS: CMP(i64v, x >= y);
-      case ROp::kI64GeU: CMP(u64v, x >= y);
-      case ROp::kF32Eq: CMP(f32v, x == y);
-      case ROp::kF32Ne: CMP(f32v, x != y);
-      case ROp::kF32Lt: CMP(f32v, x < y);
-      case ROp::kF32Gt: CMP(f32v, x > y);
-      case ROp::kF32Le: CMP(f32v, x <= y);
-      case ROp::kF32Ge: CMP(f32v, x >= y);
-      case ROp::kF64Eq: CMP(f64v, x == y);
-      case ROp::kF64Ne: CMP(f64v, x != y);
-      case ROp::kF64Lt: CMP(f64v, x < y);
-      case ROp::kF64Gt: CMP(f64v, x > y);
-      case ROp::kF64Le: CMP(f64v, x <= y);
-      case ROp::kF64Ge: CMP(f64v, x >= y);
-
-      case ROp::kI32Clz: UN(u32v, u32v, u32(std::countl_zero(x)));
-      case ROp::kI32Ctz: UN(u32v, u32v, u32(std::countr_zero(x)));
-      case ROp::kI32Popcnt: UN(u32v, u32v, u32(std::popcount(x)));
-      case ROp::kI32Add: BIN(u32v, x + y);
-      case ROp::kI32Sub: BIN(u32v, x - y);
-      case ROp::kI32Mul: BIN(u32v, x * y);
-      case ROp::kI32DivS: BIN(i32v, i32_div_s(x, y));
-      case ROp::kI32DivU: BIN(u32v, i32_div_u(x, y));
-      case ROp::kI32RemS: BIN(i32v, i32_rem_s(x, y));
-      case ROp::kI32RemU: BIN(u32v, i32_rem_u(x, y));
-      case ROp::kI32And: BIN(u32v, x & y);
-      case ROp::kI32Or: BIN(u32v, x | y);
-      case ROp::kI32Xor: BIN(u32v, x ^ y);
-      case ROp::kI32Shl: BIN(u32v, i32_shl(x, y));
-      case ROp::kI32ShrS: BIN(i32v, i32_shr_s(x, u32(y)));
-      case ROp::kI32ShrU: BIN(u32v, i32_shr_u(x, y));
-      case ROp::kI32Rotl: BIN(u32v, i32_rotl(x, y));
-      case ROp::kI32Rotr: BIN(u32v, i32_rotr(x, y));
-      case ROp::kI64Clz: UN(u64v, u64v, u64(std::countl_zero(x)));
-      case ROp::kI64Ctz: UN(u64v, u64v, u64(std::countr_zero(x)));
-      case ROp::kI64Popcnt: UN(u64v, u64v, u64(std::popcount(x)));
-      case ROp::kI64Add: BIN(u64v, x + y);
-      case ROp::kI64Sub: BIN(u64v, x - y);
-      case ROp::kI64Mul: BIN(u64v, x * y);
-      case ROp::kI64DivS: BIN(i64v, i64_div_s(x, y));
-      case ROp::kI64DivU: BIN(u64v, i64_div_u(x, y));
-      case ROp::kI64RemS: BIN(i64v, i64_rem_s(x, y));
-      case ROp::kI64RemU: BIN(u64v, i64_rem_u(x, y));
-      case ROp::kI64And: BIN(u64v, x & y);
-      case ROp::kI64Or: BIN(u64v, x | y);
-      case ROp::kI64Xor: BIN(u64v, x ^ y);
-      case ROp::kI64Shl: BIN(u64v, i64_shl(x, y));
-      case ROp::kI64ShrS: BIN(i64v, i64_shr_s(x, u64(y)));
-      case ROp::kI64ShrU: BIN(u64v, i64_shr_u(x, y));
-      case ROp::kI64Rotl: BIN(u64v, i64_rotl(x, y));
-      case ROp::kI64Rotr: BIN(u64v, i64_rotr(x, y));
-
-      case ROp::kF32Abs: UN(f32v, f32v, std::fabs(x));
-      case ROp::kF32Neg: UN(f32v, f32v, -x);
-      case ROp::kF32Ceil: UN(f32v, f32v, std::ceil(x));
-      case ROp::kF32Floor: UN(f32v, f32v, std::floor(x));
-      case ROp::kF32Trunc: UN(f32v, f32v, std::trunc(x));
-      case ROp::kF32Nearest: UN(f32v, f32v, fnearest(x));
-      case ROp::kF32Sqrt: UN(f32v, f32v, std::sqrt(x));
-      case ROp::kF32Add: BIN(f32v, x + y);
-      case ROp::kF32Sub: BIN(f32v, x - y);
-      case ROp::kF32Mul: BIN(f32v, x * y);
-      case ROp::kF32Div: BIN(f32v, x / y);
-      case ROp::kF32Min: BIN(f32v, fmin_wasm(x, y));
-      case ROp::kF32Max: BIN(f32v, fmax_wasm(x, y));
-      case ROp::kF32Copysign: BIN(f32v, std::copysign(x, y));
-      case ROp::kF64Abs: UN(f64v, f64v, std::fabs(x));
-      case ROp::kF64Neg: UN(f64v, f64v, -x);
-      case ROp::kF64Ceil: UN(f64v, f64v, std::ceil(x));
-      case ROp::kF64Floor: UN(f64v, f64v, std::floor(x));
-      case ROp::kF64Trunc: UN(f64v, f64v, std::trunc(x));
-      case ROp::kF64Nearest: UN(f64v, f64v, fnearest(x));
-      case ROp::kF64Sqrt: UN(f64v, f64v, std::sqrt(x));
-      case ROp::kF64Add: BIN(f64v, x + y);
-      case ROp::kF64Sub: BIN(f64v, x - y);
-      case ROp::kF64Mul: BIN(f64v, x * y);
-      case ROp::kF64Div: BIN(f64v, x / y);
-      case ROp::kF64Min: BIN(f64v, fmin_wasm(x, y));
-      case ROp::kF64Max: BIN(f64v, fmax_wasm(x, y));
-      case ROp::kF64Copysign: BIN(f64v, std::copysign(x, y));
-
-      case ROp::kI32WrapI64: UN(u32v, u64v, u32(x));
-      case ROp::kI32TruncF32S: UN(i32v, f32v, (trunc_checked<i32>(x, "i32.trunc_f32_s")));
-      case ROp::kI32TruncF32U: UN(u32v, f32v, (trunc_checked<u32>(x, "i32.trunc_f32_u")));
-      case ROp::kI32TruncF64S: UN(i32v, f64v, (trunc_checked<i32>(x, "i32.trunc_f64_s")));
-      case ROp::kI32TruncF64U: UN(u32v, f64v, (trunc_checked<u32>(x, "i32.trunc_f64_u")));
-      case ROp::kI64ExtendI32S: UN(i64v, i32v, i64(x));
-      case ROp::kI64ExtendI32U: UN(u64v, u32v, u64(x));
-      case ROp::kI64TruncF32S: UN(i64v, f32v, (trunc_checked<i64>(x, "i64.trunc_f32_s")));
-      case ROp::kI64TruncF32U: UN(u64v, f32v, (trunc_checked<u64>(x, "i64.trunc_f32_u")));
-      case ROp::kI64TruncF64S: UN(i64v, f64v, (trunc_checked<i64>(x, "i64.trunc_f64_s")));
-      case ROp::kI64TruncF64U: UN(u64v, f64v, (trunc_checked<u64>(x, "i64.trunc_f64_u")));
-      case ROp::kF32ConvertI32S: UN(f32v, i32v, f32(x));
-      case ROp::kF32ConvertI32U: UN(f32v, u32v, f32(x));
-      case ROp::kF32ConvertI64S: UN(f32v, i64v, f32(x));
-      case ROp::kF32ConvertI64U: UN(f32v, u64v, f32(x));
-      case ROp::kF32DemoteF64: UN(f32v, f64v, f32(x));
-      case ROp::kF64ConvertI32S: UN(f64v, i32v, f64(x));
-      case ROp::kF64ConvertI32U: UN(f64v, u32v, f64(x));
-      case ROp::kF64ConvertI64S: UN(f64v, i64v, f64(x));
-      case ROp::kF64ConvertI64U: UN(f64v, u64v, f64(x));
-      case ROp::kF64PromoteF32: UN(f64v, f32v, f64(x));
-      case ROp::kI32ReinterpretF32:
-      case ROp::kI64ReinterpretF64:
-      case ROp::kF32ReinterpretI32:
-      case ROp::kF64ReinterpretI64:
-        A = B;  // same bit pattern, different typed view
-        break;
-      case ROp::kI32Extend8S: UN(i32v, i32v, i32(i8(x)));
-      case ROp::kI32Extend16S: UN(i32v, i32v, i32(i16(x)));
-      case ROp::kI64Extend8S: UN(i64v, i64v, i64(i8(x)));
-      case ROp::kI64Extend16S: UN(i64v, i64v, i64(i16(x)));
-      case ROp::kI64Extend32S: UN(i64v, i64v, i64(i32(x)));
-
-      case ROp::kI8x16Splat: A.v128v = V128::splat<u8>(u8(B.u32v)); break;
-      case ROp::kI32x4Splat: A.v128v = V128::splat<u32>(B.u32v); break;
-      case ROp::kI64x2Splat: A.v128v = V128::splat<u64>(B.u64v); break;
-      case ROp::kF32x4Splat: A.v128v = V128::splat<f32>(B.f32v); break;
-      case ROp::kF64x2Splat: A.v128v = V128::splat<f64>(B.f64v); break;
-      case ROp::kI32x4ExtractLane:
-        A.u32v = B.v128v.lane<u32, 4>(int(in.imm));
-        break;
-      case ROp::kI64x2ExtractLane:
-        A.u64v = B.v128v.lane<u64, 2>(int(in.imm));
-        break;
-      case ROp::kF32x4ExtractLane:
-        A.f32v = B.v128v.lane<f32, 4>(int(in.imm));
-        break;
-      case ROp::kF64x2ExtractLane:
-        A.f64v = B.v128v.lane<f64, 2>(int(in.imm));
-        break;
-      case ROp::kI8x16Eq: A.v128v = i8x16_eq(B.v128v, C.v128v); break;
-      case ROp::kV128Not: A.v128v = v128_not(B.v128v); break;
-      case ROp::kV128And: A.v128v = v128_bitop_and(B.v128v, C.v128v); break;
-      case ROp::kV128Or: A.v128v = v128_bitop_or(B.v128v, C.v128v); break;
-      case ROp::kV128Xor: A.v128v = v128_bitop_xor(B.v128v, C.v128v); break;
-      case ROp::kV128AnyTrue: A.u32v = u32(v128_any_true(B.v128v)); break;
-      case ROp::kI32x4Add: VBIN(u32, 4, x + y);
-      case ROp::kI32x4Sub: VBIN(u32, 4, x - y);
-      case ROp::kI32x4Mul: VBIN(u32, 4, x * y);
-      case ROp::kI64x2Add: VBIN(u64, 2, x + y);
-      case ROp::kI64x2Sub: VBIN(u64, 2, x - y);
-      case ROp::kF32x4Add: VBIN(f32, 4, x + y);
-      case ROp::kF32x4Sub: VBIN(f32, 4, x - y);
-      case ROp::kF32x4Mul: VBIN(f32, 4, x * y);
-      case ROp::kF32x4Div: VBIN(f32, 4, x / y);
-      case ROp::kF64x2Add: VBIN(f64, 2, x + y);
-      case ROp::kF64x2Sub: VBIN(f64, 2, x - y);
-      case ROp::kF64x2Mul: VBIN(f64, 2, x * y);
-      case ROp::kF64x2Div: VBIN(f64, 2, x / y);
-
-      case ROp::kI32AddImm: A.u32v = B.u32v + u32(in.imm); break;
-      case ROp::kI64AddImm: A.u64v = B.u64v + in.imm; break;
-      case ROp::kI32ShlImm: A.u32v = i32_shl(B.u32v, u32(in.imm)); break;
-      case ROp::kI32ShrUImm: A.u32v = i32_shr_u(B.u32v, u32(in.imm)); break;
-      case ROp::kI32AndImm: A.u32v = B.u32v & u32(in.imm); break;
-      case ROp::kI32MulImm: A.u32v = B.u32v * u32(in.imm); break;
-      case ROp::kBrIfI32Eq: BRCMP(i32v, x == y);
-      case ROp::kBrIfI32Ne: BRCMP(i32v, x != y);
-      case ROp::kBrIfI32LtS: BRCMP(i32v, x < y);
-      case ROp::kBrIfI32LtU: BRCMP(u32v, x < y);
-      case ROp::kBrIfI32GtS: BRCMP(i32v, x > y);
-      case ROp::kBrIfI32GtU: BRCMP(u32v, x > y);
-      case ROp::kBrIfI32LeS: BRCMP(i32v, x <= y);
-      case ROp::kBrIfI32LeU: BRCMP(u32v, x <= y);
-      case ROp::kBrIfI32GeS: BRCMP(i32v, x >= y);
-      case ROp::kBrIfI32GeU: BRCMP(u32v, x >= y);
-      case ROp::kF64MulAdd: A.f64v = B.f64v * C.f64v + D.f64v; break;
-
+#define HANDLER(name, ...) \
+  case ROp::k##name: {     \
+    __VA_ARGS__            \
+  } break;
+#define JUMP(t)        \
+  {                    \
+    pc = size_t(t);    \
+    continue;          \
+  }
+#include "runtime/exec_ops.inc"
+#undef HANDLER
+#undef JUMP
       case ROp::kCount:
         fatal("invalid ROp in executor");
     }
@@ -358,10 +102,140 @@ void exec_regcode(Instance& inst, const RFunc& f, Slot* r) {
   fatal("regcode executor fell off function end");
 }
 
+// ---------------------------------------------------------------------------
+// Direct-threaded executor (computed goto). The same translation unit is
+// entered once with r == nullptr to capture the handler labels into
+// g_handler_table; after that, prepared RFuncs carry one resolved handler
+// address per instruction and dispatch is a single indirect goto.
+// ---------------------------------------------------------------------------
+
+#if MPIWASM_DISPATCH_THREADED
+
+const void* g_handler_table[size_t(ROp::kCount)];
+
+void exec_threaded(Instance* instp, const RFunc* fp, Slot* r) {
+  if (r == nullptr) {  // handler-address capture call (once per process)
+#define HANDLER(name, ...) \
+  g_handler_table[size_t(ROp::k##name)] = &&threaded_##name;
+#define JUMP(t)
+#include "runtime/exec_ops.inc"
+#undef HANDLER
+#undef JUMP
+    return;
+  }
+
+  Instance& inst = *instp;
+  const RFunc& f = *fp;
+  LinearMemory& mem = inst.memory();
+  const RInstr* code = f.code.data();
+  const void* const* handlers = f.handlers.data();
+  size_t pc = 0;
+
+#define DISPATCH() goto* handlers[pc]
+#define JUMP(t)       \
+  {                   \
+    pc = size_t(t);   \
+    DISPATCH();       \
+  }
+#define HANDLER(name, ...)            \
+  threaded_##name : {                 \
+    const RInstr& in = code[pc];      \
+    (void)in;                         \
+    {                                 \
+      __VA_ARGS__                     \
+    }                                 \
+  }                                   \
+  ++pc;                               \
+  DISPATCH();
+
+  DISPATCH();
+#include "runtime/exec_ops.inc"
+#undef HANDLER
+#undef JUMP
+#undef DISPATCH
+  fatal("threaded executor fell through");  // unreachable
+}
+
+const void* const* handler_table() {
+  static std::once_flag once;
+  std::call_once(once, [] { exec_threaded(nullptr, nullptr, nullptr); });
+  return g_handler_table;
+}
+
+/// The goto loop has no pc bound check, so only accept code where control
+/// can never leave [0, n): a terminator at the end and every branch target
+/// in range. The optimizer and lowering always satisfy this; hand-built
+/// test bodies that do not simply keep using the switch loop.
+bool threadable(const RFunc& f) {
+  const size_t n = f.code.size();
+  if (n == 0) return false;
+  ROp last = f.code[n - 1].op;
+  if (last != ROp::kBr && last != ROp::kReturn && last != ROp::kReturnVoid &&
+      last != ROp::kUnreachable && last != ROp::kBrTable)
+    return false;
+  if (last == ROp::kBrTable && f.br_pool.empty()) return false;
+  for (const RInstr& in : f.code) {
+    switch (in.op) {
+      case ROp::kBr: case ROp::kBrIf: case ROp::kBrIfNot:
+      case ROp::kBrIfI32Eq: case ROp::kBrIfI32Ne: case ROp::kBrIfI32LtS:
+      case ROp::kBrIfI32LtU: case ROp::kBrIfI32GtS: case ROp::kBrIfI32GtU:
+      case ROp::kBrIfI32LeS: case ROp::kBrIfI32LeU: case ROp::kBrIfI32GeS:
+      case ROp::kBrIfI32GeU:
+        if (in.imm >= n) return false;
+        break;
+      case ROp::kBrTable:
+        if (in.imm >= f.br_pool.size()) return false;
+        for (u32 t : f.br_pool[in.imm])
+          if (t >= n) return false;
+        break;
+      default:
+        break;
+    }
+  }
+  return true;
+}
+
+#endif  // MPIWASM_DISPATCH_THREADED
+
+}  // namespace
+
+void prepare_rfunc(RFunc& f) {
+#if MPIWASM_DISPATCH_THREADED
+  if (!threadable(f)) {
+    f.handlers.clear();
+    return;
+  }
+  const void* const* table = handler_table();
+  f.handlers.resize(f.code.size());
+  for (size_t i = 0; i < f.code.size(); ++i)
+    f.handlers[i] = table[size_t(f.code[i].op)];
+#else
+  f.handlers.clear();
+#endif
+}
+
+bool threaded_dispatch_compiled() { return MPIWASM_DISPATCH_THREADED != 0; }
+
+void set_dispatch_force_switch(bool on) {
+  g_force_switch.store(on, std::memory_order_relaxed);
+}
+
+void exec_regcode(Instance& inst, const RFunc& f, Slot* r) {
+#if MPIWASM_DISPATCH_THREADED
+  if (!f.handlers.empty() &&
+      !g_force_switch.load(std::memory_order_relaxed)) {
+    exec_threaded(&inst, &f, r);
+    return;
+  }
+#endif
+  exec_switch(inst, f, r);
+}
+
 #undef A
 #undef B
 #undef C
 #undef D
+#undef IXADDR
 #undef LOADM
 #undef STOREM
 #undef BIN
@@ -369,5 +243,6 @@ void exec_regcode(Instance& inst, const RFunc& f, Slot* r) {
 #undef UN
 #undef VBIN
 #undef BRCMP
+#undef SELCMP
 
 }  // namespace mpiwasm::rt

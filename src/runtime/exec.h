@@ -1,9 +1,28 @@
 // RegCode dispatch-loop executor shared by the Baseline and Optimizing
 // tiers (they differ only in the code they feed it).
+//
+// Two dispatch strategies over the same handler bodies (exec_ops.inc):
+//   - direct threading: computed-goto, one indirect jump per instruction,
+//     with handler addresses resolved once per RFunc at publication time
+//     (prepare_rfunc) instead of per dispatch. Default on GCC/Clang.
+//   - portable switch loop: always compiled, used when a body has no
+//     resolved handlers, when forced via set_dispatch_force_switch(), or
+//     when the build defines MPIWASM_SWITCH_DISPATCH (CMake option
+//     MPIWASM_THREADED_DISPATCH=OFF), e.g. for compilers without
+//     labels-as-values.
 #pragma once
 
 #include "runtime/regcode.h"
 #include "runtime/value.h"
+
+// MPIWASM_DISPATCH_THREADED: 1 when the computed-goto executor is compiled
+// in. Requires the GNU labels-as-values extension; opt out with
+// -DMPIWASM_SWITCH_DISPATCH.
+#if !defined(MPIWASM_SWITCH_DISPATCH) && (defined(__GNUC__) || defined(__clang__))
+#define MPIWASM_DISPATCH_THREADED 1
+#else
+#define MPIWASM_DISPATCH_THREADED 0
+#endif
 
 namespace mpiwasm::rt {
 
@@ -13,5 +32,20 @@ class Instance;
 /// pre-initialized, params placed by the caller). On return, the function
 /// result (if any) is in regs[0].
 void exec_regcode(Instance& inst, const RFunc& f, Slot* regs);
+
+/// Resolves `f.handlers` (per-instruction direct-threading addresses).
+/// Called once per function at publication time — engine compile() for the
+/// static tiers, tier_up() for tiered promotions. No-op in switch-dispatch
+/// builds. Leaves `handlers` empty (switch fallback) if the code fails the
+/// structural sanity checks the goto loop relies on (terminator at the
+/// end, all branch targets in range).
+void prepare_rfunc(RFunc& f);
+
+/// True when this build contains the computed-goto executor.
+bool threaded_dispatch_compiled();
+
+/// Bench/test hook: route every exec_regcode call through the portable
+/// switch loop even when threaded handlers are resolved. Global, sticky.
+void set_dispatch_force_switch(bool on);
 
 }  // namespace mpiwasm::rt

@@ -164,6 +164,22 @@ ROp lane_rop(Op op) {
   }
 }
 
+/// Binops the lowerer can fuse with an immediately preceding constant into
+/// an *Imm form at emission time — one instruction instead of two on every
+/// tier, including Baseline (the optimizer would only recover this at the
+/// Optimizing tier).
+ROp lowering_imm_fused(Op op) {
+  switch (op) {
+    case Op::kI32Add: return ROp::kI32AddImm;
+    case Op::kI64Add: return ROp::kI64AddImm;
+    case Op::kI32Shl: return ROp::kI32ShlImm;
+    case Op::kI32ShrU: return ROp::kI32ShrUImm;
+    case Op::kI32And: return ROp::kI32AndImm;
+    case Op::kI32Mul: return ROp::kI32MulImm;
+    default: return ROp::kCount;
+  }
+}
+
 class FuncLowering {
  public:
   FuncLowering(const wasm::Module& m, u32 defined_index)
@@ -262,10 +278,15 @@ class FuncLowering {
   u32 h_ = 0;
   u32 max_h_ = 0;
   bool live_ = true;
+  // Index of a kConst emitted by the immediately preceding step (SIZE_MAX
+  // otherwise); enables const+binop / const+local.set fusion at emission.
+  size_t pending_const_ = SIZE_MAX;
   std::vector<Frame> frames_;
 };
 
 void FuncLowering::step(const InstrView& in) {
+  const size_t pending_const = pending_const_;
+  pending_const_ = SIZE_MAX;
   // Dead-code handling: after br/return/unreachable the validator allows
   // stack-polymorphic code; we skip emission but keep frame bookkeeping.
   if (!live_) {
@@ -443,6 +464,13 @@ void FuncLowering::step(const InstrView& in) {
       push();
       break;
     case Op::kLocalSet:
+      // const t ; local.set x  -->  const straight into x.
+      if (pending_const == out_.code.size() - 1 &&
+          out_.code.back().op == ROp::kConst && out_.code.back().a == top()) {
+        out_.code.back().a = in.idx();
+        pop();
+        break;
+      }
       emit(ROp::kMov, in.idx(), top());
       pop();
       break;
@@ -479,18 +507,22 @@ void FuncLowering::step(const InstrView& in) {
     case Op::kI32Const:
       emit(ROp::kConst, reg(h_), 0, 0, u64(u32(i32(in.imm_i))));
       push();
+      pending_const_ = out_.code.size() - 1;
       break;
     case Op::kI64Const:
       emit(ROp::kConst, reg(h_), 0, 0, u64(in.imm_i));
       push();
+      pending_const_ = out_.code.size() - 1;
       break;
     case Op::kF32Const:
       emit(ROp::kConst, reg(h_), 0, 0, u64(std::bit_cast<u32>(in.imm_f32)));
       push();
+      pending_const_ = out_.code.size() - 1;
       break;
     case Op::kF64Const:
       emit(ROp::kConst, reg(h_), 0, 0, std::bit_cast<u64>(in.imm_f64));
       push();
+      pending_const_ = out_.code.size() - 1;
       break;
     case Op::kV128Const: {
       u32 pool = u32(out_.v128_pool.size());
@@ -522,6 +554,16 @@ void FuncLowering::step(const InstrView& in) {
       } else {
         u32 rhs = top(), lhs = reg(h_ - 2);
         pop();
+        // const t ; binop  -->  binop_imm, when the constant was emitted by
+        // the immediately preceding step and feeds only this operand.
+        if (pending_const == out_.code.size() - 1 &&
+            out_.code.back().op == ROp::kConst && out_.code.back().a == rhs) {
+          if (ROp fop = lowering_imm_fused(in.op); fop != ROp::kCount) {
+            u64 imm = out_.code.back().imm;
+            out_.code.back() = RInstr{fop, lhs, lhs, 0, 0, imm};
+            break;
+          }
+        }
         emit(r, lhs, lhs, rhs);
       }
       break;

@@ -38,7 +38,8 @@ LinearMemory::LinearMemory(LinearMemory&& o) noexcept
     : base_(o.base_),
       reserved_bytes_(o.reserved_bytes_),
       pages_(o.pages_),
-      max_pages_(o.max_pages_) {
+      max_pages_(o.max_pages_),
+      generation_(o.generation_) {
   o.base_ = nullptr;
   o.reserved_bytes_ = 0;
   o.pages_ = 0;
@@ -51,6 +52,7 @@ LinearMemory& LinearMemory::operator=(LinearMemory&& o) noexcept {
     reserved_bytes_ = o.reserved_bytes_;
     pages_ = o.pages_;
     max_pages_ = o.max_pages_;
+    generation_ = o.generation_;
     o.base_ = nullptr;
     o.reserved_bytes_ = 0;
     o.pages_ = 0;
@@ -63,6 +65,7 @@ i32 LinearMemory::grow(u32 delta_pages) {
   if (target > max_pages_) return -1;
   u32 prev = pages_;
   pages_ = u32(target);
+  ++generation_;
   return i32(prev);
 }
 

@@ -73,6 +73,28 @@ class LinearMemory {
     std::memcpy(base_ + addr, &v, sizeof(T));
   }
 
+  // --- Raw-base fast path -------------------------------------------------
+  // Unchecked accesses used by the k*Raw executor ops. Every raw access is
+  // dominated by a passing kMemGuard that proved the whole iteration space
+  // in-bounds against byte_size(), so no per-access check is needed. The
+  // executor may cache base() for a whole frame: the reservation never
+  // moves, and memory.grow only ever *extends* the valid range, so a guard
+  // proved against a smaller byte_size() stays sufficient. grow() still
+  // bumps generation() so callers holding a derived raw window (e.g. the
+  // embedder's zero-copy spans) can detect growth and re-derive.
+  template <typename T>
+  T load_raw(u64 addr) const {
+    T v;
+    std::memcpy(&v, base_ + addr, sizeof(T));
+    return v;
+  }
+  template <typename T>
+  void store_raw(u64 addr, T v) {
+    std::memcpy(base_ + addr, &v, sizeof(T));
+  }
+  /// Monotonic counter bumped by every successful memory.grow.
+  u64 generation() const { return generation_; }
+
  private:
   void release();
 
@@ -80,6 +102,7 @@ class LinearMemory {
   u64 reserved_bytes_ = 0;
   u32 pages_ = 0;
   u32 max_pages_ = 0;
+  u64 generation_ = 0;
 };
 
 }  // namespace mpiwasm::rt

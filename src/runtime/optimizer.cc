@@ -1,6 +1,7 @@
 #include "runtime/optimizer.h"
 
 #include <algorithm>
+#include <bit>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -28,9 +29,23 @@ bool is_terminator(ROp op) {
          op == ROp::kReturnVoid || op == ROp::kUnreachable;
 }
 
+/// The fused compare-and-select family (contiguous in the enum). These ops
+/// read a/b/c/d and write a (a is both the "true" value and the dest), so
+/// several predicates below special-case them as a group.
+bool is_fused_select(ROp op) {
+  return op >= ROp::kSelectI32Eq && op <= ROp::kSelectF64Gt;
+}
+
 /// Register reads of an instruction (calls handled by callers).
 void collect_reads(const RInstr& in, std::vector<u32>& out) {
   out.clear();
+  // Fused selects read the destination (the "true" value), the "false"
+  // value, and both compare operands.
+  if (is_fused_select(in.op)) {
+    out.push_back(in.a); out.push_back(in.b);
+    out.push_back(in.c); out.push_back(in.d);
+    return;
+  }
   switch (in.op) {
     case ROp::kNop: case ROp::kConst: case ROp::kConstV128:
     case ROp::kGlobalGet: case ROp::kBr: case ROp::kReturnVoid:
@@ -61,27 +76,52 @@ void collect_reads(const RInstr& in, std::vector<u32>& out) {
     case ROp::kBrIfI32GeU:
       out.push_back(in.a); out.push_back(in.b);
       break;
-    case ROp::kF64MulAdd:
+    case ROp::kF64MulAdd: case ROp::kF32MulAdd:
       out.push_back(in.b); out.push_back(in.c); out.push_back(in.d);
       break;
     case ROp::kI32AddImm: case ROp::kI64AddImm: case ROp::kI32ShlImm:
     case ROp::kI32ShrUImm: case ROp::kI32AndImm: case ROp::kI32MulImm:
       out.push_back(in.b);
       break;
-    // Loads read the address in b.
+    case ROp::kMemGuard:
+      out.push_back(in.b); out.push_back(in.c);
+      break;
+    // Loads read the address in b; load+op additionally reads c; indexed
+    // loads read base (b) and index (c), d is the shift amount.
     case ROp::kI32Load: case ROp::kI64Load: case ROp::kF32Load:
     case ROp::kF64Load: case ROp::kI32Load8S: case ROp::kI32Load8U:
     case ROp::kI32Load16S: case ROp::kI32Load16U: case ROp::kI64Load8S:
     case ROp::kI64Load8U: case ROp::kI64Load16S: case ROp::kI64Load16U:
     case ROp::kI64Load32S: case ROp::kI64Load32U: case ROp::kV128Load:
+    case ROp::kI32LoadRaw: case ROp::kI64LoadRaw: case ROp::kF32LoadRaw:
+    case ROp::kF64LoadRaw: case ROp::kV128LoadRaw:
       out.push_back(in.b);
       break;
-    // Stores read address (a) and value (b).
+    case ROp::kI32LoadAdd: case ROp::kI64LoadAdd: case ROp::kF32LoadAdd:
+    case ROp::kF64LoadAdd: case ROp::kF32LoadMul: case ROp::kF64LoadMul:
+    case ROp::kI32LoadIx: case ROp::kI64LoadIx: case ROp::kF32LoadIx:
+    case ROp::kF64LoadIx:
+    case ROp::kI32LoadIxRaw: case ROp::kI64LoadIxRaw: case ROp::kF32LoadIxRaw:
+    case ROp::kF64LoadIxRaw:
+      out.push_back(in.b); out.push_back(in.c);
+      break;
+    // Stores read address (a) and value (b); op+store and indexed stores
+    // additionally read c.
     case ROp::kI32Store: case ROp::kI64Store: case ROp::kF32Store:
     case ROp::kF64Store: case ROp::kI32Store8: case ROp::kI32Store16:
     case ROp::kI64Store8: case ROp::kI64Store16: case ROp::kI64Store32:
     case ROp::kV128Store:
+    case ROp::kI32StoreRaw: case ROp::kI64StoreRaw: case ROp::kF32StoreRaw:
+    case ROp::kF64StoreRaw: case ROp::kV128StoreRaw:
       out.push_back(in.a); out.push_back(in.b);
+      break;
+    case ROp::kI32AddStore: case ROp::kF32AddStore: case ROp::kF64AddStore:
+    case ROp::kF64MulStore:
+    case ROp::kI32StoreIx: case ROp::kI64StoreIx: case ROp::kF32StoreIx:
+    case ROp::kF64StoreIx:
+    case ROp::kI32StoreIxRaw: case ROp::kI64StoreIxRaw: case ROp::kF32StoreIxRaw:
+    case ROp::kF64StoreIxRaw:
+      out.push_back(in.a); out.push_back(in.b); out.push_back(in.c);
       break;
     default:
       // Numeric ops: unops read b; binops read b and c. We conservatively
@@ -102,6 +142,14 @@ bool writes_dest(const RInstr& in) {
     case ROp::kF64Store: case ROp::kI32Store8: case ROp::kI32Store16:
     case ROp::kI64Store8: case ROp::kI64Store16: case ROp::kI64Store32:
     case ROp::kV128Store:
+    case ROp::kI32StoreRaw: case ROp::kI64StoreRaw: case ROp::kF32StoreRaw:
+    case ROp::kF64StoreRaw: case ROp::kV128StoreRaw:
+    case ROp::kI32AddStore: case ROp::kF32AddStore: case ROp::kF64AddStore:
+    case ROp::kF64MulStore:
+    case ROp::kI32StoreIx: case ROp::kI64StoreIx: case ROp::kF32StoreIx:
+    case ROp::kF64StoreIx:
+    case ROp::kI32StoreIxRaw: case ROp::kI64StoreIxRaw: case ROp::kF32StoreIxRaw:
+    case ROp::kF64StoreIxRaw:
     case ROp::kBrIfI32Eq: case ROp::kBrIfI32Ne: case ROp::kBrIfI32LtS:
     case ROp::kBrIfI32LtU: case ROp::kBrIfI32GtS: case ROp::kBrIfI32GtU:
     case ROp::kBrIfI32LeS: case ROp::kBrIfI32LeU: case ROp::kBrIfI32GeS:
@@ -112,9 +160,16 @@ bool writes_dest(const RInstr& in) {
   }
 }
 
+/// Ops whose d field names a register (not a shift amount / flag word).
+bool reads_d_reg(ROp op) {
+  return op == ROp::kF64MulAdd || op == ROp::kF32MulAdd ||
+         is_fused_select(op);
+}
+
 /// Instructions that may be removed when their destination is dead: no
 /// traps, no control flow, no stores/calls/global writes.
 bool is_pure(ROp op) {
+  if (is_fused_select(op)) return true;
   switch (op) {
     case ROp::kMov: case ROp::kConst: case ROp::kConstV128: case ROp::kSelect:
     case ROp::kGlobalGet:
@@ -167,7 +222,13 @@ bool is_pure(ROp op) {
     case ROp::kF64x2Div:
     case ROp::kI32AddImm: case ROp::kI64AddImm: case ROp::kI32ShlImm:
     case ROp::kI32ShrUImm: case ROp::kI32AndImm: case ROp::kI32MulImm:
-    case ROp::kF64MulAdd:
+    case ROp::kF64MulAdd: case ROp::kF32MulAdd:
+    // Raw loads sit behind a passing kMemGuard and cannot trap, so a dead
+    // one is removable.
+    case ROp::kI32LoadRaw: case ROp::kI64LoadRaw: case ROp::kF32LoadRaw:
+    case ROp::kF64LoadRaw: case ROp::kV128LoadRaw:
+    case ROp::kI32LoadIxRaw: case ROp::kI64LoadIxRaw: case ROp::kF32LoadIxRaw:
+    case ROp::kF64LoadIxRaw:
       return true;
     default:
       return false;  // div/rem/trunc trap; loads trap; calls/stores effect
@@ -270,6 +331,21 @@ std::optional<u64> fold_binop(ROp op, u64 x, u64 y) {
   }
 }
 
+/// Folds an *Imm op whose register operand is itself a known constant
+/// (arises when lowering already emitted the fused form).
+std::optional<u64> fold_immop(ROp op, u64 x, u64 imm) {
+  using namespace arith;
+  switch (op) {
+    case ROp::kI32AddImm: return u64(u32(u32(x) + u32(imm)));
+    case ROp::kI64AddImm: return x + imm;
+    case ROp::kI32ShlImm: return u64(i32_shl(u32(x), u32(imm)));
+    case ROp::kI32ShrUImm: return u64(i32_shr_u(u32(x), u32(imm)));
+    case ROp::kI32AndImm: return u64(u32(x) & u32(imm));
+    case ROp::kI32MulImm: return u64(u32(u32(x) * u32(imm)));
+    default: return std::nullopt;
+  }
+}
+
 struct ImmFusion {
   ROp fused;
   bool commutative;
@@ -323,6 +399,14 @@ u32 local_forward_pass(RFunc& f, const Cfg& cfg) {
           if (resolve(in.c) != in.c) { in.c = resolve(in.c); ++changes; }
           break;
         default: {
+          // Like kSelect, fused selects have a as both source and dest;
+          // only b/c/d are rewritable.
+          if (is_fused_select(in.op)) {
+            if (resolve(in.b) != in.b) { in.b = resolve(in.b); ++changes; }
+            if (resolve(in.c) != in.c) { in.c = resolve(in.c); ++changes; }
+            if (resolve(in.d) != in.d) { in.d = resolve(in.d); ++changes; }
+            break;
+          }
           collect_reads(in, reads);
           bool dest_written = writes_dest(in);
           for (u32 r : reads) {
@@ -330,7 +414,7 @@ u32 local_forward_pass(RFunc& f, const Cfg& cfg) {
             if (rr == r) continue;
             // Rewrite matching operand fields (careful: dest alias in.a).
             if (!dest_written && in.a == r) { in.a = rr; ++changes; }
-            if (in.op == ROp::kF64MulAdd) {
+            if (reads_d_reg(in.op)) {
               if (in.b == r) { in.b = rr; ++changes; }
               if (in.c == r) { in.c = rr; ++changes; }
               if (in.d == r) { in.d = rr; ++changes; }
@@ -371,6 +455,22 @@ u32 local_forward_pass(RFunc& f, const Cfg& cfg) {
         if (in.op == ROp::kMov && const_of.count(in.b)) {
           in = RInstr{ROp::kConst, in.a, 0, 0, 0, const_of[in.b]};
           ++changes;
+        }
+        if (const_of.count(in.b)) {
+          if (auto v = fold_immop(in.op, const_of[in.b], in.imm)) {
+            in = RInstr{ROp::kConst, in.a, 0, 0, 0, *v};
+            ++changes;
+          }
+        }
+        // Strength reduction: mul by a power of two becomes a shift (also
+        // the shape the indexed-address fusion matches on).
+        if (in.op == ROp::kI32MulImm) {
+          u32 m = u32(in.imm);
+          if (m != 0 && (m & (m - 1)) == 0) {
+            in.op = ROp::kI32ShlImm;
+            in.imm = u64(std::countr_zero(m));
+            ++changes;
+          }
         }
       }
       // Update maps.
@@ -458,6 +558,20 @@ Liveness compute_liveness(const RFunc& f, const Cfg& cfg) {
 
 // ---- Pass 3: peephole fusion ----------------------------------------------
 
+/// Ops whose a field is a pure destination that can be renamed: excludes
+/// ops that read r[a] (select family, memory.grow) and the calls, whose a
+/// anchors the contiguous argument window.
+bool dest_retargetable(ROp op) {
+  if (!writes_dest(RInstr{op}) || is_fused_select(op)) return false;
+  switch (op) {
+    case ROp::kSelect: case ROp::kMemoryGrow:
+    case ROp::kCall: case ROp::kCallIndirect:
+      return false;
+    default:
+      return true;
+  }
+}
+
 u32 peephole_pass(RFunc& f, const Cfg& cfg, const Liveness& lv) {
   u32 changes = 0;
   const size_t n = f.code.size();
@@ -465,6 +579,15 @@ u32 peephole_pass(RFunc& f, const Cfg& cfg, const Liveness& lv) {
     for (size_t i = cfg.block_start(b); i + 1 < cfg.block_end(b, n); ++i) {
       RInstr& a = f.code[i];
       RInstr& next = f.code[i + 1];
+      // op t <- ... ; mov d, t  -->  op d <- ...   (t dead after the mov;
+      // both in one block, so nothing can branch between them)
+      if (next.op == ROp::kMov && next.b == a.a && next.a != a.a &&
+          dest_retargetable(a.op) && !lv.live_after(i + 1, a.a)) {
+        a.a = next.a;
+        next = RInstr{ROp::kNop};
+        ++changes;
+        continue;
+      }
       // cmp t <- x, y ; br_if t  -->  br_if_cmp x, y   (t dead after br_if)
       if ((next.op == ROp::kBrIf || next.op == ROp::kBrIfNot) &&
           next.a == a.a && writes_dest(a) && !lv.live_after(i + 1, a.a)) {
@@ -484,17 +607,203 @@ u32 peephole_pass(RFunc& f, const Cfg& cfg, const Liveness& lv) {
         }
       }
       // f64.mul t <- x, y ; f64.add d <- t, z  -->  fma d <- x, y, z
-      // Legal when the mul's value dies at the add: either the add
-      // overwrites t, or t is not live past the add.
-      if (a.op == ROp::kF64Mul && next.op == ROp::kF64Add &&
+      // (and the f32 twin). Legal when the mul's value dies at the add:
+      // either the add overwrites t, or t is not live past the add.
+      bool is_f64_ma = a.op == ROp::kF64Mul && next.op == ROp::kF64Add;
+      bool is_f32_ma = a.op == ROp::kF32Mul && next.op == ROp::kF32Add;
+      if ((is_f64_ma || is_f32_ma) &&
           (next.a == a.a || !lv.live_after(i + 1, a.a))) {
+        ROp fma = is_f64_ma ? ROp::kF64MulAdd : ROp::kF32MulAdd;
         u32 t = a.a;
         if (next.b == t && next.c != t) {
-          next = RInstr{ROp::kF64MulAdd, next.a, a.b, a.c, next.c, 0};
+          next = RInstr{fma, next.a, a.b, a.c, next.c, 0};
           a = RInstr{ROp::kNop};
           ++changes;
         } else if (next.c == t && next.b != t) {
-          next = RInstr{ROp::kF64MulAdd, next.a, a.b, a.c, next.b, 0};
+          next = RInstr{fma, next.a, a.b, a.c, next.b, 0};
+          a = RInstr{ROp::kNop};
+          ++changes;
+        }
+      }
+    }
+  }
+  return changes;
+}
+
+// ---- Pass 4: superinstruction fusion ---------------------------------------
+//
+// Collapses common adjacent def-use chains into a single dispatch each.
+// Every rewrite deletes the producing instruction(s) entirely, so the fused
+// instruction reads its register operands with exactly the values the
+// deleted producers saw; the liveness preconditions guarantee nothing else
+// observed the deleted temporaries.
+
+std::optional<ROp> fused_select(ROp cmp) {
+  switch (cmp) {
+    case ROp::kI32Eq: return ROp::kSelectI32Eq;
+    case ROp::kI32Ne: return ROp::kSelectI32Ne;
+    case ROp::kI32LtS: return ROp::kSelectI32LtS;
+    case ROp::kI32LtU: return ROp::kSelectI32LtU;
+    case ROp::kI32GtS: return ROp::kSelectI32GtS;
+    case ROp::kI32GtU: return ROp::kSelectI32GtU;
+    case ROp::kF64Lt: return ROp::kSelectF64Lt;
+    case ROp::kF64Gt: return ROp::kSelectF64Gt;
+    default: return std::nullopt;
+  }
+}
+
+/// load t <- [addr]; op d <- x, t  -->  load_op d <- [addr], x
+struct LoadOpFusion {
+  ROp load, op, fused;
+};
+constexpr LoadOpFusion kLoadOpTable[] = {
+    {ROp::kI32Load, ROp::kI32Add, ROp::kI32LoadAdd},
+    {ROp::kI64Load, ROp::kI64Add, ROp::kI64LoadAdd},
+    {ROp::kF32Load, ROp::kF32Add, ROp::kF32LoadAdd},
+    {ROp::kF64Load, ROp::kF64Add, ROp::kF64LoadAdd},
+    {ROp::kF32Load, ROp::kF32Mul, ROp::kF32LoadMul},
+    {ROp::kF64Load, ROp::kF64Mul, ROp::kF64LoadMul},
+};
+
+/// op t <- x, y; store [addr] <- t  -->  op_store [addr] <- x, y
+struct OpStoreFusion {
+  ROp op, store, fused;
+};
+constexpr OpStoreFusion kOpStoreTable[] = {
+    {ROp::kI32Add, ROp::kI32Store, ROp::kI32AddStore},
+    {ROp::kF32Add, ROp::kF32Store, ROp::kF32AddStore},
+    {ROp::kF64Add, ROp::kF64Store, ROp::kF64AddStore},
+    {ROp::kF64Mul, ROp::kF64Store, ROp::kF64MulStore},
+};
+
+std::optional<ROp> indexed_load(ROp op) {
+  switch (op) {
+    case ROp::kI32Load: return ROp::kI32LoadIx;
+    case ROp::kI64Load: return ROp::kI64LoadIx;
+    case ROp::kF32Load: return ROp::kF32LoadIx;
+    case ROp::kF64Load: return ROp::kF64LoadIx;
+    default: return std::nullopt;
+  }
+}
+
+std::optional<ROp> indexed_store(ROp op) {
+  switch (op) {
+    case ROp::kI32Store: return ROp::kI32StoreIx;
+    case ROp::kI64Store: return ROp::kI64StoreIx;
+    case ROp::kF32Store: return ROp::kF32StoreIx;
+    case ROp::kF64Store: return ROp::kF64StoreIx;
+    default: return std::nullopt;
+  }
+}
+
+u32 superinstruction_pass(RFunc& f, const Cfg& cfg, const Liveness& lv) {
+  u32 changes = 0;
+  const size_t n = f.code.size();
+  for (size_t b = 0; b < cfg.leaders.size(); ++b) {
+    const size_t bend = cfg.block_end(b, n);
+    // --- 3-instruction window: indexed addressing with a scale ---
+    // shl t1 <- idx, s ; add t2 <- base, t1 ; mem[t2 + imm] ...
+    for (size_t i = cfg.block_start(b); i + 2 < bend; ++i) {
+      RInstr& sh = f.code[i];
+      RInstr& ad = f.code[i + 1];
+      RInstr& m = f.code[i + 2];
+      if (sh.op != ROp::kI32ShlImm || sh.imm > 4) continue;
+      if (ad.op != ROp::kI32Add) continue;
+      u32 t1 = sh.a;
+      u32 base, idx = sh.b, shift = u32(sh.imm);
+      if (ad.b == t1 && ad.c != t1) base = ad.c;
+      else if (ad.c == t1 && ad.b != t1) base = ad.b;
+      else continue;
+      if (lv.live_after(i + 1, t1)) continue;
+      u32 t2 = ad.a;
+      // The load's destination may legally overwrite the address temp.
+      if (auto lop = indexed_load(m.op);
+          lop && m.b == t2 && (m.a == t2 || !lv.live_after(i + 2, t2))) {
+        m = RInstr{*lop, m.a, base, idx, shift, m.imm};
+        sh = RInstr{ROp::kNop};
+        ad = RInstr{ROp::kNop};
+        ++changes;
+        continue;
+      }
+      if (auto sop = indexed_store(m.op);
+          sop && m.a == t2 && m.b != t1 && m.b != t2 &&
+          !lv.live_after(i + 2, t2)) {
+        m = RInstr{*sop, base, m.b, idx, shift, m.imm};
+        sh = RInstr{ROp::kNop};
+        ad = RInstr{ROp::kNop};
+        ++changes;
+        continue;
+      }
+    }
+    // --- 2-instruction windows ---
+    for (size_t i = cfg.block_start(b); i + 1 < bend; ++i) {
+      RInstr& a = f.code[i];
+      RInstr& next = f.code[i + 1];
+      if (a.op == ROp::kNop) continue;
+      // add t2 <- x, y ; mem[t2 + imm]  -->  indexed access with shift 0.
+      if (a.op == ROp::kI32Add) {
+        u32 t2 = a.a;
+        if (auto lop = indexed_load(next.op);
+            lop && next.b == t2 &&
+            (next.a == t2 || !lv.live_after(i + 1, t2))) {
+          next = RInstr{*lop, next.a, a.b, a.c, 0, next.imm};
+          a = RInstr{ROp::kNop};
+          ++changes;
+          continue;
+        }
+        if (auto sop = indexed_store(next.op);
+            sop && next.a == t2 && next.b != t2 &&
+            !lv.live_after(i + 1, t2)) {
+          next = RInstr{*sop, a.b, next.b, a.c, 0, next.imm};
+          a = RInstr{ROp::kNop};
+          ++changes;
+          continue;
+        }
+      }
+      // load t <- [addr+imm] ; op d <- x, t  -->  load_op d <- [addr], x.
+      // Skipped when the op is a float mul feeding an adjacent add: the
+      // mul-add fusion (one dispatch, no memory operand on the critical
+      // path) is the better form there.
+      for (const auto& lo : kLoadOpTable) {
+        if (a.op != lo.load || next.op != lo.op) continue;
+        u32 t = a.a;
+        bool feeds_fma =
+            (lo.op == ROp::kF64Mul || lo.op == ROp::kF32Mul) && i + 2 < bend &&
+            f.code[i + 2].op ==
+                (lo.op == ROp::kF64Mul ? ROp::kF64Add : ROp::kF32Add) &&
+            (f.code[i + 2].b == next.a || f.code[i + 2].c == next.a);
+        if (feeds_fma) break;
+        // The op's destination may legally overwrite the loaded temp.
+        if (next.a != t && lv.live_after(i + 1, t)) break;
+        if (next.c == t && next.b != t) {
+          next = RInstr{lo.fused, next.a, a.b, next.b, 0, a.imm};
+          a = RInstr{ROp::kNop};
+          ++changes;
+        } else if (next.b == t && next.c != t) {
+          next = RInstr{lo.fused, next.a, a.b, next.c, 0, a.imm};
+          a = RInstr{ROp::kNop};
+          ++changes;
+        }
+        break;
+      }
+      if (a.op == ROp::kNop) continue;
+      // op t <- x, y ; store [addr+imm] <- t  -->  op_store.
+      for (const auto& os : kOpStoreTable) {
+        if (a.op != os.op || next.op != os.store) continue;
+        u32 t = a.a;
+        if (next.b != t || next.a == t) break;  // value must be t, addr not
+        if (lv.live_after(i + 1, t)) break;
+        next = RInstr{os.fused, next.a, a.b, a.c, 0, next.imm};
+        a = RInstr{ROp::kNop};
+        ++changes;
+        break;
+      }
+      if (a.op == ROp::kNop) continue;
+      // cmp t <- x, y ; select d, v, t  -->  select_cmp d, v, x, y.
+      if (next.op == ROp::kSelect && next.c == a.a && writes_dest(a) &&
+          next.a != a.a && next.b != a.a && !lv.live_after(i + 1, a.a)) {
+        if (auto sel = fused_select(a.op)) {
+          next = RInstr{*sel, next.a, next.b, a.b, a.c, 0};
           a = RInstr{ROp::kNop};
           ++changes;
         }
@@ -542,6 +851,363 @@ void thread_branches(RFunc& f) {
     for (u32& t : pool) t = final_target(t);
 }
 
+// ---- Pass 7: bounds-check hoisting (loop versioning) -----------------------
+//
+// For a counted loop of the canonical shape
+//     t:   br_if.i32.ge_s  i, n -> j+1     (loop exit, signed or unsigned)
+//     ...  straight-line body (no other branches)
+//     j:   br -> t                          (back edge)
+// whose memory accesses are affine in the induction variable with
+// compile-time coefficients (i, i<<s, base_const + i*c + k, ...), the loop
+// is duplicated ("versioned"):
+//
+//     t:   mem.guard g = all iterations provably in bounds?
+//          br_if_not g -> SLOW
+//     FAST: the body with affine accesses rewritten to unchecked raw ops
+//     SLOW: the original body, every access still checked
+//
+// The guard proves 0 <= i and coef*(n-1+step) + K <= byte_size() at loop
+// entry; i only grows by positive steps and n is loop-invariant, so the
+// bound covers every iteration, and memory.grow can only extend the valid
+// range mid-loop. When the proof fails at runtime the original loop runs
+// and an out-of-bounds access traps at exactly the original instruction —
+// hoisting never moves a trap, it only removes checks that cannot fire.
+
+struct HoistAccess {
+  size_t index;   // instruction index within the body
+  ROp raw_op;     // unchecked twin
+  u64 coef;       // address = coef * i + kterm (u64, exact upper bound)
+  u64 kterm;      // constant term + static offset + access size
+};
+
+struct HoistLoop {
+  size_t head;       // index of the exit branch
+  size_t backedge;   // index of the back-edge kBr
+  bool head_unsigned;
+  u32 counter, limit;
+  u64 total_step;    // sum of positive counter increments per iteration
+  u64 max_coef, max_k;
+  std::vector<HoistAccess> accesses;
+};
+
+/// Symbolic value of a register inside one loop iteration.
+struct AffineExpr {
+  enum Kind { kUnknown, kConst, kAffine } kind = kUnknown;
+  u64 coef = 0;  // multiple of the induction variable (kAffine)
+  u64 off = 0;   // constant term
+};
+
+u32 access_size(ROp raw) {
+  switch (raw) {
+    case ROp::kI32LoadRaw: case ROp::kI32StoreRaw: case ROp::kF32LoadRaw:
+    case ROp::kF32StoreRaw: case ROp::kI32LoadIxRaw: case ROp::kI32StoreIxRaw:
+    case ROp::kF32LoadIxRaw: case ROp::kF32StoreIxRaw:
+      return 4;
+    case ROp::kV128LoadRaw: case ROp::kV128StoreRaw:
+      return 16;
+    default:
+      return 8;
+  }
+}
+
+std::optional<ROp> raw_load_twin(ROp op) {
+  switch (op) {
+    case ROp::kI32Load: return ROp::kI32LoadRaw;
+    case ROp::kI64Load: return ROp::kI64LoadRaw;
+    case ROp::kF32Load: return ROp::kF32LoadRaw;
+    case ROp::kF64Load: return ROp::kF64LoadRaw;
+    case ROp::kV128Load: return ROp::kV128LoadRaw;
+    case ROp::kI32LoadIx: return ROp::kI32LoadIxRaw;
+    case ROp::kI64LoadIx: return ROp::kI64LoadIxRaw;
+    case ROp::kF32LoadIx: return ROp::kF32LoadIxRaw;
+    case ROp::kF64LoadIx: return ROp::kF64LoadIxRaw;
+    default: return std::nullopt;
+  }
+}
+
+std::optional<ROp> raw_store_twin(ROp op) {
+  switch (op) {
+    case ROp::kI32Store: return ROp::kI32StoreRaw;
+    case ROp::kI64Store: return ROp::kI64StoreRaw;
+    case ROp::kF32Store: return ROp::kF32StoreRaw;
+    case ROp::kF64Store: return ROp::kF64StoreRaw;
+    case ROp::kV128Store: return ROp::kV128StoreRaw;
+    case ROp::kI32StoreIx: return ROp::kI32StoreIxRaw;
+    case ROp::kI64StoreIx: return ROp::kI64StoreIxRaw;
+    case ROp::kF32StoreIx: return ROp::kF32StoreIxRaw;
+    case ROp::kF64StoreIx: return ROp::kF64StoreIxRaw;
+    default: return std::nullopt;
+  }
+}
+
+constexpr u64 kHoistCoefCap = u64(1) << 31;
+constexpr u64 kHoistKCap = u64(1) << 47;
+
+/// Analyzes the body of a candidate loop; false to reject.
+bool analyze_loop_body(const RFunc& f, HoistLoop& loop) {
+  const u32 i_reg = loop.counter, n_reg = loop.limit;
+  std::vector<AffineExpr> expr(f.num_regs);
+  expr[i_reg] = {AffineExpr::kAffine, 1, 0};
+  loop.total_step = 0;
+  std::vector<u32> reads;
+
+  auto eval_addr = [&](const RInstr& in, u32 base_reg,
+                       bool indexed) -> std::optional<std::pair<u64, u64>> {
+    AffineExpr e = base_reg == i_reg
+                       ? AffineExpr{AffineExpr::kAffine, 1, 0}
+                       : expr[base_reg];
+    if (e.kind == AffineExpr::kUnknown) return std::nullopt;
+    u64 coef = e.kind == AffineExpr::kAffine ? e.coef : 0;
+    u64 off = e.off;
+    if (indexed) {
+      AffineExpr idx = in.c == i_reg ? AffineExpr{AffineExpr::kAffine, 1, 0}
+                                     : expr[in.c];
+      if (idx.kind == AffineExpr::kUnknown) return std::nullopt;
+      u64 s = in.d;
+      coef += (idx.kind == AffineExpr::kAffine ? idx.coef : 0) << s;
+      off += idx.off << s;
+    }
+    if (coef >= kHoistCoefCap || off >= kHoistKCap || in.imm >= kHoistKCap)
+      return std::nullopt;
+    return std::make_pair(coef, off + in.imm);
+  };
+
+  for (size_t k = loop.head + 1; k < loop.backedge; ++k) {
+    const RInstr& in = f.code[k];
+    // The induction increment: i += positive constant.
+    if (in.op == ROp::kI32AddImm && in.a == i_reg) {
+      if (in.b != i_reg) return false;  // i redefined from something else
+      i32 step = i32(u32(in.imm));
+      if (step <= 0) return false;
+      loop.total_step += u64(u32(step));
+      if (loop.total_step >= (u64(1) << 15)) return false;
+      expr[i_reg] = {AffineExpr::kAffine, 1, expr[i_reg].off + u64(u32(step))};
+      continue;
+    }
+    // Raw-able accesses: record the affine bound (or leave checked).
+    std::optional<ROp> raw;
+    u32 addr_reg = 0;
+    bool indexed = false;
+    if (auto lr = raw_load_twin(in.op)) {
+      raw = lr;
+      addr_reg = in.b;
+      indexed = in.op == ROp::kI32LoadIx || in.op == ROp::kI64LoadIx ||
+                in.op == ROp::kF32LoadIx || in.op == ROp::kF64LoadIx;
+    } else if (auto sr = raw_store_twin(in.op)) {
+      raw = sr;
+      addr_reg = in.a;
+      indexed = in.op == ROp::kI32StoreIx || in.op == ROp::kI64StoreIx ||
+                in.op == ROp::kF32StoreIx || in.op == ROp::kF64StoreIx;
+    }
+    if (raw) {
+      if (auto bound = eval_addr(in, addr_reg, indexed)) {
+        u64 kterm = bound->second + access_size(*raw);
+        if (kterm < kHoistKCap) {
+          loop.accesses.push_back({k, *raw, bound->first, kterm});
+          loop.max_coef = std::max(loop.max_coef, bound->first);
+          loop.max_k = std::max(loop.max_k, kterm);
+        }
+      }
+      // fall through to the register-kill handling below (loads write a)
+    }
+    // Track the symbolic state.
+    if (writes_dest(in)) {
+      if (in.a == i_reg) return false;  // non-increment write to i
+      if (in.a == n_reg) return false;  // limit must be invariant
+      switch (in.op) {
+        case ROp::kMov:
+          expr[in.a] = in.b == i_reg ? AffineExpr{AffineExpr::kAffine, 1, 0}
+                                     : expr[in.b];
+          break;
+        case ROp::kConst:
+          expr[in.a] = in.imm < kHoistKCap
+                           ? AffineExpr{AffineExpr::kConst, 0, in.imm}
+                           : AffineExpr{};
+          break;
+        case ROp::kI32AddImm: {
+          AffineExpr s = in.b == i_reg ? AffineExpr{AffineExpr::kAffine, 1, 0}
+                                       : expr[in.b];
+          if (s.kind != AffineExpr::kUnknown && u32(in.imm) == in.imm &&
+              s.off + in.imm < kHoistKCap)
+            expr[in.a] = {s.kind, s.coef, s.off + in.imm};
+          else
+            expr[in.a] = {};
+          break;
+        }
+        case ROp::kI32ShlImm: {
+          AffineExpr s = in.b == i_reg ? AffineExpr{AffineExpr::kAffine, 1, 0}
+                                       : expr[in.b];
+          u64 sh = in.imm & 31;
+          if (s.kind != AffineExpr::kUnknown && sh <= 16 &&
+              (s.coef << sh) < kHoistCoefCap && (s.off << sh) < kHoistKCap)
+            expr[in.a] = {s.kind, s.coef << sh, s.off << sh};
+          else
+            expr[in.a] = {};
+          break;
+        }
+        case ROp::kI32MulImm: {
+          AffineExpr s = in.b == i_reg ? AffineExpr{AffineExpr::kAffine, 1, 0}
+                                       : expr[in.b];
+          u64 m = u32(in.imm);
+          if (s.kind != AffineExpr::kUnknown && m < (u64(1) << 16) &&
+              s.coef * m < kHoistCoefCap && s.off * m < kHoistKCap)
+            expr[in.a] = {s.kind, s.coef * m, s.off * m};
+          else
+            expr[in.a] = {};
+          break;
+        }
+        case ROp::kI32Add: {
+          AffineExpr x = in.b == i_reg ? AffineExpr{AffineExpr::kAffine, 1, 0}
+                                       : expr[in.b];
+          AffineExpr y = in.c == i_reg ? AffineExpr{AffineExpr::kAffine, 1, 0}
+                                       : expr[in.c];
+          if (x.kind != AffineExpr::kUnknown && y.kind != AffineExpr::kUnknown &&
+              x.coef + y.coef < kHoistCoefCap && x.off + y.off < kHoistKCap) {
+            bool affine =
+                x.kind == AffineExpr::kAffine || y.kind == AffineExpr::kAffine;
+            expr[in.a] = {affine ? AffineExpr::kAffine : AffineExpr::kConst,
+                          x.coef + y.coef, x.off + y.off};
+          } else {
+            expr[in.a] = {};
+          }
+          break;
+        }
+        default:
+          expr[in.a] = {};  // any other def: unknown
+          break;
+      }
+    } else if (in.op == ROp::kCall || in.op == ROp::kCallIndirect) {
+      if (in.a == i_reg || in.a == n_reg) return false;
+      expr[in.a] = {};  // call result lands in r[a]
+    }
+  }
+  if (loop.total_step == 0) return false;  // no induction step found
+  return !loop.accesses.empty();
+}
+
+/// Finds candidate loops (canonical counted shape, straight-line body).
+std::vector<HoistLoop> find_hoistable_loops(const RFunc& f) {
+  std::vector<HoistLoop> out;
+  const size_t n = f.code.size();
+  // Every branch edge (source -> target), gathered once; each candidate's
+  // external-entry check scans this list instead of re-walking the code.
+  std::vector<std::pair<size_t, u32>> edges;
+  for (size_t k = 0; k < n; ++k)
+    for (u32 tgt : branch_targets(f, f.code[k])) edges.emplace_back(k, tgt);
+  for (size_t t = 0; t < n; ++t) {
+    const RInstr& head = f.code[t];
+    if (head.op != ROp::kBrIfI32GeS && head.op != ROp::kBrIfI32GeU) continue;
+    // Find the back edge: an unconditional br targeting t, with nothing but
+    // straight-line code in between.
+    size_t j = SIZE_MAX;
+    for (size_t k = t + 1; k < n; ++k) {
+      const RInstr& in = f.code[k];
+      if (in.op == ROp::kBr && in.imm == t) {
+        j = k;
+        break;
+      }
+      if (is_branch(in.op) || is_terminator(in.op)) break;
+    }
+    if (j == SIZE_MAX) continue;
+    // The exit target must lie outside the loop (branch threading may have
+    // forwarded it past j + 1; that is fine — it gets remapped like any
+    // other external target).
+    if (head.imm > t && head.imm <= j) continue;
+    // No branch from outside may enter (t, j]; entry is fallthrough-only.
+    bool entered = false;
+    for (const auto& [src, tgt] : edges) {
+      if (src > t && src <= j) continue;  // in-loop (head/backedge branch)
+      if (tgt > t && tgt <= j) {
+        entered = true;
+        break;
+      }
+    }
+    if (entered) continue;
+    HoistLoop loop;
+    loop.head = t;
+    loop.backedge = j;
+    loop.head_unsigned = head.op == ROp::kBrIfI32GeU;
+    loop.counter = head.a;
+    loop.limit = head.b;
+    loop.max_coef = 0;
+    loop.max_k = 0;
+    if (analyze_loop_body(f, loop)) {
+      out.push_back(std::move(loop));
+      t = j;  // candidates are disjoint (bodies are branch-free)
+    }
+  }
+  return out;
+}
+
+u32 hoist_pass(RFunc& f) {
+  std::vector<HoistLoop> loops = find_hoistable_loops(f);
+  if (loops.empty()) return 0;
+  const size_t n = f.code.size();
+  const u32 guard_reg = f.num_regs;
+  f.num_regs += 1;
+
+  // new_plain(y): new index of old instruction y for code outside the
+  // loops (guard + br_if_not + fast copy shift everything behind them).
+  auto new_plain = [&](u64 y) {
+    u64 shift = 0;
+    for (const HoistLoop& lp : loops)
+      if (lp.backedge < y) shift += (lp.backedge - lp.head + 1) + 2;
+    return y + shift;
+  };
+
+  std::vector<RInstr> out;
+  out.reserve(n + loops.size() * 16);
+  size_t li = 0;
+  for (size_t y = 0; y < n; ++y) {
+    if (li < loops.size() && loops[li].head == y) {
+      const HoistLoop& lp = loops[li];
+      const size_t len = lp.backedge - lp.head + 1;
+      const size_t guard_pos = out.size();
+      const size_t fast_head = guard_pos + 2;
+      const size_t slow_head = fast_head + len;
+      const size_t exit_pos = new_plain(f.code[lp.head].imm);
+      u32 dword = u32(lp.max_coef) | (lp.head_unsigned ? 0x80000000u : 0);
+      u64 imm = (lp.total_step << 48) | lp.max_k;
+      out.push_back(RInstr{ROp::kMemGuard, guard_reg, lp.limit, lp.counter,
+                           dword, imm});
+      out.push_back(RInstr{ROp::kBrIfNot, guard_reg, 0, 0, 0, u64(slow_head)});
+      // Fast copy: affine accesses unchecked, branches retargeted.
+      size_t acc = 0;
+      for (size_t k = lp.head; k <= lp.backedge; ++k) {
+        RInstr in = f.code[k];
+        if (k == lp.head) {
+          in.imm = exit_pos;
+        } else if (k == lp.backedge) {
+          in.imm = fast_head;
+        } else {
+          while (acc < lp.accesses.size() && lp.accesses[acc].index < k) ++acc;
+          if (acc < lp.accesses.size() && lp.accesses[acc].index == k)
+            in.op = lp.accesses[acc].raw_op;
+        }
+        out.push_back(in);
+      }
+      // Slow copy: the original body, checks intact.
+      for (size_t k = lp.head; k <= lp.backedge; ++k) {
+        RInstr in = f.code[k];
+        if (k == lp.head) in.imm = exit_pos;
+        else if (k == lp.backedge) in.imm = slow_head;
+        out.push_back(in);
+      }
+      y = lp.backedge;  // consumed
+      ++li;
+      continue;
+    }
+    RInstr in = f.code[y];
+    if (is_branch(in.op) && in.op != ROp::kBrTable)
+      in.imm = new_plain(in.imm);
+    out.push_back(in);
+  }
+  for (auto& pool : f.br_pool)
+    for (u32& tgt : pool) tgt = u32(new_plain(tgt));
+  f.code = std::move(out);
+  return u32(loops.size());
+}
+
 void compact(RFunc& f) {
   const size_t n = f.code.size();
   std::vector<u32> remap(n + 1, 0);
@@ -575,14 +1241,24 @@ OptStats optimize_function(RFunc& f, const OptOptions& opts) {
     Liveness live = compute_liveness(f, cfg);
     if (opts.fuse) {
       changes += peephole_pass(f, cfg, live);
-      // Peephole invalidates liveness; recompute before DCE.
+      // Peephole invalidates liveness; recompute before the next pass.
       live = compute_liveness(f, cfg);
+    }
+    if (opts.fuse_super) {
+      u32 fused = superinstruction_pass(f, cfg, live);
+      changes += fused;
+      stats.fused_super += fused;
+      if (fused != 0) live = compute_liveness(f, cfg);
     }
     changes += dce_pass(f, live);
     thread_branches(f);
     compact(f);
     if (changes == 0) break;
   }
+  // Bounds-check hoisting runs once, after the code shape has settled: it
+  // relies on the fused loop form (imm increments, compare-and-branch
+  // heads) and emits the guarded fast/slow loop copies verbatim.
+  if (opts.hoist_bounds) stats.guards_hoisted = hoist_pass(f);
   stats.instrs_after = f.code.size();
   return stats;
 }
@@ -593,6 +1269,8 @@ OptStats optimize_module(RModule& m, const OptOptions& opts) {
     OptStats s = optimize_function(f, opts);
     total.instrs_before += s.instrs_before;
     total.instrs_after += s.instrs_after;
+    total.fused_super += s.fused_super;
+    total.guards_hoisted += s.guards_hoisted;
     total.rounds = std::max(total.rounds, s.rounds);
   }
   return total;

@@ -3,13 +3,23 @@
 // Passes, per function, iterated to a small fixpoint:
 //   1. block-local copy propagation
 //   2. block-local constant folding + immediate fusion (AddImm/ShlImm/...)
-//   3. compare-and-branch fusion (BrIfI32LtS etc.) and f64 multiply-add
-//   4. liveness-based dead code elimination (global dataflow)
-//   5. branch threading + Nop compaction with target remapping
+//      + mul-by-power-of-two strength reduction
+//   3. compare-and-branch fusion (BrIfI32LtS etc.) and f32/f64 multiply-add
+//   4. superinstruction fusion: load+op, op+store, cmp+select, and
+//      indexed-address (base + (index << scale) + imm) forms
+//   5. liveness-based dead code elimination (global dataflow)
+//   6. branch threading + Nop compaction with target remapping
+// then, once, after the fixpoint:
+//   7. bounds-check hoisting: counted loops with provably affine access
+//      patterns are versioned behind a single kMemGuard; the fast copy runs
+//      unchecked k*Raw memory ops, the slow copy keeps the original
+//      per-access checks so out-of-bounds traps still fire at exactly the
+//      original point.
 //
 // This is what buys the Optimizing tier its runtime edge in Table 1: the
 // dispatch-loop executor's cost is proportional to executed instructions,
-// and these passes remove 30-60% of them in hot loops.
+// and these passes remove 30-60% of them in hot loops — and, with hoisting,
+// the per-access bounds checks Jangda et al. single out.
 #pragma once
 
 #include "runtime/regcode.h"
@@ -20,16 +30,21 @@ struct OptStats {
   u64 instrs_before = 0;
   u64 instrs_after = 0;
   u32 rounds = 0;
+  u32 fused_super = 0;     // superinstructions formed (load+op, select, ...)
+  u32 guards_hoisted = 0;  // loops versioned behind a kMemGuard
 };
 
 /// Pass configuration. The LightOpt tier (Cranelift analogue) runs one
 /// round without instruction fusion; the full Optimizing tier (LLVM
-/// analogue) iterates to a fixpoint with fusion enabled.
+/// analogue) iterates to a fixpoint with fusion, superinstructions, and
+/// bounds-check hoisting enabled.
 struct OptOptions {
   u32 max_rounds = 4;
-  bool fuse = true;  // compare/branch, imm, and mul-add fusion
-  static OptOptions light() { return {1, false}; }
-  static OptOptions full() { return {4, true}; }
+  bool fuse = true;          // compare/branch, imm, and mul-add fusion
+  bool fuse_super = true;    // load+op, op+store, cmp+select, indexed addr
+  bool hoist_bounds = true;  // loop versioning behind kMemGuard + raw ops
+  static OptOptions light() { return {1, false, false, false}; }
+  static OptOptions full() { return {4, true, true, true}; }
 };
 
 OptStats optimize_function(RFunc& f, const OptOptions& opts = OptOptions::full());

@@ -43,6 +43,52 @@ const char* rop_name(ROp op) {
     case ROp::kBrIfI32GeS: return "br_if.i32.ge_s";
     case ROp::kBrIfI32GeU: return "br_if.i32.ge_u";
     case ROp::kF64MulAdd: return "f64.mul_add";
+    case ROp::kF32MulAdd: return "f32.mul_add";
+    case ROp::kSelectI32Eq: return "select.i32.eq";
+    case ROp::kSelectI32Ne: return "select.i32.ne";
+    case ROp::kSelectI32LtS: return "select.i32.lt_s";
+    case ROp::kSelectI32LtU: return "select.i32.lt_u";
+    case ROp::kSelectI32GtS: return "select.i32.gt_s";
+    case ROp::kSelectI32GtU: return "select.i32.gt_u";
+    case ROp::kSelectF64Lt: return "select.f64.lt";
+    case ROp::kSelectF64Gt: return "select.f64.gt";
+    case ROp::kI32LoadAdd: return "i32.load_add";
+    case ROp::kI64LoadAdd: return "i64.load_add";
+    case ROp::kF32LoadAdd: return "f32.load_add";
+    case ROp::kF64LoadAdd: return "f64.load_add";
+    case ROp::kF32LoadMul: return "f32.load_mul";
+    case ROp::kF64LoadMul: return "f64.load_mul";
+    case ROp::kI32AddStore: return "i32.add_store";
+    case ROp::kF32AddStore: return "f32.add_store";
+    case ROp::kF64AddStore: return "f64.add_store";
+    case ROp::kF64MulStore: return "f64.mul_store";
+    case ROp::kI32LoadIx: return "i32.load_ix";
+    case ROp::kI64LoadIx: return "i64.load_ix";
+    case ROp::kF32LoadIx: return "f32.load_ix";
+    case ROp::kF64LoadIx: return "f64.load_ix";
+    case ROp::kI32StoreIx: return "i32.store_ix";
+    case ROp::kI64StoreIx: return "i64.store_ix";
+    case ROp::kF32StoreIx: return "f32.store_ix";
+    case ROp::kF64StoreIx: return "f64.store_ix";
+    case ROp::kMemGuard: return "mem.guard";
+    case ROp::kI32LoadRaw: return "i32.load_raw";
+    case ROp::kI64LoadRaw: return "i64.load_raw";
+    case ROp::kF32LoadRaw: return "f32.load_raw";
+    case ROp::kF64LoadRaw: return "f64.load_raw";
+    case ROp::kV128LoadRaw: return "v128.load_raw";
+    case ROp::kI32StoreRaw: return "i32.store_raw";
+    case ROp::kI64StoreRaw: return "i64.store_raw";
+    case ROp::kF32StoreRaw: return "f32.store_raw";
+    case ROp::kF64StoreRaw: return "f64.store_raw";
+    case ROp::kV128StoreRaw: return "v128.store_raw";
+    case ROp::kI32LoadIxRaw: return "i32.load_ix_raw";
+    case ROp::kI64LoadIxRaw: return "i64.load_ix_raw";
+    case ROp::kF32LoadIxRaw: return "f32.load_ix_raw";
+    case ROp::kF64LoadIxRaw: return "f64.load_ix_raw";
+    case ROp::kI32StoreIxRaw: return "i32.store_ix_raw";
+    case ROp::kI64StoreIxRaw: return "i64.store_ix_raw";
+    case ROp::kF32StoreIxRaw: return "f32.store_ix_raw";
+    case ROp::kF64StoreIxRaw: return "f64.store_ix_raw";
     default: return nullptr;
   }
 }

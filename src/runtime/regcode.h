@@ -5,6 +5,20 @@
 // tier emits this mapping in a single linear pass (the Singlepass analogue
 // of paper Table 1); the Optimizing tier then runs real passes over it
 // (the Cranelift/LLVM analogue). See DESIGN.md §5.
+//
+// The executor attacks the three interpreter costs Jangda et al. identify
+// as the Wasm-vs-native gap:
+//   - dispatch: computed-goto direct threading (MPIWASM_SWITCH_DISPATCH
+//     compile-time opt-out keeps the portable switch loop; see exec.h).
+//     Handler addresses live in RFunc::handlers, resolved once per function
+//     at publication time.
+//   - bounds checks: the hoist pass versions counted loops behind a single
+//     kMemGuard and runs the unchecked k*Raw ops on the fast path.
+//   - missed fusion: superinstructions collapse load+op, op+store,
+//     cmp+select, cmp+branch, indexed-address (base + (idx << s) + imm) and
+//     f32/f64 multiply-add chains into one dispatch each.
+// bench_dispatch measures each axis and writes BENCH_exec.json (see
+// README "Execution-core benchmarks" for the schema).
 #pragma once
 
 #include <string>
@@ -91,6 +105,30 @@ enum class ROp : u16 {
   kBrIfI32Eq, kBrIfI32Ne, kBrIfI32LtS, kBrIfI32LtU, kBrIfI32GtS, kBrIfI32GtU,
   kBrIfI32LeS, kBrIfI32LeU, kBrIfI32GeS, kBrIfI32GeU,
   kF64MulAdd,    // r[a] = r[b] * r[c] + r[d]
+  kF32MulAdd,    // r[a] = r[b] * r[c] + r[d] (f32; two roundings, not fma())
+  // Fused compare-and-select: r[a] = cmp(r[c], r[d]) ? r[a] : r[b].
+  kSelectI32Eq, kSelectI32Ne, kSelectI32LtS, kSelectI32LtU,
+  kSelectI32GtS, kSelectI32GtU, kSelectF64Lt, kSelectF64Gt,
+  // Fused load+op: r[a] = r[c] op mem[r[b].u32 + imm] (bounds-checked).
+  kI32LoadAdd, kI64LoadAdd, kF32LoadAdd, kF64LoadAdd, kF32LoadMul, kF64LoadMul,
+  // Fused op+store: mem[r[a].u32 + imm] = r[b] op r[c] (bounds-checked).
+  kI32AddStore, kF32AddStore, kF64AddStore, kF64MulStore,
+  // Indexed addressing, checked: addr = u32(r[b] + (r[c] << d)) + imm.
+  kI32LoadIx, kI64LoadIx, kF32LoadIx, kF64LoadIx,
+  // Indexed stores, checked: mem[u32(r[a] + (r[c] << d)) + imm] = r[b].
+  kI32StoreIx, kI64StoreIx, kF32StoreIx, kF64StoreIx,
+  // ---- Bounds-check hoisting (emitted only by the hoist pass) ----
+  // Loop-entry guard for a versioned counted loop: r[a] = 1 iff every raw
+  // access of the fast copy is provably in-bounds for all iterations.
+  // b = limit reg, c = counter reg, d = max coefficient (bit 31: the loop
+  // head compares unsigned), imm = (step << 48) | max constant term.
+  kMemGuard,
+  // Unchecked twins of the checked memory ops; only reachable behind a
+  // passing kMemGuard, so they can never fault.
+  kI32LoadRaw, kI64LoadRaw, kF32LoadRaw, kF64LoadRaw, kV128LoadRaw,
+  kI32StoreRaw, kI64StoreRaw, kF32StoreRaw, kF64StoreRaw, kV128StoreRaw,
+  kI32LoadIxRaw, kI64LoadIxRaw, kF32LoadIxRaw, kF64LoadIxRaw,
+  kI32StoreIxRaw, kI64StoreIxRaw, kF32StoreIxRaw, kF64StoreIxRaw,
 
   kCount,
 };
@@ -112,6 +150,10 @@ struct RFunc {
   std::vector<RInstr> code;
   std::vector<wasm::V128> v128_pool;
   std::vector<std::vector<u32>> br_pool;  // br_table target lists (default last)
+  // Direct-threading handler addresses, parallel to `code`. Derived (never
+  // serialized): filled by prepare_rfunc() at publication time; empty means
+  // the portable switch loop executes this body. See exec.h.
+  std::vector<const void*> handlers;
 
   std::string to_string() const;  // disassembly, for tests/debugging
 };

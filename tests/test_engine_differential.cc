@@ -13,6 +13,7 @@
 
 #include "benchlib/harness.h"
 #include "embedder/embedder.h"
+#include "runtime/exec.h"
 #include "toolchain/kernels.h"
 
 namespace mpiwasm::test {
@@ -285,10 +286,85 @@ TEST(DifferentialTraps, AllConfigsAgreeOnTrapKind) {
 }
 
 // ---------------------------------------------------------------------------
+// Dispatch differential: the direct-threaded and portable switch executors
+// run the same regcode and must agree bit-exactly on the whole corpus.
+// ---------------------------------------------------------------------------
+
+TEST(DifferentialDispatch, SwitchAndThreadedExecutorsAgree) {
+  if (!rt::threaded_dispatch_compiled())
+    GTEST_SKIP() << "switch-dispatch build";
+  struct ForceGuard {
+    ~ForceGuard() { rt::set_dispatch_force_switch(false); }
+  } guard;
+  for (const Program& p : corpus()) {
+    auto threaded = instantiate(p.bytes, EngineTier::kOptimizing);
+    auto switched = instantiate(p.bytes, EngineTier::kOptimizing);
+    for (size_t k = 0; k < p.inputs.size(); ++k) {
+      rt::set_dispatch_force_switch(false);
+      u64 vt = threaded->invoke("run", p.inputs[k]).slot.u64v;
+      rt::set_dispatch_force_switch(true);
+      u64 vs = switched->invoke("run", p.inputs[k]).slot.u64v;
+      rt::set_dispatch_force_switch(false);
+      EXPECT_EQ(vt, vs) << p.name << " input#" << k;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hoisted-guard trap differential: a loop whose guard fails at runtime must
+// fall back to the checked loop and trap at exactly the original access —
+// same trap kind AND the same prefix of observable stores — under every
+// engine configuration (including tiered promotions of the hoisted body).
+// ---------------------------------------------------------------------------
+
+TEST(DifferentialTraps, OobUnderHoistedGuardsMatchesInterp) {
+  auto bytes = build_single_func({{I32}, {I32}}, [](auto& f) {
+    u32 n = 0;
+    u32 i = f.add_local(I32);
+    f.for_loop_i32(i, 0, n, 1, [&] {
+      f.local_get(i);
+      f.i32_const(4);
+      f.op(Op::kI32Mul);
+      f.local_get(i);
+      f.i32_const(3);
+      f.op(Op::kI32Mul);
+      f.mem_op(Op::kI32Store);
+    });
+    f.i32_const(0);
+    f.mem_op(Op::kI32Load);
+    f.end();
+  });
+  const i32 oob_n = 16384 + 7;  // one page holds 16384 i32 slots
+  // Reference prefix from the interpreter.
+  auto ref = instantiate(bytes, EngineTier::kInterp);
+  EXPECT_THROW(ref->invoke("run", std::vector<Value>{Value::from_i32(oob_n)}),
+               rt::Trap);
+  for (const EngineConfig& cfg : all_engine_configs()) {
+    auto inst = instantiate_cfg(bytes, cfg);
+    // Warm calls first so tiered configs promote to the hoisted body.
+    for (int w = 0; w < 5; ++w) {
+      inst->invoke("run", std::vector<Value>{Value::from_i32(64)});
+    }
+    try {
+      inst->invoke("run", std::vector<Value>{Value::from_i32(oob_n)});
+      FAIL() << "expected trap under " << config_label(cfg);
+    } catch (const rt::Trap& t) {
+      EXPECT_EQ(t.kind(), rt::TrapKind::kMemoryOutOfBounds) << config_label(cfg);
+    }
+    for (u64 off : {0ull, 4ull * 777, 4ull * 16383}) {
+      EXPECT_EQ(ref->memory().load<u32>(off), inst->memory().load<u32>(off))
+          << config_label(cfg) << " at byte " << off;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Toolchain-kernel differential: every generated benchmark kernel runs
-// through the embedder under all static tiers plus tiered(threshold=1) and
-// must produce identical correctness-relevant outputs (exit codes, report
-// row counts, checksums/residuals/verification flags — not timings).
+// through the embedder under all static tiers (the optimizing tier with
+// superinstruction fusion + bounds-check hoisting force-enabled, plus a
+// plain ablation with both off) and tiered(threshold=1), and must produce
+// identical correctness-relevant outputs (exit codes, report row counts,
+// checksums/residuals/verification flags — not timings).
 // ---------------------------------------------------------------------------
 
 struct KernelRun {

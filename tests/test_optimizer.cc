@@ -231,5 +231,236 @@ TEST(Optimizer, BranchThreadingCollapsesBrChains) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Superinstruction fusion (load+op, op+store, cmp+select, indexed address,
+// f32 FMA) and mul->shl strength reduction.
+// ---------------------------------------------------------------------------
+
+TEST(Superinstructions, StrengthReducesMulByPowerOfTwo) {
+  auto bytes = build_single_func({{I32}, {I32}}, [](auto& f) {
+    f.local_get(0);
+    f.i32_const(8);
+    f.op(Op::kI32Mul);
+    f.end();
+  }, 0);
+  RFunc opt = lower_one(bytes, true);
+  EXPECT_TRUE(contains_op(opt, ROp::kI32ShlImm)) << opt.to_string();
+  EXPECT_FALSE(contains_op(opt, ROp::kI32MulImm)) << opt.to_string();
+  for (EngineTier tier : all_tiers()) {
+    auto inst = instantiate(bytes, tier);
+    EXPECT_EQ(inst->invoke("run", std::vector<Value>{Value::from_i32(7)}).as_i32(),
+              56);
+  }
+}
+
+TEST(Superinstructions, FusesLoadAdd) {
+  auto bytes = build_single_func({{}, {I32}}, [](auto& f) {
+    f.i32_const(0);
+    f.mem_op(Op::kI32Load);
+    f.i32_const(4);
+    f.mem_op(Op::kI32Load);
+    f.op(Op::kI32Add);
+    f.end();
+  });
+  RFunc opt = lower_one(bytes, true);
+  EXPECT_TRUE(contains_op(opt, ROp::kI32LoadAdd)) << opt.to_string();
+}
+
+TEST(Superinstructions, FusesAddStore) {
+  auto bytes = build_single_func({{I32, I32}, {I32}}, [](auto& f) {
+    f.i32_const(0);
+    f.local_get(0);
+    f.local_get(1);
+    f.op(Op::kI32Add);
+    f.mem_op(Op::kI32Store);
+    f.i32_const(0);
+    f.mem_op(Op::kI32Load);
+    f.end();
+  });
+  RFunc opt = lower_one(bytes, true);
+  EXPECT_TRUE(contains_op(opt, ROp::kI32AddStore)) << opt.to_string();
+  for (EngineTier tier : all_tiers()) {
+    auto inst = instantiate(bytes, tier);
+    auto in = std::vector<Value>{Value::from_i32(30), Value::from_i32(12)};
+    EXPECT_EQ(inst->invoke("run", in).as_i32(), 42);
+  }
+}
+
+TEST(Superinstructions, FusesCmpSelect) {
+  // min(x, y) = select(x, y, x < y)
+  auto bytes = build_single_func({{I32, I32}, {I32}}, [](auto& f) {
+    f.local_get(0);
+    f.local_get(1);
+    f.local_get(0);
+    f.local_get(1);
+    f.op(Op::kI32LtS);
+    f.op(Op::kSelect);
+    f.end();
+  }, 0);
+  RFunc opt = lower_one(bytes, true);
+  EXPECT_TRUE(contains_op(opt, ROp::kSelectI32LtS)) << opt.to_string();
+  EXPECT_FALSE(contains_op(opt, ROp::kSelect)) << opt.to_string();
+  for (EngineTier tier : all_tiers()) {
+    auto inst = instantiate(bytes, tier);
+    auto lo = std::vector<Value>{Value::from_i32(-3), Value::from_i32(9)};
+    auto hi = std::vector<Value>{Value::from_i32(9), Value::from_i32(-3)};
+    EXPECT_EQ(inst->invoke("run", lo).as_i32(), -3) << rt::tier_name(tier);
+    EXPECT_EQ(inst->invoke("run", hi).as_i32(), -3) << rt::tier_name(tier);
+  }
+}
+
+TEST(Superinstructions, FusesIndexedAddress) {
+  // a[base + i*4] with a register base and a scaled index.
+  auto bytes = build_single_func({{I32, I32}, {I32}}, [](auto& f) {
+    f.local_get(0);
+    f.local_get(1);
+    f.i32_const(4);
+    f.op(Op::kI32Mul);
+    f.op(Op::kI32Add);
+    f.mem_op(Op::kI32Load);
+    f.end();
+  });
+  RFunc opt = lower_one(bytes, true);
+  EXPECT_TRUE(contains_op(opt, ROp::kI32LoadIx)) << opt.to_string();
+  EXPECT_FALSE(contains_op(opt, ROp::kI32Load)) << opt.to_string();
+}
+
+TEST(Superinstructions, FusesF32MulAdd) {
+  auto bytes = build_single_func({{F32, F32, F32}, {F32}}, [](auto& f) {
+    f.local_get(0);
+    f.local_get(1);
+    f.op(Op::kF32Mul);
+    f.local_get(2);
+    f.op(Op::kF32Add);
+    f.end();
+  }, 0);
+  RFunc opt = lower_one(bytes, true);
+  EXPECT_TRUE(contains_op(opt, ROp::kF32MulAdd)) << opt.to_string();
+  EXPECT_FALSE(contains_op(opt, ROp::kF32Mul)) << opt.to_string();
+}
+
+TEST(Superinstructions, DisabledByOption) {
+  auto bytes = build_single_func({{I32, I32}, {I32}}, [](auto& f) {
+    f.local_get(0);
+    f.local_get(1);
+    f.local_get(0);
+    f.local_get(1);
+    f.op(Op::kI32LtS);
+    f.op(Op::kSelect);
+    f.end();
+  }, 0);
+  auto decoded = wasm::decode_module({bytes.data(), bytes.size()});
+  ASSERT_TRUE(decoded.ok());
+  RFunc f = rt::lower_function(*decoded.module, 0);
+  rt::OptOptions opts = rt::OptOptions::full();
+  opts.fuse_super = false;
+  rt::optimize_function(f, opts);
+  EXPECT_FALSE(contains_op(f, ROp::kSelectI32LtS));
+  EXPECT_TRUE(contains_op(f, ROp::kSelect));
+}
+
+// ---------------------------------------------------------------------------
+// Bounds-check hoisting: counted loops with affine accesses are versioned
+// behind a kMemGuard; the fast copy runs unchecked raw ops, the slow copy
+// keeps every check, and traps fire at the original point.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<u8> store_loop_module() {
+  // run(n): for (i = 0; i < n; ++i) a[i] = i;  return a[n-1]
+  return build_single_func({{I32}, {I32}}, [](auto& f) {
+    u32 n = 0;
+    u32 i = f.add_local(I32);
+    f.for_loop_i32(i, 0, n, 1, [&] {
+      f.local_get(i);
+      f.i32_const(4);
+      f.op(Op::kI32Mul);
+      f.local_get(i);
+      f.mem_op(Op::kI32Store);
+    });
+    f.local_get(n);
+    f.i32_const(1);
+    f.op(Op::kI32Sub);
+    f.i32_const(4);
+    f.op(Op::kI32Mul);
+    f.mem_op(Op::kI32Load);
+    f.end();
+  });
+}
+
+}  // namespace
+
+TEST(BoundsHoisting, EmitsGuardAndRawOpsForAffineLoop) {
+  RFunc opt = lower_one(store_loop_module(), true);
+  EXPECT_TRUE(contains_op(opt, ROp::kMemGuard)) << opt.to_string();
+  EXPECT_TRUE(contains_op(opt, ROp::kI32StoreRaw)) << opt.to_string();
+  // The slow copy keeps the checked op.
+  EXPECT_TRUE(contains_op(opt, ROp::kI32Store)) << opt.to_string();
+}
+
+TEST(BoundsHoisting, DisabledByOption) {
+  auto bytes = store_loop_module();
+  auto decoded = wasm::decode_module({bytes.data(), bytes.size()});
+  ASSERT_TRUE(decoded.ok());
+  RFunc f = rt::lower_function(*decoded.module, 0);
+  rt::OptOptions opts = rt::OptOptions::full();
+  opts.hoist_bounds = false;
+  rt::optimize_function(f, opts);
+  EXPECT_FALSE(contains_op(f, ROp::kMemGuard));
+  EXPECT_FALSE(contains_op(f, ROp::kI32StoreRaw));
+}
+
+TEST(BoundsHoisting, GuardedLoopComputesSameResults) {
+  auto bytes = store_loop_module();
+  auto ref = instantiate(bytes, EngineTier::kInterp);
+  for (EngineTier tier : all_tiers()) {
+    auto inst = instantiate(bytes, tier);
+    for (i32 n : {1, 2, 64, 1000, 16384}) {  // 16384 i32s = exactly one page
+      auto in = std::vector<Value>{Value::from_i32(n)};
+      EXPECT_EQ(ref->invoke("run", in).as_i32(), inst->invoke("run", in).as_i32())
+          << rt::tier_name(tier) << " n=" << n;
+    }
+  }
+}
+
+TEST(BoundsHoisting, GuardFailurePreservesTrapPointAndPartialStores) {
+  // One page holds 16384 i32 slots; run(16394) must perform stores
+  // 0..16383, then trap kMemoryOutOfBounds on i = 16384 — under every
+  // engine configuration, including the hoisted-guard fast/slow split
+  // (the guard fails, the slow loop runs, the trap fires at the original
+  // access).
+  auto bytes = store_loop_module();
+  const i32 fits = 16384;
+  for (const EngineConfig& cfg : all_engine_configs()) {
+    auto inst = instantiate_cfg(bytes, cfg);
+    try {
+      inst->invoke("run", std::vector<Value>{Value::from_i32(fits + 10)});
+      FAIL() << "expected trap under " << config_label(cfg);
+    } catch (const rt::Trap& t) {
+      EXPECT_EQ(t.kind(), rt::TrapKind::kMemoryOutOfBounds) << config_label(cfg);
+    }
+    // Every in-bounds iteration must have executed before the trap.
+    rt::LinearMemory& mem = inst->memory();
+    EXPECT_EQ(mem.load<u32>(0), 0u) << config_label(cfg);
+    EXPECT_EQ(mem.load<u32>(4ull * 100), 100u) << config_label(cfg);
+    EXPECT_EQ(mem.load<u32>(4ull * (fits - 1)), u32(fits - 1))
+        << config_label(cfg);
+  }
+}
+
+TEST(BoundsHoisting, LoweringFusesConstOperands) {
+  // The lowering-time const+binop fusion benefits the Baseline tier too.
+  auto bytes = build_single_func({{I32}, {I32}}, [](auto& f) {
+    f.local_get(0);
+    f.i32_const(5);
+    f.op(Op::kI32Add);
+    f.end();
+  }, 0);
+  RFunc base = lower_one(bytes, false);
+  EXPECT_TRUE(contains_op(base, ROp::kI32AddImm)) << base.to_string();
+  EXPECT_FALSE(contains_op(base, ROp::kI32Add)) << base.to_string();
+}
+
 }  // namespace
 }  // namespace mpiwasm::test

@@ -33,9 +33,13 @@ inline std::vector<EngineTier> all_tiers() {
 }
 
 /// Every engine configuration a module should behave identically under:
-/// the four static tiers plus tiered mode with threshold 1, which forces a
-/// lazy promotion on the very first call of every function (maximum
-/// mid-run tier churn).
+/// the four static tiers (the optimizing tier runs with superinstruction
+/// fusion and bounds-check hoisting enabled — their defaults), an
+/// optimizing ablation with both disabled (isolates the fused/hoisted code
+/// paths against the plain pipeline), plus tiered mode with threshold 1,
+/// which forces a lazy promotion on the very first call of every function
+/// (maximum mid-run tier churn; promotions also compile fused+hoisted
+/// bodies).
 inline std::vector<EngineConfig> all_engine_configs() {
   std::vector<EngineConfig> cfgs;
   for (EngineTier tier : all_tiers()) {
@@ -43,6 +47,11 @@ inline std::vector<EngineConfig> all_engine_configs() {
     c.tier = tier;
     cfgs.push_back(c);
   }
+  EngineConfig plain_opt;
+  plain_opt.tier = EngineTier::kOptimizing;
+  plain_opt.opt_superinstructions = false;
+  plain_opt.opt_hoist_bounds = false;
+  cfgs.push_back(plain_opt);
   EngineConfig tiered;
   tiered.tier = EngineTier::kTiered;
   tiered.tierup_baseline_threshold = 1;
@@ -64,6 +73,7 @@ inline std::string config_label(const EngineConfig& cfg) {
   if (cfg.tier == EngineTier::kTiered)
     s += "(" + std::to_string(cfg.tierup_baseline_threshold) + "," +
          std::to_string(cfg.tierup_opt_threshold) + ")";
+  if (!cfg.opt_superinstructions || !cfg.opt_hoist_bounds) s += "(plain)";
   return s;
 }
 
