@@ -56,10 +56,11 @@ inline std::vector<ComparisonRow> zip_rows(
   return out;
 }
 
-/// One full IMB comparison (Figure 3/4 panel).
-inline void imb_panel(const toolchain::ImbParams& p, int ranks,
-                      const simmpi::NetworkProfile& profile,
-                      const std::string& csv_path = "") {
+/// One full IMB comparison (Figure 3/4 panel). Returns the zipped rows so
+/// callers can aggregate them into trajectory artifacts (BENCH_*.json).
+inline std::vector<ComparisonRow> imb_panel(
+    const toolchain::ImbParams& p, int ranks,
+    const simmpi::NetworkProfile& profile, const std::string& csv_path = "") {
   print_subhead(std::string(toolchain::imb_routine_name(p.routine)) + ", " +
                 std::to_string(ranks) + " ranks, profile=" + profile.name);
   auto native = run_native_imb(p, ranks, profile);
@@ -70,6 +71,7 @@ inline void imb_panel(const toolchain::ImbParams& p, int ranks,
   print_comparison_table("t_avg [us]", rows, /*lower_is_better=*/true);
   if (!csv_path.empty())
     write_csv(csv_path, "bytes,native_us,wasm_us", rows);
+  return rows;
 }
 
 }  // namespace mpiwasm::bench

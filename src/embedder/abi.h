@@ -45,6 +45,11 @@ constexpr i32 MPI_LOR = 5;
 constexpr i32 MPI_BAND = 6;
 constexpr i32 MPI_BOR = 7;
 
+// In-place collectives: a module-pointer sentinel (0xFFFFFFFF can never be
+// the base of a real buffer) passed as sendbuf — or recvbuf for
+// MPI_Scatter — exactly like the real MPI's pointer-constant MPI_IN_PLACE.
+constexpr i32 MPI_IN_PLACE = -1;
+
 // Requests.
 constexpr i32 MPI_REQUEST_NULL = 0;
 

@@ -33,7 +33,7 @@ RunResult Embedder::run_world(std::shared_ptr<const rt::CompiledModule> cm,
   result.loaded_from_cache = cm->loaded_from_cache;
 
   auto shared_state = std::make_shared<SharedHandleState>();
-  simmpi::World world(ranks, config_.profile);
+  simmpi::World world(ranks, config_.profile, config_.coll);
 
   std::mutex result_mu;
   Stopwatch wall;

@@ -20,6 +20,9 @@ namespace mpiwasm::embed {
 struct EmbedderConfig {
   rt::EngineConfig engine;                 // tier + compilation cache (§3.3)
   simmpi::NetworkProfile profile = simmpi::NetworkProfile::zero();
+  /// Collective algorithm tuning for the simulated world (coll_algos.h);
+  /// picks up MPIWASM_COLL_* env overrides by default.
+  simmpi::CollTuning coll = simmpi::CollTuning::from_env();
   std::vector<std::string> args = {"app.wasm"};
   std::vector<wasi::Preopen> preopens;     // the -d flag entries (§3.4)
   bool zero_copy = true;                   // §3.5 (false = ablation mode)

@@ -89,8 +89,11 @@ class Env {
   // --- Figure 6 instrumentation ---------------------------------------------
   const std::vector<TranslationSample>& samples() const { return samples_; }
 
-  /// Staging buffer for the copy-based ablation mode (zero_copy = false).
-  std::vector<u8>& staging() { return staging_; }
+  /// Staging buffers for the copy-based ablation mode (zero_copy = false).
+  /// Two independent slots so one host call can stage a send view and a
+  /// receive view at the same time (Sendrecv, the collectives) without the
+  /// views clobbering each other.
+  std::vector<u8>& staging(int slot) { return staging_[slot & 1]; }
 
  private:
   simmpi::Rank* rank_;
@@ -100,7 +103,7 @@ class Env {
   std::map<i32, simmpi::Request> requests_;
   i32 next_request_ = 1;
   std::vector<TranslationSample> samples_;
-  std::vector<u8> staging_;
+  std::vector<u8> staging_[2];
 };
 
 }  // namespace mpiwasm::embed

@@ -48,14 +48,22 @@ void write_status(LinearMemory& mem, u32 status_ptr, const Status& st) {
 }
 
 /// Resolves a guest buffer for sending. In zero-copy mode this is exactly
-/// `memory.base() + ptr` (§3.5); the ablation mode stages through a copy,
-/// which is what bench_ablation_zerocopy quantifies.
+/// `memory.base() + ptr` (§3.5) — guest collectives hand this span of
+/// linear memory straight to the algorithm layer; the ablation mode stages
+/// through a copy, which is what bench_ablation_zerocopy quantifies.
 const u8* send_view(Env& env, LinearMemory& mem, u32 ptr, u64 bytes) {
   u8* host = env.translate(mem, ptr, bytes);
   if (env.zero_copy()) return host;
-  auto& staging = env.staging();
+  auto& staging = env.staging(0);
   staging.assign(host, host + bytes);
   return staging.data();
+}
+
+/// Send-side view that decodes the MPI_IN_PLACE sentinel instead of
+/// translating it as an address.
+const void* coll_send_view(Env& env, LinearMemory& mem, u32 ptr, u64 bytes) {
+  if (ptr == u32(abi::MPI_IN_PLACE)) return simmpi::kInPlace;
+  return send_view(env, mem, ptr, bytes);
 }
 
 struct RecvView {
@@ -68,17 +76,22 @@ struct RecvView {
   }
 };
 
-RecvView recv_view(Env& env, LinearMemory& mem, u32 ptr, u64 bytes) {
+/// `preload` copies the guest contents into the staged buffer first, for
+/// calls whose receive buffer is also an input (bcast payload at the root,
+/// every MPI_IN_PLACE collective) or may be left partially untouched.
+RecvView recv_view(Env& env, LinearMemory& mem, u32 ptr, u64 bytes,
+                   bool preload = false) {
   RecvView v;
   v.guest = env.translate(mem, ptr, bytes);
   v.bytes = bytes;
   if (env.zero_copy()) {
     v.host = v.guest;
   } else {
-    auto& staging = env.staging();
+    auto& staging = env.staging(1);
     staging.resize(bytes);
     v.host = staging.data();
     v.staged = true;
+    if (preload) std::memcpy(v.host, v.guest, bytes);
   }
   return v;
 }
@@ -341,8 +354,9 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
             u64 bytes = msg_bytes(env, a[2].i32v, a[1].i32v);
             Datatype dt = env.translate_datatype(a[2].i32v, bytes);
             simmpi::Comm comm = env.translate_comm(a[4].i32v);
-            RecvView v = recv_view(env, ctx.memory(), a[0].u32v, bytes);
-            if (v.staged) std::memcpy(v.host, v.guest, bytes);  // root payload
+            // preload: the buffer is the payload at the root.
+            RecvView v = recv_view(env, ctx.memory(), a[0].u32v, bytes,
+                                   /*preload=*/true);
             env.rank().bcast(v.host, a[1].i32v, dt, a[3].i32v, comm);
             v.commit();
           });
@@ -358,10 +372,15 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
             simmpi::ReduceOp op = env.translate_op(a[4].i32v);
             simmpi::Comm comm = env.translate_comm(a[6].i32v);
             LinearMemory& mem = ctx.memory();
-            const u8* sbuf = env.translate(mem, a[0].u32v, bytes);
+            bool in_place = a[0].u32v == u32(abi::MPI_IN_PLACE);
+            const void* sbuf = coll_send_view(env, mem, a[0].u32v, bytes);
             bool is_root = env.rank().rank(comm) == a[5].i32v;
-            u8* rbuf = is_root ? env.translate(mem, a[1].u32v, bytes) : nullptr;
-            env.rank().reduce(sbuf, rbuf, a[2].i32v, dt, op, a[5].i32v, comm);
+            RecvView v;
+            if (is_root)
+              v = recv_view(env, mem, a[1].u32v, bytes, /*preload=*/in_place);
+            env.rank().reduce(sbuf, is_root ? v.host : nullptr, a[2].i32v, dt,
+                              op, a[5].i32v, comm);
+            if (is_root) v.commit();
           });
           r->i32v = abi::MPI_SUCCESS;
         });
@@ -375,9 +394,12 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
             simmpi::ReduceOp op = env.translate_op(a[4].i32v);
             simmpi::Comm comm = env.translate_comm(a[5].i32v);
             LinearMemory& mem = ctx.memory();
-            const u8* sbuf = env.translate(mem, a[0].u32v, bytes);
-            u8* rbuf = env.translate(mem, a[1].u32v, bytes);
-            env.rank().allreduce(sbuf, rbuf, a[2].i32v, dt, op, comm);
+            bool in_place = a[0].u32v == u32(abi::MPI_IN_PLACE);
+            const void* sbuf = coll_send_view(env, mem, a[0].u32v, bytes);
+            RecvView v =
+                recv_view(env, mem, a[1].u32v, bytes, /*preload=*/in_place);
+            env.rank().allreduce(sbuf, v.host, a[2].i32v, dt, op, comm);
+            v.commit();
           });
           r->i32v = abi::MPI_SUCCESS;
         });
@@ -387,18 +409,27 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
         [](HostContext& ctx, const Slot* a, Slot* r) {
           Env& env = env_of(ctx);
           guarded([&] {
-            u64 sbytes = msg_bytes(env, a[2].i32v, a[1].i32v);
-            Datatype sdt = env.translate_datatype(a[2].i32v, sbytes);
+            bool in_place = a[0].u32v == u32(abi::MPI_IN_PLACE);
+            // In-place gather ignores the root's send triple; size and type
+            // then come from the receive side.
+            i32 dt_handle = in_place ? a[5].i32v : a[2].i32v;
+            u64 sbytes = msg_bytes(env, dt_handle, a[1].i32v);
+            Datatype dt = env.translate_datatype(dt_handle, sbytes);
             env.translate_datatype(a[5].i32v, sbytes);  // recv type handle
             simmpi::Comm comm = env.translate_comm(a[7].i32v);
             LinearMemory& mem = ctx.memory();
-            const u8* sbuf = env.translate(mem, a[0].u32v, sbytes);
+            const void* sbuf =
+                in_place ? simmpi::kInPlace
+                         : coll_send_view(env, mem, a[0].u32v, sbytes);
             bool is_root = env.rank().rank(comm) == a[6].i32v;
             u64 total = msg_bytes(env, a[5].i32v, a[4].i32v) *
                         u64(env.rank().size(comm));
-            u8* rbuf = is_root ? env.translate(mem, a[3].u32v, total) : nullptr;
-            env.rank().gather(sbuf, a[1].i32v, rbuf, a[4].i32v, sdt, a[6].i32v,
-                              comm);
+            RecvView v;
+            if (is_root)
+              v = recv_view(env, mem, a[3].u32v, total, /*preload=*/in_place);
+            env.rank().gather(sbuf, a[1].i32v, is_root ? v.host : nullptr,
+                              a[4].i32v, dt, a[6].i32v, comm);
+            if (is_root) v.commit();
           });
           r->i32v = abi::MPI_SUCCESS;
         });
@@ -408,19 +439,27 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
         [](HostContext& ctx, const Slot* a, Slot* r) {
           Env& env = env_of(ctx);
           guarded([&] {
-            u64 rbytes = msg_bytes(env, a[5].i32v, a[4].i32v);
-            Datatype dt = env.translate_datatype(a[5].i32v, rbytes);
+            bool in_place = a[3].u32v == u32(abi::MPI_IN_PLACE);
+            i32 dt_handle = in_place ? a[2].i32v : a[5].i32v;
+            u64 rbytes = msg_bytes(env, dt_handle, a[4].i32v);
+            Datatype dt = env.translate_datatype(dt_handle, rbytes);
             env.translate_datatype(a[2].i32v, rbytes);
             simmpi::Comm comm = env.translate_comm(a[7].i32v);
             LinearMemory& mem = ctx.memory();
             bool is_root = env.rank().rank(comm) == a[6].i32v;
             u64 total = msg_bytes(env, a[2].i32v, a[1].i32v) *
                         u64(env.rank().size(comm));
-            const u8* sbuf =
-                is_root ? env.translate(mem, a[0].u32v, total) : nullptr;
-            u8* rbuf = env.translate(mem, a[3].u32v, rbytes);
+            const void* sbuf =
+                is_root ? coll_send_view(env, mem, a[0].u32v, total) : nullptr;
+            RecvView v;
+            void* rbuf = const_cast<void*>(simmpi::kInPlace);
+            if (!in_place) {
+              v = recv_view(env, mem, a[3].u32v, rbytes);
+              rbuf = v.host;
+            }
             env.rank().scatter(sbuf, a[1].i32v, rbuf, a[4].i32v, dt, a[6].i32v,
                                comm);
+            if (!in_place) v.commit();
           });
           r->i32v = abi::MPI_SUCCESS;
         });
@@ -430,16 +469,22 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
         [](HostContext& ctx, const Slot* a, Slot* r) {
           Env& env = env_of(ctx);
           guarded([&] {
-            u64 sbytes = msg_bytes(env, a[2].i32v, a[1].i32v);
-            Datatype dt = env.translate_datatype(a[2].i32v, sbytes);
+            bool in_place = a[0].u32v == u32(abi::MPI_IN_PLACE);
+            i32 dt_handle = in_place ? a[5].i32v : a[2].i32v;
+            u64 sbytes = msg_bytes(env, dt_handle, a[1].i32v);
+            Datatype dt = env.translate_datatype(dt_handle, sbytes);
             env.translate_datatype(a[5].i32v, sbytes);
             simmpi::Comm comm = env.translate_comm(a[6].i32v);
             LinearMemory& mem = ctx.memory();
-            const u8* sbuf = env.translate(mem, a[0].u32v, sbytes);
+            const void* sbuf =
+                in_place ? simmpi::kInPlace
+                         : coll_send_view(env, mem, a[0].u32v, sbytes);
             u64 total = msg_bytes(env, a[5].i32v, a[4].i32v) *
                         u64(env.rank().size(comm));
-            u8* rbuf = env.translate(mem, a[3].u32v, total);
-            env.rank().allgather(sbuf, a[1].i32v, rbuf, a[4].i32v, dt, comm);
+            RecvView v =
+                recv_view(env, mem, a[3].u32v, total, /*preload=*/in_place);
+            env.rank().allgather(sbuf, a[1].i32v, v.host, a[4].i32v, dt, comm);
+            v.commit();
           });
           r->i32v = abi::MPI_SUCCESS;
         });
@@ -455,10 +500,11 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
             simmpi::Comm comm = env.translate_comm(a[6].i32v);
             LinearMemory& mem = ctx.memory();
             int n = env.rank().size(comm);
-            const u8* sbuf = env.translate(mem, a[0].u32v, sblock * u64(n));
+            const u8* sbuf = send_view(env, mem, a[0].u32v, sblock * u64(n));
             u64 rblock = msg_bytes(env, a[5].i32v, a[4].i32v);
-            u8* rbuf = env.translate(mem, a[3].u32v, rblock * u64(n));
-            env.rank().alltoall(sbuf, a[1].i32v, rbuf, a[4].i32v, dt, comm);
+            RecvView v = recv_view(env, mem, a[3].u32v, rblock * u64(n));
+            env.rank().alltoall(sbuf, a[1].i32v, v.host, a[4].i32v, dt, comm);
+            v.commit();
           });
           r->i32v = abi::MPI_SUCCESS;
         });
@@ -491,10 +537,85 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
               smax = std::max(smax, u64(sdispls[i]) + u64(scounts[i]));
               rmax = std::max(rmax, u64(rdispls[i]) + u64(rcounts[i]));
             }
-            const u8* sbuf = env.translate(mem, a[0].u32v, smax * esz);
-            u8* rbuf = env.translate(mem, a[4].u32v, rmax * esz);
-            env.rank().alltoallv(sbuf, scounts.data(), sdispls.data(), rbuf,
+            const u8* sbuf = send_view(env, mem, a[0].u32v, smax * esz);
+            RecvView v = recv_view(env, mem, a[4].u32v, rmax * esz,
+                                   /*preload=*/true);  // sparse displs
+            env.rank().alltoallv(sbuf, scounts.data(), sdispls.data(), v.host,
                                  rcounts.data(), rdispls.data(), dt, comm);
+            v.commit();
+          });
+          r->i32v = abi::MPI_SUCCESS;
+        });
+
+  t.add(ns, "MPI_Reduce_scatter", FuncType{{I32, I32, I32, I32, I32, I32}, {I32}},
+        [](HostContext& ctx, const Slot* a, Slot* r) {
+          Env& env = env_of(ctx);
+          guarded([&] {
+            Datatype dt = env.translate_datatype(a[3].i32v, 0);
+            simmpi::ReduceOp op = env.translate_op(a[4].i32v);
+            simmpi::Comm comm = env.translate_comm(a[5].i32v);
+            LinearMemory& mem = ctx.memory();
+            int n = env.rank().size(comm);
+            int me = env.rank().rank(comm);
+            std::vector<i32> counts(static_cast<size_t>(n));
+            u64 total = 0;
+            for (int i = 0; i < n; ++i) {
+              counts[i] = mem.load<i32>(a[2].u32v + u32(i) * 4);
+              total += u64(counts[i]);
+            }
+            u64 esize = simmpi::datatype_size(dt);
+            bool in_place = a[0].u32v == u32(abi::MPI_IN_PLACE);
+            // In-place input is the full vector in recvbuf; otherwise the
+            // receive buffer only holds this rank's block.
+            u64 rbytes = (in_place ? total : u64(counts[me])) * esize;
+            const void* sbuf =
+                in_place ? simmpi::kInPlace
+                         : coll_send_view(env, mem, a[0].u32v, total * esize);
+            RecvView v =
+                recv_view(env, mem, a[1].u32v, rbytes, /*preload=*/in_place);
+            env.rank().reduce_scatter(sbuf, v.host, counts.data(), dt, op,
+                                      comm);
+            v.commit();
+          });
+          r->i32v = abi::MPI_SUCCESS;
+        });
+
+  t.add(ns, "MPI_Scan", FuncType{{I32, I32, I32, I32, I32, I32}, {I32}},
+        [](HostContext& ctx, const Slot* a, Slot* r) {
+          Env& env = env_of(ctx);
+          guarded([&] {
+            u64 bytes = msg_bytes(env, a[3].i32v, a[2].i32v);
+            Datatype dt = env.translate_datatype(a[3].i32v, bytes);
+            simmpi::ReduceOp op = env.translate_op(a[4].i32v);
+            simmpi::Comm comm = env.translate_comm(a[5].i32v);
+            LinearMemory& mem = ctx.memory();
+            bool in_place = a[0].u32v == u32(abi::MPI_IN_PLACE);
+            const void* sbuf = coll_send_view(env, mem, a[0].u32v, bytes);
+            RecvView v =
+                recv_view(env, mem, a[1].u32v, bytes, /*preload=*/in_place);
+            env.rank().scan(sbuf, v.host, a[2].i32v, dt, op, comm);
+            v.commit();
+          });
+          r->i32v = abi::MPI_SUCCESS;
+        });
+
+  t.add(ns, "MPI_Exscan", FuncType{{I32, I32, I32, I32, I32, I32}, {I32}},
+        [](HostContext& ctx, const Slot* a, Slot* r) {
+          Env& env = env_of(ctx);
+          guarded([&] {
+            u64 bytes = msg_bytes(env, a[3].i32v, a[2].i32v);
+            Datatype dt = env.translate_datatype(a[3].i32v, bytes);
+            simmpi::ReduceOp op = env.translate_op(a[4].i32v);
+            simmpi::Comm comm = env.translate_comm(a[5].i32v);
+            LinearMemory& mem = ctx.memory();
+            bool in_place = a[0].u32v == u32(abi::MPI_IN_PLACE);
+            const void* sbuf = coll_send_view(env, mem, a[0].u32v, bytes);
+            // preload so rank 0's untouched recvbuf round-trips unchanged
+            // through the staged commit.
+            RecvView v =
+                recv_view(env, mem, a[1].u32v, bytes, /*preload=*/true);
+            env.rank().exscan(sbuf, v.host, a[2].i32v, dt, op, comm);
+            v.commit();
           });
           r->i32v = abi::MPI_SUCCESS;
         });

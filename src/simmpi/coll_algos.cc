@@ -1,0 +1,1167 @@
+#include "simmpi/coll_algos.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <iterator>
+#include <string_view>
+
+#include "simmpi/reduce_ops.h"
+#include "support/log.h"
+#include "support/timing.h"
+
+namespace mpiwasm::simmpi {
+
+// ---------------------------------------------------------------------------
+// CollTuning::from_env (declared in types.h; lives here next to the names)
+// ---------------------------------------------------------------------------
+
+namespace coll_detail {
+
+/// The single CollOp -> CollTuning-field mapping shared by from_env,
+/// forced_algo, and forced_tuning (one row to add per new collective).
+struct CollVar {
+  coll::CollOp op;
+  const char* env;
+  CollAlgo CollTuning::*field;
+};
+constexpr CollVar kCollVars[] = {
+    {coll::CollOp::kBarrier, "MPIWASM_COLL_BARRIER", &CollTuning::barrier},
+    {coll::CollOp::kBcast, "MPIWASM_COLL_BCAST", &CollTuning::bcast},
+    {coll::CollOp::kReduce, "MPIWASM_COLL_REDUCE", &CollTuning::reduce},
+    {coll::CollOp::kAllreduce, "MPIWASM_COLL_ALLREDUCE",
+     &CollTuning::allreduce},
+    {coll::CollOp::kGather, "MPIWASM_COLL_GATHER", &CollTuning::gather},
+    {coll::CollOp::kScatter, "MPIWASM_COLL_SCATTER", &CollTuning::scatter},
+    {coll::CollOp::kAllgather, "MPIWASM_COLL_ALLGATHER",
+     &CollTuning::allgather},
+    {coll::CollOp::kAlltoall, "MPIWASM_COLL_ALLTOALL", &CollTuning::alltoall},
+    {coll::CollOp::kReduceScatter, "MPIWASM_COLL_REDUCE_SCATTER",
+     &CollTuning::reduce_scatter},
+    {coll::CollOp::kScan, "MPIWASM_COLL_SCAN", &CollTuning::scan},
+    {coll::CollOp::kExscan, "MPIWASM_COLL_EXSCAN", &CollTuning::exscan},
+};
+static_assert(std::size(kCollVars) == size_t(coll::kNumCollOps));
+
+bool algo_supported(coll::CollOp op, CollAlgo a) {
+  if (a == CollAlgo::kAuto) return true;
+  for (CollAlgo v : coll::algos_for(op))
+    if (v == a) return true;
+  return false;
+}
+
+}  // namespace coll_detail
+
+CollTuning CollTuning::from_env(CollTuning base) {
+  for (const auto& v : coll_detail::kCollVars) {
+    const char* s = std::getenv(v.env);
+    if (s == nullptr || *s == '\0') continue;
+    CollAlgo a;
+    if (!coll::algo_from_name(s, &a)) {
+      MW_WARN("ignoring unknown algorithm '" << s << "' in " << v.env);
+    } else if (!coll_detail::algo_supported(v.op, a)) {
+      // Fail at startup, not as a fatal MpiError mid-simulation.
+      MW_WARN("ignoring " << v.env << "=" << s << ": "
+                          << coll::coll_name(v.op) << " has no such algorithm");
+    } else {
+      base.*v.field = a;
+    }
+  }
+  if (const char* s = std::getenv("MPIWASM_COLL_SHM"); s != nullptr) {
+    std::string_view v(s);
+    base.enable_shm = !(v == "0" || v == "false" || v == "off");
+  }
+  if (const char* s = std::getenv("MPIWASM_COLL_SHM_MAX"); s != nullptr) {
+    char* end = nullptr;
+    unsigned long long n = std::strtoull(s, &end, 10);
+    if (end != s) base.shm_max_bytes = size_t(n);
+  }
+  return base;
+}
+
+namespace coll {
+
+namespace {
+
+/// Relative rank helpers for trees rooted at `root`.
+int rel(int r, int root, int size) { return (r - root + size) % size; }
+int unrel(int r, int root, int size) { return (r + root) % size; }
+
+bool is_pof2(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+int floor_pof2(int n) {
+  int p = 1;
+  while (p * 2 <= n) p *= 2;
+  return p;
+}
+
+/// Splits `count` elements into `parts` chunks (first count%parts chunks
+/// get one extra element); fills element counts and offsets.
+void chunk_counts(int count, int parts, std::vector<int>* cnts,
+                  std::vector<int>* offs) {
+  cnts->assign(size_t(parts), 0);
+  offs->assign(size_t(parts), 0);
+  int base = count / parts, extra = count % parts, off = 0;
+  for (int i = 0; i < parts; ++i) {
+    (*cnts)[i] = base + (i < extra ? 1 : 0);
+    (*offs)[i] = off;
+    off += (*cnts)[i];
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Names, registry, selection
+// ---------------------------------------------------------------------------
+
+const char* coll_name(CollOp c) {
+  switch (c) {
+    case CollOp::kBarrier: return "barrier";
+    case CollOp::kBcast: return "bcast";
+    case CollOp::kReduce: return "reduce";
+    case CollOp::kAllreduce: return "allreduce";
+    case CollOp::kGather: return "gather";
+    case CollOp::kScatter: return "scatter";
+    case CollOp::kAllgather: return "allgather";
+    case CollOp::kAlltoall: return "alltoall";
+    case CollOp::kReduceScatter: return "reduce_scatter";
+    case CollOp::kScan: return "scan";
+    case CollOp::kExscan: return "exscan";
+  }
+  return "?";
+}
+
+const char* algo_name(CollAlgo a) {
+  switch (a) {
+    case CollAlgo::kAuto: return "auto";
+    case CollAlgo::kLinear: return "linear";
+    case CollAlgo::kBinomial: return "binomial";
+    case CollAlgo::kDissemination: return "dissemination";
+    case CollAlgo::kRing: return "ring";
+    case CollAlgo::kRecursiveDoubling: return "rdbl";
+    case CollAlgo::kRabenseifner: return "raben";
+    case CollAlgo::kPairwise: return "pairwise";
+    case CollAlgo::kShm: return "shm";
+  }
+  return "?";
+}
+
+bool algo_from_name(std::string_view name, CollAlgo* out) {
+  if (name == "auto") *out = CollAlgo::kAuto;
+  else if (name == "linear") *out = CollAlgo::kLinear;
+  else if (name == "binomial" || name == "tree") *out = CollAlgo::kBinomial;
+  else if (name == "dissemination" || name == "dissem")
+    *out = CollAlgo::kDissemination;
+  else if (name == "ring") *out = CollAlgo::kRing;
+  else if (name == "rdbl" || name == "recursive_doubling")
+    *out = CollAlgo::kRecursiveDoubling;
+  else if (name == "raben" || name == "rabenseifner")
+    *out = CollAlgo::kRabenseifner;
+  else if (name == "pairwise") *out = CollAlgo::kPairwise;
+  else if (name == "shm") *out = CollAlgo::kShm;
+  else return false;
+  return true;
+}
+
+std::span<const CollAlgo> algos_for(CollOp c) {
+  using A = CollAlgo;
+  static constexpr A kBarrierA[] = {A::kLinear, A::kDissemination, A::kShm};
+  static constexpr A kBcastA[] = {A::kLinear, A::kBinomial, A::kShm};
+  static constexpr A kReduceA[] = {A::kLinear, A::kBinomial, A::kShm};
+  static constexpr A kAllreduceA[] = {A::kLinear, A::kBinomial,
+                                      A::kRecursiveDoubling, A::kRing,
+                                      A::kRabenseifner, A::kShm};
+  static constexpr A kGatherA[] = {A::kLinear, A::kBinomial, A::kShm};
+  static constexpr A kAllgatherA[] = {A::kLinear, A::kRing,
+                                      A::kRecursiveDoubling, A::kShm};
+  static constexpr A kAlltoallA[] = {A::kLinear, A::kPairwise};
+  static constexpr A kRsA[] = {A::kLinear, A::kPairwise, A::kShm};
+  static constexpr A kScanA[] = {A::kLinear, A::kRecursiveDoubling, A::kShm};
+  switch (c) {
+    case CollOp::kBarrier: return kBarrierA;
+    case CollOp::kBcast: return kBcastA;
+    case CollOp::kReduce: return kReduceA;
+    case CollOp::kAllreduce: return kAllreduceA;
+    case CollOp::kGather: return kGatherA;
+    case CollOp::kScatter: return kGatherA;
+    case CollOp::kAllgather: return kAllgatherA;
+    case CollOp::kAlltoall: return kAlltoallA;
+    case CollOp::kReduceScatter: return kRsA;
+    case CollOp::kScan: return kScanA;
+    case CollOp::kExscan: return kScanA;
+  }
+  return {};
+}
+
+CollAlgo forced_algo(const CollTuning& t, CollOp c) {
+  for (const auto& v : coll_detail::kCollVars)
+    if (v.op == c) return t.*v.field;
+  return CollAlgo::kAuto;
+}
+
+CollTuning forced_tuning(CollOp c, CollAlgo algo) {
+  CollTuning t;
+  for (const auto& v : coll_detail::kCollVars)
+    if (v.op == c) t.*v.field = algo;
+  return t;
+}
+
+CollAlgo select(CollOp c, const CollTuning& t, int nranks, size_t bytes,
+                bool shm_ok, int hw_threads) {
+  CollAlgo f = forced_algo(t, c);
+  // A forced shm choice degrades to the auto table when the payload does
+  // not fit a slot (or the context is absent) instead of failing the call.
+  if (f != CollAlgo::kAuto && !(f == CollAlgo::kShm && !shm_ok)) {
+    for (CollAlgo a : algos_for(c))
+      if (a == f) return f;
+    throw MpiError(std::string("collective '") + coll_name(c) +
+                   "' has no '" + algo_name(f) + "' algorithm");
+  }
+  // Topology term: with more rank threads than cores the fan-in barrier
+  // costs a full scheduler round per epoch, while tree algorithms over
+  // the mailbox path pipeline through blocked threads. Real MPIs make the
+  // same intra-node/ppn distinction when picking collective algorithms.
+  static const int host_hw = int(std::thread::hardware_concurrency());
+  const int hw = hw_threads > 0 ? hw_threads : host_hw;
+  const bool oversubscribed = hw > 0 && nranks > hw;
+  switch (c) {
+    case CollOp::kBarrier:
+      // One epoch beats log2(n) mailbox rounds even when oversubscribed.
+      return shm_ok ? CollAlgo::kShm : CollAlgo::kDissemination;
+    case CollOp::kBcast:
+    case CollOp::kReduce:
+      if (shm_ok && !oversubscribed) return CollAlgo::kShm;
+      return CollAlgo::kBinomial;
+    case CollOp::kAllreduce:
+      // Every rank reduces all n slots, amortizing the barrier epochs —
+      // shm wins even when oversubscribed (unlike the rooted trees).
+      if (shm_ok) return CollAlgo::kShm;
+      if (oversubscribed && bytes <= 32 * 1024) return CollAlgo::kBinomial;
+      // MPICH-style: latency-bound sizes use recursive doubling, beyond
+      // that the bandwidth-optimal reduce-scatter + allgather.
+      return bytes <= 32 * 1024 ? CollAlgo::kRecursiveDoubling
+                                : CollAlgo::kRabenseifner;
+    case CollOp::kGather:
+    case CollOp::kScatter:
+      if (shm_ok && !oversubscribed) return CollAlgo::kShm;
+      // Binomial trees stage subtree copies; past ~1 MiB total the linear
+      // algorithm's single direct copy per rank wins.
+      return bytes * size_t(nranks) <= (size_t(1) << 20) ? CollAlgo::kBinomial
+                                                         : CollAlgo::kLinear;
+    case CollOp::kAllgather:
+      // n blocks cross the segment, amortizing the barrier epochs; shm
+      // stays ahead of the ring even when oversubscribed.
+      if (shm_ok) return CollAlgo::kShm;
+      return bytes * size_t(nranks) <= 128 * 1024 && is_pof2(nranks)
+                 ? CollAlgo::kRecursiveDoubling
+                 : CollAlgo::kRing;
+    case CollOp::kAlltoall:
+      return CollAlgo::kPairwise;
+    case CollOp::kReduceScatter:
+      if (shm_ok) return CollAlgo::kShm;
+      return bytes <= 16 * 1024 ? CollAlgo::kLinear : CollAlgo::kPairwise;
+    case CollOp::kScan:
+    case CollOp::kExscan:
+      // The linear chain pipelines perfectly under oversubscription.
+      if (oversubscribed) return CollAlgo::kLinear;
+      return shm_ok ? CollAlgo::kShm : CollAlgo::kRecursiveDoubling;
+  }
+  return CollAlgo::kLinear;
+}
+
+// ---------------------------------------------------------------------------
+// Engine: shared plumbing
+// ---------------------------------------------------------------------------
+
+void Engine::charge(Rank& r, size_t bytes) {
+  spin_for_ns(r.world_->profile().message_cost_ns(bytes));
+}
+
+// ---------------------------------------------------------------------------
+// Barrier
+// ---------------------------------------------------------------------------
+
+void Engine::barrier_dissemination(Rank& r, const detail::CommData& c) {
+  int n = int(c.world_ranks.size());
+  int me = c.my_comm_rank;
+  u8 token = 1;
+  for (int k = 1; k < n; k <<= 1) {
+    int to = (me + k) % n;
+    int from = (me - k + n) % n;
+    u8 dummy;
+    Request req = r.irecv_internal(&dummy, 1, from, kCollectiveTag, c);
+    r.send_internal(&token, 1, to, kCollectiveTag, c);
+    r.wait(req);
+  }
+}
+
+void Engine::barrier_linear(Rank& r, const detail::CommData& c) {
+  int n = int(c.world_ranks.size());
+  int me = c.my_comm_rank;
+  u8 token = 1;
+  if (me == 0) {
+    for (int src = 1; src < n; ++src)
+      r.recv_internal(&token, 1, src, kCollectiveTag, c);
+    for (int dst = 1; dst < n; ++dst)
+      r.send_internal(&token, 1, dst, kCollectiveTag, c);
+  } else {
+    r.send_internal(&token, 1, 0, kCollectiveTag, c);
+    r.recv_internal(&token, 1, 0, kCollectiveTag, c);
+  }
+}
+
+void Engine::barrier_shm(Rank& r, const detail::CommData& c) {
+  charge(r, 0);
+  c.coll->barrier_wait(*r.world_);
+}
+
+// ---------------------------------------------------------------------------
+// Bcast
+// ---------------------------------------------------------------------------
+
+void Engine::bcast_linear(Rank& r, const detail::CommData& c, void* buf,
+                          size_t bytes, int root) {
+  int n = int(c.world_ranks.size());
+  if (c.my_comm_rank == root) {
+    for (int dst = 0; dst < n; ++dst)
+      if (dst != root) r.send_internal(buf, bytes, dst, kCollectiveTag, c);
+  } else {
+    r.recv_internal(buf, bytes, root, kCollectiveTag, c);
+  }
+}
+
+void Engine::bcast_binomial(Rank& r, const detail::CommData& c, void* buf,
+                            size_t bytes, int root) {
+  int n = int(c.world_ranks.size());
+  int me = rel(c.my_comm_rank, root, n);
+  // Relative rank me receives from me - 2^j (lowest set bit), then
+  // forwards to me + 2^k for growing k below that bit.
+  if (me != 0) {
+    int lsb = me & -me;
+    r.recv_internal(buf, bytes, unrel(me - lsb, root, n), kCollectiveTag, c);
+  }
+  int lsb = me == 0 ? (1 << 30) : (me & -me);
+  for (int k = 1; k < lsb && k < n; k <<= 1) {
+    if (me + k < n)
+      r.send_internal(buf, bytes, unrel(me + k, root, n), kCollectiveTag, c);
+  }
+}
+
+void Engine::bcast_shm(Rank& r, const detail::CommData& c, void* buf,
+                       size_t bytes, int root) {
+  CollectiveContext& ctx = *c.coll;
+  if (c.my_comm_rank == root) {
+    std::memcpy(ctx.slot(root), buf, bytes);
+    charge(r, bytes);
+  }
+  ctx.barrier_wait(*r.world_);
+  if (c.my_comm_rank != root) {
+    std::memcpy(buf, ctx.slot(root), bytes);
+    charge(r, bytes);
+  }
+  // Keeps the root from reusing its slot before every reader is done.
+  ctx.barrier_wait(*r.world_);
+}
+
+// ---------------------------------------------------------------------------
+// Reduce
+// ---------------------------------------------------------------------------
+
+void Engine::reduce_linear(Rank& r, const detail::CommData& c,
+                           const void* sendbuf, void* recvbuf, int count,
+                           Datatype type, ReduceOp op, int root) {
+  int n = int(c.world_ranks.size());
+  size_t bytes = size_t(count) * datatype_size(type);
+  if (c.my_comm_rank != root) {
+    r.send_internal(sendbuf, bytes, root, kCollectiveTag, c);
+    return;
+  }
+  // Canonical left-to-right combine over comm-rank order — the reference
+  // order every other algorithm is differential-tested against.
+  std::vector<u8> own(bytes);
+  std::memcpy(own.data(), sendbuf, bytes);  // sendbuf may alias recvbuf
+  std::vector<u8> tmp(bytes);
+  u8* out = static_cast<u8*>(recvbuf);
+  for (int src = 0; src < n; ++src) {
+    const u8* contrib;
+    if (src == root) {
+      contrib = own.data();
+    } else {
+      r.recv_internal(tmp.data(), bytes, src, kCollectiveTag, c);
+      contrib = tmp.data();
+    }
+    if (src == 0)
+      std::memcpy(out, contrib, bytes);
+    else
+      apply_reduce(op, type, contrib, out, count);
+  }
+}
+
+void Engine::reduce_binomial(Rank& r, const detail::CommData& c,
+                             const void* sendbuf, void* recvbuf, int count,
+                             Datatype type, ReduceOp op, int root) {
+  int n = int(c.world_ranks.size());
+  size_t bytes = size_t(count) * datatype_size(type);
+  int me = rel(c.my_comm_rank, root, n);
+  std::vector<u8> acc(bytes);
+  std::memcpy(acc.data(), sendbuf, bytes);
+  std::vector<u8> incoming(bytes);
+  // Receive from children (me + 2^k), fold, then send to parent (me - lsb).
+  for (int k = 1; k < n; k <<= 1) {
+    if ((me & k) != 0) {
+      r.send_internal(acc.data(), bytes, unrel(me - k, root, n),
+                      kCollectiveTag, c);
+      break;
+    }
+    if (me + k < n) {
+      r.recv_internal(incoming.data(), bytes, unrel(me + k, root, n),
+                      kCollectiveTag, c);
+      apply_reduce(op, type, incoming.data(), acc.data(), count);
+    }
+  }
+  if (me == 0 && recvbuf != nullptr) std::memcpy(recvbuf, acc.data(), bytes);
+}
+
+void Engine::reduce_shm(Rank& r, const detail::CommData& c,
+                        const void* sendbuf, void* recvbuf, int count,
+                        Datatype type, ReduceOp op, int root) {
+  CollectiveContext& ctx = *c.coll;
+  int n = int(c.world_ranks.size());
+  size_t bytes = size_t(count) * datatype_size(type);
+  std::memcpy(ctx.slot(c.my_comm_rank), sendbuf, bytes);
+  charge(r, bytes);
+  ctx.barrier_wait(*r.world_);
+  if (c.my_comm_rank == root) {
+    u8* out = static_cast<u8*>(recvbuf);
+    std::memcpy(out, ctx.slot(0), bytes);
+    for (int src = 1; src < n; ++src)
+      apply_reduce(op, type, ctx.slot(src), out, count);
+    charge(r, bytes);
+  }
+  ctx.barrier_wait(*r.world_);
+}
+
+// ---------------------------------------------------------------------------
+// Allreduce
+// ---------------------------------------------------------------------------
+
+void Engine::allreduce_linear(Rank& r, const detail::CommData& c,
+                              const void* sendbuf, void* recvbuf, int count,
+                              Datatype type, ReduceOp op) {
+  size_t bytes = size_t(count) * datatype_size(type);
+  reduce_linear(r, c, sendbuf, recvbuf, count, type, op, 0);
+  bcast_linear(r, c, recvbuf, bytes, 0);
+}
+
+void Engine::allreduce_binomial(Rank& r, const detail::CommData& c,
+                                const void* sendbuf, void* recvbuf, int count,
+                                Datatype type, ReduceOp op) {
+  // Binomial-tree reduce + binomial-tree bcast: 2 (n - 1) total messages
+  // with subtree pipelining — the strongest choice when rank threads
+  // outnumber cores and barrier-style global synchronization stalls.
+  size_t bytes = size_t(count) * datatype_size(type);
+  reduce_binomial(r, c, sendbuf, recvbuf, count, type, op, 0);
+  bcast_binomial(r, c, recvbuf, bytes, 0);
+}
+
+void Engine::allreduce_rdbl(Rank& r, const detail::CommData& c,
+                            const void* sendbuf, void* recvbuf, int count,
+                            Datatype type, ReduceOp op) {
+  int n = int(c.world_ranks.size());
+  int me = c.my_comm_rank;
+  size_t bytes = size_t(count) * datatype_size(type);
+  if (recvbuf != sendbuf) std::memmove(recvbuf, sendbuf, bytes);
+  std::vector<u8> tmp(bytes);
+  int pof2 = floor_pof2(n);
+  int rem = n - pof2;
+  // Fold the rem extra ranks into their even partners' odd neighbours.
+  int newrank;
+  if (me < 2 * rem) {
+    if ((me % 2) == 0) {
+      r.send_internal(recvbuf, bytes, me + 1, kCollectiveTag, c);
+      newrank = -1;
+    } else {
+      r.recv_internal(tmp.data(), bytes, me - 1, kCollectiveTag, c);
+      apply_reduce(op, type, tmp.data(), recvbuf, count);
+      newrank = me / 2;
+    }
+  } else {
+    newrank = me - rem;
+  }
+  if (newrank >= 0) {
+    for (int mask = 1; mask < pof2; mask <<= 1) {
+      int newpartner = newrank ^ mask;
+      int partner = newpartner < rem ? newpartner * 2 + 1 : newpartner + rem;
+      Request req =
+          r.irecv_internal(tmp.data(), bytes, partner, kCollectiveTag, c);
+      r.send_internal(recvbuf, bytes, partner, kCollectiveTag, c);
+      r.wait(req);
+      apply_reduce(op, type, tmp.data(), recvbuf, count);
+    }
+  }
+  // Hand the result back to the folded-out even ranks.
+  if (me < 2 * rem) {
+    if ((me % 2) == 0)
+      r.recv_internal(recvbuf, bytes, me + 1, kCollectiveTag, c);
+    else
+      r.send_internal(recvbuf, bytes, me - 1, kCollectiveTag, c);
+  }
+}
+
+void Engine::allreduce_ring(Rank& r, const detail::CommData& c,
+                            const void* sendbuf, void* recvbuf, int count,
+                            Datatype type, ReduceOp op) {
+  int n = int(c.world_ranks.size());
+  int me = c.my_comm_rank;
+  size_t esize = datatype_size(type);
+  if (recvbuf != sendbuf) std::memmove(recvbuf, sendbuf, size_t(count) * esize);
+  std::vector<int> cnts, offs;
+  chunk_counts(count, n, &cnts, &offs);
+  std::vector<u8> tmp((size_t(count) / n + 1) * esize);
+  u8* out = static_cast<u8*>(recvbuf);
+  int right = (me + 1) % n, left = (me - 1 + n) % n;
+  // Reduce-scatter phase: each chunk circulates the ring accumulating.
+  for (int s = 0; s < n - 1; ++s) {
+    int send_chunk = (me - s + n) % n;
+    int recv_chunk = (me - s - 1 + n) % n;
+    Request req =
+        r.irecv_internal(tmp.data(), size_t(cnts[recv_chunk]) * esize, left,
+                         kCollectiveTag, c);
+    r.send_internal(out + size_t(offs[send_chunk]) * esize,
+                    size_t(cnts[send_chunk]) * esize, right, kCollectiveTag, c);
+    r.wait(req);
+    apply_reduce(op, type, tmp.data(), out + size_t(offs[recv_chunk]) * esize,
+                 cnts[recv_chunk]);
+  }
+  // Allgather phase: rank me now owns complete chunk (me + 1) % n.
+  for (int s = 0; s < n - 1; ++s) {
+    int send_chunk = (me + 1 - s + n) % n;
+    int recv_chunk = (me - s + n) % n;
+    Request req = r.irecv_internal(out + size_t(offs[recv_chunk]) * esize,
+                                   size_t(cnts[recv_chunk]) * esize, left,
+                                   kCollectiveTag, c);
+    r.send_internal(out + size_t(offs[send_chunk]) * esize,
+                    size_t(cnts[send_chunk]) * esize, right, kCollectiveTag, c);
+    r.wait(req);
+  }
+}
+
+void Engine::allreduce_rabenseifner(Rank& r, const detail::CommData& c,
+                                    const void* sendbuf, void* recvbuf,
+                                    int count, Datatype type, ReduceOp op) {
+  int n = int(c.world_ranks.size());
+  int pof2 = floor_pof2(n);
+  if (count < pof2) {
+    // Chunks would be empty; recursive doubling is the right tool anyway.
+    allreduce_rdbl(r, c, sendbuf, recvbuf, count, type, op);
+    return;
+  }
+  int me = c.my_comm_rank;
+  size_t esize = datatype_size(type);
+  size_t bytes = size_t(count) * esize;
+  if (recvbuf != sendbuf) std::memmove(recvbuf, sendbuf, bytes);
+  std::vector<u8> tmp(bytes);
+  u8* out = static_cast<u8*>(recvbuf);
+  int rem = n - pof2;
+  int newrank;
+  if (me < 2 * rem) {
+    if ((me % 2) == 0) {
+      r.send_internal(out, bytes, me + 1, kCollectiveTag, c);
+      newrank = -1;
+    } else {
+      r.recv_internal(tmp.data(), bytes, me - 1, kCollectiveTag, c);
+      apply_reduce(op, type, tmp.data(), out, count);
+      newrank = me / 2;
+    }
+  } else {
+    newrank = me - rem;
+  }
+  if (newrank >= 0) {
+    auto real_rank = [&](int nr) { return nr < rem ? nr * 2 + 1 : nr + rem; };
+    std::vector<int> cnts, offs;
+    chunk_counts(count, pof2, &cnts, &offs);
+    auto range_elems = [&](int lo, int hi) {
+      return offs[hi - 1] + cnts[hi - 1] - offs[lo];
+    };
+    // Reduce-scatter by recursive halving; remember each step's window so
+    // the allgather phase can replay it in reverse.
+    struct Step {
+      int partner, keep_lo, keep_hi, give_lo, give_hi;
+    };
+    std::vector<Step> steps;
+    int lo = 0, hi = pof2;
+    for (int mask = pof2 >> 1; mask >= 1; mask >>= 1) {
+      int partner = real_rank(newrank ^ mask);
+      int mid = lo + (hi - lo) / 2;
+      Step st;
+      st.partner = partner;
+      if ((newrank & mask) == 0) {
+        st.keep_lo = lo, st.keep_hi = mid, st.give_lo = mid, st.give_hi = hi;
+      } else {
+        st.keep_lo = mid, st.keep_hi = hi, st.give_lo = lo, st.give_hi = mid;
+      }
+      Request req = r.irecv_internal(
+          tmp.data(), size_t(range_elems(st.keep_lo, st.keep_hi)) * esize,
+          partner, kCollectiveTag, c);
+      r.send_internal(out + size_t(offs[st.give_lo]) * esize,
+                      size_t(range_elems(st.give_lo, st.give_hi)) * esize,
+                      partner, kCollectiveTag, c);
+      r.wait(req);
+      apply_reduce(op, type, tmp.data(), out + size_t(offs[st.keep_lo]) * esize,
+                   range_elems(st.keep_lo, st.keep_hi));
+      lo = st.keep_lo, hi = st.keep_hi;
+      steps.push_back(st);
+    }
+    // Allgather by recursive doubling: reverse of the halving schedule.
+    for (auto it = steps.rbegin(); it != steps.rend(); ++it) {
+      Request req = r.irecv_internal(
+          out + size_t(offs[it->give_lo]) * esize,
+          size_t(range_elems(it->give_lo, it->give_hi)) * esize, it->partner,
+          kCollectiveTag, c);
+      r.send_internal(out + size_t(offs[it->keep_lo]) * esize,
+                      size_t(range_elems(it->keep_lo, it->keep_hi)) * esize,
+                      it->partner, kCollectiveTag, c);
+      r.wait(req);
+    }
+  }
+  if (me < 2 * rem) {
+    if ((me % 2) == 0)
+      r.recv_internal(out, bytes, me + 1, kCollectiveTag, c);
+    else
+      r.send_internal(out, bytes, me - 1, kCollectiveTag, c);
+  }
+}
+
+void Engine::allreduce_shm(Rank& r, const detail::CommData& c,
+                           const void* sendbuf, void* recvbuf, int count,
+                           Datatype type, ReduceOp op) {
+  CollectiveContext& ctx = *c.coll;
+  int n = int(c.world_ranks.size());
+  size_t bytes = size_t(count) * datatype_size(type);
+  std::memcpy(ctx.slot(c.my_comm_rank), sendbuf, bytes);
+  charge(r, bytes);
+  ctx.barrier_wait(*r.world_);
+  u8* out = static_cast<u8*>(recvbuf);
+  std::memcpy(out, ctx.slot(0), bytes);
+  for (int src = 1; src < n; ++src)
+    apply_reduce(op, type, ctx.slot(src), out, count);
+  charge(r, bytes);
+  ctx.barrier_wait(*r.world_);
+}
+
+// ---------------------------------------------------------------------------
+// Gather / Scatter
+// ---------------------------------------------------------------------------
+
+void Engine::gather_linear(Rank& r, const detail::CommData& c,
+                           const void* sendbuf, void* recvbuf, size_t block,
+                           int root, bool in_place) {
+  int n = int(c.world_ranks.size());
+  if (c.my_comm_rank == root) {
+    u8* out = static_cast<u8*>(recvbuf);
+    if (!in_place) std::memcpy(out + size_t(root) * block, sendbuf, block);
+    for (int src = 0; src < n; ++src) {
+      if (src == root) continue;
+      r.recv_internal(out + size_t(src) * block, block, src, kCollectiveTag, c);
+    }
+  } else {
+    r.send_internal(sendbuf, block, root, kCollectiveTag, c);
+  }
+}
+
+void Engine::gather_binomial(Rank& r, const detail::CommData& c,
+                             const void* sendbuf, void* recvbuf, size_t block,
+                             int root, bool in_place) {
+  int n = int(c.world_ranks.size());
+  int me = rel(c.my_comm_rank, root, n);
+  // Subtree of relative rank me spans contiguous relative ranks
+  // [me, me + span); stage it in relative order, root reorders at the end.
+  int span = me == 0 ? n : std::min(me & -me, n - me);
+  std::vector<u8> tmp(size_t(span) * block);
+  const u8* own =
+      in_place && c.my_comm_rank == root
+          ? static_cast<const u8*>(recvbuf) + size_t(root) * block
+          : static_cast<const u8*>(sendbuf);
+  std::memcpy(tmp.data(), own, block);
+  int have = 1;  // blocks held so far, always a contiguous prefix of tmp
+  for (int k = 1; k < n; k <<= 1) {
+    if ((me & k) != 0) {
+      r.send_internal(tmp.data(), size_t(have) * block, unrel(me - k, root, n),
+                      kCollectiveTag, c);
+      break;
+    }
+    if (me + k < n) {
+      int child_span = std::min(k, n - (me + k));
+      r.recv_internal(tmp.data() + size_t(k) * block, size_t(child_span) * block,
+                      unrel(me + k, root, n), kCollectiveTag, c);
+      have = k + child_span;
+    }
+  }
+  if (me == 0) {
+    u8* out = static_cast<u8*>(recvbuf);
+    for (int i = 0; i < n; ++i) {
+      int abs = unrel(i, root, n);
+      if (abs == root && in_place) continue;
+      std::memcpy(out + size_t(abs) * block, tmp.data() + size_t(i) * block,
+                  block);
+    }
+  }
+}
+
+void Engine::gather_shm(Rank& r, const detail::CommData& c,
+                        const void* sendbuf, void* recvbuf, size_t block,
+                        int root, bool in_place) {
+  CollectiveContext& ctx = *c.coll;
+  int n = int(c.world_ranks.size());
+  int me = c.my_comm_rank;
+  if (me != root) {
+    std::memcpy(ctx.slot(me), sendbuf, block);
+    charge(r, block);
+  }
+  ctx.barrier_wait(*r.world_);
+  if (me == root) {
+    u8* out = static_cast<u8*>(recvbuf);
+    if (!in_place) std::memcpy(out + size_t(root) * block, sendbuf, block);
+    for (int src = 0; src < n; ++src) {
+      if (src == root) continue;
+      std::memcpy(out + size_t(src) * block, ctx.slot(src), block);
+    }
+    charge(r, block);
+  }
+  ctx.barrier_wait(*r.world_);
+}
+
+void Engine::scatter_linear(Rank& r, const detail::CommData& c,
+                            const void* sendbuf, void* recvbuf, size_t block,
+                            int root, bool in_place) {
+  int n = int(c.world_ranks.size());
+  if (c.my_comm_rank == root) {
+    const u8* in = static_cast<const u8*>(sendbuf);
+    for (int dst = 0; dst < n; ++dst) {
+      if (dst == root) continue;
+      r.send_internal(in + size_t(dst) * block, block, dst, kCollectiveTag, c);
+    }
+    if (!in_place)
+      std::memcpy(recvbuf, in + size_t(root) * block, block);
+  } else {
+    r.recv_internal(recvbuf, block, root, kCollectiveTag, c);
+  }
+}
+
+void Engine::scatter_binomial(Rank& r, const detail::CommData& c,
+                              const void* sendbuf, void* recvbuf, size_t block,
+                              int root, bool in_place) {
+  int n = int(c.world_ranks.size());
+  int me = rel(c.my_comm_rank, root, n);
+  int span = me == 0 ? n : std::min(me & -me, n - me);
+  std::vector<u8> tmp(size_t(span) * block);
+  int lsb = 1 << 30;
+  if (me == 0) {
+    // Stage sendbuf in relative-rank order so subtrees are contiguous.
+    const u8* in = static_cast<const u8*>(sendbuf);
+    for (int i = 0; i < n; ++i)
+      std::memcpy(tmp.data() + size_t(i) * block,
+                  in + size_t(unrel(i, root, n)) * block, block);
+  } else {
+    lsb = me & -me;
+    r.recv_internal(tmp.data(), size_t(span) * block, unrel(me - lsb, root, n),
+                    kCollectiveTag, c);
+  }
+  // Peel off children's subtrees, largest first (mirror of gather fan-in).
+  for (int k = floor_pof2(std::min(lsb, n) - 1 > 0 ? std::min(lsb, n) - 1 : 1);
+       k >= 1; k >>= 1) {
+    if (k < lsb && me + k < n) {
+      int child_span = std::min(k, n - (me + k));
+      r.send_internal(tmp.data() + size_t(k) * block,
+                      size_t(child_span) * block, unrel(me + k, root, n),
+                      kCollectiveTag, c);
+    }
+  }
+  if (!(in_place && c.my_comm_rank == root))
+    std::memcpy(recvbuf, tmp.data(), block);
+}
+
+void Engine::scatter_shm(Rank& r, const detail::CommData& c,
+                         const void* sendbuf, void* recvbuf, size_t block,
+                         int root, bool in_place) {
+  CollectiveContext& ctx = *c.coll;
+  int n = int(c.world_ranks.size());
+  int me = c.my_comm_rank;
+  if (me == root) {
+    const u8* in = static_cast<const u8*>(sendbuf);
+    for (int dst = 0; dst < n; ++dst) {
+      if (dst == root) continue;
+      std::memcpy(ctx.slot(dst), in + size_t(dst) * block, block);
+    }
+    if (!in_place)
+      std::memcpy(recvbuf, in + size_t(root) * block, block);
+    charge(r, block);
+  }
+  ctx.barrier_wait(*r.world_);
+  if (me != root) {
+    std::memcpy(recvbuf, ctx.slot(me), block);
+    charge(r, block);
+  }
+  ctx.barrier_wait(*r.world_);
+}
+
+// ---------------------------------------------------------------------------
+// Allgather
+// ---------------------------------------------------------------------------
+
+void Engine::allgather_linear(Rank& r, const detail::CommData& c,
+                              const void* sendbuf, void* recvbuf, size_t block,
+                              bool in_place) {
+  size_t total = size_t(c.world_ranks.size()) * block;
+  gather_linear(r, c, sendbuf, recvbuf, block, 0, in_place);
+  bcast_linear(r, c, recvbuf, total, 0);
+}
+
+void Engine::allgather_ring(Rank& r, const detail::CommData& c,
+                            const void* sendbuf, void* recvbuf, size_t block,
+                            bool in_place) {
+  int n = int(c.world_ranks.size());
+  int me = c.my_comm_rank;
+  u8* out = static_cast<u8*>(recvbuf);
+  if (!in_place) std::memcpy(out + size_t(me) * block, sendbuf, block);
+  // In step s, send block (me - s) to the right, receive block
+  // (me - s - 1) from the left.
+  int right = (me + 1) % n;
+  int left = (me - 1 + n) % n;
+  for (int s = 0; s < n - 1; ++s) {
+    int send_block = (me - s + n) % n;
+    int recv_block = (me - s - 1 + n) % n;
+    Request req = r.irecv_internal(out + size_t(recv_block) * block, block,
+                                   left, kCollectiveTag, c);
+    r.send_internal(out + size_t(send_block) * block, block, right,
+                    kCollectiveTag, c);
+    r.wait(req);
+  }
+}
+
+void Engine::allgather_rdbl(Rank& r, const detail::CommData& c,
+                            const void* sendbuf, void* recvbuf, size_t block,
+                            bool in_place) {
+  int n = int(c.world_ranks.size());
+  if (!is_pof2(n)) {  // hypercube exchange needs a power of two
+    allgather_ring(r, c, sendbuf, recvbuf, block, in_place);
+    return;
+  }
+  int me = c.my_comm_rank;
+  u8* out = static_cast<u8*>(recvbuf);
+  if (!in_place) std::memcpy(out + size_t(me) * block, sendbuf, block);
+  // At step `mask` each rank owns the `mask` blocks starting at
+  // (me & ~(mask - 1)); partners swap regions, doubling ownership.
+  for (int mask = 1; mask < n; mask <<= 1) {
+    int partner = me ^ mask;
+    int my_start = me & ~(mask - 1);
+    int peer_start = partner & ~(mask - 1);
+    Request req = r.irecv_internal(out + size_t(peer_start) * block,
+                                   size_t(mask) * block, partner,
+                                   kCollectiveTag, c);
+    r.send_internal(out + size_t(my_start) * block, size_t(mask) * block,
+                    partner, kCollectiveTag, c);
+    r.wait(req);
+  }
+}
+
+void Engine::allgather_shm(Rank& r, const detail::CommData& c,
+                           const void* sendbuf, void* recvbuf, size_t block,
+                           bool in_place) {
+  CollectiveContext& ctx = *c.coll;
+  int n = int(c.world_ranks.size());
+  int me = c.my_comm_rank;
+  u8* out = static_cast<u8*>(recvbuf);
+  const u8* own = in_place ? out + size_t(me) * block
+                           : static_cast<const u8*>(sendbuf);
+  std::memcpy(ctx.slot(me), own, block);
+  charge(r, block);
+  ctx.barrier_wait(*r.world_);
+  for (int src = 0; src < n; ++src) {
+    if (src == me) continue;
+    std::memcpy(out + size_t(src) * block, ctx.slot(src), block);
+  }
+  if (!in_place) std::memcpy(out + size_t(me) * block, sendbuf, block);
+  charge(r, block);
+  ctx.barrier_wait(*r.world_);
+}
+
+// ---------------------------------------------------------------------------
+// Alltoall
+// ---------------------------------------------------------------------------
+
+void Engine::alltoall_linear(Rank& r, const detail::CommData& c,
+                             const void* sendbuf, void* recvbuf, size_t sblock,
+                             size_t rblock) {
+  int n = int(c.world_ranks.size());
+  int me = c.my_comm_rank;
+  const u8* in = static_cast<const u8*>(sendbuf);
+  u8* out = static_cast<u8*>(recvbuf);
+  std::memcpy(out + size_t(me) * rblock, in + size_t(me) * sblock, sblock);
+  // Post every receive, then push every send in rank order.
+  std::vector<Request> reqs;
+  reqs.reserve(size_t(n) - 1);
+  for (int src = 0; src < n; ++src) {
+    if (src == me) continue;
+    reqs.push_back(r.irecv_internal(out + size_t(src) * rblock, rblock, src,
+                                    kCollectiveTag, c));
+  }
+  for (int dst = 0; dst < n; ++dst) {
+    if (dst == me) continue;
+    r.send_internal(in + size_t(dst) * sblock, sblock, dst, kCollectiveTag, c);
+  }
+  r.waitall(reqs);
+}
+
+void Engine::alltoall_pairwise(Rank& r, const detail::CommData& c,
+                               const void* sendbuf, void* recvbuf,
+                               size_t sblock, size_t rblock) {
+  int n = int(c.world_ranks.size());
+  int me = c.my_comm_rank;
+  const u8* in = static_cast<const u8*>(sendbuf);
+  u8* out = static_cast<u8*>(recvbuf);
+  std::memcpy(out + size_t(me) * rblock, in + size_t(me) * sblock, sblock);
+  // Rotated pairwise exchange: step s pairs me with (me + s) / (me - s).
+  for (int s = 1; s < n; ++s) {
+    int to = (me + s) % n;
+    int from = (me - s + n) % n;
+    Request req = r.irecv_internal(out + size_t(from) * rblock, rblock, from,
+                                   kCollectiveTag, c);
+    r.send_internal(in + size_t(to) * sblock, sblock, to, kCollectiveTag, c);
+    r.wait(req);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reduce_scatter (sendbuf == nullptr means in-place: input in recvbuf)
+// ---------------------------------------------------------------------------
+
+void Engine::reduce_scatter_linear(Rank& r, const detail::CommData& c,
+                                   const void* sendbuf, void* recvbuf,
+                                   const int* recvcounts, Datatype type,
+                                   ReduceOp op) {
+  int n = int(c.world_ranks.size());
+  int me = c.my_comm_rank;
+  size_t esize = datatype_size(type);
+  int total = 0;
+  std::vector<int> offs(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    offs[i] = total;
+    total += recvcounts[i];
+  }
+  const void* input = sendbuf != nullptr ? sendbuf : recvbuf;
+  // Reduce the full vector to rank 0 in canonical order, then scatterv.
+  std::vector<u8> full;
+  if (me == 0) full.resize(size_t(total) * esize);
+  reduce_linear(r, c, input, me == 0 ? full.data() : nullptr, total, type, op,
+                0);
+  if (me == 0) {
+    for (int dst = 1; dst < n; ++dst)
+      r.send_internal(full.data() + size_t(offs[dst]) * esize,
+                      size_t(recvcounts[dst]) * esize, dst, kCollectiveTag, c);
+    std::memcpy(recvbuf, full.data(), size_t(recvcounts[0]) * esize);
+  } else {
+    r.recv_internal(recvbuf, size_t(recvcounts[me]) * esize, 0, kCollectiveTag,
+                    c);
+  }
+}
+
+void Engine::reduce_scatter_pairwise(Rank& r, const detail::CommData& c,
+                                     const void* sendbuf, void* recvbuf,
+                                     const int* recvcounts, Datatype type,
+                                     ReduceOp op) {
+  int n = int(c.world_ranks.size());
+  int me = c.my_comm_rank;
+  size_t esize = datatype_size(type);
+  std::vector<int> offs(static_cast<size_t>(n));
+  int total = 0;
+  for (int i = 0; i < n; ++i) {
+    offs[i] = total;
+    total += recvcounts[i];
+  }
+  const u8* in = static_cast<const u8*>(sendbuf != nullptr ? sendbuf : recvbuf);
+  size_t my_bytes = size_t(recvcounts[me]) * esize;
+  // Accumulate into a staging buffer: with in-place input, recvbuf still
+  // feeds outgoing chunks during the exchange.
+  std::vector<u8> acc(my_bytes);
+  std::memcpy(acc.data(), in + size_t(offs[me]) * esize, my_bytes);
+  std::vector<u8> tmp(my_bytes);
+  for (int s = 1; s < n; ++s) {
+    int to = (me + s) % n;
+    int from = (me - s + n) % n;
+    Request req =
+        r.irecv_internal(tmp.data(), my_bytes, from, kCollectiveTag, c);
+    r.send_internal(in + size_t(offs[to]) * esize,
+                    size_t(recvcounts[to]) * esize, to, kCollectiveTag, c);
+    r.wait(req);
+    apply_reduce(op, type, tmp.data(), acc.data(), recvcounts[me]);
+  }
+  std::memcpy(recvbuf, acc.data(), my_bytes);
+}
+
+void Engine::reduce_scatter_shm(Rank& r, const detail::CommData& c,
+                                const void* sendbuf, void* recvbuf,
+                                const int* recvcounts, Datatype type,
+                                ReduceOp op) {
+  CollectiveContext& ctx = *c.coll;
+  int n = int(c.world_ranks.size());
+  int me = c.my_comm_rank;
+  size_t esize = datatype_size(type);
+  std::vector<int> offs(static_cast<size_t>(n));
+  int total = 0;
+  for (int i = 0; i < n; ++i) {
+    offs[i] = total;
+    total += recvcounts[i];
+  }
+  const void* input = sendbuf != nullptr ? sendbuf : recvbuf;
+  std::memcpy(ctx.slot(me), input, size_t(total) * esize);
+  charge(r, size_t(total) * esize);
+  ctx.barrier_wait(*r.world_);
+  size_t my_off = size_t(offs[me]) * esize;
+  u8* out = static_cast<u8*>(recvbuf);
+  std::memcpy(out, ctx.slot(0) + my_off, size_t(recvcounts[me]) * esize);
+  for (int src = 1; src < n; ++src)
+    apply_reduce(op, type, ctx.slot(src) + my_off, out, recvcounts[me]);
+  charge(r, size_t(recvcounts[me]) * esize);
+  ctx.barrier_wait(*r.world_);
+}
+
+// ---------------------------------------------------------------------------
+// Scan / Exscan
+// ---------------------------------------------------------------------------
+
+void Engine::scan_linear(Rank& r, const detail::CommData& c,
+                         const void* sendbuf, void* recvbuf, int count,
+                         Datatype type, ReduceOp op) {
+  int n = int(c.world_ranks.size());
+  int me = c.my_comm_rank;
+  size_t bytes = size_t(count) * datatype_size(type);
+  std::vector<u8> own(bytes);
+  std::memcpy(own.data(), sendbuf, bytes);  // sendbuf may alias recvbuf
+  if (me > 0) {
+    r.recv_internal(recvbuf, bytes, me - 1, kCollectiveTag, c);
+    apply_reduce(op, type, own.data(), recvbuf, count);
+  } else {
+    std::memcpy(recvbuf, own.data(), bytes);
+  }
+  if (me < n - 1)
+    r.send_internal(recvbuf, bytes, me + 1, kCollectiveTag, c);
+}
+
+void Engine::scan_rdbl(Rank& r, const detail::CommData& c,
+                       const void* sendbuf, void* recvbuf, int count,
+                       Datatype type, ReduceOp op) {
+  int n = int(c.world_ranks.size());
+  int me = c.my_comm_rank;
+  size_t bytes = size_t(count) * datatype_size(type);
+  if (recvbuf != sendbuf) std::memmove(recvbuf, sendbuf, bytes);
+  // partial = reduction over the contiguous rank window ending at me;
+  // result (recvbuf) accumulates everything at or below me.
+  std::vector<u8> partial(bytes);
+  std::memcpy(partial.data(), recvbuf, bytes);
+  std::vector<u8> tmp(bytes);
+  for (int mask = 1; mask < n; mask <<= 1) {
+    int up = me + mask, down = me - mask;
+    Request req;
+    if (down >= 0)
+      req = r.irecv_internal(tmp.data(), bytes, down, kCollectiveTag, c);
+    if (up < n)
+      r.send_internal(partial.data(), bytes, up, kCollectiveTag, c);
+    if (down >= 0) {
+      r.wait(req);
+      apply_reduce(op, type, tmp.data(), recvbuf, count);
+      apply_reduce(op, type, tmp.data(), partial.data(), count);
+    }
+  }
+}
+
+void Engine::scan_shm(Rank& r, const detail::CommData& c, const void* sendbuf,
+                      void* recvbuf, int count, Datatype type, ReduceOp op) {
+  CollectiveContext& ctx = *c.coll;
+  int me = c.my_comm_rank;
+  size_t bytes = size_t(count) * datatype_size(type);
+  std::memcpy(ctx.slot(me), sendbuf, bytes);
+  charge(r, bytes);
+  ctx.barrier_wait(*r.world_);
+  u8* out = static_cast<u8*>(recvbuf);
+  std::memcpy(out, ctx.slot(0), bytes);
+  for (int src = 1; src <= me; ++src)
+    apply_reduce(op, type, ctx.slot(src), out, count);
+  charge(r, bytes);
+  ctx.barrier_wait(*r.world_);
+}
+
+void Engine::exscan_linear(Rank& r, const detail::CommData& c,
+                           const void* sendbuf, void* recvbuf, int count,
+                           Datatype type, ReduceOp op) {
+  int n = int(c.world_ranks.size());
+  int me = c.my_comm_rank;
+  size_t bytes = size_t(count) * datatype_size(type);
+  std::vector<u8> own(bytes);
+  std::memcpy(own.data(), sendbuf, bytes);
+  if (me > 0)  // recvbuf stays untouched on rank 0 (MPI semantics)
+    r.recv_internal(recvbuf, bytes, me - 1, kCollectiveTag, c);
+  if (me < n - 1) {
+    if (me == 0) {
+      r.send_internal(own.data(), bytes, 1, kCollectiveTag, c);
+    } else {
+      std::vector<u8> incl(bytes);
+      std::memcpy(incl.data(), recvbuf, bytes);
+      apply_reduce(op, type, own.data(), incl.data(), count);
+      r.send_internal(incl.data(), bytes, me + 1, kCollectiveTag, c);
+    }
+  }
+}
+
+void Engine::exscan_rdbl(Rank& r, const detail::CommData& c,
+                         const void* sendbuf, void* recvbuf, int count,
+                         Datatype type, ReduceOp op) {
+  int n = int(c.world_ranks.size());
+  int me = c.my_comm_rank;
+  size_t bytes = size_t(count) * datatype_size(type);
+  std::vector<u8> partial(bytes);
+  std::memcpy(partial.data(), sendbuf, bytes);
+  std::vector<u8> tmp(bytes);
+  bool have_result = false;
+  for (int mask = 1; mask < n; mask <<= 1) {
+    int up = me + mask, down = me - mask;
+    Request req;
+    if (down >= 0)
+      req = r.irecv_internal(tmp.data(), bytes, down, kCollectiveTag, c);
+    if (up < n)
+      r.send_internal(partial.data(), bytes, up, kCollectiveTag, c);
+    if (down >= 0) {
+      r.wait(req);
+      // Incoming windows tile [0, me) exactly across the rounds.
+      if (!have_result) {
+        std::memcpy(recvbuf, tmp.data(), bytes);
+        have_result = true;
+      } else {
+        apply_reduce(op, type, tmp.data(), recvbuf, count);
+      }
+      apply_reduce(op, type, tmp.data(), partial.data(), count);
+    }
+  }
+}
+
+void Engine::exscan_shm(Rank& r, const detail::CommData& c,
+                        const void* sendbuf, void* recvbuf, int count,
+                        Datatype type, ReduceOp op) {
+  CollectiveContext& ctx = *c.coll;
+  int me = c.my_comm_rank;
+  size_t bytes = size_t(count) * datatype_size(type);
+  std::memcpy(ctx.slot(me), sendbuf, bytes);
+  charge(r, bytes);
+  ctx.barrier_wait(*r.world_);
+  if (me > 0) {
+    u8* out = static_cast<u8*>(recvbuf);
+    std::memcpy(out, ctx.slot(0), bytes);
+    for (int src = 1; src < me; ++src)
+      apply_reduce(op, type, ctx.slot(src), out, count);
+    charge(r, bytes);
+  }
+  ctx.barrier_wait(*r.world_);
+}
+
+}  // namespace coll
+}  // namespace mpiwasm::simmpi

@@ -1,0 +1,204 @@
+// Pluggable collective-algorithm registry for simmpi.
+//
+// Production MPIs (MPICH, Open MPI) implement every collective several
+// times and pick an algorithm per call from the message size and the
+// communicator size. This header gives simmpi the same structure: each
+// collective names the algorithm variants it supports (algos_for), a
+// selection table maps (tuning, comm size, message size) to a concrete
+// variant (select), and coll::Engine holds the implementations, which
+// collectives.cc dispatches to. Small messages additionally qualify for
+// the shared-memory fan-in path (CollectiveContext in world.h) that
+// bypasses the mailbox transport entirely.
+//
+// Cost-model honesty: p2p-based algorithms are charged per message by
+// send_internal; the shm variants charge one NetworkProfile message cost
+// per fan-in/fan-out phase (Engine::charge), so Figure 3/4 simulations
+// account for every algorithm step either way.
+#pragma once
+
+#include <span>
+
+#include "simmpi/world.h"
+
+namespace mpiwasm::simmpi::coll {
+
+/// The collectives with pluggable algorithms (alltoallv stays pairwise).
+enum class CollOp : i32 {
+  kBarrier = 0,
+  kBcast,
+  kReduce,
+  kAllreduce,
+  kGather,
+  kScatter,
+  kAllgather,
+  kAlltoall,
+  kReduceScatter,
+  kScan,
+  kExscan,
+};
+constexpr i32 kNumCollOps = 11;
+
+const char* coll_name(CollOp c);
+const char* algo_name(CollAlgo a);
+/// Parses "linear", "binomial", "ring", "rdbl", "raben", "pairwise",
+/// "dissem", "shm", "auto" (plus long spellings); returns false on junk.
+bool algo_from_name(std::string_view name, CollAlgo* out);
+
+/// The registered variants of a collective, kLinear first. Every entry is
+/// a valid forced choice for that collective; benches and the differential
+/// suite iterate this.
+std::span<const CollAlgo> algos_for(CollOp c);
+
+/// Reads the forced algorithm for `c` out of the tuning (kAuto = none).
+CollAlgo forced_algo(const CollTuning& t, CollOp c);
+
+/// A tuning that forces `algo` for collective `c` and leaves the rest on
+/// auto — the ablation/bench/test building block.
+CollTuning forced_tuning(CollOp c, CollAlgo algo);
+
+/// The size-adaptive selection table. `bytes` is the per-slot payload the
+/// shm path would have to hold (message size for bcast/reduce-style
+/// collectives, block size for gather-style, total size for
+/// reduce_scatter); `shm_ok` says whether the communicator has a
+/// CollectiveContext and the payload fits a slot. `hw_threads` is the
+/// core count used for the oversubscription term (0 = query the host);
+/// tests pass it explicitly for machine-independent expectations. Never
+/// returns kAuto.
+CollAlgo select(CollOp c, const CollTuning& t, int nranks, size_t bytes,
+                bool shm_ok, int hw_threads = 0);
+
+/// Algorithm implementations. Static-only; a friend of Rank so variants
+/// can use the internal (reserved-tag) p2p primitives and the per-comm
+/// CollectiveContext. All methods assume comm size > 1 and pre-resolved
+/// MPI_IN_PLACE arguments unless noted.
+class Engine {
+ public:
+  Engine() = delete;
+
+  /// Charges one interconnect message cost (shm algorithm steps).
+  static void charge(Rank& r, size_t bytes);
+
+  // --- barrier ---
+  static void barrier_dissemination(Rank& r, const detail::CommData& c);
+  static void barrier_linear(Rank& r, const detail::CommData& c);
+  static void barrier_shm(Rank& r, const detail::CommData& c);
+
+  // --- bcast ---
+  static void bcast_linear(Rank& r, const detail::CommData& c, void* buf,
+                           size_t bytes, int root);
+  static void bcast_binomial(Rank& r, const detail::CommData& c, void* buf,
+                             size_t bytes, int root);
+  static void bcast_shm(Rank& r, const detail::CommData& c, void* buf,
+                        size_t bytes, int root);
+
+  // --- reduce (recvbuf may be null on non-root ranks) ---
+  static void reduce_linear(Rank& r, const detail::CommData& c,
+                            const void* sendbuf, void* recvbuf, int count,
+                            Datatype type, ReduceOp op, int root);
+  static void reduce_binomial(Rank& r, const detail::CommData& c,
+                              const void* sendbuf, void* recvbuf, int count,
+                              Datatype type, ReduceOp op, int root);
+  static void reduce_shm(Rank& r, const detail::CommData& c,
+                         const void* sendbuf, void* recvbuf, int count,
+                         Datatype type, ReduceOp op, int root);
+
+  // --- allreduce ---
+  static void allreduce_linear(Rank& r, const detail::CommData& c,
+                               const void* sendbuf, void* recvbuf, int count,
+                               Datatype type, ReduceOp op);
+  static void allreduce_binomial(Rank& r, const detail::CommData& c,
+                                 const void* sendbuf, void* recvbuf, int count,
+                                 Datatype type, ReduceOp op);
+  static void allreduce_rdbl(Rank& r, const detail::CommData& c,
+                             const void* sendbuf, void* recvbuf, int count,
+                             Datatype type, ReduceOp op);
+  static void allreduce_ring(Rank& r, const detail::CommData& c,
+                             const void* sendbuf, void* recvbuf, int count,
+                             Datatype type, ReduceOp op);
+  static void allreduce_rabenseifner(Rank& r, const detail::CommData& c,
+                                     const void* sendbuf, void* recvbuf,
+                                     int count, Datatype type, ReduceOp op);
+  static void allreduce_shm(Rank& r, const detail::CommData& c,
+                            const void* sendbuf, void* recvbuf, int count,
+                            Datatype type, ReduceOp op);
+
+  // --- gather/scatter (in_place: root's block already in recvbuf /
+  //     root keeps its block in sendbuf) ---
+  static void gather_linear(Rank& r, const detail::CommData& c,
+                            const void* sendbuf, void* recvbuf, size_t block,
+                            int root, bool in_place);
+  static void gather_binomial(Rank& r, const detail::CommData& c,
+                              const void* sendbuf, void* recvbuf, size_t block,
+                              int root, bool in_place);
+  static void gather_shm(Rank& r, const detail::CommData& c,
+                         const void* sendbuf, void* recvbuf, size_t block,
+                         int root, bool in_place);
+  static void scatter_linear(Rank& r, const detail::CommData& c,
+                             const void* sendbuf, void* recvbuf, size_t block,
+                             int root, bool in_place);
+  static void scatter_binomial(Rank& r, const detail::CommData& c,
+                               const void* sendbuf, void* recvbuf,
+                               size_t block, int root, bool in_place);
+  static void scatter_shm(Rank& r, const detail::CommData& c,
+                          const void* sendbuf, void* recvbuf, size_t block,
+                          int root, bool in_place);
+
+  // --- allgather (in_place: own block already at recvbuf[me * block]) ---
+  static void allgather_linear(Rank& r, const detail::CommData& c,
+                               const void* sendbuf, void* recvbuf,
+                               size_t block, bool in_place);
+  static void allgather_ring(Rank& r, const detail::CommData& c,
+                             const void* sendbuf, void* recvbuf, size_t block,
+                             bool in_place);
+  static void allgather_rdbl(Rank& r, const detail::CommData& c,
+                             const void* sendbuf, void* recvbuf, size_t block,
+                             bool in_place);
+  static void allgather_shm(Rank& r, const detail::CommData& c,
+                            const void* sendbuf, void* recvbuf, size_t block,
+                            bool in_place);
+
+  // --- alltoall ---
+  static void alltoall_linear(Rank& r, const detail::CommData& c,
+                              const void* sendbuf, void* recvbuf,
+                              size_t sblock, size_t rblock);
+  static void alltoall_pairwise(Rank& r, const detail::CommData& c,
+                                const void* sendbuf, void* recvbuf,
+                                size_t sblock, size_t rblock);
+
+  // --- reduce_scatter (sendbuf == nullptr means in-place: full input in
+  //     recvbuf; the result block lands at the front of recvbuf) ---
+  static void reduce_scatter_linear(Rank& r, const detail::CommData& c,
+                                    const void* sendbuf, void* recvbuf,
+                                    const int* recvcounts, Datatype type,
+                                    ReduceOp op);
+  static void reduce_scatter_pairwise(Rank& r, const detail::CommData& c,
+                                      const void* sendbuf, void* recvbuf,
+                                      const int* recvcounts, Datatype type,
+                                      ReduceOp op);
+  static void reduce_scatter_shm(Rank& r, const detail::CommData& c,
+                                 const void* sendbuf, void* recvbuf,
+                                 const int* recvcounts, Datatype type,
+                                 ReduceOp op);
+
+  // --- scan / exscan ---
+  static void scan_linear(Rank& r, const detail::CommData& c,
+                          const void* sendbuf, void* recvbuf, int count,
+                          Datatype type, ReduceOp op);
+  static void scan_rdbl(Rank& r, const detail::CommData& c,
+                        const void* sendbuf, void* recvbuf, int count,
+                        Datatype type, ReduceOp op);
+  static void scan_shm(Rank& r, const detail::CommData& c,
+                       const void* sendbuf, void* recvbuf, int count,
+                       Datatype type, ReduceOp op);
+  static void exscan_linear(Rank& r, const detail::CommData& c,
+                            const void* sendbuf, void* recvbuf, int count,
+                            Datatype type, ReduceOp op);
+  static void exscan_rdbl(Rank& r, const detail::CommData& c,
+                          const void* sendbuf, void* recvbuf, int count,
+                          Datatype type, ReduceOp op);
+  static void exscan_shm(Rank& r, const detail::CommData& c,
+                         const void* sendbuf, void* recvbuf, int count,
+                         Datatype type, ReduceOp op);
+};
+
+}  // namespace mpiwasm::simmpi::coll

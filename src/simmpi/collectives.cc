@@ -1,40 +1,41 @@
-// Collective communication algorithms over simmpi point-to-point.
-//
-// Algorithm choices mirror common MPI implementations: binomial trees for
-// bcast/reduce, reduce+bcast allreduce, linear gather/scatter rooted
-// collectives, ring allgather, and a rotated pairwise exchange for
-// alltoall. All collective traffic uses the reserved kCollectiveTag; MPI
-// semantics guarantee identical collective ordering on all ranks of a
-// communicator, so FIFO matching per (comm, src, tag) suffices.
+// Collective entry points: argument validation, MPI_IN_PLACE resolution,
+// and dispatch into the pluggable algorithm registry (coll_algos.h). The
+// actual communication algorithms live in coll::Engine; the size x
+// comm-size selection table (coll::select) picks one per call, with
+// CollTuning / MPIWASM_COLL_* overrides for ablation.
 #include <cstring>
 #include <vector>
 
-#include "simmpi/reduce_ops.h"
+#include "simmpi/coll_algos.h"
 #include "simmpi/world.h"
 
 namespace mpiwasm::simmpi {
 
 namespace {
 
-/// Relative rank helper for binomial trees rooted at `root`.
-int rel(int r, int root, int size) { return (r - root + size) % size; }
-int unrel(int r, int root, int size) { return (r + root) % size; }
+using coll::CollOp;
+using coll::Engine;
+
+/// True when this communicator's shared-memory fan-in path can carry
+/// `slot_need` bytes per slot.
+bool shm_ok(const detail::CommData& c, const World& w, size_t slot_need) {
+  if (c.coll == nullptr) return false;
+  size_t cap = std::min(w.coll_tuning().shm_max_bytes,
+                        CollectiveContext::kSlotBytes);
+  return slot_need <= cap;
+}
 
 }  // namespace
 
 void Rank::barrier(Comm comm) {
-  // Dissemination barrier: ceil(log2(n)) rounds.
   const detail::CommData& c = comm_data(comm);
+  if (c.world_ranks.size() == 1) return;
   int n = int(c.world_ranks.size());
-  int me = c.my_comm_rank;
-  u8 token = 1;
-  for (int k = 1; k < n; k <<= 1) {
-    int to = (me + k) % n;
-    int from = (me - k + n) % n;
-    u8 dummy;
-    Request r = irecv_internal(&dummy, 1, from, kCollectiveTag, c);
-    send_internal(&token, 1, to, kCollectiveTag, c);
-    wait(r);
+  switch (coll::select(CollOp::kBarrier, world_->coll_tuning(), n, 0,
+                       c.coll != nullptr)) {
+    case CollAlgo::kLinear: Engine::barrier_linear(*this, c); break;
+    case CollAlgo::kShm: Engine::barrier_shm(*this, c); break;
+    default: Engine::barrier_dissemination(*this, c); break;
   }
 }
 
@@ -42,20 +43,14 @@ void Rank::bcast(void* buf, int count, Datatype type, int root, Comm comm) {
   const detail::CommData& c = comm_data(comm);
   int n = int(c.world_ranks.size());
   if (root < 0 || root >= n) throw MpiError("bcast: root out of range");
+  if (count < 0) throw MpiError("bcast: negative count");
   if (n == 1) return;
   size_t bytes = size_t(count) * datatype_size(type);
-  int me = rel(c.my_comm_rank, root, n);
-
-  // Binomial tree: relative rank me receives from me - 2^j where 2^j is
-  // the lowest set bit, then forwards to me + 2^k for growing k.
-  if (me != 0) {
-    int lsb = me & -me;
-    recv_internal(buf, bytes, unrel(me - lsb, root, n), kCollectiveTag, c);
-  }
-  int lsb = me == 0 ? (1 << 30) : (me & -me);
-  for (int k = 1; k < lsb && k < n; k <<= 1) {
-    if (me + k < n)
-      send_internal(buf, bytes, unrel(me + k, root, n), kCollectiveTag, c);
+  switch (coll::select(CollOp::kBcast, world_->coll_tuning(), n, bytes,
+                       shm_ok(c, *world_, bytes))) {
+    case CollAlgo::kLinear: Engine::bcast_linear(*this, c, buf, bytes, root); break;
+    case CollAlgo::kShm: Engine::bcast_shm(*this, c, buf, bytes, root); break;
+    default: Engine::bcast_binomial(*this, c, buf, bytes, root); break;
   }
 }
 
@@ -64,42 +59,67 @@ void Rank::reduce(const void* sendbuf, void* recvbuf, int count, Datatype type,
   const detail::CommData& c = comm_data(comm);
   int n = int(c.world_ranks.size());
   if (root < 0 || root >= n) throw MpiError("reduce: root out of range");
-  size_t bytes = size_t(count) * datatype_size(type);
-  int me = rel(c.my_comm_rank, root, n);
-
-  // Local accumulation buffer (root may pass sendbuf == recvbuf semantics
-  // via MPI_IN_PLACE upstream; here we always stage).
-  std::vector<u8> acc(bytes);
-  std::memcpy(acc.data(), sendbuf, bytes);
-  std::vector<u8> incoming(bytes);
-
-  // Binomial tree reduction: receive from children (me + 2^k), fold, then
-  // send to parent (me - lsb).
-  for (int k = 1; k < n; k <<= 1) {
-    if ((me & k) != 0) {
-      send_internal(acc.data(), bytes, unrel(me - k, root, n), kCollectiveTag, c);
-      break;
-    }
-    if (me + k < n) {
-      recv_internal(incoming.data(), bytes, unrel(me + k, root, n),
-                    kCollectiveTag, c);
-      apply_reduce(op, type, incoming.data(), acc.data(), count);
-    }
+  if (count < 0) throw MpiError("reduce: negative count");
+  bool is_root = c.my_comm_rank == root;
+  if (is_in_place(sendbuf)) {
+    if (!is_root) throw MpiError("reduce: MPI_IN_PLACE only valid at root");
+    sendbuf = recvbuf;  // input lives in recvbuf at the root
   }
-  if (me == 0 && recvbuf != nullptr) std::memcpy(recvbuf, acc.data(), bytes);
+  if (is_root && recvbuf == nullptr)
+    throw MpiError("reduce: null recvbuf at root");
+  size_t bytes = size_t(count) * datatype_size(type);
+  if (n == 1) {
+    if (recvbuf != sendbuf) std::memmove(recvbuf, sendbuf, bytes);
+    return;
+  }
+  switch (coll::select(CollOp::kReduce, world_->coll_tuning(), n, bytes,
+                       shm_ok(c, *world_, bytes))) {
+    case CollAlgo::kLinear:
+      Engine::reduce_linear(*this, c, sendbuf, recvbuf, count, type, op, root);
+      break;
+    case CollAlgo::kShm:
+      Engine::reduce_shm(*this, c, sendbuf, recvbuf, count, type, op, root);
+      break;
+    default:
+      Engine::reduce_binomial(*this, c, sendbuf, recvbuf, count, type, op,
+                              root);
+      break;
+  }
 }
 
 void Rank::allreduce(const void* sendbuf, void* recvbuf, int count,
                      Datatype type, ReduceOp op, Comm comm) {
   const detail::CommData& c = comm_data(comm);
   int n = int(c.world_ranks.size());
+  if (count < 0) throw MpiError("allreduce: negative count");
+  if (is_in_place(sendbuf)) sendbuf = recvbuf;
   size_t bytes = size_t(count) * datatype_size(type);
   if (n == 1) {
-    std::memmove(recvbuf, sendbuf, bytes);
+    if (recvbuf != sendbuf) std::memmove(recvbuf, sendbuf, bytes);
     return;
   }
-  reduce(sendbuf, recvbuf, count, type, op, 0, comm);
-  bcast(recvbuf, count, type, 0, comm);
+  switch (coll::select(CollOp::kAllreduce, world_->coll_tuning(), n, bytes,
+                       shm_ok(c, *world_, bytes))) {
+    case CollAlgo::kLinear:
+      Engine::allreduce_linear(*this, c, sendbuf, recvbuf, count, type, op);
+      break;
+    case CollAlgo::kBinomial:
+      Engine::allreduce_binomial(*this, c, sendbuf, recvbuf, count, type, op);
+      break;
+    case CollAlgo::kRing:
+      Engine::allreduce_ring(*this, c, sendbuf, recvbuf, count, type, op);
+      break;
+    case CollAlgo::kRabenseifner:
+      Engine::allreduce_rabenseifner(*this, c, sendbuf, recvbuf, count, type,
+                                     op);
+      break;
+    case CollAlgo::kShm:
+      Engine::allreduce_shm(*this, c, sendbuf, recvbuf, count, type, op);
+      break;
+    default:
+      Engine::allreduce_rdbl(*this, c, sendbuf, recvbuf, count, type, op);
+      break;
+  }
 }
 
 void Rank::gather(const void* sendbuf, int sendcount, void* recvbuf,
@@ -107,18 +127,31 @@ void Rank::gather(const void* sendbuf, int sendcount, void* recvbuf,
   const detail::CommData& c = comm_data(comm);
   int n = int(c.world_ranks.size());
   if (root < 0 || root >= n) throw MpiError("gather: root out of range");
-  size_t send_bytes = size_t(sendcount) * datatype_size(type);
-  size_t recv_bytes = size_t(recvcount) * datatype_size(type);
-  if (c.my_comm_rank == root) {
-    u8* out = static_cast<u8*>(recvbuf);
-    std::memcpy(out + size_t(root) * recv_bytes, sendbuf, send_bytes);
-    for (int r = 0; r < n; ++r) {
-      if (r == root) continue;
-      recv_internal(out + size_t(r) * recv_bytes, recv_bytes, r,
-                    kCollectiveTag, c);
-    }
-  } else {
-    send_internal(sendbuf, send_bytes, root, kCollectiveTag, c);
+  if (sendcount < 0 || recvcount < 0)
+    throw MpiError("gather: negative count");
+  bool is_root = c.my_comm_rank == root;
+  bool in_place = is_in_place(sendbuf);
+  if (in_place && !is_root)
+    throw MpiError("gather: MPI_IN_PLACE only valid at root");
+  // MPI requires each sender's block to equal the root's receive block.
+  size_t block = (is_root ? size_t(recvcount) : size_t(sendcount)) *
+                 datatype_size(type);
+  if (n == 1) {
+    if (!in_place) std::memcpy(recvbuf, sendbuf, block);
+    return;
+  }
+  switch (coll::select(CollOp::kGather, world_->coll_tuning(), n, block,
+                       shm_ok(c, *world_, block))) {
+    case CollAlgo::kLinear:
+      Engine::gather_linear(*this, c, sendbuf, recvbuf, block, root, in_place);
+      break;
+    case CollAlgo::kShm:
+      Engine::gather_shm(*this, c, sendbuf, recvbuf, block, root, in_place);
+      break;
+    default:
+      Engine::gather_binomial(*this, c, sendbuf, recvbuf, block, root,
+                              in_place);
+      break;
   }
 }
 
@@ -127,18 +160,30 @@ void Rank::scatter(const void* sendbuf, int sendcount, void* recvbuf,
   const detail::CommData& c = comm_data(comm);
   int n = int(c.world_ranks.size());
   if (root < 0 || root >= n) throw MpiError("scatter: root out of range");
-  size_t send_bytes = size_t(sendcount) * datatype_size(type);
-  size_t recv_bytes = size_t(recvcount) * datatype_size(type);
-  if (c.my_comm_rank == root) {
-    const u8* in = static_cast<const u8*>(sendbuf);
-    for (int r = 0; r < n; ++r) {
-      if (r == root) continue;
-      send_internal(in + size_t(r) * send_bytes, send_bytes, r,
-                    kCollectiveTag, c);
-    }
-    std::memcpy(recvbuf, in + size_t(root) * send_bytes, recv_bytes);
-  } else {
-    recv_internal(recvbuf, recv_bytes, root, kCollectiveTag, c);
+  if (sendcount < 0 || recvcount < 0)
+    throw MpiError("scatter: negative count");
+  bool is_root = c.my_comm_rank == root;
+  bool in_place = is_in_place(recvbuf);
+  if (in_place && !is_root)
+    throw MpiError("scatter: MPI_IN_PLACE only valid at root");
+  size_t block = (is_root ? size_t(sendcount) : size_t(recvcount)) *
+                 datatype_size(type);
+  if (n == 1) {
+    if (!in_place) std::memcpy(recvbuf, sendbuf, block);
+    return;
+  }
+  switch (coll::select(CollOp::kScatter, world_->coll_tuning(), n, block,
+                       shm_ok(c, *world_, block))) {
+    case CollAlgo::kLinear:
+      Engine::scatter_linear(*this, c, sendbuf, recvbuf, block, root, in_place);
+      break;
+    case CollAlgo::kShm:
+      Engine::scatter_shm(*this, c, sendbuf, recvbuf, block, root, in_place);
+      break;
+    default:
+      Engine::scatter_binomial(*this, c, sendbuf, recvbuf, block, root,
+                               in_place);
+      break;
   }
 }
 
@@ -147,22 +192,33 @@ void Rank::allgather(const void* sendbuf, int sendcount, void* recvbuf,
   const detail::CommData& c = comm_data(comm);
   int n = int(c.world_ranks.size());
   int me = c.my_comm_rank;
+  if (sendcount < 0 || recvcount < 0)
+    throw MpiError("allgather: negative count");
   size_t block = size_t(recvcount) * datatype_size(type);
-  u8* out = static_cast<u8*>(recvbuf);
-  std::memcpy(out + size_t(me) * block, sendbuf,
-              size_t(sendcount) * datatype_size(type));
-  // Ring: in step s, send block (me - s) to the right, receive block
-  // (me - s - 1) from the left.
-  int right = (me + 1) % n;
-  int left = (me - 1 + n) % n;
-  for (int s = 0; s < n - 1; ++s) {
-    int send_block = (me - s + n) % n;
-    int recv_block = (me - s - 1 + n) % n;
-    Request r = irecv_internal(out + size_t(recv_block) * block, block, left,
-                               kCollectiveTag, c);
-    send_internal(out + size_t(send_block) * block, block, right,
-                  kCollectiveTag, c);
-    wait(r);
+  bool in_place = is_in_place(sendbuf);
+  if (in_place) {
+    sendbuf = static_cast<u8*>(recvbuf) + size_t(me) * block;
+  } else {
+    block = size_t(sendcount) * datatype_size(type);
+  }
+  if (n == 1) {
+    if (!in_place) std::memcpy(recvbuf, sendbuf, block);
+    return;
+  }
+  switch (coll::select(CollOp::kAllgather, world_->coll_tuning(), n, block,
+                       shm_ok(c, *world_, block))) {
+    case CollAlgo::kLinear:
+      Engine::allgather_linear(*this, c, sendbuf, recvbuf, block, in_place);
+      break;
+    case CollAlgo::kRecursiveDoubling:
+      Engine::allgather_rdbl(*this, c, sendbuf, recvbuf, block, in_place);
+      break;
+    case CollAlgo::kShm:
+      Engine::allgather_shm(*this, c, sendbuf, recvbuf, block, in_place);
+      break;
+    default:
+      Engine::allgather_ring(*this, c, sendbuf, recvbuf, block, in_place);
+      break;
   }
 }
 
@@ -170,21 +226,24 @@ void Rank::alltoall(const void* sendbuf, int sendcount, void* recvbuf,
                     int recvcount, Datatype type, Comm comm) {
   const detail::CommData& c = comm_data(comm);
   int n = int(c.world_ranks.size());
-  int me = c.my_comm_rank;
+  if (sendcount < 0 || recvcount < 0)
+    throw MpiError("alltoall: negative count");
+  if (is_in_place(sendbuf))
+    throw MpiError("alltoall: MPI_IN_PLACE not supported");
   size_t sblock = size_t(sendcount) * datatype_size(type);
   size_t rblock = size_t(recvcount) * datatype_size(type);
-  const u8* in = static_cast<const u8*>(sendbuf);
-  u8* out = static_cast<u8*>(recvbuf);
-  std::memcpy(out + size_t(me) * rblock, in + size_t(me) * sblock, sblock);
-  // Rotated pairwise exchange: step s pairs me with me^s when n is a power
-  // of two; otherwise with (me + s) / (me - s).
-  for (int s = 1; s < n; ++s) {
-    int to = (me + s) % n;
-    int from = (me - s + n) % n;
-    Request r = irecv_internal(out + size_t(from) * rblock, rblock, from,
-                               kCollectiveTag, c);
-    send_internal(in + size_t(to) * sblock, sblock, to, kCollectiveTag, c);
-    wait(r);
+  if (n == 1) {
+    std::memcpy(recvbuf, sendbuf, sblock);
+    return;
+  }
+  switch (coll::select(CollOp::kAlltoall, world_->coll_tuning(), n, sblock,
+                       /*shm_ok=*/false)) {
+    case CollAlgo::kLinear:
+      Engine::alltoall_linear(*this, c, sendbuf, recvbuf, sblock, rblock);
+      break;
+    default:
+      Engine::alltoall_pairwise(*this, c, sendbuf, recvbuf, sblock, rblock);
+      break;
   }
 }
 
@@ -194,6 +253,8 @@ void Rank::alltoallv(const void* sendbuf, const int* sendcounts,
   const detail::CommData& c = comm_data(comm);
   int n = int(c.world_ranks.size());
   int me = c.my_comm_rank;
+  if (is_in_place(sendbuf))
+    throw MpiError("alltoallv: MPI_IN_PLACE not supported");
   size_t esize = datatype_size(type);
   const u8* in = static_cast<const u8*>(sendbuf);
   u8* out = static_cast<u8*>(recvbuf);
@@ -212,6 +273,89 @@ void Rank::alltoallv(const void* sendbuf, const int* sendcounts,
   }
 }
 
+void Rank::reduce_scatter(const void* sendbuf, void* recvbuf,
+                          const int* recvcounts, Datatype type, ReduceOp op,
+                          Comm comm) {
+  const detail::CommData& c = comm_data(comm);
+  int n = int(c.world_ranks.size());
+  size_t esize = datatype_size(type);
+  size_t total = 0;
+  for (int i = 0; i < n; ++i) {
+    if (recvcounts[i] < 0) throw MpiError("reduce_scatter: negative count");
+    total += size_t(recvcounts[i]);
+  }
+  // In-place input (full vector in recvbuf) is signalled to the algorithm
+  // layer by a null sendbuf.
+  const void* input = is_in_place(sendbuf) ? nullptr : sendbuf;
+  if (n == 1) {
+    if (input != nullptr)
+      std::memmove(recvbuf, input, size_t(recvcounts[0]) * esize);
+    return;
+  }
+  switch (coll::select(CollOp::kReduceScatter, world_->coll_tuning(), n,
+                       total * esize, shm_ok(c, *world_, total * esize))) {
+    case CollAlgo::kPairwise:
+      Engine::reduce_scatter_pairwise(*this, c, input, recvbuf, recvcounts,
+                                      type, op);
+      break;
+    case CollAlgo::kShm:
+      Engine::reduce_scatter_shm(*this, c, input, recvbuf, recvcounts, type,
+                                 op);
+      break;
+    default:
+      Engine::reduce_scatter_linear(*this, c, input, recvbuf, recvcounts, type,
+                                    op);
+      break;
+  }
+}
+
+void Rank::scan(const void* sendbuf, void* recvbuf, int count, Datatype type,
+                ReduceOp op, Comm comm) {
+  const detail::CommData& c = comm_data(comm);
+  int n = int(c.world_ranks.size());
+  if (count < 0) throw MpiError("scan: negative count");
+  if (is_in_place(sendbuf)) sendbuf = recvbuf;
+  size_t bytes = size_t(count) * datatype_size(type);
+  if (n == 1) {
+    if (recvbuf != sendbuf) std::memmove(recvbuf, sendbuf, bytes);
+    return;
+  }
+  switch (coll::select(CollOp::kScan, world_->coll_tuning(), n, bytes,
+                       shm_ok(c, *world_, bytes))) {
+    case CollAlgo::kLinear:
+      Engine::scan_linear(*this, c, sendbuf, recvbuf, count, type, op);
+      break;
+    case CollAlgo::kShm:
+      Engine::scan_shm(*this, c, sendbuf, recvbuf, count, type, op);
+      break;
+    default:
+      Engine::scan_rdbl(*this, c, sendbuf, recvbuf, count, type, op);
+      break;
+  }
+}
+
+void Rank::exscan(const void* sendbuf, void* recvbuf, int count, Datatype type,
+                  ReduceOp op, Comm comm) {
+  const detail::CommData& c = comm_data(comm);
+  int n = int(c.world_ranks.size());
+  if (count < 0) throw MpiError("exscan: negative count");
+  if (is_in_place(sendbuf)) sendbuf = recvbuf;
+  size_t bytes = size_t(count) * datatype_size(type);
+  if (n == 1) return;  // recvbuf undefined on rank 0
+  switch (coll::select(CollOp::kExscan, world_->coll_tuning(), n, bytes,
+                       shm_ok(c, *world_, bytes))) {
+    case CollAlgo::kLinear:
+      Engine::exscan_linear(*this, c, sendbuf, recvbuf, count, type, op);
+      break;
+    case CollAlgo::kShm:
+      Engine::exscan_shm(*this, c, sendbuf, recvbuf, count, type, op);
+      break;
+    default:
+      Engine::exscan_rdbl(*this, c, sendbuf, recvbuf, count, type, op);
+      break;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Communicator management
 // ---------------------------------------------------------------------------
@@ -224,6 +368,7 @@ Comm Rank::comm_dup(Comm comm) {
   bcast(&new_id, 1, Datatype::kInt, 0, comm);
   detail::CommData dup = parent;
   dup.id = new_id;
+  dup.coll = world_->attach_coll(new_id, int(dup.world_ranks.size()));
   comms_[new_id] = std::move(dup);
   return new_id;
 }
@@ -273,6 +418,7 @@ Comm Rank::comm_split(Comm comm, int color, int key) {
     nc.world_ranks.push_back(parent.world_ranks[members[i].second]);
     if (members[i].second == parent.my_comm_rank) nc.my_comm_rank = int(i);
   }
+  nc.coll = world_->attach_coll(nc.id, int(members.size()));
   Comm id = nc.id;
   comms_[id] = std::move(nc);
   return id;
@@ -282,6 +428,7 @@ void Rank::comm_free(Comm comm) {
   if (comm == kCommWorld) throw MpiError("cannot free MPI_COMM_WORLD");
   auto it = comms_.find(comm);
   if (it == comms_.end()) throw MpiError("comm_free: invalid communicator");
+  if (it->second.coll != nullptr) world_->release_coll(comm);
   comms_.erase(it);
 }
 

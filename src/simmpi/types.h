@@ -75,6 +75,56 @@ class MpiAbort : public std::exception {
   int code_ = 1;
 };
 
+/// MPI_IN_PLACE sentinel: passed as sendbuf (or scatter's recvbuf) to
+/// request in-place collective semantics. A pointer constant, like the
+/// real MPI's ((void*)1)-style definition.
+inline const void* const kInPlace = reinterpret_cast<const void*>(~uintptr_t(0));
+inline bool is_in_place(const void* p) { return p == kInPlace; }
+
+/// Collective algorithm identifiers. Each collective supports a subset
+/// (see coll_algos.h); kAuto defers to the size x comm-size selection
+/// table. kLinear is always the reference algorithm the differential
+/// tests compare against.
+enum class CollAlgo : i32 {
+  kAuto = 0,
+  kLinear,             // naive rooted fan-in/fan-out over p2p
+  kBinomial,           // binomial tree
+  kDissemination,      // dissemination barrier
+  kRing,               // ring exchange
+  kRecursiveDoubling,  // hypercube exchange
+  kRabenseifner,       // reduce-scatter + allgather allreduce
+  kPairwise,           // rotated pairwise exchange
+  kShm,                // shared-memory fan-in/fan-out via CollectiveContext
+};
+
+/// Per-world collective tuning: a forced algorithm per collective (kAuto
+/// = size-adaptive selection) plus shared-memory fan-in knobs. Populated
+/// from MPIWASM_COLL_* environment variables by from_env() so ablations
+/// need no recompilation.
+struct CollTuning {
+  CollAlgo barrier = CollAlgo::kAuto;
+  CollAlgo bcast = CollAlgo::kAuto;
+  CollAlgo reduce = CollAlgo::kAuto;
+  CollAlgo allreduce = CollAlgo::kAuto;
+  CollAlgo gather = CollAlgo::kAuto;
+  CollAlgo scatter = CollAlgo::kAuto;
+  CollAlgo allgather = CollAlgo::kAuto;
+  CollAlgo alltoall = CollAlgo::kAuto;
+  CollAlgo reduce_scatter = CollAlgo::kAuto;
+  CollAlgo scan = CollAlgo::kAuto;
+  CollAlgo exscan = CollAlgo::kAuto;
+  /// Master switch for the shared-memory fan-in path.
+  bool enable_shm = true;
+  /// Largest per-slot payload eligible for the shm path (clamped to the
+  /// CollectiveContext slot size).
+  size_t shm_max_bytes = 8192;
+
+  /// Applies MPIWASM_COLL_<NAME>=<algo>, MPIWASM_COLL_SHM=0|1 and
+  /// MPIWASM_COLL_SHM_MAX=<bytes> on top of `base` (defaults when omitted).
+  static CollTuning from_env(CollTuning base);
+  static CollTuning from_env() { return from_env(CollTuning{}); }
+};
+
 /// Interconnect cost model: deterministic spin-based per-message costs so
 /// benchmark *shapes* are stable on shared CI hardware (DESIGN.md §5).
 struct NetworkProfile {

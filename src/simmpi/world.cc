@@ -24,11 +24,47 @@ bool key_matches(const detail::RecvDesc& r, const detail::SendDesc& s) {
 }  // namespace
 
 // ---------------------------------------------------------------------------
+// CollectiveContext
+// ---------------------------------------------------------------------------
+
+CollectiveContext::CollectiveContext(int nranks)
+    : nranks_(nranks), slots_(size_t(nranks)) {}
+
+void CollectiveContext::barrier_wait(World& world) {
+  // Central-counter barrier with an epoch acting as the reversed sense:
+  // the last arriver resets the counter, then publishes a new epoch with
+  // release ordering. The acq_rel RMW chain on arrived_ plus the acquire
+  // load of epoch_ makes every pre-barrier slot write happen-before every
+  // post-barrier slot read.
+  const u32 my_epoch = epoch_.load(std::memory_order_acquire);
+  if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == nranks_) {
+    arrived_.store(0, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
+    return;
+  }
+  const u64 deadline =
+      now_ns() + u64(std::chrono::nanoseconds(kBlockTimeout).count());
+  // Short bounded spin for the multicore fast path, then yield every
+  // iteration: with more ranks than cores the epoch can only advance once
+  // the other rank threads get scheduled, so burning a quantum is pure
+  // loss.
+  u32 spins = 0;
+  while (epoch_.load(std::memory_order_acquire) == my_epoch) {
+    if (++spins >= 256) {
+      if (world.aborting()) throw MpiAbort(-1);
+      if ((spins & 0x3FF) == 0 && now_ns() > deadline)
+        throw MpiError("shm barrier timed out (deadlock?)");
+      std::this_thread::yield();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // World
 // ---------------------------------------------------------------------------
 
-World::World(int size, NetworkProfile profile)
-    : size_(size), profile_(std::move(profile)) {
+World::World(int size, NetworkProfile profile, CollTuning coll)
+    : size_(size), profile_(std::move(profile)), coll_(coll) {
   MW_CHECK(size >= 1, "world size must be >= 1");
   boxes_.reserve(size_);
   for (int i = 0; i < size_; ++i)
@@ -38,6 +74,26 @@ World::World(int size, NetworkProfile profile)
 World::~World() = default;
 
 i32 World::alloc_comm_ids(i32 n) { return next_comm_id_.fetch_add(n); }
+
+std::shared_ptr<CollectiveContext> World::attach_coll(i32 comm_id,
+                                                      int nranks) {
+  // No context when the shm path is off or sized out of existence — the
+  // slots (nranks x 8 KiB per communicator) would be pure waste.
+  if (!coll_.enable_shm || coll_.shm_max_bytes == 0) return nullptr;
+  std::lock_guard<std::mutex> lock(coll_mu_);
+  CollEntry& e = coll_ctxs_[comm_id];
+  if (e.ctx == nullptr) e.ctx = std::make_shared<CollectiveContext>(nranks);
+  MW_CHECK(e.ctx->nranks() == nranks, "coll context size mismatch");
+  ++e.attached;
+  return e.ctx;
+}
+
+void World::release_coll(i32 comm_id) {
+  std::lock_guard<std::mutex> lock(coll_mu_);
+  auto it = coll_ctxs_.find(comm_id);
+  if (it == coll_ctxs_.end()) return;
+  if (--it->second.attached <= 0) coll_ctxs_.erase(it);
+}
 
 void World::request_abort(int code) {
   abort_flag_ = true;
@@ -92,7 +148,16 @@ Rank::Rank(World* world, int world_rank)
   w.world_ranks.resize(world->size());
   for (int i = 0; i < world->size(); ++i) w.world_ranks[i] = i;
   w.my_comm_rank = world_rank;
+  w.coll = world->attach_coll(kCommWorld, world->size());
   comms_[kCommWorld] = std::move(w);
+}
+
+Rank::~Rank() {
+  // Worlds may be reused across run() calls; hand back every shm context
+  // attachment so contexts of freed communicators do not accumulate.
+  for (auto& [id, data] : comms_) {
+    if (data.coll != nullptr) world_->release_coll(id);
+  }
 }
 
 const detail::CommData& Rank::comm_data(Comm comm) const {

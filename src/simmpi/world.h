@@ -20,6 +20,10 @@ namespace mpiwasm::simmpi {
 
 class World;
 class Rank;
+class CollectiveContext;
+namespace coll {
+class Engine;
+}  // namespace coll
 
 /// Communicator handle (dense id). kCommWorld is always valid.
 using Comm = i32;
@@ -64,9 +68,44 @@ struct CommData {
   i32 id = kCommNull;
   std::vector<int> world_ranks;  // comm rank -> world rank
   int my_comm_rank = -1;
+  /// Shared-memory fan-in segment for this communicator (null when the
+  /// shm collective path is disabled). All member ranks share one object.
+  std::shared_ptr<CollectiveContext> coll;
 };
 
 }  // namespace detail
+
+/// Per-communicator shared-memory collective state: one fixed-size fan-in
+/// slot per comm rank plus a sense-reversing (epoch) barrier. Small-message
+/// collectives write/read the slots directly and synchronize through the
+/// barrier, bypassing the mailbox path entirely (coll_algos.cc kShm
+/// variants). The barrier is lock-free: a central arrival counter whose
+/// last arriver resets it and publishes a new epoch; release/acquire
+/// ordering on the counter/epoch chain is what makes the slot accesses
+/// data-race-free (the CI ThreadSanitizer job checks this).
+class CollectiveContext {
+ public:
+  /// Per-rank fan-in slot capacity; payloads above this take the p2p path.
+  static constexpr size_t kSlotBytes = 8192;
+
+  explicit CollectiveContext(int nranks);
+
+  int nranks() const { return nranks_; }
+  u8* slot(int comm_rank) { return slots_[size_t(comm_rank)].data; }
+
+  /// Blocks until all nranks ranks arrive. Throws MpiAbort if the world
+  /// aborts while spinning and MpiError on the deadlock-watchdog timeout.
+  void barrier_wait(World& world);
+
+ private:
+  struct alignas(64) Slot {
+    u8 data[kSlotBytes];
+  };
+  int nranks_;
+  std::atomic<int> arrived_{0};
+  std::atomic<u32> epoch_{0};
+  std::vector<Slot> slots_;
+};
 
 /// Nonblocking operation handle.
 class Request {
@@ -88,6 +127,7 @@ class Request {
 /// rank thread.
 class Rank {
  public:
+  ~Rank();
   int rank(Comm comm = kCommWorld) const;
   int size(Comm comm = kCommWorld) const;
   int world_rank() const { return world_rank_; }
@@ -130,6 +170,17 @@ class Rank {
   void alltoallv(const void* sendbuf, const int* sendcounts,
                  const int* sdispls, void* recvbuf, const int* recvcounts,
                  const int* rdispls, Datatype type, Comm comm = kCommWorld);
+  /// MPI_Reduce_scatter: element-wise reduction of the concatenated send
+  /// buffers, then block `i` (recvcounts[i] elements) lands on rank i.
+  void reduce_scatter(const void* sendbuf, void* recvbuf,
+                      const int* recvcounts, Datatype type, ReduceOp op,
+                      Comm comm = kCommWorld);
+  /// Inclusive prefix reduction over comm-rank order.
+  void scan(const void* sendbuf, void* recvbuf, int count, Datatype type,
+            ReduceOp op, Comm comm = kCommWorld);
+  /// Exclusive prefix reduction; recvbuf is left untouched on rank 0.
+  void exscan(const void* sendbuf, void* recvbuf, int count, Datatype type,
+              ReduceOp op, Comm comm = kCommWorld);
 
   // --- Communicator management --------------------------------------------
   Comm comm_dup(Comm comm);
@@ -143,6 +194,7 @@ class Rank {
 
  private:
   friend class World;
+  friend class coll::Engine;  // algorithm implementations (coll_algos.cc)
   Rank(World* world, int world_rank);
 
   const detail::CommData& comm_data(Comm comm) const;
@@ -166,13 +218,15 @@ class Rank {
 /// A simulated MPI job: N rank threads over an interconnect profile.
 class World {
  public:
-  World(int size, NetworkProfile profile = NetworkProfile::zero());
+  World(int size, NetworkProfile profile = NetworkProfile::zero(),
+        CollTuning coll = CollTuning::from_env());
   ~World();
   World(const World&) = delete;
   World& operator=(const World&) = delete;
 
   int size() const { return size_; }
   const NetworkProfile& profile() const { return profile_; }
+  const CollTuning& coll_tuning() const { return coll_; }
 
   /// Runs `fn(rank)` on `size` threads (one per rank) and joins them.
   /// The first exception thrown by any rank is rethrown here; an MPI_Abort
@@ -188,14 +242,31 @@ class World {
   bool aborting() const { return abort_flag_; }
   void request_abort(int code);
 
+  /// Attaches the calling rank to the shared CollectiveContext of comm
+  /// `comm_id` (first attacher creates it with `nranks` slots). Every
+  /// member rank of a communicator attaches exactly once. Returns null
+  /// when the shm path is disabled.
+  std::shared_ptr<CollectiveContext> attach_coll(i32 comm_id, int nranks);
+  /// Releases one attachment; the context is destroyed when the last
+  /// member rank releases it (comm_free).
+  void release_coll(i32 comm_id);
+
  private:
   friend class Rank;
   int size_;
   NetworkProfile profile_;
+  CollTuning coll_;
   std::vector<std::unique_ptr<detail::Mailbox>> boxes_;
   std::atomic<i32> next_comm_id_{1};
   std::atomic<bool> abort_flag_{false};
   std::atomic<int> abort_code_{0};
+
+  struct CollEntry {
+    std::shared_ptr<CollectiveContext> ctx;
+    int attached = 0;
+  };
+  std::mutex coll_mu_;
+  std::map<i32, CollEntry> coll_ctxs_;
 };
 
 }  // namespace mpiwasm::simmpi

@@ -47,6 +47,12 @@ MpiImports declare_mpi_imports(ModuleBuilder& b, const MpiImportSet& set) {
     m.alltoall = b.import_func("env", "MPI_Alltoall", {i32s(7), {I32}});
     m.alltoallv = b.import_func("env", "MPI_Alltoallv", {i32s(9), {I32}});
   }
+  if (set.scan_family) {
+    m.reduce_scatter =
+        b.import_func("env", "MPI_Reduce_scatter", {i32s(6), {I32}});
+    m.scan = b.import_func("env", "MPI_Scan", {i32s(6), {I32}});
+    m.exscan = b.import_func("env", "MPI_Exscan", {i32s(6), {I32}});
+  }
   if (set.comm_mgmt) {
     m.comm_dup = b.import_func("env", "MPI_Comm_dup", {i32s(2), {I32}});
     m.comm_split = b.import_func("env", "MPI_Comm_split", {i32s(4), {I32}});

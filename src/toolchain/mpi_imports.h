@@ -18,6 +18,7 @@ struct MpiImports {
   u32 bcast = kNone, reduce = kNone, allreduce = kNone;
   u32 gather = kNone, scatter = kNone, allgather = kNone, alltoall = kNone;
   u32 alltoallv = kNone;
+  u32 reduce_scatter = kNone, scan = kNone, exscan = kNone;
   u32 comm_dup = kNone, comm_split = kNone, comm_free = kNone;
   u32 alloc_mem = kNone, free_mem = kNone;
 };
@@ -30,6 +31,7 @@ struct MpiImportSet {
   bool collectives = false; // Barrier/Bcast/Reduce/Allreduce
   bool gather_scatter = false;
   bool alltoall = false;    // Allgather/Alltoall/Alltoallv
+  bool scan_family = false; // Reduce_scatter/Scan/Exscan
   bool comm_mgmt = false;
   bool mem_mgmt = false;
 };

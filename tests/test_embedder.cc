@@ -146,6 +146,77 @@ TEST_P(EmbedderTest, GuestCommSplitWorks) {
   EXPECT_EQ(result.exit_code, 2);  // each parity class has 2 members
 }
 
+// Builds a module exercising the scan-family imports plus MPI_IN_PLACE:
+// scan of (rank + 1), then an in-place MAX allreduce of the prefix sums.
+std::vector<u8> build_scan_in_place_module() {
+  using wasm::Op;
+  wasm::ModuleBuilder b;
+  MpiImportSet set;
+  set.collectives = true;
+  set.scan_family = true;
+  MpiImports mpi = toolchain::declare_mpi_imports(b, set);
+  u32 proc_exit = b.import_func("wasi_snapshot_preview1", "proc_exit",
+                                {{I32}, {}});
+  b.add_memory(1);
+  b.export_memory();
+  auto& f = b.begin_func({{}, {}}, "_start");
+  f.i32_const(0);
+  f.i32_const(0);
+  f.call(mpi.init);
+  f.op(Op::kDrop);
+  f.i32_const(abi::MPI_COMM_WORLD);
+  f.i32_const(1024);
+  f.call(mpi.comm_rank);
+  f.op(Op::kDrop);
+  // mem[1024] = rank + 1
+  f.i32_const(1024);
+  f.i32_const(1024);
+  f.mem_op(Op::kI32Load);
+  f.i32_const(1);
+  f.op(Op::kI32Add);
+  f.mem_op(Op::kI32Store);
+  // Scan(1024 -> 2048, 1, INT, SUM): prefix sum (rank+1)(rank+2)/2
+  f.i32_const(1024);
+  f.i32_const(2048);
+  f.i32_const(1);
+  f.i32_const(abi::MPI_INT);
+  f.i32_const(abi::MPI_SUM);
+  f.i32_const(abi::MPI_COMM_WORLD);
+  f.call(mpi.scan);
+  f.op(Op::kDrop);
+  // Allreduce(IN_PLACE, 2048, 1, INT, MAX): n(n+1)/2 everywhere
+  f.i32_const(abi::MPI_IN_PLACE);
+  f.i32_const(2048);
+  f.i32_const(1);
+  f.i32_const(abi::MPI_INT);
+  f.i32_const(abi::MPI_MAX);
+  f.i32_const(abi::MPI_COMM_WORLD);
+  f.call(mpi.allreduce);
+  f.op(Op::kDrop);
+  f.i32_const(2048);
+  f.mem_op(Op::kI32Load);
+  f.call(proc_exit);
+  f.end();
+  return b.build();
+}
+
+TEST_P(EmbedderTest, GuestScanAndInPlaceAllreduce) {
+  auto bytes = build_scan_in_place_module();
+  Embedder emb(config_for(GetParam()));
+  auto result = emb.run_world({bytes.data(), bytes.size()}, 4);
+  EXPECT_EQ(result.exit_code, 10);  // 4 * 5 / 2
+}
+
+TEST(EmbedderModes, GuestScanInPlaceAllreduceCopyMode) {
+  // The staged (zero_copy = false) path must preserve IN_PLACE semantics.
+  auto bytes = build_scan_in_place_module();
+  EmbedderConfig cfg;
+  cfg.zero_copy = false;
+  Embedder emb(cfg);
+  auto result = emb.run_world({bytes.data(), bytes.size()}, 4);
+  EXPECT_EQ(result.exit_code, 10);
+}
+
 TEST(EmbedderModes, FaasmCompatRejectsCommSplit) {
   auto bytes = build_comm_split_module();
   EmbedderConfig cfg;
