@@ -84,7 +84,7 @@ int main(int argc, char** argv) {
       {ImbRoutine::kBcast, 1 << 20},     {ImbRoutine::kAllReduce, 1 << 20},
       {ImbRoutine::kAllGather, 1 << 17}, {ImbRoutine::kAlltoall, 1 << 16},
       {ImbRoutine::kReduce, 1 << 20},    {ImbRoutine::kGather, 1 << 17},
-      {ImbRoutine::kScatter, 1 << 17},
+      {ImbRoutine::kScatter, 1 << 17},   {ImbRoutine::kBarrier, 1},
   };
   std::vector<PanelResult> results;
   for (const Panel& panel : panels) {

@@ -1,6 +1,7 @@
 #include "embedder/mpi_host.h"
 
 #include <cstring>
+#include <thread>
 
 #include "simmpi/api.h"
 #include "support/timing.h"
@@ -157,6 +158,11 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
           r->f64v = env_of(ctx).rank().wtime();
         });
 
+  t.add(ns, "MPI_Wtick", FuncType{{}, {F64V}},
+        [](HostContext& ctx, const Slot*, Slot* r) {
+          r->f64v = env_of(ctx).rank().wtick();
+        });
+
   t.add(ns, "MPI_Abort", FuncType{{I32, I32}, {I32}},
         [](HostContext& ctx, const Slot* a, Slot* r) {
           env_of(ctx).rank().abort(a[1].i32v);
@@ -310,6 +316,89 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
               env.drop_request(handle);
               write_status(mem, a[2].u32v, st);
               mem.store<i32>(a[0].u32v, abi::MPI_REQUEST_NULL);
+            }
+          });
+          r->i32v = abi::MPI_SUCCESS;
+        });
+
+  t.add(ns, "MPI_Waitany", FuncType{{I32, I32, I32, I32}, {I32}},
+        [](HostContext& ctx, const Slot* a, Slot* r) {
+          Env& env = env_of(ctx);
+          guarded([&] {
+            LinearMemory& mem = ctx.memory();
+            const i32 count = a[0].i32v;
+            // Polling loop: test() drives the nonblocking-collective
+            // progress engine, so collective requests advance while we spin.
+            const u64 deadline =
+                now_ns() +
+                u64(std::chrono::nanoseconds(simmpi::kDeadlockTimeout).count());
+            while (true) {
+              bool any_active = false;
+              for (i32 i = 0; i < count; ++i) {
+                u32 req_ptr = a[1].u32v + u32(i) * 4;
+                i32 handle = mem.load<i32>(req_ptr);
+                if (handle == abi::MPI_REQUEST_NULL) continue;
+                simmpi::Request* req = env.find_request(handle);
+                if (req == nullptr)
+                  throw simmpi::MpiError("MPI_Waitany: invalid request handle");
+                any_active = true;
+                Status st;
+                if (env.rank().test(*req, &st)) {
+                  env.drop_request(handle);
+                  mem.store<i32>(req_ptr, abi::MPI_REQUEST_NULL);
+                  mem.store<i32>(a[2].u32v, i);
+                  write_status(mem, a[3].u32v, st);
+                  return;
+                }
+              }
+              if (!any_active) {
+                mem.store<i32>(a[2].u32v, abi::MPI_UNDEFINED);
+                return;
+              }
+              if (env.rank().world().aborting()) throw simmpi::MpiAbort(-1);
+              if (now_ns() > deadline)
+                throw simmpi::MpiError("MPI_Waitany timed out (deadlock?)");
+              std::this_thread::yield();
+            }
+          });
+          r->i32v = abi::MPI_SUCCESS;
+        });
+
+  t.add(ns, "MPI_Testall", FuncType{{I32, I32, I32, I32}, {I32}},
+        [](HostContext& ctx, const Slot* a, Slot* r) {
+          Env& env = env_of(ctx);
+          guarded([&] {
+            LinearMemory& mem = ctx.memory();
+            const i32 count = a[0].i32v;
+            // First a nondestructive pass: MPI_Testall deallocates either
+            // every request or none.
+            bool all_done = true;
+            for (i32 i = 0; i < count; ++i) {
+              i32 handle = mem.load<i32>(a[1].u32v + u32(i) * 4);
+              if (handle == abi::MPI_REQUEST_NULL) continue;
+              simmpi::Request* req = env.find_request(handle);
+              if (req == nullptr)
+                throw simmpi::MpiError("MPI_Testall: invalid request handle");
+              if (!env.rank().request_get_status(*req, nullptr)) {
+                all_done = false;
+                break;
+              }
+            }
+            mem.store<i32>(a[2].u32v, all_done ? 1 : 0);
+            if (!all_done) return;
+            for (i32 i = 0; i < count; ++i) {
+              u32 req_ptr = a[1].u32v + u32(i) * 4;
+              i32 handle = mem.load<i32>(req_ptr);
+              Status st;
+              if (handle != abi::MPI_REQUEST_NULL) {
+                simmpi::Request* req = env.find_request(handle);
+                env.rank().test(*req, &st);  // completes immediately
+                env.drop_request(handle);
+                mem.store<i32>(req_ptr, abi::MPI_REQUEST_NULL);
+              }
+              if (a[3].u32v != u32(abi::MPI_STATUS_IGNORE))
+                write_status(mem, a[3].u32v + u32(i) * abi::kStatusSizeBytes,
+                             st);
             }
           });
           r->i32v = abi::MPI_SUCCESS;
@@ -619,6 +708,135 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
           });
           r->i32v = abi::MPI_SUCCESS;
         });
+
+  // --- Nonblocking collectives (schedule-based; not in faasm_compat mode).
+  // Like MPI_Isend, these must reference stable memory until completion, so
+  // they always hand the translated linear-memory pointer straight to the
+  // host library (the mmap-reserved base never moves) — the copy-ablation
+  // staging path cannot express a deferred completion. -----------------------
+
+  if (!faasm_compat) {
+    t.add(ns, "MPI_Ibarrier", FuncType{{I32, I32}, {I32}},
+          [](HostContext& ctx, const Slot* a, Slot* r) {
+            Env& env = env_of(ctx);
+            guarded([&] {
+              simmpi::Comm comm = env.translate_comm(a[0].i32v);
+              simmpi::Request req = env.rank().ibarrier(comm);
+              ctx.memory().store<i32>(a[1].u32v,
+                                      env.add_request(std::move(req)));
+            });
+            r->i32v = abi::MPI_SUCCESS;
+          });
+
+    t.add(ns, "MPI_Ibcast", FuncType{{I32, I32, I32, I32, I32, I32}, {I32}},
+          [](HostContext& ctx, const Slot* a, Slot* r) {
+            Env& env = env_of(ctx);
+            guarded([&] {
+              u64 bytes = msg_bytes(env, a[2].i32v, a[1].i32v);
+              Datatype dt = env.translate_datatype(a[2].i32v, bytes);
+              simmpi::Comm comm = env.translate_comm(a[4].i32v);
+              u8* buf = env.translate(ctx.memory(), a[0].u32v, bytes);
+              simmpi::Request req =
+                  env.rank().ibcast(buf, a[1].i32v, dt, a[3].i32v, comm);
+              ctx.memory().store<i32>(a[5].u32v,
+                                      env.add_request(std::move(req)));
+            });
+            r->i32v = abi::MPI_SUCCESS;
+          });
+
+    t.add(ns, "MPI_Ireduce",
+          FuncType{{I32, I32, I32, I32, I32, I32, I32, I32}, {I32}},
+          [](HostContext& ctx, const Slot* a, Slot* r) {
+            Env& env = env_of(ctx);
+            guarded([&] {
+              u64 bytes = msg_bytes(env, a[3].i32v, a[2].i32v);
+              Datatype dt = env.translate_datatype(a[3].i32v, bytes);
+              simmpi::ReduceOp op = env.translate_op(a[4].i32v);
+              simmpi::Comm comm = env.translate_comm(a[6].i32v);
+              LinearMemory& mem = ctx.memory();
+              const void* sbuf =
+                  a[0].u32v == u32(abi::MPI_IN_PLACE)
+                      ? simmpi::kInPlace
+                      : env.translate(mem, a[0].u32v, bytes);
+              bool is_root = env.rank().rank(comm) == a[5].i32v;
+              u8* rbuf =
+                  is_root ? env.translate(mem, a[1].u32v, bytes) : nullptr;
+              simmpi::Request req = env.rank().ireduce(
+                  sbuf, rbuf, a[2].i32v, dt, op, a[5].i32v, comm);
+              mem.store<i32>(a[7].u32v, env.add_request(std::move(req)));
+            });
+            r->i32v = abi::MPI_SUCCESS;
+          });
+
+    t.add(ns, "MPI_Iallreduce",
+          FuncType{{I32, I32, I32, I32, I32, I32, I32}, {I32}},
+          [](HostContext& ctx, const Slot* a, Slot* r) {
+            Env& env = env_of(ctx);
+            guarded([&] {
+              u64 bytes = msg_bytes(env, a[3].i32v, a[2].i32v);
+              Datatype dt = env.translate_datatype(a[3].i32v, bytes);
+              simmpi::ReduceOp op = env.translate_op(a[4].i32v);
+              simmpi::Comm comm = env.translate_comm(a[5].i32v);
+              LinearMemory& mem = ctx.memory();
+              const void* sbuf =
+                  a[0].u32v == u32(abi::MPI_IN_PLACE)
+                      ? simmpi::kInPlace
+                      : env.translate(mem, a[0].u32v, bytes);
+              u8* rbuf = env.translate(mem, a[1].u32v, bytes);
+              simmpi::Request req =
+                  env.rank().iallreduce(sbuf, rbuf, a[2].i32v, dt, op, comm);
+              mem.store<i32>(a[6].u32v, env.add_request(std::move(req)));
+            });
+            r->i32v = abi::MPI_SUCCESS;
+          });
+
+    t.add(ns, "MPI_Iallgather",
+          FuncType{{I32, I32, I32, I32, I32, I32, I32, I32}, {I32}},
+          [](HostContext& ctx, const Slot* a, Slot* r) {
+            Env& env = env_of(ctx);
+            guarded([&] {
+              bool in_place = a[0].u32v == u32(abi::MPI_IN_PLACE);
+              i32 dt_handle = in_place ? a[5].i32v : a[2].i32v;
+              u64 sbytes = msg_bytes(env, dt_handle, a[1].i32v);
+              Datatype dt = env.translate_datatype(dt_handle, sbytes);
+              env.translate_datatype(a[5].i32v, sbytes);
+              simmpi::Comm comm = env.translate_comm(a[6].i32v);
+              LinearMemory& mem = ctx.memory();
+              u64 total = msg_bytes(env, a[5].i32v, a[4].i32v) *
+                          u64(env.rank().size(comm));
+              const void* sbuf =
+                  in_place ? simmpi::kInPlace
+                           : env.translate(mem, a[0].u32v, sbytes);
+              u8* rbuf = env.translate(mem, a[3].u32v, total);
+              simmpi::Request req = env.rank().iallgather(
+                  sbuf, a[1].i32v, rbuf, a[4].i32v, dt, comm);
+              mem.store<i32>(a[7].u32v, env.add_request(std::move(req)));
+            });
+            r->i32v = abi::MPI_SUCCESS;
+          });
+
+    t.add(ns, "MPI_Ialltoall",
+          FuncType{{I32, I32, I32, I32, I32, I32, I32, I32}, {I32}},
+          [](HostContext& ctx, const Slot* a, Slot* r) {
+            Env& env = env_of(ctx);
+            guarded([&] {
+              u64 sblock = msg_bytes(env, a[2].i32v, a[1].i32v);
+              Datatype dt = env.translate_datatype(a[2].i32v, sblock);
+              env.translate_datatype(a[5].i32v, sblock);
+              simmpi::Comm comm = env.translate_comm(a[6].i32v);
+              LinearMemory& mem = ctx.memory();
+              int n = env.rank().size(comm);
+              u64 rblock = msg_bytes(env, a[5].i32v, a[4].i32v);
+              const u8* sbuf =
+                  env.translate(mem, a[0].u32v, sblock * u64(n));
+              u8* rbuf = env.translate(mem, a[3].u32v, rblock * u64(n));
+              simmpi::Request req = env.rank().ialltoall(
+                  sbuf, a[1].i32v, rbuf, a[4].i32v, dt, comm);
+              mem.store<i32>(a[7].u32v, env.add_request(std::move(req)));
+            });
+            r->i32v = abi::MPI_SUCCESS;
+          });
+  }
 
   // --- Communicator management (not available in faasm_compat mode; Faasm
   // supports no user-defined communicators, §6) ------------------------------

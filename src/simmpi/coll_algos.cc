@@ -5,6 +5,7 @@
 #include <iterator>
 #include <string_view>
 
+#include "simmpi/coll_tree.h"
 #include "simmpi/reduce_ops.h"
 #include "support/log.h"
 #include "support/timing.h"
@@ -80,35 +81,7 @@ CollTuning CollTuning::from_env(CollTuning base) {
 
 namespace coll {
 
-namespace {
-
-/// Relative rank helpers for trees rooted at `root`.
-int rel(int r, int root, int size) { return (r - root + size) % size; }
-int unrel(int r, int root, int size) { return (r + root) % size; }
-
-bool is_pof2(int n) { return n > 0 && (n & (n - 1)) == 0; }
-
-int floor_pof2(int n) {
-  int p = 1;
-  while (p * 2 <= n) p *= 2;
-  return p;
-}
-
-/// Splits `count` elements into `parts` chunks (first count%parts chunks
-/// get one extra element); fills element counts and offsets.
-void chunk_counts(int count, int parts, std::vector<int>* cnts,
-                  std::vector<int>* offs) {
-  cnts->assign(size_t(parts), 0);
-  offs->assign(size_t(parts), 0);
-  int base = count / parts, extra = count % parts, off = 0;
-  for (int i = 0; i < parts; ++i) {
-    (*cnts)[i] = base + (i < extra ? 1 : 0);
-    (*offs)[i] = off;
-    off += (*cnts)[i];
-  }
-}
-
-}  // namespace
+// (Tree/chunk arithmetic shared with the schedule twins: coll_tree.h.)
 
 // ---------------------------------------------------------------------------
 // Names, registry, selection

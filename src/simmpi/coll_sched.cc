@@ -1,0 +1,760 @@
+#include "simmpi/coll_sched.h"
+
+#include <cstring>
+
+#include "simmpi/coll_tree.h"
+#include "simmpi/reduce_ops.h"
+#include "support/log.h"
+#include "support/timing.h"
+
+namespace mpiwasm::simmpi::coll {
+
+// ---------------------------------------------------------------------------
+// Schedule: step machinery
+// ---------------------------------------------------------------------------
+
+Schedule::Schedule(World* world, const detail::CommData& c, i64 seq)
+    : world_(world),
+      c_(&c),
+      comm_id_(c.id),
+      seq_(seq),
+      tag_base_(kIcollTagBase - int(seq % kIcollSeqWindow) * kIcollRounds) {}
+
+Schedule::~Schedule() {
+  if (shm_ != nullptr) world_->release_icoll_group(comm_id_, seq_);
+}
+
+u8* Schedule::scratch(size_t bytes) {
+  scratch_.push_back(
+      std::make_unique<std::vector<u8>>(bytes > 0 ? bytes : 1));
+  return scratch_.back()->data();
+}
+
+IcollShmGroup& Schedule::shm_group(size_t slot_bytes) {
+  if (shm_ == nullptr)
+    shm_ = world_->attach_icoll_group(c_->id, seq_,
+                                      int(c_->world_ranks.size()), slot_bytes);
+  return *shm_;
+}
+
+Schedule::StepId Schedule::push(Step step, std::vector<StepId> deps) {
+  for (StepId d : deps)
+    if (d != kNone) step.deps.push_back(d);
+  steps_.push_back(std::move(step));
+  ++remaining_;
+  return StepId(steps_.size()) - 1;
+}
+
+Schedule::StepId Schedule::send(const void* buf, size_t bytes, int peer,
+                                int round, std::vector<StepId> deps) {
+  MW_CHECK(round >= 0 && round < kIcollRounds, "icoll round out of range");
+  Step s;
+  s.kind = Step::Kind::kSend;
+  s.src = buf;
+  s.bytes = bytes;
+  s.peer = peer;
+  s.tag = tag_base_ - round;
+  s.wire_ns = world_->profile().message_cost_ns(bytes);
+  return push(std::move(s), std::move(deps));
+}
+
+Schedule::StepId Schedule::recv(void* buf, size_t bytes, int peer, int round,
+                                std::vector<StepId> deps) {
+  MW_CHECK(round >= 0 && round < kIcollRounds, "icoll round out of range");
+  Step s;
+  s.kind = Step::Kind::kRecv;
+  s.dst = buf;
+  s.bytes = bytes;
+  s.peer = peer;
+  s.tag = tag_base_ - round;
+  return push(std::move(s), std::move(deps));
+}
+
+Schedule::StepId Schedule::reduce(const void* src, void* dst, int count,
+                                  Datatype type, ReduceOp op,
+                                  std::vector<StepId> deps) {
+  Step s;
+  s.kind = Step::Kind::kReduce;
+  s.src = src;
+  s.dst = dst;
+  s.count = count;
+  s.type = type;
+  s.op = op;
+  return push(std::move(s), std::move(deps));
+}
+
+Schedule::StepId Schedule::copy(const void* src, void* dst, size_t bytes,
+                                std::vector<StepId> deps) {
+  Step s;
+  s.kind = Step::Kind::kCopy;
+  s.src = src;
+  s.dst = dst;
+  s.bytes = bytes;
+  return push(std::move(s), std::move(deps));
+}
+
+Schedule::StepId Schedule::shm_arrive(int phase, size_t charge_bytes,
+                                      std::vector<StepId> deps) {
+  Step s;
+  s.kind = Step::Kind::kShmArrive;
+  s.phase = phase;
+  s.wire_ns = world_->profile().message_cost_ns(charge_bytes);
+  return push(std::move(s), std::move(deps));
+}
+
+Schedule::StepId Schedule::shm_wait(int phase, std::vector<StepId> deps) {
+  Step s;
+  s.kind = Step::Kind::kShmWait;
+  s.phase = phase;
+  return push(std::move(s), std::move(deps));
+}
+
+bool Schedule::deps_done(const Step& s) const {
+  for (StepId d : s.deps)
+    if (steps_[size_t(d)].state != Step::State::kDone) return false;
+  return true;
+}
+
+bool Schedule::advance(Rank& r, Step& s) {
+  switch (s.kind) {
+    case Step::Kind::kReduce:
+      apply_reduce(s.op, s.type, s.src, s.dst, s.count);
+      return true;
+    case Step::Kind::kCopy:
+      std::memmove(s.dst, s.src, s.bytes);
+      return true;
+    case Step::Kind::kSend:
+      if (s.state == Step::State::kPending) {
+        // Post immediately so peers can match; the wire-time deadline
+        // (instead of the blocking path's injection spin) is what lets the
+        // transfer proceed while the rank computes.
+        s.req = r.isend_internal(s.src, s.bytes, s.peer, s.tag, *c_,
+                                 /*charge_wire=*/false);
+        s.ready_at_ns = now_ns() + s.wire_ns;
+        s.state = Step::State::kStarted;
+      }
+      if (s.req.valid() && !r.test(s.req, nullptr)) return false;
+      return now_ns() >= s.ready_at_ns;
+    case Step::Kind::kRecv:
+      if (s.state == Step::State::kPending) {
+        s.req = r.irecv_internal(s.dst, s.bytes, s.peer, s.tag, *c_);
+        s.state = Step::State::kStarted;
+      }
+      return !s.req.valid() || r.test(s.req, nullptr);
+    case Step::Kind::kShmArrive:
+      if (s.state == Step::State::kPending) {
+        shm_->arrive(s.phase);
+        s.ready_at_ns = now_ns() + s.wire_ns;
+        s.state = Step::State::kStarted;
+      }
+      return now_ns() >= s.ready_at_ns;
+    case Step::Kind::kShmWait:
+      return shm_->arrived_all(s.phase);
+  }
+  return false;
+}
+
+bool Schedule::progress(Rank& r) {
+  bool advanced = true;
+  while (advanced && remaining_ > 0) {
+    advanced = false;
+    for (Step& s : steps_) {
+      if (s.state == Step::State::kDone) continue;
+      if (!deps_done(s)) continue;
+      if (advance(r, s)) {
+        s.state = Step::State::kDone;
+        --remaining_;
+        advanced = true;
+      }
+    }
+  }
+  return remaining_ == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Builders
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<Schedule> build_ibarrier(World* w, const detail::CommData& c,
+                                         i64 seq, CollAlgo algo) {
+  auto s = std::make_shared<Schedule>(w, c, seq);
+  const int n = int(c.world_ranks.size());
+  const int me = c.my_comm_rank;
+  u8* tok = s->scratch(2);  // [0] token out, [1] sink in
+  switch (algo) {
+    case CollAlgo::kLinear:
+      if (me == 0) {
+        std::vector<Schedule::StepId> got;
+        for (int src = 1; src < n; ++src)
+          got.push_back(s->recv(tok + 1, 1, src, 0, {}));
+        for (int dst = 1; dst < n; ++dst) s->send(tok, 1, dst, 1, got);
+      } else {
+        Schedule::StepId snd = s->send(tok, 1, 0, 0, {});
+        s->recv(tok + 1, 1, 0, 1, {snd});
+      }
+      break;
+    case CollAlgo::kShm: {
+      s->shm_group(1);
+      Schedule::StepId a = s->shm_arrive(0, 0, {});
+      s->shm_wait(0, {a});
+      break;
+    }
+    default: {  // dissemination
+      Schedule::StepId ps = Schedule::kNone, pr = Schedule::kNone;
+      int round = 0;
+      for (int k = 1; k < n; k <<= 1, ++round) {
+        Schedule::StepId snd =
+            s->send(tok, 1, (me + k) % n, round, {ps, pr});
+        Schedule::StepId rv =
+            s->recv(tok + 1, 1, (me - k + n) % n, round, {ps, pr});
+        ps = snd;
+        pr = rv;
+      }
+      break;
+    }
+  }
+  return s;
+}
+
+std::shared_ptr<Schedule> build_ibcast(World* w, const detail::CommData& c,
+                                       i64 seq, CollAlgo algo, void* buf,
+                                       size_t bytes, int root) {
+  auto s = std::make_shared<Schedule>(w, c, seq);
+  const int n = int(c.world_ranks.size());
+  const int me = c.my_comm_rank;
+  switch (algo) {
+    case CollAlgo::kLinear:
+      if (me == root) {
+        for (int dst = 0; dst < n; ++dst)
+          if (dst != root) s->send(buf, bytes, dst, 0, {});
+      } else {
+        s->recv(buf, bytes, root, 0, {});
+      }
+      break;
+    case CollAlgo::kShm: {
+      IcollShmGroup& g = s->shm_group(bytes);
+      if (me == root) {
+        Schedule::StepId cp = s->copy(buf, g.slot(root), bytes, {});
+        Schedule::StepId a0 = s->shm_arrive(0, bytes, {cp});
+        Schedule::StepId w0 = s->shm_wait(0, {a0});
+        Schedule::StepId a1 = s->shm_arrive(1, 0, {w0});
+        s->shm_wait(1, {a1});
+      } else {
+        Schedule::StepId a0 = s->shm_arrive(0, 0, {});
+        Schedule::StepId w0 = s->shm_wait(0, {a0});
+        Schedule::StepId cp = s->copy(g.slot(root), buf, bytes, {w0});
+        // Fan-out charge, then keep the root's slot alive until every
+        // reader is done (the bcast_shm double barrier).
+        Schedule::StepId a1 = s->shm_arrive(1, bytes, {cp});
+        s->shm_wait(1, {a1});
+      }
+      break;
+    }
+    default: {  // binomial
+      const int mr = rel(me, root, n);
+      Schedule::StepId got = Schedule::kNone;
+      if (mr != 0) {
+        int lsb = mr & -mr;
+        got = s->recv(buf, bytes, unrel(mr - lsb, root, n), 0, {});
+      }
+      int lsb = mr == 0 ? (1 << 30) : (mr & -mr);
+      for (int k = 1; k < lsb && k < n; k <<= 1)
+        if (mr + k < n)
+          s->send(buf, bytes, unrel(mr + k, root, n), 0, {got});
+      break;
+    }
+  }
+  return s;
+}
+
+namespace {
+
+/// Appends a rooted linear reduce into `recvbuf` (significant at the root
+/// only). Returns this rank's final participation step: the tail of the
+/// combine chain at the root, the contribution send elsewhere. `round` is
+/// the tag round used by the contribution messages.
+Schedule::StepId sched_reduce_linear(Schedule& s, const detail::CommData& c,
+                                     const void* sendbuf, void* recvbuf,
+                                     int count, Datatype type, ReduceOp op,
+                                     int root, int round) {
+  const int n = int(c.world_ranks.size());
+  const int me = c.my_comm_rank;
+  const size_t bytes = size_t(count) * datatype_size(type);
+  if (me != root) return s.send(sendbuf, bytes, root, round, {});
+  // Canonical left-to-right combine over comm-rank order; contributions
+  // arrive into per-source scratch so the receives themselves overlap.
+  u8* own = s.scratch(bytes);
+  Schedule::StepId own_cp = s.copy(sendbuf, own, bytes, {});
+  Schedule::StepId prev = Schedule::kNone;
+  for (int src = 0; src < n; ++src) {
+    const u8* contrib;
+    Schedule::StepId ready;
+    if (src == root) {
+      contrib = own;
+      ready = own_cp;
+    } else {
+      u8* in = s.scratch(bytes);
+      ready = s.recv(in, bytes, src, round, {});
+      contrib = in;
+    }
+    prev = src == 0 ? s.copy(contrib, recvbuf, bytes, {ready})
+                    : s.reduce(contrib, recvbuf, count, type, op,
+                               {ready, prev});
+  }
+  return prev;
+}
+
+/// Appends a binomial-tree reduce; returns {final local step, accumulator}.
+/// At relative rank 0 the result is left in the returned accumulator.
+struct BinomialReduce {
+  Schedule::StepId last = Schedule::kNone;
+  u8* acc = nullptr;
+};
+BinomialReduce sched_reduce_binomial(Schedule& s, const detail::CommData& c,
+                                     const void* sendbuf, int count,
+                                     Datatype type, ReduceOp op, int root,
+                                     int round) {
+  const int n = int(c.world_ranks.size());
+  const int mr = rel(c.my_comm_rank, root, n);
+  const size_t bytes = size_t(count) * datatype_size(type);
+  u8* acc = s.scratch(bytes);
+  Schedule::StepId prev = s.copy(sendbuf, acc, bytes, {});
+  for (int k = 1; k < n; k <<= 1) {
+    if ((mr & k) != 0) {
+      prev = s.send(acc, bytes, unrel(mr - k, root, n), round, {prev});
+      break;
+    }
+    if (mr + k < n) {
+      u8* in = s.scratch(bytes);
+      Schedule::StepId rv =
+          s.recv(in, bytes, unrel(mr + k, root, n), round, {});
+      prev = s.reduce(in, acc, count, type, op, {rv, prev});
+    }
+  }
+  return {prev, acc};
+}
+
+}  // namespace
+
+std::shared_ptr<Schedule> build_ireduce(World* w, const detail::CommData& c,
+                                        i64 seq, CollAlgo algo,
+                                        const void* sendbuf, void* recvbuf,
+                                        int count, Datatype type, ReduceOp op,
+                                        int root) {
+  auto s = std::make_shared<Schedule>(w, c, seq);
+  const int n = int(c.world_ranks.size());
+  const int me = c.my_comm_rank;
+  const size_t bytes = size_t(count) * datatype_size(type);
+  switch (algo) {
+    case CollAlgo::kLinear:
+      sched_reduce_linear(*s, c, sendbuf, recvbuf, count, type, op, root, 0);
+      break;
+    case CollAlgo::kShm: {
+      IcollShmGroup& g = s->shm_group(bytes);
+      Schedule::StepId cp = s->copy(sendbuf, g.slot(me), bytes, {});
+      Schedule::StepId a0 = s->shm_arrive(0, bytes, {cp});
+      Schedule::StepId w0 = s->shm_wait(0, {a0});
+      Schedule::StepId a1;
+      if (me == root) {
+        Schedule::StepId prev = s->copy(g.slot(0), recvbuf, bytes, {w0});
+        for (int src = 1; src < n; ++src)
+          prev = s->reduce(g.slot(src), recvbuf, count, type, op, {prev});
+        a1 = s->shm_arrive(1, bytes, {prev});
+      } else {
+        a1 = s->shm_arrive(1, 0, {w0});
+      }
+      s->shm_wait(1, {a1});
+      break;
+    }
+    default: {  // binomial
+      BinomialReduce br =
+          sched_reduce_binomial(*s, c, sendbuf, count, type, op, root, 0);
+      if (me == root && recvbuf != nullptr)
+        s->copy(br.acc, recvbuf, bytes, {br.last});
+      break;
+    }
+  }
+  return s;
+}
+
+namespace {
+
+/// Recursive-doubling allreduce schedule (with the non-pof2 fold-in/out of
+/// allreduce_rdbl). Result lands in recvbuf on every rank.
+void sched_allreduce_rdbl(Schedule& s, const detail::CommData& c,
+                          const void* sendbuf, void* recvbuf, int count,
+                          Datatype type, ReduceOp op) {
+  const int n = int(c.world_ranks.size());
+  const int me = c.my_comm_rank;
+  const size_t bytes = size_t(count) * datatype_size(type);
+  Schedule::StepId prev = s.copy(sendbuf, recvbuf, bytes, {});
+  u8* tmp = s.scratch(bytes);
+  const int pof2 = floor_pof2(n);
+  const int rem = n - pof2;
+  int log2p = 0;
+  for (int p = 1; p < pof2; p <<= 1) ++log2p;
+  int round = 0;
+  int newrank;
+  if (me < 2 * rem) {
+    if ((me % 2) == 0) {
+      prev = s.send(recvbuf, bytes, me + 1, round, {prev});
+      newrank = -1;
+    } else {
+      Schedule::StepId rv = s.recv(tmp, bytes, me - 1, round, {});
+      prev = s.reduce(tmp, recvbuf, count, type, op, {rv, prev});
+      newrank = me / 2;
+    }
+  } else {
+    newrank = me - rem;
+  }
+  ++round;
+  if (newrank >= 0) {
+    for (int mask = 1; mask < pof2; mask <<= 1, ++round) {
+      int newpartner = newrank ^ mask;
+      int partner = newpartner < rem ? newpartner * 2 + 1 : newpartner + rem;
+      Schedule::StepId snd = s.send(recvbuf, bytes, partner, round, {prev});
+      Schedule::StepId rv = s.recv(tmp, bytes, partner, round, {prev});
+      prev = s.reduce(tmp, recvbuf, count, type, op, {snd, rv});
+    }
+  } else {
+    round += log2p;  // keep fold-out rounds aligned across ranks
+  }
+  if (me < 2 * rem) {
+    if ((me % 2) == 0)
+      s.recv(recvbuf, bytes, me + 1, round, {prev});
+    else
+      s.send(recvbuf, bytes, me - 1, round, {prev});
+  }
+}
+
+/// Ring allreduce schedule: reduce-scatter rounds then allgather rounds.
+void sched_allreduce_ring(Schedule& s, const detail::CommData& c,
+                          const void* sendbuf, void* recvbuf, int count,
+                          Datatype type, ReduceOp op) {
+  const int n = int(c.world_ranks.size());
+  const int me = c.my_comm_rank;
+  const size_t esize = datatype_size(type);
+  u8* out = static_cast<u8*>(recvbuf);
+  std::vector<int> cnts, offs;
+  chunk_counts(count, n, &cnts, &offs);
+  u8* tmp = s.scratch((size_t(count) / size_t(n) + 1) * esize);
+  const int right = (me + 1) % n, left = (me - 1 + n) % n;
+  std::vector<Schedule::StepId> prevs = {
+      s.copy(sendbuf, recvbuf, size_t(count) * esize, {})};
+  int round = 0;
+  for (int st = 0; st < n - 1; ++st, ++round) {
+    int send_chunk = (me - st + n) % n;
+    int recv_chunk = (me - st - 1 + n) % n;
+    Schedule::StepId snd =
+        s.send(out + size_t(offs[send_chunk]) * esize,
+               size_t(cnts[send_chunk]) * esize, right, round, prevs);
+    Schedule::StepId rv = s.recv(tmp, size_t(cnts[recv_chunk]) * esize, left,
+                                 round, prevs);
+    prevs = {s.reduce(tmp, out + size_t(offs[recv_chunk]) * esize,
+                      cnts[recv_chunk], type, op, {snd, rv})};
+  }
+  for (int st = 0; st < n - 1; ++st, ++round) {
+    int send_chunk = (me + 1 - st + n) % n;
+    int recv_chunk = (me - st + n) % n;
+    Schedule::StepId snd =
+        s.send(out + size_t(offs[send_chunk]) * esize,
+               size_t(cnts[send_chunk]) * esize, right, round, prevs);
+    Schedule::StepId rv =
+        s.recv(out + size_t(offs[recv_chunk]) * esize,
+               size_t(cnts[recv_chunk]) * esize, left, round, prevs);
+    prevs = {snd, rv};
+  }
+}
+
+/// Rabenseifner allreduce schedule: reduce-scatter by recursive halving,
+/// allgather by replaying the halving windows in reverse.
+void sched_allreduce_raben(Schedule& s, const detail::CommData& c,
+                           const void* sendbuf, void* recvbuf, int count,
+                           Datatype type, ReduceOp op) {
+  const int n = int(c.world_ranks.size());
+  const int pof2 = floor_pof2(n);
+  if (count < pof2) {  // chunks would be empty; rdbl handles this size
+    sched_allreduce_rdbl(s, c, sendbuf, recvbuf, count, type, op);
+    return;
+  }
+  const int me = c.my_comm_rank;
+  const size_t esize = datatype_size(type);
+  const size_t bytes = size_t(count) * esize;
+  u8* out = static_cast<u8*>(recvbuf);
+  u8* tmp = s.scratch(bytes);
+  Schedule::StepId prev = s.copy(sendbuf, recvbuf, bytes, {});
+  const int rem = n - pof2;
+  int round = 0;
+  int newrank;
+  if (me < 2 * rem) {
+    if ((me % 2) == 0) {
+      prev = s.send(out, bytes, me + 1, round, {prev});
+      newrank = -1;
+    } else {
+      Schedule::StepId rv = s.recv(tmp, bytes, me - 1, round, {});
+      prev = s.reduce(tmp, out, count, type, op, {rv, prev});
+      newrank = me / 2;
+    }
+  } else {
+    newrank = me - rem;
+  }
+  ++round;
+  const int log2p = [&] {
+    int l = 0;
+    for (int p = 1; p < pof2; p <<= 1) ++l;
+    return l;
+  }();
+  if (newrank >= 0) {
+    auto real_rank = [&](int nr) { return nr < rem ? nr * 2 + 1 : nr + rem; };
+    std::vector<int> cnts, offs;
+    chunk_counts(count, pof2, &cnts, &offs);
+    auto range_elems = [&](int lo, int hi) {
+      return offs[size_t(hi - 1)] + cnts[size_t(hi - 1)] - offs[size_t(lo)];
+    };
+    struct Win {
+      int partner, keep_lo, keep_hi, give_lo, give_hi;
+    };
+    std::vector<Win> wins;
+    int lo = 0, hi = pof2;
+    std::vector<Schedule::StepId> prevs = {prev};
+    for (int mask = pof2 >> 1; mask >= 1; mask >>= 1, ++round) {
+      Win wn;
+      wn.partner = real_rank(newrank ^ mask);
+      int mid = lo + (hi - lo) / 2;
+      if ((newrank & mask) == 0) {
+        wn.keep_lo = lo, wn.keep_hi = mid, wn.give_lo = mid, wn.give_hi = hi;
+      } else {
+        wn.keep_lo = mid, wn.keep_hi = hi, wn.give_lo = lo, wn.give_hi = mid;
+      }
+      Schedule::StepId snd =
+          s.send(out + size_t(offs[size_t(wn.give_lo)]) * esize,
+                 size_t(range_elems(wn.give_lo, wn.give_hi)) * esize,
+                 wn.partner, round, prevs);
+      Schedule::StepId rv =
+          s.recv(tmp, size_t(range_elems(wn.keep_lo, wn.keep_hi)) * esize,
+                 wn.partner, round, prevs);
+      prevs = {s.reduce(tmp, out + size_t(offs[size_t(wn.keep_lo)]) * esize,
+                        range_elems(wn.keep_lo, wn.keep_hi), type, op,
+                        {snd, rv})};
+      lo = wn.keep_lo, hi = wn.keep_hi;
+      wins.push_back(wn);
+    }
+    for (auto it = wins.rbegin(); it != wins.rend(); ++it, ++round) {
+      Schedule::StepId snd =
+          s.send(out + size_t(offs[size_t(it->keep_lo)]) * esize,
+                 size_t(range_elems(it->keep_lo, it->keep_hi)) * esize,
+                 it->partner, round, prevs);
+      Schedule::StepId rv =
+          s.recv(out + size_t(offs[size_t(it->give_lo)]) * esize,
+                 size_t(range_elems(it->give_lo, it->give_hi)) * esize,
+                 it->partner, round, prevs);
+      prevs = {snd, rv};
+    }
+    prev = Schedule::kNone;
+    if (me < 2 * rem)
+      s.send(out, bytes, me - 1, round, prevs);
+  } else {
+    round += 2 * log2p;  // rounds the participating ranks consumed
+    s.recv(out, bytes, me + 1, round, {prev});
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<Schedule> build_iallreduce(World* w, const detail::CommData& c,
+                                           i64 seq, CollAlgo algo,
+                                           const void* sendbuf, void* recvbuf,
+                                           int count, Datatype type,
+                                           ReduceOp op) {
+  auto s = std::make_shared<Schedule>(w, c, seq);
+  const int n = int(c.world_ranks.size());
+  const int me = c.my_comm_rank;
+  const size_t bytes = size_t(count) * datatype_size(type);
+  switch (algo) {
+    case CollAlgo::kLinear: {
+      // Rooted linear reduce into recvbuf at rank 0, then linear bcast.
+      Schedule::StepId last =
+          sched_reduce_linear(*s, c, sendbuf, recvbuf, count, type, op, 0, 0);
+      if (me == 0) {
+        for (int dst = 1; dst < n; ++dst)
+          s->send(recvbuf, bytes, dst, 1, {last});
+      } else {
+        // The contribution send reads sendbuf, which aliases recvbuf under
+        // MPI_IN_PLACE — the result receive must wait for it.
+        s->recv(recvbuf, bytes, 0, 1, {last});
+      }
+      break;
+    }
+    case CollAlgo::kBinomial: {
+      BinomialReduce br =
+          sched_reduce_binomial(*s, c, sendbuf, count, type, op, 0, 0);
+      // Binomial bcast of recvbuf from rank 0 (round 1). recvbuf may alias
+      // sendbuf (IN_PLACE); the reduce phase reads sendbuf only through its
+      // initial accumulator copy, which br.last transitively orders before
+      // the result receive.
+      const int mr = me;  // root 0: relative == absolute
+      Schedule::StepId got;
+      if (mr == 0) {
+        got = s->copy(br.acc, recvbuf, bytes, {br.last});
+      } else {
+        int lsb = mr & -mr;
+        got = s->recv(recvbuf, bytes, mr - lsb, 1, {br.last});
+      }
+      int lsb = mr == 0 ? (1 << 30) : (mr & -mr);
+      for (int k = 1; k < lsb && k < n; k <<= 1)
+        if (mr + k < n) s->send(recvbuf, bytes, mr + k, 1, {got});
+      break;
+    }
+    case CollAlgo::kRing:
+      sched_allreduce_ring(*s, c, sendbuf, recvbuf, count, type, op);
+      break;
+    case CollAlgo::kRabenseifner:
+      sched_allreduce_raben(*s, c, sendbuf, recvbuf, count, type, op);
+      break;
+    case CollAlgo::kShm: {
+      IcollShmGroup& g = s->shm_group(bytes);
+      Schedule::StepId cp = s->copy(sendbuf, g.slot(me), bytes, {});
+      Schedule::StepId a0 = s->shm_arrive(0, bytes, {cp});
+      Schedule::StepId w0 = s->shm_wait(0, {a0});
+      Schedule::StepId prev = s->copy(g.slot(0), recvbuf, bytes, {w0});
+      for (int src = 1; src < n; ++src)
+        prev = s->reduce(g.slot(src), recvbuf, count, type, op, {prev});
+      Schedule::StepId a1 = s->shm_arrive(1, bytes, {prev});
+      s->shm_wait(1, {a1});
+      break;
+    }
+    default:
+      sched_allreduce_rdbl(*s, c, sendbuf, recvbuf, count, type, op);
+      break;
+  }
+  return s;
+}
+
+std::shared_ptr<Schedule> build_iallgather(World* w, const detail::CommData& c,
+                                           i64 seq, CollAlgo algo,
+                                           const void* sendbuf, void* recvbuf,
+                                           size_t block) {
+  auto s = std::make_shared<Schedule>(w, c, seq);
+  const int n = int(c.world_ranks.size());
+  const int me = c.my_comm_rank;
+  u8* out = static_cast<u8*>(recvbuf);
+  // Own block into position first; memmove handles the in-place alias.
+  const Schedule::StepId own =
+      s->copy(sendbuf, out + size_t(me) * block, block, {});
+  switch (algo) {
+    case CollAlgo::kLinear: {
+      // Gather to rank 0, then one total-size bcast per destination.
+      if (me == 0) {
+        std::vector<Schedule::StepId> got = {own};
+        for (int src = 1; src < n; ++src)
+          got.push_back(
+              s->recv(out + size_t(src) * block, block, src, 0, {}));
+        for (int dst = 1; dst < n; ++dst)
+          s->send(out, size_t(n) * block, dst, 1, got);
+      } else {
+        Schedule::StepId snd = s->send(sendbuf, block, 0, 0, {});
+        // The total receive overwrites recvbuf, including the region the
+        // contribution send may still be reading (in-place) — dep on both.
+        s->recv(out, size_t(n) * block, 0, 1, {own, snd});
+      }
+      break;
+    }
+    case CollAlgo::kRecursiveDoubling: {
+      if (!is_pof2(n)) {
+        // Mirror allgather_rdbl: hypercube exchange needs a power of two.
+        std::vector<Schedule::StepId> prevs = {own};
+        const int right = (me + 1) % n, left = (me - 1 + n) % n;
+        for (int st = 0, round = 0; st < n - 1; ++st, ++round) {
+          int send_block = (me - st + n) % n;
+          int recv_block = (me - st - 1 + n) % n;
+          Schedule::StepId snd = s->send(out + size_t(send_block) * block,
+                                         block, right, round, prevs);
+          Schedule::StepId rv = s->recv(out + size_t(recv_block) * block,
+                                        block, left, round, prevs);
+          prevs = {snd, rv};
+        }
+        break;
+      }
+      std::vector<Schedule::StepId> prevs = {own};
+      int round = 0;
+      for (int mask = 1; mask < n; mask <<= 1, ++round) {
+        int partner = me ^ mask;
+        int my_start = me & ~(mask - 1);
+        int peer_start = partner & ~(mask - 1);
+        Schedule::StepId snd =
+            s->send(out + size_t(my_start) * block, size_t(mask) * block,
+                    partner, round, prevs);
+        Schedule::StepId rv =
+            s->recv(out + size_t(peer_start) * block, size_t(mask) * block,
+                    partner, round, prevs);
+        prevs = {snd, rv};
+      }
+      break;
+    }
+    case CollAlgo::kShm: {
+      IcollShmGroup& g = s->shm_group(block);
+      Schedule::StepId cp = s->copy(sendbuf, g.slot(me), block, {});
+      Schedule::StepId a0 = s->shm_arrive(0, block, {cp});
+      Schedule::StepId w0 = s->shm_wait(0, {a0});
+      std::vector<Schedule::StepId> cps = {own};
+      for (int src = 0; src < n; ++src) {
+        if (src == me) continue;
+        cps.push_back(
+            s->copy(g.slot(src), out + size_t(src) * block, block, {w0}));
+      }
+      Schedule::StepId a1 = s->shm_arrive(1, block, cps);
+      s->shm_wait(1, {a1});
+      break;
+    }
+    default: {  // ring
+      std::vector<Schedule::StepId> prevs = {own};
+      const int right = (me + 1) % n, left = (me - 1 + n) % n;
+      for (int st = 0, round = 0; st < n - 1; ++st, ++round) {
+        int send_block = (me - st + n) % n;
+        int recv_block = (me - st - 1 + n) % n;
+        Schedule::StepId snd = s->send(out + size_t(send_block) * block,
+                                       block, right, round, prevs);
+        Schedule::StepId rv = s->recv(out + size_t(recv_block) * block, block,
+                                      left, round, prevs);
+        prevs = {snd, rv};
+      }
+      break;
+    }
+  }
+  return s;
+}
+
+std::shared_ptr<Schedule> build_ialltoall(World* w, const detail::CommData& c,
+                                          i64 seq, CollAlgo algo,
+                                          const void* sendbuf, void* recvbuf,
+                                          size_t sblock, size_t rblock) {
+  auto s = std::make_shared<Schedule>(w, c, seq);
+  const int n = int(c.world_ranks.size());
+  const int me = c.my_comm_rank;
+  const u8* in = static_cast<const u8*>(sendbuf);
+  u8* out = static_cast<u8*>(recvbuf);
+  s->copy(in + size_t(me) * sblock, out + size_t(me) * rblock, sblock, {});
+  if (algo == CollAlgo::kLinear) {
+    // The natural DAG: every transfer independent.
+    for (int src = 0; src < n; ++src)
+      if (src != me)
+        s->recv(out + size_t(src) * rblock, rblock, src, 0, {});
+    for (int dst = 0; dst < n; ++dst)
+      if (dst != me)
+        s->send(in + size_t(dst) * sblock, sblock, dst, 0, {});
+  } else {  // pairwise
+    std::vector<Schedule::StepId> prevs;
+    for (int st = 1; st < n; ++st) {
+      int to = (me + st) % n;
+      int from = (me - st + n) % n;
+      Schedule::StepId snd =
+          s->send(in + size_t(to) * sblock, sblock, to, st - 1, prevs);
+      Schedule::StepId rv = s->recv(out + size_t(from) * rblock, rblock, from,
+                                    st - 1, prevs);
+      prevs = {snd, rv};
+    }
+  }
+  return s;
+}
+
+}  // namespace mpiwasm::simmpi::coll

@@ -1,0 +1,147 @@
+// Nonblocking collectives: resumable step schedules + per-rank progress.
+//
+// Every registry algorithm of coll_algos.h has a second life here as a
+// *schedule*: a DAG of isend / irecv / local-reduce / copy / shm-phase
+// steps whose dependencies encode exactly the ordering the blocking
+// implementation got from program order. Initiating MPI_Iallreduce & co.
+// builds the schedule, posts its first wave of steps, and returns a
+// request; the per-rank progress engine (Rank::icoll_progress) then
+// advances all outstanding schedules from wait/test/waitall and
+// opportunistically from every blocking MPI entry point, so computation
+// folded between initiation and completion overlaps the collective.
+//
+// Cost-model honesty, nonblocking edition: p2p schedule steps charge the
+// NetworkProfile per message like the blocking algorithms do, but as a
+// *completion deadline* instead of an injection spin — modeling the
+// NIC-offloaded asynchronous transfer that makes overlap worthwhile in
+// the first place. The step is posted immediately (so peers can match it)
+// and counts as complete only once both the transfer finished and its
+// wire-time deadline elapsed. Shared-memory phases charge the same way on
+// their fan-in/fan-out arrivals.
+//
+// Concurrency: schedules are confined to the owning rank thread; cross-
+// rank traffic flows through the mailbox transport or through a per-
+// operation IcollShmGroup (world.h) whose single-use two-phase barrier
+// keeps interleaved outstanding shm collectives from mixing arrivals.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "simmpi/world.h"
+
+namespace mpiwasm::simmpi::coll {
+
+class Schedule {
+ public:
+  using StepId = int;
+  static constexpr StepId kNone = -1;
+
+  /// `seq` is the per-communicator operation sequence number; it derives
+  /// the schedule's private tag stride (types.h kIcollTagBase).
+  Schedule(World* world, const detail::CommData& c, i64 seq);
+  ~Schedule();
+  Schedule(const Schedule&) = delete;
+  Schedule& operator=(const Schedule&) = delete;
+
+  bool done() const { return remaining_ == 0; }
+  /// Advances every runnable step; returns done(). Never blocks.
+  bool progress(Rank& r);
+  /// Communicator this schedule runs on (comm_free drains by this id).
+  i32 comm_id() const { return comm_id_; }
+
+  // --- build API (used by the build_* factories below) ----------------------
+  /// Allocates a stable scratch buffer owned by the schedule.
+  u8* scratch(size_t bytes);
+  /// Lazily attaches this operation's shared-memory group (shm variants).
+  IcollShmGroup& shm_group(size_t slot_bytes);
+  /// p2p steps: `round` disambiguates repeated same-peer messages within
+  /// one schedule (must be < kIcollRounds). kNone deps are ignored.
+  StepId send(const void* buf, size_t bytes, int peer, int round,
+              std::vector<StepId> deps);
+  StepId recv(void* buf, size_t bytes, int peer, int round,
+              std::vector<StepId> deps);
+  /// Local steps. copy uses memmove semantics (src may alias dst).
+  StepId reduce(const void* src, void* dst, int count, Datatype type,
+                ReduceOp op, std::vector<StepId> deps);
+  StepId copy(const void* src, void* dst, size_t bytes,
+              std::vector<StepId> deps);
+  /// Shm phase steps: arrive posts the release increment immediately and
+  /// completes once `charge_bytes` of wire time elapsed; wait completes
+  /// when all ranks arrived at `phase`.
+  StepId shm_arrive(int phase, size_t charge_bytes, std::vector<StepId> deps);
+  StepId shm_wait(int phase, std::vector<StepId> deps);
+
+ private:
+  struct Step {
+    enum class Kind { kSend, kRecv, kReduce, kCopy, kShmArrive, kShmWait };
+    enum class State { kPending, kStarted, kDone };
+    Kind kind;
+    State state = State::kPending;
+    const void* src = nullptr;
+    void* dst = nullptr;
+    size_t bytes = 0;
+    int count = 0;
+    Datatype type = Datatype::kByte;
+    ReduceOp op = ReduceOp::kSum;
+    int peer = -1;
+    int tag = 0;
+    int phase = 0;
+    u64 wire_ns = 0;      // cost charged as a completion deadline
+    u64 ready_at_ns = 0;  // set when the step starts
+    Request req;          // in-flight p2p transfer
+    std::vector<StepId> deps;
+  };
+
+  StepId push(Step step, std::vector<StepId> deps);
+  bool deps_done(const Step& s) const;
+  /// Starts/polls one runnable step; returns true when it completed.
+  bool advance(Rank& r, Step& s);
+
+  World* world_;
+  const detail::CommData* c_;
+  i32 comm_id_;  // survives the CommData for teardown after comm_free
+  i64 seq_;
+  int tag_base_;
+  std::vector<Step> steps_;
+  int remaining_ = 0;
+  std::vector<std::unique_ptr<std::vector<u8>>> scratch_;
+  std::shared_ptr<IcollShmGroup> shm_;
+};
+
+// ---------------------------------------------------------------------------
+// Schedule factories: one per collective, covering every algorithm the
+// blocking registry (coll_algos.h algos_for) offers for it. `algo` must be
+// a concrete choice (the entry points resolve kAuto via coll::select, so
+// nonblocking calls land on the same tuned algorithm as blocking ones).
+// All buffers pre-resolved (no MPI_IN_PLACE sentinels) as in coll::Engine.
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<Schedule> build_ibarrier(World* w, const detail::CommData& c,
+                                         i64 seq, CollAlgo algo);
+std::shared_ptr<Schedule> build_ibcast(World* w, const detail::CommData& c,
+                                       i64 seq, CollAlgo algo, void* buf,
+                                       size_t bytes, int root);
+std::shared_ptr<Schedule> build_ireduce(World* w, const detail::CommData& c,
+                                        i64 seq, CollAlgo algo,
+                                        const void* sendbuf, void* recvbuf,
+                                        int count, Datatype type, ReduceOp op,
+                                        int root);
+std::shared_ptr<Schedule> build_iallreduce(World* w, const detail::CommData& c,
+                                           i64 seq, CollAlgo algo,
+                                           const void* sendbuf, void* recvbuf,
+                                           int count, Datatype type,
+                                           ReduceOp op);
+/// `sendbuf` must be pre-resolved: under MPI_IN_PLACE it points at the
+/// caller's own block inside recvbuf (the initial own-block copy is a
+/// memmove, so the alias is harmless).
+std::shared_ptr<Schedule> build_iallgather(World* w, const detail::CommData& c,
+                                           i64 seq, CollAlgo algo,
+                                           const void* sendbuf, void* recvbuf,
+                                           size_t block);
+std::shared_ptr<Schedule> build_ialltoall(World* w, const detail::CommData& c,
+                                          i64 seq, CollAlgo algo,
+                                          const void* sendbuf, void* recvbuf,
+                                          size_t sblock, size_t rblock);
+
+}  // namespace mpiwasm::simmpi::coll

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "simmpi/coll_algos.h"
+#include "simmpi/coll_sched.h"
 #include "simmpi/world.h"
 
 namespace mpiwasm::simmpi {
@@ -28,6 +29,7 @@ bool shm_ok(const detail::CommData& c, const World& w, size_t slot_need) {
 }  // namespace
 
 void Rank::barrier(Comm comm) {
+  maybe_icoll_progress();
   const detail::CommData& c = comm_data(comm);
   if (c.world_ranks.size() == 1) return;
   int n = int(c.world_ranks.size());
@@ -40,6 +42,7 @@ void Rank::barrier(Comm comm) {
 }
 
 void Rank::bcast(void* buf, int count, Datatype type, int root, Comm comm) {
+  maybe_icoll_progress();
   const detail::CommData& c = comm_data(comm);
   int n = int(c.world_ranks.size());
   if (root < 0 || root >= n) throw MpiError("bcast: root out of range");
@@ -56,6 +59,7 @@ void Rank::bcast(void* buf, int count, Datatype type, int root, Comm comm) {
 
 void Rank::reduce(const void* sendbuf, void* recvbuf, int count, Datatype type,
                   ReduceOp op, int root, Comm comm) {
+  maybe_icoll_progress();
   const detail::CommData& c = comm_data(comm);
   int n = int(c.world_ranks.size());
   if (root < 0 || root >= n) throw MpiError("reduce: root out of range");
@@ -89,6 +93,7 @@ void Rank::reduce(const void* sendbuf, void* recvbuf, int count, Datatype type,
 
 void Rank::allreduce(const void* sendbuf, void* recvbuf, int count,
                      Datatype type, ReduceOp op, Comm comm) {
+  maybe_icoll_progress();
   const detail::CommData& c = comm_data(comm);
   int n = int(c.world_ranks.size());
   if (count < 0) throw MpiError("allreduce: negative count");
@@ -124,6 +129,7 @@ void Rank::allreduce(const void* sendbuf, void* recvbuf, int count,
 
 void Rank::gather(const void* sendbuf, int sendcount, void* recvbuf,
                   int recvcount, Datatype type, int root, Comm comm) {
+  maybe_icoll_progress();
   const detail::CommData& c = comm_data(comm);
   int n = int(c.world_ranks.size());
   if (root < 0 || root >= n) throw MpiError("gather: root out of range");
@@ -157,6 +163,7 @@ void Rank::gather(const void* sendbuf, int sendcount, void* recvbuf,
 
 void Rank::scatter(const void* sendbuf, int sendcount, void* recvbuf,
                    int recvcount, Datatype type, int root, Comm comm) {
+  maybe_icoll_progress();
   const detail::CommData& c = comm_data(comm);
   int n = int(c.world_ranks.size());
   if (root < 0 || root >= n) throw MpiError("scatter: root out of range");
@@ -189,6 +196,7 @@ void Rank::scatter(const void* sendbuf, int sendcount, void* recvbuf,
 
 void Rank::allgather(const void* sendbuf, int sendcount, void* recvbuf,
                      int recvcount, Datatype type, Comm comm) {
+  maybe_icoll_progress();
   const detail::CommData& c = comm_data(comm);
   int n = int(c.world_ranks.size());
   int me = c.my_comm_rank;
@@ -224,6 +232,7 @@ void Rank::allgather(const void* sendbuf, int sendcount, void* recvbuf,
 
 void Rank::alltoall(const void* sendbuf, int sendcount, void* recvbuf,
                     int recvcount, Datatype type, Comm comm) {
+  maybe_icoll_progress();
   const detail::CommData& c = comm_data(comm);
   int n = int(c.world_ranks.size());
   if (sendcount < 0 || recvcount < 0)
@@ -250,6 +259,7 @@ void Rank::alltoall(const void* sendbuf, int sendcount, void* recvbuf,
 void Rank::alltoallv(const void* sendbuf, const int* sendcounts,
                      const int* sdispls, void* recvbuf, const int* recvcounts,
                      const int* rdispls, Datatype type, Comm comm) {
+  maybe_icoll_progress();
   const detail::CommData& c = comm_data(comm);
   int n = int(c.world_ranks.size());
   int me = c.my_comm_rank;
@@ -276,6 +286,7 @@ void Rank::alltoallv(const void* sendbuf, const int* sendcounts,
 void Rank::reduce_scatter(const void* sendbuf, void* recvbuf,
                           const int* recvcounts, Datatype type, ReduceOp op,
                           Comm comm) {
+  maybe_icoll_progress();
   const detail::CommData& c = comm_data(comm);
   int n = int(c.world_ranks.size());
   size_t esize = datatype_size(type);
@@ -311,6 +322,7 @@ void Rank::reduce_scatter(const void* sendbuf, void* recvbuf,
 
 void Rank::scan(const void* sendbuf, void* recvbuf, int count, Datatype type,
                 ReduceOp op, Comm comm) {
+  maybe_icoll_progress();
   const detail::CommData& c = comm_data(comm);
   int n = int(c.world_ranks.size());
   if (count < 0) throw MpiError("scan: negative count");
@@ -336,6 +348,7 @@ void Rank::scan(const void* sendbuf, void* recvbuf, int count, Datatype type,
 
 void Rank::exscan(const void* sendbuf, void* recvbuf, int count, Datatype type,
                   ReduceOp op, Comm comm) {
+  maybe_icoll_progress();
   const detail::CommData& c = comm_data(comm);
   int n = int(c.world_ranks.size());
   if (count < 0) throw MpiError("exscan: negative count");
@@ -354,6 +367,120 @@ void Rank::exscan(const void* sendbuf, void* recvbuf, int count, Datatype type,
       Engine::exscan_rdbl(*this, c, sendbuf, recvbuf, count, type, op);
       break;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Nonblocking collectives: validation + MPI_IN_PLACE resolution + the same
+// size x comm-size algorithm selection as the blocking twins, then a
+// schedule build (coll_sched.cc) registered with the progress engine.
+// ---------------------------------------------------------------------------
+
+Request Rank::ibarrier(Comm comm) {
+  detail::CommData& c = comm_data_mut(comm);
+  int n = int(c.world_ranks.size());
+  if (n == 1) return Request{};
+  CollAlgo a = coll::select(CollOp::kBarrier, world_->coll_tuning(), n, 0,
+                            c.coll != nullptr);
+  return start_icoll(coll::build_ibarrier(world_, c, c.icoll_seq++, a));
+}
+
+Request Rank::ibcast(void* buf, int count, Datatype type, int root, Comm comm) {
+  detail::CommData& c = comm_data_mut(comm);
+  int n = int(c.world_ranks.size());
+  if (root < 0 || root >= n) throw MpiError("ibcast: root out of range");
+  if (count < 0) throw MpiError("ibcast: negative count");
+  if (n == 1) return Request{};
+  size_t bytes = size_t(count) * datatype_size(type);
+  CollAlgo a = coll::select(CollOp::kBcast, world_->coll_tuning(), n, bytes,
+                            shm_ok(c, *world_, bytes));
+  return start_icoll(
+      coll::build_ibcast(world_, c, c.icoll_seq++, a, buf, bytes, root));
+}
+
+Request Rank::ireduce(const void* sendbuf, void* recvbuf, int count,
+                      Datatype type, ReduceOp op, int root, Comm comm) {
+  detail::CommData& c = comm_data_mut(comm);
+  int n = int(c.world_ranks.size());
+  if (root < 0 || root >= n) throw MpiError("ireduce: root out of range");
+  if (count < 0) throw MpiError("ireduce: negative count");
+  bool is_root = c.my_comm_rank == root;
+  if (is_in_place(sendbuf)) {
+    if (!is_root) throw MpiError("ireduce: MPI_IN_PLACE only valid at root");
+    sendbuf = recvbuf;
+  }
+  if (is_root && recvbuf == nullptr)
+    throw MpiError("ireduce: null recvbuf at root");
+  size_t bytes = size_t(count) * datatype_size(type);
+  if (n == 1) {
+    if (recvbuf != sendbuf) std::memmove(recvbuf, sendbuf, bytes);
+    return Request{};
+  }
+  CollAlgo a = coll::select(CollOp::kReduce, world_->coll_tuning(), n, bytes,
+                            shm_ok(c, *world_, bytes));
+  return start_icoll(coll::build_ireduce(world_, c, c.icoll_seq++, a, sendbuf,
+                                         recvbuf, count, type, op, root));
+}
+
+Request Rank::iallreduce(const void* sendbuf, void* recvbuf, int count,
+                         Datatype type, ReduceOp op, Comm comm) {
+  detail::CommData& c = comm_data_mut(comm);
+  int n = int(c.world_ranks.size());
+  if (count < 0) throw MpiError("iallreduce: negative count");
+  if (is_in_place(sendbuf)) sendbuf = recvbuf;
+  size_t bytes = size_t(count) * datatype_size(type);
+  if (n == 1) {
+    if (recvbuf != sendbuf) std::memmove(recvbuf, sendbuf, bytes);
+    return Request{};
+  }
+  CollAlgo a = coll::select(CollOp::kAllreduce, world_->coll_tuning(), n,
+                            bytes, shm_ok(c, *world_, bytes));
+  return start_icoll(coll::build_iallreduce(world_, c, c.icoll_seq++, a,
+                                            sendbuf, recvbuf, count, type,
+                                            op));
+}
+
+Request Rank::iallgather(const void* sendbuf, int sendcount, void* recvbuf,
+                         int recvcount, Datatype type, Comm comm) {
+  detail::CommData& c = comm_data_mut(comm);
+  int n = int(c.world_ranks.size());
+  int me = c.my_comm_rank;
+  if (sendcount < 0 || recvcount < 0)
+    throw MpiError("iallgather: negative count");
+  size_t block = size_t(recvcount) * datatype_size(type);
+  bool in_place = is_in_place(sendbuf);
+  if (in_place) {
+    sendbuf = static_cast<u8*>(recvbuf) + size_t(me) * block;
+  } else {
+    block = size_t(sendcount) * datatype_size(type);
+  }
+  if (n == 1) {
+    if (!in_place) std::memcpy(recvbuf, sendbuf, block);
+    return Request{};
+  }
+  CollAlgo a = coll::select(CollOp::kAllgather, world_->coll_tuning(), n,
+                            block, shm_ok(c, *world_, block));
+  return start_icoll(coll::build_iallgather(world_, c, c.icoll_seq++, a,
+                                            sendbuf, recvbuf, block));
+}
+
+Request Rank::ialltoall(const void* sendbuf, int sendcount, void* recvbuf,
+                        int recvcount, Datatype type, Comm comm) {
+  detail::CommData& c = comm_data_mut(comm);
+  int n = int(c.world_ranks.size());
+  if (sendcount < 0 || recvcount < 0)
+    throw MpiError("ialltoall: negative count");
+  if (is_in_place(sendbuf))
+    throw MpiError("ialltoall: MPI_IN_PLACE not supported");
+  size_t sblock = size_t(sendcount) * datatype_size(type);
+  size_t rblock = size_t(recvcount) * datatype_size(type);
+  if (n == 1) {
+    std::memcpy(recvbuf, sendbuf, sblock);
+    return Request{};
+  }
+  CollAlgo a = coll::select(CollOp::kAlltoall, world_->coll_tuning(), n,
+                            sblock, /*shm_ok=*/false);
+  return start_icoll(coll::build_ialltoall(world_, c, c.icoll_seq++, a,
+                                           sendbuf, recvbuf, sblock, rblock));
 }
 
 // ---------------------------------------------------------------------------
@@ -428,6 +555,17 @@ void Rank::comm_free(Comm comm) {
   if (comm == kCommWorld) throw MpiError("cannot free MPI_COMM_WORLD");
   auto it = comms_.find(comm);
   if (it == comms_.end()) throw MpiError("comm_free: invalid communicator");
+  // MPI_Comm_free must let pending operations complete: outstanding
+  // nonblocking-collective schedules hold a pointer into this CommData, so
+  // drain them before it is destroyed. Every member rank frees the
+  // communicator, so the collective can always run to completion here.
+  auto drained = [&] {
+    for (const auto& s : icoll_active_)
+      if (s->comm_id() == comm) return false;
+    return true;
+  };
+  if (!drained())
+    poll_with_progress(drained, "comm_free: outstanding nonblocking collective");
   if (it->second.coll != nullptr) world_->release_coll(comm);
   comms_.erase(it);
 }

@@ -10,6 +10,7 @@
 // comparison the paper makes (native MPI app vs Wasm app over one MPI).
 #pragma once
 
+#include <chrono>
 #include <stdexcept>
 #include <string>
 
@@ -50,6 +51,21 @@ constexpr int kAnySource = -1;
 constexpr int kAnyTag = -1;
 /// Reserved tag for collective traffic; user tags must be >= 0.
 constexpr int kCollectiveTag = -42;
+
+/// Reserved tag space for nonblocking-collective schedules (coll_sched.h):
+/// each schedule owns a stride of kIcollRounds tags derived from its
+/// per-communicator sequence number, so concurrently outstanding schedules
+/// on one communicator never match each other's traffic. Tags wrap after
+/// kIcollSeqWindow simultaneously outstanding operations per communicator —
+/// far beyond anything a real program keeps in flight.
+constexpr int kIcollTagBase = -1024;
+constexpr int kIcollRounds = 512;   // max p2p rounds per schedule
+constexpr int kIcollSeqWindow = 2048;
+
+/// Deadlock watchdog: a blocking MPI wait stuck this long aborts the run
+/// with a diagnostic instead of hanging CI forever. Shared by the simmpi
+/// internals and the embedder's request-wait loops.
+constexpr std::chrono::seconds kDeadlockTimeout{120};
 
 struct Status {
   int source = kAnySource;

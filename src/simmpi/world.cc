@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "simmpi/coll_sched.h"
 #include "support/log.h"
 #include "support/timing.h"
 
@@ -11,9 +12,8 @@ namespace {
 
 thread_local Rank* tl_current_rank = nullptr;
 
-/// Deadlock watchdog: a blocking MPI call stuck this long aborts the test
-/// run with a diagnostic instead of hanging CI forever.
-constexpr auto kBlockTimeout = std::chrono::seconds(120);
+/// Deadlock watchdog (types.h kDeadlockTimeout; shared with mpi_host.cc).
+constexpr auto kBlockTimeout = kDeadlockTimeout;
 
 bool key_matches(const detail::RecvDesc& r, const detail::SendDesc& s) {
   return r.comm_id == s.comm_id &&
@@ -54,6 +54,9 @@ void CollectiveContext::barrier_wait(World& world) {
       if (world.aborting()) throw MpiAbort(-1);
       if ((spins & 0x3FF) == 0 && now_ns() > deadline)
         throw MpiError("shm barrier timed out (deadlock?)");
+      // A peer may be unable to reach this barrier until our outstanding
+      // nonblocking-collective schedules advance.
+      if (Rank* r = World::current()) r->progress();
       std::this_thread::yield();
     }
   }
@@ -93,6 +96,25 @@ void World::release_coll(i32 comm_id) {
   auto it = coll_ctxs_.find(comm_id);
   if (it == coll_ctxs_.end()) return;
   if (--it->second.attached <= 0) coll_ctxs_.erase(it);
+}
+
+std::shared_ptr<IcollShmGroup> World::attach_icoll_group(i32 comm_id, i64 seq,
+                                                         int nranks,
+                                                         size_t slot_bytes) {
+  std::lock_guard<std::mutex> lock(icoll_mu_);
+  IcollEntry& e = icoll_groups_[{comm_id, seq}];
+  if (e.group == nullptr)
+    e.group = std::make_shared<IcollShmGroup>(nranks, slot_bytes);
+  MW_CHECK(e.group->nranks() == nranks, "icoll group size mismatch");
+  ++e.attached;
+  return e.group;
+}
+
+void World::release_icoll_group(i32 comm_id, i64 seq) {
+  std::lock_guard<std::mutex> lock(icoll_mu_);
+  auto it = icoll_groups_.find({comm_id, seq});
+  if (it == icoll_groups_.end()) return;
+  if (--it->second.attached <= 0) icoll_groups_.erase(it);
 }
 
 void World::request_abort(int code) {
@@ -167,6 +189,10 @@ const detail::CommData& Rank::comm_data(Comm comm) const {
   return it->second;
 }
 
+detail::CommData& Rank::comm_data_mut(Comm comm) {
+  return const_cast<detail::CommData&>(comm_data(comm));
+}
+
 int Rank::rank(Comm comm) const { return comm_data(comm).my_comm_rank; }
 int Rank::size(Comm comm) const {
   return int(comm_data(comm).world_ranks.size());
@@ -184,6 +210,76 @@ void Rank::check_user_tag(int tag) const {
   if (tag < 0 && tag != kAnyTag)
     throw MpiError("user tags must be non-negative (got " +
                    std::to_string(tag) + ")");
+}
+
+// ---------------------------------------------------------------------------
+// Nonblocking-collective progress engine
+// ---------------------------------------------------------------------------
+
+void Rank::icoll_progress() {
+  // Guarded: schedule steps poll p2p requests through test(), which itself
+  // hooks progress — without the flag that would recurse.
+  if (icoll_in_progress_ || icoll_active_.empty()) return;
+  icoll_in_progress_ = true;
+  try {
+    for (auto it = icoll_active_.begin(); it != icoll_active_.end();) {
+      if ((*it)->progress(*this))
+        it = icoll_active_.erase(it);
+      else
+        ++it;
+    }
+  } catch (...) {
+    icoll_in_progress_ = false;
+    throw;
+  }
+  icoll_in_progress_ = false;
+}
+
+void Rank::progress() { icoll_progress(); }
+
+void Rank::poll_with_progress(const std::function<bool()>& pred,
+                              const char* what) {
+  const u64 deadline =
+      now_ns() + u64(std::chrono::nanoseconds(kBlockTimeout).count());
+  while (true) {
+    icoll_progress();
+    if (pred()) return;
+    if (world_->aborting()) throw MpiAbort(-1);
+    if (now_ns() > deadline)
+      throw MpiError(std::string(what) + " timed out (deadlock?)");
+    std::this_thread::yield();
+  }
+}
+
+Request Rank::start_icoll(std::shared_ptr<coll::Schedule> sched) {
+  Request req;
+  req.kind_ = Request::Kind::kColl;
+  req.coll = sched;
+  icoll_active_.push_back(std::move(sched));
+  // Kick the first wave (post initial sends/receives) so peers can match
+  // and the wire-time deadlines start running before the caller computes.
+  icoll_progress();
+  return req;
+}
+
+template <typename Pred>
+bool Rank::wait_with_progress(detail::Mailbox& box,
+                              std::unique_lock<std::mutex>& lock, Pred pred) {
+  if (icoll_active_.empty())
+    return box.cv.wait_for(lock, kBlockTimeout, pred);
+  const u64 deadline =
+      now_ns() + u64(std::chrono::nanoseconds(kBlockTimeout).count());
+  while (!pred()) {
+    if (now_ns() > deadline) return false;
+    // Drive outstanding schedules without holding our box lock (their
+    // steps lock mailboxes, including this one).
+    lock.unlock();
+    icoll_progress();
+    lock.lock();
+    if (pred()) return true;
+    box.cv.wait_for(lock, std::chrono::microseconds(200), pred);
+  }
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -240,7 +336,7 @@ void Rank::send_internal(const void* buf, size_t bytes, int dest, int tag,
   desc->payload = static_cast<const u8*>(buf);
   box.unexpected.push_back(desc);
   box.cv.notify_all();
-  bool ok = box.cv.wait_for(lock, kBlockTimeout, [&] {
+  bool ok = wait_with_progress(box, lock, [&] {
     return desc->completed || world_->aborting();
   });
   if (world_->aborting()) throw MpiAbort(-1);
@@ -281,7 +377,7 @@ Status Rank::recv_internal(void* buf, size_t bytes, int source, int tag,
     desc->dst = static_cast<u8*>(buf);
     desc->capacity = bytes;
     box.posted.push_back(desc);
-    bool ok = box.cv.wait_for(lock, kBlockTimeout, [&] {
+    bool ok = wait_with_progress(box, lock, [&] {
       return desc->done || world_->aborting();
     });
     if (world_->aborting()) throw MpiAbort(-1);
@@ -311,6 +407,7 @@ void Rank::send(const void* buf, int count, Datatype type, int dest, int tag,
                 Comm comm) {
   check_user_tag(tag);
   if (count < 0) throw MpiError("send: negative count");
+  maybe_icoll_progress();
   const detail::CommData& c = comm_data(comm);
   send_internal(buf, size_t(count) * datatype_size(type), dest, tag, c);
 }
@@ -319,6 +416,7 @@ Status Rank::recv(void* buf, int count, Datatype type, int source, int tag,
                   Comm comm) {
   if (tag < 0 && tag != kAnyTag) throw MpiError("recv: invalid tag");
   if (count < 0) throw MpiError("recv: negative count");
+  maybe_icoll_progress();
   const detail::CommData& c = comm_data(comm);
   return recv_internal(buf, size_t(count) * datatype_size(type), source, tag, c);
 }
@@ -326,12 +424,18 @@ Status Rank::recv(void* buf, int count, Datatype type, int source, int tag,
 Request Rank::isend(const void* buf, int count, Datatype type, int dest,
                     int tag, Comm comm) {
   check_user_tag(tag);
+  maybe_icoll_progress();
   const detail::CommData& c = comm_data(comm);
-  size_t bytes = size_t(count) * datatype_size(type);
+  return isend_internal(buf, size_t(count) * datatype_size(type), dest, tag, c,
+                        /*charge_wire=*/true);
+}
+
+Request Rank::isend_internal(const void* buf, size_t bytes, int dest, int tag,
+                             const detail::CommData& c, bool charge_wire) {
   if (dest < 0 || dest >= int(c.world_ranks.size()))
     throw MpiError("isend: destination rank out of range");
   const NetworkProfile& prof = world_->profile();
-  spin_for_ns(prof.message_cost_ns(bytes));
+  if (charge_wire) spin_for_ns(prof.message_cost_ns(bytes));
 
   detail::Mailbox& box = world_->box(c.world_ranks[dest]);
   std::unique_lock<std::mutex> lock(box.mu);
@@ -381,6 +485,7 @@ Request Rank::isend(const void* buf, int count, Datatype type, int dest,
 Request Rank::irecv(void* buf, int count, Datatype type, int source, int tag,
                     Comm comm) {
   if (tag < 0 && tag != kAnyTag) throw MpiError("irecv: invalid tag");
+  maybe_icoll_progress();
   const detail::CommData& c = comm_data(comm);
   return irecv_internal(buf, size_t(count) * datatype_size(type), source, tag,
                         c);
@@ -430,10 +535,18 @@ Request Rank::irecv_internal(void* buf, size_t bytes, int source, int tag,
 Status Rank::wait(Request& req) {
   Status status;
   if (!req.valid()) return status;  // trivially complete request
+  if (req.kind_ == Request::Kind::kColl) {
+    // Drive the progress engine (all outstanding schedules, not just this
+    // one — peers may need our share of a sibling collective first).
+    poll_with_progress([&] { return req.coll->done(); },
+                       "wait: nonblocking collective");
+    req = Request{};
+    return status;  // collective requests carry an empty status
+  }
   detail::Mailbox& box = *req.box;
   std::unique_lock<std::mutex> lock(box.mu);
   if (req.kind_ == Request::Kind::kRecv) {
-    bool ok = box.cv.wait_for(lock, kBlockTimeout, [&] {
+    bool ok = wait_with_progress(box, lock, [&] {
       return req.recv->done || world_->aborting();
     });
     if (world_->aborting()) throw MpiAbort(-1);
@@ -441,7 +554,7 @@ Status Rank::wait(Request& req) {
     if (req.recv->truncated) throw MpiError("wait: message truncated");
     status = req.recv->status;
   } else {
-    bool ok = box.cv.wait_for(lock, kBlockTimeout, [&] {
+    bool ok = wait_with_progress(box, lock, [&] {
       return req.send->completed || world_->aborting();
     });
     if (world_->aborting()) throw MpiAbort(-1);
@@ -452,7 +565,17 @@ Status Rank::wait(Request& req) {
 }
 
 bool Rank::test(Request& req, Status* status) {
+  // Progress outstanding schedules regardless of this request's kind: a
+  // poll loop over pure-p2p requests must still serve this rank's share of
+  // any in-flight collective (no-op while already inside icoll_progress).
+  maybe_icoll_progress();
   if (!req.valid()) return true;
+  if (req.kind_ == Request::Kind::kColl) {
+    if (!req.coll->done()) return false;
+    if (status != nullptr) *status = Status{};
+    req = Request{};
+    return true;
+  }
   detail::Mailbox& box = *req.box;
   std::lock_guard<std::mutex> lock(box.mu);
   bool done = req.kind_ == Request::Kind::kRecv ? req.recv->done
@@ -469,6 +592,60 @@ void Rank::waitall(std::span<Request> reqs) {
   for (Request& r : reqs) wait(r);
 }
 
+int Rank::waitany(std::span<Request> reqs, Status* status) {
+  int completed = -1;
+  bool any_active = false;
+  auto scan = [&] {
+    any_active = false;
+    for (size_t i = 0; i < reqs.size(); ++i) {
+      if (!reqs[i].valid()) continue;
+      any_active = true;
+      Status st;
+      if (test(reqs[i], &st)) {
+        if (status != nullptr) *status = st;
+        completed = int(i);
+        return true;
+      }
+    }
+    return !any_active;  // all inactive: done, index stays -1
+  };
+  poll_with_progress(scan, "waitany");
+  return completed;
+}
+
+bool Rank::request_get_status(Request& req, Status* status) {
+  maybe_icoll_progress();
+  if (!req.valid()) {
+    if (status != nullptr) *status = Status{};
+    return true;
+  }
+  if (req.kind_ == Request::Kind::kColl) {
+    if (!req.coll->done()) return false;
+    if (status != nullptr) *status = Status{};
+    return true;
+  }
+  detail::Mailbox& box = *req.box;
+  std::lock_guard<std::mutex> lock(box.mu);
+  bool done = req.kind_ == Request::Kind::kRecv ? req.recv->done
+                                                : req.send->completed;
+  if (done && req.kind_ == Request::Kind::kRecv && status != nullptr)
+    *status = req.recv->status;
+  return done;
+}
+
+bool Rank::testall(std::span<Request> reqs, Status* statuses) {
+  maybe_icoll_progress();
+  // MPI_Testall semantics: deallocate either every request or none.
+  for (Request& r : reqs)
+    if (!request_get_status(r, nullptr)) return false;
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    Status st;
+    test(reqs[i], &st);  // completes immediately; resets the request
+    if (statuses != nullptr) statuses[i] = st;
+  }
+  return true;
+}
+
 Status Rank::sendrecv(const void* sendbuf, int sendcount, Datatype sendtype,
                       int dest, int sendtag, void* recvbuf, int recvcount,
                       Datatype recvtype, int source, int recvtag, Comm comm) {
@@ -478,6 +655,7 @@ Status Rank::sendrecv(const void* sendbuf, int sendcount, Datatype sendtype,
 }
 
 bool Rank::iprobe(int source, int tag, Comm comm, Status* status) {
+  maybe_icoll_progress();
   const detail::CommData& c = comm_data(comm);
   detail::Mailbox& box = world_->box(world_rank_);
   std::lock_guard<std::mutex> lock(box.mu);

@@ -23,6 +23,7 @@ class Rank;
 class CollectiveContext;
 namespace coll {
 class Engine;
+class Schedule;
 }  // namespace coll
 
 /// Communicator handle (dense id). kCommWorld is always valid.
@@ -71,6 +72,10 @@ struct CommData {
   /// Shared-memory fan-in segment for this communicator (null when the
   /// shm collective path is disabled). All member ranks share one object.
   std::shared_ptr<CollectiveContext> coll;
+  /// Nonblocking-collective sequence number: every rank initiates
+  /// collectives on a communicator in the same order (MPI requirement), so
+  /// the per-rank counters agree and derive matching schedule tag strides.
+  i64 icoll_seq = 0;
 };
 
 }  // namespace detail
@@ -107,6 +112,34 @@ class CollectiveContext {
   std::vector<Slot> slots_;
 };
 
+/// One outstanding nonblocking-collective's shared-memory fan-in state:
+/// per-rank payload slots plus a single-use two-phase counting barrier.
+/// Unlike the reusable CollectiveContext barrier, groups are created per
+/// (communicator, sequence) pair by World::attach_icoll_group, so schedules
+/// progressed in different orders on different ranks can never mix
+/// arrivals. Slot writes happen-before the release increment of arrive();
+/// readers observe them through the acquire load in arrived_all().
+class IcollShmGroup {
+ public:
+  IcollShmGroup(int nranks, size_t slot_bytes)
+      : nranks_(nranks), slots_(size_t(nranks)) {
+    for (auto& s : slots_) s.resize(slot_bytes > 0 ? slot_bytes : 1);
+  }
+  int nranks() const { return nranks_; }
+  u8* slot(int comm_rank) { return slots_[size_t(comm_rank)].data(); }
+  void arrive(int phase) {
+    arrived_[phase].fetch_add(1, std::memory_order_release);
+  }
+  bool arrived_all(int phase) const {
+    return arrived_[phase].load(std::memory_order_acquire) == nranks_;
+  }
+
+ private:
+  int nranks_;
+  std::vector<std::vector<u8>> slots_;
+  std::atomic<int> arrived_[2] = {};
+};
+
 /// Nonblocking operation handle.
 class Request {
  public:
@@ -115,10 +148,13 @@ class Request {
 
  private:
   friend class Rank;
-  enum class Kind { kNone, kSend, kRecv };
+  enum class Kind { kNone, kSend, kRecv, kColl };
   Kind kind_ = Kind::kNone;
   std::shared_ptr<detail::SendDesc> send;
   std::shared_ptr<detail::RecvDesc> recv;
+  /// Deferred collective schedule (coll_sched.h); wait/test drive the
+  /// per-rank progress engine until it completes.
+  std::shared_ptr<coll::Schedule> coll;
   detail::Mailbox* box = nullptr;  // box whose cv signals completion
 };
 
@@ -144,6 +180,20 @@ class Rank {
   Status wait(Request& req);
   bool test(Request& req, Status* status);
   void waitall(std::span<Request> reqs);
+  /// MPI_Waitany: blocks until some request in `reqs` completes, resets it,
+  /// and returns its index; -1 when every request is inactive.
+  int waitany(std::span<Request> reqs, Status* status = nullptr);
+  /// MPI_Testall: true (and all requests reset, statuses filled) only when
+  /// every request has completed; otherwise no request is deallocated.
+  bool testall(std::span<Request> reqs, Status* statuses = nullptr);
+  /// MPI_Request_get_status: nondestructive completion check. Drives the
+  /// nonblocking-collective progress engine but leaves `req` allocated.
+  bool request_get_status(Request& req, Status* status = nullptr);
+  /// MPI progress hook: advances every outstanding nonblocking-collective
+  /// schedule without blocking. Compute loops overlapping a collective call
+  /// this (or test()) periodically; blocking MPI calls invoke it
+  /// opportunistically.
+  void progress();
   Status sendrecv(const void* sendbuf, int sendcount, Datatype sendtype,
                   int dest, int sendtag, void* recvbuf, int recvcount,
                   Datatype recvtype, int source, int recvtag,
@@ -182,6 +232,23 @@ class Rank {
   void exscan(const void* sendbuf, void* recvbuf, int count, Datatype type,
               ReduceOp op, Comm comm = kCommWorld);
 
+  // --- Nonblocking collectives (schedule-based; coll_sched.h) --------------
+  // Each call picks the same registry algorithm as its blocking twin via
+  // coll::select, builds a resumable step schedule, and returns a request
+  // that wait/test/waitall/waitany/testall drive to completion. Buffers
+  // must stay valid and untouched until the request completes.
+  Request ibarrier(Comm comm = kCommWorld);
+  Request ibcast(void* buf, int count, Datatype type, int root,
+                 Comm comm = kCommWorld);
+  Request ireduce(const void* sendbuf, void* recvbuf, int count, Datatype type,
+                  ReduceOp op, int root, Comm comm = kCommWorld);
+  Request iallreduce(const void* sendbuf, void* recvbuf, int count,
+                     Datatype type, ReduceOp op, Comm comm = kCommWorld);
+  Request iallgather(const void* sendbuf, int sendcount, void* recvbuf,
+                     int recvcount, Datatype type, Comm comm = kCommWorld);
+  Request ialltoall(const void* sendbuf, int sendcount, void* recvbuf,
+                    int recvcount, Datatype type, Comm comm = kCommWorld);
+
   // --- Communicator management --------------------------------------------
   Comm comm_dup(Comm comm);
   Comm comm_split(Comm comm, int color, int key);
@@ -189,30 +256,63 @@ class Rank {
 
   // --- Environment ---------------------------------------------------------
   f64 wtime() const;
+  /// MPI_Wtick: resolution of wtime() (nanosecond-backed monotonic clock).
+  f64 wtick() const { return 1e-9; }
   [[noreturn]] void abort(int code, Comm comm = kCommWorld);
   World& world() { return *world_; }
 
  private:
   friend class World;
-  friend class coll::Engine;  // algorithm implementations (coll_algos.cc)
+  friend class coll::Engine;    // algorithm implementations (coll_algos.cc)
+  friend class coll::Schedule;  // schedule steps use the internal p2p paths
   Rank(World* world, int world_rank);
 
   const detail::CommData& comm_data(Comm comm) const;
+  detail::CommData& comm_data_mut(Comm comm);
   /// Internal p2p allowing reserved (negative) tags for collectives.
   void send_internal(const void* buf, size_t bytes, int dest, int tag,
                      const detail::CommData& c);
   Status recv_internal(void* buf, size_t bytes, int source, int tag,
                        const detail::CommData& c);
+  /// Internal nonblocking send; `charge_wire` false defers the interconnect
+  /// cost to the caller (schedule steps model it as a completion deadline
+  /// instead of an injection spin).
+  Request isend_internal(const void* buf, size_t bytes, int dest, int tag,
+                         const detail::CommData& c, bool charge_wire);
   /// Internal nonblocking receive matching only `tag` (collective traffic
   /// must never match concurrently in-flight user messages).
   Request irecv_internal(void* buf, size_t bytes, int source, int tag,
                          const detail::CommData& c);
   void check_user_tag(int tag) const;
 
+  /// Registers a freshly built schedule, kicks its first progress pass, and
+  /// wraps it into a kColl request.
+  Request start_icoll(std::shared_ptr<coll::Schedule> sched);
+  /// Polls `pred` while driving the progress engine until it holds; throws
+  /// MpiAbort on world abort, MpiError("<what> ...") on watchdog timeout.
+  /// The shared body of every schedule-aware blocking wait (wait on a
+  /// collective request, waitany, the comm_free drain).
+  void poll_with_progress(const std::function<bool()>& pred, const char* what);
+  /// Advances every outstanding schedule once (reentrancy-guarded).
+  void icoll_progress();
+  /// Cheap entry-point hook: progress only when something is outstanding.
+  void maybe_icoll_progress() {
+    if (!icoll_active_.empty()) icoll_progress();
+  }
+  /// cv wait that keeps outstanding schedules progressing while blocked —
+  /// without this, a rank stuck in a blocking call could starve a peer
+  /// waiting on this rank's share of a nonblocking collective.
+  template <typename Pred>
+  bool wait_with_progress(detail::Mailbox& box,
+                          std::unique_lock<std::mutex>& lock, Pred pred);
+
   World* world_ = nullptr;
   int world_rank_ = 0;
   std::map<Comm, detail::CommData> comms_;
   i32 next_local_comm_slot_ = 1;
+  /// Outstanding nonblocking-collective schedules, in initiation order.
+  std::vector<std::shared_ptr<coll::Schedule>> icoll_active_;
+  bool icoll_in_progress_ = false;
 };
 
 /// A simulated MPI job: N rank threads over an interconnect profile.
@@ -251,6 +351,15 @@ class World {
   /// member rank releases it (comm_free).
   void release_coll(i32 comm_id);
 
+  /// Attaches the calling rank to the single-use shared-memory group of
+  /// nonblocking collective (comm_id, seq); the first attacher creates it.
+  std::shared_ptr<IcollShmGroup> attach_icoll_group(i32 comm_id, i64 seq,
+                                                    int nranks,
+                                                    size_t slot_bytes);
+  /// Releases one attachment (schedule teardown); the group is destroyed
+  /// when the last member rank releases it.
+  void release_icoll_group(i32 comm_id, i64 seq);
+
  private:
   friend class Rank;
   int size_;
@@ -267,6 +376,13 @@ class World {
   };
   std::mutex coll_mu_;
   std::map<i32, CollEntry> coll_ctxs_;
+
+  struct IcollEntry {
+    std::shared_ptr<IcollShmGroup> group;
+    int attached = 0;
+  };
+  std::mutex icoll_mu_;
+  std::map<std::pair<i32, i64>, IcollEntry> icoll_groups_;
 };
 
 }  // namespace mpiwasm::simmpi

@@ -43,6 +43,7 @@ const char* imb_routine_name(ImbRoutine r) {
     case ImbRoutine::kReduce: return "Reduce";
     case ImbRoutine::kGather: return "Gather";
     case ImbRoutine::kScatter: return "Scatter";
+    case ImbRoutine::kBarrier: return "Barrier";
   }
   return "?";
 }
@@ -64,6 +65,7 @@ std::vector<u8> build_imb_module(const ImbParams& p) {
     case ImbRoutine::kBcast:
     case ImbRoutine::kAllReduce:
     case ImbRoutine::kReduce:
+    case ImbRoutine::kBarrier:
       break;  // covered by collectives
     case ImbRoutine::kAllGather:
     case ImbRoutine::kAlltoall:
@@ -284,6 +286,11 @@ std::vector<u8> build_imb_module(const ImbParams& p) {
         f.i32_const(0);
         f.i32_const(abi::MPI_COMM_WORLD);
         f.call(mpi.scatter);
+        f.op(Op::kDrop);
+        break;
+      case ImbRoutine::kBarrier:
+        f.i32_const(abi::MPI_COMM_WORLD);
+        f.call(mpi.barrier);
         f.op(Op::kDrop);
         break;
     }

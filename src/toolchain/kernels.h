@@ -26,6 +26,9 @@ enum class ImbRoutine : i32 {
   kReduce = 6,
   kGather = 7,
   kScatter = 8,
+  /// Barrier latency panel: message size is meaningless; sweeps run a
+  /// single pseudo-size row (bytes = 1).
+  kBarrier = 9,
 };
 
 const char* imb_routine_name(ImbRoutine r);
@@ -128,6 +131,27 @@ struct DatatypePingPongParams {
 std::vector<u8> build_datatype_pingpong_module(const DatatypePingPongParams& p);
 
 // ---------------------------------------------------------------------------
+// Compute/communication overlap probe — bench_icoll.
+// ---------------------------------------------------------------------------
+
+struct OverlapParams {
+  u32 n_per_rank = 1 << 14;  // local 1-D heat-diffusion cells
+  u32 iterations = 40;
+  /// false = blocking Allreduce before the sweep (the baseline the overlap
+  /// efficiency is measured against).
+  bool nonblocking = true;
+  i32 report_id = 600;
+};
+
+/// Heat-diffusion (1-D Jacobi) with neighbour halo exchange and a global
+/// residual reduction per iteration. The nonblocking variant initiates
+/// MPI_Iallreduce on the previous sweep's residual, runs the stencil sweep,
+/// then completes the request with MPI_Wait — folding the whole sweep into
+/// the collective's wait window. Reports (seconds, residual, iterations)
+/// through bench.report.
+std::vector<u8> build_overlap_module(const OverlapParams& p);
+
+// ---------------------------------------------------------------------------
 // Micro kernels (tests, quickstart, Table 1 single-core runs).
 // ---------------------------------------------------------------------------
 
@@ -142,6 +166,10 @@ std::vector<u8> build_compile_stress_module(u32 copies);
 std::vector<u8> build_compute_module(u32 inner_iters);
 /// Allreduce correctness probe: exit code 0 iff sum over ranks matches.
 std::vector<u8> build_allreduce_check_module();
+/// Nonblocking-collective probe: Iallreduce + Ibarrier drained via
+/// MPI_Waitany/MPI_Testall, then an Ibcast completed with MPI_Wait.
+/// Exit code 0 iff every result and request-state check passes.
+std::vector<u8> build_icoll_check_module();
 /// MPI_Alloc_mem/Free_mem round-trip probe (exercises exported malloc).
 std::vector<u8> build_alloc_mem_module();
 

@@ -429,4 +429,169 @@ std::vector<u8> build_datatype_pingpong_module(const DatatypePingPongParams& p) 
   return finish(b, "datatype pingpong module");
 }
 
+std::vector<u8> build_icoll_check_module() {
+  ModuleBuilder b;
+  MpiImportSet set;
+  set.nonblocking = true;  // Waitany/Testall (+ Wait)
+  set.icoll = true;
+  MpiImports mpi = declare_mpi_imports(b, set);
+  u32 proc_exit = b.import_func("wasi_snapshot_preview1", "proc_exit",
+                                FuncType{{I32}, {}});
+  b.add_memory(1);
+  b.export_memory();
+  const u32 kIn = 2048, kOut = 2056;    // Iallreduce operands
+  const u32 kReqs = 2080;               // 2 request handles
+  const u32 kIndex = 2096, kFlag = 2100;
+  const u32 kBval = 2104;               // Ibcast payload
+
+  auto& f = b.begin_func({{}, {}}, "_start");
+  u32 rank = f.add_local(I32);
+  u32 size = f.add_local(I32);
+  u32 ok = f.add_local(I32);
+  f.i32_const(0);
+  f.i32_const(0);
+  f.call(mpi.init);
+  f.op(Op::kDrop);
+  f.i32_const(abi::MPI_COMM_WORLD);
+  f.i32_const(i32(kRankPtr));
+  f.call(mpi.comm_rank);
+  f.op(Op::kDrop);
+  f.i32_const(i32(kRankPtr));
+  f.mem_op(Op::kI32Load);
+  f.local_set(rank);
+  f.i32_const(abi::MPI_COMM_WORLD);
+  f.i32_const(i32(kSizePtr));
+  f.call(mpi.comm_size);
+  f.op(Op::kDrop);
+  f.i32_const(i32(kSizePtr));
+  f.mem_op(Op::kI32Load);
+  f.local_set(size);
+  f.i32_const(1);
+  f.local_set(ok);
+
+  // in = rank + 1; Iallreduce SUM -> reqs[0]; Ibarrier -> reqs[1].
+  f.i32_const(i32(kIn));
+  f.local_get(rank);
+  f.i32_const(1);
+  f.op(Op::kI32Add);
+  f.mem_op(Op::kI32Store);
+  f.i32_const(i32(kIn));
+  f.i32_const(i32(kOut));
+  f.i32_const(1);
+  f.i32_const(abi::MPI_INT);
+  f.i32_const(abi::MPI_SUM);
+  f.i32_const(abi::MPI_COMM_WORLD);
+  f.i32_const(i32(kReqs));
+  f.call(mpi.iallreduce);
+  f.op(Op::kDrop);
+  f.i32_const(abi::MPI_COMM_WORLD);
+  f.i32_const(i32(kReqs + 4));
+  f.call(mpi.ibarrier);
+  f.op(Op::kDrop);
+
+  // Two Waitany calls drain both; a third must yield MPI_UNDEFINED.
+  for (int call = 0; call < 3; ++call) {
+    f.i32_const(2);
+    f.i32_const(i32(kReqs));
+    f.i32_const(i32(kIndex));
+    f.i32_const(abi::MPI_STATUS_IGNORE);
+    f.call(mpi.waitany);
+    f.op(Op::kDrop);
+  }
+  f.i32_const(i32(kIndex));
+  f.mem_op(Op::kI32Load);
+  f.i32_const(abi::MPI_UNDEFINED);
+  f.op(Op::kI32Ne);
+  f.if_();
+  f.i32_const(0);
+  f.local_set(ok);
+  f.end();
+
+  // Testall over the drained (null) handles must set flag = 1.
+  f.i32_const(2);
+  f.i32_const(i32(kReqs));
+  f.i32_const(i32(kFlag));
+  f.i32_const(abi::MPI_STATUS_IGNORE);
+  f.call(mpi.testall);
+  f.op(Op::kDrop);
+  f.i32_const(i32(kFlag));
+  f.mem_op(Op::kI32Load);
+  f.op(Op::kI32Eqz);
+  f.if_();
+  f.i32_const(0);
+  f.local_set(ok);
+  f.end();
+
+  // sum == n (n + 1) / 2?
+  f.i32_const(i32(kOut));
+  f.mem_op(Op::kI32Load);
+  f.local_get(size);
+  f.local_get(size);
+  f.i32_const(1);
+  f.op(Op::kI32Add);
+  f.op(Op::kI32Mul);
+  f.i32_const(2);
+  f.op(Op::kI32DivS);
+  f.op(Op::kI32Ne);
+  f.if_();
+  f.i32_const(0);
+  f.local_set(ok);
+  f.end();
+
+  // Ibcast(123) from root 0, completed with MPI_Wait.
+  f.i32_const(i32(kBval));
+  f.local_get(rank);
+  f.op(Op::kI32Eqz);
+  f.if_(I32);
+  f.i32_const(123);
+  f.else_();
+  f.i32_const(0);
+  f.end();
+  f.mem_op(Op::kI32Store);
+  f.i32_const(i32(kBval));
+  f.i32_const(1);
+  f.i32_const(abi::MPI_INT);
+  f.i32_const(0);
+  f.i32_const(abi::MPI_COMM_WORLD);
+  f.i32_const(i32(kReqs));
+  f.call(mpi.ibcast);
+  f.op(Op::kDrop);
+  f.i32_const(i32(kReqs));
+  f.i32_const(abi::MPI_STATUS_IGNORE);
+  f.call(mpi.wait);
+  f.op(Op::kDrop);
+  f.i32_const(i32(kBval));
+  f.mem_op(Op::kI32Load);
+  f.i32_const(123);
+  f.op(Op::kI32Ne);
+  f.if_();
+  f.i32_const(0);
+  f.local_set(ok);
+  f.end();
+
+  // MPI_Wtick must be positive and below one second.
+  f.call(mpi.wtick);
+  f.f64_const(0.0);
+  f.op(Op::kF64Le);
+  f.if_();
+  f.i32_const(0);
+  f.local_set(ok);
+  f.end();
+  f.call(mpi.wtick);
+  f.f64_const(1.0);
+  f.op(Op::kF64Ge);
+  f.if_();
+  f.i32_const(0);
+  f.local_set(ok);
+  f.end();
+
+  f.call(mpi.finalize);
+  f.op(Op::kDrop);
+  f.local_get(ok);
+  f.op(Op::kI32Eqz);  // exit(ok ? 0 : 1)
+  f.call(proc_exit);
+  f.end();
+  return finish(b, "icoll check module");
+}
+
 }  // namespace mpiwasm::toolchain

@@ -20,6 +20,7 @@ MpiImports declare_mpi_imports(ModuleBuilder& b, const MpiImportSet& set) {
   m.comm_rank = b.import_func("env", "MPI_Comm_rank", {i32s(2), {I32}});
   m.comm_size = b.import_func("env", "MPI_Comm_size", {i32s(2), {I32}});
   m.wtime = b.import_func("env", "MPI_Wtime", {{}, {F64}});
+  m.wtick = b.import_func("env", "MPI_Wtick", {{}, {F64}});
   if (set.p2p) {
     m.send = b.import_func("env", "MPI_Send", {i32s(6), {I32}});
     m.recv = b.import_func("env", "MPI_Recv", {i32s(7), {I32}});
@@ -29,6 +30,8 @@ MpiImports declare_mpi_imports(ModuleBuilder& b, const MpiImportSet& set) {
     m.irecv = b.import_func("env", "MPI_Irecv", {i32s(7), {I32}});
     m.wait = b.import_func("env", "MPI_Wait", {i32s(2), {I32}});
     m.waitall = b.import_func("env", "MPI_Waitall", {i32s(3), {I32}});
+    m.waitany = b.import_func("env", "MPI_Waitany", {i32s(4), {I32}});
+    m.testall = b.import_func("env", "MPI_Testall", {i32s(4), {I32}});
   }
   if (set.sendrecv)
     m.sendrecv = b.import_func("env", "MPI_Sendrecv", {i32s(12), {I32}});
@@ -52,6 +55,17 @@ MpiImports declare_mpi_imports(ModuleBuilder& b, const MpiImportSet& set) {
         b.import_func("env", "MPI_Reduce_scatter", {i32s(6), {I32}});
     m.scan = b.import_func("env", "MPI_Scan", {i32s(6), {I32}});
     m.exscan = b.import_func("env", "MPI_Exscan", {i32s(6), {I32}});
+  }
+  if (set.icoll) {
+    m.ibarrier = b.import_func("env", "MPI_Ibarrier", {i32s(2), {I32}});
+    m.ibcast = b.import_func("env", "MPI_Ibcast", {i32s(6), {I32}});
+    m.ireduce = b.import_func("env", "MPI_Ireduce", {i32s(8), {I32}});
+    m.iallreduce = b.import_func("env", "MPI_Iallreduce", {i32s(7), {I32}});
+    m.iallgather = b.import_func("env", "MPI_Iallgather", {i32s(8), {I32}});
+    m.ialltoall = b.import_func("env", "MPI_Ialltoall", {i32s(8), {I32}});
+    m.wait = m.wait != MpiImports::kNone
+                 ? m.wait
+                 : b.import_func("env", "MPI_Wait", {i32s(2), {I32}});
   }
   if (set.comm_mgmt) {
     m.comm_dup = b.import_func("env", "MPI_Comm_dup", {i32s(2), {I32}});

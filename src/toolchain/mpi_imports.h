@@ -12,13 +12,16 @@ namespace mpiwasm::toolchain {
 struct MpiImports {
   static constexpr u32 kNone = UINT32_MAX;
   u32 init = kNone, finalize = kNone, comm_rank = kNone, comm_size = kNone;
-  u32 wtime = kNone, barrier = kNone;
+  u32 wtime = kNone, wtick = kNone, barrier = kNone;
   u32 send = kNone, recv = kNone, isend = kNone, irecv = kNone;
-  u32 wait = kNone, waitall = kNone, sendrecv = kNone;
+  u32 wait = kNone, waitall = kNone, waitany = kNone, testall = kNone;
+  u32 sendrecv = kNone;
   u32 bcast = kNone, reduce = kNone, allreduce = kNone;
   u32 gather = kNone, scatter = kNone, allgather = kNone, alltoall = kNone;
   u32 alltoallv = kNone;
   u32 reduce_scatter = kNone, scan = kNone, exscan = kNone;
+  u32 ibarrier = kNone, ibcast = kNone, ireduce = kNone, iallreduce = kNone;
+  u32 iallgather = kNone, ialltoall = kNone;
   u32 comm_dup = kNone, comm_split = kNone, comm_free = kNone;
   u32 alloc_mem = kNone, free_mem = kNone;
 };
@@ -26,12 +29,14 @@ struct MpiImports {
 /// Selects which imports to declare.
 struct MpiImportSet {
   bool p2p = false;         // Send/Recv
-  bool nonblocking = false; // Isend/Irecv/Wait/Waitall
+  bool nonblocking = false; // Isend/Irecv/Wait/Waitall/Waitany/Testall
   bool sendrecv = false;
   bool collectives = false; // Barrier/Bcast/Reduce/Allreduce
   bool gather_scatter = false;
   bool alltoall = false;    // Allgather/Alltoall/Alltoallv
   bool scan_family = false; // Reduce_scatter/Scan/Exscan
+  bool icoll = false;       // Ibarrier/Ibcast/Ireduce/Iallreduce/
+                            // Iallgather/Ialltoall (requests via Wait*)
   bool comm_mgmt = false;
   bool mem_mgmt = false;
 };

@@ -70,6 +70,9 @@ std::vector<ImbRow> native_imb_run(Rank& rank, const ImbParams& p) {
         case ImbRoutine::kScatter:
           rank.scatter(a.data(), int(s), b.data(), int(s), Datatype::kByte, 0);
           break;
+        case ImbRoutine::kBarrier:
+          rank.barrier();
+          break;
       }
     }
     f64 t1 = rank.wtime();
@@ -80,6 +83,47 @@ std::vector<ImbRow> native_imb_run(Rank& rank, const ImbParams& p) {
     }
   }
   return rows;
+}
+
+OverlapResult native_overlap_run(Rank& rank, const OverlapParams& p) {
+  const int me = rank.rank();
+  const int nr = rank.size();
+  const u32 n = p.n_per_rank;
+  std::vector<f64> u(n + 2, 0.0), v(n + 2, 0.0);
+  for (u32 i = 1; i <= n; ++i) u[i] = f64((u32(me) * 31 + i) % 7);
+  f64 res_local = 0.0, res_global = 0.0;
+  auto halo = [&](std::vector<f64>& w) {
+    if (me > 0)
+      rank.sendrecv(&w[1], 1, Datatype::kDouble, me - 1, 2, &w[0], 1,
+                    Datatype::kDouble, me - 1, 1);
+    if (me < nr - 1)
+      rank.sendrecv(&w[n], 1, Datatype::kDouble, me + 1, 1, &w[n + 1], 1,
+                    Datatype::kDouble, me + 1, 2);
+  };
+  rank.barrier();
+  f64 t0 = rank.wtime();
+  for (u32 it = 0; it < p.iterations; ++it) {
+    halo(u);
+    simmpi::Request req;
+    if (p.nonblocking)
+      req = rank.iallreduce(&res_local, &res_global, 1, Datatype::kDouble,
+                            ReduceOp::kSum);
+    else
+      rank.allreduce(&res_local, &res_global, 1, Datatype::kDouble,
+                     ReduceOp::kSum);
+    f64 acc = 0.0;
+    for (u32 i = 1; i <= n; ++i) {
+      v[i] = 0.5 * (u[i - 1] + u[i + 1]);
+      f64 d = v[i] - u[i];
+      acc += d * d;
+    }
+    if (p.nonblocking) rank.wait(req);
+    res_local = acc;
+    u.swap(v);
+  }
+  rank.barrier();
+  f64 t1 = rank.wtime();
+  return {t1 - t0, res_global};
 }
 
 HpcgResult native_hpcg_run(Rank& rank, const HpcgParams& p) {

@@ -42,6 +42,14 @@ struct DtResult {
 };
 DtResult native_dt_run(simmpi::Rank& rank, const DtParams& p);
 
+struct OverlapResult {
+  f64 seconds = 0;
+  f64 residual = 0;
+};
+/// Native twin of build_overlap_module (identical sweep & combine order, so
+/// blocking/nonblocking and native/Wasm residuals agree bit-for-bit).
+OverlapResult native_overlap_run(simmpi::Rank& rank, const OverlapParams& p);
+
 struct IorResult {
   f64 write_mibs = 0;
   f64 read_mibs = 0;

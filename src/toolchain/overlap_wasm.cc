@@ -1,0 +1,319 @@
+// Compute/communication overlap kernel in Wasm (bench_icoll): 1-D Jacobi
+// heat diffusion with neighbour halo exchange and a per-iteration global
+// residual reduction. Built in two variants from one emitter: the blocking
+// baseline calls MPI_Allreduce before the stencil sweep; the overlap
+// variant initiates MPI_Iallreduce, sweeps, then calls MPI_Wait — the
+// guest-visible version of the fold-compute-into-the-wait-window pattern
+// the nonblocking-collective subsystem exists for. Kept structurally 1:1
+// with native_overlap_run so residuals agree bit-for-bit.
+#include "toolchain/kernels.h"
+
+#include "embedder/abi.h"
+#include "toolchain/mpi_imports.h"
+#include "wasm/decoder.h"
+#include "wasm/validator.h"
+
+namespace mpiwasm::toolchain {
+
+using wasm::FuncType;
+using wasm::ModuleBuilder;
+using wasm::Op;
+using wasm::ValType;
+namespace abi = embed::abi;
+
+namespace {
+constexpr u32 kRankPtr = 1024;
+constexpr u32 kSizePtr = 1032;
+constexpr u32 kResL = 1040;   // f64 residual, local (reduction input)
+constexpr u32 kResG = 1048;   // f64 residual, global (reduction output)
+constexpr u32 kReqPtr = 1056; // request handle
+constexpr u32 kArrayBase = 1 << 16;
+}  // namespace
+
+std::vector<u8> build_overlap_module(const OverlapParams& p) {
+  const u32 n = p.n_per_rank;
+  const u64 stride = u64(n + 2) * 8;  // ghost cells at [0] and [n+1]
+  const u32 U0 = kArrayBase;
+  const u32 V0 = u32(U0 + stride);
+  const u32 heap = u32(V0 + stride + 4096);
+
+  ModuleBuilder b;
+  MpiImportSet set;
+  set.collectives = true;  // Barrier + the blocking Allreduce baseline
+  set.sendrecv = true;
+  set.icoll = true;        // Iallreduce + Wait
+  MpiImports mpi = declare_mpi_imports(b, set);
+  u32 report = declare_report_import(b);
+  b.add_memory((heap >> 16) + 2);
+  b.export_memory();
+  add_bump_allocator(b, heap);
+
+  u32 g_rank = b.add_global(ValType::kI32, true, 0);
+  u32 g_size = b.add_global(ValType::kI32, true, 1);
+
+  // --- halo(base): exchange ghost cells with both neighbours --------------
+  auto& halo = b.begin_func({{ValType::kI32}, {}});
+  {
+    halo.global_get(g_rank);
+    halo.i32_const(0);
+    halo.op(Op::kI32GtS);
+    halo.if_();
+    {
+      halo.local_get(0);
+      halo.i32_const(8);
+      halo.op(Op::kI32Add);  // sendbuf = &u[1]
+      halo.i32_const(1);
+      halo.i32_const(abi::MPI_DOUBLE);
+      halo.global_get(g_rank);
+      halo.i32_const(1);
+      halo.op(Op::kI32Sub);
+      halo.i32_const(2);
+      halo.local_get(0);     // recvbuf = &u[0]
+      halo.i32_const(1);
+      halo.i32_const(abi::MPI_DOUBLE);
+      halo.global_get(g_rank);
+      halo.i32_const(1);
+      halo.op(Op::kI32Sub);
+      halo.i32_const(1);
+      halo.i32_const(abi::MPI_COMM_WORLD);
+      halo.i32_const(abi::MPI_STATUS_IGNORE);
+      halo.call(mpi.sendrecv);
+      halo.op(Op::kDrop);
+    }
+    halo.end();
+    halo.global_get(g_rank);
+    halo.global_get(g_size);
+    halo.i32_const(1);
+    halo.op(Op::kI32Sub);
+    halo.op(Op::kI32LtS);
+    halo.if_();
+    {
+      halo.local_get(0);
+      halo.i32_const(i32(8 * n));
+      halo.op(Op::kI32Add);  // sendbuf = &u[n]
+      halo.i32_const(1);
+      halo.i32_const(abi::MPI_DOUBLE);
+      halo.global_get(g_rank);
+      halo.i32_const(1);
+      halo.op(Op::kI32Add);
+      halo.i32_const(1);
+      halo.local_get(0);
+      halo.i32_const(i32(8 * (n + 1)));
+      halo.op(Op::kI32Add);  // recvbuf = &u[n+1]
+      halo.i32_const(1);
+      halo.i32_const(abi::MPI_DOUBLE);
+      halo.global_get(g_rank);
+      halo.i32_const(1);
+      halo.op(Op::kI32Add);
+      halo.i32_const(2);
+      halo.i32_const(abi::MPI_COMM_WORLD);
+      halo.i32_const(abi::MPI_STATUS_IGNORE);
+      halo.call(mpi.sendrecv);
+      halo.op(Op::kDrop);
+    }
+    halo.end();
+    halo.end();
+  }
+  const u32 halo_fn = halo.index();
+
+  // --- sweep(ubase, vbase) -> f64: v[i] = (u[i-1]+u[i+1])/2, returns the
+  //     accumulated squared update over [1, n] ------------------------------
+  auto& sweep = b.begin_func({{ValType::kI32, ValType::kI32}, {ValType::kF64}});
+  {
+    u32 off = sweep.add_local(ValType::kI32);  // 8 * (i - 1)
+    u32 lim = sweep.add_local(ValType::kI32);
+    u32 acc = sweep.add_local(ValType::kF64);
+    u32 nu = sweep.add_local(ValType::kF64);
+    u32 d = sweep.add_local(ValType::kF64);
+    sweep.i32_const(i32(8 * n));
+    sweep.local_set(lim);
+    sweep.for_loop_i32(off, 0, lim, 8, [&] {
+      // nu = 0.5 * (u[i-1] + u[i+1]) — memarg offsets 0 and 16 off the
+      // base address of u[i-1].
+      sweep.local_get(0);
+      sweep.local_get(off);
+      sweep.op(Op::kI32Add);
+      sweep.mem_op(Op::kF64Load);
+      sweep.local_get(0);
+      sweep.local_get(off);
+      sweep.op(Op::kI32Add);
+      sweep.mem_op(Op::kF64Load, 16);
+      sweep.op(Op::kF64Add);
+      sweep.f64_const(0.5);
+      sweep.op(Op::kF64Mul);
+      sweep.local_set(nu);
+      // v[i] = nu
+      sweep.local_get(1);
+      sweep.local_get(off);
+      sweep.op(Op::kI32Add);
+      sweep.local_get(nu);
+      sweep.mem_op(Op::kF64Store, 8);
+      // d = nu - u[i]; acc += d * d
+      sweep.local_get(nu);
+      sweep.local_get(0);
+      sweep.local_get(off);
+      sweep.op(Op::kI32Add);
+      sweep.mem_op(Op::kF64Load, 8);
+      sweep.op(Op::kF64Sub);
+      sweep.local_set(d);
+      sweep.local_get(acc);
+      sweep.local_get(d);
+      sweep.local_get(d);
+      sweep.op(Op::kF64Mul);
+      sweep.op(Op::kF64Add);
+      sweep.local_set(acc);
+    });
+    sweep.local_get(acc);
+    sweep.end();
+  }
+  const u32 sweep_fn = sweep.index();
+
+  // --- _start --------------------------------------------------------------
+  auto& f = b.begin_func({{}, {}}, "_start");
+  u32 it = f.add_local(ValType::kI32);
+  u32 iters = f.add_local(ValType::kI32);
+  u32 ubase = f.add_local(ValType::kI32);
+  u32 vbase = f.add_local(ValType::kI32);
+  u32 tbase = f.add_local(ValType::kI32);
+  u32 off = f.add_local(ValType::kI32);
+  u32 lim = f.add_local(ValType::kI32);
+  u32 t0 = f.add_local(ValType::kF64);
+  u32 t1 = f.add_local(ValType::kF64);
+  u32 res = f.add_local(ValType::kF64);
+
+  f.i32_const(0);
+  f.i32_const(0);
+  f.call(mpi.init);
+  f.op(Op::kDrop);
+  f.i32_const(abi::MPI_COMM_WORLD);
+  f.i32_const(i32(kRankPtr));
+  f.call(mpi.comm_rank);
+  f.op(Op::kDrop);
+  f.i32_const(i32(kRankPtr));
+  f.mem_op(Op::kI32Load);
+  f.global_set(g_rank);
+  f.i32_const(abi::MPI_COMM_WORLD);
+  f.i32_const(i32(kSizePtr));
+  f.call(mpi.comm_size);
+  f.op(Op::kDrop);
+  f.i32_const(i32(kSizePtr));
+  f.mem_op(Op::kI32Load);
+  f.global_set(g_size);
+
+  // u[i] = (rank * 31 + i) % 7 over [1, n] (exact in f64).
+  f.i32_const(i32(8 * (n + 1)));
+  f.local_set(lim);
+  f.for_loop_i32(off, 8, lim, 8, [&] {
+    f.i32_const(i32(U0));
+    f.local_get(off);
+    f.op(Op::kI32Add);
+    f.global_get(g_rank);
+    f.i32_const(31);
+    f.op(Op::kI32Mul);
+    f.local_get(off);
+    f.i32_const(3);
+    f.op(Op::kI32ShrU);  // element index i = off / 8
+    f.op(Op::kI32Add);
+    f.i32_const(7);
+    f.op(Op::kI32RemU);
+    f.op(Op::kF64ConvertI32U);
+    f.mem_op(Op::kF64Store);
+  });
+
+  f.i32_const(i32(U0));
+  f.local_set(ubase);
+  f.i32_const(i32(V0));
+  f.local_set(vbase);
+  f.i32_const(i32(p.iterations));
+  f.local_set(iters);
+
+  f.i32_const(abi::MPI_COMM_WORLD);
+  f.call(mpi.barrier);
+  f.op(Op::kDrop);
+  f.call(mpi.wtime);
+  f.local_set(t0);
+
+  f.for_loop_i32(it, 0, iters, 1, [&] {
+    f.local_get(ubase);
+    f.call(halo_fn);
+    if (p.nonblocking) {
+      f.i32_const(i32(kResL));
+      f.i32_const(i32(kResG));
+      f.i32_const(1);
+      f.i32_const(abi::MPI_DOUBLE);
+      f.i32_const(abi::MPI_SUM);
+      f.i32_const(abi::MPI_COMM_WORLD);
+      f.i32_const(i32(kReqPtr));
+      f.call(mpi.iallreduce);
+      f.op(Op::kDrop);
+    } else {
+      f.i32_const(i32(kResL));
+      f.i32_const(i32(kResG));
+      f.i32_const(1);
+      f.i32_const(abi::MPI_DOUBLE);
+      f.i32_const(abi::MPI_SUM);
+      f.i32_const(abi::MPI_COMM_WORLD);
+      f.call(mpi.allreduce);
+      f.op(Op::kDrop);
+    }
+    // The stencil sweep — in the nonblocking build it runs inside the
+    // collective's initiation-to-wait window. The result stays in a local
+    // until after MPI_Wait: kResL is the live Iallreduce send buffer, and
+    // the native twin likewise assigns res_local only after its wait.
+    f.local_get(ubase);
+    f.local_get(vbase);
+    f.call(sweep_fn);
+    f.local_set(res);
+    if (p.nonblocking) {
+      f.i32_const(i32(kReqPtr));
+      f.i32_const(abi::MPI_STATUS_IGNORE);
+      f.call(mpi.wait);
+      f.op(Op::kDrop);
+    }
+    f.i32_const(i32(kResL));
+    f.local_get(res);
+    f.mem_op(Op::kF64Store);
+    // swap(u, v)
+    f.local_get(ubase);
+    f.local_set(tbase);
+    f.local_get(vbase);
+    f.local_set(ubase);
+    f.local_get(tbase);
+    f.local_set(vbase);
+  });
+
+  f.i32_const(abi::MPI_COMM_WORLD);
+  f.call(mpi.barrier);
+  f.op(Op::kDrop);
+  f.call(mpi.wtime);
+  f.local_set(t1);
+
+  // rank 0 reports (seconds, residual, iterations).
+  f.global_get(g_rank);
+  f.op(Op::kI32Eqz);
+  f.if_();
+  {
+    f.i32_const(p.report_id);
+    f.local_get(t1);
+    f.local_get(t0);
+    f.op(Op::kF64Sub);
+    f.i32_const(i32(kResG));
+    f.mem_op(Op::kF64Load);
+    f.f64_const(f64(p.iterations));
+    f.call(report);
+  }
+  f.end();
+
+  f.call(mpi.finalize);
+  f.op(Op::kDrop);
+  f.end();
+
+  std::vector<u8> bytes = b.build();
+  auto decoded = wasm::decode_module({bytes.data(), bytes.size()});
+  MW_CHECK(decoded.ok(), "overlap module failed to decode: " + decoded.error);
+  auto vr = wasm::validate_module(*decoded.module);
+  MW_CHECK(vr.ok, "overlap module failed to validate: " + vr.error);
+  return bytes;
+}
+
+}  // namespace mpiwasm::toolchain

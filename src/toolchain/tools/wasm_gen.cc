@@ -44,6 +44,12 @@ int main(int argc, char** argv) {
     emit(dir, std::string("imb_") + imb_routine_name(r) + ".wasm",
          build_imb_module(p));
   }
+  {
+    ImbParams p;
+    p.routine = ImbRoutine::kBarrier;
+    p.min_bytes = p.max_bytes = 1;  // latency panel: single pseudo-size
+    emit(dir, "imb_Barrier.wasm", build_imb_module(p));
+  }
   emit(dir, "xhpcg.wasm", build_hpcg_module({}));
   emit(dir, "is.wasm", build_is_module({}));
   for (DtTopology t :
@@ -61,5 +67,12 @@ int main(int argc, char** argv) {
   emit(dir, "hello.wasm", build_hello_module());
   emit(dir, "alloc_mem.wasm", build_alloc_mem_module());
   emit(dir, "allreduce_check.wasm", build_allreduce_check_module());
+  emit(dir, "icoll_check.wasm", build_icoll_check_module());
+  {
+    OverlapParams p;
+    emit(dir, "overlap_heat.wasm", build_overlap_module(p));
+    p.nonblocking = false;
+    emit(dir, "overlap_heat_blocking.wasm", build_overlap_module(p));
+  }
   return 0;
 }

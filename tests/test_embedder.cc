@@ -66,6 +66,15 @@ TEST_P(EmbedderTest, AllreduceCheckPasses) {
   }
 }
 
+TEST_P(EmbedderTest, IcollCheckPasses) {
+  auto bytes = toolchain::build_icoll_check_module();
+  Embedder emb(config_for(GetParam()));
+  for (int ranks : {1, 2, 3, 8}) {
+    auto result = emb.run_world({bytes.data(), bytes.size()}, ranks);
+    EXPECT_EQ(result.exit_code, 0) << "ranks=" << ranks;
+  }
+}
+
 TEST_P(EmbedderTest, AllocMemUsesExportedMalloc) {
   auto bytes = toolchain::build_alloc_mem_module();
   Embedder emb(config_for(GetParam()));
