@@ -97,6 +97,36 @@ void BM_Sha256ModuleHash(benchmark::State& state) {
 }
 BENCHMARK(BM_Sha256ModuleHash)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
 
+void BM_MicroKernelSimd(benchmark::State& state) {
+  // Scalar-vs-v128 kernel twins at the optimizing tier (bench_simd measures
+  // the full matrix; this keeps one headline pair in the microbench suite).
+  toolchain::MicroKernelParams p;
+  p.kernel = toolchain::MicroKernel(state.range(0));
+  p.n = 1 << 13;
+  p.use_simd = state.range(1) != 0;
+  auto bytes = toolchain::build_micro_kernel_module(p);
+  rt::EngineConfig cfg;
+  cfg.tier = rt::EngineTier::kOptimizing;
+  auto cm = rt::compile({bytes.data(), bytes.size()}, cfg);
+  rt::ImportTable imports;
+  rt::Instance inst(cm, imports);
+  inst.invoke("init");
+  auto reps = rt::Value::from_i32(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inst.invoke("run", {&reps, 1}).as_f64());
+  }
+  state.SetItemsProcessed(state.iterations() * p.n);
+  state.SetLabel(std::string(toolchain::micro_kernel_name(p.kernel)) +
+                 (p.use_simd ? "/simd" : "/scalar"));
+}
+BENCHMARK(BM_MicroKernelSimd)
+    ->Args({i64(toolchain::MicroKernel::kReduceF64), 0})
+    ->Args({i64(toolchain::MicroKernel::kReduceF64), 1})
+    ->Args({i64(toolchain::MicroKernel::kDaxpy), 0})
+    ->Args({i64(toolchain::MicroKernel::kDaxpy), 1})
+    ->Args({i64(toolchain::MicroKernel::kStencil3), 0})
+    ->Args({i64(toolchain::MicroKernel::kStencil3), 1});
+
 void BM_CompileHpcg(benchmark::State& state) {
   auto tier = rt::EngineTier(state.range(0));
   auto bytes = toolchain::build_hpcg_module({});

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Documentation consistency checks (run by the CI docs job).
+
+1. Every relative markdown link in README.md and docs/*.md resolves to an
+   existing file (external http(s) links and #anchors are skipped).
+2. Every MPIWASM_* identifier appearing in src/ is documented in
+   docs/TUNING.md (substring match, so MPIWASM_COLL_ prefixes are covered
+   by any fully spelled variable).
+
+Exit code 0 when both hold; prints every violation otherwise.
+"""
+import os
+import re
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+failures = []
+
+
+def check_links():
+    md_files = ["README.md"] + [
+        os.path.join("docs", f)
+        for f in sorted(os.listdir(os.path.join(ROOT, "docs")))
+        if f.endswith(".md")
+    ]
+    link_re = re.compile(r"\[[^\]]*\]\(([^)]+)\)")
+    for md in md_files:
+        text = open(os.path.join(ROOT, md), encoding="utf-8").read()
+        for target in link_re.findall(text):
+            if target.startswith(("http://", "https://", "#", "mailto:")):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            base = os.path.dirname(os.path.join(ROOT, md))
+            if not os.path.exists(os.path.join(base, target)):
+                failures.append(f"{md}: broken link -> {target}")
+
+
+def check_tuning_coverage():
+    tuning = open(os.path.join(ROOT, "docs", "TUNING.md"), encoding="utf-8").read()
+    token_re = re.compile(r"MPIWASM_[A-Z0-9_]+")
+    tokens = set()
+    for dirpath, _dirnames, filenames in os.walk(os.path.join(ROOT, "src")):
+        for fn in filenames:
+            if not fn.endswith((".h", ".cc", ".inc")):
+                continue
+            text = open(os.path.join(dirpath, fn), encoding="utf-8").read()
+            tokens.update(token_re.findall(text))
+    for tok in sorted(tokens):
+        # A prefix token like MPIWASM_COLL_ is covered by any documented
+        # variable that starts with it.
+        if tok.rstrip("_") in tuning or any(
+            t.startswith(tok) for t in token_re.findall(tuning)
+        ):
+            continue
+        failures.append(f"docs/TUNING.md: undocumented variable {tok}")
+
+
+def main():
+    check_links()
+    check_tuning_coverage()
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1
+    print("docs checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,7 @@
 #include <bit>
 #include <cmath>
 #include <limits>
+#include <type_traits>
 
 #include "runtime/value.h"
 
@@ -116,6 +117,12 @@ inline To trunc_checked(From v, const char* what) {
 }
 
 // --- SIMD lane helpers -----------------------------------------------------
+//
+// Every v128 instruction is implemented once here over plain lane loops so
+// the interpreter and both regcode executors share one semantics. The loops
+// have compile-time trip counts over 16 contiguous bytes, which GCC/Clang
+// auto-vectorize to host SIMD at -O2 — no intrinsics needed, keeping every
+// target the paper cares about (x86-64, Graviton2) on the fast path.
 
 template <typename T, int N, typename F>
 inline V128 v128_binop(const V128& x, const V128& y, F f) {
@@ -123,6 +130,66 @@ inline V128 v128_binop(const V128& x, const V128& y, F f) {
   for (int i = 0; i < N; ++i)
     out.set_lane<T, N>(i, T(f(x.lane<T, N>(i), y.lane<T, N>(i))));
   return out;
+}
+
+template <typename T, int N, typename F>
+inline V128 v128_unop(const V128& x, F f) {
+  V128 out{};
+  for (int i = 0; i < N; ++i) out.set_lane<T, N>(i, T(f(x.lane<T, N>(i))));
+  return out;
+}
+
+/// Lane-wise comparison producing the all-ones / all-zeros lane mask the
+/// spec requires (usable as a v128.bitselect mask).
+template <typename T, int N, typename F>
+inline V128 v128_cmp(const V128& x, const V128& y, F f) {
+  using U = std::make_unsigned_t<
+      std::conditional_t<std::is_floating_point_v<T>,
+                         std::conditional_t<sizeof(T) == 4, u32, u64>, T>>;
+  V128 out{};
+  for (int i = 0; i < N; ++i)
+    out.set_lane<U, N>(i, f(x.lane<T, N>(i), y.lane<T, N>(i)) ? U(~U(0)) : U(0));
+  return out;
+}
+
+/// Shift count taken modulo the lane width, per spec; T's signedness picks
+/// shr_s vs shr_u.
+template <typename T, int N>
+inline V128 v128_shl(const V128& x, u32 n) {
+  const u32 k = n & (sizeof(T) * 8 - 1);
+  V128 out{};
+  for (int i = 0; i < N; ++i)
+    out.set_lane<T, N>(i, T(x.lane<T, N>(i) << k));
+  return out;
+}
+template <typename T, int N>
+inline V128 v128_shr(const V128& x, u32 n) {
+  const u32 k = n & (sizeof(T) * 8 - 1);
+  V128 out{};
+  for (int i = 0; i < N; ++i)
+    out.set_lane<T, N>(i, T(x.lane<T, N>(i) >> k));
+  return out;
+}
+
+/// Wrapping two's-complement |x| (abs(INT_MIN) == INT_MIN, per spec).
+template <typename T>
+inline T lane_iabs(T x) {
+  using U = std::make_unsigned_t<T>;
+  return x < 0 ? T(U(0) - U(x)) : x;
+}
+
+/// pmin/pmax are the C-style b<a selects (no NaN canonicalization), unlike
+/// fmin_wasm/fmax_wasm which propagate NaN.
+template <typename F>
+inline F lane_pmin(F a, F b) { return b < a ? b : a; }
+template <typename F>
+inline F lane_pmax(F a, F b) { return a < b ? b : a; }
+
+template <typename T, int N>
+inline bool v128_all_true(const V128& x) {
+  for (int i = 0; i < N; ++i)
+    if (x.lane<T, N>(i) == 0) return false;
+  return true;
 }
 
 inline V128 v128_bitop_and(const V128& x, const V128& y) {
@@ -153,6 +220,35 @@ inline i32 v128_any_true(const V128& x) {
 inline V128 i8x16_eq(const V128& x, const V128& y) {
   V128 out{};
   for (int i = 0; i < 16; ++i) out.bytes[i] = x.bytes[i] == y.bytes[i] ? 0xFF : 0x00;
+  return out;
+}
+inline V128 v128_bitop_andnot(const V128& x, const V128& y) {
+  V128 out{};
+  for (int i = 0; i < 16; ++i) out.bytes[i] = x.bytes[i] & u8(~y.bytes[i]);
+  return out;
+}
+/// bitselect(v1, v2, mask): bits of v1 where mask is 1, else v2.
+inline V128 v128_bitselect(const V128& v1, const V128& v2, const V128& mask) {
+  V128 out{};
+  for (int i = 0; i < 16; ++i)
+    out.bytes[i] = u8((v1.bytes[i] & mask.bytes[i]) |
+                      (v2.bytes[i] & u8(~mask.bytes[i])));
+  return out;
+}
+/// swizzle: per-byte table lookup into x; selector >= 16 yields 0.
+inline V128 i8x16_swizzle(const V128& x, const V128& sel) {
+  V128 out{};
+  for (int i = 0; i < 16; ++i)
+    out.bytes[i] = sel.bytes[i] < 16 ? x.bytes[sel.bytes[i]] : u8(0);
+  return out;
+}
+/// shuffle: immediate selectors (< 32) index the concatenation x ++ y.
+inline V128 i8x16_shuffle(const V128& x, const V128& y, const V128& lanes) {
+  V128 out{};
+  for (int i = 0; i < 16; ++i) {
+    u8 s = lanes.bytes[i];
+    out.bytes[i] = s < 16 ? x.bytes[s] : y.bytes[s - 16];
+  }
   return out;
 }
 

@@ -17,11 +17,14 @@ constexpr u32 kCacheMagic = 0x4357524D;  // "MRWC"
 // v3: per-function records (shared by whole-module entries and the tiered
 // engine's per-function entries).
 // v4: the superinstruction/hoisting opcode space (fused select/load-op/
-// op-store/indexed forms, kMemGuard, raw ops). v3 entries would decode to
-// the wrong opcodes, so the header check rejects them and the engine
-// silently recompiles. RFunc::handlers is derived state and is never
-// serialized; prepare_rfunc() re-resolves it after every load.
-constexpr u32 kCacheVersion = 4;
+// op-store/indexed forms, kMemGuard, raw ops).
+// v5: the full SIMD opcode space (lane ops, comparisons, shifts, shuffle,
+// bitselect, v128 fused/indexed/raw forms), which renumbers ROp again.
+// Any older entry would decode to the wrong opcodes, so the header check
+// rejects it and the engine silently recompiles. RFunc::handlers is
+// derived state and is never serialized; prepare_rfunc() re-resolves it
+// after every load.
+constexpr u32 kCacheVersion = 5;
 
 void write_rfunc(ByteWriter& w, const RFunc& f) {
   w.write_leb_u32(f.num_params);

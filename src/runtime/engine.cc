@@ -1,5 +1,7 @@
 #include "runtime/engine.h"
 
+#include <cstdlib>
+
 #include "runtime/cache.h"
 #include "runtime/exec.h"
 #include "runtime/instance.h"
@@ -23,6 +25,16 @@ const char* tier_name(EngineTier tier) {
   return "?";
 }
 
+bool simd_enabled_from_env() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("MPIWASM_SIMD");
+    if (v == nullptr) return true;
+    std::string s(v);
+    return !(s == "0" || s == "false" || s == "off");
+  }();
+  return enabled;
+}
+
 namespace {
 
 /// Cache tag for a compiled artifact. The optimizing tier's ablation flags
@@ -30,11 +42,12 @@ namespace {
 /// must never serve fused/hoisted code to a run that disabled those passes
 /// (or vice versa). Default flags keep the plain tier name.
 std::string cache_tag(EngineTier tier, bool superinstructions,
-                      bool hoist_bounds) {
+                      bool hoist_bounds, bool simd) {
   std::string tag = tier_name(tier);
   if (tier == EngineTier::kOptimizing) {
     if (!superinstructions) tag += "-nosuper";
     if (!hoist_bounds) tag += "-nohoist";
+    if (!simd) tag += "-nosimd";
   }
   return tag;
 }
@@ -118,7 +131,7 @@ void tier_up(const CompiledModule& cm, u32 defined_index, EngineTier target) {
 
   Stopwatch watch;
   const std::string tag = cache_tag(target, ts.opt_superinstructions,
-                                    ts.opt_hoist_bounds);
+                                    ts.opt_hoist_bounds, ts.opt_simd);
   std::unique_ptr<RFunc> body;
   bool from_cache = false;
   std::optional<FileSystemCache> cache;
@@ -135,6 +148,7 @@ void tier_up(const CompiledModule& cm, u32 defined_index, EngineTier target) {
       OptOptions opt = OptOptions::full();
       opt.fuse_super = ts.opt_superinstructions;
       opt.hoist_bounds = ts.opt_hoist_bounds;
+      opt.simd = ts.opt_simd;
       optimize_function(*body, opt);
     }
     if (cache) cache->store_func(cm.hash, defined_index, tag, *body);
@@ -222,6 +236,7 @@ std::shared_ptr<const CompiledModule> compile(std::span<const u8> bytes,
     ts.cache_dir = cfg.cache_dir;
     ts.opt_superinstructions = cfg.opt_superinstructions;
     ts.opt_hoist_bounds = cfg.opt_hoist_bounds;
+    ts.opt_simd = cfg.opt_simd;
     for (u32 i = 0; i < ts.num_units; ++i) {
       ts.units[i].state.store(FuncState::kPredecoded,
                               std::memory_order_relaxed);
@@ -233,7 +248,7 @@ std::shared_ptr<const CompiledModule> compile(std::span<const u8> bytes,
   }
 
   const std::string tag = cache_tag(cfg.tier, cfg.opt_superinstructions,
-                                    cfg.opt_hoist_bounds);
+                                    cfg.opt_hoist_bounds, cfg.opt_simd);
   if (cfg.enable_cache) {
     FileSystemCache cache(cfg.cache_dir);
     if (auto rm = cache.load(cm->hash, tag)) {
@@ -253,6 +268,7 @@ std::shared_ptr<const CompiledModule> compile(std::span<const u8> bytes,
     OptOptions opt = OptOptions::full();
     opt.fuse_super = cfg.opt_superinstructions;
     opt.hoist_bounds = cfg.opt_hoist_bounds;
+    opt.simd = cfg.opt_simd;
     OptStats stats = optimize_module(cm->regcode, opt);
     MW_DEBUG("optimizer: " << stats.instrs_before << " -> "
                            << stats.instrs_after << " instrs, "

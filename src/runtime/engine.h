@@ -55,6 +55,13 @@ enum class EngineTier : u8 {
 
 const char* tier_name(EngineTier tier);
 
+/// Reads the MPIWASM_SIMD environment variable once per process: "0",
+/// "false", or "off" disable SIMD-aware optimization (and the toolchain
+/// kernels' vectorized twins); anything else — including unset — enables
+/// them. This is the ablation knob behind EngineConfig::opt_simd's default
+/// and the benches' scalar-vs-SIMD kernel selection (docs/TUNING.md).
+bool simd_enabled_from_env();
+
 struct EngineConfig {
   EngineTier tier = EngineTier::kOptimizing;
   bool enable_cache = false;
@@ -70,6 +77,12 @@ struct EngineConfig {
   // promotions to it).
   bool opt_superinstructions = true;  // load+op, op+store, select, indexed
   bool opt_hoist_bounds = true;       // kMemGuard loop versioning + raw ops
+  /// SIMD-aware optimization (v128 const folding, v128 load+op / op+store
+  /// superinstructions, v128 indexed addressing). Defaults to the
+  /// MPIWASM_SIMD environment variable so the whole test/bench suite can be
+  /// ablated without recompiling; v128 code still *executes* when this is
+  /// off — it just runs through the generic pipeline.
+  bool opt_simd = simd_enabled_from_env();
 };
 
 /// Raised when a module fails to decode or validate.
@@ -137,6 +150,7 @@ struct TieredState {
   bool cache_enabled = false;
   bool opt_superinstructions = true;
   bool opt_hoist_bounds = true;
+  bool opt_simd = true;
   std::string cache_dir;
   std::mutex mu;  // serializes promotion compilation/publication
   TierUpStats stats;

@@ -52,6 +52,18 @@ std::atomic<bool> g_force_switch{false};
 #define VBIN(T, N, expr)                                              \
   A.v128v = v128_binop<T, N>(B.v128v, C.v128v,                        \
                              [](T x, T y) { (void)x; (void)y; return (expr); })
+#define VUN(T, N, expr)                                               \
+  A.v128v = v128_unop<T, N>(B.v128v, [](T x) { (void)x; return (expr); })
+#define VCMP(T, N, expr)                                              \
+  A.v128v = v128_cmp<T, N>(B.v128v, C.v128v,                          \
+                           [](T x, T y) { (void)x; (void)y; return (expr); })
+// Replace-lane: copy the vector in r[b], overwrite lane imm from r[c].
+#define VREPLACE(T, N, srcfield)                \
+  {                                             \
+    V128 t = B.v128v;                           \
+    t.set_lane<T, N>(int(in.imm), T(C.srcfield)); \
+    A.v128v = t;                                \
+  }
 #define BRCMP(field, expr) \
   {                        \
     auto x = A.field;      \
@@ -242,6 +254,9 @@ void exec_regcode(Instance& inst, const RFunc& f, Slot* r) {
 #undef CMP
 #undef UN
 #undef VBIN
+#undef VUN
+#undef VCMP
+#undef VREPLACE
 #undef BRCMP
 #undef SELCMP
 

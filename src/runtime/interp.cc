@@ -255,7 +255,18 @@ PreFunc predecode_function(const wasm::Module& m, u32 defined_index) {
           }
           if (is_store) bump(-2);
         } else if (wasm::op_imm_kind(in.op) == ImmKind::kLaneIdx) {
-          // extract_lane: -1 +1
+          // extract_lane: -1 +1; replace_lane additionally pops the scalar.
+          switch (in.op) {
+            case Op::kI8x16ReplaceLane: case Op::kI16x8ReplaceLane:
+            case Op::kI32x4ReplaceLane: case Op::kI64x2ReplaceLane:
+            case Op::kF32x4ReplaceLane: case Op::kF64x2ReplaceLane:
+              bump(-1);
+              break;
+            default:
+              break;
+          }
+        } else if (in.op == Op::kV128Bitselect) {
+          bump(-2);
         } else {
           // unop: 0 ; binop: -1. Reuse the lowering's classification.
           switch (in.op) {
@@ -283,9 +294,15 @@ PreFunc predecode_function(const wasm::Module& m, u32 defined_index) {
             case Op::kF32ReinterpretI32: case Op::kF64ReinterpretI64:
             case Op::kI32Extend8S: case Op::kI32Extend16S:
             case Op::kI64Extend8S: case Op::kI64Extend16S: case Op::kI64Extend32S:
-            case Op::kI8x16Splat: case Op::kI32x4Splat: case Op::kI64x2Splat:
-            case Op::kF32x4Splat: case Op::kF64x2Splat:
+            case Op::kI8x16Splat: case Op::kI16x8Splat: case Op::kI32x4Splat:
+            case Op::kI64x2Splat: case Op::kF32x4Splat: case Op::kF64x2Splat:
             case Op::kV128Not: case Op::kV128AnyTrue:
+            case Op::kI8x16Abs: case Op::kI8x16Neg: case Op::kI8x16AllTrue:
+            case Op::kI16x8Abs: case Op::kI16x8Neg: case Op::kI16x8AllTrue:
+            case Op::kI32x4Abs: case Op::kI32x4Neg: case Op::kI32x4AllTrue:
+            case Op::kI64x2Abs: case Op::kI64x2Neg: case Op::kI64x2AllTrue:
+            case Op::kF32x4Abs: case Op::kF32x4Neg: case Op::kF32x4Sqrt:
+            case Op::kF64x2Abs: case Op::kF64x2Neg: case Op::kF64x2Sqrt:
               break;  // unop, net 0
             default:
               bump(-1);  // binop
@@ -379,6 +396,27 @@ void interp_exec(Instance& inst, const PreFunc& f, Slot* frame) {
     TOP.v128v =                                                               \
         v128_binop<T, N>(x, y, [](T xx, T yy) { (void)xx; (void)yy;           \
                                                 return (expr); });            \
+  }                                                                           \
+  break
+#define IVUN(T, N, expr)                                                      \
+  TOP.v128v = v128_unop<T, N>(TOP.v128v,                                      \
+                              [](T xx) { (void)xx; return (expr); });         \
+  break
+#define IVCMP(T, N, expr)                                                     \
+  {                                                                           \
+    V128 y = TOP.v128v;                                                       \
+    V128 x = NXT.v128v;                                                       \
+    --sp;                                                                     \
+    TOP.v128v =                                                               \
+        v128_cmp<T, N>(x, y, [](T xx, T yy) { (void)xx; (void)yy;             \
+                                              return (expr); });              \
+  }                                                                           \
+  break
+#define IVREPLACE(T, N, sfield)                                               \
+  {                                                                           \
+    auto v = TOP.sfield;                                                      \
+    --sp;                                                                     \
+    TOP.v128v.set_lane<T, N>(int(in.imm_i), T(v));                            \
   }                                                                           \
   break
 
@@ -480,6 +518,12 @@ void interp_exec(Instance& inst, const PreFunc& f, Slot* frame) {
       case Op::kI64Load32S: ILOAD(i64v, i32);
       case Op::kI64Load32U: ILOAD(u64v, u32);
       case Op::kV128Load: ILOAD(v128v, V128);
+      case Op::kV128Load32Splat:
+        TOP.v128v = V128::splat<u32>(mem.load<u32>(u64(TOP.u32v) + in.mem_offset));
+        break;
+      case Op::kV128Load64Splat:
+        TOP.v128v = V128::splat<u64>(mem.load<u64>(u64(TOP.u32v) + in.mem_offset));
+        break;
       case Op::kI32Store: ISTORE(u32, u32v);
       case Op::kI64Store: ISTORE(u64, u64v);
       case Op::kF32Store: ISTORE(f32, f32v);
@@ -651,23 +695,98 @@ void interp_exec(Instance& inst, const PreFunc& f, Slot* frame) {
       case Op::kI64Extend32S: IUN(i64v, i64v, i64(i32(x)));
 
       case Op::kI8x16Splat: TOP.v128v = V128::splat<u8>(u8(TOP.u32v)); break;
+      case Op::kI16x8Splat: TOP.v128v = V128::splat<u16>(u16(TOP.u32v)); break;
       case Op::kI32x4Splat: TOP.v128v = V128::splat<u32>(TOP.u32v); break;
       case Op::kI64x2Splat: TOP.v128v = V128::splat<u64>(TOP.u64v); break;
       case Op::kF32x4Splat: TOP.v128v = V128::splat<f32>(TOP.f32v); break;
       case Op::kF64x2Splat: TOP.v128v = V128::splat<f64>(TOP.f64v); break;
+      case Op::kI8x16ExtractLaneS:
+        TOP.i32v = i32(i8(TOP.v128v.lane<u8, 16>(int(in.imm_i))));
+        break;
+      case Op::kI8x16ExtractLaneU:
+        TOP.u32v = u32(TOP.v128v.lane<u8, 16>(int(in.imm_i)));
+        break;
+      case Op::kI16x8ExtractLaneS:
+        TOP.i32v = i32(i16(TOP.v128v.lane<u16, 8>(int(in.imm_i))));
+        break;
+      case Op::kI16x8ExtractLaneU:
+        TOP.u32v = u32(TOP.v128v.lane<u16, 8>(int(in.imm_i)));
+        break;
       case Op::kI32x4ExtractLane: TOP.u32v = TOP.v128v.lane<u32, 4>(int(in.imm_i)); break;
       case Op::kI64x2ExtractLane: TOP.u64v = TOP.v128v.lane<u64, 2>(int(in.imm_i)); break;
       case Op::kF32x4ExtractLane: TOP.f32v = TOP.v128v.lane<f32, 4>(int(in.imm_i)); break;
       case Op::kF64x2ExtractLane: TOP.f64v = TOP.v128v.lane<f64, 2>(int(in.imm_i)); break;
+      case Op::kI8x16ReplaceLane: IVREPLACE(u8, 16, u32v);
+      case Op::kI16x8ReplaceLane: IVREPLACE(u16, 8, u32v);
+      case Op::kI32x4ReplaceLane: IVREPLACE(u32, 4, u32v);
+      case Op::kI64x2ReplaceLane: IVREPLACE(u64, 2, u64v);
+      case Op::kF32x4ReplaceLane: IVREPLACE(f32, 4, f32v);
+      case Op::kF64x2ReplaceLane: IVREPLACE(f64, 2, f64v);
+      case Op::kI8x16Shuffle: {
+        V128 y = pop_slot().v128v;
+        TOP.v128v = i8x16_shuffle(TOP.v128v, y, in.imm_v128);
+        break;
+      }
+      case Op::kI8x16Swizzle: {
+        V128 y = pop_slot().v128v;
+        TOP.v128v = i8x16_swizzle(TOP.v128v, y);
+        break;
+      }
       case Op::kI8x16Eq: {
         V128 y = pop_slot().v128v;
         TOP.v128v = i8x16_eq(TOP.v128v, y);
         break;
       }
+      case Op::kI8x16Ne: IVCMP(u8, 16, xx != yy);
+      case Op::kI8x16LtS: IVCMP(i8, 16, xx < yy);
+      case Op::kI8x16LtU: IVCMP(u8, 16, xx < yy);
+      case Op::kI8x16GtS: IVCMP(i8, 16, xx > yy);
+      case Op::kI8x16GtU: IVCMP(u8, 16, xx > yy);
+      case Op::kI8x16LeS: IVCMP(i8, 16, xx <= yy);
+      case Op::kI8x16LeU: IVCMP(u8, 16, xx <= yy);
+      case Op::kI8x16GeS: IVCMP(i8, 16, xx >= yy);
+      case Op::kI8x16GeU: IVCMP(u8, 16, xx >= yy);
+      case Op::kI16x8Eq: IVCMP(u16, 8, xx == yy);
+      case Op::kI16x8Ne: IVCMP(u16, 8, xx != yy);
+      case Op::kI16x8LtS: IVCMP(i16, 8, xx < yy);
+      case Op::kI16x8LtU: IVCMP(u16, 8, xx < yy);
+      case Op::kI16x8GtS: IVCMP(i16, 8, xx > yy);
+      case Op::kI16x8GtU: IVCMP(u16, 8, xx > yy);
+      case Op::kI16x8LeS: IVCMP(i16, 8, xx <= yy);
+      case Op::kI16x8LeU: IVCMP(u16, 8, xx <= yy);
+      case Op::kI16x8GeS: IVCMP(i16, 8, xx >= yy);
+      case Op::kI16x8GeU: IVCMP(u16, 8, xx >= yy);
+      case Op::kI32x4Eq: IVCMP(u32, 4, xx == yy);
+      case Op::kI32x4Ne: IVCMP(u32, 4, xx != yy);
+      case Op::kI32x4LtS: IVCMP(i32, 4, xx < yy);
+      case Op::kI32x4LtU: IVCMP(u32, 4, xx < yy);
+      case Op::kI32x4GtS: IVCMP(i32, 4, xx > yy);
+      case Op::kI32x4GtU: IVCMP(u32, 4, xx > yy);
+      case Op::kI32x4LeS: IVCMP(i32, 4, xx <= yy);
+      case Op::kI32x4LeU: IVCMP(u32, 4, xx <= yy);
+      case Op::kI32x4GeS: IVCMP(i32, 4, xx >= yy);
+      case Op::kI32x4GeU: IVCMP(u32, 4, xx >= yy);
+      case Op::kF32x4Eq: IVCMP(f32, 4, xx == yy);
+      case Op::kF32x4Ne: IVCMP(f32, 4, xx != yy);
+      case Op::kF32x4Lt: IVCMP(f32, 4, xx < yy);
+      case Op::kF32x4Gt: IVCMP(f32, 4, xx > yy);
+      case Op::kF32x4Le: IVCMP(f32, 4, xx <= yy);
+      case Op::kF32x4Ge: IVCMP(f32, 4, xx >= yy);
+      case Op::kF64x2Eq: IVCMP(f64, 2, xx == yy);
+      case Op::kF64x2Ne: IVCMP(f64, 2, xx != yy);
+      case Op::kF64x2Lt: IVCMP(f64, 2, xx < yy);
+      case Op::kF64x2Gt: IVCMP(f64, 2, xx > yy);
+      case Op::kF64x2Le: IVCMP(f64, 2, xx <= yy);
+      case Op::kF64x2Ge: IVCMP(f64, 2, xx >= yy);
       case Op::kV128Not: TOP.v128v = v128_not(TOP.v128v); break;
       case Op::kV128And: {
         V128 y = pop_slot().v128v;
         TOP.v128v = v128_bitop_and(TOP.v128v, y);
+        break;
+      }
+      case Op::kV128AndNot: {
+        V128 y = pop_slot().v128v;
+        TOP.v128v = v128_bitop_andnot(TOP.v128v, y);
         break;
       }
       case Op::kV128Or: {
@@ -680,20 +799,100 @@ void interp_exec(Instance& inst, const PreFunc& f, Slot* frame) {
         TOP.v128v = v128_bitop_xor(TOP.v128v, y);
         break;
       }
+      case Op::kV128Bitselect: {
+        V128 mask = pop_slot().v128v;
+        V128 v2 = pop_slot().v128v;
+        TOP.v128v = v128_bitselect(TOP.v128v, v2, mask);
+        break;
+      }
       case Op::kV128AnyTrue: TOP.u32v = u32(v128_any_true(TOP.v128v)); break;
+      case Op::kI8x16Abs: IVUN(i8, 16, lane_iabs(xx));
+      case Op::kI8x16Neg: IVUN(u8, 16, u8(0u - xx));
+      case Op::kI8x16AllTrue:
+        TOP.u32v = u32(v128_all_true<u8, 16>(TOP.v128v));
+        break;
+      case Op::kI8x16Add: IVBIN(u8, 16, u8(xx + yy));
+      case Op::kI8x16Sub: IVBIN(u8, 16, u8(xx - yy));
+      case Op::kI16x8Abs: IVUN(i16, 8, lane_iabs(xx));
+      case Op::kI16x8Neg: IVUN(u16, 8, u16(0u - xx));
+      case Op::kI16x8AllTrue:
+        TOP.u32v = u32(v128_all_true<u16, 8>(TOP.v128v));
+        break;
+      case Op::kI16x8Add: IVBIN(u16, 8, u16(xx + yy));
+      case Op::kI16x8Sub: IVBIN(u16, 8, u16(xx - yy));
+      case Op::kI16x8Mul: IVBIN(u16, 8, u16(xx * yy));
+      case Op::kI32x4Abs: IVUN(i32, 4, lane_iabs(xx));
+      case Op::kI32x4Neg: IVUN(u32, 4, 0u - xx);
+      case Op::kI32x4AllTrue:
+        TOP.u32v = u32(v128_all_true<u32, 4>(TOP.v128v));
+        break;
+      case Op::kI32x4Shl: {
+        u32 k = pop_slot().u32v;
+        TOP.v128v = v128_shl<u32, 4>(TOP.v128v, k);
+        break;
+      }
+      case Op::kI32x4ShrS: {
+        u32 k = pop_slot().u32v;
+        TOP.v128v = v128_shr<i32, 4>(TOP.v128v, k);
+        break;
+      }
+      case Op::kI32x4ShrU: {
+        u32 k = pop_slot().u32v;
+        TOP.v128v = v128_shr<u32, 4>(TOP.v128v, k);
+        break;
+      }
       case Op::kI32x4Add: IVBIN(u32, 4, xx + yy);
       case Op::kI32x4Sub: IVBIN(u32, 4, xx - yy);
       case Op::kI32x4Mul: IVBIN(u32, 4, xx * yy);
+      case Op::kI32x4MinS: IVBIN(i32, 4, xx < yy ? xx : yy);
+      case Op::kI32x4MinU: IVBIN(u32, 4, xx < yy ? xx : yy);
+      case Op::kI32x4MaxS: IVBIN(i32, 4, xx > yy ? xx : yy);
+      case Op::kI32x4MaxU: IVBIN(u32, 4, xx > yy ? xx : yy);
+      case Op::kI64x2Abs: IVUN(i64, 2, lane_iabs(xx));
+      case Op::kI64x2Neg: IVUN(u64, 2, u64(0) - xx);
+      case Op::kI64x2AllTrue:
+        TOP.u32v = u32(v128_all_true<u64, 2>(TOP.v128v));
+        break;
+      case Op::kI64x2Shl: {
+        u32 k = pop_slot().u32v;
+        TOP.v128v = v128_shl<u64, 2>(TOP.v128v, k);
+        break;
+      }
+      case Op::kI64x2ShrS: {
+        u32 k = pop_slot().u32v;
+        TOP.v128v = v128_shr<i64, 2>(TOP.v128v, k);
+        break;
+      }
+      case Op::kI64x2ShrU: {
+        u32 k = pop_slot().u32v;
+        TOP.v128v = v128_shr<u64, 2>(TOP.v128v, k);
+        break;
+      }
       case Op::kI64x2Add: IVBIN(u64, 2, xx + yy);
       case Op::kI64x2Sub: IVBIN(u64, 2, xx - yy);
+      case Op::kI64x2Mul: IVBIN(u64, 2, xx * yy);
+      case Op::kF32x4Abs: IVUN(f32, 4, std::fabs(xx));
+      case Op::kF32x4Neg: IVUN(f32, 4, -xx);
+      case Op::kF32x4Sqrt: IVUN(f32, 4, std::sqrt(xx));
       case Op::kF32x4Add: IVBIN(f32, 4, xx + yy);
       case Op::kF32x4Sub: IVBIN(f32, 4, xx - yy);
       case Op::kF32x4Mul: IVBIN(f32, 4, xx * yy);
       case Op::kF32x4Div: IVBIN(f32, 4, xx / yy);
+      case Op::kF32x4Min: IVBIN(f32, 4, fmin_wasm(xx, yy));
+      case Op::kF32x4Max: IVBIN(f32, 4, fmax_wasm(xx, yy));
+      case Op::kF32x4Pmin: IVBIN(f32, 4, lane_pmin(xx, yy));
+      case Op::kF32x4Pmax: IVBIN(f32, 4, lane_pmax(xx, yy));
+      case Op::kF64x2Abs: IVUN(f64, 2, std::fabs(xx));
+      case Op::kF64x2Neg: IVUN(f64, 2, -xx);
+      case Op::kF64x2Sqrt: IVUN(f64, 2, std::sqrt(xx));
       case Op::kF64x2Add: IVBIN(f64, 2, xx + yy);
       case Op::kF64x2Sub: IVBIN(f64, 2, xx - yy);
       case Op::kF64x2Mul: IVBIN(f64, 2, xx * yy);
       case Op::kF64x2Div: IVBIN(f64, 2, xx / yy);
+      case Op::kF64x2Min: IVBIN(f64, 2, fmin_wasm(xx, yy));
+      case Op::kF64x2Max: IVBIN(f64, 2, fmax_wasm(xx, yy));
+      case Op::kF64x2Pmin: IVBIN(f64, 2, lane_pmin(xx, yy));
+      case Op::kF64x2Pmax: IVBIN(f64, 2, lane_pmax(xx, yy));
     }
     ++i;
   }
@@ -710,6 +909,9 @@ void interp_exec(Instance& inst, const PreFunc& f, Slot* frame) {
 #undef ILOAD
 #undef ISTORE
 #undef IVBIN
+#undef IVUN
+#undef IVCMP
+#undef IVREPLACE
 }
 
 }  // namespace mpiwasm::rt

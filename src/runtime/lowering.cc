@@ -70,17 +70,64 @@ ROp simple_rop(Op op) {
     CASE1(I32Extend8S, I32Extend8S) CASE1(I32Extend16S, I32Extend16S)
     CASE1(I64Extend8S, I64Extend8S) CASE1(I64Extend16S, I64Extend16S)
     CASE1(I64Extend32S, I64Extend32S)
-    CASE1(I8x16Splat, I8x16Splat) CASE1(I32x4Splat, I32x4Splat)
+    CASE1(I8x16Splat, I8x16Splat) CASE1(I16x8Splat, I16x8Splat)
+    CASE1(I32x4Splat, I32x4Splat)
     CASE1(I64x2Splat, I64x2Splat) CASE1(F32x4Splat, F32x4Splat)
     CASE1(F64x2Splat, F64x2Splat)
-    CASE1(I8x16Eq, I8x16Eq) CASE1(V128Not, V128Not) CASE1(V128And, V128And)
+    CASE1(I8x16Swizzle, I8x16Swizzle)
+    CASE1(I8x16Eq, I8x16Eq) CASE1(I8x16Ne, I8x16Ne)
+    CASE1(I8x16LtS, I8x16LtS) CASE1(I8x16LtU, I8x16LtU)
+    CASE1(I8x16GtS, I8x16GtS) CASE1(I8x16GtU, I8x16GtU)
+    CASE1(I8x16LeS, I8x16LeS) CASE1(I8x16LeU, I8x16LeU)
+    CASE1(I8x16GeS, I8x16GeS) CASE1(I8x16GeU, I8x16GeU)
+    CASE1(I16x8Eq, I16x8Eq) CASE1(I16x8Ne, I16x8Ne)
+    CASE1(I16x8LtS, I16x8LtS) CASE1(I16x8LtU, I16x8LtU)
+    CASE1(I16x8GtS, I16x8GtS) CASE1(I16x8GtU, I16x8GtU)
+    CASE1(I16x8LeS, I16x8LeS) CASE1(I16x8LeU, I16x8LeU)
+    CASE1(I16x8GeS, I16x8GeS) CASE1(I16x8GeU, I16x8GeU)
+    CASE1(I32x4Eq, I32x4Eq) CASE1(I32x4Ne, I32x4Ne)
+    CASE1(I32x4LtS, I32x4LtS) CASE1(I32x4LtU, I32x4LtU)
+    CASE1(I32x4GtS, I32x4GtS) CASE1(I32x4GtU, I32x4GtU)
+    CASE1(I32x4LeS, I32x4LeS) CASE1(I32x4LeU, I32x4LeU)
+    CASE1(I32x4GeS, I32x4GeS) CASE1(I32x4GeU, I32x4GeU)
+    CASE1(F32x4Eq, F32x4Eq) CASE1(F32x4Ne, F32x4Ne) CASE1(F32x4Lt, F32x4Lt)
+    CASE1(F32x4Gt, F32x4Gt) CASE1(F32x4Le, F32x4Le) CASE1(F32x4Ge, F32x4Ge)
+    CASE1(F64x2Eq, F64x2Eq) CASE1(F64x2Ne, F64x2Ne) CASE1(F64x2Lt, F64x2Lt)
+    CASE1(F64x2Gt, F64x2Gt) CASE1(F64x2Le, F64x2Le) CASE1(F64x2Ge, F64x2Ge)
+    CASE1(V128Not, V128Not) CASE1(V128And, V128And)
+    CASE1(V128AndNot, V128AndNot)
     CASE1(V128Or, V128Or) CASE1(V128Xor, V128Xor) CASE1(V128AnyTrue, V128AnyTrue)
+    CASE1(I8x16Abs, I8x16Abs) CASE1(I8x16Neg, I8x16Neg)
+    CASE1(I8x16AllTrue, I8x16AllTrue)
+    CASE1(I8x16Add, I8x16Add) CASE1(I8x16Sub, I8x16Sub)
+    CASE1(I16x8Abs, I16x8Abs) CASE1(I16x8Neg, I16x8Neg)
+    CASE1(I16x8AllTrue, I16x8AllTrue)
+    CASE1(I16x8Add, I16x8Add) CASE1(I16x8Sub, I16x8Sub)
+    CASE1(I16x8Mul, I16x8Mul)
+    CASE1(I32x4Abs, I32x4Abs) CASE1(I32x4Neg, I32x4Neg)
+    CASE1(I32x4AllTrue, I32x4AllTrue)
+    CASE1(I32x4Shl, I32x4Shl) CASE1(I32x4ShrS, I32x4ShrS)
+    CASE1(I32x4ShrU, I32x4ShrU)
     CASE1(I32x4Add, I32x4Add) CASE1(I32x4Sub, I32x4Sub) CASE1(I32x4Mul, I32x4Mul)
-    CASE1(I64x2Add, I64x2Add) CASE1(I64x2Sub, I64x2Sub)
+    CASE1(I32x4MinS, I32x4MinS) CASE1(I32x4MinU, I32x4MinU)
+    CASE1(I32x4MaxS, I32x4MaxS) CASE1(I32x4MaxU, I32x4MaxU)
+    CASE1(I64x2Abs, I64x2Abs) CASE1(I64x2Neg, I64x2Neg)
+    CASE1(I64x2AllTrue, I64x2AllTrue)
+    CASE1(I64x2Shl, I64x2Shl) CASE1(I64x2ShrS, I64x2ShrS)
+    CASE1(I64x2ShrU, I64x2ShrU)
+    CASE1(I64x2Add, I64x2Add) CASE1(I64x2Sub, I64x2Sub) CASE1(I64x2Mul, I64x2Mul)
+    CASE1(F32x4Abs, F32x4Abs) CASE1(F32x4Neg, F32x4Neg)
+    CASE1(F32x4Sqrt, F32x4Sqrt)
     CASE1(F32x4Add, F32x4Add) CASE1(F32x4Sub, F32x4Sub) CASE1(F32x4Mul, F32x4Mul)
     CASE1(F32x4Div, F32x4Div)
+    CASE1(F32x4Min, F32x4Min) CASE1(F32x4Max, F32x4Max)
+    CASE1(F32x4Pmin, F32x4Pmin) CASE1(F32x4Pmax, F32x4Pmax)
+    CASE1(F64x2Abs, F64x2Abs) CASE1(F64x2Neg, F64x2Neg)
+    CASE1(F64x2Sqrt, F64x2Sqrt)
     CASE1(F64x2Add, F64x2Add) CASE1(F64x2Sub, F64x2Sub) CASE1(F64x2Mul, F64x2Mul)
     CASE1(F64x2Div, F64x2Div)
+    CASE1(F64x2Min, F64x2Min) CASE1(F64x2Max, F64x2Max)
+    CASE1(F64x2Pmin, F64x2Pmin) CASE1(F64x2Pmax, F64x2Pmax)
 #undef CASE1
     default: return ROp::kCount;
   }
@@ -108,9 +155,15 @@ bool is_unop(Op op) {
     case Op::kF32ReinterpretI32: case Op::kF64ReinterpretI64:
     case Op::kI32Extend8S: case Op::kI32Extend16S:
     case Op::kI64Extend8S: case Op::kI64Extend16S: case Op::kI64Extend32S:
-    case Op::kI8x16Splat: case Op::kI32x4Splat: case Op::kI64x2Splat:
-    case Op::kF32x4Splat: case Op::kF64x2Splat:
+    case Op::kI8x16Splat: case Op::kI16x8Splat: case Op::kI32x4Splat:
+    case Op::kI64x2Splat: case Op::kF32x4Splat: case Op::kF64x2Splat:
     case Op::kV128Not: case Op::kV128AnyTrue:
+    case Op::kI8x16Abs: case Op::kI8x16Neg: case Op::kI8x16AllTrue:
+    case Op::kI16x8Abs: case Op::kI16x8Neg: case Op::kI16x8AllTrue:
+    case Op::kI32x4Abs: case Op::kI32x4Neg: case Op::kI32x4AllTrue:
+    case Op::kI64x2Abs: case Op::kI64x2Neg: case Op::kI64x2AllTrue:
+    case Op::kF32x4Abs: case Op::kF32x4Neg: case Op::kF32x4Sqrt:
+    case Op::kF64x2Abs: case Op::kF64x2Neg: case Op::kF64x2Sqrt:
       return true;
     default:
       return false;
@@ -134,6 +187,8 @@ ROp load_rop(Op op) {
     case Op::kI64Load32S: return ROp::kI64Load32S;
     case Op::kI64Load32U: return ROp::kI64Load32U;
     case Op::kV128Load: return ROp::kV128Load;
+    case Op::kV128Load32Splat: return ROp::kV128Load32Splat;
+    case Op::kV128Load64Splat: return ROp::kV128Load64Splat;
     default: return ROp::kCount;
   }
 }
@@ -156,10 +211,27 @@ ROp store_rop(Op op) {
 
 ROp lane_rop(Op op) {
   switch (op) {
+    case Op::kI8x16ExtractLaneS: return ROp::kI8x16ExtractLaneS;
+    case Op::kI8x16ExtractLaneU: return ROp::kI8x16ExtractLaneU;
+    case Op::kI16x8ExtractLaneS: return ROp::kI16x8ExtractLaneS;
+    case Op::kI16x8ExtractLaneU: return ROp::kI16x8ExtractLaneU;
     case Op::kI32x4ExtractLane: return ROp::kI32x4ExtractLane;
     case Op::kI64x2ExtractLane: return ROp::kI64x2ExtractLane;
     case Op::kF32x4ExtractLane: return ROp::kF32x4ExtractLane;
     case Op::kF64x2ExtractLane: return ROp::kF64x2ExtractLane;
+    default: return ROp::kCount;
+  }
+}
+
+/// Replace-lane ops: (v128, scalar) -> v128 with the lane in the imm.
+ROp replace_lane_rop(Op op) {
+  switch (op) {
+    case Op::kI8x16ReplaceLane: return ROp::kI8x16ReplaceLane;
+    case Op::kI16x8ReplaceLane: return ROp::kI16x8ReplaceLane;
+    case Op::kI32x4ReplaceLane: return ROp::kI32x4ReplaceLane;
+    case Op::kI64x2ReplaceLane: return ROp::kI64x2ReplaceLane;
+    case Op::kF32x4ReplaceLane: return ROp::kF32x4ReplaceLane;
+    case Op::kF64x2ReplaceLane: return ROp::kF64x2ReplaceLane;
     default: return ROp::kCount;
   }
 }
@@ -544,6 +616,27 @@ void FuncLowering::step(const InstrView& in) {
       }
       if (ROp r = lane_rop(in.op); r != ROp::kCount) {
         emit(r, top(), top(), 0, u64(in.imm_i));
+        break;
+      }
+      if (ROp r = replace_lane_rop(in.op); r != ROp::kCount) {
+        u32 rhs = top(), lhs = reg(h_ - 2);
+        pop();
+        emit(r, lhs, lhs, rhs, u64(in.imm_i));
+        break;
+      }
+      if (in.op == Op::kI8x16Shuffle) {
+        // The 16 selector bytes live in the function's v128 pool.
+        u32 rhs = top(), lhs = reg(h_ - 2);
+        pop();
+        u32 pool = u32(out_.v128_pool.size());
+        out_.v128_pool.push_back(in.imm_v128);
+        emit(ROp::kI8x16Shuffle, lhs, lhs, rhs, pool);
+        break;
+      }
+      if (in.op == Op::kV128Bitselect) {
+        u32 mask = top(), v2 = reg(h_ - 2), v1 = reg(h_ - 3);
+        pop(2);
+        emit(ROp::kV128Bitselect, v1, v2, mask);
         break;
       }
       ROp r = simple_rop(in.op);

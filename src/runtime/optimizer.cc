@@ -54,7 +54,8 @@ void collect_reads(const RInstr& in, std::vector<u32>& out) {
     case ROp::kMov:
       out.push_back(in.b);
       break;
-    case ROp::kSelect:
+    // Select-shaped ops: a is both a source and the destination.
+    case ROp::kSelect: case ROp::kV128Bitselect:
       out.push_back(in.a); out.push_back(in.b); out.push_back(in.c);
       break;
     case ROp::kGlobalSet: case ROp::kBrIf: case ROp::kBrIfNot:
@@ -93,16 +94,19 @@ void collect_reads(const RInstr& in, std::vector<u32>& out) {
     case ROp::kI32Load16S: case ROp::kI32Load16U: case ROp::kI64Load8S:
     case ROp::kI64Load8U: case ROp::kI64Load16S: case ROp::kI64Load16U:
     case ROp::kI64Load32S: case ROp::kI64Load32U: case ROp::kV128Load:
+    case ROp::kV128Load32Splat: case ROp::kV128Load64Splat:
     case ROp::kI32LoadRaw: case ROp::kI64LoadRaw: case ROp::kF32LoadRaw:
     case ROp::kF64LoadRaw: case ROp::kV128LoadRaw:
       out.push_back(in.b);
       break;
     case ROp::kI32LoadAdd: case ROp::kI64LoadAdd: case ROp::kF32LoadAdd:
     case ROp::kF64LoadAdd: case ROp::kF32LoadMul: case ROp::kF64LoadMul:
+    case ROp::kI32x4LoadAdd: case ROp::kF32x4LoadAdd: case ROp::kF32x4LoadMul:
+    case ROp::kF64x2LoadAdd: case ROp::kF64x2LoadMul:
     case ROp::kI32LoadIx: case ROp::kI64LoadIx: case ROp::kF32LoadIx:
-    case ROp::kF64LoadIx:
+    case ROp::kF64LoadIx: case ROp::kV128LoadIx:
     case ROp::kI32LoadIxRaw: case ROp::kI64LoadIxRaw: case ROp::kF32LoadIxRaw:
-    case ROp::kF64LoadIxRaw:
+    case ROp::kF64LoadIxRaw: case ROp::kV128LoadIxRaw:
       out.push_back(in.b); out.push_back(in.c);
       break;
     // Stores read address (a) and value (b); op+store and indexed stores
@@ -117,10 +121,12 @@ void collect_reads(const RInstr& in, std::vector<u32>& out) {
       break;
     case ROp::kI32AddStore: case ROp::kF32AddStore: case ROp::kF64AddStore:
     case ROp::kF64MulStore:
+    case ROp::kI32x4AddStore: case ROp::kF32x4AddStore:
+    case ROp::kF64x2AddStore: case ROp::kF64x2MulStore:
     case ROp::kI32StoreIx: case ROp::kI64StoreIx: case ROp::kF32StoreIx:
-    case ROp::kF64StoreIx:
+    case ROp::kF64StoreIx: case ROp::kV128StoreIx:
     case ROp::kI32StoreIxRaw: case ROp::kI64StoreIxRaw: case ROp::kF32StoreIxRaw:
-    case ROp::kF64StoreIxRaw:
+    case ROp::kF64StoreIxRaw: case ROp::kV128StoreIxRaw:
       out.push_back(in.a); out.push_back(in.b); out.push_back(in.c);
       break;
     default:
@@ -146,10 +152,12 @@ bool writes_dest(const RInstr& in) {
     case ROp::kF64StoreRaw: case ROp::kV128StoreRaw:
     case ROp::kI32AddStore: case ROp::kF32AddStore: case ROp::kF64AddStore:
     case ROp::kF64MulStore:
+    case ROp::kI32x4AddStore: case ROp::kF32x4AddStore:
+    case ROp::kF64x2AddStore: case ROp::kF64x2MulStore:
     case ROp::kI32StoreIx: case ROp::kI64StoreIx: case ROp::kF32StoreIx:
-    case ROp::kF64StoreIx:
+    case ROp::kF64StoreIx: case ROp::kV128StoreIx:
     case ROp::kI32StoreIxRaw: case ROp::kI64StoreIxRaw: case ROp::kF32StoreIxRaw:
-    case ROp::kF64StoreIxRaw:
+    case ROp::kF64StoreIxRaw: case ROp::kV128StoreIxRaw:
     case ROp::kBrIfI32Eq: case ROp::kBrIfI32Ne: case ROp::kBrIfI32LtS:
     case ROp::kBrIfI32LtU: case ROp::kBrIfI32GtS: case ROp::kBrIfI32GtU:
     case ROp::kBrIfI32LeS: case ROp::kBrIfI32LeU: case ROp::kBrIfI32GeS:
@@ -208,18 +216,57 @@ bool is_pure(ROp op) {
     case ROp::kF32ReinterpretI32: case ROp::kF64ReinterpretI64:
     case ROp::kI32Extend8S: case ROp::kI32Extend16S: case ROp::kI64Extend8S:
     case ROp::kI64Extend16S: case ROp::kI64Extend32S:
-    case ROp::kI8x16Splat: case ROp::kI32x4Splat: case ROp::kI64x2Splat:
-    case ROp::kF32x4Splat: case ROp::kF64x2Splat:
+    case ROp::kI8x16Splat: case ROp::kI16x8Splat: case ROp::kI32x4Splat:
+    case ROp::kI64x2Splat: case ROp::kF32x4Splat: case ROp::kF64x2Splat:
+    case ROp::kI8x16ExtractLaneS: case ROp::kI8x16ExtractLaneU:
+    case ROp::kI16x8ExtractLaneS: case ROp::kI16x8ExtractLaneU:
     case ROp::kI32x4ExtractLane: case ROp::kI64x2ExtractLane:
     case ROp::kF32x4ExtractLane: case ROp::kF64x2ExtractLane:
-    case ROp::kI8x16Eq: case ROp::kV128Not: case ROp::kV128And:
+    case ROp::kI8x16ReplaceLane: case ROp::kI16x8ReplaceLane:
+    case ROp::kI32x4ReplaceLane: case ROp::kI64x2ReplaceLane:
+    case ROp::kF32x4ReplaceLane: case ROp::kF64x2ReplaceLane:
+    case ROp::kI8x16Shuffle: case ROp::kI8x16Swizzle:
+    case ROp::kI8x16Eq: case ROp::kI8x16Ne: case ROp::kI8x16LtS:
+    case ROp::kI8x16LtU: case ROp::kI8x16GtS: case ROp::kI8x16GtU:
+    case ROp::kI8x16LeS: case ROp::kI8x16LeU: case ROp::kI8x16GeS:
+    case ROp::kI8x16GeU:
+    case ROp::kI16x8Eq: case ROp::kI16x8Ne: case ROp::kI16x8LtS:
+    case ROp::kI16x8LtU: case ROp::kI16x8GtS: case ROp::kI16x8GtU:
+    case ROp::kI16x8LeS: case ROp::kI16x8LeU: case ROp::kI16x8GeS:
+    case ROp::kI16x8GeU:
+    case ROp::kI32x4Eq: case ROp::kI32x4Ne: case ROp::kI32x4LtS:
+    case ROp::kI32x4LtU: case ROp::kI32x4GtS: case ROp::kI32x4GtU:
+    case ROp::kI32x4LeS: case ROp::kI32x4LeU: case ROp::kI32x4GeS:
+    case ROp::kI32x4GeU:
+    case ROp::kF32x4Eq: case ROp::kF32x4Ne: case ROp::kF32x4Lt:
+    case ROp::kF32x4Gt: case ROp::kF32x4Le: case ROp::kF32x4Ge:
+    case ROp::kF64x2Eq: case ROp::kF64x2Ne: case ROp::kF64x2Lt:
+    case ROp::kF64x2Gt: case ROp::kF64x2Le: case ROp::kF64x2Ge:
+    case ROp::kV128Not: case ROp::kV128And: case ROp::kV128AndNot:
     case ROp::kV128Or: case ROp::kV128Xor: case ROp::kV128AnyTrue:
+    case ROp::kV128Bitselect:
+    case ROp::kI8x16Abs: case ROp::kI8x16Neg: case ROp::kI8x16AllTrue:
+    case ROp::kI8x16Add: case ROp::kI8x16Sub:
+    case ROp::kI16x8Abs: case ROp::kI16x8Neg: case ROp::kI16x8AllTrue:
+    case ROp::kI16x8Add: case ROp::kI16x8Sub: case ROp::kI16x8Mul:
+    case ROp::kI32x4Abs: case ROp::kI32x4Neg: case ROp::kI32x4AllTrue:
+    case ROp::kI32x4Shl: case ROp::kI32x4ShrS: case ROp::kI32x4ShrU:
     case ROp::kI32x4Add: case ROp::kI32x4Sub: case ROp::kI32x4Mul:
-    case ROp::kI64x2Add: case ROp::kI64x2Sub:
+    case ROp::kI32x4MinS: case ROp::kI32x4MinU: case ROp::kI32x4MaxS:
+    case ROp::kI32x4MaxU:
+    case ROp::kI64x2Abs: case ROp::kI64x2Neg: case ROp::kI64x2AllTrue:
+    case ROp::kI64x2Shl: case ROp::kI64x2ShrS: case ROp::kI64x2ShrU:
+    case ROp::kI64x2Add: case ROp::kI64x2Sub: case ROp::kI64x2Mul:
+    case ROp::kF32x4Abs: case ROp::kF32x4Neg: case ROp::kF32x4Sqrt:
     case ROp::kF32x4Add: case ROp::kF32x4Sub: case ROp::kF32x4Mul:
     case ROp::kF32x4Div:
+    case ROp::kF32x4Min: case ROp::kF32x4Max: case ROp::kF32x4Pmin:
+    case ROp::kF32x4Pmax:
+    case ROp::kF64x2Abs: case ROp::kF64x2Neg: case ROp::kF64x2Sqrt:
     case ROp::kF64x2Add: case ROp::kF64x2Sub: case ROp::kF64x2Mul:
     case ROp::kF64x2Div:
+    case ROp::kF64x2Min: case ROp::kF64x2Max: case ROp::kF64x2Pmin:
+    case ROp::kF64x2Pmax:
     case ROp::kI32AddImm: case ROp::kI64AddImm: case ROp::kI32ShlImm:
     case ROp::kI32ShrUImm: case ROp::kI32AndImm: case ROp::kI32MulImm:
     case ROp::kF64MulAdd: case ROp::kF32MulAdd:
@@ -228,7 +275,7 @@ bool is_pure(ROp op) {
     case ROp::kI32LoadRaw: case ROp::kI64LoadRaw: case ROp::kF32LoadRaw:
     case ROp::kF64LoadRaw: case ROp::kV128LoadRaw:
     case ROp::kI32LoadIxRaw: case ROp::kI64LoadIxRaw: case ROp::kF32LoadIxRaw:
-    case ROp::kF64LoadIxRaw:
+    case ROp::kF64LoadIxRaw: case ROp::kV128LoadIxRaw:
       return true;
     default:
       return false;  // div/rem/trunc trap; loads trap; calls/stores effect
@@ -294,6 +341,68 @@ Cfg build_cfg(const RFunc& f) {
 }
 
 // ---- Pass 1+2: block-local copy propagation & constant folding -----------
+
+/// Interns `v` in the function's v128 pool, reusing an existing entry so
+/// repeated folds cannot grow the pool without bound.
+u32 intern_v128(RFunc& f, const wasm::V128& v) {
+  for (u32 i = 0; i < f.v128_pool.size(); ++i)
+    if (f.v128_pool[i] == v) return i;
+  f.v128_pool.push_back(v);
+  return u32(f.v128_pool.size() - 1);
+}
+
+/// Splat of a known scalar constant -> v128 constant. Float splats copy the
+/// raw bit pattern, exactly like the runtime handler, so folding is
+/// bit-identical even for NaN payloads.
+std::optional<wasm::V128> fold_splat(ROp op, u64 bits) {
+  using wasm::V128;
+  switch (op) {
+    case ROp::kI8x16Splat: return V128::splat<u8>(u8(bits));
+    case ROp::kI16x8Splat: return V128::splat<u16>(u16(bits));
+    case ROp::kI32x4Splat: case ROp::kF32x4Splat:
+      return V128::splat<u32>(u32(bits));
+    case ROp::kI64x2Splat: case ROp::kF64x2Splat:
+      return V128::splat<u64>(bits);
+    default: return std::nullopt;
+  }
+}
+
+/// v128 binop over two known-constant vectors. Restricted to bitwise ops
+/// and wrapping integer lane arithmetic: those are environment-independent,
+/// so compile-time evaluation can never disagree with the executor.
+std::optional<wasm::V128> fold_v128_binop(ROp op, const wasm::V128& x,
+                                          const wasm::V128& y) {
+  using namespace arith;
+  switch (op) {
+    case ROp::kV128And: return v128_bitop_and(x, y);
+    case ROp::kV128AndNot: return v128_bitop_andnot(x, y);
+    case ROp::kV128Or: return v128_bitop_or(x, y);
+    case ROp::kV128Xor: return v128_bitop_xor(x, y);
+    case ROp::kI8x16Add:
+      return v128_binop<u8, 16>(x, y, [](u8 a, u8 b) { return u8(a + b); });
+    case ROp::kI8x16Sub:
+      return v128_binop<u8, 16>(x, y, [](u8 a, u8 b) { return u8(a - b); });
+    case ROp::kI16x8Add:
+      return v128_binop<u16, 8>(x, y, [](u16 a, u16 b) { return u16(a + b); });
+    case ROp::kI16x8Sub:
+      return v128_binop<u16, 8>(x, y, [](u16 a, u16 b) { return u16(a - b); });
+    case ROp::kI16x8Mul:
+      return v128_binop<u16, 8>(x, y, [](u16 a, u16 b) { return u16(a * b); });
+    case ROp::kI32x4Add:
+      return v128_binop<u32, 4>(x, y, [](u32 a, u32 b) { return a + b; });
+    case ROp::kI32x4Sub:
+      return v128_binop<u32, 4>(x, y, [](u32 a, u32 b) { return a - b; });
+    case ROp::kI32x4Mul:
+      return v128_binop<u32, 4>(x, y, [](u32 a, u32 b) { return a * b; });
+    case ROp::kI64x2Add:
+      return v128_binop<u64, 2>(x, y, [](u64 a, u64 b) { return a + b; });
+    case ROp::kI64x2Sub:
+      return v128_binop<u64, 2>(x, y, [](u64 a, u64 b) { return a - b; });
+    case ROp::kI64x2Mul:
+      return v128_binop<u64, 2>(x, y, [](u64 a, u64 b) { return a * b; });
+    default: return std::nullopt;
+  }
+}
 
 std::optional<u64> fold_binop(ROp op, u64 x, u64 y) {
   using namespace arith;
@@ -363,13 +472,14 @@ std::optional<ImmFusion> imm_fusable(ROp op) {
   }
 }
 
-u32 local_forward_pass(RFunc& f, const Cfg& cfg) {
+u32 local_forward_pass(RFunc& f, const Cfg& cfg, bool simd_fold) {
   u32 changes = 0;
   std::vector<u32> reads;
   const size_t n = f.code.size();
   for (size_t b = 0; b < cfg.leaders.size(); ++b) {
     std::unordered_map<u32, u32> copy_of;   // reg -> original reg
     std::unordered_map<u32, u64> const_of;  // reg -> constant bits
+    std::unordered_map<u32, u32> v128_of;   // reg -> v128_pool index
     auto resolve = [&](u32 r) {
       auto it = copy_of.find(r);
       return it == copy_of.end() ? r : it->second;
@@ -377,6 +487,7 @@ u32 local_forward_pass(RFunc& f, const Cfg& cfg) {
     auto kill = [&](u32 r) {
       copy_of.erase(r);
       const_of.erase(r);
+      v128_of.erase(r);
       for (auto it = copy_of.begin(); it != copy_of.end();) {
         if (it->second == r) it = copy_of.erase(it);
         else ++it;
@@ -393,7 +504,7 @@ u32 local_forward_pass(RFunc& f, const Cfg& cfg) {
         }
         case ROp::kCall: case ROp::kCallIndirect:
           break;  // contiguous arg window: cannot rewrite operands
-        case ROp::kSelect:
+        case ROp::kSelect: case ROp::kV128Bitselect:
           // a is both source and dest; only b/c are rewritable.
           if (resolve(in.b) != in.b) { in.b = resolve(in.b); ++changes; }
           if (resolve(in.c) != in.c) { in.c = resolve(in.c); ++changes; }
@@ -462,6 +573,23 @@ u32 local_forward_pass(RFunc& f, const Cfg& cfg) {
             ++changes;
           }
         }
+        // SIMD folding: splat-of-constant and integer/bitwise v128 binops
+        // with two known-constant vectors collapse into pooled constants.
+        if (simd_fold) {
+          if (const_of.count(in.b)) {
+            if (auto v = fold_splat(in.op, const_of[in.b])) {
+              in = RInstr{ROp::kConstV128, in.a, 0, 0, 0, intern_v128(f, *v)};
+              ++changes;
+            }
+          }
+          if (v128_of.count(in.b) && v128_of.count(in.c)) {
+            if (auto v = fold_v128_binop(in.op, f.v128_pool[v128_of[in.b]],
+                                         f.v128_pool[v128_of[in.c]])) {
+              in = RInstr{ROp::kConstV128, in.a, 0, 0, 0, intern_v128(f, *v)};
+              ++changes;
+            }
+          }
+        }
         // Strength reduction: mul by a power of two becomes a shift (also
         // the shape the indexed-address fusion matches on).
         if (in.op == ROp::kI32MulImm) {
@@ -477,6 +605,7 @@ u32 local_forward_pass(RFunc& f, const Cfg& cfg) {
       if (writes_dest(in)) {
         kill(in.a);
         if (in.op == ROp::kConst) const_of[in.a] = in.imm;
+        else if (in.op == ROp::kConstV128) v128_of[in.a] = u32(in.imm);
         else if (in.op == ROp::kMov && in.a != in.b) copy_of[in.a] = resolve(in.b);
       }
       if (in.op == ROp::kMemoryGrow) kill(in.a);
@@ -564,7 +693,7 @@ Liveness compute_liveness(const RFunc& f, const Cfg& cfg) {
 bool dest_retargetable(ROp op) {
   if (!writes_dest(RInstr{op}) || is_fused_select(op)) return false;
   switch (op) {
-    case ROp::kSelect: case ROp::kMemoryGrow:
+    case ROp::kSelect: case ROp::kV128Bitselect: case ROp::kMemoryGrow:
     case ROp::kCall: case ROp::kCallIndirect:
       return false;
     default:
@@ -653,50 +782,71 @@ std::optional<ROp> fused_select(ROp cmp) {
 }
 
 /// load t <- [addr]; op d <- x, t  -->  load_op d <- [addr], x
+/// The v128 rows fuse only when OptOptions::simd is on (they are the hot
+/// dispatches of the vectorized kernels, and the ablation flag must be able
+/// to isolate them).
 struct LoadOpFusion {
   ROp load, op, fused;
+  bool simd;
 };
 constexpr LoadOpFusion kLoadOpTable[] = {
-    {ROp::kI32Load, ROp::kI32Add, ROp::kI32LoadAdd},
-    {ROp::kI64Load, ROp::kI64Add, ROp::kI64LoadAdd},
-    {ROp::kF32Load, ROp::kF32Add, ROp::kF32LoadAdd},
-    {ROp::kF64Load, ROp::kF64Add, ROp::kF64LoadAdd},
-    {ROp::kF32Load, ROp::kF32Mul, ROp::kF32LoadMul},
-    {ROp::kF64Load, ROp::kF64Mul, ROp::kF64LoadMul},
+    {ROp::kI32Load, ROp::kI32Add, ROp::kI32LoadAdd, false},
+    {ROp::kI64Load, ROp::kI64Add, ROp::kI64LoadAdd, false},
+    {ROp::kF32Load, ROp::kF32Add, ROp::kF32LoadAdd, false},
+    {ROp::kF64Load, ROp::kF64Add, ROp::kF64LoadAdd, false},
+    {ROp::kF32Load, ROp::kF32Mul, ROp::kF32LoadMul, false},
+    {ROp::kF64Load, ROp::kF64Mul, ROp::kF64LoadMul, false},
+    {ROp::kV128Load, ROp::kI32x4Add, ROp::kI32x4LoadAdd, true},
+    {ROp::kV128Load, ROp::kF32x4Add, ROp::kF32x4LoadAdd, true},
+    {ROp::kV128Load, ROp::kF32x4Mul, ROp::kF32x4LoadMul, true},
+    {ROp::kV128Load, ROp::kF64x2Add, ROp::kF64x2LoadAdd, true},
+    {ROp::kV128Load, ROp::kF64x2Mul, ROp::kF64x2LoadMul, true},
 };
 
 /// op t <- x, y; store [addr] <- t  -->  op_store [addr] <- x, y
 struct OpStoreFusion {
   ROp op, store, fused;
+  bool simd;
 };
 constexpr OpStoreFusion kOpStoreTable[] = {
-    {ROp::kI32Add, ROp::kI32Store, ROp::kI32AddStore},
-    {ROp::kF32Add, ROp::kF32Store, ROp::kF32AddStore},
-    {ROp::kF64Add, ROp::kF64Store, ROp::kF64AddStore},
-    {ROp::kF64Mul, ROp::kF64Store, ROp::kF64MulStore},
+    {ROp::kI32Add, ROp::kI32Store, ROp::kI32AddStore, false},
+    {ROp::kF32Add, ROp::kF32Store, ROp::kF32AddStore, false},
+    {ROp::kF64Add, ROp::kF64Store, ROp::kF64AddStore, false},
+    {ROp::kF64Mul, ROp::kF64Store, ROp::kF64MulStore, false},
+    {ROp::kI32x4Add, ROp::kV128Store, ROp::kI32x4AddStore, true},
+    {ROp::kF32x4Add, ROp::kV128Store, ROp::kF32x4AddStore, true},
+    {ROp::kF64x2Add, ROp::kV128Store, ROp::kF64x2AddStore, true},
+    {ROp::kF64x2Mul, ROp::kV128Store, ROp::kF64x2MulStore, true},
 };
 
-std::optional<ROp> indexed_load(ROp op) {
+std::optional<ROp> indexed_load(ROp op, bool simd) {
   switch (op) {
     case ROp::kI32Load: return ROp::kI32LoadIx;
     case ROp::kI64Load: return ROp::kI64LoadIx;
     case ROp::kF32Load: return ROp::kF32LoadIx;
     case ROp::kF64Load: return ROp::kF64LoadIx;
+    case ROp::kV128Load:
+      if (simd) return ROp::kV128LoadIx;
+      return std::nullopt;
     default: return std::nullopt;
   }
 }
 
-std::optional<ROp> indexed_store(ROp op) {
+std::optional<ROp> indexed_store(ROp op, bool simd) {
   switch (op) {
     case ROp::kI32Store: return ROp::kI32StoreIx;
     case ROp::kI64Store: return ROp::kI64StoreIx;
     case ROp::kF32Store: return ROp::kF32StoreIx;
     case ROp::kF64Store: return ROp::kF64StoreIx;
+    case ROp::kV128Store:
+      if (simd) return ROp::kV128StoreIx;
+      return std::nullopt;
     default: return std::nullopt;
   }
 }
 
-u32 superinstruction_pass(RFunc& f, const Cfg& cfg, const Liveness& lv) {
+u32 superinstruction_pass(RFunc& f, const Cfg& cfg, const Liveness& lv,
+                          bool simd) {
   u32 changes = 0;
   const size_t n = f.code.size();
   for (size_t b = 0; b < cfg.leaders.size(); ++b) {
@@ -717,7 +867,7 @@ u32 superinstruction_pass(RFunc& f, const Cfg& cfg, const Liveness& lv) {
       if (lv.live_after(i + 1, t1)) continue;
       u32 t2 = ad.a;
       // The load's destination may legally overwrite the address temp.
-      if (auto lop = indexed_load(m.op);
+      if (auto lop = indexed_load(m.op, simd);
           lop && m.b == t2 && (m.a == t2 || !lv.live_after(i + 2, t2))) {
         m = RInstr{*lop, m.a, base, idx, shift, m.imm};
         sh = RInstr{ROp::kNop};
@@ -725,7 +875,7 @@ u32 superinstruction_pass(RFunc& f, const Cfg& cfg, const Liveness& lv) {
         ++changes;
         continue;
       }
-      if (auto sop = indexed_store(m.op);
+      if (auto sop = indexed_store(m.op, simd);
           sop && m.a == t2 && m.b != t1 && m.b != t2 &&
           !lv.live_after(i + 2, t2)) {
         m = RInstr{*sop, base, m.b, idx, shift, m.imm};
@@ -743,7 +893,7 @@ u32 superinstruction_pass(RFunc& f, const Cfg& cfg, const Liveness& lv) {
       // add t2 <- x, y ; mem[t2 + imm]  -->  indexed access with shift 0.
       if (a.op == ROp::kI32Add) {
         u32 t2 = a.a;
-        if (auto lop = indexed_load(next.op);
+        if (auto lop = indexed_load(next.op, simd);
             lop && next.b == t2 &&
             (next.a == t2 || !lv.live_after(i + 1, t2))) {
           next = RInstr{*lop, next.a, a.b, a.c, 0, next.imm};
@@ -751,7 +901,7 @@ u32 superinstruction_pass(RFunc& f, const Cfg& cfg, const Liveness& lv) {
           ++changes;
           continue;
         }
-        if (auto sop = indexed_store(next.op);
+        if (auto sop = indexed_store(next.op, simd);
             sop && next.a == t2 && next.b != t2 &&
             !lv.live_after(i + 1, t2)) {
           next = RInstr{*sop, a.b, next.b, a.c, 0, next.imm};
@@ -766,6 +916,7 @@ u32 superinstruction_pass(RFunc& f, const Cfg& cfg, const Liveness& lv) {
       // path) is the better form there.
       for (const auto& lo : kLoadOpTable) {
         if (a.op != lo.load || next.op != lo.op) continue;
+        if (lo.simd && !simd) continue;
         u32 t = a.a;
         bool feeds_fma =
             (lo.op == ROp::kF64Mul || lo.op == ROp::kF32Mul) && i + 2 < bend &&
@@ -790,6 +941,7 @@ u32 superinstruction_pass(RFunc& f, const Cfg& cfg, const Liveness& lv) {
       // op t <- x, y ; store [addr+imm] <- t  -->  op_store.
       for (const auto& os : kOpStoreTable) {
         if (a.op != os.op || next.op != os.store) continue;
+        if (os.simd && !simd) continue;
         u32 t = a.a;
         if (next.b != t || next.a == t) break;  // value must be t, addr not
         if (lv.live_after(i + 1, t)) break;
@@ -904,6 +1056,7 @@ u32 access_size(ROp raw) {
     case ROp::kF32LoadIxRaw: case ROp::kF32StoreIxRaw:
       return 4;
     case ROp::kV128LoadRaw: case ROp::kV128StoreRaw:
+    case ROp::kV128LoadIxRaw: case ROp::kV128StoreIxRaw:
       return 16;
     default:
       return 8;
@@ -921,6 +1074,7 @@ std::optional<ROp> raw_load_twin(ROp op) {
     case ROp::kI64LoadIx: return ROp::kI64LoadIxRaw;
     case ROp::kF32LoadIx: return ROp::kF32LoadIxRaw;
     case ROp::kF64LoadIx: return ROp::kF64LoadIxRaw;
+    case ROp::kV128LoadIx: return ROp::kV128LoadIxRaw;
     default: return std::nullopt;
   }
 }
@@ -936,6 +1090,7 @@ std::optional<ROp> raw_store_twin(ROp op) {
     case ROp::kI64StoreIx: return ROp::kI64StoreIxRaw;
     case ROp::kF32StoreIx: return ROp::kF32StoreIxRaw;
     case ROp::kF64StoreIx: return ROp::kF64StoreIxRaw;
+    case ROp::kV128StoreIx: return ROp::kV128StoreIxRaw;
     default: return std::nullopt;
   }
 }
@@ -992,12 +1147,14 @@ bool analyze_loop_body(const RFunc& f, HoistLoop& loop) {
       raw = lr;
       addr_reg = in.b;
       indexed = in.op == ROp::kI32LoadIx || in.op == ROp::kI64LoadIx ||
-                in.op == ROp::kF32LoadIx || in.op == ROp::kF64LoadIx;
+                in.op == ROp::kF32LoadIx || in.op == ROp::kF64LoadIx ||
+                in.op == ROp::kV128LoadIx;
     } else if (auto sr = raw_store_twin(in.op)) {
       raw = sr;
       addr_reg = in.a;
       indexed = in.op == ROp::kI32StoreIx || in.op == ROp::kI64StoreIx ||
-                in.op == ROp::kF32StoreIx || in.op == ROp::kF64StoreIx;
+                in.op == ROp::kF32StoreIx || in.op == ROp::kF64StoreIx ||
+                in.op == ROp::kV128StoreIx;
     }
     if (raw) {
       if (auto bound = eval_addr(in, addr_reg, indexed)) {
@@ -1237,7 +1394,7 @@ OptStats optimize_function(RFunc& f, const OptOptions& opts) {
   for (u32 round = 0; round < opts.max_rounds; ++round) {
     ++stats.rounds;
     Cfg cfg = build_cfg(f);
-    u32 changes = local_forward_pass(f, cfg);
+    u32 changes = local_forward_pass(f, cfg, opts.simd);
     Liveness live = compute_liveness(f, cfg);
     if (opts.fuse) {
       changes += peephole_pass(f, cfg, live);
@@ -1245,7 +1402,7 @@ OptStats optimize_function(RFunc& f, const OptOptions& opts) {
       live = compute_liveness(f, cfg);
     }
     if (opts.fuse_super) {
-      u32 fused = superinstruction_pass(f, cfg, live);
+      u32 fused = superinstruction_pass(f, cfg, live, opts.simd);
       changes += fused;
       stats.fused_super += fused;
       if (fused != 0) live = compute_liveness(f, cfg);

@@ -43,8 +43,13 @@ struct OptOptions {
   bool fuse = true;          // compare/branch, imm, and mul-add fusion
   bool fuse_super = true;    // load+op, op+store, cmp+select, indexed addr
   bool hoist_bounds = true;  // loop versioning behind kMemGuard + raw ops
-  static OptOptions light() { return {1, false, false, false}; }
-  static OptOptions full() { return {4, true, true, true}; }
+  /// SIMD-specific work: v128 splat/binop constant folding, the v128
+  /// load+op / op+store superinstruction rows, and v128 indexed addressing
+  /// (kV128LoadIx/StoreIx). Plain v128 execution is unaffected — this only
+  /// gates the optimizer's SIMD-aware rewrites (MPIWASM_SIMD ablation).
+  bool simd = true;
+  static OptOptions light() { return {1, false, false, false, true}; }
+  static OptOptions full() { return {4, true, true, true, true}; }
 };
 
 OptStats optimize_function(RFunc& f, const OptOptions& opts = OptOptions::full());

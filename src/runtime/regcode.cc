@@ -58,18 +58,29 @@ const char* rop_name(ROp op) {
     case ROp::kF64LoadAdd: return "f64.load_add";
     case ROp::kF32LoadMul: return "f32.load_mul";
     case ROp::kF64LoadMul: return "f64.load_mul";
+    case ROp::kI32x4LoadAdd: return "i32x4.load_add";
+    case ROp::kF32x4LoadAdd: return "f32x4.load_add";
+    case ROp::kF32x4LoadMul: return "f32x4.load_mul";
+    case ROp::kF64x2LoadAdd: return "f64x2.load_add";
+    case ROp::kF64x2LoadMul: return "f64x2.load_mul";
     case ROp::kI32AddStore: return "i32.add_store";
     case ROp::kF32AddStore: return "f32.add_store";
     case ROp::kF64AddStore: return "f64.add_store";
     case ROp::kF64MulStore: return "f64.mul_store";
+    case ROp::kI32x4AddStore: return "i32x4.add_store";
+    case ROp::kF32x4AddStore: return "f32x4.add_store";
+    case ROp::kF64x2AddStore: return "f64x2.add_store";
+    case ROp::kF64x2MulStore: return "f64x2.mul_store";
     case ROp::kI32LoadIx: return "i32.load_ix";
     case ROp::kI64LoadIx: return "i64.load_ix";
     case ROp::kF32LoadIx: return "f32.load_ix";
     case ROp::kF64LoadIx: return "f64.load_ix";
+    case ROp::kV128LoadIx: return "v128.load_ix";
     case ROp::kI32StoreIx: return "i32.store_ix";
     case ROp::kI64StoreIx: return "i64.store_ix";
     case ROp::kF32StoreIx: return "f32.store_ix";
     case ROp::kF64StoreIx: return "f64.store_ix";
+    case ROp::kV128StoreIx: return "v128.store_ix";
     case ROp::kMemGuard: return "mem.guard";
     case ROp::kI32LoadRaw: return "i32.load_raw";
     case ROp::kI64LoadRaw: return "i64.load_raw";
@@ -85,10 +96,12 @@ const char* rop_name(ROp op) {
     case ROp::kI64LoadIxRaw: return "i64.load_ix_raw";
     case ROp::kF32LoadIxRaw: return "f32.load_ix_raw";
     case ROp::kF64LoadIxRaw: return "f64.load_ix_raw";
+    case ROp::kV128LoadIxRaw: return "v128.load_ix_raw";
     case ROp::kI32StoreIxRaw: return "i32.store_ix_raw";
     case ROp::kI64StoreIxRaw: return "i64.store_ix_raw";
     case ROp::kF32StoreIxRaw: return "f32.store_ix_raw";
     case ROp::kF64StoreIxRaw: return "f64.store_ix_raw";
+    case ROp::kV128StoreIxRaw: return "v128.store_ix_raw";
     default: return nullptr;
   }
 }

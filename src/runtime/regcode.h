@@ -54,11 +54,12 @@ enum class ROp : u16 {
   kMemoryGrow,   // r[a] = grow(r[a])
   kMemoryCopy,   // copy(dst=r[a], src=r[b], n=r[c])
   kMemoryFill,   // fill(dst=r[a], val=r[b], n=r[c])
-  // Loads: r[a] = mem[r[b].u32 + imm].
+  // Loads: r[a] = mem[r[b].u32 + imm]. The *Splat loads read the scalar
+  // width and broadcast it to every lane.
   kI32Load, kI64Load, kF32Load, kF64Load,
   kI32Load8S, kI32Load8U, kI32Load16S, kI32Load16U,
   kI64Load8S, kI64Load8U, kI64Load16S, kI64Load16U, kI64Load32S, kI64Load32U,
-  kV128Load,
+  kV128Load, kV128Load32Splat, kV128Load64Splat,
   // Stores: mem[r[a].u32 + imm] = r[b].
   kI32Store, kI64Store, kF32Store, kF64Store,
   kI32Store8, kI32Store16, kI64Store8, kI64Store16, kI64Store32,
@@ -90,13 +91,47 @@ enum class ROp : u16 {
   kF64PromoteF32,
   kI32ReinterpretF32, kI64ReinterpretF64, kF32ReinterpretI32, kF64ReinterpretI64,
   kI32Extend8S, kI32Extend16S, kI64Extend8S, kI64Extend16S, kI64Extend32S,
-  // SIMD subset.
-  kI8x16Splat, kI32x4Splat, kI64x2Splat, kF32x4Splat, kF64x2Splat,
+  // SIMD (mirrors the decoded 0xFD op space; lane semantics live once in
+  // arith.h so all tiers agree bit-for-bit).
+  kI8x16Splat, kI16x8Splat, kI32x4Splat, kI64x2Splat, kF32x4Splat, kF64x2Splat,
+  // Extract: r[a].scalar = r[b].v128[imm]; the _s/_u narrow forms extend.
+  kI8x16ExtractLaneS, kI8x16ExtractLaneU,
+  kI16x8ExtractLaneS, kI16x8ExtractLaneU,
   kI32x4ExtractLane, kI64x2ExtractLane, kF32x4ExtractLane, kF64x2ExtractLane,
-  kI8x16Eq, kV128Not, kV128And, kV128Or, kV128Xor, kV128AnyTrue,
-  kI32x4Add, kI32x4Sub, kI32x4Mul, kI64x2Add, kI64x2Sub,
+  // Replace: r[a] = r[b].v128 with lane imm set from scalar r[c].
+  kI8x16ReplaceLane, kI16x8ReplaceLane, kI32x4ReplaceLane, kI64x2ReplaceLane,
+  kF32x4ReplaceLane, kF64x2ReplaceLane,
+  // Shuffle reads its 16 selector bytes from v128_pool[imm]; swizzle takes
+  // them from r[c] at runtime.
+  kI8x16Shuffle, kI8x16Swizzle,
+  // Lane comparisons produce all-ones/all-zeros masks.
+  kI8x16Eq, kI8x16Ne, kI8x16LtS, kI8x16LtU, kI8x16GtS, kI8x16GtU,
+  kI8x16LeS, kI8x16LeU, kI8x16GeS, kI8x16GeU,
+  kI16x8Eq, kI16x8Ne, kI16x8LtS, kI16x8LtU, kI16x8GtS, kI16x8GtU,
+  kI16x8LeS, kI16x8LeU, kI16x8GeS, kI16x8GeU,
+  kI32x4Eq, kI32x4Ne, kI32x4LtS, kI32x4LtU, kI32x4GtS, kI32x4GtU,
+  kI32x4LeS, kI32x4LeU, kI32x4GeS, kI32x4GeU,
+  kF32x4Eq, kF32x4Ne, kF32x4Lt, kF32x4Gt, kF32x4Le, kF32x4Ge,
+  kF64x2Eq, kF64x2Ne, kF64x2Lt, kF64x2Gt, kF64x2Le, kF64x2Ge,
+  kV128Not, kV128And, kV128AndNot, kV128Or, kV128Xor, kV128AnyTrue,
+  // Bitselect: r[a] = bits of r[a] where mask r[c] is set, else r[b]
+  // (a is both the "true" operand and the destination, like kSelect).
+  kV128Bitselect,
+  kI8x16Abs, kI8x16Neg, kI8x16AllTrue, kI8x16Add, kI8x16Sub,
+  kI16x8Abs, kI16x8Neg, kI16x8AllTrue, kI16x8Add, kI16x8Sub, kI16x8Mul,
+  kI32x4Abs, kI32x4Neg, kI32x4AllTrue,
+  kI32x4Shl, kI32x4ShrS, kI32x4ShrU,
+  kI32x4Add, kI32x4Sub, kI32x4Mul,
+  kI32x4MinS, kI32x4MinU, kI32x4MaxS, kI32x4MaxU,
+  kI64x2Abs, kI64x2Neg, kI64x2AllTrue,
+  kI64x2Shl, kI64x2ShrS, kI64x2ShrU,
+  kI64x2Add, kI64x2Sub, kI64x2Mul,
+  kF32x4Abs, kF32x4Neg, kF32x4Sqrt,
   kF32x4Add, kF32x4Sub, kF32x4Mul, kF32x4Div,
+  kF32x4Min, kF32x4Max, kF32x4Pmin, kF32x4Pmax,
+  kF64x2Abs, kF64x2Neg, kF64x2Sqrt,
   kF64x2Add, kF64x2Sub, kF64x2Mul, kF64x2Div,
+  kF64x2Min, kF64x2Max, kF64x2Pmin, kF64x2Pmax,
   // ---- Fused forms emitted only by the Optimizing tier ----
   kI32AddImm,    // r[a] = r[b] + i32(imm)
   kI64AddImm,    // r[a] = r[b] + i64(imm)
@@ -110,13 +145,16 @@ enum class ROp : u16 {
   kSelectI32Eq, kSelectI32Ne, kSelectI32LtS, kSelectI32LtU,
   kSelectI32GtS, kSelectI32GtU, kSelectF64Lt, kSelectF64Gt,
   // Fused load+op: r[a] = r[c] op mem[r[b].u32 + imm] (bounds-checked).
+  // The v128 forms are emitted only when EngineConfig::opt_simd is on.
   kI32LoadAdd, kI64LoadAdd, kF32LoadAdd, kF64LoadAdd, kF32LoadMul, kF64LoadMul,
+  kI32x4LoadAdd, kF32x4LoadAdd, kF32x4LoadMul, kF64x2LoadAdd, kF64x2LoadMul,
   // Fused op+store: mem[r[a].u32 + imm] = r[b] op r[c] (bounds-checked).
   kI32AddStore, kF32AddStore, kF64AddStore, kF64MulStore,
+  kI32x4AddStore, kF32x4AddStore, kF64x2AddStore, kF64x2MulStore,
   // Indexed addressing, checked: addr = u32(r[b] + (r[c] << d)) + imm.
-  kI32LoadIx, kI64LoadIx, kF32LoadIx, kF64LoadIx,
+  kI32LoadIx, kI64LoadIx, kF32LoadIx, kF64LoadIx, kV128LoadIx,
   // Indexed stores, checked: mem[u32(r[a] + (r[c] << d)) + imm] = r[b].
-  kI32StoreIx, kI64StoreIx, kF32StoreIx, kF64StoreIx,
+  kI32StoreIx, kI64StoreIx, kF32StoreIx, kF64StoreIx, kV128StoreIx,
   // ---- Bounds-check hoisting (emitted only by the hoist pass) ----
   // Loop-entry guard for a versioned counted loop: r[a] = 1 iff every raw
   // access of the fast copy is provably in-bounds for all iterations.
@@ -127,8 +165,9 @@ enum class ROp : u16 {
   // passing kMemGuard, so they can never fault.
   kI32LoadRaw, kI64LoadRaw, kF32LoadRaw, kF64LoadRaw, kV128LoadRaw,
   kI32StoreRaw, kI64StoreRaw, kF32StoreRaw, kF64StoreRaw, kV128StoreRaw,
-  kI32LoadIxRaw, kI64LoadIxRaw, kF32LoadIxRaw, kF64LoadIxRaw,
+  kI32LoadIxRaw, kI64LoadIxRaw, kF32LoadIxRaw, kF64LoadIxRaw, kV128LoadIxRaw,
   kI32StoreIxRaw, kI64StoreIxRaw, kF32StoreIxRaw, kF64StoreIxRaw,
+  kV128StoreIxRaw,
 
   kCount,
 };

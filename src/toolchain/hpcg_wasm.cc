@@ -33,6 +33,8 @@ constexpr u32 kArrayBase = 1 << 16;
 
 std::vector<u8> build_hpcg_module(const HpcgParams& p) {
   const u32 n = p.n_per_rank;
+  const bool simd = p.use_simd;
+  MW_CHECK(!simd || n % 2 == 0, "hpcg SIMD build needs an even n_per_rank");
   const u64 stride = u64(n + 2) * 8;  // ghost cells at [0] and [n+1]
   const u32 X0 = kArrayBase;
   const u32 R0 = u32(X0 + stride);
@@ -54,6 +56,8 @@ std::vector<u8> build_hpcg_module(const HpcgParams& p) {
   u32 g_size = b.add_global(ValType::kI32, true, 1);
 
   // --- dot(a_base, b_base) -> f64 : local dot product over [1, n] --------
+  // SIMD build: an f64x2 accumulator over element pairs (1,2),(3,4),...;
+  // the final sum is lane0 + lane1 (the native twin mirrors this order).
   auto& dot = b.begin_func({{ValType::kI32, ValType::kI32}, {ValType::kF64}});
   {
     u32 off = dot.add_local(ValType::kI32);
@@ -61,21 +65,47 @@ std::vector<u8> build_hpcg_module(const HpcgParams& p) {
     u32 acc = dot.add_local(ValType::kF64);
     dot.i32_const(i32(8 * (n + 1)));
     dot.local_set(lim);
-    dot.for_loop_i32(off, 8, lim, 8, [&] {
-      dot.local_get(acc);
-      dot.local_get(0);
-      dot.local_get(off);
-      dot.op(Op::kI32Add);
-      dot.mem_op(Op::kF64Load);
-      dot.local_get(1);
-      dot.local_get(off);
-      dot.op(Op::kI32Add);
-      dot.mem_op(Op::kF64Load);
-      dot.op(Op::kF64Mul);
+    if (simd) {
+      u32 av = dot.add_local(ValType::kV128);
+      dot.f64_const(0.0);
+      dot.op(Op::kF64x2Splat);
+      dot.local_set(av);
+      dot.for_loop_i32(off, 8, lim, 16, [&] {
+        dot.local_get(av);
+        dot.local_get(0);
+        dot.local_get(off);
+        dot.op(Op::kI32Add);
+        dot.mem_op(Op::kV128Load);
+        dot.local_get(1);
+        dot.local_get(off);
+        dot.op(Op::kI32Add);
+        dot.mem_op(Op::kV128Load);
+        dot.op(Op::kF64x2Mul);
+        dot.op(Op::kF64x2Add);
+        dot.local_set(av);
+      });
+      dot.local_get(av);
+      dot.lane_op(Op::kF64x2ExtractLane, 0);
+      dot.local_get(av);
+      dot.lane_op(Op::kF64x2ExtractLane, 1);
       dot.op(Op::kF64Add);
-      dot.local_set(acc);
-    });
-    dot.local_get(acc);
+    } else {
+      dot.for_loop_i32(off, 8, lim, 8, [&] {
+        dot.local_get(acc);
+        dot.local_get(0);
+        dot.local_get(off);
+        dot.op(Op::kI32Add);
+        dot.mem_op(Op::kF64Load);
+        dot.local_get(1);
+        dot.local_get(off);
+        dot.op(Op::kI32Add);
+        dot.mem_op(Op::kF64Load);
+        dot.op(Op::kF64Mul);
+        dot.op(Op::kF64Add);
+        dot.local_set(acc);
+      });
+      dot.local_get(acc);
+    }
     dot.end();
   }
 
@@ -177,6 +207,7 @@ std::vector<u8> build_hpcg_module(const HpcgParams& p) {
     const u32 beta = f.add_local(ValType::kF64);
     const u32 t0 = f.add_local(ValType::kF64);
     const u32 t1 = f.add_local(ValType::kF64);
+    const u32 va = simd ? f.add_local(ValType::kV128) : 0;  // alpha/beta splat
 
     f.i32_const(0);
     f.i32_const(0);
@@ -234,31 +265,57 @@ std::vector<u8> build_hpcg_module(const HpcgParams& p) {
       f.call(halo.index());
       f.i32_const(i32(8 * (n + 1)));
       f.local_set(lim);
-      f.for_loop_i32(off, 8, lim, 8, [&] {
-        f.i32_const(i32(A0));
-        f.local_get(off);
-        f.op(Op::kI32Add);
-        // 2*p[i]
-        f.i32_const(i32(P0));
-        f.local_get(off);
-        f.op(Op::kI32Add);
-        f.mem_op(Op::kF64Load);
-        f.f64_const(2.0);
-        f.op(Op::kF64Mul);
-        // - p[i-1]
-        f.i32_const(i32(P0 - 8));
-        f.local_get(off);
-        f.op(Op::kI32Add);
-        f.mem_op(Op::kF64Load);
-        f.op(Op::kF64Sub);
-        // - p[i+1]
-        f.i32_const(i32(P0 + 8));
-        f.local_get(off);
-        f.op(Op::kI32Add);
-        f.mem_op(Op::kF64Load);
-        f.op(Op::kF64Sub);
-        f.mem_op(Op::kF64Store);
-      });
+      if (simd) {
+        f.for_loop_i32(off, 8, lim, 16, [&] {
+          f.i32_const(i32(A0));
+          f.local_get(off);
+          f.op(Op::kI32Add);
+          f.i32_const(i32(P0));
+          f.local_get(off);
+          f.op(Op::kI32Add);
+          f.mem_op(Op::kV128Load);
+          f.f64_const(2.0);
+          f.op(Op::kF64x2Splat);
+          f.op(Op::kF64x2Mul);
+          f.i32_const(i32(P0 - 8));
+          f.local_get(off);
+          f.op(Op::kI32Add);
+          f.mem_op(Op::kV128Load);
+          f.op(Op::kF64x2Sub);
+          f.i32_const(i32(P0 + 8));
+          f.local_get(off);
+          f.op(Op::kI32Add);
+          f.mem_op(Op::kV128Load);
+          f.op(Op::kF64x2Sub);
+          f.mem_op(Op::kV128Store);
+        });
+      } else {
+        f.for_loop_i32(off, 8, lim, 8, [&] {
+          f.i32_const(i32(A0));
+          f.local_get(off);
+          f.op(Op::kI32Add);
+          // 2*p[i]
+          f.i32_const(i32(P0));
+          f.local_get(off);
+          f.op(Op::kI32Add);
+          f.mem_op(Op::kF64Load);
+          f.f64_const(2.0);
+          f.op(Op::kF64Mul);
+          // - p[i-1]
+          f.i32_const(i32(P0 - 8));
+          f.local_get(off);
+          f.op(Op::kI32Add);
+          f.mem_op(Op::kF64Load);
+          f.op(Op::kF64Sub);
+          // - p[i+1]
+          f.i32_const(i32(P0 + 8));
+          f.local_get(off);
+          f.op(Op::kI32Add);
+          f.mem_op(Op::kF64Load);
+          f.op(Op::kF64Sub);
+          f.mem_op(Op::kF64Store);
+        });
+      }
       // alpha = rr / allreduce(dot(p, Ap))
       f.local_get(rr);
       f.i32_const(i32(P0));
@@ -268,38 +325,76 @@ std::vector<u8> build_hpcg_module(const HpcgParams& p) {
       f.op(Op::kF64Div);
       f.local_set(alpha);
       // x += alpha p ; r -= alpha Ap
-      f.for_loop_i32(off, 8, lim, 8, [&] {
-        f.i32_const(i32(X0));
-        f.local_get(off);
-        f.op(Op::kI32Add);
-        f.i32_const(i32(X0));
-        f.local_get(off);
-        f.op(Op::kI32Add);
-        f.mem_op(Op::kF64Load);
+      if (simd) {
         f.local_get(alpha);
-        f.i32_const(i32(P0));
-        f.local_get(off);
-        f.op(Op::kI32Add);
-        f.mem_op(Op::kF64Load);
-        f.op(Op::kF64Mul);
-        f.op(Op::kF64Add);
-        f.mem_op(Op::kF64Store);
-        f.i32_const(i32(R0));
-        f.local_get(off);
-        f.op(Op::kI32Add);
-        f.i32_const(i32(R0));
-        f.local_get(off);
-        f.op(Op::kI32Add);
-        f.mem_op(Op::kF64Load);
-        f.local_get(alpha);
-        f.i32_const(i32(A0));
-        f.local_get(off);
-        f.op(Op::kI32Add);
-        f.mem_op(Op::kF64Load);
-        f.op(Op::kF64Mul);
-        f.op(Op::kF64Sub);
-        f.mem_op(Op::kF64Store);
-      });
+        f.op(Op::kF64x2Splat);
+        f.local_set(va);
+        f.for_loop_i32(off, 8, lim, 16, [&] {
+          f.i32_const(i32(X0));
+          f.local_get(off);
+          f.op(Op::kI32Add);
+          f.i32_const(i32(X0));
+          f.local_get(off);
+          f.op(Op::kI32Add);
+          f.mem_op(Op::kV128Load);
+          f.local_get(va);
+          f.i32_const(i32(P0));
+          f.local_get(off);
+          f.op(Op::kI32Add);
+          f.mem_op(Op::kV128Load);
+          f.op(Op::kF64x2Mul);
+          f.op(Op::kF64x2Add);
+          f.mem_op(Op::kV128Store);
+          f.i32_const(i32(R0));
+          f.local_get(off);
+          f.op(Op::kI32Add);
+          f.i32_const(i32(R0));
+          f.local_get(off);
+          f.op(Op::kI32Add);
+          f.mem_op(Op::kV128Load);
+          f.local_get(va);
+          f.i32_const(i32(A0));
+          f.local_get(off);
+          f.op(Op::kI32Add);
+          f.mem_op(Op::kV128Load);
+          f.op(Op::kF64x2Mul);
+          f.op(Op::kF64x2Sub);
+          f.mem_op(Op::kV128Store);
+        });
+      } else {
+        f.for_loop_i32(off, 8, lim, 8, [&] {
+          f.i32_const(i32(X0));
+          f.local_get(off);
+          f.op(Op::kI32Add);
+          f.i32_const(i32(X0));
+          f.local_get(off);
+          f.op(Op::kI32Add);
+          f.mem_op(Op::kF64Load);
+          f.local_get(alpha);
+          f.i32_const(i32(P0));
+          f.local_get(off);
+          f.op(Op::kI32Add);
+          f.mem_op(Op::kF64Load);
+          f.op(Op::kF64Mul);
+          f.op(Op::kF64Add);
+          f.mem_op(Op::kF64Store);
+          f.i32_const(i32(R0));
+          f.local_get(off);
+          f.op(Op::kI32Add);
+          f.i32_const(i32(R0));
+          f.local_get(off);
+          f.op(Op::kI32Add);
+          f.mem_op(Op::kF64Load);
+          f.local_get(alpha);
+          f.i32_const(i32(A0));
+          f.local_get(off);
+          f.op(Op::kI32Add);
+          f.mem_op(Op::kF64Load);
+          f.op(Op::kF64Mul);
+          f.op(Op::kF64Sub);
+          f.mem_op(Op::kF64Store);
+        });
+      }
       // rr_new = allreduce(dot(r, r)); beta = rr_new / rr; rr = rr_new
       f.i32_const(i32(R0));
       f.i32_const(i32(R0));
@@ -313,23 +408,46 @@ std::vector<u8> build_hpcg_module(const HpcgParams& p) {
       f.local_get(rr_new);
       f.local_set(rr);
       // p = r + beta p
-      f.for_loop_i32(off, 8, lim, 8, [&] {
-        f.i32_const(i32(P0));
-        f.local_get(off);
-        f.op(Op::kI32Add);
-        f.i32_const(i32(R0));
-        f.local_get(off);
-        f.op(Op::kI32Add);
-        f.mem_op(Op::kF64Load);
+      if (simd) {
         f.local_get(beta);
-        f.i32_const(i32(P0));
-        f.local_get(off);
-        f.op(Op::kI32Add);
-        f.mem_op(Op::kF64Load);
-        f.op(Op::kF64Mul);
-        f.op(Op::kF64Add);
-        f.mem_op(Op::kF64Store);
-      });
+        f.op(Op::kF64x2Splat);
+        f.local_set(va);
+        f.for_loop_i32(off, 8, lim, 16, [&] {
+          f.i32_const(i32(P0));
+          f.local_get(off);
+          f.op(Op::kI32Add);
+          f.i32_const(i32(R0));
+          f.local_get(off);
+          f.op(Op::kI32Add);
+          f.mem_op(Op::kV128Load);
+          f.local_get(va);
+          f.i32_const(i32(P0));
+          f.local_get(off);
+          f.op(Op::kI32Add);
+          f.mem_op(Op::kV128Load);
+          f.op(Op::kF64x2Mul);
+          f.op(Op::kF64x2Add);
+          f.mem_op(Op::kV128Store);
+        });
+      } else {
+        f.for_loop_i32(off, 8, lim, 8, [&] {
+          f.i32_const(i32(P0));
+          f.local_get(off);
+          f.op(Op::kI32Add);
+          f.i32_const(i32(R0));
+          f.local_get(off);
+          f.op(Op::kI32Add);
+          f.mem_op(Op::kF64Load);
+          f.local_get(beta);
+          f.i32_const(i32(P0));
+          f.local_get(off);
+          f.op(Op::kI32Add);
+          f.mem_op(Op::kF64Load);
+          f.op(Op::kF64Mul);
+          f.op(Op::kF64Add);
+          f.mem_op(Op::kF64Store);
+        });
+      }
     });
 
     f.call(mpi.wtime);

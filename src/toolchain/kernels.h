@@ -54,8 +54,12 @@ std::vector<u8> build_imb_module(const ImbParams& p);
 // ---------------------------------------------------------------------------
 
 struct HpcgParams {
-  u32 n_per_rank = 1 << 15;  // local 1-D subdomain size
+  u32 n_per_rank = 1 << 15;  // local 1-D subdomain size (even when use_simd)
   u32 iterations = 25;       // fixed CG iterations (deterministic timing)
+  /// -msimd128 analogue: f64x2 inner loops (dot products + vector updates).
+  /// The native twin mirrors the SIMD dot's two-lane accumulation order, so
+  /// wasm/native residuals stay bit-exact in both modes.
+  bool use_simd = false;
   i32 report_id = 100;
 };
 
@@ -150,6 +154,45 @@ struct OverlapParams {
 /// the collective's wait window. Reports (seconds, residual, iterations)
 /// through bench.report.
 std::vector<u8> build_overlap_module(const OverlapParams& p);
+
+// ---------------------------------------------------------------------------
+// Vectorizable micro kernels — bench_simd / §4.5's -msimd128 effect.
+// ---------------------------------------------------------------------------
+
+/// The kernel set whose inner loops vectorize trivially (ROADMAP item
+/// "Wasm SIMD (v128)"): each builds as a scalar module and a v128 twin so
+/// bench_simd and the differential tests can compare them directly.
+enum class MicroKernel : i32 {
+  kReduceF64 = 0,   // sum x[i]              (f64; SIMD reassociates)
+  kReduceI32 = 1,   // wrapping sum x[i]     (i32; exact in any order)
+  kDaxpy = 2,       // y[i] = a*x[i] + y[i]  (f64; element-wise, bit-exact)
+  kStencil3 = 3,    // 3-point stencil       (f64; element-wise, bit-exact)
+  kDotF64 = 4,      // sum x[i]*y[i]         (f64; SIMD reassociates)
+  kSaxpyF32 = 5,    // y[i] = a*x[i] + y[i]  (f32; element-wise, bit-exact)
+};
+
+const char* micro_kernel_name(MicroKernel k);
+
+/// True for kernels whose SIMD build reassociates a floating-point
+/// reduction: their scalar/SIMD checksums agree only to a ULP bound, not
+/// bit-exactly (element-wise kernels and integer reductions are exact).
+bool micro_kernel_reassociates(MicroKernel k);
+
+struct MicroKernelParams {
+  MicroKernel kernel = MicroKernel::kDaxpy;
+  u32 n = 1 << 14;        // elements; must be a multiple of 4 and >= 8
+  bool use_simd = false;  // emit the v128 inner loop instead of the scalar one
+};
+
+/// Builds a pure-engine module (no MPI/WASI imports) exporting
+///   init()            — fills the input arrays deterministically
+///   run(reps) -> f64  — executes the kernel `reps` times and returns the
+///                       checksum (a scalar pass shared verbatim by both
+///                       builds, so element-wise kernels compare bit-exactly)
+std::vector<u8> build_micro_kernel_module(const MicroKernelParams& p);
+
+/// Host-side twin of the *scalar* build's checksum (same operation order).
+f64 micro_kernel_reference(const MicroKernelParams& p, u32 reps);
 
 // ---------------------------------------------------------------------------
 // Micro kernels (tests, quickstart, Table 1 single-core runs).

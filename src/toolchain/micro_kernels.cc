@@ -429,6 +429,519 @@ std::vector<u8> build_datatype_pingpong_module(const DatatypePingPongParams& p) 
   return finish(b, "datatype pingpong module");
 }
 
+// ---------------------------------------------------------------------------
+// Vectorizable micro kernels (bench_simd): each kernel is authored twice —
+// a scalar inner loop and a v128 twin — over identical memory layouts and
+// an identical (scalar) checksum pass, so element-wise kernels compare
+// bit-exactly across the two builds and reductions compare to a ULP bound.
+// ---------------------------------------------------------------------------
+
+const char* micro_kernel_name(MicroKernel k) {
+  switch (k) {
+    case MicroKernel::kReduceF64: return "reduce_f64";
+    case MicroKernel::kReduceI32: return "reduce_i32";
+    case MicroKernel::kDaxpy: return "daxpy_f64";
+    case MicroKernel::kStencil3: return "stencil3_f64";
+    case MicroKernel::kDotF64: return "dot_f64";
+    case MicroKernel::kSaxpyF32: return "saxpy_f32";
+  }
+  return "?";
+}
+
+bool micro_kernel_reassociates(MicroKernel k) {
+  return k == MicroKernel::kReduceF64 || k == MicroKernel::kDotF64;
+}
+
+namespace {
+
+constexpr u32 kMkX0 = 1 << 16;  // first input array
+
+struct MkLayout {
+  u32 elem;  // element size in bytes
+  u32 x0, y0, out0;
+  u32 pages;
+};
+
+MkLayout mk_layout(const MicroKernelParams& p) {
+  MkLayout l;
+  l.elem = (p.kernel == MicroKernel::kReduceI32 ||
+            p.kernel == MicroKernel::kSaxpyF32)
+               ? 4
+               : 8;
+  l.x0 = kMkX0;
+  l.y0 = l.x0 + ((p.n * l.elem + 15) & ~15u);
+  l.out0 = l.y0 + ((p.n * l.elem + 15) & ~15u);
+  l.pages = (l.out0 + p.n * l.elem) / wasm::kPageSize + 2;
+  return l;
+}
+
+using wasm::FunctionBuilder;
+
+/// addr = base + i  (i is a byte-offset local; lowering fuses the constant
+/// into a single add-immediate, which the hoist pass recognizes as affine).
+void mk_addr(FunctionBuilder& f, u32 base, u32 i_local) {
+  f.i32_const(i32(base));
+  f.local_get(i_local);
+  f.op(Op::kI32Add);
+}
+
+}  // namespace
+
+std::vector<u8> build_micro_kernel_module(const MicroKernelParams& p) {
+  MW_CHECK(p.n >= 8 && p.n % 4 == 0,
+           "micro kernel size must be a multiple of 4 and >= 8");
+  const MkLayout l = mk_layout(p);
+  const u32 n = p.n;
+  using VT = ValType;
+
+  ModuleBuilder b;
+  b.add_memory(l.pages);
+  b.export_memory();
+
+  // --- init(): deterministic input patterns -------------------------------
+  {
+    auto& f = b.begin_func({{}, {}}, "init");
+    u32 i = f.add_local(VT::kI32);
+    u32 lim = f.add_local(VT::kI32);
+    f.i32_const(i32(n));
+    f.local_set(lim);
+    f.for_loop_i32(i, 0, lim, 1, [&] {
+      switch (p.kernel) {
+        case MicroKernel::kReduceI32: {
+          // x[i] = i*1664525 + 1013904223 (wrapping LCG step)
+          f.local_get(i);
+          f.i32_const(2);
+          f.op(Op::kI32Shl);
+          f.i32_const(i32(l.x0));
+          f.op(Op::kI32Add);
+          f.local_get(i);
+          f.i32_const(1664525);
+          f.op(Op::kI32Mul);
+          f.i32_const(1013904223);
+          f.op(Op::kI32Add);
+          f.mem_op(Op::kI32Store);
+          break;
+        }
+        case MicroKernel::kSaxpyF32: {
+          // x[i] = f32(i % 97)*0.5 + 1 ; y[i] = f32(i % 89)*0.25 + 2
+          for (int arr = 0; arr < 2; ++arr) {
+            f.local_get(i);
+            f.i32_const(2);
+            f.op(Op::kI32Shl);
+            f.i32_const(i32(arr == 0 ? l.x0 : l.y0));
+            f.op(Op::kI32Add);
+            f.local_get(i);
+            f.i32_const(arr == 0 ? 97 : 89);
+            f.op(Op::kI32RemS);
+            f.op(Op::kF32ConvertI32S);
+            f.f32_const(arr == 0 ? 0.5f : 0.25f);
+            f.op(Op::kF32Mul);
+            f.f32_const(arr == 0 ? 1.0f : 2.0f);
+            f.op(Op::kF32Add);
+            f.mem_op(Op::kF32Store);
+          }
+          break;
+        }
+        default: {
+          // f64 kernels: x[i] = f64(i % 97)*0.5 + 1 ; y[i] = f64(i % 89)*0.25 + 2
+          for (int arr = 0; arr < 2; ++arr) {
+            f.local_get(i);
+            f.i32_const(3);
+            f.op(Op::kI32Shl);
+            f.i32_const(i32(arr == 0 ? l.x0 : l.y0));
+            f.op(Op::kI32Add);
+            f.local_get(i);
+            f.i32_const(arr == 0 ? 97 : 89);
+            f.op(Op::kI32RemS);
+            f.op(Op::kF64ConvertI32S);
+            f.f64_const(arr == 0 ? 0.5 : 0.25);
+            f.op(Op::kF64Mul);
+            f.f64_const(arr == 0 ? 1.0 : 2.0);
+            f.op(Op::kF64Add);
+            f.mem_op(Op::kF64Store);
+          }
+          break;
+        }
+      }
+    });
+    f.end();
+  }
+
+  // --- run(reps) -> f64 checksum ------------------------------------------
+  auto& f = b.begin_func({{VT::kI32}, {VT::kF64}}, "run");
+  const u32 reps = 0;  // param
+  const u32 i = f.add_local(VT::kI32);
+  const u32 lim = f.add_local(VT::kI32);
+  const u32 rep = f.add_local(VT::kI32);
+  const u32 cks = f.add_local(VT::kF64);
+  const u32 acc = f.add_local(VT::kF64);
+  const u32 acci = f.add_local(VT::kI32);
+  const u32 av = p.use_simd ? f.add_local(VT::kV128) : 0;
+
+  // Scalar checksum pass shared verbatim by both builds: element-wise
+  // kernels therefore compare bit-exactly scalar-vs-SIMD.
+  auto emit_scalar_sum = [&](u32 base, bool is_f32) {
+    f.f64_const(0.0);
+    f.local_set(acc);
+    f.i32_const(i32(n * l.elem));
+    f.local_set(lim);
+    f.for_loop_i32(i, 0, lim, i32(l.elem), [&] {
+      f.local_get(acc);
+      mk_addr(f, base, i);
+      if (is_f32) {
+        f.mem_op(Op::kF32Load);
+        f.op(Op::kF64PromoteF32);
+      } else {
+        f.mem_op(Op::kF64Load);
+      }
+      f.op(Op::kF64Add);
+      f.local_set(acc);
+    });
+  };
+
+  f.for_loop_i32(rep, 0, reps, 1, [&] {
+    switch (p.kernel) {
+      case MicroKernel::kReduceF64: {
+        if (p.use_simd) {
+          f.f64_const(0.0);
+          f.op(Op::kF64x2Splat);
+          f.local_set(av);
+          f.i32_const(i32(n * 8));
+          f.local_set(lim);
+          f.for_loop_i32(i, 0, lim, 16, [&] {
+            f.local_get(av);
+            mk_addr(f, l.x0, i);
+            f.mem_op(Op::kV128Load);
+            f.op(Op::kF64x2Add);
+            f.local_set(av);
+          });
+          f.local_get(cks);
+          f.local_get(av);
+          f.lane_op(Op::kF64x2ExtractLane, 0);
+          f.local_get(av);
+          f.lane_op(Op::kF64x2ExtractLane, 1);
+          f.op(Op::kF64Add);
+          f.op(Op::kF64Add);
+          f.local_set(cks);
+        } else {
+          f.f64_const(0.0);
+          f.local_set(acc);
+          f.i32_const(i32(n * 8));
+          f.local_set(lim);
+          f.for_loop_i32(i, 0, lim, 8, [&] {
+            f.local_get(acc);
+            mk_addr(f, l.x0, i);
+            f.mem_op(Op::kF64Load);
+            f.op(Op::kF64Add);
+            f.local_set(acc);
+          });
+          f.local_get(cks);
+          f.local_get(acc);
+          f.op(Op::kF64Add);
+          f.local_set(cks);
+        }
+        break;
+      }
+      case MicroKernel::kReduceI32: {
+        if (p.use_simd) {
+          f.i32_const(0);
+          f.op(Op::kI32x4Splat);
+          f.local_set(av);
+          f.i32_const(i32(n * 4));
+          f.local_set(lim);
+          f.for_loop_i32(i, 0, lim, 16, [&] {
+            f.local_get(av);
+            mk_addr(f, l.x0, i);
+            f.mem_op(Op::kV128Load);
+            f.op(Op::kI32x4Add);
+            f.local_set(av);
+          });
+          f.i32_const(0);
+          f.local_set(acci);
+          for (u8 lane = 0; lane < 4; ++lane) {
+            f.local_get(acci);
+            f.local_get(av);
+            f.lane_op(Op::kI32x4ExtractLane, lane);
+            f.op(Op::kI32Add);
+            f.local_set(acci);
+          }
+        } else {
+          f.i32_const(0);
+          f.local_set(acci);
+          f.i32_const(i32(n * 4));
+          f.local_set(lim);
+          f.for_loop_i32(i, 0, lim, 4, [&] {
+            f.local_get(acci);
+            mk_addr(f, l.x0, i);
+            f.mem_op(Op::kI32Load);
+            f.op(Op::kI32Add);
+            f.local_set(acci);
+          });
+        }
+        f.local_get(cks);
+        f.local_get(acci);
+        f.op(Op::kF64ConvertI32S);
+        f.op(Op::kF64Add);
+        f.local_set(cks);
+        break;
+      }
+      case MicroKernel::kDaxpy: {
+        f.i32_const(i32(n * 8));
+        f.local_set(lim);
+        if (p.use_simd) {
+          f.f64_const(2.5);
+          f.op(Op::kF64x2Splat);
+          f.local_set(av);
+          f.for_loop_i32(i, 0, lim, 16, [&] {
+            mk_addr(f, l.y0, i);      // store address
+            f.local_get(av);
+            mk_addr(f, l.x0, i);
+            f.mem_op(Op::kV128Load);
+            f.op(Op::kF64x2Mul);
+            mk_addr(f, l.y0, i);
+            f.mem_op(Op::kV128Load);
+            f.op(Op::kF64x2Add);
+            f.mem_op(Op::kV128Store);
+          });
+        } else {
+          f.for_loop_i32(i, 0, lim, 8, [&] {
+            mk_addr(f, l.y0, i);
+            f.f64_const(2.5);
+            mk_addr(f, l.x0, i);
+            f.mem_op(Op::kF64Load);
+            f.op(Op::kF64Mul);
+            mk_addr(f, l.y0, i);
+            f.mem_op(Op::kF64Load);
+            f.op(Op::kF64Add);
+            f.mem_op(Op::kF64Store);
+          });
+        }
+        break;
+      }
+      case MicroKernel::kStencil3: {
+        // out[i] = 0.25*x[i-1] + 0.5*x[i] + 0.25*x[i+1], i in [1, n-1).
+        // n % 4 == 0 makes the interior even-sized, so the SIMD pairs tile
+        // it exactly and both builds touch the same elements.
+        f.i32_const(i32((n - 1) * 8));
+        f.local_set(lim);
+        if (p.use_simd) {
+          f.for_loop_i32(i, 8, lim, 16, [&] {
+            mk_addr(f, l.out0, i);
+            mk_addr(f, l.x0 - 8, i);   // x[i-1]
+            f.mem_op(Op::kV128Load);
+            f.f64_const(0.25);
+            f.op(Op::kF64x2Splat);
+            f.op(Op::kF64x2Mul);
+            mk_addr(f, l.x0, i);       // x[i]
+            f.mem_op(Op::kV128Load);
+            f.f64_const(0.5);
+            f.op(Op::kF64x2Splat);
+            f.op(Op::kF64x2Mul);
+            f.op(Op::kF64x2Add);
+            mk_addr(f, l.x0 + 8, i);   // x[i+1]
+            f.mem_op(Op::kV128Load);
+            f.f64_const(0.25);
+            f.op(Op::kF64x2Splat);
+            f.op(Op::kF64x2Mul);
+            f.op(Op::kF64x2Add);
+            f.mem_op(Op::kV128Store);
+          });
+        } else {
+          f.for_loop_i32(i, 8, lim, 8, [&] {
+            mk_addr(f, l.out0, i);
+            mk_addr(f, l.x0 - 8, i);
+            f.mem_op(Op::kF64Load);
+            f.f64_const(0.25);
+            f.op(Op::kF64Mul);
+            mk_addr(f, l.x0, i);
+            f.mem_op(Op::kF64Load);
+            f.f64_const(0.5);
+            f.op(Op::kF64Mul);
+            f.op(Op::kF64Add);
+            mk_addr(f, l.x0 + 8, i);
+            f.mem_op(Op::kF64Load);
+            f.f64_const(0.25);
+            f.op(Op::kF64Mul);
+            f.op(Op::kF64Add);
+            f.mem_op(Op::kF64Store);
+          });
+        }
+        break;
+      }
+      case MicroKernel::kDotF64: {
+        f.i32_const(i32(n * 8));
+        f.local_set(lim);
+        if (p.use_simd) {
+          f.f64_const(0.0);
+          f.op(Op::kF64x2Splat);
+          f.local_set(av);
+          f.for_loop_i32(i, 0, lim, 16, [&] {
+            f.local_get(av);
+            mk_addr(f, l.x0, i);
+            f.mem_op(Op::kV128Load);
+            mk_addr(f, l.y0, i);
+            f.mem_op(Op::kV128Load);
+            f.op(Op::kF64x2Mul);
+            f.op(Op::kF64x2Add);
+            f.local_set(av);
+          });
+          f.local_get(cks);
+          f.local_get(av);
+          f.lane_op(Op::kF64x2ExtractLane, 0);
+          f.local_get(av);
+          f.lane_op(Op::kF64x2ExtractLane, 1);
+          f.op(Op::kF64Add);
+          f.op(Op::kF64Add);
+          f.local_set(cks);
+        } else {
+          f.f64_const(0.0);
+          f.local_set(acc);
+          f.for_loop_i32(i, 0, lim, 8, [&] {
+            f.local_get(acc);
+            mk_addr(f, l.x0, i);
+            f.mem_op(Op::kF64Load);
+            mk_addr(f, l.y0, i);
+            f.mem_op(Op::kF64Load);
+            f.op(Op::kF64Mul);
+            f.op(Op::kF64Add);
+            f.local_set(acc);
+          });
+          f.local_get(cks);
+          f.local_get(acc);
+          f.op(Op::kF64Add);
+          f.local_set(cks);
+        }
+        break;
+      }
+      case MicroKernel::kSaxpyF32: {
+        f.i32_const(i32(n * 4));
+        f.local_set(lim);
+        if (p.use_simd) {
+          f.f32_const(2.5f);
+          f.op(Op::kF32x4Splat);
+          f.local_set(av);
+          f.for_loop_i32(i, 0, lim, 16, [&] {
+            mk_addr(f, l.y0, i);
+            f.local_get(av);
+            mk_addr(f, l.x0, i);
+            f.mem_op(Op::kV128Load);
+            f.op(Op::kF32x4Mul);
+            mk_addr(f, l.y0, i);
+            f.mem_op(Op::kV128Load);
+            f.op(Op::kF32x4Add);
+            f.mem_op(Op::kV128Store);
+          });
+        } else {
+          f.for_loop_i32(i, 0, lim, 4, [&] {
+            mk_addr(f, l.y0, i);
+            f.f32_const(2.5f);
+            mk_addr(f, l.x0, i);
+            f.mem_op(Op::kF32Load);
+            f.op(Op::kF32Mul);
+            mk_addr(f, l.y0, i);
+            f.mem_op(Op::kF32Load);
+            f.op(Op::kF32Add);
+            f.mem_op(Op::kF32Store);
+          });
+        }
+        break;
+      }
+    }
+  });
+
+  // Checksum for the element-wise kernels: a scalar pass over the output.
+  switch (p.kernel) {
+    case MicroKernel::kDaxpy:
+      emit_scalar_sum(l.y0, false);
+      f.local_get(acc);
+      f.local_set(cks);
+      break;
+    case MicroKernel::kStencil3:
+      emit_scalar_sum(l.out0, false);
+      f.local_get(acc);
+      f.local_set(cks);
+      break;
+    case MicroKernel::kSaxpyF32:
+      emit_scalar_sum(l.y0, true);
+      f.local_get(acc);
+      f.local_set(cks);
+      break;
+    default:
+      break;  // reductions accumulated into cks per rep already
+  }
+  f.local_get(cks);
+  f.end();
+  return finish(b, "micro kernel module");
+}
+
+f64 micro_kernel_reference(const MicroKernelParams& p, u32 reps) {
+  const u32 n = p.n;
+  f64 cks = 0;
+  switch (p.kernel) {
+    case MicroKernel::kReduceF64: {
+      for (u32 r = 0; r < reps; ++r) {
+        f64 acc = 0;
+        for (u32 k = 0; k < n; ++k) acc += f64(i32(k % 97)) * 0.5 + 1.0;
+        cks += acc;
+      }
+      return cks;
+    }
+    case MicroKernel::kReduceI32: {
+      for (u32 r = 0; r < reps; ++r) {
+        i32 acc = 0;
+        for (u32 k = 0; k < n; ++k)
+          acc = i32(u32(acc) + (u32(k) * 1664525u + 1013904223u));
+        cks += f64(acc);
+      }
+      return cks;
+    }
+    case MicroKernel::kDaxpy: {
+      std::vector<f64> x(n), y(n);
+      for (u32 k = 0; k < n; ++k) {
+        x[k] = f64(i32(k % 97)) * 0.5 + 1.0;
+        y[k] = f64(i32(k % 89)) * 0.25 + 2.0;
+      }
+      for (u32 r = 0; r < reps; ++r)
+        for (u32 k = 0; k < n; ++k) y[k] = 2.5 * x[k] + y[k];
+      for (u32 k = 0; k < n; ++k) cks += y[k];
+      return cks;
+    }
+    case MicroKernel::kStencil3: {
+      std::vector<f64> x(n), out(n, 0.0);
+      for (u32 k = 0; k < n; ++k) x[k] = f64(i32(k % 97)) * 0.5 + 1.0;
+      for (u32 k = 1; k + 1 < n; ++k)
+        out[k] = 0.25 * x[k - 1] + 0.5 * x[k] + 0.25 * x[k + 1];
+      for (u32 k = 0; k < n; ++k) cks += out[k];
+      return cks;
+    }
+    case MicroKernel::kDotF64: {
+      std::vector<f64> x(n), y(n);
+      for (u32 k = 0; k < n; ++k) {
+        x[k] = f64(i32(k % 97)) * 0.5 + 1.0;
+        y[k] = f64(i32(k % 89)) * 0.25 + 2.0;
+      }
+      for (u32 r = 0; r < reps; ++r) {
+        f64 acc = 0;
+        for (u32 k = 0; k < n; ++k) acc += x[k] * y[k];
+        cks += acc;
+      }
+      return cks;
+    }
+    case MicroKernel::kSaxpyF32: {
+      std::vector<f32> x(n), y(n);
+      for (u32 k = 0; k < n; ++k) {
+        x[k] = f32(i32(k % 97)) * 0.5f + 1.0f;
+        y[k] = f32(i32(k % 89)) * 0.25f + 2.0f;
+      }
+      for (u32 r = 0; r < reps; ++r)
+        for (u32 k = 0; k < n; ++k) y[k] = 2.5f * x[k] + y[k];
+      for (u32 k = 0; k < n; ++k) cks += f64(y[k]);
+      return cks;
+    }
+  }
+  return cks;
+}
+
 std::vector<u8> build_icoll_check_module() {
   ModuleBuilder b;
   MpiImportSet set;

@@ -135,7 +135,23 @@ HpcgResult native_hpcg_run(Rank& rank, const HpcgParams& p) {
 
   auto dot = [&](const std::vector<f64>& u, const std::vector<f64>& v) {
     f64 local = 0;
-    for (u32 i = 1; i <= n; ++i) local += u[i] * v[i];
+    if (p.use_simd) {
+      // Mirror the Wasm f64x2 dot exactly: two lane accumulators over the
+      // pairs (1,2),(3,4),..., summed lane0 + lane1 at the end, so the
+      // residual comparison stays bit-exact in SIMD mode too. A scalar
+      // tail covers odd n (the Wasm build rejects odd n, but the native
+      // kernel must not silently drop the last element when run alone).
+      f64 l0 = 0, l1 = 0;
+      u32 i = 1;
+      for (; i + 1 <= n; i += 2) {
+        l0 += u[i] * v[i];
+        l1 += u[i + 1] * v[i + 1];
+      }
+      if (i <= n) l0 += u[i] * v[i];
+      local = l0 + l1;
+    } else {
+      for (u32 i = 1; i <= n; ++i) local += u[i] * v[i];
+    }
     f64 global = 0;
     rank.allreduce(&local, &global, 1, Datatype::kDouble, ReduceOp::kSum);
     return global;

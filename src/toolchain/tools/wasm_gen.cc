@@ -50,7 +50,24 @@ int main(int argc, char** argv) {
     p.min_bytes = p.max_bytes = 1;  // latency panel: single pseudo-size
     emit(dir, "imb_Barrier.wasm", build_imb_module(p));
   }
-  emit(dir, "xhpcg.wasm", build_hpcg_module({}));
+  {
+    HpcgParams p;
+    emit(dir, "xhpcg.wasm", build_hpcg_module(p));
+    p.use_simd = true;
+    emit(dir, "xhpcg_simd.wasm", build_hpcg_module(p));
+  }
+  for (MicroKernel k :
+       {MicroKernel::kReduceF64, MicroKernel::kReduceI32, MicroKernel::kDaxpy,
+        MicroKernel::kStencil3, MicroKernel::kDotF64, MicroKernel::kSaxpyF32}) {
+    MicroKernelParams p;
+    p.kernel = k;
+    p.use_simd = false;
+    emit(dir, std::string("micro_") + micro_kernel_name(k) + "_scalar.wasm",
+         build_micro_kernel_module(p));
+    p.use_simd = true;
+    emit(dir, std::string("micro_") + micro_kernel_name(k) + "_simd.wasm",
+         build_micro_kernel_module(p));
+  }
   emit(dir, "is.wasm", build_is_module({}));
   for (DtTopology t :
        {DtTopology::kBlackHole, DtTopology::kWhiteHole, DtTopology::kShuffle}) {

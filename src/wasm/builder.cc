@@ -15,10 +15,10 @@ u32 natural_align_log2(Op o) {
       return 1;
     case Op::kI32Load: case Op::kF32Load: case Op::kI64Load32S:
     case Op::kI64Load32U: case Op::kI32Store: case Op::kF32Store:
-    case Op::kI64Store32:
+    case Op::kI64Store32: case Op::kV128Load32Splat:
       return 2;
     case Op::kI64Load: case Op::kF64Load: case Op::kI64Store:
-    case Op::kF64Store:
+    case Op::kF64Store: case Op::kV128Load64Splat:
       return 3;
     case Op::kV128Load: case Op::kV128Store:
       return 4;
@@ -170,6 +170,11 @@ void FunctionBuilder::br_table(const std::vector<u32>& targets, u32 dflt) {
 void FunctionBuilder::lane_op(Op o, u8 lane) {
   emit_opcode(code_, o);
   code_.write_u8(lane);
+}
+
+void FunctionBuilder::i8x16_shuffle(const u8 (&lanes)[16]) {
+  emit_opcode(code_, Op::kI8x16Shuffle);
+  code_.write_bytes({lanes, 16});
 }
 
 void FunctionBuilder::for_loop_i32(u32 counter_local, i32 start,

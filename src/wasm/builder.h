@@ -61,6 +61,8 @@ class FunctionBuilder {
   void br_table(const std::vector<u32>& targets, u32 default_target);
   void ret() { op(Op::kReturn); }
   void lane_op(Op o, u8 lane);
+  /// i8x16.shuffle with its 16 lane-selector bytes (each must be < 32).
+  void i8x16_shuffle(const u8 (&lanes)[16]);
 
   // --- Structured sugar used heavily by the kernel toolchain -------------
   /// Emits `for (local = start; local < limit_local; local += step)` around

@@ -331,7 +331,10 @@ InstrView InstrReader::next() {
     case ImmKind::kF64Const:
       v.imm_f64 = r_.read_f64_le();
       break;
-    case ImmKind::kV128Const: {
+    case ImmKind::kV128Const:
+    case ImmKind::kShuffle16: {
+      // 16 literal bytes: a v128 constant or a shuffle's lane selectors
+      // (the validator range-checks the selectors).
       auto b = r_.read_bytes(16);
       std::memcpy(v.imm_v128.bytes, b.data(), 16);
       break;

@@ -450,16 +450,32 @@ void FuncValidator::step(const InstrView& in) {
     case Op::kI64ReinterpretF64: convert(ValType::kF64, ValType::kI64); break;
     case Op::kF32ReinterpretI32: convert(ValType::kI32, ValType::kF32); break;
     case Op::kF64ReinterpretI64: convert(ValType::kI64, ValType::kF64); break;
-    // SIMD subset.
+    // SIMD: loads/stores (natural alignment 16, or the splat width).
     case Op::kV128Load: load(ValType::kV128, 16, in); break;
+    case Op::kV128Load32Splat: load(ValType::kV128, 4, in); break;
+    case Op::kV128Load64Splat: load(ValType::kV128, 8, in); break;
     case Op::kV128Store: store(ValType::kV128, 16, in); break;
     case Op::kV128Const: push_val(ValType::kV128); break;
-    case Op::kI8x16Splat: case Op::kI32x4Splat:
+    // Shuffle: every lane selector indexes the 32-byte concatenation.
+    case Op::kI8x16Shuffle:
+      for (int k = 0; k < 16; ++k)
+        if (in.imm_v128.bytes[k] >= 32) verr("shuffle lane index out of range");
+      binop(ValType::kV128);
+      break;
+    case Op::kI8x16Splat: case Op::kI16x8Splat: case Op::kI32x4Splat:
       convert(ValType::kI32, ValType::kV128);
       break;
     case Op::kI64x2Splat: convert(ValType::kI64, ValType::kV128); break;
     case Op::kF32x4Splat: convert(ValType::kF32, ValType::kV128); break;
     case Op::kF64x2Splat: convert(ValType::kF64, ValType::kV128); break;
+    case Op::kI8x16ExtractLaneS: case Op::kI8x16ExtractLaneU:
+      if (in.imm_i >= 16) verr("lane index out of range");
+      convert(ValType::kV128, ValType::kI32);
+      break;
+    case Op::kI16x8ExtractLaneS: case Op::kI16x8ExtractLaneU:
+      if (in.imm_i >= 8) verr("lane index out of range");
+      convert(ValType::kV128, ValType::kI32);
+      break;
     case Op::kI32x4ExtractLane:
       if (in.imm_i >= 4) verr("lane index out of range");
       convert(ValType::kV128, ValType::kI32);
@@ -476,13 +492,89 @@ void FuncValidator::step(const InstrView& in) {
       if (in.imm_i >= 2) verr("lane index out of range");
       convert(ValType::kV128, ValType::kF64);
       break;
-    case Op::kV128Not: unop(ValType::kV128); break;
-    case Op::kV128AnyTrue: convert(ValType::kV128, ValType::kI32); break;
-    case Op::kI8x16Eq: case Op::kV128And: case Op::kV128Or: case Op::kV128Xor:
+    // Replace lane: (v128, scalar) -> v128 with a lane immediate.
+    case Op::kI8x16ReplaceLane: case Op::kI16x8ReplaceLane:
+    case Op::kI32x4ReplaceLane: {
+      u32 lanes = in.op == Op::kI8x16ReplaceLane   ? 16
+                  : in.op == Op::kI16x8ReplaceLane ? 8
+                                                   : 4;
+      if (in.imm_i >= lanes) verr("lane index out of range");
+      pop_val(ValType::kI32);
+      pop_val(ValType::kV128);
+      push_val(ValType::kV128);
+      break;
+    }
+    case Op::kI64x2ReplaceLane:
+      if (in.imm_i >= 2) verr("lane index out of range");
+      pop_val(ValType::kI64);
+      pop_val(ValType::kV128);
+      push_val(ValType::kV128);
+      break;
+    case Op::kF32x4ReplaceLane:
+      if (in.imm_i >= 4) verr("lane index out of range");
+      pop_val(ValType::kF32);
+      pop_val(ValType::kV128);
+      push_val(ValType::kV128);
+      break;
+    case Op::kF64x2ReplaceLane:
+      if (in.imm_i >= 2) verr("lane index out of range");
+      pop_val(ValType::kF64);
+      pop_val(ValType::kV128);
+      push_val(ValType::kV128);
+      break;
+    case Op::kV128Not:
+    case Op::kI8x16Abs: case Op::kI8x16Neg:
+    case Op::kI16x8Abs: case Op::kI16x8Neg:
+    case Op::kI32x4Abs: case Op::kI32x4Neg:
+    case Op::kI64x2Abs: case Op::kI64x2Neg:
+    case Op::kF32x4Abs: case Op::kF32x4Neg: case Op::kF32x4Sqrt:
+    case Op::kF64x2Abs: case Op::kF64x2Neg: case Op::kF64x2Sqrt:
+      unop(ValType::kV128);
+      break;
+    case Op::kV128AnyTrue:
+    case Op::kI8x16AllTrue: case Op::kI16x8AllTrue:
+    case Op::kI32x4AllTrue: case Op::kI64x2AllTrue:
+      convert(ValType::kV128, ValType::kI32);
+      break;
+    // Shifts: (v128, i32 count) -> v128.
+    case Op::kI32x4Shl: case Op::kI32x4ShrS: case Op::kI32x4ShrU:
+    case Op::kI64x2Shl: case Op::kI64x2ShrS: case Op::kI64x2ShrU:
+      pop_val(ValType::kI32);
+      pop_val(ValType::kV128);
+      push_val(ValType::kV128);
+      break;
+    case Op::kV128Bitselect:
+      pop_val(ValType::kV128);
+      pop_val(ValType::kV128);
+      pop_val(ValType::kV128);
+      push_val(ValType::kV128);
+      break;
+    // Lane-wise binops (comparisons produce v128 masks, not i32).
+    case Op::kI8x16Swizzle:
+    case Op::kI8x16Eq: case Op::kI8x16Ne: case Op::kI8x16LtS: case Op::kI8x16LtU:
+    case Op::kI8x16GtS: case Op::kI8x16GtU: case Op::kI8x16LeS: case Op::kI8x16LeU:
+    case Op::kI8x16GeS: case Op::kI8x16GeU:
+    case Op::kI16x8Eq: case Op::kI16x8Ne: case Op::kI16x8LtS: case Op::kI16x8LtU:
+    case Op::kI16x8GtS: case Op::kI16x8GtU: case Op::kI16x8LeS: case Op::kI16x8LeU:
+    case Op::kI16x8GeS: case Op::kI16x8GeU:
+    case Op::kI32x4Eq: case Op::kI32x4Ne: case Op::kI32x4LtS: case Op::kI32x4LtU:
+    case Op::kI32x4GtS: case Op::kI32x4GtU: case Op::kI32x4LeS: case Op::kI32x4LeU:
+    case Op::kI32x4GeS: case Op::kI32x4GeU:
+    case Op::kF32x4Eq: case Op::kF32x4Ne: case Op::kF32x4Lt: case Op::kF32x4Gt:
+    case Op::kF32x4Le: case Op::kF32x4Ge:
+    case Op::kF64x2Eq: case Op::kF64x2Ne: case Op::kF64x2Lt: case Op::kF64x2Gt:
+    case Op::kF64x2Le: case Op::kF64x2Ge:
+    case Op::kV128And: case Op::kV128AndNot: case Op::kV128Or: case Op::kV128Xor:
+    case Op::kI8x16Add: case Op::kI8x16Sub:
+    case Op::kI16x8Add: case Op::kI16x8Sub: case Op::kI16x8Mul:
     case Op::kI32x4Add: case Op::kI32x4Sub: case Op::kI32x4Mul:
-    case Op::kI64x2Add: case Op::kI64x2Sub:
+    case Op::kI32x4MinS: case Op::kI32x4MinU: case Op::kI32x4MaxS:
+    case Op::kI32x4MaxU:
+    case Op::kI64x2Add: case Op::kI64x2Sub: case Op::kI64x2Mul:
     case Op::kF32x4Add: case Op::kF32x4Sub: case Op::kF32x4Mul: case Op::kF32x4Div:
+    case Op::kF32x4Min: case Op::kF32x4Max: case Op::kF32x4Pmin: case Op::kF32x4Pmax:
     case Op::kF64x2Add: case Op::kF64x2Sub: case Op::kF64x2Mul: case Op::kF64x2Div:
+    case Op::kF64x2Min: case Op::kF64x2Max: case Op::kF64x2Pmin: case Op::kF64x2Pmax:
       binop(ValType::kV128);
       break;
   }

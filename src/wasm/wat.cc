@@ -87,6 +87,9 @@ void print_body(std::ostringstream& os, const Module& m, const FuncBody& body,
            << in.imm_v128.lane<u64, 2>(1) << std::dec;
         break;
       }
+      case ImmKind::kShuffle16:
+        for (int k = 0; k < 16; ++k) os << " " << u32(in.imm_v128.bytes[k]);
+        break;
       default:
         break;
     }

@@ -173,42 +173,46 @@ TEST(Cache, OptimizingAblationFlagsKeySeparately) {
   fs::remove_all(dir);
 }
 
-TEST(Cache, V3EntriesAreRejectedCleanlyAndRecompiled) {
-  // Cache format v4 renumbered the opcode space (superinstructions, raw
-  // ops, kMemGuard). A pre-upgrade v3 entry must be treated as a clean
-  // miss — no crash, no misdecoded code, just a silent recompile that
-  // overwrites the stale entry.
-  auto dir = fresh_cache_dir();
-  auto bytes = make_module(77);
-  EngineConfig cfg;
-  cfg.tier = EngineTier::kOptimizing;
-  cfg.enable_cache = true;
-  cfg.cache_dir = dir;
+TEST(Cache, StaleVersionEntriesAreRejectedCleanlyAndRecompiled) {
+  // Every cache format bump renumbers the ROp space (v4: superinstructions
+  // / raw ops / kMemGuard; v5: the full SIMD opcode space). A pre-upgrade
+  // v3 or v4 entry must be treated as a clean miss — no crash, no
+  // misdecoded code, just a silent recompile that overwrites the stale
+  // entry.
+  for (char stale_version : {char(3), char(4)}) {
+    auto dir = fresh_cache_dir();
+    auto bytes = make_module(77);
+    EngineConfig cfg;
+    cfg.tier = EngineTier::kOptimizing;
+    cfg.enable_cache = true;
+    cfg.cache_dir = dir;
 
-  // Seed the cache, then rewrite the entry with a v3 header.
-  auto cm = rt::compile({bytes.data(), bytes.size()}, cfg);
-  ASSERT_FALSE(cm->loaded_from_cache);
-  fs::path entry;
-  for (const auto& e : fs::directory_iterator(dir))
-    if (e.path().extension() == ".rcache") entry = e.path();
-  ASSERT_FALSE(entry.empty());
-  {
-    std::fstream io(entry, std::ios::binary | std::ios::in | std::ios::out);
-    io.seekp(4);  // version field follows the 4-byte magic, little-endian
-    const char v3[4] = {3, 0, 0, 0};
-    io.write(v3, 4);
+    // Seed the cache, then rewrite the entry with the stale header.
+    auto cm = rt::compile({bytes.data(), bytes.size()}, cfg);
+    ASSERT_FALSE(cm->loaded_from_cache);
+    fs::path entry;
+    for (const auto& e : fs::directory_iterator(dir))
+      if (e.path().extension() == ".rcache") entry = e.path();
+    ASSERT_FALSE(entry.empty());
+    {
+      std::fstream io(entry, std::ios::binary | std::ios::in | std::ios::out);
+      io.seekp(4);  // version field follows the 4-byte magic, little-endian
+      const char ver[4] = {stale_version, 0, 0, 0};
+      io.write(ver, 4);
+    }
+
+    auto cm2 = rt::compile({bytes.data(), bytes.size()}, cfg);
+    EXPECT_FALSE(cm2->loaded_from_cache);  // stale entry rejected, recompiled
+    EXPECT_EQ(cm2->regcode.funcs.size(), cm->regcode.funcs.size());
+    // The recompile stored a fresh current-version entry; a third compile
+    // hits it.
+    auto cm3 = rt::compile({bytes.data(), bytes.size()}, cfg);
+    EXPECT_TRUE(cm3->loaded_from_cache);
+    rt::ImportTable imports;
+    rt::Instance inst(cm3, imports);
+    EXPECT_EQ(inst.invoke("run").as_i32(), 77);
+    fs::remove_all(dir);
   }
-
-  auto cm2 = rt::compile({bytes.data(), bytes.size()}, cfg);
-  EXPECT_FALSE(cm2->loaded_from_cache);  // stale entry rejected, recompiled
-  EXPECT_EQ(cm2->regcode.funcs.size(), cm->regcode.funcs.size());
-  // The recompile stored a fresh v4 entry; a third compile hits it.
-  auto cm3 = rt::compile({bytes.data(), bytes.size()}, cfg);
-  EXPECT_TRUE(cm3->loaded_from_cache);
-  rt::ImportTable imports;
-  rt::Instance inst(cm3, imports);
-  EXPECT_EQ(inst.invoke("run").as_i32(), 77);
-  fs::remove_all(dir);
 }
 
 TEST(Cache, PerFunctionEntriesRoundTripAndKeySeparately) {

@@ -360,6 +360,135 @@ TEST(Superinstructions, DisabledByOption) {
 }
 
 // ---------------------------------------------------------------------------
+// SIMD-aware optimizer additions (gated by OptOptions::simd).
+// ---------------------------------------------------------------------------
+
+TEST(SimdSuperinstructions, FusesV128LoadAdd) {
+  auto bytes = build_single_func({{}, {}}, [](auto& f) {
+    f.i32_const(0);
+    f.i32_const(16);
+    f.mem_op(Op::kV128Load);
+    f.i32_const(32);
+    f.mem_op(Op::kV128Load);
+    f.op(Op::kF64x2Add);
+    f.mem_op(Op::kV128Store);
+    f.end();
+  });
+  RFunc opt = lower_one(bytes, true);
+  EXPECT_TRUE(contains_op(opt, ROp::kF64x2LoadAdd)) << opt.to_string();
+}
+
+TEST(SimdSuperinstructions, FusesV128AddStore) {
+  auto bytes = build_single_func({{}, {}}, [](auto& f) {
+    u32 a = f.add_local(V128T);
+    u32 b = f.add_local(V128T);
+    f.i32_const(16);
+    f.mem_op(Op::kV128Load);
+    f.local_set(a);
+    f.i32_const(32);
+    f.mem_op(Op::kV128Load);
+    f.local_set(b);
+    f.i32_const(0);
+    f.local_get(a);
+    f.local_get(b);
+    f.op(Op::kF64x2Add);
+    f.mem_op(Op::kV128Store);
+    f.end();
+  });
+  RFunc opt = lower_one(bytes, true);
+  EXPECT_TRUE(contains_op(opt, ROp::kF64x2AddStore)) << opt.to_string();
+}
+
+TEST(SimdSuperinstructions, FusesV128IndexedAddress) {
+  auto bytes = build_single_func({{I32, I32}, {F64}}, [](auto& f) {
+    f.local_get(0);
+    f.local_get(1);
+    f.i32_const(16);
+    f.op(Op::kI32Mul);
+    f.op(Op::kI32Add);
+    f.mem_op(Op::kV128Load);
+    f.lane_op(Op::kF64x2ExtractLane, 0);
+    f.end();
+  });
+  RFunc opt = lower_one(bytes, true);
+  EXPECT_TRUE(contains_op(opt, ROp::kV128LoadIx)) << opt.to_string();
+  EXPECT_FALSE(contains_op(opt, ROp::kV128Load)) << opt.to_string();
+}
+
+TEST(SimdSuperinstructions, SimdFusionDisabledByOption) {
+  auto bytes = build_single_func({{}, {}}, [](auto& f) {
+    f.i32_const(0);
+    f.i32_const(16);
+    f.mem_op(Op::kV128Load);
+    f.i32_const(32);
+    f.mem_op(Op::kV128Load);
+    f.op(Op::kF64x2Add);
+    f.mem_op(Op::kV128Store);
+    f.end();
+  });
+  auto decoded = wasm::decode_module({bytes.data(), bytes.size()});
+  ASSERT_TRUE(decoded.ok());
+  RFunc f = rt::lower_function(*decoded.module, 0);
+  rt::OptOptions opts = rt::OptOptions::full();
+  opts.simd = false;
+  rt::optimize_function(f, opts);
+  // v128 ops stay un-fused; scalar superinstructions are unaffected.
+  EXPECT_FALSE(contains_op(f, ROp::kF64x2LoadAdd)) << f.to_string();
+  EXPECT_FALSE(contains_op(f, ROp::kF64x2AddStore)) << f.to_string();
+  EXPECT_TRUE(contains_op(f, ROp::kV128Load)) << f.to_string();
+  EXPECT_TRUE(contains_op(f, ROp::kF64x2Add)) << f.to_string();
+}
+
+TEST(SimdFolding, SplatOfConstantBecomesPooledV128Const) {
+  auto bytes = build_single_func({{}, {F64}}, [](auto& f) {
+    f.f64_const(2.5);
+    f.op(Op::kF64x2Splat);
+    f.lane_op(Op::kF64x2ExtractLane, 1);
+    f.end();
+  }, 0);
+  RFunc opt = lower_one(bytes, true);
+  EXPECT_FALSE(contains_op(opt, ROp::kF64x2Splat)) << opt.to_string();
+  EXPECT_TRUE(contains_op(opt, ROp::kConstV128)) << opt.to_string();
+}
+
+TEST(SimdFolding, FoldsV128BinopOfTwoConstants) {
+  wasm::V128 a{}, b{};
+  for (int i = 0; i < 16; ++i) {
+    a.bytes[i] = u8(0xF0 | i);
+    b.bytes[i] = u8(0x0F + i);
+  }
+  auto bytes = build_single_func({{}, {I64}}, [&](auto& f) {
+    f.v128_const(a);
+    f.v128_const(b);
+    f.op(Op::kV128And);
+    f.lane_op(Op::kI64x2ExtractLane, 0);
+    f.end();
+  }, 0);
+  RFunc opt = lower_one(bytes, true);
+  EXPECT_FALSE(contains_op(opt, ROp::kV128And)) << opt.to_string();
+  EXPECT_EQ(count_op(opt, ROp::kConstV128), 1u) << opt.to_string();
+}
+
+TEST(SimdBoundsHoisting, HoistsV128StoreLoop) {
+  // for (i = 0; i < n; i += 16) mem[i] = splat(i): the v128 store gets a
+  // raw twin behind the guard; the slow copy keeps the checked op.
+  auto bytes = build_single_func({{I32}, {}}, [](auto& f) {
+    u32 i = f.add_local(I32);
+    f.for_loop_i32(i, 0, 0, 16, [&] {
+      f.local_get(i);
+      f.local_get(i);
+      f.op(Op::kI8x16Splat);
+      f.mem_op(Op::kV128Store);
+    });
+    f.end();
+  });
+  RFunc opt = lower_one(bytes, true);
+  EXPECT_TRUE(contains_op(opt, ROp::kMemGuard)) << opt.to_string();
+  EXPECT_TRUE(contains_op(opt, ROp::kV128StoreRaw)) << opt.to_string();
+  EXPECT_TRUE(contains_op(opt, ROp::kV128Store)) << opt.to_string();
+}
+
+// ---------------------------------------------------------------------------
 // Bounds-check hoisting: counted loops with affine accesses are versioned
 // behind a kMemGuard; the fast copy runs unchecked raw ops, the slow copy
 // keeps every check, and traps fire at the original point.

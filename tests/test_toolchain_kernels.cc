@@ -58,22 +58,29 @@ TEST(KernelImb, ItersScaleDownWithSize) {
 }
 
 TEST(KernelHpcg, WasmMatchesNativeResidualAcrossRankCounts) {
-  HpcgParams p;
-  p.n_per_rank = 256;
-  p.iterations = 8;
-  auto bytes = build_hpcg_module(p);
-  for (int ranks : {1, 2, 4}) {
-    auto rows = run_kernel(bytes, ranks);
-    ASSERT_EQ(rows.size(), 1u);
-    f64 wasm_residual = rows[0].c;
+  // Both kernel builds: the scalar loops, and the f64x2 SIMD twin whose
+  // native counterpart mirrors the two-lane dot accumulation — residuals
+  // must stay bit-exact either way.
+  for (bool simd : {false, true}) {
+    HpcgParams p;
+    p.n_per_rank = 256;
+    p.iterations = 8;
+    p.use_simd = simd;
+    auto bytes = build_hpcg_module(p);
+    for (int ranks : {1, 2, 4}) {
+      auto rows = run_kernel(bytes, ranks);
+      ASSERT_EQ(rows.size(), 1u);
+      f64 wasm_residual = rows[0].c;
 
-    f64 native_residual = -1;
-    simmpi::World world(ranks);
-    world.run([&](simmpi::Rank& r) {
-      auto res = native_hpcg_run(r, p);
-      if (r.rank() == 0) native_residual = res.residual;
-    });
-    EXPECT_EQ(wasm_residual, native_residual) << "ranks=" << ranks;
+      f64 native_residual = -1;
+      simmpi::World world(ranks);
+      world.run([&](simmpi::Rank& r) {
+        auto res = native_hpcg_run(r, p);
+        if (r.rank() == 0) native_residual = res.residual;
+      });
+      EXPECT_EQ(wasm_residual, native_residual)
+          << "ranks=" << ranks << " simd=" << simd;
+    }
   }
 }
 
