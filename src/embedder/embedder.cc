@@ -82,8 +82,9 @@ RunResult Embedder::run_world(std::shared_ptr<const rt::CompiledModule> cm,
   });
 
   result.wall_seconds = wall.elapsed_s();
-  if (cm->tier == rt::EngineTier::kTiered)
-    result.tierup = rt::tierup_snapshot(*cm);
+  // Cheap for every tier; carries the native-code census for kJit modules
+  // and the promotion counters for kTiered ones (zeros elsewhere).
+  result.tierup = rt::tierup_snapshot(*cm);
   return result;
 }
 

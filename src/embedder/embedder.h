@@ -44,8 +44,10 @@ struct RunResult {
   f64 compile_ms = 0;
   f64 wall_seconds = 0;
   bool loaded_from_cache = false;
-  /// Tier-up counters accumulated across all ranks (kTiered engine only;
-  /// zeros otherwise). Taken after the world finishes.
+  /// Per-tier execution stats, taken after the world finishes: tier-up
+  /// counters for kTiered runs, the native-code census (functions compiled,
+  /// interpreter fallbacks, machine-code bytes) for kJit and tiered-to-jit
+  /// runs; zeros for the purely interpreted/threaded tiers.
   rt::TierUpSnapshot tierup;
   /// Merged Figure-6 samples from all ranks (record_translation only).
   std::vector<TranslationSample> translation_samples;

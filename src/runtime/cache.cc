@@ -20,11 +20,17 @@ constexpr u32 kCacheMagic = 0x4357524D;  // "MRWC"
 // op-store/indexed forms, kMemGuard, raw ops).
 // v5: the full SIMD opcode space (lane ops, comparisons, shifts, shuffle,
 // bitselect, v128 fused/indexed/raw forms), which renumbers ROp again.
+// v6: an optional per-function native-code section (JitBlob: CPU feature
+// word, codegen layout hash, machine code, helper relocations). The section
+// is validated separately at load time — the *engine* rejects a blob whose
+// features aren't a subset of the host's or whose layout hash disagrees
+// with this build, recompiles it, and falls back to threaded RegCode when
+// that fails too; the RegCode part of the entry stays usable either way.
 // Any older entry would decode to the wrong opcodes, so the header check
-// rejects it and the engine silently recompiles. RFunc::handlers is
-// derived state and is never serialized; prepare_rfunc() re-resolves it
-// after every load.
-constexpr u32 kCacheVersion = 5;
+// rejects it and the engine silently recompiles. RFunc::handlers and
+// RFunc::jit_entry are derived state and are never serialized;
+// prepare_rfunc() / JitArena::install() re-resolve them after every load.
+constexpr u32 kCacheVersion = 6;
 
 void write_rfunc(ByteWriter& w, const RFunc& f) {
   w.write_leb_u32(f.num_params);
@@ -46,6 +52,22 @@ void write_rfunc(ByteWriter& w, const RFunc& f) {
   for (const auto& pool : f.br_pool) {
     w.write_leb_u32(u32(pool.size()));
     for (u32 t : pool) w.write_leb_u32(t);
+  }
+  // v6 native section (optional — absent for functions that were never
+  // JIT-compiled or had an untemplatable op).
+  if (f.jit != nullptr) {
+    w.write_u8(1);
+    w.write_u32_le(f.jit->cpu_features);
+    w.write_u64_le(f.jit->layout_hash);
+    w.write_leb_u32(u32(f.jit->code.size()));
+    w.write_bytes({f.jit->code.data(), f.jit->code.size()});
+    w.write_leb_u32(u32(f.jit->relocs.size()));
+    for (const JitReloc& rel : f.jit->relocs) {
+      w.write_u32_le(rel.offset);
+      w.write_u32_le(rel.helper);
+    }
+  } else {
+    w.write_u8(0);
   }
 }
 
@@ -84,6 +106,28 @@ bool read_rfunc(ByteReader& r, RFunc& f) {
     if (n > r.remaining()) return false;
     pool.resize(n);
     for (u32& t : pool) t = r.read_leb_u32();
+  }
+  u8 has_native = r.read_u8();
+  if (has_native > 1) return false;
+  if (has_native != 0) {
+    auto blob = std::make_shared<JitBlob>();
+    blob->cpu_features = r.read_u32_le();
+    blob->layout_hash = r.read_u64_le();
+    u32 code_size = r.read_leb_u32();
+    if (code_size > r.remaining()) return false;
+    auto code = r.read_bytes(code_size);
+    blob->code.assign(code.begin(), code.end());
+    u32 nrel = r.read_leb_u32();
+    if (u64(nrel) * 8 > r.remaining()) return false;
+    blob->relocs.resize(nrel);
+    for (JitReloc& rel : blob->relocs) {
+      rel.offset = r.read_u32_le();
+      rel.helper = r.read_u32_le();
+      // Reloc sanity: each patch site must lie inside the code bytes (the
+      // helper ordinal is validated against the running build at install).
+      if (u64(rel.offset) + 8 > blob->code.size()) return false;
+    }
+    f.jit = std::move(blob);
   }
   return true;
 }

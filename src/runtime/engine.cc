@@ -5,6 +5,7 @@
 #include "runtime/cache.h"
 #include "runtime/exec.h"
 #include "runtime/instance.h"
+#include "runtime/jit_x64.h"
 #include "runtime/lowering.h"
 #include "runtime/optimizer.h"
 #include "support/log.h"
@@ -21,6 +22,7 @@ const char* tier_name(EngineTier tier) {
     case EngineTier::kLightOpt: return "lightopt";
     case EngineTier::kOptimizing: return "optimizing";
     case EngineTier::kTiered: return "tiered";
+    case EngineTier::kJit: return "jit";
   }
   return "?";
 }
@@ -44,12 +46,41 @@ namespace {
 std::string cache_tag(EngineTier tier, bool superinstructions,
                       bool hoist_bounds, bool simd) {
   std::string tag = tier_name(tier);
-  if (tier == EngineTier::kOptimizing) {
+  if (tier == EngineTier::kOptimizing || tier == EngineTier::kJit) {
     if (!superinstructions) tag += "-nosuper";
     if (!hoist_bounds) tag += "-nohoist";
     if (!simd) tag += "-nosimd";
   }
   return tag;
+}
+
+/// Gives `rf` a native entry point: reuses a cache-loaded blob when its CPU
+/// features are a subset of the host's and its layout hash matches this
+/// build, recompiles otherwise, and installs into the module's arena.
+/// On any failure the blob is dropped and the function stays on the
+/// threaded interpreter (returns false). Caller must hold whatever lock
+/// serializes arena installs for `cm`.
+bool attach_jit_entry(const CompiledModule& cm, RFunc& rf) {
+  const u32 host = jit_cpu_features();
+  if (rf.jit != nullptr && ((rf.jit->cpu_features & ~host) != 0 ||
+                            rf.jit->layout_hash != jit_layout_hash())) {
+    MW_DEBUG("jit: cached blob rejected (feature/layout mismatch)");
+    rf.jit = nullptr;  // stale blob: recompile below
+  }
+  if (rf.jit == nullptr) rf.jit = jit_compile_function(rf);
+  if (rf.jit == nullptr) {
+    cm.jit_fallback_funcs.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (cm.jit_arena == nullptr) cm.jit_arena = std::make_unique<JitArena>();
+  rf.jit_entry = cm.jit_arena->install(*rf.jit);
+  if (rf.jit_entry == nullptr) {
+    rf.jit = nullptr;
+    cm.jit_fallback_funcs.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  cm.jit_funcs.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 /// Canonicalizes structurally equal function types so call_indirect
@@ -81,12 +112,19 @@ void compute_canonical_ids(CompiledModule& cm) {
 // ---------------------------------------------------------------------------
 // Tiered entry thunks.
 //
-// Steady: installed once the Optimizing body is published; calls go
-// straight to the regcode executor with no counter traffic.
+// Steady: installed once the final-stage body is published (Optimizing, or
+// Jit when native promotion is on); calls go straight to the executor with
+// no counter traffic. A jit body carries its native entry; a body without
+// one runs on the threaded interpreter.
 void tiered_steady_entry(Instance& inst, const CompiledModule& cm,
                          u32 defined_index, Slot* base) {
   const FuncUnit& u = cm.tiered.units[defined_index];
-  inst.run_regcode(*u.active.load(std::memory_order_acquire), base);
+  const RFunc& rf = *u.active.load(std::memory_order_acquire);
+  if (rf.jit_entry != nullptr) {
+    inst.run_jit(rf, base);
+  } else {
+    inst.run_regcode(rf, base);
+  }
 }
 
 // Counting: bumps the call counter, requests promotion when a threshold
@@ -98,7 +136,9 @@ void tiered_counting_entry(Instance& inst, const CompiledModule& cm,
   FuncUnit& u = ts.units[defined_index];
   const u64 n = u.calls.fetch_add(1, std::memory_order_relaxed) + 1;
   const EngineTier cur = u.tier.load(std::memory_order_relaxed);
-  if (cur != EngineTier::kOptimizing) {
+  if (ts.jit_enabled && cur != EngineTier::kJit && n >= ts.jit_threshold) {
+    tier_up(cm, defined_index, EngineTier::kJit);
+  } else if (cur != EngineTier::kOptimizing && cur != EngineTier::kJit) {
     if (n >= ts.opt_threshold) {
       tier_up(cm, defined_index, EngineTier::kOptimizing);
     } else if (cur == EngineTier::kInterp && n >= ts.baseline_threshold) {
@@ -106,7 +146,11 @@ void tiered_counting_entry(Instance& inst, const CompiledModule& cm,
     }
   }
   if (const RFunc* rf = u.active.load(std::memory_order_acquire)) {
-    inst.run_regcode(*rf, base);
+    if (rf->jit_entry != nullptr) {
+      inst.run_jit(*rf, base);
+    } else {
+      inst.run_regcode(*rf, base);
+    }
   } else {
     inst.run_predecoded(cm.predecoded.funcs[defined_index], base);
   }
@@ -115,7 +159,9 @@ void tiered_counting_entry(Instance& inst, const CompiledModule& cm,
 }  // namespace
 
 void tier_up(const CompiledModule& cm, u32 defined_index, EngineTier target) {
-  MW_CHECK(target == EngineTier::kBaseline || target == EngineTier::kOptimizing,
+  MW_CHECK(target == EngineTier::kBaseline ||
+               target == EngineTier::kOptimizing ||
+               target == EngineTier::kJit,
            "tier_up targets a compiled tier");
   TieredState& ts = cm.tiered;
   // Never stall a rank thread behind an in-progress promotion: if another
@@ -144,34 +190,52 @@ void tier_up(const CompiledModule& cm, u32 defined_index, EngineTier target) {
   }
   if (!body) {
     body = std::make_unique<RFunc>(lower_function(cm.module, defined_index));
-    if (target == EngineTier::kOptimizing) {
+    // kJit sits on top of the full optimizing pipeline: templates cover the
+    // fused superinstructions, so the native code keeps their wins.
+    if (target != EngineTier::kBaseline) {
       OptOptions opt = OptOptions::full();
       opt.fuse_super = ts.opt_superinstructions;
       opt.hoist_bounds = ts.opt_hoist_bounds;
       opt.simd = ts.opt_simd;
       optimize_function(*body, opt);
     }
-    if (cache) cache->store_func(cm.hash, defined_index, tag, *body);
   }
+  // Native codegen (or validation + reinstall of a cache-loaded blob). On
+  // failure the fully optimized body is published at kOptimizing instead —
+  // the function permanently falls back to the threaded interpreter.
+  bool jit_ok = false;
+  if (target == EngineTier::kJit) jit_ok = attach_jit_entry(cm, *body);
+  if (cache && !from_cache)
+    cache->store_func(cm.hash, defined_index, tag, *body);
   // Resolve direct-threading handler addresses before anyone can see the
   // body (handlers are derived state, never serialized to the cache).
   prepare_rfunc(*body);
 
+  const EngineTier publish_tier = target == EngineTier::kJit && !jit_ok
+                                      ? EngineTier::kOptimizing
+                                      : target;
+
   // Publish. The superseded body (if any) stays alive: another thread may
   // still be executing it.
-  std::unique_ptr<RFunc>& slot = target == EngineTier::kOptimizing
+  std::unique_ptr<RFunc>& slot = target == EngineTier::kJit ? u.jit_body
+                                 : target == EngineTier::kOptimizing
                                      ? u.optimized_body
                                      : u.baseline_body;
   slot = std::move(body);
   u.state.store(FuncState::kRegcode, std::memory_order_relaxed);
   u.active.store(slot.get(), std::memory_order_release);
-  u.tier.store(target, std::memory_order_release);
-  if (target == EngineTier::kOptimizing)
+  u.tier.store(publish_tier, std::memory_order_release);
+  // Stop counting once the function reaches its final stage: the jit stage
+  // when native promotion is on (reached even on template fallback, which
+  // must not be retried every call), the optimizing stage otherwise.
+  if (target == EngineTier::kJit ||
+      (target == EngineTier::kOptimizing && !ts.jit_enabled))
     u.entry.store(&tiered_steady_entry, std::memory_order_release);
 
   ts.stats.tierup_compile_ns.fetch_add(watch.elapsed_ns(),
                                        std::memory_order_relaxed);
-  auto& counter = target == EngineTier::kOptimizing
+  auto& counter = jit_ok ? ts.stats.promoted_jit
+                  : publish_tier == EngineTier::kOptimizing
                       ? ts.stats.promoted_optimizing
                       : ts.stats.promoted_baseline;
   counter.fetch_add(1, std::memory_order_relaxed);
@@ -192,17 +256,35 @@ TierUpSnapshot tierup_snapshot(const CompiledModule& cm) {
       case FuncState::kRegcode: ++s.funcs_regcode; break;
     }
   }
+  for (u32 i = 0; i < ts.num_units; ++i)
+    s.calls_counted += ts.units[i].calls.load(std::memory_order_relaxed);
   s.promoted_baseline = ts.stats.promoted_baseline.load();
   s.promoted_optimizing = ts.stats.promoted_optimizing.load();
+  s.promoted_jit = ts.stats.promoted_jit.load();
   s.func_cache_hits = ts.stats.func_cache_hits.load();
   s.tierup_compile_ms = f64(ts.stats.tierup_compile_ns.load()) / 1e6;
+  // Native-code census covers static kJit modules too (num_units == 0).
+  s.jit_funcs = cm.jit_funcs.load(std::memory_order_relaxed);
+  s.jit_fallback_funcs = cm.jit_fallback_funcs.load(std::memory_order_relaxed);
+  if (cm.jit_arena != nullptr) s.jit_code_bytes = cm.jit_arena->code_bytes();
+  // Statically compiled kJit modules have no tier units; every function was
+  // compiled to RegCode ahead of time, so report them all as such.
+  if (cm.tier == EngineTier::kJit) {
+    s.funcs_total = cm.regcode.funcs.size();
+    s.funcs_regcode = s.funcs_total;
+  }
   return s;
 }
 
 std::shared_ptr<const CompiledModule> compile(std::span<const u8> bytes,
                                               const EngineConfig& cfg) {
   auto cm = std::make_shared<CompiledModule>();
-  cm->tier = cfg.tier;
+  // With native codegen switched off (config or MPIWASM_JIT=0) the jit tier
+  // degrades to the optimizing tier — same RegCode, threaded dispatch.
+  const EngineTier tier = cfg.tier == EngineTier::kJit && !cfg.jit
+                              ? EngineTier::kOptimizing
+                              : cfg.tier;
+  cm->tier = tier;
 
   Stopwatch decode_watch;
   wasm::DecodeResult decoded = wasm::decode_module(bytes);
@@ -216,13 +298,13 @@ std::shared_ptr<const CompiledModule> compile(std::span<const u8> bytes,
   compute_canonical_ids(*cm);
 
   Stopwatch compile_watch;
-  if (cfg.tier == EngineTier::kInterp) {
+  if (tier == EngineTier::kInterp) {
     cm->predecoded = predecode_module(cm->module);
     cm->compile_ms = compile_watch.elapsed_ms();
     return cm;
   }
 
-  if (cfg.tier == EngineTier::kTiered) {
+  if (tier == EngineTier::kTiered) {
     // Instant startup: predecode every function (cheap, linear), defer all
     // lowering/optimization to the counting thunks.
     cm->predecoded = predecode_module(cm->module);
@@ -232,6 +314,8 @@ std::shared_ptr<const CompiledModule> compile(std::span<const u8> bytes,
     ts.baseline_threshold = std::max<u64>(1, cfg.tierup_baseline_threshold);
     ts.opt_threshold =
         std::max<u64>(ts.baseline_threshold, cfg.tierup_opt_threshold);
+    ts.jit_threshold = std::max<u64>(ts.opt_threshold, cfg.tierup_jit_threshold);
+    ts.jit_enabled = cfg.jit;
     ts.cache_enabled = cfg.enable_cache;
     ts.cache_dir = cfg.cache_dir;
     ts.opt_superinstructions = cfg.opt_superinstructions;
@@ -247,7 +331,7 @@ std::shared_ptr<const CompiledModule> compile(std::span<const u8> bytes,
     return cm;
   }
 
-  const std::string tag = cache_tag(cfg.tier, cfg.opt_superinstructions,
+  const std::string tag = cache_tag(tier, cfg.opt_superinstructions,
                                     cfg.opt_hoist_bounds, cfg.opt_simd);
   if (cfg.enable_cache) {
     FileSystemCache cache(cfg.cache_dir);
@@ -255,6 +339,13 @@ std::shared_ptr<const CompiledModule> compile(std::span<const u8> bytes,
       cm->regcode = std::move(*rm);
       cm->loaded_from_cache = true;
       for (auto& rf : cm->regcode.funcs) prepare_rfunc(rf);
+      if (tier == EngineTier::kJit) {
+        // Re-validate and re-install every cached native blob (helper
+        // addresses are process-specific). Blobs from a different CPU or
+        // codegen layout are silently recompiled; functions that still
+        // can't be compiled run on the threaded interpreter.
+        for (auto& rf : cm->regcode.funcs) attach_jit_entry(*cm, rf);
+      }
       cm->compile_ms = compile_watch.elapsed_ms();
       MW_DEBUG("cache hit for " << cm->hash.hex() << " (" << tag << ")");
       return cm;
@@ -262,9 +353,9 @@ std::shared_ptr<const CompiledModule> compile(std::span<const u8> bytes,
   }
 
   cm->regcode = lower_module(cm->module);
-  if (cfg.tier == EngineTier::kLightOpt) {
+  if (tier == EngineTier::kLightOpt) {
     optimize_module(cm->regcode, OptOptions::light());
-  } else if (cfg.tier == EngineTier::kOptimizing) {
+  } else if (tier == EngineTier::kOptimizing || tier == EngineTier::kJit) {
     OptOptions opt = OptOptions::full();
     opt.fuse_super = cfg.opt_superinstructions;
     opt.hoist_bounds = cfg.opt_hoist_bounds;
@@ -275,11 +366,24 @@ std::shared_ptr<const CompiledModule> compile(std::span<const u8> bytes,
                            << stats.fused_super << " superinstrs, "
                            << stats.guards_hoisted << " guards hoisted");
   }
+  if (tier == EngineTier::kJit) {
+    // Native codegen over the optimized RegCode; per-function fallback to
+    // the threaded interpreter wherever a template is missing.
+    u32 compiled = 0;
+    for (auto& rf : cm->regcode.funcs)
+      if (attach_jit_entry(*cm, rf)) ++compiled;
+    MW_DEBUG("jit: " << compiled << "/" << cm->regcode.funcs.size()
+                     << " functions native, "
+                     << (cm->jit_arena ? cm->jit_arena->code_bytes() : 0)
+                     << " code bytes");
+  }
   // Resolve direct-threading handler addresses once per published body.
   for (auto& rf : cm->regcode.funcs) prepare_rfunc(rf);
   cm->compile_ms = compile_watch.elapsed_ms();
 
   if (cfg.enable_cache) {
+    // For kJit this runs after codegen so the native blobs land in the
+    // cache entry alongside the RegCode.
     FileSystemCache cache(cfg.cache_dir);
     cache.store(cm->hash, tag, cm->regcode);
   }

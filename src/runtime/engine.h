@@ -35,6 +35,8 @@
 #include <vector>
 
 #include "runtime/interp.h"
+#include "runtime/jit_arena.h"
+#include "runtime/jit_support.h"
 #include "runtime/regcode.h"
 #include "runtime/value.h"
 #include "support/sha256.h"
@@ -51,6 +53,13 @@ enum class EngineTier : u8 {
   kLightOpt = 2,
   kOptimizing = 3,
   kTiered = 4,  // lazy per-function compile with dynamic tier-up
+  // Native x86-64 template codegen on top of the full optimizing pipeline
+  // (jit_x64.h). Functions whose RegCode contains an op without a template
+  // fall back to the threaded interpreter, so kJit is never worse than
+  // kOptimizing. Note kTiered sits between kOptimizing and kJit numerically
+  // but is a *mode*, not a code quality level; per-function tier fields
+  // only ever hold the compiled tiers, whose order is monotone.
+  kJit = 5,
 };
 
 const char* tier_name(EngineTier tier);
@@ -72,6 +81,14 @@ struct EngineConfig {
   // `tierup_opt_threshold`. Threshold 1 promotes on the first call.
   u64 tierup_baseline_threshold = 8;
   u64 tierup_opt_threshold = 512;
+  // Third promotion stage: once a function has been entered this many times
+  // it is recompiled to native code (only when `jit` is on; clamped to at
+  // least tierup_opt_threshold).
+  u64 tierup_jit_threshold = 4096;
+  /// Master switch for native codegen, defaulting to the MPIWASM_JIT
+  /// environment variable (docs/TUNING.md). Off: EngineTier::kJit degrades
+  /// to kOptimizing and tiered promotion stops at the optimizing stage.
+  bool jit = jit_enabled_from_env();
   // Optimizing-tier pass toggles (bench/test ablation; both on by default
   // and applied wherever the full pipeline runs — kOptimizing and tiered
   // promotions to it).
@@ -118,12 +135,14 @@ struct FuncUnit {
   // Writer-owned storage behind the published pointers.
   std::unique_ptr<RFunc> baseline_body;
   std::unique_ptr<RFunc> optimized_body;
+  std::unique_ptr<RFunc> jit_body;  // optimized body + native entry
 };
 
 /// Monotonic tier-up counters, aggregated across all rank threads.
 struct TierUpStats {
   std::atomic<u64> promoted_baseline{0};
   std::atomic<u64> promoted_optimizing{0};
+  std::atomic<u64> promoted_jit{0};
   std::atomic<u64> func_cache_hits{0};   // promotions served from cache
   std::atomic<u64> tierup_compile_ns{0};  // wall time spent promoting
 };
@@ -136,8 +155,16 @@ struct TierUpSnapshot {
   u64 funcs_regcode = 0;     // promoted to compiled code
   u64 promoted_baseline = 0;
   u64 promoted_optimizing = 0;
+  u64 promoted_jit = 0;
   u64 func_cache_hits = 0;
   f64 tierup_compile_ms = 0;
+  // Calls observed while counting thunks were installed (tiered mode; a
+  // function stops counting once its final-stage thunk is published).
+  u64 calls_counted = 0;
+  // Native-tier census — filled for kJit modules and tiered modules alike.
+  u64 jit_funcs = 0;           // functions running native code
+  u64 jit_fallback_funcs = 0;  // template gaps: fell back to threaded interp
+  u64 jit_code_bytes = 0;      // machine code installed in the arena
 };
 
 /// Mutable tiered-execution state hanging off an otherwise immutable
@@ -147,6 +174,8 @@ struct TieredState {
   u32 num_units = 0;
   u64 baseline_threshold = 8;
   u64 opt_threshold = 512;
+  u64 jit_threshold = 4096;
+  bool jit_enabled = false;
   bool cache_enabled = false;
   bool opt_superinstructions = true;
   bool opt_hoist_bounds = true;
@@ -171,6 +200,13 @@ struct CompiledModule {
   f64 decode_ms = 0;
   bool loaded_from_cache = false;
   mutable TieredState tiered;   // kTiered only
+  // Native-code state (kJit, and kTiered promotions to the jit stage). The
+  // arena owns the executable mappings for the module's lifetime; installs
+  // are serialized (compile() is single-threaded, tiered promotions hold
+  // TieredState::mu). The counters feed TierUpSnapshot.
+  mutable std::unique_ptr<JitArena> jit_arena;
+  mutable std::atomic<u64> jit_funcs{0};
+  mutable std::atomic<u64> jit_fallback_funcs{0};
 };
 
 /// Compiles `bytes` under `cfg`. Throws CompileError on malformed or
@@ -178,8 +214,9 @@ struct CompiledModule {
 std::shared_ptr<const CompiledModule> compile(std::span<const u8> bytes,
                                               const EngineConfig& cfg);
 
-/// Promotes defined function `defined_index` to `target` (kBaseline or
-/// kOptimizing) and publishes the body; no-op if the function is already
+/// Promotes defined function `defined_index` to `target` (kBaseline,
+/// kOptimizing, or kJit) and publishes the body; no-op if the function is
+/// already
 /// at or above `target`, or if another thread currently holds the
 /// promotion lock (callers fall through to the published body and retry
 /// on a later call — promotion never stalls execution). Normally driven

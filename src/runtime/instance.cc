@@ -5,6 +5,7 @@
 #include "runtime/engine.h"
 #include "runtime/exec.h"
 #include "runtime/interp.h"
+#include "runtime/jit_support.h"
 
 namespace mpiwasm::rt {
 
@@ -170,6 +171,17 @@ void Instance::call_function(u32 fidx, Slot* base) {
     case EngineTier::kInterp:
       run_predecoded(cm.predecoded.funcs[di], base);
       return;
+    case EngineTier::kJit: {
+      // Per-function fallback: bodies without a native entry (template gap
+      // or arena failure) run on the threaded interpreter.
+      const RFunc& rf = cm.regcode.funcs[di];
+      if (rf.jit_entry != nullptr) {
+        run_jit(rf, base);
+      } else {
+        run_regcode(rf, base);
+      }
+      return;
+    }
     default:
       run_regcode(cm.regcode.funcs[di], base);
       return;
@@ -203,6 +215,20 @@ void Instance::run_regcode(const RFunc& f, Slot* base) {
               (f.num_regs - f.num_params) * sizeof(Slot));
   if (f.num_params > 0) std::memcpy(frame, base, f.num_params * sizeof(Slot));
   exec_regcode(*this, f, frame);
+  if (f.has_result) base[0] = frame[0];
+}
+
+void Instance::run_jit(const RFunc& f, Slot* base) {
+  Slot* frame = alloc_frame(f.num_regs);
+  struct FrameGuard {
+    Instance& inst;
+    u32 n;
+    ~FrameGuard() { inst.release_frame(n); }
+  } frame_guard{*this, f.num_regs};
+  std::memset(frame + f.num_params, 0,
+              (f.num_regs - f.num_params) * sizeof(Slot));
+  if (f.num_params > 0) std::memcpy(frame, base, f.num_params * sizeof(Slot));
+  jit_enter(f.jit_entry, *this, frame);
   if (f.has_result) base[0] = frame[0];
 }
 

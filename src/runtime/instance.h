@@ -100,6 +100,9 @@ class Instance {
   void run_predecoded(const PreFunc& f, Slot* base);
   /// Same, for a lowered RegCode body (any compiled tier).
   void run_regcode(const RFunc& f, Slot* base);
+  /// Same, for a body with a native entry point (f.jit_entry != nullptr);
+  /// enters the code through a trap activation (jit_enter).
+  void run_jit(const RFunc& f, Slot* base);
   Slot* globals() { return globals_.data(); }
   std::vector<u32>& table() { return table_; }
 

@@ -1,0 +1,1794 @@
+#include "runtime/jit_x64.h"
+
+#include <cstring>
+#include <initializer_list>
+
+#include "runtime/jit_support.h"
+
+namespace mpiwasm::rt {
+
+namespace {
+
+using wasm::V128;
+
+// Register numbers (low 3 bits go in modrm/SIB; bit 3 goes in REX).
+enum Gpr : u8 {
+  RAX = 0, RCX = 1, RDX = 2, RBX = 3, RSP = 4, RBP = 5, RSI = 6, RDI = 7,
+  R8 = 8, R12 = 12, R13 = 13, R14 = 14, R15 = 15,
+};
+enum Xmm : u8 { X0 = 0, X1 = 1 };
+
+// Condition-code low nibbles (0F 8x jcc rel32, 7x jcc rel8, 0F 9x setcc).
+enum Cc : u8 {
+  CC_B = 0x2, CC_AE = 0x3, CC_E = 0x4, CC_NE = 0x5, CC_BE = 0x6, CC_A = 0x7,
+  CC_P = 0xA, CC_NP = 0xB, CC_L = 0xC, CC_GE = 0xD, CC_LE = 0xE, CC_G = 0xF,
+};
+
+/// One function's emission state. The templates use a fixed register
+/// discipline (see jit_x64.h): rax/rcx/rdx and xmm0/xmm1 are the only
+/// scratch registers, every value lives in the Slot frame between
+/// instructions, so each RegCode instruction maps to an independent
+/// template and there is no register allocator.
+struct Emitter {
+  const RFunc& f;
+  u32 feats;
+  std::vector<u8> code;
+  std::vector<JitReloc> relocs;
+  std::vector<u32> ioff;  // native offset of each RegCode instruction
+
+  struct BranchFix { u32 at; u32 target; };   // rel32 to instruction index
+  struct PoolFix { u32 at; u32 index; };      // rip disp32 to pool entry
+  struct TableFix { u32 at; u32 pool; };      // rip disp32 to a br table
+  struct TrapSite { u32 at; u32 len; };       // rel32 to this site's OOB stub
+  std::vector<BranchFix> branch_fixes;
+  std::vector<PoolFix> pool_fixes;
+  std::vector<TableFix> table_fixes;
+  std::vector<TrapSite> trap_sites;
+  std::vector<V128> pool;  // f.v128_pool + emitter-generated masks
+
+  Emitter(const RFunc& fn, u32 features)
+      : f(fn), feats(features), pool(fn.v128_pool) {}
+
+  // --- raw byte emission ---------------------------------------------------
+
+  void b1(u8 v) { code.push_back(v); }
+  void bs(std::initializer_list<u8> vs) {
+    for (u8 v : vs) code.push_back(v);
+  }
+  void i32le(u32 v) {
+    for (int i = 0; i < 4; ++i) b1(u8(v >> (8 * i)));
+  }
+  void i64le(u64 v) {
+    for (int i = 0; i < 8; ++i) b1(u8(v >> (8 * i)));
+  }
+  void patch32(u32 at, u32 v) {
+    for (int i = 0; i < 4; ++i) code[at + i] = u8(v >> (8 * i));
+  }
+
+  // --- instruction encoding primitives --------------------------------------
+
+  void rex_if(bool w, u8 reg, u8 rm) {
+    u8 r = u8(0x40 | (w ? 8 : 0) | ((reg >> 3) << 2) | (rm >> 3));
+    if (r != 0x40) b1(r);
+  }
+
+  /// modrm for [base + disp]; always mod=01/10 (disp present) so rbp/r13
+  /// need no special case; rsp/r12 get the mandatory SIB.
+  void modrm_mem(u8 reg, u8 base, i64 disp) {
+    u8 rl = reg & 7, bl = base & 7;
+    bool small = disp >= -128 && disp <= 127;
+    b1(u8((small ? 0x40 : 0x80) | (rl << 3) | (bl == 4 ? 4 : bl)));
+    if (bl == 4) b1(0x24);  // SIB: scale 1, no index, base rsp/r12
+    if (small)
+      b1(u8(i8(disp)));
+    else
+      i32le(u32(i32(disp)));
+  }
+
+  /// op reg, [base+disp] (or store form, same encoding with reversed opcode).
+  void op_rm(u8 pfx, bool w, std::initializer_list<u8> ops, u8 reg, u8 base,
+             i64 disp) {
+    if (pfx) b1(pfx);
+    rex_if(w, reg, base);
+    for (u8 o : ops) b1(o);
+    modrm_mem(reg, base, disp);
+  }
+
+  /// op reg, rm (register-direct form).
+  void op_rr(u8 pfx, bool w, std::initializer_list<u8> ops, u8 reg, u8 rm) {
+    if (pfx) b1(pfx);
+    rex_if(w, reg, rm);
+    for (u8 o : ops) b1(o);
+    b1(u8(0xC0 | ((reg & 7) << 3) | (rm & 7)));
+  }
+
+  /// op reg, [r13 + rax] — the linear-memory access form. r13&7 == 5 forces
+  /// a disp8 even at zero; index rax never needs REX.X.
+  void op_mem(u8 pfx, bool w, std::initializer_list<u8> ops, u8 reg) {
+    if (pfx) b1(pfx);
+    b1(u8(0x40 | (w ? 8 : 0) | ((reg >> 3) << 2) | 1));  // REX.B = r13
+    for (u8 o : ops) b1(o);
+    b1(u8(0x44 | ((reg & 7) << 3)));  // mod=01, rm=SIB
+    b1(0x05);                         // SIB: scale 1, index rax, base r13
+    b1(0x00);                         // disp8 = 0
+  }
+
+  /// op reg, [rip + disp32]; returns the offset of the disp32 for fixups.
+  u32 op_rip(u8 pfx, std::initializer_list<u8> ops, u8 reg) {
+    if (pfx) b1(pfx);
+    rex_if(false, reg, 0);
+    for (u8 o : ops) b1(o);
+    b1(u8(0x00 | ((reg & 7) << 3) | 5));  // mod=00 rm=101: rip-relative
+    u32 at = u32(code.size());
+    i32le(0);
+    return at;
+  }
+
+  /// ALU group-1 (add=0 or=1 and=4 sub=5 xor=6 cmp=7) reg, imm.
+  void alu_imm(bool w, u8 ext, u8 rm, i64 imm) {
+    rex_if(w, 0, rm);
+    if (imm >= -128 && imm <= 127) {
+      b1(0x83);
+      b1(u8(0xC0 | (ext << 3) | (rm & 7)));
+      b1(u8(i8(imm)));
+    } else {
+      b1(0x81);
+      b1(u8(0xC0 | (ext << 3) | (rm & 7)));
+      i32le(u32(i32(imm)));
+    }
+  }
+
+  /// Shift group-2 (rol=0 ror=1 shl=4 shr=5 sar=7) reg, imm8.
+  void shift_imm(bool w, u8 ext, u8 rm, u8 imm) {
+    rex_if(w, 0, rm);
+    b1(0xC1);
+    b1(u8(0xC0 | (ext << 3) | (rm & 7)));
+    b1(imm);
+  }
+
+  void movabs(u8 reg, u64 v) {
+    b1(u8(0x48 | (reg >> 3)));
+    b1(u8(0xB8 | (reg & 7)));
+    i64le(v);
+  }
+
+  // --- Slot-frame access (rbx = Slot* frame; one slot = 16 bytes) -----------
+
+  i64 slot(u32 r) const { return i64(r) * 16; }
+
+  void load32(u8 reg, u32 r) { op_rm(0, false, {0x8B}, reg, RBX, slot(r)); }
+  void load64(u8 reg, u32 r) { op_rm(0, true, {0x8B}, reg, RBX, slot(r)); }
+  void store32(u32 r, u8 reg) { op_rm(0, false, {0x89}, reg, RBX, slot(r)); }
+  void store64(u32 r, u8 reg) { op_rm(0, true, {0x89}, reg, RBX, slot(r)); }
+  void loadss(u8 x, u32 r) { op_rm(0xF3, false, {0x0F, 0x10}, x, RBX, slot(r)); }
+  void loadsd(u8 x, u32 r) { op_rm(0xF2, false, {0x0F, 0x10}, x, RBX, slot(r)); }
+  void storess(u32 r, u8 x) { op_rm(0xF3, false, {0x0F, 0x11}, x, RBX, slot(r)); }
+  void storesd(u32 r, u8 x) { op_rm(0xF2, false, {0x0F, 0x11}, x, RBX, slot(r)); }
+  void loadaps(u8 x, u32 r) { op_rm(0, false, {0x0F, 0x28}, x, RBX, slot(r)); }
+  void storeaps(u32 r, u8 x) { op_rm(0, false, {0x0F, 0x29}, x, RBX, slot(r)); }
+
+  /// Full 16-byte Slot copy (kMov, reinterprets, replace-lane base copy).
+  void slot_copy(u32 a, u32 b) {
+    if (a == b) return;
+    loadaps(X0, b);
+    storeaps(a, X0);
+  }
+
+  // --- local control-flow helpers --------------------------------------------
+
+  u32 jcc8(u8 cc) {  // returns patch position of the rel8
+    b1(u8(0x70 | cc));
+    b1(0);
+    return u32(code.size() - 1);
+  }
+  void label8(u32 at) { code[at] = u8(code.size() - (at + 1)); }
+
+  void jcc32(u8 cc, u32 target) {
+    bs({0x0F, u8(0x80 | cc)});
+    branch_fixes.push_back({u32(code.size()), target});
+    i32le(0);
+  }
+  void jmp32(u32 target) {
+    b1(0xE9);
+    branch_fixes.push_back({u32(code.size()), target});
+    i32le(0);
+  }
+
+  // --- helper calls -----------------------------------------------------------
+
+  /// movabs rax, &helper; call rax. The imm64 is recorded as a relocation;
+  /// the current-process address is baked in so even an unpatched blob runs
+  /// correctly in the emitting process.
+  void call_helper(JitHelperId id) {
+    bs({0x48, 0xB8});
+    relocs.push_back({u32(code.size()), u32(id)});
+    i64le(u64(reinterpret_cast<uintptr_t>(jit_helper_address(u32(id)))));
+    bs({0xFF, 0xD0});
+  }
+
+  /// Reload r13/r15 from the {base,size} pair a memory-state helper returned
+  /// in rax:rdx (memory may have grown or been touched by a callee).
+  void reload_mem() {
+    op_rr(0, true, {0x89}, RAX, R13);  // mov r13, rax
+    op_rr(0, true, {0x89}, RDX, R15);  // mov r15, rdx
+  }
+
+  // --- effective addresses ------------------------------------------------------
+
+  /// rax = u64(r[base_slot].u32) + imm. rcx is clobbered for 64-bit imms.
+  void lin_addr(u32 base_slot, u64 imm) {
+    load32(RAX, base_slot);  // 32-bit mov zero-extends
+    add_imm_rax(imm);
+  }
+
+  /// rax = u64(u32(r[base].u32 + (r[idx].u32 << shift))) + imm — the IXADDR
+  /// macro. The 32-bit add wraps and zero-extends exactly like the macro.
+  void ix_addr(u32 base_slot, u32 idx_slot, u32 shift, u64 imm) {
+    load32(RAX, idx_slot);
+    if (shift & 31) shift_imm(false, 4, RAX, u8(shift & 31));
+    op_rm(0, false, {0x03}, RAX, RBX, slot(base_slot));  // add eax, [base]
+    add_imm_rax(imm);
+  }
+
+  void add_imm_rax(u64 imm) {
+    if (imm == 0) return;
+    if (imm <= 0x7FFFFFFFull) {
+      alu_imm(true, 0, RAX, i64(imm));
+    } else {
+      movabs(RCX, imm);
+      op_rr(0, true, {0x01}, RCX, RAX);  // add rax, rcx
+    }
+  }
+
+  /// Bounds check: ja to an out-of-line stub when rax + len > r15. rax is
+  /// the u64 effective address (< 2^33, so rax + len cannot wrap). The stub
+  /// calls h_trap_oob(rax, len, r15) for a byte-identical check() message.
+  void bounds_check(u32 len) {
+    op_rm(0, true, {0x8D}, RCX, RAX, i64(len));  // lea rcx, [rax + len]
+    op_rr(0, true, {0x39}, R15, RCX);            // cmp rcx, r15
+    bs({0x0F, 0x87});                            // ja stub
+    trap_sites.push_back({u32(code.size()), len});
+    i32le(0);
+  }
+
+  void checked_addr(u32 base_slot, u64 imm, u32 len) {
+    lin_addr(base_slot, imm);
+    bounds_check(len);
+  }
+
+  // --- constant pool ---------------------------------------------------------
+
+  u32 pool_const(const V128& v) {
+    for (u32 i = u32(f.v128_pool.size()); i < pool.size(); ++i)
+      if (std::memcmp(pool[i].bytes, v.bytes, 16) == 0) return i;
+    pool.push_back(v);
+    return u32(pool.size() - 1);
+  }
+  u32 splat_mask32(u32 v) {
+    V128 m;
+    for (int i = 0; i < 4; ++i) std::memcpy(m.bytes + i * 4, &v, 4);
+    return pool_const(m);
+  }
+  u32 splat_mask64(u64 v) {
+    V128 m;
+    for (int i = 0; i < 2; ++i) std::memcpy(m.bytes + i * 8, &v, 8);
+    return pool_const(m);
+  }
+
+  void load_pool(u8 x, u32 index) {  // movups x, [rip + pool[index]]
+    u32 at = op_rip(0, {0x0F, 0x10}, x);
+    pool_fixes.push_back({at, index});
+  }
+
+  // --- prologue / epilogue -----------------------------------------------------
+
+  void prologue() {
+    bs({0x55});                    // push rbp
+    bs({0x48, 0x89, 0xE5});        // mov rbp, rsp
+    bs({0x53});                    // push rbx
+    bs({0x41, 0x54});              // push r12
+    bs({0x41, 0x55});              // push r13
+    bs({0x41, 0x56});              // push r14
+    bs({0x41, 0x57});              // push r15
+    bs({0x48, 0x83, 0xEC, 0x08});  // sub rsp, 8 (16-align call sites)
+    op_rm(0, true, {0x8B}, R14, RDI, 0);   // inst
+    op_rm(0, true, {0x8B}, RBX, RDI, 8);   // regs
+    op_rm(0, true, {0x8B}, R12, RDI, 16);  // globals
+    op_rm(0, true, {0x8B}, R13, RDI, 24);  // mem base
+    op_rm(0, true, {0x8B}, R15, RDI, 32);  // mem size
+  }
+
+  void epilogue() {
+    bs({0x48, 0x83, 0xC4, 0x08});  // add rsp, 8
+    bs({0x41, 0x5F});              // pop r15
+    bs({0x41, 0x5E});              // pop r14
+    bs({0x41, 0x5D});              // pop r13
+    bs({0x41, 0x5C});              // pop r12
+    bs({0x5B});                    // pop rbx
+    bs({0x5D});                    // pop rbp
+    bs({0xC3});                    // ret
+  }
+
+  // --- finalization ------------------------------------------------------------
+
+  void finish() {
+    // Out-of-line OOB stubs (one per check so rax still holds the address).
+    for (const TrapSite& t : trap_sites) {
+      patch32(t.at, u32(code.size()) - (t.at + 4));
+      op_rr(0, true, {0x89}, RAX, RDI);  // mov rdi, rax (address)
+      b1(0xBE);                          // mov esi, len
+      i32le(t.len);
+      op_rr(0, true, {0x89}, R15, RDX);  // mov rdx, r15 (size)
+      call_helper(JitHelperId::kTrapOob);
+    }
+
+    // 16-aligned constant pool.
+    while (code.size() & 15) b1(0xCC);
+    u32 pool_base = u32(code.size());
+    for (const V128& v : pool)
+      for (u8 byte : v.bytes) b1(byte);
+    for (const PoolFix& p : pool_fixes)
+      patch32(p.at, pool_base + p.index * 16 - (p.at + 4));
+
+    // br_table jump tables: i32 offsets relative to each table's start.
+    std::vector<u32> table_off(f.br_pool.size(), 0);
+    for (size_t i = 0; i < f.br_pool.size(); ++i) {
+      table_off[i] = u32(code.size());
+      for (u32 t : f.br_pool[i]) i32le(u32(i32(ioff[t]) - i32(table_off[i])));
+    }
+    for (const TableFix& t : table_fixes)
+      patch32(t.at, table_off[t.pool] - (t.at + 4));
+
+    for (const BranchFix& br : branch_fixes)
+      patch32(br.at, u32(i32(ioff[br.target]) - i32(br.at + 4)));
+  }
+
+  bool emit_instr(const RInstr& in);
+  bool emit_simd_or_fused(const RInstr& in);
+};
+
+bool Emitter::emit_instr(const RInstr& in) {
+  const u32 a = in.a, b = in.b, c = in.c;
+  const u64 imm = in.imm;
+
+  // setcc al; movzx eax, al; store32(a) — the tail of every scalar compare.
+  auto setcc_store = [&](u8 cc) {
+    bs({0x0F, u8(0x90 | cc), 0xC0});  // setcc al
+    bs({0x0F, 0xB6, 0xC0});           // movzx eax, al
+    store32(a, RAX);
+  };
+  // Integer compare: cmp r[b], r[c] then setcc.
+  auto int_cmp = [&](bool w, u8 cc) {
+    if (w)
+      load64(RAX, b);
+    else
+      load32(RAX, b);
+    op_rm(0, w, {0x3B}, RAX, RBX, slot(c));  // cmp (r)ax, [c]
+    setcc_store(cc);
+  };
+  // Float eq/ne need the parity flag folded in (unordered => PF=1).
+  auto f_eq_ne = [&](bool f64v, bool ne) {
+    if (f64v)
+      loadsd(X0, b);
+    else
+      loadss(X0, b);
+    op_rm(f64v ? 0x66 : 0, false, {0x0F, 0x2E}, X0, RBX, slot(c));  // ucomis
+    if (ne) {
+      bs({0x0F, 0x9A, 0xC0});  // setp al
+      bs({0x0F, 0x95, 0xC1});  // setne cl
+      bs({0x08, 0xC8});        // or al, cl
+    } else {
+      bs({0x0F, 0x9B, 0xC0});  // setnp al
+      bs({0x0F, 0x94, 0xC1});  // sete cl
+      bs({0x20, 0xC8});        // and al, cl
+    }
+    bs({0x0F, 0xB6, 0xC0});  // movzx eax, al
+    store32(a, RAX);
+  };
+  // Float ordered compare: ucomis x, [y]; seta/setae (unordered => false).
+  auto f_ord = [&](bool f64v, u32 xs, u32 ys, u8 cc) {
+    if (f64v)
+      loadsd(X0, xs);
+    else
+      loadss(X0, xs);
+    op_rm(f64v ? 0x66 : 0, false, {0x0F, 0x2E}, X0, RBX, slot(ys));
+    setcc_store(cc);
+  };
+  // Integer binop with a memory source: op (r)ax, [c]; store.
+  auto int_bin = [&](bool w, std::initializer_list<u8> ops) {
+    if (w)
+      load64(RAX, b);
+    else
+      load32(RAX, b);
+    op_rm(0, w, ops, RAX, RBX, slot(c));
+    if (w)
+      store64(a, RAX);
+    else
+      store32(a, RAX);
+  };
+  // Variable shift/rotate through cl (hardware masking == wasm masking).
+  auto int_shift = [&](bool w, u8 ext) {
+    if (w)
+      load64(RAX, b);
+    else
+      load32(RAX, b);
+    load32(RCX, c);
+    rex_if(w, 0, RAX);
+    b1(0xD3);
+    b1(u8(0xC0 | (ext << 3)));  // rm = rax
+    if (w)
+      store64(a, RAX);
+    else
+      store32(a, RAX);
+  };
+  // Two-int-arg helper call (div/rem): args from r[b], r[c].
+  auto bin_helper = [&](bool w, JitHelperId id) {
+    if (w) {
+      load64(RDI, b);
+      load64(RSI, c);
+    } else {
+      load32(RDI, b);
+      load32(RSI, c);
+    }
+    call_helper(id);
+    if (w)
+      store64(a, RAX);
+    else
+      store32(a, RAX);
+  };
+  // Bit-count: hardware op when the feature is present, else helper.
+  auto bit_count = [&](bool w, u8 opc, u32 feat, JitHelperId id) {
+    if (feats & feat) {
+      op_rm(0xF3, w, {0x0F, opc}, RAX, RBX, slot(b));
+      if (w)
+        store64(a, RAX);
+      else
+        store32(a, RAX);
+    } else {
+      if (w)
+        load64(RDI, b);
+      else
+        load32(RDI, b);
+      call_helper(id);
+      if (w)
+        store64(a, RAX);
+      else
+        store32(a, RAX);
+    }
+  };
+  // f32/f64 binop: op x0, [c]; store (pfx F3 = ss, F2 = sd).
+  auto f_bin = [&](bool f64v, u8 opc) {
+    if (f64v) {
+      loadsd(X0, b);
+      op_rm(0xF2, false, {0x0F, opc}, X0, RBX, slot(c));
+      storesd(a, X0);
+    } else {
+      loadss(X0, b);
+      op_rm(0xF3, false, {0x0F, opc}, X0, RBX, slot(c));
+      storess(a, X0);
+    }
+  };
+  // f32/f64 min/max/nearest/... via an (xmm0[, xmm1]) -> xmm0 helper.
+  auto f_bin_helper = [&](bool f64v, JitHelperId id) {
+    if (f64v) {
+      loadsd(X0, b);
+      loadsd(X1, c);
+    } else {
+      loadss(X0, b);
+      loadss(X1, c);
+    }
+    call_helper(id);
+    if (f64v)
+      storesd(a, X0);
+    else
+      storess(a, X0);
+  };
+  // roundss/roundsd when SSE4.1 is present, else helper.
+  auto f_round = [&](bool f64v, u8 mode, JitHelperId id) {
+    if (feats & kJitFeatSse41) {
+      // 66 0F 3A 0A/0B /r ib with a memory source.
+      op_rm(0x66, false, {0x0F, 0x3A, f64v ? u8(0x0B) : u8(0x0A)}, X0, RBX,
+            slot(b));
+      b1(mode);
+    } else {
+      if (f64v)
+        loadsd(X0, b);
+      else
+        loadss(X0, b);
+      call_helper(id);
+    }
+    if (f64v)
+      storesd(a, X0);
+    else
+      storess(a, X0);
+  };
+  // f32/f64 -> int truncation helper: arg xmm0, result (r)ax.
+  auto trunc_helper = [&](bool src64, bool dst64, JitHelperId id) {
+    if (src64)
+      loadsd(X0, b);
+    else
+      loadss(X0, b);
+    call_helper(id);
+    if (dst64)
+      store64(a, RAX);
+    else
+      store32(a, RAX);
+  };
+  // Checked scalar load from [r13+rax] into r[a] (opcode list + width).
+  auto load_mem = [&](bool w, std::initializer_list<u8> ops, u32 len,
+                      bool store_w) {
+    checked_addr(b, imm, len);
+    op_mem(0, w, ops, RCX);
+    if (store_w)
+      store64(a, RCX);
+    else
+      store32(a, RCX);
+  };
+  // Checked scalar store of r[b]'s low bytes to [r13+rax].
+  auto store_mem = [&](u8 pfx, bool w, std::initializer_list<u8> ops,
+                       u32 len, bool load_w) {
+    checked_addr(a, imm, len);
+    if (load_w)
+      load64(RCX, b);
+    else
+      load32(RCX, b);
+    op_mem(pfx, w, ops, RCX);
+  };
+  switch (in.op) {
+    case ROp::kNop:
+      return true;
+    case ROp::kMov:
+    case ROp::kI32ReinterpretF32:
+    case ROp::kI64ReinterpretF64:
+    case ROp::kF32ReinterpretI32:
+    case ROp::kF64ReinterpretI64:
+      slot_copy(a, b);
+      return true;
+    case ROp::kConst:
+      if (imm == u64(i64(i32(u32(imm))))) {
+        // mov qword [slot], simm32 — writes exactly 8 bytes like the handler.
+        op_rm(0, true, {0xC7}, 0, RBX, slot(a));
+        i32le(u32(imm));
+      } else {
+        movabs(RAX, imm);
+        store64(a, RAX);
+      }
+      return true;
+    case ROp::kConstV128:
+      load_pool(X0, u32(imm));
+      storeaps(a, X0);
+      return true;
+    case ROp::kSelect: {
+      // if (r[c].i32 == 0) A = B
+      op_rm(0, false, {0x83}, 7, RBX, slot(c));  // cmp dword [c], 0
+      b1(0);
+      u32 skip = jcc8(CC_NE);
+      slot_copy(a, b);
+      label8(skip);
+      return true;
+    }
+    case ROp::kGlobalGet:
+      op_rm(0, false, {0x0F, 0x28}, X0, R12, i64(imm) * 16);  // movaps
+      storeaps(a, X0);
+      return true;
+    case ROp::kGlobalSet:
+      loadaps(X0, a);
+      op_rm(0, false, {0x0F, 0x29}, X0, R12, i64(imm) * 16);
+      return true;
+
+    case ROp::kBr:
+      jmp32(u32(imm));
+      return true;
+    case ROp::kBrIf:
+      op_rm(0, false, {0x83}, 7, RBX, slot(a));  // cmp dword [a], 0
+      b1(0);
+      jcc32(CC_NE, u32(imm));
+      return true;
+    case ROp::kBrIfNot:
+      op_rm(0, false, {0x83}, 7, RBX, slot(a));
+      b1(0);
+      jcc32(CC_E, u32(imm));
+      return true;
+    case ROp::kBrTable: {
+      const auto& targets = f.br_pool[imm];
+      load32(RAX, a);
+      b1(0xB9);  // mov ecx, size-1
+      i32le(u32(targets.size() - 1));
+      op_rr(0, false, {0x39}, RCX, RAX);        // cmp eax, ecx
+      op_rr(0, false, {0x0F, 0x43}, RAX, RCX);  // cmovae eax, ecx (clamp)
+      {                                          // lea rdx, [rip + table]
+        rex_if(true, RDX, 0);
+        b1(0x8D);
+        b1(u8(0x00 | ((RDX & 7) << 3) | 5));
+        table_fixes.push_back({u32(code.size()), u32(imm)});
+        i32le(0);
+      }
+      // movsxd rax, dword [rdx + rax*4]
+      bs({0x48, 0x63, 0x04, 0x82});
+      bs({0x48, 0x01, 0xD0});  // add rax, rdx
+      bs({0xFF, 0xE0});        // jmp rax
+      return true;
+    }
+    case ROp::kReturn:
+      slot_copy(0, a);
+      epilogue();
+      return true;
+    case ROp::kReturnVoid:
+      epilogue();
+      return true;
+    case ROp::kCall:
+      op_rr(0, true, {0x89}, R14, RDI);  // mov rdi, r14
+      b1(0xBE);                          // mov esi, fidx
+      i32le(u32(imm));
+      op_rm(0, true, {0x8D}, RDX, RBX, slot(a));  // lea rdx, [argbase]
+      call_helper(JitHelperId::kCall);
+      reload_mem();
+      return true;
+    case ROp::kCallIndirect:
+      op_rr(0, true, {0x89}, R14, RDI);
+      b1(0xBE);  // mov esi, type_imm
+      i32le(u32(imm));
+      op_rm(0, true, {0x8D}, RDX, RBX, slot(a));
+      b1(0xB9);  // mov ecx, argc
+      i32le(b);
+      call_helper(JitHelperId::kCallIndirect);
+      reload_mem();
+      return true;
+    case ROp::kUnreachable:
+      call_helper(JitHelperId::kTrapUnreachable);
+      return true;
+
+    case ROp::kMemorySize:
+      op_rr(0, true, {0x89}, R15, RAX);  // mov rax, r15
+      shift_imm(true, 5, RAX, 16);       // shr rax, 16 (bytes -> pages)
+      store32(a, RAX);
+      return true;
+    case ROp::kMemoryGrow:
+      op_rr(0, true, {0x89}, R14, RDI);
+      op_rm(0, true, {0x8D}, RSI, RBX, slot(a));  // lea rsi, [slot a]
+      call_helper(JitHelperId::kMemoryGrow);
+      reload_mem();
+      return true;
+    case ROp::kMemoryCopy:
+      op_rr(0, true, {0x89}, R14, RDI);
+      load32(RSI, a);
+      load32(RDX, b);
+      load32(RCX, c);
+      call_helper(JitHelperId::kMemoryCopy);
+      return true;
+    case ROp::kMemoryFill:
+      op_rr(0, true, {0x89}, R14, RDI);
+      load32(RSI, a);
+      load32(RDX, b);
+      load32(RCX, c);
+      call_helper(JitHelperId::kMemoryFill);
+      return true;
+
+    // --- checked loads ---
+    case ROp::kI32Load:
+      load_mem(false, {0x8B}, 4, false);
+      return true;
+    case ROp::kI64Load:
+      load_mem(true, {0x8B}, 8, true);
+      return true;
+    case ROp::kF32Load:
+      checked_addr(b, imm, 4);
+      op_mem(0xF3, false, {0x0F, 0x10}, X0);
+      storess(a, X0);
+      return true;
+    case ROp::kF64Load:
+      checked_addr(b, imm, 8);
+      op_mem(0xF2, false, {0x0F, 0x10}, X0);
+      storesd(a, X0);
+      return true;
+    case ROp::kI32Load8S:
+      load_mem(false, {0x0F, 0xBE}, 1, false);
+      return true;
+    case ROp::kI32Load8U:
+      load_mem(false, {0x0F, 0xB6}, 1, false);
+      return true;
+    case ROp::kI32Load16S:
+      load_mem(false, {0x0F, 0xBF}, 2, false);
+      return true;
+    case ROp::kI32Load16U:
+      load_mem(false, {0x0F, 0xB7}, 2, false);
+      return true;
+    case ROp::kI64Load8S:
+      load_mem(true, {0x0F, 0xBE}, 1, true);
+      return true;
+    case ROp::kI64Load8U:
+      load_mem(false, {0x0F, 0xB6}, 1, true);  // 32-bit movzx zero-extends
+      return true;
+    case ROp::kI64Load16S:
+      load_mem(true, {0x0F, 0xBF}, 2, true);
+      return true;
+    case ROp::kI64Load16U:
+      load_mem(false, {0x0F, 0xB7}, 2, true);
+      return true;
+    case ROp::kI64Load32S:
+      load_mem(true, {0x63}, 4, true);  // movsxd
+      return true;
+    case ROp::kI64Load32U:
+      load_mem(false, {0x8B}, 4, true);
+      return true;
+    case ROp::kV128Load:
+      checked_addr(b, imm, 16);
+      op_mem(0, false, {0x0F, 0x10}, X0);  // movups
+      storeaps(a, X0);
+      return true;
+    case ROp::kV128Load32Splat:
+      checked_addr(b, imm, 4);
+      op_mem(0x66, false, {0x0F, 0x6E}, X0);  // movd
+      bs({0x66, 0x0F, 0x70, 0xC0, 0x00});     // pshufd x0, x0, 0
+      storeaps(a, X0);
+      return true;
+    case ROp::kV128Load64Splat:
+      checked_addr(b, imm, 8);
+      op_mem(0xF3, false, {0x0F, 0x7E}, X0);  // movq
+      bs({0x66, 0x0F, 0x6C, 0xC0});           // punpcklqdq x0, x0
+      storeaps(a, X0);
+      return true;
+
+    // --- checked stores ---
+    case ROp::kI32Store:
+      store_mem(0, false, {0x89}, 4, false);
+      return true;
+    case ROp::kI64Store:
+      store_mem(0, true, {0x89}, 8, true);
+      return true;
+    case ROp::kF32Store:
+      checked_addr(a, imm, 4);
+      loadss(X0, b);
+      op_mem(0xF3, false, {0x0F, 0x11}, X0);
+      return true;
+    case ROp::kF64Store:
+      checked_addr(a, imm, 8);
+      loadsd(X0, b);
+      op_mem(0xF2, false, {0x0F, 0x11}, X0);
+      return true;
+    case ROp::kI32Store8:
+    case ROp::kI64Store8:
+      store_mem(0, false, {0x88}, 1, false);  // mov [mem], cl
+      return true;
+    case ROp::kI32Store16:
+    case ROp::kI64Store16:
+      store_mem(0x66, false, {0x89}, 2, false);
+      return true;
+    case ROp::kI64Store32:
+      store_mem(0, false, {0x89}, 4, false);
+      return true;
+    case ROp::kV128Store:
+      checked_addr(a, imm, 16);
+      loadaps(X0, b);
+      op_mem(0, false, {0x0F, 0x11}, X0);  // movups
+      return true;
+
+    // --- integer compares ---
+    case ROp::kI32Eqz:
+    case ROp::kI64Eqz:
+      op_rm(0, in.op == ROp::kI64Eqz, {0x83}, 7, RBX, slot(b));  // cmp [b], 0
+      b1(0);
+      setcc_store(CC_E);
+      return true;
+    case ROp::kI32Eq: int_cmp(false, CC_E); return true;
+    case ROp::kI32Ne: int_cmp(false, CC_NE); return true;
+    case ROp::kI32LtS: int_cmp(false, CC_L); return true;
+    case ROp::kI32LtU: int_cmp(false, CC_B); return true;
+    case ROp::kI32GtS: int_cmp(false, CC_G); return true;
+    case ROp::kI32GtU: int_cmp(false, CC_A); return true;
+    case ROp::kI32LeS: int_cmp(false, CC_LE); return true;
+    case ROp::kI32LeU: int_cmp(false, CC_BE); return true;
+    case ROp::kI32GeS: int_cmp(false, CC_GE); return true;
+    case ROp::kI32GeU: int_cmp(false, CC_AE); return true;
+    case ROp::kI64Eq: int_cmp(true, CC_E); return true;
+    case ROp::kI64Ne: int_cmp(true, CC_NE); return true;
+    case ROp::kI64LtS: int_cmp(true, CC_L); return true;
+    case ROp::kI64LtU: int_cmp(true, CC_B); return true;
+    case ROp::kI64GtS: int_cmp(true, CC_G); return true;
+    case ROp::kI64GtU: int_cmp(true, CC_A); return true;
+    case ROp::kI64LeS: int_cmp(true, CC_LE); return true;
+    case ROp::kI64LeU: int_cmp(true, CC_BE); return true;
+    case ROp::kI64GeS: int_cmp(true, CC_GE); return true;
+    case ROp::kI64GeU: int_cmp(true, CC_AE); return true;
+
+    // --- float compares (x < y computed as y > x so unordered => false) ---
+    case ROp::kF32Eq: f_eq_ne(false, false); return true;
+    case ROp::kF32Ne: f_eq_ne(false, true); return true;
+    case ROp::kF32Lt: f_ord(false, c, b, CC_A); return true;
+    case ROp::kF32Gt: f_ord(false, b, c, CC_A); return true;
+    case ROp::kF32Le: f_ord(false, c, b, CC_AE); return true;
+    case ROp::kF32Ge: f_ord(false, b, c, CC_AE); return true;
+    case ROp::kF64Eq: f_eq_ne(true, false); return true;
+    case ROp::kF64Ne: f_eq_ne(true, true); return true;
+    case ROp::kF64Lt: f_ord(true, c, b, CC_A); return true;
+    case ROp::kF64Gt: f_ord(true, b, c, CC_A); return true;
+    case ROp::kF64Le: f_ord(true, c, b, CC_AE); return true;
+    case ROp::kF64Ge: f_ord(true, b, c, CC_AE); return true;
+
+    // --- integer arithmetic ---
+    case ROp::kI32Clz:
+      bit_count(false, 0xBD, kJitFeatLzcnt, JitHelperId::kI32Clz);
+      return true;
+    case ROp::kI32Ctz:
+      bit_count(false, 0xBC, kJitFeatBmi1, JitHelperId::kI32Ctz);
+      return true;
+    case ROp::kI32Popcnt:
+      bit_count(false, 0xB8, kJitFeatPopcnt, JitHelperId::kI32Popcnt);
+      return true;
+    case ROp::kI64Clz:
+      bit_count(true, 0xBD, kJitFeatLzcnt, JitHelperId::kI64Clz);
+      return true;
+    case ROp::kI64Ctz:
+      bit_count(true, 0xBC, kJitFeatBmi1, JitHelperId::kI64Ctz);
+      return true;
+    case ROp::kI64Popcnt:
+      bit_count(true, 0xB8, kJitFeatPopcnt, JitHelperId::kI64Popcnt);
+      return true;
+    case ROp::kI32Add: int_bin(false, {0x03}); return true;
+    case ROp::kI32Sub: int_bin(false, {0x2B}); return true;
+    case ROp::kI32Mul: int_bin(false, {0x0F, 0xAF}); return true;
+    case ROp::kI32And: int_bin(false, {0x23}); return true;
+    case ROp::kI32Or: int_bin(false, {0x0B}); return true;
+    case ROp::kI32Xor: int_bin(false, {0x33}); return true;
+    case ROp::kI64Add: int_bin(true, {0x03}); return true;
+    case ROp::kI64Sub: int_bin(true, {0x2B}); return true;
+    case ROp::kI64Mul: int_bin(true, {0x0F, 0xAF}); return true;
+    case ROp::kI64And: int_bin(true, {0x23}); return true;
+    case ROp::kI64Or: int_bin(true, {0x0B}); return true;
+    case ROp::kI64Xor: int_bin(true, {0x33}); return true;
+    case ROp::kI32DivS: bin_helper(false, JitHelperId::kI32DivS); return true;
+    case ROp::kI32DivU: bin_helper(false, JitHelperId::kI32DivU); return true;
+    case ROp::kI32RemS: bin_helper(false, JitHelperId::kI32RemS); return true;
+    case ROp::kI32RemU: bin_helper(false, JitHelperId::kI32RemU); return true;
+    case ROp::kI64DivS: bin_helper(true, JitHelperId::kI64DivS); return true;
+    case ROp::kI64DivU: bin_helper(true, JitHelperId::kI64DivU); return true;
+    case ROp::kI64RemS: bin_helper(true, JitHelperId::kI64RemS); return true;
+    case ROp::kI64RemU: bin_helper(true, JitHelperId::kI64RemU); return true;
+    case ROp::kI32Shl: int_shift(false, 4); return true;
+    case ROp::kI32ShrS: int_shift(false, 7); return true;
+    case ROp::kI32ShrU: int_shift(false, 5); return true;
+    case ROp::kI32Rotl: int_shift(false, 0); return true;
+    case ROp::kI32Rotr: int_shift(false, 1); return true;
+    case ROp::kI64Shl: int_shift(true, 4); return true;
+    case ROp::kI64ShrS: int_shift(true, 7); return true;
+    case ROp::kI64ShrU: int_shift(true, 5); return true;
+    case ROp::kI64Rotl: int_shift(true, 0); return true;
+    case ROp::kI64Rotr: int_shift(true, 1); return true;
+
+    // --- float arithmetic ---
+    case ROp::kF32Abs:
+      load32(RAX, b);
+      b1(0x25);  // and eax, 0x7FFFFFFF
+      i32le(0x7FFFFFFFu);
+      store32(a, RAX);
+      return true;
+    case ROp::kF32Neg:
+      load32(RAX, b);
+      b1(0x35);  // xor eax, 0x80000000
+      i32le(0x80000000u);
+      store32(a, RAX);
+      return true;
+    case ROp::kF64Abs:
+      load64(RAX, b);
+      bs({0x48, 0x0F, 0xBA, 0xF0, 63});  // btr rax, 63
+      store64(a, RAX);
+      return true;
+    case ROp::kF64Neg:
+      load64(RAX, b);
+      bs({0x48, 0x0F, 0xBA, 0xF8, 63});  // btc rax, 63
+      store64(a, RAX);
+      return true;
+    case ROp::kF32Copysign:
+      load32(RAX, b);
+      b1(0x25);
+      i32le(0x7FFFFFFFu);
+      load32(RCX, c);
+      bs({0x81, 0xE1});  // and ecx, 0x80000000
+      i32le(0x80000000u);
+      bs({0x09, 0xC8});  // or eax, ecx
+      store32(a, RAX);
+      return true;
+    case ROp::kF64Copysign:
+      load64(RAX, b);
+      bs({0x48, 0x0F, 0xBA, 0xF0, 63});  // btr rax, 63
+      load64(RCX, c);
+      shift_imm(true, 5, RCX, 63);  // shr rcx, 63
+      shift_imm(true, 4, RCX, 63);  // shl rcx, 63
+      op_rr(0, true, {0x09}, RCX, RAX);  // or rax, rcx
+      store64(a, RAX);
+      return true;
+    case ROp::kF32Sqrt:
+      op_rm(0xF3, false, {0x0F, 0x51}, X0, RBX, slot(b));
+      storess(a, X0);
+      return true;
+    case ROp::kF64Sqrt:
+      op_rm(0xF2, false, {0x0F, 0x51}, X0, RBX, slot(b));
+      storesd(a, X0);
+      return true;
+    case ROp::kF32Ceil: f_round(false, 0x0A, JitHelperId::kF32Ceil); return true;
+    case ROp::kF32Floor: f_round(false, 0x09, JitHelperId::kF32Floor); return true;
+    case ROp::kF32Trunc: f_round(false, 0x0B, JitHelperId::kF32Trunc); return true;
+    case ROp::kF32Nearest: f_round(false, 0x08, JitHelperId::kF32Nearest); return true;
+    case ROp::kF64Ceil: f_round(true, 0x0A, JitHelperId::kF64Ceil); return true;
+    case ROp::kF64Floor: f_round(true, 0x09, JitHelperId::kF64Floor); return true;
+    case ROp::kF64Trunc: f_round(true, 0x0B, JitHelperId::kF64Trunc); return true;
+    case ROp::kF64Nearest: f_round(true, 0x08, JitHelperId::kF64Nearest); return true;
+    case ROp::kF32Add: f_bin(false, 0x58); return true;
+    case ROp::kF32Sub: f_bin(false, 0x5C); return true;
+    case ROp::kF32Mul: f_bin(false, 0x59); return true;
+    case ROp::kF32Div: f_bin(false, 0x5E); return true;
+    case ROp::kF64Add: f_bin(true, 0x58); return true;
+    case ROp::kF64Sub: f_bin(true, 0x5C); return true;
+    case ROp::kF64Mul: f_bin(true, 0x59); return true;
+    case ROp::kF64Div: f_bin(true, 0x5E); return true;
+    case ROp::kF32Min: f_bin_helper(false, JitHelperId::kF32Min); return true;
+    case ROp::kF32Max: f_bin_helper(false, JitHelperId::kF32Max); return true;
+    case ROp::kF64Min: f_bin_helper(true, JitHelperId::kF64Min); return true;
+    case ROp::kF64Max: f_bin_helper(true, JitHelperId::kF64Max); return true;
+
+    // --- conversions ---
+    case ROp::kI32WrapI64:
+      load32(RAX, b);
+      store32(a, RAX);
+      return true;
+    case ROp::kI32TruncF32S:
+      trunc_helper(false, false, JitHelperId::kI32TruncF32S);
+      return true;
+    case ROp::kI32TruncF32U:
+      trunc_helper(false, false, JitHelperId::kI32TruncF32U);
+      return true;
+    case ROp::kI32TruncF64S:
+      trunc_helper(true, false, JitHelperId::kI32TruncF64S);
+      return true;
+    case ROp::kI32TruncF64U:
+      trunc_helper(true, false, JitHelperId::kI32TruncF64U);
+      return true;
+    case ROp::kI64TruncF32S:
+      trunc_helper(false, true, JitHelperId::kI64TruncF32S);
+      return true;
+    case ROp::kI64TruncF32U:
+      trunc_helper(false, true, JitHelperId::kI64TruncF32U);
+      return true;
+    case ROp::kI64TruncF64S:
+      trunc_helper(true, true, JitHelperId::kI64TruncF64S);
+      return true;
+    case ROp::kI64TruncF64U:
+      trunc_helper(true, true, JitHelperId::kI64TruncF64U);
+      return true;
+    case ROp::kI64ExtendI32S:
+      op_rm(0, true, {0x63}, RAX, RBX, slot(b));  // movsxd
+      store64(a, RAX);
+      return true;
+    case ROp::kI64ExtendI32U:
+      load32(RAX, b);  // zero-extends
+      store64(a, RAX);
+      return true;
+    case ROp::kF32ConvertI32S:
+      op_rm(0xF3, false, {0x0F, 0x2A}, X0, RBX, slot(b));  // cvtsi2ss m32
+      storess(a, X0);
+      return true;
+    case ROp::kF32ConvertI32U:
+      load32(RAX, b);
+      op_rr(0xF3, true, {0x0F, 0x2A}, X0, RAX);  // cvtsi2ss x0, rax
+      storess(a, X0);
+      return true;
+    case ROp::kF32ConvertI64S:
+      op_rm(0xF3, true, {0x0F, 0x2A}, X0, RBX, slot(b));
+      storess(a, X0);
+      return true;
+    case ROp::kF32ConvertI64U:
+      load64(RDI, b);
+      call_helper(JitHelperId::kF32ConvertI64U);
+      storess(a, X0);
+      return true;
+    case ROp::kF32DemoteF64:
+      op_rm(0xF2, false, {0x0F, 0x5A}, X0, RBX, slot(b));  // cvtsd2ss
+      storess(a, X0);
+      return true;
+    case ROp::kF64ConvertI32S:
+      op_rm(0xF2, false, {0x0F, 0x2A}, X0, RBX, slot(b));  // cvtsi2sd m32
+      storesd(a, X0);
+      return true;
+    case ROp::kF64ConvertI32U:
+      load32(RAX, b);
+      op_rr(0xF2, true, {0x0F, 0x2A}, X0, RAX);
+      storesd(a, X0);
+      return true;
+    case ROp::kF64ConvertI64S:
+      op_rm(0xF2, true, {0x0F, 0x2A}, X0, RBX, slot(b));
+      storesd(a, X0);
+      return true;
+    case ROp::kF64ConvertI64U:
+      load64(RDI, b);
+      call_helper(JitHelperId::kF64ConvertI64U);
+      storesd(a, X0);
+      return true;
+    case ROp::kF64PromoteF32:
+      op_rm(0xF3, false, {0x0F, 0x5A}, X0, RBX, slot(b));  // cvtss2sd
+      storesd(a, X0);
+      return true;
+    case ROp::kI32Extend8S:
+      op_rm(0, false, {0x0F, 0xBE}, RAX, RBX, slot(b));
+      store32(a, RAX);
+      return true;
+    case ROp::kI32Extend16S:
+      op_rm(0, false, {0x0F, 0xBF}, RAX, RBX, slot(b));
+      store32(a, RAX);
+      return true;
+    case ROp::kI64Extend8S:
+      op_rm(0, true, {0x0F, 0xBE}, RAX, RBX, slot(b));
+      store64(a, RAX);
+      return true;
+    case ROp::kI64Extend16S:
+      op_rm(0, true, {0x0F, 0xBF}, RAX, RBX, slot(b));
+      store64(a, RAX);
+      return true;
+    case ROp::kI64Extend32S:
+      op_rm(0, true, {0x63}, RAX, RBX, slot(b));
+      store64(a, RAX);
+      return true;
+
+    default:
+      return emit_simd_or_fused(in);
+  }
+}
+
+bool Emitter::emit_simd_or_fused(const RInstr& in) {
+  const u32 a = in.a, b = in.b, c = in.c, d = in.d;
+  const u64 imm = in.imm;
+
+  auto setcc_store = [&](u8 cc) {
+    bs({0x0F, u8(0x90 | cc), 0xC0});
+    bs({0x0F, 0xB6, 0xC0});
+    store32(a, RAX);
+  };
+  // loadaps x0, [b]; op x0, [c]; store — the standard vector binop shape.
+  auto v_bin = [&](u8 pfx, std::initializer_list<u8> ops) {
+    loadaps(X0, b);
+    op_rm(pfx, false, ops, X0, RBX, slot(c));
+    storeaps(a, X0);
+  };
+  // Operand-swapped variant (pcmpgt-as-lt, pmin/pmax NaN order, pandn).
+  auto v_bin_rev = [&](u8 pfx, std::initializer_list<u8> ops) {
+    loadaps(X0, c);
+    op_rm(pfx, false, ops, X0, RBX, slot(b));
+    storeaps(a, X0);
+  };
+  // pcmpeq + full invert for the Ne forms.
+  auto v_ne = [&](u8 eq_opc) {
+    loadaps(X0, b);
+    op_rm(0x66, false, {0x0F, eq_opc}, X0, RBX, slot(c));
+    bs({0x66, 0x0F, 0x76, 0xC9});  // pcmpeqd x1, x1 (all ones)
+    bs({0x66, 0x0F, 0xEF, 0xC1});  // pxor x0, x1
+    storeaps(a, X0);
+  };
+  // all_true: no lane may be zero <=> pcmpeq-with-zero mask is empty.
+  auto v_all_true = [&](std::initializer_list<u8> cmp_ops) {
+    op_rr(0x66, false, {0x0F, 0xEF}, X0, X0);  // pxor x0, x0
+    op_rm(0x66, false, cmp_ops, X0, RBX, slot(b));
+    op_rr(0x66, false, {0x0F, 0xD7}, RAX, X0);  // pmovmskb eax, x0
+    bs({0x85, 0xC0});                           // test eax, eax
+    setcc_store(CC_E);
+  };
+  auto v_neg = [&](u8 psub_opc) {  // 0 - r[b], lanewise
+    op_rr(0x66, false, {0x0F, 0xEF}, X0, X0);
+    op_rm(0x66, false, {0x0F, psub_opc}, X0, RBX, slot(b));
+    storeaps(a, X0);
+  };
+  // Lane shift by r[c] & mask through xmm1 (hardware uses the full 64-bit
+  // count, so the mod-lane-width mask must be applied explicitly).
+  auto v_shift = [&](u8 opc, u8 mask) {
+    load32(RCX, c);
+    alu_imm(false, 4, RCX, mask);              // and ecx, mask
+    op_rr(0x66, false, {0x0F, 0x6E}, X1, RCX);  // movd x1, ecx
+    loadaps(X0, b);
+    op_rr(0x66, false, {0x0F, opc}, X0, X1);
+    storeaps(a, X0);
+  };
+  // cmpps/cmppd xs, [ys], pred (operand order picked so unordered => false
+  // matches the C++ comparison in every case).
+  auto v_cmpf = [&](bool pd, u32 xs, u32 ys, u8 pred) {
+    loadaps(X0, xs);
+    op_rm(pd ? 0x66 : 0, false, {0x0F, 0xC2}, X0, RBX, slot(ys));
+    b1(pred);
+    storeaps(a, X0);
+  };
+  // andps/xorps with a rip-relative sign/abs mask from the pool.
+  auto v_mask = [&](u8 opc, u32 pool_idx) {
+    loadaps(X0, b);
+    u32 at = op_rip(0, {0x0F, opc}, X0);
+    pool_fixes.push_back({at, pool_idx});
+    storeaps(a, X0);
+  };
+  // Value load/store at [r13+rax] for the indexed/raw memory families.
+  enum class LK { i32, i64, f32, f64, v128 };
+  auto lk_len = [](LK k) -> u32 {
+    switch (k) {
+      case LK::i32: case LK::f32: return 4;
+      case LK::i64: case LK::f64: return 8;
+      default: return 16;
+    }
+  };
+  auto load_val = [&](LK k) {
+    switch (k) {
+      case LK::i32:
+        op_mem(0, false, {0x8B}, RCX);
+        store32(a, RCX);
+        return;
+      case LK::i64:
+        op_mem(0, true, {0x8B}, RCX);
+        store64(a, RCX);
+        return;
+      case LK::f32:
+        op_mem(0xF3, false, {0x0F, 0x10}, X0);
+        storess(a, X0);
+        return;
+      case LK::f64:
+        op_mem(0xF2, false, {0x0F, 0x10}, X0);
+        storesd(a, X0);
+        return;
+      case LK::v128:
+        op_mem(0, false, {0x0F, 0x10}, X0);
+        storeaps(a, X0);
+        return;
+    }
+  };
+  auto store_val = [&](LK k) {  // value comes from r[b]
+    switch (k) {
+      case LK::i32:
+        load32(RCX, b);
+        op_mem(0, false, {0x89}, RCX);
+        return;
+      case LK::i64:
+        load64(RCX, b);
+        op_mem(0, true, {0x89}, RCX);
+        return;
+      case LK::f32:
+        loadss(X0, b);
+        op_mem(0xF3, false, {0x0F, 0x11}, X0);
+        return;
+      case LK::f64:
+        loadsd(X0, b);
+        op_mem(0xF2, false, {0x0F, 0x11}, X0);
+        return;
+      case LK::v128:
+        loadaps(X0, b);
+        op_mem(0, false, {0x0F, 0x11}, X0);
+        return;
+    }
+  };
+  auto load_plain = [&](LK k, bool checked) {  // addr = r[b].u32 + imm
+    lin_addr(b, imm);
+    if (checked) bounds_check(lk_len(k));
+    load_val(k);
+  };
+  auto store_plain = [&](LK k, bool checked) {  // addr = r[a].u32 + imm
+    lin_addr(a, imm);
+    if (checked) bounds_check(lk_len(k));
+    store_val(k);
+  };
+  auto load_ix = [&](LK k, bool checked) {  // addr = IXADDR(r[b])
+    ix_addr(b, c, d, imm);
+    if (checked) bounds_check(lk_len(k));
+    load_val(k);
+  };
+  auto store_ix = [&](LK k, bool checked) {  // addr = IXADDR(r[a])
+    ix_addr(a, c, d, imm);
+    if (checked) bounds_check(lk_len(k));
+    store_val(k);
+  };
+  // Fused r[a] = r[c] op mem (scalar float): checked address, then
+  // op x0(=C), [r13+rax] — same operand order as the handler's C-then-mem.
+  auto f_load_op = [&](bool f64v, u8 opc) {
+    checked_addr(b, imm, f64v ? 8 : 4);
+    if (f64v) {
+      loadsd(X0, c);
+      op_mem(0xF2, false, {0x0F, opc}, X0);
+      storesd(a, X0);
+    } else {
+      loadss(X0, c);
+      op_mem(0xF3, false, {0x0F, opc}, X0);
+      storess(a, X0);
+    }
+  };
+  // Fused vector load+op: x0 = r[c], x1 = movups mem, op x0, x1.
+  auto v_load_op = [&](u8 pfx, u8 opc) {
+    checked_addr(b, imm, 16);
+    loadaps(X0, c);
+    op_mem(0, false, {0x0F, 0x10}, X1);
+    op_rr(pfx, false, {0x0F, opc}, X0, X1);
+    storeaps(a, X0);
+  };
+  // Fused scalar float op+store: mem[r[a]+imm] = r[b] op r[c].
+  auto f_op_store = [&](bool f64v, u8 opc) {
+    checked_addr(a, imm, f64v ? 8 : 4);
+    if (f64v) {
+      loadsd(X0, b);
+      op_rm(0xF2, false, {0x0F, opc}, X0, RBX, slot(c));
+      op_mem(0xF2, false, {0x0F, 0x11}, X0);
+    } else {
+      loadss(X0, b);
+      op_rm(0xF3, false, {0x0F, opc}, X0, RBX, slot(c));
+      op_mem(0xF3, false, {0x0F, 0x11}, X0);
+    }
+  };
+  // Fused vector op+store (slot operands are 16-aligned, so the op can take
+  // r[c] straight from memory).
+  auto v_op_store = [&](u8 pfx, std::initializer_list<u8> ops) {
+    checked_addr(a, imm, 16);
+    loadaps(X0, b);
+    op_rm(pfx, false, ops, X0, RBX, slot(c));
+    op_mem(0, false, {0x0F, 0x11}, X0);
+  };
+  // BRCMP family: cmp r[a], r[b]; jcc target.
+  auto br_cmp = [&](u8 cc) {
+    load32(RAX, a);
+    op_rm(0, false, {0x3B}, RAX, RBX, slot(b));
+    jcc32(cc, u32(imm));
+  };
+  // SELCMP family: keep A when cmp(r[c], r[d]) holds, else A = B.
+  auto sel_cmp = [&](u8 cc_true) {
+    load32(RAX, c);
+    op_rm(0, false, {0x3B}, RAX, RBX, slot(d));
+    u32 skip = jcc8(cc_true);
+    slot_copy(a, b);
+    label8(skip);
+  };
+
+  switch (in.op) {
+    // --- splats / lanes ---
+    case ROp::kI32x4Splat:
+      op_rm(0x66, false, {0x0F, 0x6E}, X0, RBX, slot(b));  // movd
+      bs({0x66, 0x0F, 0x70, 0xC0, 0x00});                  // pshufd x0,x0,0
+      storeaps(a, X0);
+      return true;
+    case ROp::kI64x2Splat:
+      op_rm(0xF3, false, {0x0F, 0x7E}, X0, RBX, slot(b));  // movq
+      bs({0x66, 0x0F, 0x6C, 0xC0});                        // punpcklqdq
+      storeaps(a, X0);
+      return true;
+    case ROp::kF32x4Splat:
+      loadss(X0, b);
+      bs({0x0F, 0xC6, 0xC0, 0x00});  // shufps x0, x0, 0
+      storeaps(a, X0);
+      return true;
+    case ROp::kF64x2Splat:
+      loadsd(X0, b);
+      bs({0x66, 0x0F, 0x14, 0xC0});  // unpcklpd x0, x0
+      storeaps(a, X0);
+      return true;
+    case ROp::kI8x16ExtractLaneS:
+      op_rm(0, false, {0x0F, 0xBE}, RAX, RBX, slot(b) + i64(imm));
+      store32(a, RAX);
+      return true;
+    case ROp::kI8x16ExtractLaneU:
+      op_rm(0, false, {0x0F, 0xB6}, RAX, RBX, slot(b) + i64(imm));
+      store32(a, RAX);
+      return true;
+    case ROp::kI16x8ExtractLaneS:
+      op_rm(0, false, {0x0F, 0xBF}, RAX, RBX, slot(b) + i64(imm) * 2);
+      store32(a, RAX);
+      return true;
+    case ROp::kI16x8ExtractLaneU:
+      op_rm(0, false, {0x0F, 0xB7}, RAX, RBX, slot(b) + i64(imm) * 2);
+      store32(a, RAX);
+      return true;
+    case ROp::kI32x4ExtractLane:
+      op_rm(0, false, {0x8B}, RAX, RBX, slot(b) + i64(imm) * 4);
+      store32(a, RAX);
+      return true;
+    case ROp::kI64x2ExtractLane:
+      op_rm(0, true, {0x8B}, RAX, RBX, slot(b) + i64(imm) * 8);
+      store64(a, RAX);
+      return true;
+    case ROp::kF32x4ExtractLane:
+      op_rm(0xF3, false, {0x0F, 0x10}, X0, RBX, slot(b) + i64(imm) * 4);
+      storess(a, X0);
+      return true;
+    case ROp::kF64x2ExtractLane:
+      op_rm(0xF2, false, {0x0F, 0x10}, X0, RBX, slot(b) + i64(imm) * 8);
+      storesd(a, X0);
+      return true;
+    // Replace: the scalar is read before the base copy because a may alias c.
+    case ROp::kI8x16ReplaceLane:
+      load32(RCX, c);
+      slot_copy(a, b);
+      op_rm(0, false, {0x88}, RCX, RBX, slot(a) + i64(imm));
+      return true;
+    case ROp::kI16x8ReplaceLane:
+      load32(RCX, c);
+      slot_copy(a, b);
+      op_rm(0x66, false, {0x89}, RCX, RBX, slot(a) + i64(imm) * 2);
+      return true;
+    case ROp::kI32x4ReplaceLane:
+      load32(RCX, c);
+      slot_copy(a, b);
+      op_rm(0, false, {0x89}, RCX, RBX, slot(a) + i64(imm) * 4);
+      return true;
+    case ROp::kI64x2ReplaceLane:
+      load64(RCX, c);
+      slot_copy(a, b);
+      op_rm(0, true, {0x89}, RCX, RBX, slot(a) + i64(imm) * 8);
+      return true;
+    case ROp::kF32x4ReplaceLane:
+      loadss(X1, c);
+      slot_copy(a, b);
+      op_rm(0xF3, false, {0x0F, 0x11}, X1, RBX, slot(a) + i64(imm) * 4);
+      return true;
+    case ROp::kF64x2ReplaceLane:
+      loadsd(X1, c);
+      slot_copy(a, b);
+      op_rm(0xF2, false, {0x0F, 0x11}, X1, RBX, slot(a) + i64(imm) * 8);
+      return true;
+
+    // --- lane compares (LtS/GtS swap operands through pcmpgt) ---
+    case ROp::kI8x16Eq: v_bin(0x66, {0x0F, 0x74}); return true;
+    case ROp::kI8x16Ne: v_ne(0x74); return true;
+    case ROp::kI8x16LtS: v_bin_rev(0x66, {0x0F, 0x64}); return true;
+    case ROp::kI8x16GtS: v_bin(0x66, {0x0F, 0x64}); return true;
+    case ROp::kI16x8Eq: v_bin(0x66, {0x0F, 0x75}); return true;
+    case ROp::kI16x8Ne: v_ne(0x75); return true;
+    case ROp::kI16x8LtS: v_bin_rev(0x66, {0x0F, 0x65}); return true;
+    case ROp::kI16x8GtS: v_bin(0x66, {0x0F, 0x65}); return true;
+    case ROp::kI32x4Eq: v_bin(0x66, {0x0F, 0x76}); return true;
+    case ROp::kI32x4Ne: v_ne(0x76); return true;
+    case ROp::kI32x4LtS: v_bin_rev(0x66, {0x0F, 0x66}); return true;
+    case ROp::kI32x4GtS: v_bin(0x66, {0x0F, 0x66}); return true;
+    case ROp::kF32x4Eq: v_cmpf(false, b, c, 0); return true;
+    case ROp::kF32x4Ne: v_cmpf(false, b, c, 4); return true;
+    case ROp::kF32x4Lt: v_cmpf(false, b, c, 1); return true;
+    case ROp::kF32x4Le: v_cmpf(false, b, c, 2); return true;
+    case ROp::kF32x4Gt: v_cmpf(false, c, b, 1); return true;
+    case ROp::kF32x4Ge: v_cmpf(false, c, b, 2); return true;
+    case ROp::kF64x2Eq: v_cmpf(true, b, c, 0); return true;
+    case ROp::kF64x2Ne: v_cmpf(true, b, c, 4); return true;
+    case ROp::kF64x2Lt: v_cmpf(true, b, c, 1); return true;
+    case ROp::kF64x2Le: v_cmpf(true, b, c, 2); return true;
+    case ROp::kF64x2Gt: v_cmpf(true, c, b, 1); return true;
+    case ROp::kF64x2Ge: v_cmpf(true, c, b, 2); return true;
+
+    // --- bitwise ---
+    case ROp::kV128Not:
+      loadaps(X0, b);
+      bs({0x66, 0x0F, 0x76, 0xC9});  // pcmpeqd x1, x1
+      bs({0x66, 0x0F, 0xEF, 0xC1});  // pxor x0, x1
+      storeaps(a, X0);
+      return true;
+    case ROp::kV128And: v_bin(0x66, {0x0F, 0xDB}); return true;
+    case ROp::kV128AndNot: v_bin_rev(0x66, {0x0F, 0xDF}); return true;  // pandn
+    case ROp::kV128Or: v_bin(0x66, {0x0F, 0xEB}); return true;
+    case ROp::kV128Xor: v_bin(0x66, {0x0F, 0xEF}); return true;
+    case ROp::kV128AnyTrue:
+      op_rr(0x66, false, {0x0F, 0xEF}, X0, X0);               // pxor x0, x0
+      op_rm(0x66, false, {0x0F, 0x74}, X0, RBX, slot(b));     // pcmpeqb
+      op_rr(0x66, false, {0x0F, 0xD7}, RAX, X0);              // pmovmskb
+      b1(0x3D);                                               // cmp eax, 0xFFFF
+      i32le(0xFFFFu);
+      setcc_store(CC_NE);
+      return true;
+    case ROp::kV128Bitselect:
+      loadaps(X0, a);
+      op_rm(0x66, false, {0x0F, 0xDB}, X0, RBX, slot(c));  // pand x0, mask
+      loadaps(X1, c);
+      op_rm(0x66, false, {0x0F, 0xDF}, X1, RBX, slot(b));  // pandn: ~mask & B
+      op_rr(0x66, false, {0x0F, 0xEB}, X0, X1);            // por
+      storeaps(a, X0);
+      return true;
+
+    // --- integer lanes ---
+    case ROp::kI8x16Abs:
+      op_rm(0x66, false, {0x0F, 0x38, 0x1C}, X0, RBX, slot(b));
+      storeaps(a, X0);
+      return true;
+    case ROp::kI8x16Neg: v_neg(0xF8); return true;
+    case ROp::kI8x16AllTrue: v_all_true({0x0F, 0x74}); return true;
+    case ROp::kI8x16Add: v_bin(0x66, {0x0F, 0xFC}); return true;
+    case ROp::kI8x16Sub: v_bin(0x66, {0x0F, 0xF8}); return true;
+    case ROp::kI16x8Abs:
+      op_rm(0x66, false, {0x0F, 0x38, 0x1D}, X0, RBX, slot(b));
+      storeaps(a, X0);
+      return true;
+    case ROp::kI16x8Neg: v_neg(0xF9); return true;
+    case ROp::kI16x8AllTrue: v_all_true({0x0F, 0x75}); return true;
+    case ROp::kI16x8Add: v_bin(0x66, {0x0F, 0xFD}); return true;
+    case ROp::kI16x8Sub: v_bin(0x66, {0x0F, 0xF9}); return true;
+    case ROp::kI16x8Mul: v_bin(0x66, {0x0F, 0xD5}); return true;
+    case ROp::kI32x4Abs:
+      op_rm(0x66, false, {0x0F, 0x38, 0x1E}, X0, RBX, slot(b));
+      storeaps(a, X0);
+      return true;
+    case ROp::kI32x4Neg: v_neg(0xFA); return true;
+    case ROp::kI32x4AllTrue: v_all_true({0x0F, 0x76}); return true;
+    case ROp::kI32x4Shl: v_shift(0xF2, 31); return true;   // pslld
+    case ROp::kI32x4ShrS: v_shift(0xE2, 31); return true;  // psrad
+    case ROp::kI32x4ShrU: v_shift(0xD2, 31); return true;  // psrld
+    case ROp::kI32x4Add: v_bin(0x66, {0x0F, 0xFE}); return true;
+    case ROp::kI32x4Sub: v_bin(0x66, {0x0F, 0xFA}); return true;
+    case ROp::kI32x4Mul: v_bin(0x66, {0x0F, 0x38, 0x40}); return true;
+    case ROp::kI32x4MinS: v_bin(0x66, {0x0F, 0x38, 0x39}); return true;
+    case ROp::kI32x4MinU: v_bin(0x66, {0x0F, 0x38, 0x3B}); return true;
+    case ROp::kI32x4MaxS: v_bin(0x66, {0x0F, 0x38, 0x3D}); return true;
+    case ROp::kI32x4MaxU: v_bin(0x66, {0x0F, 0x38, 0x3F}); return true;
+    case ROp::kI64x2Neg: v_neg(0xFB); return true;
+    case ROp::kI64x2AllTrue: v_all_true({0x0F, 0x38, 0x29}); return true;
+    case ROp::kI64x2Shl: v_shift(0xF3, 63); return true;   // psllq
+    case ROp::kI64x2ShrU: v_shift(0xD3, 63); return true;  // psrlq
+    case ROp::kI64x2Add: v_bin(0x66, {0x0F, 0xD4}); return true;
+    case ROp::kI64x2Sub: v_bin(0x66, {0x0F, 0xFB}); return true;
+
+    // --- float lanes ---
+    case ROp::kF32x4Abs: v_mask(0x54, splat_mask32(0x7FFFFFFFu)); return true;
+    case ROp::kF32x4Neg: v_mask(0x57, splat_mask32(0x80000000u)); return true;
+    case ROp::kF32x4Sqrt:
+      op_rm(0, false, {0x0F, 0x51}, X0, RBX, slot(b));
+      storeaps(a, X0);
+      return true;
+    case ROp::kF32x4Add: v_bin(0, {0x0F, 0x58}); return true;
+    case ROp::kF32x4Sub: v_bin(0, {0x0F, 0x5C}); return true;
+    case ROp::kF32x4Mul: v_bin(0, {0x0F, 0x59}); return true;
+    case ROp::kF32x4Div: v_bin(0, {0x0F, 0x5E}); return true;
+    case ROp::kF32x4Pmin: v_bin_rev(0, {0x0F, 0x5D}); return true;
+    case ROp::kF32x4Pmax: v_bin_rev(0, {0x0F, 0x5F}); return true;
+    case ROp::kF64x2Abs:
+      v_mask(0x54, splat_mask64(0x7FFFFFFFFFFFFFFFull));
+      return true;
+    case ROp::kF64x2Neg:
+      v_mask(0x57, splat_mask64(0x8000000000000000ull));
+      return true;
+    case ROp::kF64x2Sqrt:
+      op_rm(0x66, false, {0x0F, 0x51}, X0, RBX, slot(b));
+      storeaps(a, X0);
+      return true;
+    case ROp::kF64x2Add: v_bin(0x66, {0x0F, 0x58}); return true;
+    case ROp::kF64x2Sub: v_bin(0x66, {0x0F, 0x5C}); return true;
+    case ROp::kF64x2Mul: v_bin(0x66, {0x0F, 0x59}); return true;
+    case ROp::kF64x2Div: v_bin(0x66, {0x0F, 0x5E}); return true;
+    case ROp::kF64x2Pmin: v_bin_rev(0x66, {0x0F, 0x5D}); return true;
+    case ROp::kF64x2Pmax: v_bin_rev(0x66, {0x0F, 0x5F}); return true;
+
+    // --- fused immediates ---
+    case ROp::kI32AddImm:
+      load32(RAX, b);
+      alu_imm(false, 0, RAX, i64(i32(u32(imm))));
+      store32(a, RAX);
+      return true;
+    case ROp::kI64AddImm:
+      load64(RAX, b);
+      if (i64(imm) >= INT32_MIN && i64(imm) <= INT32_MAX) {
+        alu_imm(true, 0, RAX, i64(imm));
+      } else {
+        movabs(RCX, imm);
+        op_rr(0, true, {0x01}, RCX, RAX);
+      }
+      store64(a, RAX);
+      return true;
+    case ROp::kI32ShlImm:
+      load32(RAX, b);
+      shift_imm(false, 4, RAX, u8(imm & 31));
+      store32(a, RAX);
+      return true;
+    case ROp::kI32ShrUImm:
+      load32(RAX, b);
+      shift_imm(false, 5, RAX, u8(imm & 31));
+      store32(a, RAX);
+      return true;
+    case ROp::kI32AndImm:
+      load32(RAX, b);
+      alu_imm(false, 4, RAX, i64(i32(u32(imm))));
+      store32(a, RAX);
+      return true;
+    case ROp::kI32MulImm: {
+      load32(RAX, b);
+      i32 v = i32(u32(imm));
+      if (v >= -128 && v <= 127) {
+        bs({0x6B, 0xC0, u8(i8(v))});  // imul eax, eax, imm8
+      } else {
+        bs({0x69, 0xC0});  // imul eax, eax, imm32
+        i32le(u32(v));
+      }
+      store32(a, RAX);
+      return true;
+    }
+
+    // --- fused compare-and-branch ---
+    case ROp::kBrIfI32Eq: br_cmp(CC_E); return true;
+    case ROp::kBrIfI32Ne: br_cmp(CC_NE); return true;
+    case ROp::kBrIfI32LtS: br_cmp(CC_L); return true;
+    case ROp::kBrIfI32LtU: br_cmp(CC_B); return true;
+    case ROp::kBrIfI32GtS: br_cmp(CC_G); return true;
+    case ROp::kBrIfI32GtU: br_cmp(CC_A); return true;
+    case ROp::kBrIfI32LeS: br_cmp(CC_LE); return true;
+    case ROp::kBrIfI32LeU: br_cmp(CC_BE); return true;
+    case ROp::kBrIfI32GeS: br_cmp(CC_GE); return true;
+    case ROp::kBrIfI32GeU: br_cmp(CC_AE); return true;
+
+    // --- fused multiply-add (two roundings, matching the C++ fallback) ---
+    case ROp::kF64MulAdd:
+      loadsd(X0, b);
+      op_rm(0xF2, false, {0x0F, 0x59}, X0, RBX, slot(c));  // mulsd
+      op_rm(0xF2, false, {0x0F, 0x58}, X0, RBX, slot(d));  // addsd
+      storesd(a, X0);
+      return true;
+    case ROp::kF32MulAdd:
+      loadss(X0, b);
+      op_rm(0xF3, false, {0x0F, 0x59}, X0, RBX, slot(c));
+      op_rm(0xF3, false, {0x0F, 0x58}, X0, RBX, slot(d));
+      storess(a, X0);
+      return true;
+
+    // --- fused compare-and-select ---
+    case ROp::kSelectI32Eq: sel_cmp(CC_E); return true;
+    case ROp::kSelectI32Ne: sel_cmp(CC_NE); return true;
+    case ROp::kSelectI32LtS: sel_cmp(CC_L); return true;
+    case ROp::kSelectI32LtU: sel_cmp(CC_B); return true;
+    case ROp::kSelectI32GtS: sel_cmp(CC_G); return true;
+    case ROp::kSelectI32GtU: sel_cmp(CC_A); return true;
+    case ROp::kSelectF64Lt: {
+      loadsd(X0, d);  // y
+      op_rm(0x66, false, {0x0F, 0x2E}, X0, RBX, slot(c));  // ucomisd y, x
+      u32 skip = jcc8(CC_A);  // y > x <=> x < y: keep A (unordered: copy)
+      slot_copy(a, b);
+      label8(skip);
+      return true;
+    }
+    case ROp::kSelectF64Gt: {
+      loadsd(X0, c);  // x
+      op_rm(0x66, false, {0x0F, 0x2E}, X0, RBX, slot(d));  // ucomisd x, y
+      u32 skip = jcc8(CC_A);  // x > y: keep A
+      slot_copy(a, b);
+      label8(skip);
+      return true;
+    }
+
+    // --- fused load+op ---
+    case ROp::kI32LoadAdd:
+      checked_addr(b, imm, 4);
+      load32(RCX, c);
+      op_mem(0, false, {0x03}, RCX);  // add ecx, [r13+rax]
+      store32(a, RCX);
+      return true;
+    case ROp::kI64LoadAdd:
+      checked_addr(b, imm, 8);
+      load64(RCX, c);
+      op_mem(0, true, {0x03}, RCX);
+      store64(a, RCX);
+      return true;
+    case ROp::kF32LoadAdd: f_load_op(false, 0x58); return true;
+    case ROp::kF64LoadAdd: f_load_op(true, 0x58); return true;
+    case ROp::kF32LoadMul: f_load_op(false, 0x59); return true;
+    case ROp::kF64LoadMul: f_load_op(true, 0x59); return true;
+    case ROp::kI32x4LoadAdd: v_load_op(0x66, 0xFE); return true;
+    case ROp::kF32x4LoadAdd: v_load_op(0, 0x58); return true;
+    case ROp::kF32x4LoadMul: v_load_op(0, 0x59); return true;
+    case ROp::kF64x2LoadAdd: v_load_op(0x66, 0x58); return true;
+    case ROp::kF64x2LoadMul: v_load_op(0x66, 0x59); return true;
+
+    // --- fused op+store ---
+    case ROp::kI32AddStore:
+      checked_addr(a, imm, 4);
+      load32(RCX, b);
+      op_rm(0, false, {0x03}, RCX, RBX, slot(c));  // add ecx, [c]
+      op_mem(0, false, {0x89}, RCX);
+      return true;
+    case ROp::kF32AddStore: f_op_store(false, 0x58); return true;
+    case ROp::kF64AddStore: f_op_store(true, 0x58); return true;
+    case ROp::kF64MulStore: f_op_store(true, 0x59); return true;
+    case ROp::kI32x4AddStore: v_op_store(0x66, {0x0F, 0xFE}); return true;
+    case ROp::kF32x4AddStore: v_op_store(0, {0x0F, 0x58}); return true;
+    case ROp::kF64x2AddStore: v_op_store(0x66, {0x0F, 0x58}); return true;
+    case ROp::kF64x2MulStore: v_op_store(0x66, {0x0F, 0x59}); return true;
+
+    // --- indexed addressing ---
+    case ROp::kI32LoadIx: load_ix(LK::i32, true); return true;
+    case ROp::kI64LoadIx: load_ix(LK::i64, true); return true;
+    case ROp::kF32LoadIx: load_ix(LK::f32, true); return true;
+    case ROp::kF64LoadIx: load_ix(LK::f64, true); return true;
+    case ROp::kV128LoadIx: load_ix(LK::v128, true); return true;
+    case ROp::kI32StoreIx: store_ix(LK::i32, true); return true;
+    case ROp::kI64StoreIx: store_ix(LK::i64, true); return true;
+    case ROp::kF32StoreIx: store_ix(LK::f32, true); return true;
+    case ROp::kF64StoreIx: store_ix(LK::f64, true); return true;
+    case ROp::kV128StoreIx: store_ix(LK::v128, true); return true;
+
+    // --- bounds-check hoisting ---
+    case ROp::kMemGuard:
+      load32(RDI, b);
+      load32(RSI, c);
+      b1(0xBA);  // mov edx, in.d
+      i32le(d);
+      if (imm <= 0xFFFFFFFFull) {
+        b1(0xB9);  // mov ecx, imm32 (zero-extends)
+        i32le(u32(imm));
+      } else {
+        movabs(RCX, imm);
+      }
+      op_rr(0, true, {0x89}, R15, R8);  // mov r8, r15
+      call_helper(JitHelperId::kMemGuard);
+      store32(a, RAX);
+      return true;
+    case ROp::kI32LoadRaw: load_plain(LK::i32, false); return true;
+    case ROp::kI64LoadRaw: load_plain(LK::i64, false); return true;
+    case ROp::kF32LoadRaw: load_plain(LK::f32, false); return true;
+    case ROp::kF64LoadRaw: load_plain(LK::f64, false); return true;
+    case ROp::kV128LoadRaw: load_plain(LK::v128, false); return true;
+    case ROp::kI32StoreRaw: store_plain(LK::i32, false); return true;
+    case ROp::kI64StoreRaw: store_plain(LK::i64, false); return true;
+    case ROp::kF32StoreRaw: store_plain(LK::f32, false); return true;
+    case ROp::kF64StoreRaw: store_plain(LK::f64, false); return true;
+    case ROp::kV128StoreRaw: store_plain(LK::v128, false); return true;
+    case ROp::kI32LoadIxRaw: load_ix(LK::i32, false); return true;
+    case ROp::kI64LoadIxRaw: load_ix(LK::i64, false); return true;
+    case ROp::kF32LoadIxRaw: load_ix(LK::f32, false); return true;
+    case ROp::kF64LoadIxRaw: load_ix(LK::f64, false); return true;
+    case ROp::kV128LoadIxRaw: load_ix(LK::v128, false); return true;
+    case ROp::kI32StoreIxRaw: store_ix(LK::i32, false); return true;
+    case ROp::kI64StoreIxRaw: store_ix(LK::i64, false); return true;
+    case ROp::kF32StoreIxRaw: store_ix(LK::f32, false); return true;
+    case ROp::kF64StoreIxRaw: store_ix(LK::f64, false); return true;
+    case ROp::kV128StoreIxRaw: store_ix(LK::v128, false); return true;
+
+    default:
+      return false;  // no template (jit_op_covered should have caught this)
+  }
+}
+
+}  // namespace
+
+bool jit_op_covered(ROp op, u32 cpu_features) {
+  switch (op) {
+    // Byte/word splats and the shuffle family need pshufb-style sequences
+    // that aren't worth templating for the HPC kernels this tier targets.
+    case ROp::kI8x16Splat:
+    case ROp::kI16x8Splat:
+    case ROp::kI8x16Shuffle:
+    case ROp::kI8x16Swizzle:
+    // Unsigned / non-strict lane compares need bias or min+eq sequences.
+    case ROp::kI8x16LtU:
+    case ROp::kI8x16GtU:
+    case ROp::kI8x16LeS:
+    case ROp::kI8x16LeU:
+    case ROp::kI8x16GeS:
+    case ROp::kI8x16GeU:
+    case ROp::kI16x8LtU:
+    case ROp::kI16x8GtU:
+    case ROp::kI16x8LeS:
+    case ROp::kI16x8LeU:
+    case ROp::kI16x8GeS:
+    case ROp::kI16x8GeU:
+    case ROp::kI32x4LtU:
+    case ROp::kI32x4GtU:
+    case ROp::kI32x4LeS:
+    case ROp::kI32x4LeU:
+    case ROp::kI32x4GeS:
+    case ROp::kI32x4GeU:
+    // No single-instruction SSE forms pre-AVX512.
+    case ROp::kI64x2Abs:
+    case ROp::kI64x2Mul:
+    case ROp::kI64x2ShrS:
+    // Wasm f{32x4,64x2}.min/max propagate NaN payloads; minps/maxps don't.
+    case ROp::kF32x4Min:
+    case ROp::kF32x4Max:
+    case ROp::kF64x2Min:
+    case ROp::kF64x2Max:
+    case ROp::kCount:
+      return false;
+    case ROp::kI8x16Abs:
+    case ROp::kI16x8Abs:
+    case ROp::kI32x4Abs:
+      return (cpu_features & kJitFeatSsse3) != 0;  // pabsb/w/d
+    case ROp::kI32x4Mul:      // pmulld
+    case ROp::kI32x4MinS:     // pminsd
+    case ROp::kI32x4MinU:     // pminud
+    case ROp::kI32x4MaxS:     // pmaxsd
+    case ROp::kI32x4MaxU:     // pmaxud
+    case ROp::kI64x2AllTrue:  // pcmpeqq
+      return (cpu_features & kJitFeatSse41) != 0;
+    default:
+      return true;
+  }
+}
+
+namespace {
+
+bool jit_is_branch(ROp op) {
+  switch (op) {
+    case ROp::kBr:
+    case ROp::kBrIf:
+    case ROp::kBrIfNot:
+    case ROp::kBrIfI32Eq:
+    case ROp::kBrIfI32Ne:
+    case ROp::kBrIfI32LtS:
+    case ROp::kBrIfI32LtU:
+    case ROp::kBrIfI32GtS:
+    case ROp::kBrIfI32GtU:
+    case ROp::kBrIfI32LeS:
+    case ROp::kBrIfI32LeU:
+    case ROp::kBrIfI32GeS:
+    case ROp::kBrIfI32GeU:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Lane count when `op` is an extract/replace with an immediate lane index,
+// else 0 (no lane validation needed).
+u32 jit_lane_count(ROp op) {
+  switch (op) {
+    case ROp::kI8x16ExtractLaneS:
+    case ROp::kI8x16ExtractLaneU:
+    case ROp::kI8x16ReplaceLane:
+      return 16;
+    case ROp::kI16x8ExtractLaneS:
+    case ROp::kI16x8ExtractLaneU:
+    case ROp::kI16x8ReplaceLane:
+      return 8;
+    case ROp::kI32x4ExtractLane:
+    case ROp::kF32x4ExtractLane:
+    case ROp::kI32x4ReplaceLane:
+    case ROp::kF32x4ReplaceLane:
+      return 4;
+    case ROp::kI64x2ExtractLane:
+    case ROp::kF64x2ExtractLane:
+    case ROp::kI64x2ReplaceLane:
+    case ROp::kF64x2ReplaceLane:
+      return 2;
+    default:
+      return 0;
+  }
+}
+
+bool jit_is_terminator(ROp op) {
+  return op == ROp::kBr || op == ROp::kReturn || op == ROp::kReturnVoid ||
+         op == ROp::kUnreachable || op == ROp::kBrTable;
+}
+
+}  // namespace
+
+std::shared_ptr<const JitBlob> jit_compile_function(const RFunc& f) {
+  const size_t n = f.code.size();
+  if (n == 0 || n > 1'000'000) return nullptr;
+  if (!jit_is_terminator(f.code.back().op)) return nullptr;
+  // Slot displacements must fit the disp32 addressing the templates use.
+  if (u64(f.num_regs) * 16 > 0x7FFF0000ull) return nullptr;
+
+  const u32 feats = jit_cpu_features();
+
+  // Structural validation up front (mirrors threadable()): emit_instr
+  // assumes every branch target, pool index, and lane immediate is in range.
+  for (const RInstr& in : f.code) {
+    if (!jit_op_covered(in.op, feats)) return nullptr;
+    if (jit_is_branch(in.op) && in.imm >= n) return nullptr;
+    if (in.op == ROp::kBrTable) {
+      if (in.imm >= f.br_pool.size()) return nullptr;
+      const auto& targets = f.br_pool[in.imm];
+      if (targets.empty()) return nullptr;
+      for (u32 t : targets)
+        if (t >= n) return nullptr;
+    }
+    if (in.op == ROp::kConstV128 && in.imm >= f.v128_pool.size())
+      return nullptr;
+    if ((in.op == ROp::kGlobalGet || in.op == ROp::kGlobalSet) &&
+        in.imm > 0x07FFFFFFull)
+      return nullptr;
+    if (u32 lanes = jit_lane_count(in.op); lanes != 0 && in.imm >= lanes)
+      return nullptr;
+  }
+
+  Emitter e(f, feats);
+  e.prologue();
+  for (const RInstr& in : f.code) {
+    e.ioff.push_back(u32(e.code.size()));
+    if (!e.emit_instr(in)) return nullptr;
+  }
+  e.finish();
+
+  auto blob = std::make_shared<JitBlob>();
+  blob->cpu_features = feats;
+  blob->layout_hash = jit_layout_hash();
+  blob->code = std::move(e.code);
+  blob->relocs = std::move(e.relocs);
+  return blob;
+}
+
+}  // namespace mpiwasm::rt

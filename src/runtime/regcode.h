@@ -21,6 +21,7 @@
 // README "Execution-core benchmarks" for the schema).
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -180,6 +181,35 @@ struct RInstr {
   u64 imm = 0;
 };
 
+// --- JIT blob metadata (cache v6 native section) ---------------------------
+//
+// The template JIT (jit_x64.h) compiles an RFunc into a position-independent
+// machine-code blob. The only position-dependent sites are the absolute
+// helper addresses in `movabs rax, imm64; call rax` sequences; each is
+// recorded as a relocation so the blob can be re-patched when installed into
+// a different process (cache hits run under a different ASLR layout, and
+// helper addresses move with every build).
+
+/// One helper-address patch site: the imm64 at `code[offset..offset+8)` must
+/// be overwritten with jit_helper_address(helper) at install time.
+struct JitReloc {
+  u32 offset = 0;
+  u32 helper = 0;
+};
+
+/// A compiled native body plus everything needed to validate and install it
+/// in another process. `cpu_features` is the jit_cpu_features() word the
+/// emitter ran under; `layout_hash` pins the codegen version and the Slot /
+/// ROp / helper-table layouts the templates hard-code. A blob whose features
+/// are not a subset of the host's, or whose layout hash disagrees, is
+/// silently dropped and the function runs threaded RegCode instead.
+struct JitBlob {
+  u32 cpu_features = 0;
+  u64 layout_hash = 0;
+  std::vector<u8> code;
+  std::vector<JitReloc> relocs;
+};
+
 /// One lowered function.
 struct RFunc {
   u32 num_params = 0;
@@ -193,6 +223,14 @@ struct RFunc {
   // serialized): filled by prepare_rfunc() at publication time; empty means
   // the portable switch loop executes this body. See exec.h.
   std::vector<const void*> handlers;
+  // Native machine code for this body (jit tier / tiered jit promotions);
+  // null when the function was not JIT-compiled or had an untemplatable op.
+  // Serialized by cache v6 as the per-function native section.
+  std::shared_ptr<const JitBlob> jit;
+  // Derived (never serialized): the installed executable entry point in this
+  // process's JIT arena. Null means execute `code` through exec_regcode.
+  // Only written at publication time, before the body becomes visible.
+  void (*jit_entry)(void*) = nullptr;
 
   std::string to_string() const;  // disassembly, for tests/debugging
 };

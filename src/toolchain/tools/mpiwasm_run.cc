@@ -2,8 +2,10 @@
 // the paper's `mpirun -np N ./mpiWasm app.wasm` (Listing 4).
 //
 // Usage:
-//   mpiwasm-run --np N [--tier interp|baseline|lightopt|optimizing|tiered]
-//               [--tierup-threshold N] [--tierup-opt-threshold N] [--cache]
+//   mpiwasm-run --np N [--tier interp|baseline|lightopt|optimizing|tiered|jit]
+//               [--jit on|off] [--tierup-threshold N]
+//               [--tierup-opt-threshold N] [--tierup-jit-threshold N]
+//               [--cache] [--stats]
 //               [--dir host_dir[:guest_name[:ro]]] module.wasm [args...]
 #include <cerrno>
 #include <cstdio>
@@ -21,9 +23,11 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --np N [--tier interp|baseline|lightopt|"
-               "optimizing|tiered]\n"
-               "       [--tierup-threshold N] [--tierup-opt-threshold N]\n"
-               "       [--cache] [--faasm] [--profile omnipath|graviton2|zero]\n"
+               "optimizing|tiered|jit]\n"
+               "       [--jit on|off] [--tierup-threshold N]\n"
+               "       [--tierup-opt-threshold N] [--tierup-jit-threshold N]\n"
+               "       [--cache] [--stats] [--faasm]\n"
+               "       [--profile omnipath|graviton2|zero]\n"
                "       [--dir host[:guest[:ro]]] module.wasm [args...]\n",
                argv0);
 }
@@ -46,6 +50,7 @@ int main(int argc, char** argv) {
   embed::EmbedderConfig cfg;
   cfg.engine.tier = rt::EngineTier::kOptimizing;
   int ranks = 1;
+  bool print_stats = false;
   std::string module_path;
 
   int i = 1;
@@ -60,6 +65,13 @@ int main(int argc, char** argv) {
       else if (t == "lightopt") cfg.engine.tier = rt::EngineTier::kLightOpt;
       else if (t == "optimizing") cfg.engine.tier = rt::EngineTier::kOptimizing;
       else if (t == "tiered") cfg.engine.tier = rt::EngineTier::kTiered;
+      else if (t == "jit") cfg.engine.tier = rt::EngineTier::kJit;
+      else { usage(argv[0]); return 2; }
+    } else if (arg == "--jit" && i + 1 < argc) {
+      // Overrides the MPIWASM_JIT environment default either way.
+      std::string v = argv[++i];
+      if (v == "on") cfg.engine.jit = true;
+      else if (v == "off") cfg.engine.jit = false;
       else { usage(argv[0]); return 2; }
     } else if (arg == "--tierup-threshold" && i + 1 < argc) {
       if (!parse_threshold(argv[++i], cfg.engine.tierup_baseline_threshold)) {
@@ -71,6 +83,13 @@ int main(int argc, char** argv) {
         usage(argv[0]);
         return 2;
       }
+    } else if (arg == "--tierup-jit-threshold" && i + 1 < argc) {
+      if (!parse_threshold(argv[++i], cfg.engine.tierup_jit_threshold)) {
+        usage(argv[0]);
+        return 2;
+      }
+    } else if (arg == "--stats") {
+      print_stats = true;
     } else if (arg == "--cache") {
       cfg.engine.enable_cache = true;
     } else if (arg == "--faasm") {
@@ -142,13 +161,37 @@ int main(int argc, char** argv) {
       const auto& t = result.tierup;
       std::fprintf(stderr,
                    "[mpiwasm] tier-up: %llu funcs (%llu compiled), "
-                   "%llu -> baseline, %llu -> optimizing, %llu cache hits, "
-                   "%.2fms compiling\n",
+                   "%llu -> baseline, %llu -> optimizing, %llu -> jit, "
+                   "%llu cache hits, %.2fms compiling\n",
                    (unsigned long long)t.funcs_total,
                    (unsigned long long)t.funcs_regcode,
                    (unsigned long long)t.promoted_baseline,
                    (unsigned long long)t.promoted_optimizing,
+                   (unsigned long long)t.promoted_jit,
                    (unsigned long long)t.func_cache_hits, t.tierup_compile_ms);
+    }
+    if (print_stats) {
+      const auto& t = result.tierup;
+      std::fprintf(stderr,
+                   "[mpiwasm] stats: tier=%s funcs=%llu regcode=%llu "
+                   "calls_counted=%llu\n",
+                   rt::tier_name(cm->tier), (unsigned long long)t.funcs_total,
+                   (unsigned long long)t.funcs_regcode,
+                   (unsigned long long)t.calls_counted);
+      std::fprintf(stderr,
+                   "[mpiwasm] stats: tier-up events: %llu -> baseline, "
+                   "%llu -> optimizing, %llu -> jit (%llu cache hits, "
+                   "%.2fms compiling)\n",
+                   (unsigned long long)t.promoted_baseline,
+                   (unsigned long long)t.promoted_optimizing,
+                   (unsigned long long)t.promoted_jit,
+                   (unsigned long long)t.func_cache_hits, t.tierup_compile_ms);
+      std::fprintf(stderr,
+                   "[mpiwasm] stats: jit: %llu native funcs, %llu interpreter "
+                   "fallbacks, %llu code bytes\n",
+                   (unsigned long long)t.jit_funcs,
+                   (unsigned long long)t.jit_fallback_funcs,
+                   (unsigned long long)t.jit_code_bytes);
     }
     return result.exit_code;
   } catch (const std::exception& e) {

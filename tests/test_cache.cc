@@ -175,11 +175,12 @@ TEST(Cache, OptimizingAblationFlagsKeySeparately) {
 
 TEST(Cache, StaleVersionEntriesAreRejectedCleanlyAndRecompiled) {
   // Every cache format bump renumbers the ROp space (v4: superinstructions
-  // / raw ops / kMemGuard; v5: the full SIMD opcode space). A pre-upgrade
-  // v3 or v4 entry must be treated as a clean miss — no crash, no
+  // / raw ops / kMemGuard; v5: the full SIMD opcode space) or extends the
+  // record layout (v6: the optional native-code section). A pre-upgrade
+  // v3/v4/v5 entry must be treated as a clean miss — no crash, no
   // misdecoded code, just a silent recompile that overwrites the stale
   // entry.
-  for (char stale_version : {char(3), char(4)}) {
+  for (char stale_version : {char(3), char(4), char(5)}) {
     auto dir = fresh_cache_dir();
     auto bytes = make_module(77);
     EngineConfig cfg;

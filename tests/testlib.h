@@ -29,7 +29,7 @@ constexpr ValType V128T = ValType::kV128;
 
 inline std::vector<EngineTier> all_tiers() {
   return {EngineTier::kInterp, EngineTier::kBaseline, EngineTier::kLightOpt,
-          EngineTier::kOptimizing};
+          EngineTier::kOptimizing, EngineTier::kJit};
 }
 
 /// Every engine configuration a module should behave identically under:
@@ -64,15 +64,32 @@ inline std::vector<EngineConfig> all_engine_configs() {
   staged.tierup_baseline_threshold = 2;
   staged.tierup_opt_threshold = 4;
   cfgs.push_back(staged);
+  // The jit tier with native codegen forced OFF (degrades to optimizing —
+  // pins the MPIWASM_JIT=0 escape hatch), and tiered mode promoting all the
+  // way to native code mid-run. The plain kJit entry comes from all_tiers().
+  EngineConfig jit_off;
+  jit_off.tier = EngineTier::kJit;
+  jit_off.jit = false;
+  cfgs.push_back(jit_off);
+  EngineConfig tiered_jit;
+  tiered_jit.tier = EngineTier::kTiered;
+  tiered_jit.tierup_baseline_threshold = 1;
+  tiered_jit.tierup_opt_threshold = 2;
+  tiered_jit.tierup_jit_threshold = 3;  // jit knob keeps its env default
+  cfgs.push_back(tiered_jit);
   return cfgs;
 }
 
 /// Human-readable label for a config (tier name + thresholds for tiered).
 inline std::string config_label(const EngineConfig& cfg) {
   std::string s = rt::tier_name(cfg.tier);
-  if (cfg.tier == EngineTier::kTiered)
+  if (cfg.tier == EngineTier::kTiered) {
     s += "(" + std::to_string(cfg.tierup_baseline_threshold) + "," +
-         std::to_string(cfg.tierup_opt_threshold) + ")";
+         std::to_string(cfg.tierup_opt_threshold);
+    if (cfg.jit) s += "," + std::to_string(cfg.tierup_jit_threshold);
+    s += ")";
+  }
+  if (cfg.tier == EngineTier::kJit && !cfg.jit) s += "(off)";
   if (!cfg.opt_superinstructions || !cfg.opt_hoist_bounds) s += "(plain)";
   return s;
 }
