@@ -836,6 +836,83 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
             });
             r->i32v = abi::MPI_SUCCESS;
           });
+
+    t.add(ns, "MPI_Ireduce_scatter",
+          FuncType{{I32, I32, I32, I32, I32, I32, I32}, {I32}},
+          [](HostContext& ctx, const Slot* a, Slot* r) {
+            Env& env = env_of(ctx);
+            guarded([&] {
+              Datatype dt = env.translate_datatype(a[3].i32v, 0);
+              simmpi::ReduceOp op = env.translate_op(a[4].i32v);
+              simmpi::Comm comm = env.translate_comm(a[5].i32v);
+              LinearMemory& mem = ctx.memory();
+              int n = env.rank().size(comm);
+              int me = env.rank().rank(comm);
+              std::vector<i32> counts(static_cast<size_t>(n));
+              u64 total = 0;
+              for (int i = 0; i < n; ++i) {
+                counts[i] = mem.load<i32>(a[2].u32v + u32(i) * 4);
+                total += u64(counts[i]);
+              }
+              u64 esize = simmpi::datatype_size(dt);
+              bool in_place = a[0].u32v == u32(abi::MPI_IN_PLACE);
+              u64 rbytes = (in_place ? total : u64(counts[me])) * esize;
+              const void* sbuf =
+                  in_place ? simmpi::kInPlace
+                           : env.translate(mem, a[0].u32v, total * esize);
+              u8* rbuf = env.translate(mem, a[1].u32v, rbytes);
+              // counts is only read while the schedule is built, which
+              // happens before ireduce_scatter returns.
+              simmpi::Request req = env.rank().ireduce_scatter(
+                  sbuf, rbuf, counts.data(), dt, op, comm);
+              mem.store<i32>(a[6].u32v, env.add_request(std::move(req)));
+            });
+            r->i32v = abi::MPI_SUCCESS;
+          });
+
+    t.add(ns, "MPI_Iscan",
+          FuncType{{I32, I32, I32, I32, I32, I32, I32}, {I32}},
+          [](HostContext& ctx, const Slot* a, Slot* r) {
+            Env& env = env_of(ctx);
+            guarded([&] {
+              u64 bytes = msg_bytes(env, a[3].i32v, a[2].i32v);
+              Datatype dt = env.translate_datatype(a[3].i32v, bytes);
+              simmpi::ReduceOp op = env.translate_op(a[4].i32v);
+              simmpi::Comm comm = env.translate_comm(a[5].i32v);
+              LinearMemory& mem = ctx.memory();
+              const void* sbuf =
+                  a[0].u32v == u32(abi::MPI_IN_PLACE)
+                      ? simmpi::kInPlace
+                      : env.translate(mem, a[0].u32v, bytes);
+              u8* rbuf = env.translate(mem, a[1].u32v, bytes);
+              simmpi::Request req =
+                  env.rank().iscan(sbuf, rbuf, a[2].i32v, dt, op, comm);
+              mem.store<i32>(a[6].u32v, env.add_request(std::move(req)));
+            });
+            r->i32v = abi::MPI_SUCCESS;
+          });
+
+    t.add(ns, "MPI_Iexscan",
+          FuncType{{I32, I32, I32, I32, I32, I32, I32}, {I32}},
+          [](HostContext& ctx, const Slot* a, Slot* r) {
+            Env& env = env_of(ctx);
+            guarded([&] {
+              u64 bytes = msg_bytes(env, a[3].i32v, a[2].i32v);
+              Datatype dt = env.translate_datatype(a[3].i32v, bytes);
+              simmpi::ReduceOp op = env.translate_op(a[4].i32v);
+              simmpi::Comm comm = env.translate_comm(a[5].i32v);
+              LinearMemory& mem = ctx.memory();
+              const void* sbuf =
+                  a[0].u32v == u32(abi::MPI_IN_PLACE)
+                      ? simmpi::kInPlace
+                      : env.translate(mem, a[0].u32v, bytes);
+              u8* rbuf = env.translate(mem, a[1].u32v, bytes);
+              simmpi::Request req =
+                  env.rank().iexscan(sbuf, rbuf, a[2].i32v, dt, op, comm);
+              mem.store<i32>(a[6].u32v, env.add_request(std::move(req)));
+            });
+            r->i32v = abi::MPI_SUCCESS;
+          });
   }
 
   // --- Communicator management (not available in faasm_compat mode; Faasm

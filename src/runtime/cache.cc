@@ -228,6 +228,12 @@ FileSystemCache::FileSystemCache(std::string dir) : dir_(std::move(dir)) {
   if (ec) MW_WARN("cannot create cache dir " << dir_ << ": " << ec.message());
 }
 
+std::string autotune_table_path(const std::string& dir) {
+  const fs::path base =
+      dir.empty() ? fs::temp_directory_path() / "mpiwasm-cache" : fs::path(dir);
+  return (base / "coll-tune.table").string();
+}
+
 std::string FileSystemCache::entry_path(const Sha256Digest& hash,
                                         const std::string& tier_tag) const {
   return dir_ + "/" + hash.hex() + "-" + tier_tag + ".rcache";

@@ -57,6 +57,11 @@ class FileSystemCache {
   std::string dir_;
 };
 
+/// Where the collective-autotuning table lives: next to the code cache, so
+/// both kinds of learned state share one directory. `dir` empty selects the
+/// same "<system temp>/mpiwasm-cache" default as FileSystemCache.
+std::string autotune_table_path(const std::string& dir);
+
 /// Serialization used by the cache (exposed for round-trip tests).
 std::vector<u8> serialize_regcode(const RModule& rm);
 std::optional<RModule> deserialize_regcode(std::span<const u8> bytes);

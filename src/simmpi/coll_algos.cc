@@ -76,6 +76,10 @@ CollTuning CollTuning::from_env(CollTuning base) {
     unsigned long long n = std::strtoull(s, &end, 10);
     if (end != s) base.shm_max_bytes = size_t(n);
   }
+  if (const char* s = std::getenv("MPIWASM_COLL_AUTOTUNE"); s != nullptr) {
+    std::string_view v(s);
+    base.autotune = !(v == "0" || v == "false" || v == "off");
+  }
   return base;
 }
 

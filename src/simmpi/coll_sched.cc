@@ -127,20 +127,23 @@ bool Schedule::advance(Rank& r, Step& s) {
       if (s.state == Step::State::kPending) {
         // Post immediately so peers can match; the wire-time deadline
         // (instead of the blocking path's injection spin) is what lets the
-        // transfer proceed while the rank computes.
+        // transfer proceed while the rank computes. Pipelined sends carry
+        // per-segment deadlines inside the descriptor, so charging a
+        // whole-message deadline here would double-count the wire.
+        const bool pipelined = r.sched_send_pipelined(s.bytes);
         s.req = r.isend_internal(s.src, s.bytes, s.peer, s.tag, *c_,
                                  /*charge_wire=*/false);
-        s.ready_at_ns = now_ns() + s.wire_ns;
+        s.ready_at_ns = pipelined ? 0 : now_ns() + s.wire_ns;
         s.state = Step::State::kStarted;
       }
-      if (s.req.valid() && !r.test(s.req, nullptr)) return false;
+      if (s.req.valid() && !r.test_nonblocking(s.req)) return false;
       return now_ns() >= s.ready_at_ns;
     case Step::Kind::kRecv:
       if (s.state == Step::State::kPending) {
         s.req = r.irecv_internal(s.dst, s.bytes, s.peer, s.tag, *c_);
         s.state = Step::State::kStarted;
       }
-      return !s.req.valid() || r.test(s.req, nullptr);
+      return !s.req.valid() || r.test_nonblocking(s.req);
     case Step::Kind::kShmArrive:
       if (s.state == Step::State::kPending) {
         shm_->arrive(s.phase);
@@ -412,8 +415,10 @@ void sched_allreduce_rdbl(Schedule& s, const detail::CommData& c,
     for (int mask = 1; mask < pof2; mask <<= 1, ++round) {
       int newpartner = newrank ^ mask;
       int partner = newpartner < rem ? newpartner * 2 + 1 : newpartner + rem;
-      Schedule::StepId snd = s.send(recvbuf, bytes, partner, round, {prev});
+      // Receive first so the partner's eager send finds a live posted
+      // receive (direct delivery, no staging copy).
       Schedule::StepId rv = s.recv(tmp, bytes, partner, round, {prev});
+      Schedule::StepId snd = s.send(recvbuf, bytes, partner, round, {prev});
       prev = s.reduce(tmp, recvbuf, count, type, op, {snd, rv});
     }
   } else {
@@ -442,26 +447,29 @@ void sched_allreduce_ring(Schedule& s, const detail::CommData& c,
   std::vector<Schedule::StepId> prevs = {
       s.copy(sendbuf, recvbuf, size_t(count) * esize, {})};
   int round = 0;
+  // Each round posts its receive before its send: advance() starts steps in
+  // push order, so by symmetry the peer's receive tends to be live when an
+  // eager chunk lands, enabling the direct single-copy delivery path.
   for (int st = 0; st < n - 1; ++st, ++round) {
     int send_chunk = (me - st + n) % n;
     int recv_chunk = (me - st - 1 + n) % n;
+    Schedule::StepId rv = s.recv(tmp, size_t(cnts[recv_chunk]) * esize, left,
+                                 round, prevs);
     Schedule::StepId snd =
         s.send(out + size_t(offs[send_chunk]) * esize,
                size_t(cnts[send_chunk]) * esize, right, round, prevs);
-    Schedule::StepId rv = s.recv(tmp, size_t(cnts[recv_chunk]) * esize, left,
-                                 round, prevs);
     prevs = {s.reduce(tmp, out + size_t(offs[recv_chunk]) * esize,
                       cnts[recv_chunk], type, op, {snd, rv})};
   }
   for (int st = 0; st < n - 1; ++st, ++round) {
     int send_chunk = (me + 1 - st + n) % n;
     int recv_chunk = (me - st + n) % n;
-    Schedule::StepId snd =
-        s.send(out + size_t(offs[send_chunk]) * esize,
-               size_t(cnts[send_chunk]) * esize, right, round, prevs);
     Schedule::StepId rv =
         s.recv(out + size_t(offs[recv_chunk]) * esize,
                size_t(cnts[recv_chunk]) * esize, left, round, prevs);
+    Schedule::StepId snd =
+        s.send(out + size_t(offs[send_chunk]) * esize,
+               size_t(cnts[send_chunk]) * esize, right, round, prevs);
     prevs = {snd, rv};
   }
 }
@@ -752,6 +760,235 @@ std::shared_ptr<Schedule> build_ialltoall(World* w, const detail::CommData& c,
       Schedule::StepId rv = s->recv(out + size_t(from) * rblock, rblock, from,
                                     st - 1, prevs);
       prevs = {snd, rv};
+    }
+  }
+  return s;
+}
+
+std::shared_ptr<Schedule> build_ireduce_scatter(
+    World* w, const detail::CommData& c, i64 seq, CollAlgo algo,
+    const void* sendbuf, void* recvbuf, const int* recvcounts, Datatype type,
+    ReduceOp op) {
+  auto s = std::make_shared<Schedule>(w, c, seq);
+  const int n = int(c.world_ranks.size());
+  const int me = c.my_comm_rank;
+  const size_t esize = datatype_size(type);
+  std::vector<int> offs(static_cast<size_t>(n));
+  int total = 0;
+  for (int i = 0; i < n; ++i) {
+    offs[size_t(i)] = total;
+    total += recvcounts[i];
+  }
+  const u8* in = static_cast<const u8*>(sendbuf != nullptr ? sendbuf : recvbuf);
+  const size_t my_bytes = size_t(recvcounts[me]) * esize;
+  switch (algo) {
+    case CollAlgo::kLinear: {
+      // Reduce the full vector to rank 0 (round 0), then scatterv (round 1).
+      if (me == 0) {
+        u8* full = s->scratch(size_t(total) * esize);
+        Schedule::StepId last =
+            sched_reduce_linear(*s, c, in, full, total, type, op, 0, 0);
+        for (int dst = 1; dst < n; ++dst)
+          s->send(full + size_t(offs[size_t(dst)]) * esize,
+                  size_t(recvcounts[dst]) * esize, dst, 1, {last});
+        s->copy(full, recvbuf, my_bytes, {last});
+      } else {
+        Schedule::StepId last =
+            sched_reduce_linear(*s, c, in, nullptr, total, type, op, 0, 0);
+        // In-place input lives in recvbuf: the result receive overwrites a
+        // region the contribution send may still be reading.
+        s->recv(recvbuf, my_bytes, 0, 1, {last});
+      }
+      break;
+    }
+    case CollAlgo::kShm: {
+      IcollShmGroup& g = s->shm_group(size_t(total) * esize);
+      Schedule::StepId cp =
+          s->copy(in, g.slot(me), size_t(total) * esize, {});
+      Schedule::StepId a0 = s->shm_arrive(0, size_t(total) * esize, {cp});
+      Schedule::StepId w0 = s->shm_wait(0, {a0});
+      const size_t my_off = size_t(offs[size_t(me)]) * esize;
+      Schedule::StepId prev =
+          s->copy(g.slot(0) + my_off, recvbuf, my_bytes, {w0});
+      for (int src = 1; src < n; ++src)
+        prev = s->reduce(g.slot(src) + my_off, recvbuf, recvcounts[me], type,
+                         op, {prev});
+      Schedule::StepId a1 = s->shm_arrive(1, my_bytes, {prev});
+      s->shm_wait(1, {a1});
+      break;
+    }
+    default: {  // pairwise
+      // Accumulate into scratch: with in-place input, recvbuf still feeds
+      // outgoing chunks during the exchange, so it is written only at the
+      // end, after every send has read its chunk.
+      u8* acc = s->scratch(my_bytes);
+      Schedule::StepId prev =
+          s->copy(in + size_t(offs[size_t(me)]) * esize, acc, my_bytes, {});
+      std::vector<Schedule::StepId> finals;
+      for (int st = 1; st < n; ++st) {
+        int to = (me + st) % n;
+        int from = (me - st + n) % n;
+        finals.push_back(s->send(in + size_t(offs[size_t(to)]) * esize,
+                                 size_t(recvcounts[to]) * esize, to, st - 1,
+                                 {}));
+        u8* tmp = s->scratch(my_bytes);
+        Schedule::StepId rv = s->recv(tmp, my_bytes, from, st - 1, {});
+        prev = s->reduce(tmp, acc, recvcounts[me], type, op, {rv, prev});
+      }
+      finals.push_back(prev);
+      s->copy(acc, recvbuf, my_bytes, finals);
+      break;
+    }
+  }
+  return s;
+}
+
+std::shared_ptr<Schedule> build_iscan(World* w, const detail::CommData& c,
+                                      i64 seq, CollAlgo algo,
+                                      const void* sendbuf, void* recvbuf,
+                                      int count, Datatype type, ReduceOp op) {
+  auto s = std::make_shared<Schedule>(w, c, seq);
+  const int n = int(c.world_ranks.size());
+  const int me = c.my_comm_rank;
+  const size_t bytes = size_t(count) * datatype_size(type);
+  switch (algo) {
+    case CollAlgo::kLinear: {
+      // Chain: recv prefix from me-1, fold own contribution, pass it on.
+      u8* own = s->scratch(bytes);
+      Schedule::StepId cp = s->copy(sendbuf, own, bytes, {});
+      Schedule::StepId prev;
+      if (me > 0) {
+        // sendbuf may alias recvbuf (in-place): the prefix receive must
+        // wait for the contribution snapshot.
+        Schedule::StepId rv = s->recv(recvbuf, bytes, me - 1, 0, {cp});
+        prev = s->reduce(own, recvbuf, count, type, op, {rv});
+      } else {
+        prev = s->copy(own, recvbuf, bytes, {cp});
+      }
+      if (me < n - 1) s->send(recvbuf, bytes, me + 1, 0, {prev});
+      break;
+    }
+    case CollAlgo::kShm: {
+      IcollShmGroup& g = s->shm_group(bytes);
+      Schedule::StepId cp = s->copy(sendbuf, g.slot(me), bytes, {});
+      Schedule::StepId a0 = s->shm_arrive(0, bytes, {cp});
+      Schedule::StepId w0 = s->shm_wait(0, {a0});
+      Schedule::StepId prev = s->copy(g.slot(0), recvbuf, bytes, {w0});
+      for (int src = 1; src <= me; ++src)
+        prev = s->reduce(g.slot(src), recvbuf, count, type, op, {prev});
+      Schedule::StepId a1 = s->shm_arrive(1, bytes, {prev});
+      s->shm_wait(1, {a1});
+      break;
+    }
+    default: {  // recursive doubling
+      // partial = reduction over the contiguous rank window ending at me;
+      // recvbuf accumulates everything at or below me.
+      Schedule::StepId res_prev = s->copy(sendbuf, recvbuf, bytes, {});
+      u8* partial = s->scratch(bytes);
+      Schedule::StepId part_prev = s->copy(recvbuf, partial, bytes, {res_prev});
+      int round = 0;
+      for (int mask = 1; mask < n; mask <<= 1, ++round) {
+        const int up = me + mask, down = me - mask;
+        Schedule::StepId rv = Schedule::kNone;
+        u8* tmp = nullptr;
+        if (down >= 0) {
+          tmp = s->scratch(bytes);
+          rv = s->recv(tmp, bytes, down, round, {});
+        }
+        Schedule::StepId snd = Schedule::kNone;
+        if (up < n) snd = s->send(partial, bytes, up, round, {part_prev});
+        if (down >= 0) {
+          res_prev = s->reduce(tmp, recvbuf, count, type, op, {rv, res_prev});
+          part_prev =
+              s->reduce(tmp, partial, count, type, op, {rv, part_prev, snd});
+        } else if (snd != Schedule::kNone) {
+          part_prev = snd;
+        }
+      }
+      break;
+    }
+  }
+  return s;
+}
+
+std::shared_ptr<Schedule> build_iexscan(World* w, const detail::CommData& c,
+                                        i64 seq, CollAlgo algo,
+                                        const void* sendbuf, void* recvbuf,
+                                        int count, Datatype type,
+                                        ReduceOp op) {
+  auto s = std::make_shared<Schedule>(w, c, seq);
+  const int n = int(c.world_ranks.size());
+  const int me = c.my_comm_rank;
+  const size_t bytes = size_t(count) * datatype_size(type);
+  switch (algo) {
+    case CollAlgo::kLinear: {
+      u8* own = s->scratch(bytes);
+      Schedule::StepId cp = s->copy(sendbuf, own, bytes, {});
+      Schedule::StepId rv = Schedule::kNone;
+      if (me > 0)  // rank 0's recvbuf stays untouched (MPI semantics)
+        rv = s->recv(recvbuf, bytes, me - 1, 0, {cp});
+      if (me < n - 1) {
+        if (me == 0) {
+          s->send(own, bytes, 1, 0, {cp});
+        } else {
+          u8* incl = s->scratch(bytes);
+          Schedule::StepId c1 = s->copy(recvbuf, incl, bytes, {rv});
+          Schedule::StepId red =
+              s->reduce(own, incl, count, type, op, {c1});
+          s->send(incl, bytes, me + 1, 0, {red});
+        }
+      }
+      break;
+    }
+    case CollAlgo::kShm: {
+      IcollShmGroup& g = s->shm_group(bytes);
+      Schedule::StepId cp = s->copy(sendbuf, g.slot(me), bytes, {});
+      Schedule::StepId a0 = s->shm_arrive(0, bytes, {cp});
+      Schedule::StepId w0 = s->shm_wait(0, {a0});
+      Schedule::StepId a1;
+      if (me > 0) {
+        Schedule::StepId prev = s->copy(g.slot(0), recvbuf, bytes, {w0});
+        for (int src = 1; src < me; ++src)
+          prev = s->reduce(g.slot(src), recvbuf, count, type, op, {prev});
+        a1 = s->shm_arrive(1, bytes, {prev});
+      } else {
+        a1 = s->shm_arrive(1, 0, {w0});
+      }
+      s->shm_wait(1, {a1});
+      break;
+    }
+    default: {  // recursive doubling
+      u8* partial = s->scratch(bytes);
+      Schedule::StepId part_prev = s->copy(sendbuf, partial, bytes, {});
+      // Under in-place aliasing the first recvbuf write must follow the
+      // contribution snapshot; chaining from the copy covers it.
+      Schedule::StepId res_prev = part_prev;
+      bool have_result = false;
+      int round = 0;
+      for (int mask = 1; mask < n; mask <<= 1, ++round) {
+        const int up = me + mask, down = me - mask;
+        Schedule::StepId rv = Schedule::kNone;
+        u8* tmp = nullptr;
+        if (down >= 0) {
+          tmp = s->scratch(bytes);
+          rv = s->recv(tmp, bytes, down, round, {});
+        }
+        Schedule::StepId snd = Schedule::kNone;
+        if (up < n) snd = s->send(partial, bytes, up, round, {part_prev});
+        if (down >= 0) {
+          // Incoming windows tile [0, me) exactly across the rounds.
+          res_prev = have_result
+                         ? s->reduce(tmp, recvbuf, count, type, op,
+                                     {rv, res_prev})
+                         : s->copy(tmp, recvbuf, bytes, {rv, res_prev});
+          have_result = true;
+          part_prev =
+              s->reduce(tmp, partial, count, type, op, {rv, part_prev, snd});
+        } else if (snd != Schedule::kNone) {
+          part_prev = snd;
+        }
+      }
+      break;
     }
   }
   return s;

@@ -45,6 +45,8 @@ class Schedule {
   Schedule& operator=(const Schedule&) = delete;
 
   bool done() const { return remaining_ == 0; }
+  /// Steps not yet completed (progress-detection for poll backoff).
+  int remaining() const { return remaining_; }
   /// Advances every runnable step; returns done(). Never blocks.
   bool progress(Rank& r);
   /// Communicator this schedule runs on (comm_free drains by this id).
@@ -143,5 +145,21 @@ std::shared_ptr<Schedule> build_ialltoall(World* w, const detail::CommData& c,
                                           i64 seq, CollAlgo algo,
                                           const void* sendbuf, void* recvbuf,
                                           size_t sblock, size_t rblock);
+/// `sendbuf == nullptr` means in-place (input already in recvbuf).
+/// `recvcounts` is only read during the build; it need not outlive the call.
+std::shared_ptr<Schedule> build_ireduce_scatter(
+    World* w, const detail::CommData& c, i64 seq, CollAlgo algo,
+    const void* sendbuf, void* recvbuf, const int* recvcounts, Datatype type,
+    ReduceOp op);
+std::shared_ptr<Schedule> build_iscan(World* w, const detail::CommData& c,
+                                      i64 seq, CollAlgo algo,
+                                      const void* sendbuf, void* recvbuf,
+                                      int count, Datatype type, ReduceOp op);
+/// Requires n > 1 (the entry point short-circuits singleton comms; rank 0's
+/// recvbuf stays untouched per MPI semantics).
+std::shared_ptr<Schedule> build_iexscan(World* w, const detail::CommData& c,
+                                        i64 seq, CollAlgo algo,
+                                        const void* sendbuf, void* recvbuf,
+                                        int count, Datatype type, ReduceOp op);
 
 }  // namespace mpiwasm::simmpi::coll

@@ -1,0 +1,107 @@
+// Online autotuner for the kAuto collective-algorithm selection.
+//
+// The static selection table (coll_algos.cc select()) encodes one machine's
+// tradeoffs; whenever the host's oversubscription profile differs, it
+// guesses wrong. The Autotuner wraps it in a measurement phase: for each
+// (collective, size-bin, comm-size) key the first kExploreRounds passes
+// over the candidate list rotate deterministically through the algorithms,
+// measured timings feed an EWMA per candidate, and once the exploration
+// budget is spent the cheapest candidate is locked in. The learned table
+// persists next to the JIT code cache (keyed by a host signature) so
+// subsequent runs start tuned.
+//
+// Rank consistency: a collective's algorithm choice MUST agree across the
+// communicator or the ranks deadlock mid-algorithm. Exploration choices
+// therefore depend only on the per-communicator call index (identical on
+// every rank by MPI's matching-call-order rule), never on the measured
+// timings; the winner is computed once, under the table mutex, and every
+// later call — whatever rank, whatever its local timing view — reads that
+// locked value.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+
+#include "simmpi/types.h"
+
+namespace mpiwasm::simmpi::coll {
+
+enum class CollOp : i32;  // coll_algos.h
+
+class Autotuner {
+ public:
+  /// Exploration passes over the candidate list before locking a winner.
+  /// Four passes: on an oversubscribed host a single descheduled thread
+  /// inflates one sample by an order of magnitude, and two samples per
+  /// candidate lock wrong winners often enough to show up in bench_coll's
+  /// auto column.
+  static constexpr int kExploreRounds = 4;
+  /// EWMA smoothing factor for measured timings.
+  static constexpr f64 kAlpha = 0.25;
+  /// A candidate displaces the static table's pick only when its EWMA is
+  /// below kLockMargin of the pick's own — per-call latency samples miss
+  /// cross-call pipelining and carry scheduler noise, so algorithms within
+  /// ~2x of each other per call routinely differ the other way on loop
+  /// throughput. The mispicks the tuner exists to catch (a static table
+  /// built for a differently-subscribed host) show up well beyond 2x.
+  static constexpr f64 kLockMargin = 0.5;
+
+  explicit Autotuner(std::string signature);
+
+  /// Ties a persisted table to the machine it was measured on: hardware
+  /// thread count, interconnect profile, and rank layout.
+  static std::string host_signature(int hw_threads, const std::string& profile,
+                                    int world_size);
+
+  /// Packs (op, comm size, log2 size bin) into a table key.
+  static u64 key(CollOp op, int nranks, size_t bytes);
+
+  /// The algorithm for call number `call_idx` on `key`. Preloaded winners
+  /// (from load()) apply from call 0. Otherwise calls below the exploration
+  /// budget return candidates[call_idx % n] — even when a winner was locked
+  /// concurrently via another communicator sharing the key, because the
+  /// choice must be a pure function of the (rank-consistent) call index —
+  /// and later calls return the locked EWMA argmin, computed write-once by
+  /// the first arriver. `fallback` (the static table's pick) wins when no
+  /// candidate has a recorded timing, and keeps winning unless the argmin
+  /// beats its EWMA by the kLockMargin hysteresis — unconditionally so
+  /// when the fallback itself was never sampled. `*exploring` tells the caller to
+  /// measure the call and record() it.
+  CollAlgo choose(u64 key, u64 call_idx, std::span<const CollAlgo> candidates,
+                  CollAlgo fallback, bool* exploring);
+
+  /// Feeds one measured duration into the EWMA for (key, algo).
+  void record(u64 key, CollAlgo algo, f64 us);
+
+  /// The locked winner for `key`; kAuto while still exploring.
+  CollAlgo winner(u64 key) const;
+  /// EWMA lookup for tests; negative when no timing was recorded.
+  f64 ewma_us(u64 key, CollAlgo algo) const;
+
+  /// Loads locked winners from `path`; false (table untouched) when the
+  /// file is missing, malformed, or carries a different host signature.
+  bool load(const std::string& path);
+  /// Persists locked winners atomically (temp file + rename). False on I/O
+  /// failure.
+  bool save(const std::string& path) const;
+  /// Whether a winner was locked since construction/load (worth saving).
+  bool dirty() const;
+
+  const std::string& signature() const { return sig_; }
+
+ private:
+  struct Entry {
+    std::map<CollAlgo, f64> ewma;  // algo -> smoothed microseconds
+    CollAlgo locked = CollAlgo::kAuto;  // write-once once set
+    bool preloaded = false;  // locked came from a persisted table
+  };
+
+  mutable std::mutex mu_;
+  std::string sig_;
+  std::map<u64, Entry> table_;
+  bool dirty_ = false;
+};
+
+}  // namespace mpiwasm::simmpi::coll

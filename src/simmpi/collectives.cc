@@ -8,7 +8,9 @@
 
 #include "simmpi/coll_algos.h"
 #include "simmpi/coll_sched.h"
+#include "simmpi/coll_tune.h"
 #include "simmpi/world.h"
+#include "support/timing.h"
 
 namespace mpiwasm::simmpi {
 
@@ -26,41 +28,153 @@ bool shm_ok(const detail::CommData& c, const World& w, size_t slot_need) {
   return slot_need <= cap;
 }
 
+/// Collectives whose exit is synchronized across the communicator: every
+/// rank leaves only once the operation is complete everywhere, so a rank's
+/// per-call duration is a fair sample of the algorithm's cost — the online
+/// autotuner's cost model. Rooted and prefix collectives (bcast, reduce,
+/// gather, scatter, scan, exscan) let fast ranks exit early: their samples
+/// mostly measure arrival skew, and their loop throughput is decided by
+/// cross-call pipelining the sampler cannot see, so they stay on the
+/// static table.
+bool tuner_samples_valid(CollOp op) {
+  switch (op) {
+    case CollOp::kBarrier:
+    case CollOp::kAllreduce:
+    case CollOp::kAllgather:
+    case CollOp::kAlltoall:
+    case CollOp::kReduceScatter:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Resolved algorithm for one collective call, autotune-aware.
+struct Choice {
+  CollAlgo algo = CollAlgo::kAuto;
+  bool exploring = false;  // measure and record() this call
+  u64 key = 0;
+};
+
+/// Picks the algorithm for one collective call. Explicit MPIWASM_COLL_*
+/// overrides and autotune-off worlds use the static selection table;
+/// otherwise the Autotuner rotates through the registry candidates and
+/// then returns the locked winner, with the static pick as the fallback
+/// for never-measured keys. Advances the per-communicator call counter.
+/// Nonblocking twins bypass the tuner entirely (see below) — their
+/// completion is asynchronous, so they could never record a timing, and
+/// the blocking winner is the wrong pick for an overlapping schedule.
+Choice pick_algo(World& w, detail::CommData& c, CollOp op, size_t bytes,
+                 bool ok, bool nonblocking = false) {
+  Choice r;
+  const CollTuning& t = w.coll_tuning();
+  const int n = int(c.world_ranks.size());
+  coll::Autotuner* tuner = w.tuner();
+  // Nonblocking schedules always use the static table. The autotuner's
+  // cost model is blocking latency, a poor proxy for overlap quality: the
+  // blocking winner is often the most tightly synchronized algorithm,
+  // exactly the one whose schedule twin pipelines worst. The static
+  // table's per-size structure choices are pipeline-friendly by
+  // construction. The shm fan-in is excluded from auto selection too — a
+  // CPU-side barrier overlaps nothing, and the schedule machinery's fixed
+  // cost exceeds the fan-in's entire latency at the sizes where shm wins
+  // — but an explicitly forced kShm still builds its schedule (the
+  // differential tests force every algorithm).
+  if (nonblocking) {
+    const bool allow = coll::forced_algo(t, op) != CollAlgo::kAuto && ok;
+    r.algo = coll::select(op, t, n, bytes, allow);
+    return r;
+  }
+  if (tuner == nullptr || !tuner_samples_valid(op) ||
+      coll::forced_algo(t, op) != CollAlgo::kAuto) {
+    r.algo = coll::select(op, t, n, bytes, ok);
+    return r;
+  }
+  std::span<const CollAlgo> cand = coll::algos_for(op);
+  // kShm is by convention the last registry entry; it never enters the
+  // measured candidate set. The fan-in serializes the calling loop on its
+  // internal barrier — a cost per-call latency samples cannot see (the
+  // same blind spot that keeps it out of nonblocking selection), so
+  // measuring it hands it wins its loop throughput does not earn. Where
+  // the static table picks shm, that pick survives as the unmeasured
+  // fallback (choose() never displaces a fallback without evidence
+  // against it).
+  if (!cand.empty() && cand.back() == CollAlgo::kShm)
+    cand = cand.first(cand.size() - 1);
+  r.key = coll::Autotuner::key(op, n, bytes);
+  if (auto cached = c.tune_locked.find(r.key); cached != c.tune_locked.end()) {
+    r.algo = cached->second;
+    return r;
+  }
+  const u64 idx = c.tune_calls[r.key]++;
+  r.algo = tuner->choose(r.key, idx, cand, coll::select(op, t, n, bytes, ok),
+                         &r.exploring);
+  if (!r.exploring) c.tune_locked.emplace(r.key, r.algo);
+  return r;
+}
+
+/// Runs the dispatched algorithm, timing and recording it when exploring.
+template <typename Fn>
+void run_timed(Rank& r, detail::CommData& c, World& w, const Choice& sel,
+               Fn&& fn) {
+  if (!sel.exploring) {
+    fn();
+    return;
+  }
+  // Align entries before sampling: most collectives impose no exit
+  // synchronization, so without this a rank's raw duration mostly measures
+  // how late its peers arrived (and credits algorithms that let fast ranks
+  // race ahead with their peers' wait time). Post-barrier, the local
+  // duration approximates the algorithm's completion latency. Exploration
+  // is rank-consistent, so every rank takes this barrier together.
+  if (c.coll != nullptr)
+    Engine::barrier_shm(r, c);
+  else
+    Engine::barrier_dissemination(r, c);
+  const u64 t0 = now_ns();
+  fn();
+  w.tuner()->record(sel.key, sel.algo, f64(now_ns() - t0) * 1e-3);
+}
+
 }  // namespace
 
 void Rank::barrier(Comm comm) {
   maybe_icoll_progress();
-  const detail::CommData& c = comm_data(comm);
+  detail::CommData& c = comm_data_mut(comm);
   if (c.world_ranks.size() == 1) return;
-  int n = int(c.world_ranks.size());
-  switch (coll::select(CollOp::kBarrier, world_->coll_tuning(), n, 0,
-                       c.coll != nullptr)) {
-    case CollAlgo::kLinear: Engine::barrier_linear(*this, c); break;
-    case CollAlgo::kShm: Engine::barrier_shm(*this, c); break;
-    default: Engine::barrier_dissemination(*this, c); break;
-  }
+  Choice sel = pick_algo(*world_, c, CollOp::kBarrier, 0, c.coll != nullptr);
+  run_timed(*this, c, *world_, sel, [&] {
+    switch (sel.algo) {
+      case CollAlgo::kLinear: Engine::barrier_linear(*this, c); break;
+      case CollAlgo::kShm: Engine::barrier_shm(*this, c); break;
+      default: Engine::barrier_dissemination(*this, c); break;
+    }
+  });
 }
 
 void Rank::bcast(void* buf, int count, Datatype type, int root, Comm comm) {
   maybe_icoll_progress();
-  const detail::CommData& c = comm_data(comm);
+  detail::CommData& c = comm_data_mut(comm);
   int n = int(c.world_ranks.size());
   if (root < 0 || root >= n) throw MpiError("bcast: root out of range");
   if (count < 0) throw MpiError("bcast: negative count");
   if (n == 1) return;
   size_t bytes = size_t(count) * datatype_size(type);
-  switch (coll::select(CollOp::kBcast, world_->coll_tuning(), n, bytes,
-                       shm_ok(c, *world_, bytes))) {
-    case CollAlgo::kLinear: Engine::bcast_linear(*this, c, buf, bytes, root); break;
-    case CollAlgo::kShm: Engine::bcast_shm(*this, c, buf, bytes, root); break;
-    default: Engine::bcast_binomial(*this, c, buf, bytes, root); break;
-  }
+  Choice sel =
+      pick_algo(*world_, c, CollOp::kBcast, bytes, shm_ok(c, *world_, bytes));
+  run_timed(*this, c, *world_, sel, [&] {
+    switch (sel.algo) {
+      case CollAlgo::kLinear: Engine::bcast_linear(*this, c, buf, bytes, root); break;
+      case CollAlgo::kShm: Engine::bcast_shm(*this, c, buf, bytes, root); break;
+      default: Engine::bcast_binomial(*this, c, buf, bytes, root); break;
+    }
+  });
 }
 
 void Rank::reduce(const void* sendbuf, void* recvbuf, int count, Datatype type,
                   ReduceOp op, int root, Comm comm) {
   maybe_icoll_progress();
-  const detail::CommData& c = comm_data(comm);
+  detail::CommData& c = comm_data_mut(comm);
   int n = int(c.world_ranks.size());
   if (root < 0 || root >= n) throw MpiError("reduce: root out of range");
   if (count < 0) throw MpiError("reduce: negative count");
@@ -76,25 +190,29 @@ void Rank::reduce(const void* sendbuf, void* recvbuf, int count, Datatype type,
     if (recvbuf != sendbuf) std::memmove(recvbuf, sendbuf, bytes);
     return;
   }
-  switch (coll::select(CollOp::kReduce, world_->coll_tuning(), n, bytes,
-                       shm_ok(c, *world_, bytes))) {
-    case CollAlgo::kLinear:
-      Engine::reduce_linear(*this, c, sendbuf, recvbuf, count, type, op, root);
-      break;
-    case CollAlgo::kShm:
-      Engine::reduce_shm(*this, c, sendbuf, recvbuf, count, type, op, root);
-      break;
-    default:
-      Engine::reduce_binomial(*this, c, sendbuf, recvbuf, count, type, op,
+  Choice sel =
+      pick_algo(*world_, c, CollOp::kReduce, bytes, shm_ok(c, *world_, bytes));
+  run_timed(*this, c, *world_, sel, [&] {
+    switch (sel.algo) {
+      case CollAlgo::kLinear:
+        Engine::reduce_linear(*this, c, sendbuf, recvbuf, count, type, op,
                               root);
-      break;
-  }
+        break;
+      case CollAlgo::kShm:
+        Engine::reduce_shm(*this, c, sendbuf, recvbuf, count, type, op, root);
+        break;
+      default:
+        Engine::reduce_binomial(*this, c, sendbuf, recvbuf, count, type, op,
+                                root);
+        break;
+    }
+  });
 }
 
 void Rank::allreduce(const void* sendbuf, void* recvbuf, int count,
                      Datatype type, ReduceOp op, Comm comm) {
   maybe_icoll_progress();
-  const detail::CommData& c = comm_data(comm);
+  detail::CommData& c = comm_data_mut(comm);
   int n = int(c.world_ranks.size());
   if (count < 0) throw MpiError("allreduce: negative count");
   if (is_in_place(sendbuf)) sendbuf = recvbuf;
@@ -103,34 +221,37 @@ void Rank::allreduce(const void* sendbuf, void* recvbuf, int count,
     if (recvbuf != sendbuf) std::memmove(recvbuf, sendbuf, bytes);
     return;
   }
-  switch (coll::select(CollOp::kAllreduce, world_->coll_tuning(), n, bytes,
-                       shm_ok(c, *world_, bytes))) {
-    case CollAlgo::kLinear:
-      Engine::allreduce_linear(*this, c, sendbuf, recvbuf, count, type, op);
-      break;
-    case CollAlgo::kBinomial:
-      Engine::allreduce_binomial(*this, c, sendbuf, recvbuf, count, type, op);
-      break;
-    case CollAlgo::kRing:
-      Engine::allreduce_ring(*this, c, sendbuf, recvbuf, count, type, op);
-      break;
-    case CollAlgo::kRabenseifner:
-      Engine::allreduce_rabenseifner(*this, c, sendbuf, recvbuf, count, type,
-                                     op);
-      break;
-    case CollAlgo::kShm:
-      Engine::allreduce_shm(*this, c, sendbuf, recvbuf, count, type, op);
-      break;
-    default:
-      Engine::allreduce_rdbl(*this, c, sendbuf, recvbuf, count, type, op);
-      break;
-  }
+  Choice sel = pick_algo(*world_, c, CollOp::kAllreduce, bytes,
+                         shm_ok(c, *world_, bytes));
+  run_timed(*this, c, *world_, sel, [&] {
+    switch (sel.algo) {
+      case CollAlgo::kLinear:
+        Engine::allreduce_linear(*this, c, sendbuf, recvbuf, count, type, op);
+        break;
+      case CollAlgo::kBinomial:
+        Engine::allreduce_binomial(*this, c, sendbuf, recvbuf, count, type, op);
+        break;
+      case CollAlgo::kRing:
+        Engine::allreduce_ring(*this, c, sendbuf, recvbuf, count, type, op);
+        break;
+      case CollAlgo::kRabenseifner:
+        Engine::allreduce_rabenseifner(*this, c, sendbuf, recvbuf, count, type,
+                                       op);
+        break;
+      case CollAlgo::kShm:
+        Engine::allreduce_shm(*this, c, sendbuf, recvbuf, count, type, op);
+        break;
+      default:
+        Engine::allreduce_rdbl(*this, c, sendbuf, recvbuf, count, type, op);
+        break;
+    }
+  });
 }
 
 void Rank::gather(const void* sendbuf, int sendcount, void* recvbuf,
                   int recvcount, Datatype type, int root, Comm comm) {
   maybe_icoll_progress();
-  const detail::CommData& c = comm_data(comm);
+  detail::CommData& c = comm_data_mut(comm);
   int n = int(c.world_ranks.size());
   if (root < 0 || root >= n) throw MpiError("gather: root out of range");
   if (sendcount < 0 || recvcount < 0)
@@ -146,25 +267,29 @@ void Rank::gather(const void* sendbuf, int sendcount, void* recvbuf,
     if (!in_place) std::memcpy(recvbuf, sendbuf, block);
     return;
   }
-  switch (coll::select(CollOp::kGather, world_->coll_tuning(), n, block,
-                       shm_ok(c, *world_, block))) {
-    case CollAlgo::kLinear:
-      Engine::gather_linear(*this, c, sendbuf, recvbuf, block, root, in_place);
-      break;
-    case CollAlgo::kShm:
-      Engine::gather_shm(*this, c, sendbuf, recvbuf, block, root, in_place);
-      break;
-    default:
-      Engine::gather_binomial(*this, c, sendbuf, recvbuf, block, root,
+  Choice sel =
+      pick_algo(*world_, c, CollOp::kGather, block, shm_ok(c, *world_, block));
+  run_timed(*this, c, *world_, sel, [&] {
+    switch (sel.algo) {
+      case CollAlgo::kLinear:
+        Engine::gather_linear(*this, c, sendbuf, recvbuf, block, root,
                               in_place);
-      break;
-  }
+        break;
+      case CollAlgo::kShm:
+        Engine::gather_shm(*this, c, sendbuf, recvbuf, block, root, in_place);
+        break;
+      default:
+        Engine::gather_binomial(*this, c, sendbuf, recvbuf, block, root,
+                                in_place);
+        break;
+    }
+  });
 }
 
 void Rank::scatter(const void* sendbuf, int sendcount, void* recvbuf,
                    int recvcount, Datatype type, int root, Comm comm) {
   maybe_icoll_progress();
-  const detail::CommData& c = comm_data(comm);
+  detail::CommData& c = comm_data_mut(comm);
   int n = int(c.world_ranks.size());
   if (root < 0 || root >= n) throw MpiError("scatter: root out of range");
   if (sendcount < 0 || recvcount < 0)
@@ -179,25 +304,29 @@ void Rank::scatter(const void* sendbuf, int sendcount, void* recvbuf,
     if (!in_place) std::memcpy(recvbuf, sendbuf, block);
     return;
   }
-  switch (coll::select(CollOp::kScatter, world_->coll_tuning(), n, block,
-                       shm_ok(c, *world_, block))) {
-    case CollAlgo::kLinear:
-      Engine::scatter_linear(*this, c, sendbuf, recvbuf, block, root, in_place);
-      break;
-    case CollAlgo::kShm:
-      Engine::scatter_shm(*this, c, sendbuf, recvbuf, block, root, in_place);
-      break;
-    default:
-      Engine::scatter_binomial(*this, c, sendbuf, recvbuf, block, root,
+  Choice sel =
+      pick_algo(*world_, c, CollOp::kScatter, block, shm_ok(c, *world_, block));
+  run_timed(*this, c, *world_, sel, [&] {
+    switch (sel.algo) {
+      case CollAlgo::kLinear:
+        Engine::scatter_linear(*this, c, sendbuf, recvbuf, block, root,
                                in_place);
-      break;
-  }
+        break;
+      case CollAlgo::kShm:
+        Engine::scatter_shm(*this, c, sendbuf, recvbuf, block, root, in_place);
+        break;
+      default:
+        Engine::scatter_binomial(*this, c, sendbuf, recvbuf, block, root,
+                                 in_place);
+        break;
+    }
+  });
 }
 
 void Rank::allgather(const void* sendbuf, int sendcount, void* recvbuf,
                      int recvcount, Datatype type, Comm comm) {
   maybe_icoll_progress();
-  const detail::CommData& c = comm_data(comm);
+  detail::CommData& c = comm_data_mut(comm);
   int n = int(c.world_ranks.size());
   int me = c.my_comm_rank;
   if (sendcount < 0 || recvcount < 0)
@@ -213,27 +342,30 @@ void Rank::allgather(const void* sendbuf, int sendcount, void* recvbuf,
     if (!in_place) std::memcpy(recvbuf, sendbuf, block);
     return;
   }
-  switch (coll::select(CollOp::kAllgather, world_->coll_tuning(), n, block,
-                       shm_ok(c, *world_, block))) {
-    case CollAlgo::kLinear:
-      Engine::allgather_linear(*this, c, sendbuf, recvbuf, block, in_place);
-      break;
-    case CollAlgo::kRecursiveDoubling:
-      Engine::allgather_rdbl(*this, c, sendbuf, recvbuf, block, in_place);
-      break;
-    case CollAlgo::kShm:
-      Engine::allgather_shm(*this, c, sendbuf, recvbuf, block, in_place);
-      break;
-    default:
-      Engine::allgather_ring(*this, c, sendbuf, recvbuf, block, in_place);
-      break;
-  }
+  Choice sel = pick_algo(*world_, c, CollOp::kAllgather, block,
+                         shm_ok(c, *world_, block));
+  run_timed(*this, c, *world_, sel, [&] {
+    switch (sel.algo) {
+      case CollAlgo::kLinear:
+        Engine::allgather_linear(*this, c, sendbuf, recvbuf, block, in_place);
+        break;
+      case CollAlgo::kRecursiveDoubling:
+        Engine::allgather_rdbl(*this, c, sendbuf, recvbuf, block, in_place);
+        break;
+      case CollAlgo::kShm:
+        Engine::allgather_shm(*this, c, sendbuf, recvbuf, block, in_place);
+        break;
+      default:
+        Engine::allgather_ring(*this, c, sendbuf, recvbuf, block, in_place);
+        break;
+    }
+  });
 }
 
 void Rank::alltoall(const void* sendbuf, int sendcount, void* recvbuf,
                     int recvcount, Datatype type, Comm comm) {
   maybe_icoll_progress();
-  const detail::CommData& c = comm_data(comm);
+  detail::CommData& c = comm_data_mut(comm);
   int n = int(c.world_ranks.size());
   if (sendcount < 0 || recvcount < 0)
     throw MpiError("alltoall: negative count");
@@ -245,22 +377,25 @@ void Rank::alltoall(const void* sendbuf, int sendcount, void* recvbuf,
     std::memcpy(recvbuf, sendbuf, sblock);
     return;
   }
-  switch (coll::select(CollOp::kAlltoall, world_->coll_tuning(), n, sblock,
-                       /*shm_ok=*/false)) {
-    case CollAlgo::kLinear:
-      Engine::alltoall_linear(*this, c, sendbuf, recvbuf, sblock, rblock);
-      break;
-    default:
-      Engine::alltoall_pairwise(*this, c, sendbuf, recvbuf, sblock, rblock);
-      break;
-  }
+  Choice sel =
+      pick_algo(*world_, c, CollOp::kAlltoall, sblock, /*ok=*/false);
+  run_timed(*this, c, *world_, sel, [&] {
+    switch (sel.algo) {
+      case CollAlgo::kLinear:
+        Engine::alltoall_linear(*this, c, sendbuf, recvbuf, sblock, rblock);
+        break;
+      default:
+        Engine::alltoall_pairwise(*this, c, sendbuf, recvbuf, sblock, rblock);
+        break;
+    }
+  });
 }
 
 void Rank::alltoallv(const void* sendbuf, const int* sendcounts,
                      const int* sdispls, void* recvbuf, const int* recvcounts,
                      const int* rdispls, Datatype type, Comm comm) {
   maybe_icoll_progress();
-  const detail::CommData& c = comm_data(comm);
+  detail::CommData& c = comm_data_mut(comm);
   int n = int(c.world_ranks.size());
   int me = c.my_comm_rank;
   if (is_in_place(sendbuf))
@@ -287,7 +422,7 @@ void Rank::reduce_scatter(const void* sendbuf, void* recvbuf,
                           const int* recvcounts, Datatype type, ReduceOp op,
                           Comm comm) {
   maybe_icoll_progress();
-  const detail::CommData& c = comm_data(comm);
+  detail::CommData& c = comm_data_mut(comm);
   int n = int(c.world_ranks.size());
   size_t esize = datatype_size(type);
   size_t total = 0;
@@ -303,27 +438,30 @@ void Rank::reduce_scatter(const void* sendbuf, void* recvbuf,
       std::memmove(recvbuf, input, size_t(recvcounts[0]) * esize);
     return;
   }
-  switch (coll::select(CollOp::kReduceScatter, world_->coll_tuning(), n,
-                       total * esize, shm_ok(c, *world_, total * esize))) {
-    case CollAlgo::kPairwise:
-      Engine::reduce_scatter_pairwise(*this, c, input, recvbuf, recvcounts,
+  Choice sel = pick_algo(*world_, c, CollOp::kReduceScatter, total * esize,
+                         shm_ok(c, *world_, total * esize));
+  run_timed(*this, c, *world_, sel, [&] {
+    switch (sel.algo) {
+      case CollAlgo::kPairwise:
+        Engine::reduce_scatter_pairwise(*this, c, input, recvbuf, recvcounts,
+                                        type, op);
+        break;
+      case CollAlgo::kShm:
+        Engine::reduce_scatter_shm(*this, c, input, recvbuf, recvcounts, type,
+                                   op);
+        break;
+      default:
+        Engine::reduce_scatter_linear(*this, c, input, recvbuf, recvcounts,
                                       type, op);
-      break;
-    case CollAlgo::kShm:
-      Engine::reduce_scatter_shm(*this, c, input, recvbuf, recvcounts, type,
-                                 op);
-      break;
-    default:
-      Engine::reduce_scatter_linear(*this, c, input, recvbuf, recvcounts, type,
-                                    op);
-      break;
-  }
+        break;
+    }
+  });
 }
 
 void Rank::scan(const void* sendbuf, void* recvbuf, int count, Datatype type,
                 ReduceOp op, Comm comm) {
   maybe_icoll_progress();
-  const detail::CommData& c = comm_data(comm);
+  detail::CommData& c = comm_data_mut(comm);
   int n = int(c.world_ranks.size());
   if (count < 0) throw MpiError("scan: negative count");
   if (is_in_place(sendbuf)) sendbuf = recvbuf;
@@ -332,41 +470,47 @@ void Rank::scan(const void* sendbuf, void* recvbuf, int count, Datatype type,
     if (recvbuf != sendbuf) std::memmove(recvbuf, sendbuf, bytes);
     return;
   }
-  switch (coll::select(CollOp::kScan, world_->coll_tuning(), n, bytes,
-                       shm_ok(c, *world_, bytes))) {
-    case CollAlgo::kLinear:
-      Engine::scan_linear(*this, c, sendbuf, recvbuf, count, type, op);
-      break;
-    case CollAlgo::kShm:
-      Engine::scan_shm(*this, c, sendbuf, recvbuf, count, type, op);
-      break;
-    default:
-      Engine::scan_rdbl(*this, c, sendbuf, recvbuf, count, type, op);
-      break;
-  }
+  Choice sel =
+      pick_algo(*world_, c, CollOp::kScan, bytes, shm_ok(c, *world_, bytes));
+  run_timed(*this, c, *world_, sel, [&] {
+    switch (sel.algo) {
+      case CollAlgo::kLinear:
+        Engine::scan_linear(*this, c, sendbuf, recvbuf, count, type, op);
+        break;
+      case CollAlgo::kShm:
+        Engine::scan_shm(*this, c, sendbuf, recvbuf, count, type, op);
+        break;
+      default:
+        Engine::scan_rdbl(*this, c, sendbuf, recvbuf, count, type, op);
+        break;
+    }
+  });
 }
 
 void Rank::exscan(const void* sendbuf, void* recvbuf, int count, Datatype type,
                   ReduceOp op, Comm comm) {
   maybe_icoll_progress();
-  const detail::CommData& c = comm_data(comm);
+  detail::CommData& c = comm_data_mut(comm);
   int n = int(c.world_ranks.size());
   if (count < 0) throw MpiError("exscan: negative count");
   if (is_in_place(sendbuf)) sendbuf = recvbuf;
   size_t bytes = size_t(count) * datatype_size(type);
   if (n == 1) return;  // recvbuf undefined on rank 0
-  switch (coll::select(CollOp::kExscan, world_->coll_tuning(), n, bytes,
-                       shm_ok(c, *world_, bytes))) {
-    case CollAlgo::kLinear:
-      Engine::exscan_linear(*this, c, sendbuf, recvbuf, count, type, op);
-      break;
-    case CollAlgo::kShm:
-      Engine::exscan_shm(*this, c, sendbuf, recvbuf, count, type, op);
-      break;
-    default:
-      Engine::exscan_rdbl(*this, c, sendbuf, recvbuf, count, type, op);
-      break;
-  }
+  Choice sel =
+      pick_algo(*world_, c, CollOp::kExscan, bytes, shm_ok(c, *world_, bytes));
+  run_timed(*this, c, *world_, sel, [&] {
+    switch (sel.algo) {
+      case CollAlgo::kLinear:
+        Engine::exscan_linear(*this, c, sendbuf, recvbuf, count, type, op);
+        break;
+      case CollAlgo::kShm:
+        Engine::exscan_shm(*this, c, sendbuf, recvbuf, count, type, op);
+        break;
+      default:
+        Engine::exscan_rdbl(*this, c, sendbuf, recvbuf, count, type, op);
+        break;
+    }
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -379,8 +523,9 @@ Request Rank::ibarrier(Comm comm) {
   detail::CommData& c = comm_data_mut(comm);
   int n = int(c.world_ranks.size());
   if (n == 1) return Request{};
-  CollAlgo a = coll::select(CollOp::kBarrier, world_->coll_tuning(), n, 0,
-                            c.coll != nullptr);
+  CollAlgo a = pick_algo(*world_, c, CollOp::kBarrier, 0,
+                         c.coll != nullptr,
+                         /*nonblocking=*/true).algo;
   return start_icoll(coll::build_ibarrier(world_, c, c.icoll_seq++, a));
 }
 
@@ -391,8 +536,9 @@ Request Rank::ibcast(void* buf, int count, Datatype type, int root, Comm comm) {
   if (count < 0) throw MpiError("ibcast: negative count");
   if (n == 1) return Request{};
   size_t bytes = size_t(count) * datatype_size(type);
-  CollAlgo a = coll::select(CollOp::kBcast, world_->coll_tuning(), n, bytes,
-                            shm_ok(c, *world_, bytes));
+  CollAlgo a = pick_algo(*world_, c, CollOp::kBcast, bytes,
+                         shm_ok(c, *world_, bytes),
+                         /*nonblocking=*/true).algo;
   return start_icoll(
       coll::build_ibcast(world_, c, c.icoll_seq++, a, buf, bytes, root));
 }
@@ -415,8 +561,9 @@ Request Rank::ireduce(const void* sendbuf, void* recvbuf, int count,
     if (recvbuf != sendbuf) std::memmove(recvbuf, sendbuf, bytes);
     return Request{};
   }
-  CollAlgo a = coll::select(CollOp::kReduce, world_->coll_tuning(), n, bytes,
-                            shm_ok(c, *world_, bytes));
+  CollAlgo a = pick_algo(*world_, c, CollOp::kReduce, bytes,
+                         shm_ok(c, *world_, bytes),
+                         /*nonblocking=*/true).algo;
   return start_icoll(coll::build_ireduce(world_, c, c.icoll_seq++, a, sendbuf,
                                          recvbuf, count, type, op, root));
 }
@@ -432,8 +579,9 @@ Request Rank::iallreduce(const void* sendbuf, void* recvbuf, int count,
     if (recvbuf != sendbuf) std::memmove(recvbuf, sendbuf, bytes);
     return Request{};
   }
-  CollAlgo a = coll::select(CollOp::kAllreduce, world_->coll_tuning(), n,
-                            bytes, shm_ok(c, *world_, bytes));
+  CollAlgo a = pick_algo(*world_, c, CollOp::kAllreduce, bytes,
+                         shm_ok(c, *world_, bytes),
+                         /*nonblocking=*/true).algo;
   return start_icoll(coll::build_iallreduce(world_, c, c.icoll_seq++, a,
                                             sendbuf, recvbuf, count, type,
                                             op));
@@ -457,8 +605,9 @@ Request Rank::iallgather(const void* sendbuf, int sendcount, void* recvbuf,
     if (!in_place) std::memcpy(recvbuf, sendbuf, block);
     return Request{};
   }
-  CollAlgo a = coll::select(CollOp::kAllgather, world_->coll_tuning(), n,
-                            block, shm_ok(c, *world_, block));
+  CollAlgo a = pick_algo(*world_, c, CollOp::kAllgather, block,
+                         shm_ok(c, *world_, block),
+                         /*nonblocking=*/true).algo;
   return start_icoll(coll::build_iallgather(world_, c, c.icoll_seq++, a,
                                             sendbuf, recvbuf, block));
 }
@@ -477,10 +626,68 @@ Request Rank::ialltoall(const void* sendbuf, int sendcount, void* recvbuf,
     std::memcpy(recvbuf, sendbuf, sblock);
     return Request{};
   }
-  CollAlgo a = coll::select(CollOp::kAlltoall, world_->coll_tuning(), n,
-                            sblock, /*shm_ok=*/false);
+  CollAlgo a = pick_algo(*world_, c, CollOp::kAlltoall, sblock,
+                         /*ok=*/false,
+                         /*nonblocking=*/true).algo;
   return start_icoll(coll::build_ialltoall(world_, c, c.icoll_seq++, a,
                                            sendbuf, recvbuf, sblock, rblock));
+}
+
+Request Rank::ireduce_scatter(const void* sendbuf, void* recvbuf,
+                              const int* recvcounts, Datatype type,
+                              ReduceOp op, Comm comm) {
+  detail::CommData& c = comm_data_mut(comm);
+  int n = int(c.world_ranks.size());
+  size_t esize = datatype_size(type);
+  size_t total = 0;
+  for (int i = 0; i < n; ++i) {
+    if (recvcounts[i] < 0) throw MpiError("ireduce_scatter: negative count");
+    total += size_t(recvcounts[i]);
+  }
+  const void* input = is_in_place(sendbuf) ? nullptr : sendbuf;
+  if (n == 1) {
+    if (input != nullptr)
+      std::memmove(recvbuf, input, size_t(recvcounts[0]) * esize);
+    return Request{};
+  }
+  CollAlgo a = pick_algo(*world_, c, CollOp::kReduceScatter, total * esize,
+                         shm_ok(c, *world_, total * esize),
+                         /*nonblocking=*/true).algo;
+  return start_icoll(coll::build_ireduce_scatter(
+      world_, c, c.icoll_seq++, a, input, recvbuf, recvcounts, type, op));
+}
+
+Request Rank::iscan(const void* sendbuf, void* recvbuf, int count,
+                    Datatype type, ReduceOp op, Comm comm) {
+  detail::CommData& c = comm_data_mut(comm);
+  int n = int(c.world_ranks.size());
+  if (count < 0) throw MpiError("iscan: negative count");
+  if (is_in_place(sendbuf)) sendbuf = recvbuf;
+  size_t bytes = size_t(count) * datatype_size(type);
+  if (n == 1) {
+    if (recvbuf != sendbuf) std::memmove(recvbuf, sendbuf, bytes);
+    return Request{};
+  }
+  CollAlgo a = pick_algo(*world_, c, CollOp::kScan, bytes,
+                         shm_ok(c, *world_, bytes),
+                         /*nonblocking=*/true).algo;
+  return start_icoll(coll::build_iscan(world_, c, c.icoll_seq++, a, sendbuf,
+                                       recvbuf, count, type, op));
+}
+
+Request Rank::iexscan(const void* sendbuf, void* recvbuf, int count,
+                      Datatype type, ReduceOp op, Comm comm) {
+  detail::CommData& c = comm_data_mut(comm);
+  int n = int(c.world_ranks.size());
+  if (count < 0) throw MpiError("iexscan: negative count");
+  if (is_in_place(sendbuf)) sendbuf = recvbuf;
+  size_t bytes = size_t(count) * datatype_size(type);
+  if (n == 1) return Request{};  // recvbuf undefined on rank 0
+  CollAlgo a = pick_algo(*world_, c, CollOp::kExscan, bytes,
+                         shm_ok(c, *world_, bytes),
+                         /*nonblocking=*/true).algo;
+  return start_icoll(coll::build_iexscan(world_, c, c.icoll_seq++, a, sendbuf,
+                                         recvbuf, count, type, op));
 }
 
 // ---------------------------------------------------------------------------

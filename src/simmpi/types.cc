@@ -1,6 +1,23 @@
 #include "simmpi/types.h"
 
+#include <cstdlib>
+
 namespace mpiwasm::simmpi {
+
+namespace {
+
+/// MPIWASM_RNDV_CHUNK=<bytes> overrides the rendezvous pipeline segment
+/// size of every built-in profile (0 = unsegmented).
+size_t env_rndv_chunk(size_t dflt) {
+  const char* s = std::getenv("MPIWASM_RNDV_CHUNK");
+  if (s == nullptr || *s == '\0') return dflt;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s) return dflt;
+  return size_t(v);
+}
+
+}  // namespace
 
 size_t datatype_size(Datatype t) {
   switch (t) {
@@ -30,13 +47,18 @@ const char* datatype_name(Datatype t) {
   return "?";
 }
 
-NetworkProfile NetworkProfile::zero() { return NetworkProfile{}; }
+NetworkProfile NetworkProfile::zero() {
+  NetworkProfile p;
+  p.rendezvous_chunk = env_rndv_chunk(p.rendezvous_chunk);
+  return p;
+}
 
 NetworkProfile NetworkProfile::omnipath() {
   NetworkProfile p;
   p.name = "omnipath";
   p.latency_ns = 900;        // ~0.9us MPI half-round-trip latency
   p.bytes_per_ns = 12.5;     // 100 Gbit/s
+  p.rendezvous_chunk = env_rndv_chunk(p.rendezvous_chunk);
   return p;
 }
 
@@ -45,6 +67,7 @@ NetworkProfile NetworkProfile::graviton2() {
   p.name = "graviton2";
   p.latency_ns = 450;        // single-node shared-memory transport
   p.bytes_per_ns = 11.0;     // ~11 GiB/s effective
+  p.rendezvous_chunk = env_rndv_chunk(p.rendezvous_chunk);
   return p;
 }
 
@@ -56,6 +79,7 @@ NetworkProfile NetworkProfile::grpc_messaging() {
   p.serialize_ns_per_kib = 250; // protobuf-style encode/decode
   p.force_copy = true;          // no zero-copy handoff
   p.eager_limit = SIZE_MAX;     // everything is staged through buffers
+  p.rendezvous_chunk = env_rndv_chunk(p.rendezvous_chunk);
   return p;
 }
 

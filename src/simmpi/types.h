@@ -135,8 +135,18 @@ struct CollTuning {
   /// CollectiveContext slot size).
   size_t shm_max_bytes = 8192;
 
-  /// Applies MPIWASM_COLL_<NAME>=<algo>, MPIWASM_COLL_SHM=0|1 and
-  /// MPIWASM_COLL_SHM_MAX=<bytes> on top of `base` (defaults when omitted).
+  /// Online autotuning of the kAuto selection: per (collective, size-bin,
+  /// comm-size) key the first calls rotate through the candidate algorithms,
+  /// an EWMA over measured timings picks a winner, and the winner is locked
+  /// in. Explicit MPIWASM_COLL_<NAME> overrides always bypass it.
+  bool autotune = true;
+  /// Where the learned table persists between runs (empty = in-memory only;
+  /// the embedder points this next to the JIT code cache).
+  std::string autotune_file;
+
+  /// Applies MPIWASM_COLL_<NAME>=<algo>, MPIWASM_COLL_SHM=0|1,
+  /// MPIWASM_COLL_SHM_MAX=<bytes> and MPIWASM_COLL_AUTOTUNE=0|1 on top of
+  /// `base` (defaults when omitted).
   static CollTuning from_env(CollTuning base);
   static CollTuning from_env() { return from_env(CollTuning{}); }
 };
@@ -150,6 +160,12 @@ struct NetworkProfile {
   u64 serialize_ns_per_kib = 0;  // messaging-layer serialization overhead
   bool force_copy = false;       // models gRPC-style buffer handoff
   size_t eager_limit = 64 * 1024;
+  /// Rendezvous pipeline segment size: large transfers are exposed to the
+  /// receiver in chunks of this many bytes, each charged its own wire cost,
+  /// so a receiver's progress engine drains the wire as data "arrives"
+  /// instead of paying one big copy at the end. 0 = unsegmented (single
+  /// all-at-once handoff). Overridable via MPIWASM_RNDV_CHUNK.
+  size_t rendezvous_chunk = 64 * 1024;
 
   u64 message_cost_ns(size_t bytes) const {
     u64 cost = latency_ns;

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "simmpi/coll_sched.h"
+#include "simmpi/coll_tune.h"
 #include "support/log.h"
 #include "support/timing.h"
 
@@ -19,6 +20,72 @@ bool key_matches(const detail::RecvDesc& r, const detail::SendDesc& s) {
   return r.comm_id == s.comm_id &&
          (r.src == kAnySource || r.src == s.src_comm_rank) &&
          (r.tag == kAnyTag || r.tag == s.tag);
+}
+
+
+/// Finds and removes the first live posted receive matching
+/// (comm_id, src, tag); null when none is posted. Caller holds box.mu.
+std::shared_ptr<detail::RecvDesc> take_posted_match(detail::Mailbox& box,
+                                                    i32 comm_id,
+                                                    int src_comm_rank,
+                                                    int tag) {
+  for (auto it = box.posted.begin(); it != box.posted.end(); ++it) {
+    detail::RecvDesc& r = **it;
+    if (r.done) continue;
+    detail::SendDesc probe;
+    probe.comm_id = comm_id;
+    probe.src_comm_rank = src_comm_rank;
+    probe.tag = tag;
+    if (!key_matches(r, probe)) continue;
+    auto found = *it;
+    box.posted.erase(it);
+    return found;
+  }
+  return nullptr;
+}
+
+/// Completes a matched receive with a single direct copy from the sender's
+/// buffer. Caller holds box.mu.
+void deliver_now(detail::Mailbox& box, detail::RecvDesc& r, const void* buf,
+                 size_t bytes, int src_comm_rank, int tag) {
+  size_t n = std::min(bytes, r.capacity);
+  if (bytes > r.capacity) r.truncated = true;
+  std::memcpy(r.dst, buf, n);
+  r.status = Status{src_comm_rank, tag, n};
+  r.done = true;
+  box.cv.notify_all();
+}
+
+/// Drains every matched pipelined send: copies the segments whose wire
+/// deadline has passed into the paired receive and completes fully-arrived
+/// transfers. Caller holds box.mu; cheap when nothing new is visible.
+void pump_pipelines(detail::Mailbox& box) {
+  bool completed_any = false;
+  for (auto it = box.draining.begin(); it != box.draining.end();) {
+    detail::SendDesc& s = **it;
+    detail::RecvDesc& r = *s.sink;
+    size_t avail = s.bytes;
+    if (s.seg_ns > 0) {
+      const u64 segs = (now_ns() - s.posted_ns) / s.seg_ns;
+      avail = size_t(std::min<u64>(s.bytes, segs * u64(s.chunk)));
+    }
+    const size_t limit = std::min(avail, r.capacity);
+    if (limit > s.copied) {
+      std::memcpy(r.dst + s.copied, s.payload + s.copied, limit - s.copied);
+      s.copied = limit;
+    }
+    if (avail >= s.bytes) {
+      if (s.bytes > r.capacity) r.truncated = true;
+      r.status = Status{s.src_comm_rank, s.tag, std::min(s.bytes, r.capacity)};
+      r.done = true;
+      s.completed = true;
+      it = box.draining.erase(it);
+      completed_any = true;
+    } else {
+      ++it;
+    }
+  }
+  if (completed_any) box.cv.notify_all();
 }
 
 }  // namespace
@@ -67,14 +134,23 @@ void CollectiveContext::barrier_wait(World& world) {
 // ---------------------------------------------------------------------------
 
 World::World(int size, NetworkProfile profile, CollTuning coll)
-    : size_(size), profile_(std::move(profile)), coll_(coll) {
+    : size_(size), profile_(std::move(profile)), coll_(std::move(coll)) {
   MW_CHECK(size >= 1, "world size must be >= 1");
   boxes_.reserve(size_);
   for (int i = 0; i < size_; ++i)
     boxes_.push_back(std::make_unique<detail::Mailbox>());
+  if (coll_.autotune) {
+    tuner_ = std::make_unique<coll::Autotuner>(coll::Autotuner::host_signature(
+        int(std::thread::hardware_concurrency()), profile_.name, size_));
+    if (!coll_.autotune_file.empty()) tuner_->load(coll_.autotune_file);
+  }
 }
 
-World::~World() = default;
+World::~World() {
+  // Persist freshly locked winners so the next run starts tuned.
+  if (tuner_ != nullptr && tuner_->dirty() && !coll_.autotune_file.empty())
+    tuner_->save(coll_.autotune_file);
+}
 
 i32 World::alloc_comm_ids(i32 n) { return next_comm_id_.fetch_add(n); }
 
@@ -216,23 +292,29 @@ void Rank::check_user_tag(int tag) const {
 // Nonblocking-collective progress engine
 // ---------------------------------------------------------------------------
 
-void Rank::icoll_progress() {
+bool Rank::icoll_progress() {
   // Guarded: schedule steps poll p2p requests through test(), which itself
   // hooks progress — without the flag that would recurse.
-  if (icoll_in_progress_ || icoll_active_.empty()) return;
+  if (icoll_in_progress_ || icoll_active_.empty()) return false;
   icoll_in_progress_ = true;
+  bool advanced = false;
   try {
     for (auto it = icoll_active_.begin(); it != icoll_active_.end();) {
-      if ((*it)->progress(*this))
+      const int before = (*it)->remaining();
+      if ((*it)->progress(*this)) {
         it = icoll_active_.erase(it);
-      else
+        advanced = true;
+      } else {
+        advanced = advanced || (*it)->remaining() != before;
         ++it;
+      }
     }
   } catch (...) {
     icoll_in_progress_ = false;
     throw;
   }
   icoll_in_progress_ = false;
+  return advanced;
 }
 
 void Rank::progress() { icoll_progress(); }
@@ -241,13 +323,24 @@ void Rank::poll_with_progress(const std::function<bool()>& pred,
                               const char* what) {
   const u64 deadline =
       now_ns() + u64(std::chrono::nanoseconds(kBlockTimeout).count());
+  int idle = 0;
   while (true) {
-    icoll_progress();
+    if (icoll_progress()) idle = 0;
     if (pred()) return;
     if (world_->aborting()) throw MpiAbort(-1);
     if (now_ns() > deadline)
       throw MpiError(std::string(what) + " timed out (deadlock?)");
-    std::this_thread::yield();
+    // When a pass makes no headway the missing ingredient is a peer
+    // thread getting CPU time. yield() is ~0.2us and actually runs the
+    // peer on an oversubscribed host, so stay in the yield phase for a
+    // long stretch; sleep_for() rounds up to the kernel's timer slack
+    // (~50us+ even for a 1us request), which would dwarf a small
+    // collective's entire latency. Only a genuinely idle wait — hundreds
+    // of fruitless passes — drops into a real sleep to cap CPU burn.
+    if (++idle < 64)
+      std::this_thread::yield();
+    else
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
   }
 }
 
@@ -265,19 +358,56 @@ Request Rank::start_icoll(std::shared_ptr<coll::Schedule> sched) {
 template <typename Pred>
 bool Rank::wait_with_progress(detail::Mailbox& box,
                               std::unique_lock<std::mutex>& lock, Pred pred) {
-  if (icoll_active_.empty())
-    return box.cv.wait_for(lock, kBlockTimeout, pred);
   const u64 deadline =
       now_ns() + u64(std::chrono::nanoseconds(kBlockTimeout).count());
   while (!pred()) {
     if (now_ns() > deadline) return false;
+    if (icoll_active_.empty() && box.draining.empty()) {
+      // Nothing to poll: a peer's notify is the only wake source. Pipelined
+      // sends matched while we sleep wake us via the draining clause so we
+      // fall through into the polling branch below.
+      box.cv.wait_for(lock, kBlockTimeout,
+                      [&] { return pred() || !box.draining.empty(); });
+      continue;
+    }
+    // Pipelined segments become visible by wire-time alone — poll them.
+    if (!box.draining.empty()) pump_pipelines(box);
+    if (pred()) return true;
     // Drive outstanding schedules without holding our box lock (their
     // steps lock mailboxes, including this one).
     lock.unlock();
     icoll_progress();
     lock.lock();
     if (pred()) return true;
-    box.cv.wait_for(lock, std::chrono::microseconds(200), pred);
+    // Segments become visible by wall-clock alone, so bound the sleep by
+    // the earliest pending segment deadline; a peer's notify still wakes
+    // us sooner.
+    auto quantum = std::chrono::microseconds(200);
+    if (!box.draining.empty()) {
+      u64 next = u64(-1);
+      for (const auto& d : box.draining)
+        if (d->seg_ns > 0 && d->chunk > 0)
+          next = std::min(
+              next, d->posted_ns + (d->copied / d->chunk + 1) * d->seg_ns);
+      const u64 t = now_ns();
+      if (next <= t) continue;  // a segment is already due: pump again
+      if (next != u64(-1)) {
+        // cv timed waits round up to the kernel timer slack (~50us+), so
+        // a near deadline is better met by a yielding spin: wake on time,
+        // pump, and let peers run meanwhile.
+        if (next - t < 150'000) {
+          lock.unlock();
+          spin_for_ns(next - t);
+          lock.lock();
+          continue;
+        }
+        quantum = std::min(
+            quantum, std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::nanoseconds(next - t)) +
+                         std::chrono::microseconds(1));
+      }
+    }
+    box.cv.wait_for(lock, quantum, pred);
   }
   return true;
 }
@@ -299,21 +429,8 @@ void Rank::send_internal(const void* buf, size_t bytes, int dest, int tag,
 
   // Try to match an already-posted receive (fast path: copy straight from
   // the sender's buffer into the receiver's buffer — single copy).
-  for (auto it = box.posted.begin(); it != box.posted.end(); ++it) {
-    detail::RecvDesc& r = **it;
-    if (r.done) continue;
-    detail::SendDesc probe;
-    probe.comm_id = c.id;
-    probe.src_comm_rank = c.my_comm_rank;
-    probe.tag = tag;
-    if (!key_matches(r, probe)) continue;
-    size_t n = std::min(bytes, r.capacity);
-    if (bytes > r.capacity) r.truncated = true;
-    std::memcpy(r.dst, buf, n);
-    r.status = Status{c.my_comm_rank, tag, n};
-    r.done = true;
-    box.posted.erase(it);
-    box.cv.notify_all();
+  if (auto r = take_posted_match(box, c.id, c.my_comm_rank, tag)) {
+    deliver_now(box, *r, buf, bytes, c.my_comm_rank, tag);
     return;
   }
 
@@ -393,6 +510,28 @@ Status Rank::recv_internal(void* buf, size_t bytes, int source, int tag,
   // Matched an unexpected send.
   size_t n = std::min(s->bytes, bytes);
   if (s->bytes > bytes) throw MpiError("recv: message truncated");
+  if (s->seg_ns > 0) {
+    // Pipelined rendezvous: pair up and drain segments as their wire
+    // deadlines pass (all may already be visible if the send is old).
+    auto desc = std::make_shared<detail::RecvDesc>();
+    desc->comm_id = c.id;
+    desc->src = source;
+    desc->tag = tag;
+    desc->dst = static_cast<u8*>(buf);
+    desc->capacity = bytes;
+    s->sink = desc;
+    box.draining.push_back(s);
+    pump_pipelines(box);
+    if (!desc->done) {
+      bool ok = wait_with_progress(box, lock, [&] {
+        return desc->done || world_->aborting();
+      });
+      if (world_->aborting()) throw MpiAbort(-1);
+      if (!ok)
+        throw MpiError("recv: pipelined rendezvous timed out (deadlock?)");
+    }
+    return desc->status;
+  }
   if (s->eager) {
     std::memcpy(buf, s->eager_buf.data(), n);
   } else {
@@ -430,32 +569,36 @@ Request Rank::isend(const void* buf, int count, Datatype type, int dest,
                         /*charge_wire=*/true);
 }
 
+bool Rank::sched_send_pipelined(size_t bytes) const {
+  // Mirror the blocking path's eager/rendezvous boundary: at or below the
+  // eager limit a schedule send stays a buffered fire-and-forget copy (the
+  // sender's step completes immediately, which keeps mid-size rounds
+  // asynchronous); above it the transfer streams from the sender's buffer
+  // in rendezvous_chunk segments with per-segment wire deadlines.
+  const NetworkProfile& prof = world_->profile();
+  return !prof.force_copy && bytes > prof.eager_limit;
+}
+
 Request Rank::isend_internal(const void* buf, size_t bytes, int dest, int tag,
                              const detail::CommData& c, bool charge_wire) {
   if (dest < 0 || dest >= int(c.world_ranks.size()))
     throw MpiError("isend: destination rank out of range");
   const NetworkProfile& prof = world_->profile();
   if (charge_wire) spin_for_ns(prof.message_cost_ns(bytes));
+  // Schedule sends (wire cost deferred to a deadline) above the eager
+  // threshold stream straight from the sender's buffer in rendezvous_chunk
+  // segments: one copy instead of a staging copy plus a delivery copy, and
+  // the receiver's progress engine drains segments as their per-segment
+  // wire deadlines pass instead of paying one big copy at the end.
+  const bool pipelined = !charge_wire && sched_send_pipelined(bytes);
 
   detail::Mailbox& box = world_->box(c.world_ranks[dest]);
   std::unique_lock<std::mutex> lock(box.mu);
 
   // Match a posted receive immediately if possible.
-  for (auto it = box.posted.begin(); it != box.posted.end(); ++it) {
-    detail::RecvDesc& r = **it;
-    if (r.done) continue;
-    detail::SendDesc probe;
-    probe.comm_id = c.id;
-    probe.src_comm_rank = c.my_comm_rank;
-    probe.tag = tag;
-    if (!key_matches(r, probe)) continue;
-    size_t n = std::min(bytes, r.capacity);
-    if (bytes > r.capacity) r.truncated = true;
-    std::memcpy(r.dst, buf, n);
-    r.status = Status{c.my_comm_rank, tag, n};
-    r.done = true;
-    box.posted.erase(it);
-    box.cv.notify_all();
+  auto posted = take_posted_match(box, c.id, c.my_comm_rank, tag);
+  if (posted != nullptr && !pipelined) {
+    deliver_now(box, *posted, buf, bytes, c.my_comm_rank, tag);
     return Request{};  // already complete (kind None == trivially done)
   }
 
@@ -467,16 +610,40 @@ Request Rank::isend_internal(const void* buf, size_t bytes, int dest, int tag,
   Request req;
   req.kind_ = Request::Kind::kSend;
   req.box = &box;
+  req.send = desc;
+  if (pipelined) {
+    desc->eager = false;
+    desc->payload = static_cast<const u8*>(buf);
+    desc->chunk = prof.rendezvous_chunk > 0
+                      ? std::min(prof.rendezvous_chunk, bytes)
+                      : bytes;
+    desc->seg_ns = prof.message_cost_ns(desc->chunk);
+    desc->posted_ns = now_ns();
+    if (posted != nullptr) {
+      desc->sink = std::move(posted);
+      box.draining.push_back(desc);
+      pump_pipelines(box);  // zero-cost profiles complete immediately
+    } else {
+      box.unexpected.push_back(desc);
+    }
+    box.cv.notify_all();
+    return req;
+  }
   if (bytes <= prof.eager_limit || prof.force_copy) {
     desc->eager = true;
     desc->eager_buf.assign(static_cast<const u8*>(buf),
                            static_cast<const u8*>(buf) + bytes);
     desc->completed = true;  // buffered: sender side is done
-  } else {
-    desc->eager = false;
-    desc->payload = static_cast<const u8*>(buf);
+    box.unexpected.push_back(std::move(desc));
+    box.cv.notify_all();
+    // A buffered send is complete the moment the staging copy exists, so
+    // hand back a trivially-complete request: every later test()/wait()
+    // short-circuits without touching the destination mailbox lock (the
+    // schedule engine polls its send steps on every progress pass).
+    return Request{};
   }
-  req.send = desc;
+  desc->eager = false;
+  desc->payload = static_cast<const u8*>(buf);
   box.unexpected.push_back(desc);
   box.cv.notify_all();
   return req;
@@ -504,6 +671,7 @@ Request Rank::irecv_internal(void* buf, size_t bytes, int source, int tag,
   desc->capacity = bytes;
 
   // Check the unexpected queue first (message may already be here).
+  bool paired = false;
   for (auto it = box.unexpected.begin(); it != box.unexpected.end(); ++it) {
     detail::SendDesc& s = **it;
     if (s.comm_id != c.id) continue;
@@ -511,6 +679,18 @@ Request Rank::irecv_internal(void* buf, size_t bytes, int source, int tag,
     if (tag != kAnyTag && s.tag != tag) continue;
     size_t n = std::min(s.bytes, bytes);
     if (s.bytes > bytes) throw MpiError("irecv: message truncated");
+    if (s.seg_ns > 0) {
+      // Pipelined rendezvous: pair up; test/wait pump the remaining
+      // segments as their wire deadlines pass.
+      auto found = *it;
+      box.unexpected.erase(it);
+      found->sink = desc;
+      box.draining.push_back(std::move(found));
+      paired = true;
+      pump_pipelines(box);
+      box.cv.notify_all();
+      break;
+    }
     if (s.eager) {
       std::memcpy(buf, s.eager_buf.data(), n);
     } else {
@@ -523,7 +703,7 @@ Request Rank::irecv_internal(void* buf, size_t bytes, int source, int tag,
     box.cv.notify_all();
     break;
   }
-  if (!desc->done) box.posted.push_back(desc);
+  if (!desc->done && !paired) box.posted.push_back(desc);
 
   Request req;
   req.kind_ = Request::Kind::kRecv;
@@ -578,6 +758,7 @@ bool Rank::test(Request& req, Status* status) {
   }
   detail::Mailbox& box = *req.box;
   std::lock_guard<std::mutex> lock(box.mu);
+  if (!box.draining.empty()) pump_pipelines(box);
   bool done = req.kind_ == Request::Kind::kRecv ? req.recv->done
                                                 : req.send->completed;
   if (done) {
@@ -585,6 +766,18 @@ bool Rank::test(Request& req, Status* status) {
       *status = req.recv->status;
     req = Request{};
   }
+  return done;
+}
+
+bool Rank::test_nonblocking(Request& req) {
+  if (!req.valid()) return true;
+  detail::Mailbox& box = *req.box;
+  std::unique_lock<std::mutex> lock(box.mu, std::try_to_lock);
+  if (!lock.owns_lock()) return false;  // contended: the owner is pumping
+  if (!box.draining.empty()) pump_pipelines(box);
+  const bool done = req.kind_ == Request::Kind::kRecv ? req.recv->done
+                                                      : req.send->completed;
+  if (done) req = Request{};
   return done;
 }
 
@@ -626,6 +819,7 @@ bool Rank::request_get_status(Request& req, Status* status) {
   }
   detail::Mailbox& box = *req.box;
   std::lock_guard<std::mutex> lock(box.mu);
+  if (!box.draining.empty()) pump_pipelines(box);
   bool done = req.kind_ == Request::Kind::kRecv ? req.recv->done
                                                 : req.send->completed;
   if (done && req.kind_ == Request::Kind::kRecv && status != nullptr)

@@ -22,6 +22,7 @@ class World;
 class Rank;
 class CollectiveContext;
 namespace coll {
+class Autotuner;
 class Engine;
 class Schedule;
 }  // namespace coll
@@ -35,6 +36,8 @@ constexpr int kUndefined = -9999;
 
 namespace detail {
 
+struct RecvDesc;
+
 struct SendDesc {
   i32 comm_id = 0;
   int src_comm_rank = 0;
@@ -44,6 +47,18 @@ struct SendDesc {
   size_t bytes = 0;
   bool eager = true;
   bool completed = false;        // rendezvous: receiver copied the payload
+
+  // --- Segmented pipelined rendezvous (schedule sends only) --------------
+  // The sender exposes the payload in `chunk`-byte segments, each becoming
+  // visible `seg_ns` after the previous one (counting from `posted_ns`);
+  // whoever holds the mailbox lock drains the visible-but-uncopied prefix
+  // into the paired receive. seg_ns == 0 on plain (non-pipelined) descs.
+  // All fields below are guarded by the owning Mailbox::mu.
+  u64 seg_ns = 0;                // per-segment wire cost; 0 = not pipelined
+  u64 posted_ns = 0;             // injection timestamp (now_ns clock)
+  size_t chunk = 0;              // segment size in bytes
+  size_t copied = 0;             // bytes already drained into the sink
+  std::shared_ptr<RecvDesc> sink;  // paired receive, set on match
 };
 
 struct RecvDesc {
@@ -63,6 +78,10 @@ struct Mailbox {
   std::condition_variable cv;
   std::deque<std::shared_ptr<SendDesc>> unexpected;
   std::deque<std::shared_ptr<RecvDesc>> posted;
+  /// Matched pipelined sends still streaming segments into their sink.
+  /// Any rank that takes `mu` pumps these (pump under lock is cheap: at
+  /// most a memcpy of the newly visible prefix).
+  std::deque<std::shared_ptr<SendDesc>> draining;
 };
 
 struct CommData {
@@ -76,6 +95,18 @@ struct CommData {
   /// collectives on a communicator in the same order (MPI requirement), so
   /// the per-rank counters agree and derive matching schedule tag strides.
   i64 icoll_seq = 0;
+  /// Autotuner call counters, keyed by (collective, size-bin, comm-size)
+  /// packed key. Per-rank but consistent across the communicator by MPI's
+  /// matching-call-order requirement, so every rank explores the same
+  /// candidate on the same call — a rank-divergent pick would deadlock.
+  std::map<u64, u64> tune_calls;
+  /// Per-rank cache of final (post-exploration) autotune choices. Once the
+  /// tuner hands back a non-exploring answer it is permanent for the run
+  /// (winners are write-once), so later calls on this key skip the tuner's
+  /// mutex entirely — with every rank of an oversubscribed host taking
+  /// that mutex per collective call, the convoy costs more than a small
+  /// collective itself.
+  std::map<u64, CollAlgo> tune_locked;
 };
 
 }  // namespace detail
@@ -248,6 +279,13 @@ class Rank {
                      int recvcount, Datatype type, Comm comm = kCommWorld);
   Request ialltoall(const void* sendbuf, int sendcount, void* recvbuf,
                     int recvcount, Datatype type, Comm comm = kCommWorld);
+  Request ireduce_scatter(const void* sendbuf, void* recvbuf,
+                          const int* recvcounts, Datatype type, ReduceOp op,
+                          Comm comm = kCommWorld);
+  Request iscan(const void* sendbuf, void* recvbuf, int count, Datatype type,
+                ReduceOp op, Comm comm = kCommWorld);
+  Request iexscan(const void* sendbuf, void* recvbuf, int count, Datatype type,
+                  ReduceOp op, Comm comm = kCommWorld);
 
   // --- Communicator management --------------------------------------------
   Comm comm_dup(Comm comm);
@@ -284,6 +322,17 @@ class Rank {
   Request irecv_internal(void* buf, size_t bytes, int source, int tag,
                          const detail::CommData& c);
   void check_user_tag(int tag) const;
+  /// Whether a schedule send of `bytes` takes the segmented pipelined
+  /// rendezvous path (single copy, per-segment deadlines) instead of the
+  /// buffered eager path. Schedule::advance consults this to decide whether
+  /// a send step needs its own completion deadline.
+  bool sched_send_pipelined(size_t bytes) const;
+  /// Nonblocking variant of test() for the progress engine: if the
+  /// request's mailbox lock is contended, reports "not done" instead of
+  /// blocking — a progress pass must never park on a mutex whose holder is
+  /// descheduled (that serializes scheduler latency into the caller's
+  /// compute stream on oversubscribed hosts).
+  bool test_nonblocking(Request& req);
 
   /// Registers a freshly built schedule, kicks its first progress pass, and
   /// wraps it into a kColl request.
@@ -294,7 +343,7 @@ class Rank {
   /// collective request, waitany, the comm_free drain).
   void poll_with_progress(const std::function<bool()>& pred, const char* what);
   /// Advances every outstanding schedule once (reentrancy-guarded).
-  void icoll_progress();
+  bool icoll_progress();  // true when any schedule step completed
   /// Cheap entry-point hook: progress only when something is outstanding.
   void maybe_icoll_progress() {
     if (!icoll_active_.empty()) icoll_progress();
@@ -327,6 +376,9 @@ class World {
   int size() const { return size_; }
   const NetworkProfile& profile() const { return profile_; }
   const CollTuning& coll_tuning() const { return coll_; }
+  /// Online collective-selection autotuner; null when tuning.autotune is
+  /// off. Loaded from / persisted to tuning.autotune_file when set.
+  coll::Autotuner* tuner() const { return tuner_.get(); }
 
   /// Runs `fn(rank)` on `size` threads (one per rank) and joins them.
   /// The first exception thrown by any rank is rethrown here; an MPI_Abort
@@ -365,6 +417,7 @@ class World {
   int size_;
   NetworkProfile profile_;
   CollTuning coll_;
+  std::unique_ptr<coll::Autotuner> tuner_;
   std::vector<std::unique_ptr<detail::Mailbox>> boxes_;
   std::atomic<i32> next_comm_id_{1};
   std::atomic<bool> abort_flag_{false};

@@ -15,9 +15,14 @@ f64 now_seconds() { return f64(now_ns()) / 1e9; }
 void spin_for_ns(u64 ns) {
   if (ns == 0) return;
   const u64 deadline = now_ns() + ns;
-  // Yield for waits beyond ~50us: on oversubscribed hosts (rank threads >
-  // cores) pure spinning would serialize the whole world.
-  const bool yielding = ns > 50'000;
+  // Yield for any wait beyond ~1us: on oversubscribed hosts (rank threads
+  // > cores) pure spinning serializes the whole world — concurrent
+  // simulated work must timeshare so its wall-clock windows overlap. The
+  // threshold must sit below one compute/poll chunk of the overlap
+  // benchmarks, or chunked compute pays a serialization penalty the
+  // single-spin blocking baseline does not. Sub-microsecond spins (wire
+  // latency modeling) stay pure for precision.
+  const bool yielding = ns > 1'000;
   while (now_ns() < deadline) {
     if (yielding) std::this_thread::yield();
   }

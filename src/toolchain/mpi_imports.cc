@@ -63,6 +63,10 @@ MpiImports declare_mpi_imports(ModuleBuilder& b, const MpiImportSet& set) {
     m.iallreduce = b.import_func("env", "MPI_Iallreduce", {i32s(7), {I32}});
     m.iallgather = b.import_func("env", "MPI_Iallgather", {i32s(8), {I32}});
     m.ialltoall = b.import_func("env", "MPI_Ialltoall", {i32s(8), {I32}});
+    m.ireduce_scatter =
+        b.import_func("env", "MPI_Ireduce_scatter", {i32s(7), {I32}});
+    m.iscan = b.import_func("env", "MPI_Iscan", {i32s(7), {I32}});
+    m.iexscan = b.import_func("env", "MPI_Iexscan", {i32s(7), {I32}});
     m.wait = m.wait != MpiImports::kNone
                  ? m.wait
                  : b.import_func("env", "MPI_Wait", {i32s(2), {I32}});

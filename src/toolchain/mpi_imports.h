@@ -22,6 +22,7 @@ struct MpiImports {
   u32 reduce_scatter = kNone, scan = kNone, exscan = kNone;
   u32 ibarrier = kNone, ibcast = kNone, ireduce = kNone, iallreduce = kNone;
   u32 iallgather = kNone, ialltoall = kNone;
+  u32 ireduce_scatter = kNone, iscan = kNone, iexscan = kNone;
   u32 comm_dup = kNone, comm_split = kNone, comm_free = kNone;
   u32 alloc_mem = kNone, free_mem = kNone;
 };

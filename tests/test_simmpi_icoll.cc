@@ -11,6 +11,7 @@
 // when a rank blocks in recv while a peer waits on a collective).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <thread>
 #include <vector>
@@ -174,6 +175,131 @@ TEST(IcollDifferential, IbarrierEveryAlgorithmCompletes) {
         }
       });
     }
+  }
+}
+
+TEST(IcollDifferential, IreduceScatterEveryAlgorithm) {
+  for (int ranks : {2, 3, 5, 8}) {
+    for (CollAlgo algo : coll::algos_for(CollOp::kReduceScatter)) {
+      World world(ranks, NetworkProfile::zero(),
+                  coll::forced_tuning(CollOp::kReduceScatter, algo));
+      for (i64 base : {i64(1), i64(257), i64(8192)}) {
+        world.run([&, base](Rank& r) {
+          int n = r.size();
+          // Non-uniform counts exercise the offset bookkeeping.
+          std::vector<int> counts(static_cast<size_t>(n));
+          i64 total = 0;
+          for (int i = 0; i < n; ++i) {
+            counts[size_t(i)] = int(base) + i;
+            total += counts[size_t(i)];
+          }
+          std::vector<i64> in(static_cast<size_t>(total));
+          for (i64 i = 0; i < total; ++i) in[size_t(i)] = gen(r.rank(), i);
+          size_t mine = size_t(counts[size_t(r.rank())]);
+          std::vector<i64> expect(mine, -1), out(mine, -2);
+          r.reduce_scatter(in.data(), expect.data(), counts.data(),
+                           Datatype::kLong, ReduceOp::kSum);
+          Request req =
+              r.ireduce_scatter(in.data(), out.data(), counts.data(),
+                                Datatype::kLong, ReduceOp::kSum);
+          r.wait(req);
+          ASSERT_EQ(out, expect) << "ranks=" << ranks << " base=" << base
+                                 << " algo=" << coll::algo_name(algo);
+        });
+      }
+    }
+  }
+}
+
+TEST(IcollDifferential, IscanEveryAlgorithm) {
+  for (int ranks : {2, 3, 5, 8}) {
+    for (CollAlgo algo : coll::algos_for(CollOp::kScan)) {
+      World world(ranks, NetworkProfile::zero(),
+                  coll::forced_tuning(CollOp::kScan, algo));
+      for (i64 count : {i64(1), i64(257), i64(65536)}) {
+        world.run([&, count](Rank& r) {
+          std::vector<i64> in(static_cast<size_t>(count));
+          for (i64 i = 0; i < count; ++i) in[size_t(i)] = gen(r.rank(), i);
+          std::vector<i64> expect(static_cast<size_t>(count), -1);
+          std::vector<i64> out(static_cast<size_t>(count), -2);
+          r.scan(in.data(), expect.data(), int(count), Datatype::kLong,
+                 ReduceOp::kSum);
+          Request req = r.iscan(in.data(), out.data(), int(count),
+                                Datatype::kLong, ReduceOp::kSum);
+          r.wait(req);
+          ASSERT_EQ(out, expect) << "ranks=" << ranks << " count=" << count
+                                 << " algo=" << coll::algo_name(algo);
+        });
+      }
+    }
+  }
+}
+
+TEST(IcollDifferential, IexscanEveryAlgorithm) {
+  for (int ranks : {2, 3, 5, 8}) {
+    for (CollAlgo algo : coll::algos_for(CollOp::kExscan)) {
+      World world(ranks, NetworkProfile::zero(),
+                  coll::forced_tuning(CollOp::kExscan, algo));
+      for (i64 count : {i64(1), i64(257), i64(65536)}) {
+        world.run([&, count](Rank& r) {
+          std::vector<i64> in(static_cast<size_t>(count));
+          for (i64 i = 0; i < count; ++i) in[size_t(i)] = gen(r.rank(), i);
+          std::vector<i64> expect(static_cast<size_t>(count), -1);
+          std::vector<i64> out(static_cast<size_t>(count), -1);
+          r.exscan(in.data(), expect.data(), int(count), Datatype::kLong,
+                   ReduceOp::kSum);
+          Request req = r.iexscan(in.data(), out.data(), int(count),
+                                  Datatype::kLong, ReduceOp::kSum);
+          r.wait(req);
+          if (r.rank() > 0) {  // rank 0's recvbuf is undefined
+            ASSERT_EQ(out, expect)
+                << "ranks=" << ranks << " count=" << count
+                << " algo=" << coll::algo_name(algo);
+          }
+        });
+      }
+    }
+  }
+}
+
+TEST(IcollInPlace, IreduceScatterIscanIexscan) {
+  for (int ranks : {3, 4}) {
+    World world(ranks, NetworkProfile::zero());
+    world.run([&](Rank& r) {
+      int n = r.size();
+      const i64 count = 1000;
+      std::vector<int> counts(static_cast<size_t>(n), int(count));
+      std::vector<i64> in(static_cast<size_t>(count) * size_t(n));
+      for (size_t i = 0; i < in.size(); ++i) in[i] = gen(r.rank(), i64(i));
+
+      std::vector<i64> expect(static_cast<size_t>(count));
+      r.reduce_scatter(in.data(), expect.data(), counts.data(),
+                       Datatype::kLong, ReduceOp::kSum);
+      std::vector<i64> buf = in;  // in-place: full vector in recvbuf
+      Request req = r.ireduce_scatter(kInPlace, buf.data(), counts.data(),
+                                      Datatype::kLong, ReduceOp::kSum);
+      r.wait(req);
+      ASSERT_TRUE(std::equal(expect.begin(), expect.end(), buf.begin()));
+
+      std::vector<i64> sexp(static_cast<size_t>(count));
+      r.scan(in.data(), sexp.data(), int(count), Datatype::kLong,
+             ReduceOp::kSum);
+      std::vector<i64> sbuf(in.begin(), in.begin() + count);
+      req = r.iscan(kInPlace, sbuf.data(), int(count), Datatype::kLong,
+                    ReduceOp::kSum);
+      r.wait(req);
+      ASSERT_TRUE(std::equal(sexp.begin(), sexp.end(), sbuf.begin()));
+
+      std::vector<i64> eexp(static_cast<size_t>(count), -7);
+      r.exscan(in.data(), eexp.data(), int(count), Datatype::kLong,
+               ReduceOp::kSum);
+      std::vector<i64> ebuf(in.begin(), in.begin() + count);
+      req = r.iexscan(kInPlace, ebuf.data(), int(count), Datatype::kLong,
+                      ReduceOp::kSum);
+      r.wait(req);
+      if (r.rank() > 0)
+        ASSERT_TRUE(std::equal(eexp.begin(), eexp.end(), ebuf.begin()));
+    });
   }
 }
 

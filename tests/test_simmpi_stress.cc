@@ -162,6 +162,38 @@ TEST_P(StressTest, CollectiveCompositionSoak) {
   });
 }
 
+TEST_P(StressTest, PipelinedCollectivesUnderP2pTraffic) {
+  // Large nonblocking collectives (segmented pipelined rendezvous) racing
+  // plain p2p traffic on the same mailboxes. Run under TSan in CI; any
+  // locking mistake in the segment pump shows up here.
+  auto [ranks, profile] = GetParam();
+  NetworkProfile prof = profile_by_name(profile);
+  prof.rendezvous_chunk = 8 * 1024;  // many segments per transfer
+  World world(ranks, prof);
+  world.run([](Rank& r) {
+    const int n = r.size();
+    const int me = r.rank();
+    const int to = (me + 1) % n, from = (me - 1 + n) % n;
+    constexpr int kCount = 32768;  // 256 KiB of i64 -> 32 segments
+    std::vector<i64> in(kCount), out(kCount), expect(kCount);
+    for (int i = 0; i < kCount; ++i) in[size_t(i)] = i64(me + 1) + i;
+    for (int i = 0; i < kCount; ++i)
+      expect[size_t(i)] = i64(n) * (n + 1) / 2 + i64(n) * i;
+    for (int round = 0; round < 6; ++round) {
+      Request coll = r.iallreduce(in.data(), out.data(), kCount,
+                                  Datatype::kLong, ReduceOp::kSum);
+      i32 ping = me * 10 + round, pong = -1;
+      Request rr = r.irecv(&pong, 1, Datatype::kInt, from, round);
+      Request sr = r.isend(&ping, 1, Datatype::kInt, to, round);
+      r.wait(rr);
+      r.wait(sr);
+      EXPECT_EQ(pong, from * 10 + round);
+      r.wait(coll);
+      EXPECT_EQ(out, expect) << "round=" << round;
+    }
+  });
+}
+
 TEST_P(StressTest, ManyOutstandingRequests) {
   auto [ranks, profile] = GetParam();
   World world(ranks, profile_by_name(profile));
