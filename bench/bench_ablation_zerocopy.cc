@@ -22,7 +22,7 @@ int main() {
   auto run_mode = [&](bool zero_copy) {
     ReportCollector collector;
     embed::EmbedderConfig cfg;
-    cfg.profile = simmpi::NetworkProfile::omnipath();
+    cfg.net_profile = simmpi::NetworkProfile::omnipath();
     cfg.zero_copy = zero_copy;
     cfg.extra_imports = collector.hook();
     embed::Embedder emb(cfg);

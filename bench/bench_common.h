@@ -65,7 +65,7 @@ inline std::vector<ComparisonRow> imb_panel(
                 std::to_string(ranks) + " ranks, profile=" + profile.name);
   auto native = run_native_imb(p, ranks, profile);
   embed::EmbedderConfig cfg;
-  cfg.profile = profile;
+  cfg.net_profile = profile;
   auto wasm_rows = run_wasm_imb(p, ranks, cfg);
   auto rows = zip_rows(native, wasm_rows);
   print_comparison_table("t_avg [us]", rows, /*lower_is_better=*/true);

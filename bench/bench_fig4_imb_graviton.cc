@@ -50,7 +50,7 @@ int main() {
     auto bytes = build_hpcg_module(hp);
     ReportCollector collector;
     embed::EmbedderConfig cfg;
-    cfg.profile = profile;
+    cfg.net_profile = profile;
     cfg.extra_imports = collector.hook();
     embed::Embedder emb(cfg);
     emb.run_world({bytes.data(), bytes.size()}, np);

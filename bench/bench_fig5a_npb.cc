@@ -35,7 +35,7 @@ int main() {
     auto bytes = build_is_module(is);
     ReportCollector collector;
     embed::EmbedderConfig cfg;
-    cfg.profile = profile;
+    cfg.net_profile = profile;
     cfg.extra_imports = collector.hook();
     embed::Embedder emb(cfg);
     emb.run_world({bytes.data(), bytes.size()}, np);
@@ -69,7 +69,7 @@ int main() {
       auto bytes = build_dt_module(dt);
       ReportCollector collector;
       embed::EmbedderConfig cfg;
-      cfg.profile = profile;
+      cfg.net_profile = profile;
       cfg.extra_imports = collector.hook();
       embed::Embedder emb(cfg);
       emb.run_world({bytes.data(), bytes.size()}, np);

@@ -40,7 +40,7 @@ int main() {
     auto bytes = build_hpcg_module(p);
     ReportCollector collector;
     embed::EmbedderConfig cfg;
-    cfg.profile = profile;
+    cfg.net_profile = profile;
     cfg.extra_imports = collector.hook();
     embed::Embedder emb(cfg);
     auto result = emb.run_world({bytes.data(), bytes.size()}, np);

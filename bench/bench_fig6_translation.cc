@@ -41,7 +41,7 @@ int main() {
 
   ReportCollector collector;
   embed::EmbedderConfig cfg;
-  cfg.profile = simmpi::NetworkProfile::omnipath();
+  cfg.net_profile = simmpi::NetworkProfile::omnipath();
   cfg.record_translation = true;
   cfg.extra_imports = collector.hook();
   embed::Embedder emb(cfg);

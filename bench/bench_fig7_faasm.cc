@@ -26,7 +26,7 @@ int main() {
     ReportCollector collector;
     embed::EmbedderConfig cfg;
     cfg.faasm_compat = faasm;
-    if (!faasm) cfg.profile = simmpi::NetworkProfile::omnipath();
+    if (!faasm) cfg.net_profile = simmpi::NetworkProfile::omnipath();
     cfg.extra_imports = collector.hook();
     embed::Embedder emb(cfg);
     auto result = emb.run_world({bytes.data(), bytes.size()}, 2);

@@ -178,7 +178,7 @@ f64 run_wasm_kernel(const OverlapParams& p, int ranks,
   // MPIWASM_JIT env default, so the ablation run degrades this to the
   // optimizing tier without a rebuild.
   cfg.engine.tier = rt::EngineTier::kJit;
-  cfg.profile = prof;
+  cfg.net_profile = prof;
   cfg.extra_imports = collector.hook();
   embed::Embedder emb(cfg);
   auto result = emb.run_world({bytes.data(), bytes.size()}, ranks);

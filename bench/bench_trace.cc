@@ -1,0 +1,243 @@
+// bench_trace: the mpiwasm-trace overhead contract.
+//
+// Two panels:
+//
+//   kernels — daxpy + stencil3 micro kernels at the Optimizing tier with
+//     tracing *not enabled*. These rows are the cross-build gate: CI builds
+//     once with -DMPIWASM_TRACE=OFF (instrumentation compiled out), records
+//     its JSON, then runs the default build with `--baseline that.json`.
+//     The default build's compiled-in-but-disabled timings must be within
+//     1% of the compiled-out baseline — the "zero cost when off" claim.
+//
+//   mpi — an allreduce loop through the full embedder at 4 ranks, timed
+//     with tracing+profiling off and then on, reporting the enabled-mode
+//     overhead ratio and the event volume. Informational (enabled tracing
+//     is allowed to cost), recorded in BENCH_trace.json for trend-watching.
+//
+// Output: a table on stdout and BENCH_trace.json (path via --out). --smoke
+// shrinks sizes for CI (schema identical, timings still gate-worthy for the
+// kernel panel since both builds shrink identically).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "benchlib/harness.h"
+#include "embedder/embedder.h"
+#include "runtime/engine.h"
+#include "runtime/instance.h"
+#include "support/timing.h"
+#include "support/trace.h"
+#include "toolchain/kernels.h"
+
+using namespace mpiwasm;
+using toolchain::MicroKernel;
+using toolchain::MicroKernelParams;
+
+namespace {
+
+constexpr f64 kOffGate = 1.01;  // disabled tracing: <= 1% over no-trace build
+
+/// Min-of-timed seconds per run(reps) call: min is the right statistic for
+/// a noise-gated comparison — both builds see the same best-case path.
+f64 time_kernel(const MicroKernelParams& p, i32 reps, int warm, int timed) {
+  auto bytes = toolchain::build_micro_kernel_module(p);
+  rt::EngineConfig cfg;
+  cfg.tier = rt::EngineTier::kOptimizing;
+  auto cm = rt::compile({bytes.data(), bytes.size()}, cfg);
+  rt::ImportTable imports;
+  rt::Instance inst(cm, imports);
+  inst.invoke("init");
+  auto arg = rt::Value::from_i32(reps);
+  for (int k = 0; k < warm; ++k) inst.invoke("run", {&arg, 1});
+  f64 best = 1e300;
+  for (int k = 0; k < timed; ++k) {
+    Stopwatch watch;
+    inst.invoke("run", {&arg, 1});
+    best = std::min(best, watch.elapsed_s());
+  }
+  return best;
+}
+
+struct KernelRow {
+  std::string name;
+  f64 seconds_off = 0;   // this build, tracing not enabled
+  f64 baseline_s = 0;    // no-trace build (only with --baseline)
+};
+
+struct MpiRow {
+  f64 seconds_off = 0;
+  f64 seconds_on = 0;
+  u64 events = 0;
+  f64 overhead_on() const {
+    return seconds_off > 0 ? seconds_on / seconds_off : 0;
+  }
+};
+
+f64 run_allreduce_loop(int ranks, int iters, u32 count) {
+  toolchain::ImbParams p;
+  p.routine = toolchain::ImbRoutine::kAllReduce;
+  p.min_bytes = count;
+  p.max_bytes = count;
+  p.max_iters = u32(iters);
+  p.min_iters = u32(iters);
+  auto bytes = toolchain::build_imb_module(p);
+  bench::ReportCollector collector;
+  embed::EmbedderConfig cfg;
+  cfg.extra_imports = collector.hook();
+  embed::Embedder emb(cfg);
+  Stopwatch watch;
+  auto result = emb.run_world({bytes.data(), bytes.size()}, ranks);
+  MW_CHECK(result.exit_code == 0, "allreduce workload failed");
+  return watch.elapsed_s();
+}
+
+/// Pulls `"name"`-keyed seconds_off values back out of a BENCH_trace.json
+/// written by this binary (string-scan over our own fixed format — no JSON
+/// library in tree).
+bool load_baseline(const std::string& path, std::vector<KernelRow>& rows) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read baseline %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  for (KernelRow& r : rows) {
+    const std::string key = "\"name\": \"" + r.name + "\"";
+    size_t at = text.find(key);
+    if (at == std::string::npos) {
+      std::fprintf(stderr, "baseline %s lacks kernel %s\n", path.c_str(),
+                   r.name.c_str());
+      return false;
+    }
+    const std::string field = "\"seconds_off\": ";
+    size_t f = text.find(field, at);
+    if (f == std::string::npos) return false;
+    r.baseline_s = std::strtod(text.c_str() + f + field.size(), nullptr);
+  }
+  return true;
+}
+
+void write_json(const std::string& path, const std::vector<KernelRow>& rows,
+                const MpiRow& mpi, bool smoke) {
+  FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+#ifdef MPIWASM_TRACE_DISABLED
+  const bool compiled = false;
+#else
+  const bool compiled = true;
+#endif
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"bench_trace\",\n");
+  std::fprintf(out, "  \"schema\": 1,\n");
+  std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(out, "  \"trace_compiled\": %s,\n", compiled ? "true" : "false");
+  std::fprintf(out, "  \"off_gate\": %.2f,\n", kOffGate);
+  std::fprintf(out, "  \"kernels\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(out, "    {\"name\": \"%s\", \"seconds_off\": %.9f}%s\n",
+                 rows[i].name.c_str(), rows[i].seconds_off,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"mpi\": {\"ranks\": 4, \"seconds_off\": %.6f, "
+               "\"seconds_on\": %.6f, \"overhead_on\": %.3f, "
+               "\"events\": %llu}\n",
+               mpi.seconds_off, mpi.seconds_on, mpi.overhead_on(),
+               (unsigned long long)mpi.events);
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_trace.json";
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      out_path = argv[++i];
+    else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc)
+      baseline_path = argv[++i];
+  }
+
+  std::printf("== mpiwasm-trace overhead ==\n");
+  const u32 n = smoke ? 1 << 12 : 1 << 15;
+  const i32 reps = smoke ? 8 : 32;
+  const int warm = smoke ? 2 : 4, timed = smoke ? 8 : 24;
+
+  // Panel A: compute kernels with tracing not enabled.
+  trace::enable_tracing(false);
+  trace::enable_profiling(false);
+  std::vector<KernelRow> rows;
+  for (MicroKernel k : {MicroKernel::kDaxpy, MicroKernel::kStencil3}) {
+    MicroKernelParams p;
+    p.kernel = k;
+    p.n = n;
+    KernelRow row;
+    row.name = toolchain::micro_kernel_name(k);
+    row.seconds_off = time_kernel(p, reps, warm, timed);
+    rows.push_back(std::move(row));
+  }
+
+  // Panel B: MPI workload, tracing+profiling off vs on.
+  const int iters = smoke ? 50 : 400;
+  const u32 count = 4096;
+  MpiRow mpi;
+  run_allreduce_loop(4, iters, count);  // warm (cache, page faults)
+  mpi.seconds_off = run_allreduce_loop(4, iters, count);
+  trace::enable_tracing(true);
+  trace::enable_profiling(true);
+  mpi.seconds_on = run_allreduce_loop(4, iters, count);
+  mpi.events = trace::event_count();
+  trace::enable_tracing(false);
+  trace::enable_profiling(false);
+  trace::reset();
+
+  std::printf("\n%-16s %14s\n", "kernel", "seconds_off");
+  for (const KernelRow& r : rows)
+    std::printf("%-16s %14.6f\n", r.name.c_str(), r.seconds_off);
+  std::printf("\nmpi allreduce x%d @4 ranks: off=%.4fs on=%.4fs "
+              "(%.2fx, %llu events)\n",
+              iters, mpi.seconds_off, mpi.seconds_on, mpi.overhead_on(),
+              (unsigned long long)mpi.events);
+
+  write_json(out_path, rows, mpi, smoke);
+
+  // Cross-build gate: this (trace-compiled) build against the
+  // -DMPIWASM_TRACE=OFF build's JSON.
+  if (!baseline_path.empty()) {
+    if (!load_baseline(baseline_path, rows)) return 1;
+    bool ok = true;
+    std::printf("\n%-16s %14s %14s %8s\n", "kernel", "this_build",
+                "no_trace_build", "ratio");
+    for (const KernelRow& r : rows) {
+      const f64 ratio = r.baseline_s > 0 ? r.seconds_off / r.baseline_s : 0;
+      const bool pass = ratio <= kOffGate;
+      std::printf("%-16s %14.6f %14.6f %7.3fx %s\n", r.name.c_str(),
+                  r.seconds_off, r.baseline_s, ratio, pass ? "" : " FAIL");
+      ok = ok && pass;
+    }
+    if (!ok) {
+      std::printf("\n  => FAIL: disabled tracing exceeds the %.0f%% gate\n",
+                  (kOffGate - 1.0) * 100.0);
+      return 1;
+    }
+    std::printf("\n  => PASS: disabled tracing within %.0f%% of the "
+                "no-trace build\n", (kOffGate - 1.0) * 100.0);
+  }
+  return 0;
+}

@@ -1,11 +1,13 @@
 #include "embedder/embedder.h"
 
+#include <cstdlib>
 #include <mutex>
 
 #include "embedder/mpi_host.h"
 #include "runtime/cache.h"
 #include "support/log.h"
 #include "support/timing.h"
+#include "support/trace.h"
 
 namespace mpiwasm::embed {
 
@@ -13,9 +15,16 @@ Embedder::Embedder(EmbedderConfig config) : config_(std::move(config)) {
   if (config_.faasm_compat) {
     // Faasm routes MPI through its gRPC-based Faabric messaging layer and
     // stages buffers through its state store — model both (§6).
-    config_.profile = simmpi::NetworkProfile::grpc_messaging();
+    config_.net_profile = simmpi::NetworkProfile::grpc_messaging();
     config_.zero_copy = false;
   }
+  // Tracing switches on at construction, not at run_world, so compile-time
+  // events (module cache hit/miss, ahead-of-time jit compiles) are captured.
+  if (config_.trace_path.empty()) {
+    if (const char* v = std::getenv("MPIWASM_TRACE")) config_.trace_path = v;
+  }
+  if (!config_.trace_path.empty()) trace::enable_tracing(true);
+  if (config_.profile) trace::enable_profiling(true);
 }
 
 std::shared_ptr<const rt::CompiledModule> Embedder::compile(
@@ -39,12 +48,14 @@ RunResult Embedder::run_world(std::shared_ptr<const rt::CompiledModule> cm,
   simmpi::CollTuning coll = config_.coll;
   if (coll.autotune && coll.autotune_file.empty())
     coll.autotune_file = rt::autotune_table_path(config_.engine.cache_dir);
-  simmpi::World world(ranks, config_.profile, coll);
+  simmpi::World world(ranks, config_.net_profile, coll);
 
   std::mutex result_mu;
   Stopwatch wall;
 
   world.run([&](simmpi::Rank& rank) {
+    if (trace::active()) trace::set_thread_label("rank", rank.world_rank());
+    Stopwatch rank_wall;
     // Per-rank embedder instance state (paper §4.3: "each MPI rank
     // corresponds to one instance of the embedder with its own module").
     Env env(&rank, shared_state, config_.zero_copy,
@@ -73,10 +84,14 @@ RunResult Embedder::run_world(std::shared_ptr<const rt::CompiledModule> cm,
 
     int exit_code = 0;
     try {
+      trace::Scope span("guest", "guest._start");
       instance.invoke("_start");
     } catch (const rt::ProcExit& e) {
       exit_code = e.code();
     }
+    // The rank's wall time is the denominator for the profile's "% of
+    // aggregate rank wall" column.
+    if (trace::active()) trace::profile_add_wall(rank_wall.elapsed_ns());
 
     std::lock_guard<std::mutex> lock(result_mu);
     if (exit_code != 0 && result.exit_code == 0) result.exit_code = exit_code;
@@ -91,6 +106,17 @@ RunResult Embedder::run_world(std::shared_ptr<const rt::CompiledModule> cm,
   // Cheap for every tier; carries the native-code census for kJit modules
   // and the promotion counters for kTiered ones (zeros elsewhere).
   result.tierup = rt::tierup_snapshot(*cm);
+
+  // Flush observability output now that every rank thread has joined (the
+  // join gives the flush a happens-before over all per-thread rings). Only
+  // config-driven sessions flush-and-reset here; callers that flipped the
+  // trace switches themselves manage their own lifecycle.
+  if (!config_.trace_path.empty() || config_.profile) {
+    if (!config_.trace_path.empty())
+      trace::write_chrome_json(config_.trace_path);
+    if (config_.profile) result.profile_text = trace::profile_report();
+    trace::reset();
+  }
   return result;
 }
 

@@ -19,7 +19,7 @@ namespace mpiwasm::embed {
 
 struct EmbedderConfig {
   rt::EngineConfig engine;                 // tier + compilation cache (§3.3)
-  simmpi::NetworkProfile profile = simmpi::NetworkProfile::zero();
+  simmpi::NetworkProfile net_profile = simmpi::NetworkProfile::zero();
   /// Collective algorithm tuning for the simulated world (coll_algos.h);
   /// picks up MPIWASM_COLL_* env overrides by default.
   simmpi::CollTuning coll = simmpi::CollTuning::from_env();
@@ -37,6 +37,13 @@ struct EmbedderConfig {
   /// once per rank before instantiation; mirrors Wasmer's ergonomic
   /// dynamic extension of the embedder's functionality (§3.1).
   std::function<void(rt::ImportTable&, int rank)> extra_imports;
+  /// When non-empty, runtime tracing is enabled and a Chrome trace-event
+  /// JSON (Perfetto-loadable) is written here after the world finishes.
+  /// Defaults from MPIWASM_TRACE when unset (see Embedder ctor).
+  std::string trace_path;
+  /// mpiP-style per-call MPI profile, rendered into RunResult::profile_text
+  /// at finalize.
+  bool profile = false;
 };
 
 struct RunResult {
@@ -51,6 +58,8 @@ struct RunResult {
   rt::TierUpSnapshot tierup;
   /// Merged Figure-6 samples from all ranks (record_translation only).
   std::vector<TranslationSample> translation_samples;
+  /// The rendered mpiP-style report (EmbedderConfig::profile only).
+  std::string profile_text;
 };
 
 class Embedder {

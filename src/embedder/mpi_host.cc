@@ -5,6 +5,7 @@
 
 #include "simmpi/api.h"
 #include "support/timing.h"
+#include "support/trace.h"
 
 namespace mpiwasm::embed {
 
@@ -100,14 +101,20 @@ RecvView recv_view(Env& env, LinearMemory& mem, u32 ptr, u64 bytes,
 u64 msg_bytes(Env& env, i32 dt_handle, i32 count) {
   // Size query does not go through the instrumented path; it mirrors the
   // wasm-side sizeof knowledge in mpi.h.
+  u64 bytes;
   switch (dt_handle) {
-    case abi::MPI_BYTE: case abi::MPI_CHAR: return u64(count);
+    case abi::MPI_BYTE: case abi::MPI_CHAR: bytes = u64(count); break;
     case abi::MPI_INT: case abi::MPI_FLOAT: case abi::MPI_UNSIGNED:
-      return u64(count) * 4;
+      bytes = u64(count) * 4;
+      break;
     default:
-      return u64(count) * 8;
+      bytes = u64(count) * 8;
   }
+  // Credits the payload to the enclosing MpiScope, so every handler that
+  // sizes a transfer profiles its bytes without per-handler bookkeeping.
+  if (MW_TRACE_ACTIVE()) trace::note_bytes(bytes);
   (void)env;
+  return bytes;
 }
 
 }  // namespace
@@ -115,25 +122,42 @@ u64 msg_bytes(Env& env, i32 dt_handle, i32 count) {
 void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
   const std::string ns = "env";
 
-  t.add(ns, "MPI_Init", FuncType{{I32, I32}, {I32}},
+  // Every handler registers through this wrapper so the import name doubles
+  // as the trace/profile label (string literals: static storage, as the
+  // tracer requires). With tracing and profiling both off the wrapper is one
+  // relaxed load plus a call through the captured handler.
+  auto add = [&t, &ns](const char* name, FuncType ft, rt::HostFn fn) {
+    t.add(ns, name, std::move(ft),
+          [name, fn = std::move(fn)](HostContext& ctx, const Slot* a,
+                                     Slot* r) {
+            if (!MW_TRACE_ACTIVE()) {
+              fn(ctx, a, r);
+              return;
+            }
+            trace::MpiScope span(name);
+            fn(ctx, a, r);
+          });
+  };
+
+  add("MPI_Init", FuncType{{I32, I32}, {I32}},
         [](HostContext& ctx, const Slot*, Slot* r) {
           env_of(ctx).initialized = true;
           r->i32v = abi::MPI_SUCCESS;
         });
 
-  t.add(ns, "MPI_Initialized", FuncType{{I32}, {I32}},
+  add("MPI_Initialized", FuncType{{I32}, {I32}},
         [](HostContext& ctx, const Slot* a, Slot* r) {
           ctx.memory().store<i32>(a[0].u32v, env_of(ctx).initialized ? 1 : 0);
           r->i32v = abi::MPI_SUCCESS;
         });
 
-  t.add(ns, "MPI_Finalize", FuncType{{}, {I32}},
+  add("MPI_Finalize", FuncType{{}, {I32}},
         [](HostContext& ctx, const Slot*, Slot* r) {
           env_of(ctx).finalized = true;
           r->i32v = abi::MPI_SUCCESS;
         });
 
-  t.add(ns, "MPI_Comm_rank", FuncType{{I32, I32}, {I32}},
+  add("MPI_Comm_rank", FuncType{{I32, I32}, {I32}},
         [](HostContext& ctx, const Slot* a, Slot* r) {
           Env& env = env_of(ctx);
           guarded([&] {
@@ -143,7 +167,7 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
           r->i32v = abi::MPI_SUCCESS;
         });
 
-  t.add(ns, "MPI_Comm_size", FuncType{{I32, I32}, {I32}},
+  add("MPI_Comm_size", FuncType{{I32, I32}, {I32}},
         [](HostContext& ctx, const Slot* a, Slot* r) {
           Env& env = env_of(ctx);
           guarded([&] {
@@ -153,23 +177,23 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
           r->i32v = abi::MPI_SUCCESS;
         });
 
-  t.add(ns, "MPI_Wtime", FuncType{{}, {F64V}},
+  add("MPI_Wtime", FuncType{{}, {F64V}},
         [](HostContext& ctx, const Slot*, Slot* r) {
           r->f64v = env_of(ctx).rank().wtime();
         });
 
-  t.add(ns, "MPI_Wtick", FuncType{{}, {F64V}},
+  add("MPI_Wtick", FuncType{{}, {F64V}},
         [](HostContext& ctx, const Slot*, Slot* r) {
           r->f64v = env_of(ctx).rank().wtick();
         });
 
-  t.add(ns, "MPI_Abort", FuncType{{I32, I32}, {I32}},
+  add("MPI_Abort", FuncType{{I32, I32}, {I32}},
         [](HostContext& ctx, const Slot* a, Slot* r) {
           env_of(ctx).rank().abort(a[1].i32v);
           r->i32v = abi::MPI_SUCCESS;  // unreachable
         });
 
-  t.add(ns, "MPI_Type_size", FuncType{{I32, I32}, {I32}},
+  add("MPI_Type_size", FuncType{{I32, I32}, {I32}},
         [](HostContext& ctx, const Slot* a, Slot* r) {
           Env& env = env_of(ctx);
           guarded([&] {
@@ -179,7 +203,7 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
           r->i32v = abi::MPI_SUCCESS;
         });
 
-  t.add(ns, "MPI_Get_count", FuncType{{I32, I32, I32}, {I32}},
+  add("MPI_Get_count", FuncType{{I32, I32, I32}, {I32}},
         [](HostContext& ctx, const Slot* a, Slot* r) {
           Env& env = env_of(ctx);
           guarded([&] {
@@ -193,11 +217,15 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
 
   // --- Point-to-point -------------------------------------------------------
 
-  t.add(ns, "MPI_Send", FuncType{{I32, I32, I32, I32, I32, I32}, {I32}},
+  add("MPI_Send", FuncType{{I32, I32, I32, I32, I32, I32}, {I32}},
         [](HostContext& ctx, const Slot* a, Slot* r) {
           Env& env = env_of(ctx);
           guarded([&] {
             u64 bytes = msg_bytes(env, a[2].i32v, a[1].i32v);
+            if (MW_TRACE_ACTIVE()) {
+              trace::note_arg("peer", a[3].i32v);
+              trace::note_arg("tag", a[4].i32v);
+            }
             Datatype dt = env.translate_datatype(a[2].i32v, bytes);
             simmpi::Comm comm = env.translate_comm(a[5].i32v);
             const u8* buf = send_view(env, ctx.memory(), a[0].u32v, bytes);
@@ -206,11 +234,15 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
           r->i32v = abi::MPI_SUCCESS;
         });
 
-  t.add(ns, "MPI_Recv", FuncType{{I32, I32, I32, I32, I32, I32, I32}, {I32}},
+  add("MPI_Recv", FuncType{{I32, I32, I32, I32, I32, I32, I32}, {I32}},
         [](HostContext& ctx, const Slot* a, Slot* r) {
           Env& env = env_of(ctx);
           guarded([&] {
             u64 bytes = msg_bytes(env, a[2].i32v, a[1].i32v);
+            if (MW_TRACE_ACTIVE()) {
+              trace::note_arg("peer", a[3].i32v);
+              trace::note_arg("tag", a[4].i32v);
+            }
             Datatype dt = env.translate_datatype(a[2].i32v, bytes);
             simmpi::Comm comm = env.translate_comm(a[5].i32v);
             RecvView v = recv_view(env, ctx.memory(), a[0].u32v, bytes);
@@ -222,11 +254,15 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
           r->i32v = abi::MPI_SUCCESS;
         });
 
-  t.add(ns, "MPI_Isend", FuncType{{I32, I32, I32, I32, I32, I32, I32}, {I32}},
+  add("MPI_Isend", FuncType{{I32, I32, I32, I32, I32, I32, I32}, {I32}},
         [](HostContext& ctx, const Slot* a, Slot* r) {
           Env& env = env_of(ctx);
           guarded([&] {
             u64 bytes = msg_bytes(env, a[2].i32v, a[1].i32v);
+            if (MW_TRACE_ACTIVE()) {
+              trace::note_arg("peer", a[3].i32v);
+              trace::note_arg("tag", a[4].i32v);
+            }
             Datatype dt = env.translate_datatype(a[2].i32v, bytes);
             simmpi::Comm comm = env.translate_comm(a[5].i32v);
             // Nonblocking sends must reference stable memory: linear memory
@@ -239,11 +275,15 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
           r->i32v = abi::MPI_SUCCESS;
         });
 
-  t.add(ns, "MPI_Irecv", FuncType{{I32, I32, I32, I32, I32, I32, I32}, {I32}},
+  add("MPI_Irecv", FuncType{{I32, I32, I32, I32, I32, I32, I32}, {I32}},
         [](HostContext& ctx, const Slot* a, Slot* r) {
           Env& env = env_of(ctx);
           guarded([&] {
             u64 bytes = msg_bytes(env, a[2].i32v, a[1].i32v);
+            if (MW_TRACE_ACTIVE()) {
+              trace::note_arg("peer", a[3].i32v);
+              trace::note_arg("tag", a[4].i32v);
+            }
             Datatype dt = env.translate_datatype(a[2].i32v, bytes);
             simmpi::Comm comm = env.translate_comm(a[5].i32v);
             u8* buf = env.translate(ctx.memory(), a[0].u32v, bytes);
@@ -254,7 +294,7 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
           r->i32v = abi::MPI_SUCCESS;
         });
 
-  t.add(ns, "MPI_Wait", FuncType{{I32, I32}, {I32}},
+  add("MPI_Wait", FuncType{{I32, I32}, {I32}},
         [](HostContext& ctx, const Slot* a, Slot* r) {
           Env& env = env_of(ctx);
           guarded([&] {
@@ -273,7 +313,7 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
           r->i32v = abi::MPI_SUCCESS;
         });
 
-  t.add(ns, "MPI_Waitall", FuncType{{I32, I32, I32}, {I32}},
+  add("MPI_Waitall", FuncType{{I32, I32, I32}, {I32}},
         [](HostContext& ctx, const Slot* a, Slot* r) {
           Env& env = env_of(ctx);
           guarded([&] {
@@ -296,7 +336,7 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
           r->i32v = abi::MPI_SUCCESS;
         });
 
-  t.add(ns, "MPI_Test", FuncType{{I32, I32, I32}, {I32}},
+  add("MPI_Test", FuncType{{I32, I32, I32}, {I32}},
         [](HostContext& ctx, const Slot* a, Slot* r) {
           Env& env = env_of(ctx);
           guarded([&] {
@@ -321,7 +361,7 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
           r->i32v = abi::MPI_SUCCESS;
         });
 
-  t.add(ns, "MPI_Waitany", FuncType{{I32, I32, I32, I32}, {I32}},
+  add("MPI_Waitany", FuncType{{I32, I32, I32, I32}, {I32}},
         [](HostContext& ctx, const Slot* a, Slot* r) {
           Env& env = env_of(ctx);
           guarded([&] {
@@ -364,7 +404,7 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
           r->i32v = abi::MPI_SUCCESS;
         });
 
-  t.add(ns, "MPI_Testall", FuncType{{I32, I32, I32, I32}, {I32}},
+  add("MPI_Testall", FuncType{{I32, I32, I32, I32}, {I32}},
         [](HostContext& ctx, const Slot* a, Slot* r) {
           Env& env = env_of(ctx);
           guarded([&] {
@@ -404,7 +444,7 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
           r->i32v = abi::MPI_SUCCESS;
         });
 
-  t.add(ns, "MPI_Sendrecv",
+  add("MPI_Sendrecv",
         FuncType{{I32, I32, I32, I32, I32, I32, I32, I32, I32, I32, I32, I32},
                  {I32}},
         [](HostContext& ctx, const Slot* a, Slot* r) {
@@ -429,14 +469,14 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
 
   // --- Collectives -----------------------------------------------------------
 
-  t.add(ns, "MPI_Barrier", FuncType{{I32}, {I32}},
+  add("MPI_Barrier", FuncType{{I32}, {I32}},
         [](HostContext& ctx, const Slot* a, Slot* r) {
           Env& env = env_of(ctx);
           guarded([&] { env.rank().barrier(env.translate_comm(a[0].i32v)); });
           r->i32v = abi::MPI_SUCCESS;
         });
 
-  t.add(ns, "MPI_Bcast", FuncType{{I32, I32, I32, I32, I32}, {I32}},
+  add("MPI_Bcast", FuncType{{I32, I32, I32, I32, I32}, {I32}},
         [](HostContext& ctx, const Slot* a, Slot* r) {
           Env& env = env_of(ctx);
           guarded([&] {
@@ -452,7 +492,7 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
           r->i32v = abi::MPI_SUCCESS;
         });
 
-  t.add(ns, "MPI_Reduce", FuncType{{I32, I32, I32, I32, I32, I32, I32}, {I32}},
+  add("MPI_Reduce", FuncType{{I32, I32, I32, I32, I32, I32, I32}, {I32}},
         [](HostContext& ctx, const Slot* a, Slot* r) {
           Env& env = env_of(ctx);
           guarded([&] {
@@ -474,7 +514,7 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
           r->i32v = abi::MPI_SUCCESS;
         });
 
-  t.add(ns, "MPI_Allreduce", FuncType{{I32, I32, I32, I32, I32, I32}, {I32}},
+  add("MPI_Allreduce", FuncType{{I32, I32, I32, I32, I32, I32}, {I32}},
         [](HostContext& ctx, const Slot* a, Slot* r) {
           Env& env = env_of(ctx);
           guarded([&] {
@@ -493,7 +533,7 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
           r->i32v = abi::MPI_SUCCESS;
         });
 
-  t.add(ns, "MPI_Gather",
+  add("MPI_Gather",
         FuncType{{I32, I32, I32, I32, I32, I32, I32, I32}, {I32}},
         [](HostContext& ctx, const Slot* a, Slot* r) {
           Env& env = env_of(ctx);
@@ -523,7 +563,7 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
           r->i32v = abi::MPI_SUCCESS;
         });
 
-  t.add(ns, "MPI_Scatter",
+  add("MPI_Scatter",
         FuncType{{I32, I32, I32, I32, I32, I32, I32, I32}, {I32}},
         [](HostContext& ctx, const Slot* a, Slot* r) {
           Env& env = env_of(ctx);
@@ -553,7 +593,7 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
           r->i32v = abi::MPI_SUCCESS;
         });
 
-  t.add(ns, "MPI_Allgather",
+  add("MPI_Allgather",
         FuncType{{I32, I32, I32, I32, I32, I32, I32}, {I32}},
         [](HostContext& ctx, const Slot* a, Slot* r) {
           Env& env = env_of(ctx);
@@ -578,7 +618,7 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
           r->i32v = abi::MPI_SUCCESS;
         });
 
-  t.add(ns, "MPI_Alltoall",
+  add("MPI_Alltoall",
         FuncType{{I32, I32, I32, I32, I32, I32, I32}, {I32}},
         [](HostContext& ctx, const Slot* a, Slot* r) {
           Env& env = env_of(ctx);
@@ -598,7 +638,7 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
           r->i32v = abi::MPI_SUCCESS;
         });
 
-  t.add(ns, "MPI_Alltoallv",
+  add("MPI_Alltoallv",
         FuncType{{I32, I32, I32, I32, I32, I32, I32, I32, I32}, {I32}},
         [](HostContext& ctx, const Slot* a, Slot* r) {
           Env& env = env_of(ctx);
@@ -636,7 +676,7 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
           r->i32v = abi::MPI_SUCCESS;
         });
 
-  t.add(ns, "MPI_Reduce_scatter", FuncType{{I32, I32, I32, I32, I32, I32}, {I32}},
+  add("MPI_Reduce_scatter", FuncType{{I32, I32, I32, I32, I32, I32}, {I32}},
         [](HostContext& ctx, const Slot* a, Slot* r) {
           Env& env = env_of(ctx);
           guarded([&] {
@@ -669,7 +709,7 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
           r->i32v = abi::MPI_SUCCESS;
         });
 
-  t.add(ns, "MPI_Scan", FuncType{{I32, I32, I32, I32, I32, I32}, {I32}},
+  add("MPI_Scan", FuncType{{I32, I32, I32, I32, I32, I32}, {I32}},
         [](HostContext& ctx, const Slot* a, Slot* r) {
           Env& env = env_of(ctx);
           guarded([&] {
@@ -688,7 +728,7 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
           r->i32v = abi::MPI_SUCCESS;
         });
 
-  t.add(ns, "MPI_Exscan", FuncType{{I32, I32, I32, I32, I32, I32}, {I32}},
+  add("MPI_Exscan", FuncType{{I32, I32, I32, I32, I32, I32}, {I32}},
         [](HostContext& ctx, const Slot* a, Slot* r) {
           Env& env = env_of(ctx);
           guarded([&] {
@@ -716,7 +756,7 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
   // staging path cannot express a deferred completion. -----------------------
 
   if (!faasm_compat) {
-    t.add(ns, "MPI_Ibarrier", FuncType{{I32, I32}, {I32}},
+    add("MPI_Ibarrier", FuncType{{I32, I32}, {I32}},
           [](HostContext& ctx, const Slot* a, Slot* r) {
             Env& env = env_of(ctx);
             guarded([&] {
@@ -728,7 +768,7 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
             r->i32v = abi::MPI_SUCCESS;
           });
 
-    t.add(ns, "MPI_Ibcast", FuncType{{I32, I32, I32, I32, I32, I32}, {I32}},
+    add("MPI_Ibcast", FuncType{{I32, I32, I32, I32, I32, I32}, {I32}},
           [](HostContext& ctx, const Slot* a, Slot* r) {
             Env& env = env_of(ctx);
             guarded([&] {
@@ -744,7 +784,7 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
             r->i32v = abi::MPI_SUCCESS;
           });
 
-    t.add(ns, "MPI_Ireduce",
+    add("MPI_Ireduce",
           FuncType{{I32, I32, I32, I32, I32, I32, I32, I32}, {I32}},
           [](HostContext& ctx, const Slot* a, Slot* r) {
             Env& env = env_of(ctx);
@@ -768,7 +808,7 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
             r->i32v = abi::MPI_SUCCESS;
           });
 
-    t.add(ns, "MPI_Iallreduce",
+    add("MPI_Iallreduce",
           FuncType{{I32, I32, I32, I32, I32, I32, I32}, {I32}},
           [](HostContext& ctx, const Slot* a, Slot* r) {
             Env& env = env_of(ctx);
@@ -790,7 +830,7 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
             r->i32v = abi::MPI_SUCCESS;
           });
 
-    t.add(ns, "MPI_Iallgather",
+    add("MPI_Iallgather",
           FuncType{{I32, I32, I32, I32, I32, I32, I32, I32}, {I32}},
           [](HostContext& ctx, const Slot* a, Slot* r) {
             Env& env = env_of(ctx);
@@ -815,7 +855,7 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
             r->i32v = abi::MPI_SUCCESS;
           });
 
-    t.add(ns, "MPI_Ialltoall",
+    add("MPI_Ialltoall",
           FuncType{{I32, I32, I32, I32, I32, I32, I32, I32}, {I32}},
           [](HostContext& ctx, const Slot* a, Slot* r) {
             Env& env = env_of(ctx);
@@ -837,7 +877,7 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
             r->i32v = abi::MPI_SUCCESS;
           });
 
-    t.add(ns, "MPI_Ireduce_scatter",
+    add("MPI_Ireduce_scatter",
           FuncType{{I32, I32, I32, I32, I32, I32, I32}, {I32}},
           [](HostContext& ctx, const Slot* a, Slot* r) {
             Env& env = env_of(ctx);
@@ -870,7 +910,7 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
             r->i32v = abi::MPI_SUCCESS;
           });
 
-    t.add(ns, "MPI_Iscan",
+    add("MPI_Iscan",
           FuncType{{I32, I32, I32, I32, I32, I32, I32}, {I32}},
           [](HostContext& ctx, const Slot* a, Slot* r) {
             Env& env = env_of(ctx);
@@ -892,7 +932,7 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
             r->i32v = abi::MPI_SUCCESS;
           });
 
-    t.add(ns, "MPI_Iexscan",
+    add("MPI_Iexscan",
           FuncType{{I32, I32, I32, I32, I32, I32, I32}, {I32}},
           [](HostContext& ctx, const Slot* a, Slot* r) {
             Env& env = env_of(ctx);
@@ -919,7 +959,7 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
   // supports no user-defined communicators, §6) ------------------------------
 
   if (!faasm_compat) {
-    t.add(ns, "MPI_Comm_dup", FuncType{{I32, I32}, {I32}},
+    add("MPI_Comm_dup", FuncType{{I32, I32}, {I32}},
           [](HostContext& ctx, const Slot* a, Slot* r) {
             Env& env = env_of(ctx);
             guarded([&] {
@@ -930,7 +970,7 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
             r->i32v = abi::MPI_SUCCESS;
           });
 
-    t.add(ns, "MPI_Comm_split", FuncType{{I32, I32, I32, I32}, {I32}},
+    add("MPI_Comm_split", FuncType{{I32, I32, I32, I32}, {I32}},
           [](HostContext& ctx, const Slot* a, Slot* r) {
             Env& env = env_of(ctx);
             guarded([&] {
@@ -945,7 +985,7 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
             r->i32v = abi::MPI_SUCCESS;
           });
 
-    t.add(ns, "MPI_Comm_free", FuncType{{I32}, {I32}},
+    add("MPI_Comm_free", FuncType{{I32}, {I32}},
           [](HostContext& ctx, const Slot* a, Slot* r) {
             Env& env = env_of(ctx);
             guarded([&] {
@@ -961,7 +1001,7 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
   // --- Memory management (§3.7): MPI_Alloc_mem must return a module-space
   // pointer, so it is implemented via the module's own exported malloc. ----
 
-  t.add(ns, "MPI_Alloc_mem", FuncType{{I32, I32, I32}, {I32}},
+  add("MPI_Alloc_mem", FuncType{{I32, I32, I32}, {I32}},
         [](HostContext& ctx, const Slot* a, Slot* r) {
           auto malloc_idx = ctx.instance().exported_func("malloc");
           if (!malloc_idx.has_value()) {
@@ -974,7 +1014,7 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
           r->i32v = p.as_u32() != 0 ? abi::MPI_SUCCESS : abi::MPI_ERR_OTHER;
         });
 
-  t.add(ns, "MPI_Free_mem", FuncType{{I32}, {I32}},
+  add("MPI_Free_mem", FuncType{{I32}, {I32}},
         [](HostContext& ctx, const Slot* a, Slot* r) {
           auto free_idx = ctx.instance().exported_func("free");
           if (!free_idx.has_value()) {
@@ -986,7 +1026,7 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
           r->i32v = abi::MPI_SUCCESS;
         });
 
-  t.add(ns, "MPI_Iprobe", FuncType{{I32, I32, I32, I32, I32}, {I32}},
+  add("MPI_Iprobe", FuncType{{I32, I32, I32, I32, I32}, {I32}},
         [](HostContext& ctx, const Slot* a, Slot* r) {
           Env& env = env_of(ctx);
           guarded([&] {

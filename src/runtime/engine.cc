@@ -10,6 +10,7 @@
 #include "runtime/optimizer.h"
 #include "support/log.h"
 #include "support/timing.h"
+#include "support/trace.h"
 #include "wasm/decoder.h"
 #include "wasm/validator.h"
 
@@ -70,6 +71,7 @@ bool attach_jit_entry(const CompiledModule& cm, RFunc& rf) {
   if (rf.jit == nullptr) rf.jit = jit_compile_function(rf);
   if (rf.jit == nullptr) {
     cm.jit_fallback_funcs.fetch_add(1, std::memory_order_relaxed);
+    MW_TRACE_INSTANT("engine", "jit.fallback");
     return false;
   }
   if (cm.jit_arena == nullptr) cm.jit_arena = std::make_unique<JitArena>();
@@ -77,9 +79,12 @@ bool attach_jit_entry(const CompiledModule& cm, RFunc& rf) {
   if (rf.jit_entry == nullptr) {
     rf.jit = nullptr;
     cm.jit_fallback_funcs.fetch_add(1, std::memory_order_relaxed);
+    MW_TRACE_INSTANT("engine", "jit.fallback");
     return false;
   }
   cm.jit_funcs.fetch_add(1, std::memory_order_relaxed);
+  MW_TRACE_INSTANT("engine", "jit.compile", "code_bytes",
+                   i64(rf.jit->code.size()));
   return true;
 }
 
@@ -175,6 +180,7 @@ void tier_up(const CompiledModule& cm, u32 defined_index, EngineTier target) {
     return;  // another rank thread won the race
   }
 
+  trace::Scope span("engine", "tier_up");
   Stopwatch watch;
   const std::string tag = cache_tag(target, ts.opt_superinstructions,
                                     ts.opt_hoist_bounds, ts.opt_simd);
@@ -187,6 +193,8 @@ void tier_up(const CompiledModule& cm, u32 defined_index, EngineTier target) {
       body = std::make_unique<RFunc>(std::move(*cached));
       from_cache = true;
     }
+    MW_TRACE_INSTANT("engine", from_cache ? "cache.hit" : "cache.miss", "func",
+                     i64(defined_index));
   }
   if (!body) {
     body = std::make_unique<RFunc>(lower_function(cm.module, defined_index));
@@ -241,6 +249,11 @@ void tier_up(const CompiledModule& cm, u32 defined_index, EngineTier target) {
   counter.fetch_add(1, std::memory_order_relaxed);
   if (from_cache)
     ts.stats.func_cache_hits.fetch_add(1, std::memory_order_relaxed);
+  if (MW_TRACE_ACTIVE()) {
+    trace::note_arg("func", i64(defined_index));
+    trace::note_arg("from_cache", from_cache ? 1 : 0);
+    trace::note_str("tier", tier_name(publish_tier));
+  }
   MW_DEBUG("tier-up: func " << defined_index << " -> " << tag
                             << (from_cache ? " (cache)" : ""));
 }
@@ -347,9 +360,11 @@ std::shared_ptr<const CompiledModule> compile(std::span<const u8> bytes,
         for (auto& rf : cm->regcode.funcs) attach_jit_entry(*cm, rf);
       }
       cm->compile_ms = compile_watch.elapsed_ms();
+      MW_TRACE_INSTANT("engine", "cache.hit", "module", 1);
       MW_DEBUG("cache hit for " << cm->hash.hex() << " (" << tag << ")");
       return cm;
     }
+    MW_TRACE_INSTANT("engine", "cache.miss", "module", 1);
   }
 
   cm->regcode = lower_module(cm->module);

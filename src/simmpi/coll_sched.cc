@@ -6,6 +6,7 @@
 #include "simmpi/reduce_ops.h"
 #include "support/log.h"
 #include "support/timing.h"
+#include "support/trace.h"
 
 namespace mpiwasm::simmpi::coll {
 
@@ -168,6 +169,19 @@ bool Schedule::progress(Rank& r) {
         s.state = Step::State::kDone;
         --remaining_;
         advanced = true;
+        if (MW_TRACE_ACTIVE()) {
+          const char* kind = "?";
+          switch (s.kind) {
+            case Step::Kind::kSend: kind = "send"; break;
+            case Step::Kind::kRecv: kind = "recv"; break;
+            case Step::Kind::kReduce: kind = "reduce"; break;
+            case Step::Kind::kCopy: kind = "copy"; break;
+            case Step::Kind::kShmArrive: kind = "shm_arrive"; break;
+            case Step::Kind::kShmWait: kind = "shm_wait"; break;
+          }
+          trace::instant("sched", "sched.step", "bytes", i64(s.bytes), "peer",
+                         s.peer, "kind", kind);
+        }
       }
     }
   }

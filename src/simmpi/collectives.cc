@@ -11,6 +11,7 @@
 #include "simmpi/coll_tune.h"
 #include "simmpi/world.h"
 #include "support/timing.h"
+#include "support/trace.h"
 
 namespace mpiwasm::simmpi {
 
@@ -64,8 +65,8 @@ struct Choice {
 /// Nonblocking twins bypass the tuner entirely (see below) — their
 /// completion is asynchronous, so they could never record a timing, and
 /// the blocking winner is the wrong pick for an overlapping schedule.
-Choice pick_algo(World& w, detail::CommData& c, CollOp op, size_t bytes,
-                 bool ok, bool nonblocking = false) {
+Choice pick_algo_impl(World& w, detail::CommData& c, CollOp op, size_t bytes,
+                      bool ok, bool nonblocking) {
   Choice r;
   const CollTuning& t = w.coll_tuning();
   const int n = int(c.world_ranks.size());
@@ -110,6 +111,22 @@ Choice pick_algo(World& w, detail::CommData& c, CollOp op, size_t bytes,
   r.algo = tuner->choose(r.key, idx, cand, coll::select(op, t, n, bytes, ok),
                          &r.exploring);
   if (!r.exploring) c.tune_locked.emplace(r.key, r.algo);
+  return r;
+}
+
+/// pick_algo_impl plus observability: every selection (static, tuner
+/// explore, tuner locked, nonblocking) lands in the per-thread algorithm
+/// histogram and — when tracing — as a "coll.select" instant recording the
+/// explore-vs-locked decision.
+Choice pick_algo(World& w, detail::CommData& c, CollOp op, size_t bytes,
+                 bool ok, bool nonblocking = false) {
+  Choice r = pick_algo_impl(w, c, op, bytes, ok, nonblocking);
+  if (MW_TRACE_ACTIVE()) {
+    trace::note_algo(coll::coll_name(op), coll::algo_name(r.algo));
+    trace::instant("coll", "coll.select", "bytes", i64(bytes), "exploring",
+                   r.exploring ? 1 : 0, coll::coll_name(op),
+                   coll::algo_name(r.algo));
+  }
   return r;
 }
 

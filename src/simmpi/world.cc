@@ -6,6 +6,7 @@
 #include "simmpi/coll_tune.h"
 #include "support/log.h"
 #include "support/timing.h"
+#include "support/trace.h"
 
 namespace mpiwasm::simmpi {
 
@@ -71,6 +72,8 @@ void pump_pipelines(detail::Mailbox& box) {
     }
     const size_t limit = std::min(avail, r.capacity);
     if (limit > s.copied) {
+      MW_TRACE_INSTANT("rndv", "rndv.segment", "drained", i64(limit - s.copied),
+                       "total", i64(s.bytes));
       std::memcpy(r.dst + s.copied, s.payload + s.copied, limit - s.copied);
       s.copied = limit;
     }
@@ -314,6 +317,9 @@ bool Rank::icoll_progress() {
     throw;
   }
   icoll_in_progress_ = false;
+  if (advanced)
+    MW_TRACE_INSTANT("sched", "progress.wake", "active",
+                     i64(icoll_active_.size()));
   return advanced;
 }
 

@@ -213,6 +213,12 @@ std::vector<u8> build_allreduce_check_module();
 /// MPI_Waitany/MPI_Testall, then an Ibcast completed with MPI_Wait.
 /// Exit code 0 iff every result and request-state check passes.
 std::vector<u8> build_icoll_check_module();
+/// Segmented-rendezvous probe: one 2 MiB Iallreduce completed with
+/// MPI_Wait, so every schedule exchange crosses the eager limit and the
+/// pipelined-rendezvous path runs (the `--trace` demo workload for
+/// `rndv.segment` / `sched.step` events). Exit code 0 iff the reduction
+/// is correct at both buffer ends.
+std::vector<u8> build_icoll_pipeline_module();
 /// MPI_Alloc_mem/Free_mem round-trip probe (exercises exported malloc).
 std::vector<u8> build_alloc_mem_module();
 

@@ -1107,4 +1107,89 @@ std::vector<u8> build_icoll_check_module() {
   return finish(b, "icoll check module");
 }
 
+std::vector<u8> build_icoll_pipeline_module() {
+  ModuleBuilder b;
+  MpiImportSet set;
+  set.nonblocking = true;  // Wait
+  set.icoll = true;
+  MpiImports mpi = declare_mpi_imports(b, set);
+  u32 proc_exit = b.import_func("wasi_snapshot_preview1", "proc_exit",
+                                FuncType{{I32}, {}});
+  // 2 MiB operands: every schedule exchange sits far above the 64 KiB
+  // eager limit, so the rendezvous pipeline segments it whichever
+  // algorithm selection wins.
+  constexpr u32 kCount = 524288;  // i32 elements -> 2 MiB per buffer
+  constexpr u32 kIn = 65536;
+  constexpr u32 kOut = kIn + kCount * 4;
+  constexpr u32 kReq = 2048;
+  b.add_memory((kOut + kCount * 4) / 65536 + 1);
+  b.export_memory();
+
+  auto& f = b.begin_func({{}, {}}, "_start");
+  u32 size = f.add_local(I32);
+  u32 i = f.add_local(I32);
+  u32 limit = f.add_local(I32);
+  u32 ok = f.add_local(I32);
+  f.i32_const(0);
+  f.i32_const(0);
+  f.call(mpi.init);
+  f.op(Op::kDrop);
+  f.i32_const(abi::MPI_COMM_WORLD);
+  f.i32_const(i32(kSizePtr));
+  f.call(mpi.comm_size);
+  f.op(Op::kDrop);
+  f.i32_const(i32(kSizePtr));
+  f.mem_op(Op::kI32Load);
+  f.local_set(size);
+  f.i32_const(1);
+  f.local_set(ok);
+
+  // in[i] = 1 for all i; SUM allreduce -> out[i] == size everywhere.
+  f.i32_const(i32(kCount));
+  f.local_set(limit);
+  f.for_loop_i32(i, 0, limit, 1, [&] {
+    f.i32_const(i32(kIn));
+    f.local_get(i);
+    f.i32_const(4);
+    f.op(Op::kI32Mul);
+    f.op(Op::kI32Add);
+    f.i32_const(1);
+    f.mem_op(Op::kI32Store);
+  });
+
+  f.i32_const(i32(kIn));
+  f.i32_const(i32(kOut));
+  f.i32_const(i32(kCount));
+  f.i32_const(abi::MPI_INT);
+  f.i32_const(abi::MPI_SUM);
+  f.i32_const(abi::MPI_COMM_WORLD);
+  f.i32_const(i32(kReq));
+  f.call(mpi.iallreduce);
+  f.op(Op::kDrop);
+  f.i32_const(i32(kReq));
+  f.i32_const(abi::MPI_STATUS_IGNORE);
+  f.call(mpi.wait);
+  f.op(Op::kDrop);
+
+  // First and last element both reduced to the world size.
+  for (u32 at : {kOut, kOut + (kCount - 1) * 4}) {
+    f.i32_const(i32(at));
+    f.mem_op(Op::kI32Load);
+    f.local_get(size);
+    f.op(Op::kI32Ne);
+    f.if_();
+    f.i32_const(0);
+    f.local_set(ok);
+    f.end();
+  }
+
+  f.call(mpi.finalize);
+  f.op(Op::kDrop);
+  f.local_get(ok);
+  f.op(Op::kI32Eqz);  // exit(ok ? 0 : 1)
+  f.call(proc_exit);
+  f.end();
+  return finish(b, "icoll pipeline module");
+}
+
 }  // namespace mpiwasm::toolchain

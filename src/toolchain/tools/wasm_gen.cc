@@ -85,6 +85,7 @@ int main(int argc, char** argv) {
   emit(dir, "alloc_mem.wasm", build_alloc_mem_module());
   emit(dir, "allreduce_check.wasm", build_allreduce_check_module());
   emit(dir, "icoll_check.wasm", build_icoll_check_module());
+  emit(dir, "icoll_pipeline.wasm", build_icoll_pipeline_module());
   {
     OverlapParams p;
     emit(dir, "overlap_heat.wasm", build_overlap_module(p));
