@@ -53,6 +53,14 @@ constexpr i32 MPI_IN_PLACE = -1;
 // Requests.
 constexpr i32 MPI_REQUEST_NULL = 0;
 
+// Thread support levels (MPI_Init_thread / MPI_Query_thread). The embedder
+// always grants MPI_THREAD_MULTIPLE: every rank's guest threads funnel into
+// one internally synchronized simmpi Rank.
+constexpr i32 MPI_THREAD_SINGLE = 0;
+constexpr i32 MPI_THREAD_FUNNELED = 1;
+constexpr i32 MPI_THREAD_SERIALIZED = 2;
+constexpr i32 MPI_THREAD_MULTIPLE = 3;
+
 // MPI_Status layout in module memory: 4 x i32
 //   { MPI_SOURCE, MPI_TAG, MPI_ERROR, internal_count_bytes }
 constexpr u32 kStatusSizeBytes = 16;

@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "embedder/mpi_host.h"
+#include "embedder/threads_host.h"
 #include "runtime/cache.h"
 #include "support/log.h"
 #include "support/timing.h"
@@ -78,6 +79,11 @@ RunResult Embedder::run_world(std::shared_ptr<const rt::CompiledModule> cm,
     rt::ImportTable imports;
     wasi_env.register_imports(imports);
     register_mpi_host_functions(imports, config_.faasm_compat);
+    // wasi-threads: guest threads of this rank run in the same Instance and
+    // the same simmpi Rank context; the registry joins them before the
+    // Instance goes away.
+    GuestThreads guest_threads(&rank);
+    guest_threads.register_imports(imports);
     if (config_.extra_imports) config_.extra_imports(imports, rank.world_rank());
 
     rt::Instance instance(cm, imports, &env);
@@ -88,7 +94,21 @@ RunResult Embedder::run_world(std::shared_ptr<const rt::CompiledModule> cm,
       instance.invoke("_start");
     } catch (const rt::ProcExit& e) {
       exit_code = e.code();
+    } catch (...) {
+      // _start trapped. Guest threads must be parked before `instance` is
+      // destroyed; abort first so ones blocked in MPI calls unblock.
+      rank.world().request_abort(-1);
+      try {
+        guest_threads.join_all();
+      } catch (...) {
+        // The _start trap is the primary error.
+      }
+      throw;
     }
+    // Join spawned guest threads before the Instance (and Env) they execute
+    // in leave scope; a guest thread's trap resurfaces here as the rank's
+    // failure.
+    guest_threads.join_all();
     // The rank's wall time is the denominator for the profile's "% of
     // aggregate rank wall" column.
     if (trace::active()) trace::profile_add_wall(rank_wall.elapsed_ns());

@@ -80,6 +80,7 @@ simmpi::Datatype Env::translate_datatype(i32 handle, u64 msg_bytes_hint) {
     u64 t0 = now_ns();
     simmpi::Datatype dt = shared_->lookup_datatype(handle);
     u64 t1 = now_ns();
+    std::lock_guard<std::mutex> lock(req_mu_);
     samples_.push_back({handle, msg_bytes_hint, t1 - t0});
     return dt;
   }
@@ -95,16 +96,26 @@ simmpi::Comm Env::translate_comm(i32 handle) {
 }
 
 i32 Env::add_request(simmpi::Request req) {
+  std::lock_guard<std::mutex> lock(req_mu_);
   i32 h = next_request_++;
   requests_[h] = std::move(req);
   return h;
 }
 
 simmpi::Request* Env::find_request(i32 handle) {
+  std::lock_guard<std::mutex> lock(req_mu_);
   auto it = requests_.find(handle);
   return it == requests_.end() ? nullptr : &it->second;
 }
 
-void Env::drop_request(i32 handle) { requests_.erase(handle); }
+void Env::drop_request(i32 handle) {
+  std::lock_guard<std::mutex> lock(req_mu_);
+  requests_.erase(handle);
+}
+
+std::vector<u8>& Env::staging(int slot) {
+  static thread_local std::vector<u8> bufs[2];
+  return bufs[size_t(slot) & 1];
+}
 
 }  // namespace mpiwasm::embed

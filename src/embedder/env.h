@@ -11,6 +11,7 @@
 #include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <unordered_map>
 #include <vector>
@@ -77,14 +78,21 @@ class Env {
   simmpi::Comm translate_comm(i32 handle);
   i32 intern_comm(simmpi::Comm host_comm) { return shared_->intern_comm(host_comm); }
 
-  // --- Request table (rank-local; requests are not shared across ranks) ---
+  // --- Request table (rank-local; requests are not shared across ranks,
+  // but the guest threads of one rank share it under MPI_THREAD_MULTIPLE,
+  // so the table structure is mutex-guarded. A returned pointer stays valid
+  // across unrelated add/drop calls — std::map node stability — and MPI
+  // forbids two threads completing the same request.) ----------------------
   i32 add_request(simmpi::Request req);
   simmpi::Request* find_request(i32 handle);
   void drop_request(i32 handle);
 
-  // --- MPI_Init bookkeeping -------------------------------------------------
-  bool initialized = false;
-  bool finalized = false;
+  // --- MPI_Init bookkeeping (atomic: any guest thread may query) -----------
+  std::atomic<bool> initialized{false};
+  std::atomic<bool> finalized{false};
+  /// Thread level granted by MPI_Init_thread (abi::MPI_THREAD_*); plain
+  /// MPI_Init leaves it at SINGLE.
+  std::atomic<i32> thread_level{0};
 
   // --- Figure 6 instrumentation ---------------------------------------------
   const std::vector<TranslationSample>& samples() const { return samples_; }
@@ -92,18 +100,20 @@ class Env {
   /// Staging buffers for the copy-based ablation mode (zero_copy = false).
   /// Two independent slots so one host call can stage a send view and a
   /// receive view at the same time (Sendrecv, the collectives) without the
-  /// views clobbering each other.
-  std::vector<u8>& staging(int slot) { return staging_[slot & 1]; }
+  /// views clobbering each other. Thread-local: staging never outlives one
+  /// host call, and concurrent guest threads of the same rank must not
+  /// clobber each other's in-flight views.
+  std::vector<u8>& staging(int slot);
 
  private:
   simmpi::Rank* rank_;
   std::shared_ptr<SharedHandleState> shared_;
   bool zero_copy_;
   bool record_translation_;
+  std::mutex req_mu_;  // guards requests_/next_request_/samples_
   std::map<i32, simmpi::Request> requests_;
   i32 next_request_ = 1;
   std::vector<TranslationSample> samples_;
-  std::vector<u8> staging_[2];
 };
 
 }  // namespace mpiwasm::embed

@@ -145,6 +145,29 @@ void register_mpi_host_functions(rt::ImportTable& t, bool faasm_compat) {
           r->i32v = abi::MPI_SUCCESS;
         });
 
+  add("MPI_Init_thread", FuncType{{I32, I32, I32, I32}, {I32}},
+        [](HostContext& ctx, const Slot* a, Slot* r) {
+          Env& env = env_of(ctx);
+          env.initialized = true;
+          // The embedder supports full MPI_THREAD_MULTIPLE (the simmpi Rank
+          // is internally synchronized), so `provided` is always MULTIPLE
+          // regardless of `required` — MPI permits provided > required.
+          env.thread_level = abi::MPI_THREAD_MULTIPLE;
+          ctx.memory().store<i32>(a[3].u32v, abi::MPI_THREAD_MULTIPLE);
+          // A module asking for more than FUNNELED intends concurrent MPI
+          // calls: switch the world's blocking waits to bounded quanta.
+          if (a[2].i32v > abi::MPI_THREAD_FUNNELED)
+            env.rank().world().set_threaded();
+          r->i32v = abi::MPI_SUCCESS;
+        });
+
+  add("MPI_Query_thread", FuncType{{I32}, {I32}},
+        [](HostContext& ctx, const Slot* a, Slot* r) {
+          Env& env = env_of(ctx);
+          ctx.memory().store<i32>(a[0].u32v, env.thread_level.load());
+          r->i32v = abi::MPI_SUCCESS;
+        });
+
   add("MPI_Initialized", FuncType{{I32}, {I32}},
         [](HostContext& ctx, const Slot* a, Slot* r) {
           ctx.memory().store<i32>(a[0].u32v, env_of(ctx).initialized ? 1 : 0);

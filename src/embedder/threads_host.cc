@@ -1,0 +1,84 @@
+#include "embedder/threads_host.h"
+
+#include <atomic>
+
+#include "support/trace.h"
+
+namespace mpiwasm::embed {
+
+namespace {
+
+/// Process-wide thread-id allocator. wasi-threads only requires ids to be
+/// positive and unique among live threads; monotonically increasing from 1
+/// satisfies both and keeps ids meaningful in trace output.
+std::atomic<i32> g_next_tid{1};
+
+}  // namespace
+
+GuestThreads::~GuestThreads() {
+  try {
+    join_all();
+  } catch (...) {
+    // Destructor path: the rank body already failed; that error wins.
+  }
+}
+
+void GuestThreads::join_all() {
+  for (;;) {
+    std::vector<std::thread> batch;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      batch.swap(threads_);
+    }
+    if (batch.empty()) break;
+    for (auto& t : batch) t.join();  // a joining thread may spawn more
+  }
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::swap(err, first_error_);
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void GuestThreads::register_imports(rt::ImportTable& imports) {
+  using wasm::ValType;
+  imports.add(
+      "wasi", "thread-spawn",
+      wasm::FuncType{{ValType::kI32}, {ValType::kI32}},
+      [this](rt::HostContext& ctx, const rt::Slot* a, rt::Slot* r) {
+        rt::Instance& inst = ctx.instance();
+        if (!inst.exported_func("wasi_thread_start").has_value()) {
+          r->i32v = -1;  // wasi-threads: negative return = spawn failure
+          return;
+        }
+        const i32 tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+        const i32 arg = a[0].i32v;
+        // Any spawn makes concurrent MPI callers possible on this rank:
+        // switch the world's blocking waits to bounded quanta.
+        if (rank_ != nullptr) rank_->world().set_threaded();
+        std::lock_guard<std::mutex> lock(mu_);
+        threads_.emplace_back([this, &inst, tid, arg] {
+          // The guest thread makes MPI calls in its parent rank's context.
+          if (rank_ != nullptr) simmpi::World::bind_current(rank_);
+          if (trace::active()) trace::set_thread_label("gthread", tid);
+          try {
+            rt::Value args[2] = {rt::Value::from_i32(tid),
+                                 rt::Value::from_i32(arg)};
+            inst.invoke("wasi_thread_start", {args, 2});
+          } catch (...) {
+            {
+              std::lock_guard<std::mutex> elock(mu_);
+              if (!first_error_) first_error_ = std::current_exception();
+            }
+            // Unblock peers (and this rank's main thread) that may be
+            // waiting on this thread's share of MPI traffic.
+            if (rank_ != nullptr) rank_->world().request_abort(-1);
+          }
+          if (rank_ != nullptr) simmpi::World::bind_current(nullptr);
+        });
+        r->i32v = tid;
+      });
+}
+
+}  // namespace mpiwasm::embed

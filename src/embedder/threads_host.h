@@ -1,0 +1,49 @@
+// Host side of the wasi-threads proposal: the "wasi" "thread-spawn" import
+// plus the per-rank registry of spawned guest threads.
+//
+// The guest imports `(wasi::thread-spawn (param i32) (result i32))` and
+// exports `wasi_thread_start(tid, arg)`. Spawning instantiates NO new
+// module here: the threads proposal's shared linear memory means every
+// guest thread enters the SAME Instance (per-thread frame arenas make that
+// safe), mirroring how wasi-libc's pthread shim uses the API. Spawned
+// threads inherit their parent's simmpi rank binding, so MPI calls from any
+// guest thread funnel into the same Rank (MPI_THREAD_MULTIPLE).
+#pragma once
+
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/instance.h"
+#include "simmpi/world.h"
+
+namespace mpiwasm::embed {
+
+/// Per-rank guest-thread registry. register_imports installs the
+/// thread-spawn import; join_all (idempotent; the destructor also runs it)
+/// joins every spawned thread and rethrows the first guest-thread error.
+/// `rank` may be null for pure-engine modules (no MPI): spawned threads
+/// then run with no simmpi binding and abort propagation is skipped.
+class GuestThreads {
+ public:
+  explicit GuestThreads(simmpi::Rank* rank = nullptr) : rank_(rank) {}
+  ~GuestThreads();
+  GuestThreads(const GuestThreads&) = delete;
+  GuestThreads& operator=(const GuestThreads&) = delete;
+
+  void register_imports(rt::ImportTable& imports);
+
+  /// Joins every spawned guest thread (including threads spawned while
+  /// joining) and rethrows the first exception a guest thread died with.
+  /// Must run before the Instance the threads execute in is destroyed.
+  void join_all();
+
+ private:
+  simmpi::Rank* rank_;
+  std::mutex mu_;
+  std::vector<std::thread> threads_;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace mpiwasm::embed

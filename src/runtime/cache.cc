@@ -30,7 +30,11 @@ constexpr u32 kCacheMagic = 0x4357524D;  // "MRWC"
 // rejects it and the engine silently recompiles. RFunc::handlers and
 // RFunc::jit_entry are derived state and are never serialized;
 // prepare_rfunc() / JitArena::install() re-resolve them after every load.
-constexpr u32 kCacheVersion = 6;
+// v7: the threads/atomics opcode space (0xFE atomic loads/stores/rmw/
+// cmpxchg, wait/notify, fence), which renumbers ROp and extends the JIT
+// helper table; serialized RegCode and native blobs from v6 would decode
+// to the wrong opcodes.
+constexpr u32 kCacheVersion = 7;
 
 void write_rfunc(ByteWriter& w, const RFunc& f) {
   w.write_leb_u32(f.num_params);

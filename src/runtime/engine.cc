@@ -38,6 +38,16 @@ bool simd_enabled_from_env() {
   return enabled;
 }
 
+bool threads_enabled_from_env() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("MPIWASM_THREADS");
+    if (v == nullptr) return true;
+    std::string s(v);
+    return !(s == "0" || s == "false" || s == "off");
+  }();
+  return enabled;
+}
+
 namespace {
 
 /// Cache tag for a compiled artifact. The optimizing tier's ablation flags
@@ -52,6 +62,7 @@ std::string cache_tag(EngineTier tier, bool superinstructions,
     if (!hoist_bounds) tag += "-nohoist";
     if (!simd) tag += "-nosimd";
   }
+  if (!threads_enabled_from_env()) tag += "-nothreads";
   return tag;
 }
 
@@ -306,6 +317,18 @@ std::shared_ptr<const CompiledModule> compile(std::span<const u8> bytes,
   wasm::ValidationResult vr = wasm::validate_module(cm->module);
   if (!vr.ok) throw CompileError("validation error: " + vr.error);
   cm->decode_ms = decode_watch.elapsed_ms();
+
+  // Threads ablation: with the proposal switched off (config or
+  // MPIWASM_THREADS=0), shared memories are rejected outright. Atomics
+  // can't validate without one, so this single gate covers the whole
+  // feature.
+  if (!cfg.threads) {
+    for (const wasm::Limits& lim : cm->module.memories)
+      if (lim.shared)
+        throw CompileError(
+            "module declares a shared memory but threads support is "
+            "disabled (MPIWASM_THREADS=0)");
+  }
 
   cm->hash = sha256(bytes);
   compute_canonical_ids(*cm);

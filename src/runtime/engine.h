@@ -71,6 +71,12 @@ const char* tier_name(EngineTier tier);
 /// and the benches' scalar-vs-SIMD kernel selection (docs/TUNING.md).
 bool simd_enabled_from_env();
 
+/// Reads the MPIWASM_THREADS environment variable once per process: "0",
+/// "false", or "off" disable the threads proposal (shared memories are
+/// rejected at compile time and the toolchain's threaded kernel twins are
+/// skipped); anything else — including unset — enables it (docs/TUNING.md).
+bool threads_enabled_from_env();
+
 struct EngineConfig {
   EngineTier tier = EngineTier::kOptimizing;
   bool enable_cache = false;
@@ -100,6 +106,11 @@ struct EngineConfig {
   /// ablated without recompiling; v128 code still *executes* when this is
   /// off — it just runs through the generic pipeline.
   bool opt_simd = simd_enabled_from_env();
+  /// Threads-proposal master switch, defaulting to the MPIWASM_THREADS
+  /// environment variable. Off: compile() rejects modules that declare a
+  /// shared memory (atomics themselves never validate without one), giving
+  /// a clean ablation leg with zero concurrency in the engine.
+  bool threads = threads_enabled_from_env();
 };
 
 /// Raised when a module fails to decode or validate.

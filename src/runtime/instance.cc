@@ -1,5 +1,6 @@
 #include "runtime/instance.h"
 
+#include <atomic>
 #include <cstring>
 
 #include "runtime/engine.h"
@@ -20,6 +21,7 @@ const char* trap_kind_name(TrapKind k) {
     case TrapKind::kUndefinedTableElement: return "undefined table element";
     case TrapKind::kCallStackExhausted: return "call stack exhausted";
     case TrapKind::kHostError: return "host error";
+    case TrapKind::kUnalignedAtomic: return "unaligned atomic";
   }
   return "unknown trap";
 }
@@ -53,7 +55,9 @@ Slot eval_const(const wasm::ConstExpr& e) {
   return s;
 }
 
-constexpr size_t kArenaSlots = 1 << 17;  // 2 MiB of Slot frames per instance
+constexpr size_t kArenaSlots = 1 << 17;  // 2 MiB of Slot frames per thread
+
+std::atomic<u64> g_next_instance_id{1};
 
 }  // namespace
 
@@ -65,7 +69,7 @@ Instance::Instance(std::shared_ptr<const CompiledModule> cm,
   // Memory (at most one; imported memories unsupported).
   if (!m.memories.empty()) {
     const wasm::Limits& lim = m.memories[0];
-    memory_ = LinearMemory(lim.min, lim.has_max ? lim.max : 0);
+    memory_ = LinearMemory(lim.min, lim.has_max ? lim.max : 0, lim.shared);
   }
 
   // Globals (module-defined only).
@@ -98,7 +102,7 @@ Instance::Instance(std::shared_ptr<const CompiledModule> cm,
   }
 
   apply_segments();
-  arena_.resize(kArenaSlots);
+  instance_id_ = g_next_instance_id.fetch_add(1, std::memory_order_relaxed);
 
   if (m.start.has_value()) invoke_index(*m.start, {});
 }
@@ -126,25 +130,43 @@ std::optional<u32> Instance::exported_func(const std::string& name) const {
   return e->index;
 }
 
+Instance::ExecState& Instance::exec_state() {
+  thread_local u64 cached_id = 0;
+  thread_local ExecState* cached = nullptr;
+  if (cached_id == instance_id_ && cached != nullptr) return *cached;
+  std::lock_guard<std::mutex> lock(exec_mu_);
+  std::unique_ptr<ExecState>& slot = exec_states_[std::this_thread::get_id()];
+  if (!slot) {
+    slot = std::make_unique<ExecState>();
+    slot->arena.resize(kArenaSlots);
+  }
+  cached_id = instance_id_;
+  cached = slot.get();
+  return *cached;
+}
+
 Slot* Instance::alloc_frame(u32 slots) {
-  if (arena_top_ + slots > arena_.size())
+  ExecState& es = exec_state();
+  if (es.arena_top + slots > es.arena.size())
     throw Trap(TrapKind::kCallStackExhausted, "frame arena exhausted");
-  Slot* p = arena_.data() + arena_top_;
-  arena_top_ += slots;
+  Slot* p = es.arena.data() + es.arena_top;
+  es.arena_top += slots;
   return p;
 }
 
 void Instance::release_frame(u32 slots) {
-  MW_CHECK(arena_top_ >= slots, "frame arena underflow");
-  arena_top_ -= slots;
+  ExecState& es = exec_state();
+  MW_CHECK(es.arena_top >= slots, "frame arena underflow");
+  es.arena_top -= slots;
 }
 
 void Instance::call_function(u32 fidx, Slot* base) {
   const CompiledModule& cm = *cm_;
   const u32 imported = cm.module.num_imported_funcs();
 
-  if (++depth_ > kMaxCallDepth) {
-    --depth_;
+  ExecState& es = exec_state();
+  if (++es.depth > kMaxCallDepth) {
+    --es.depth;
     throw Trap(TrapKind::kCallStackExhausted,
                "call depth exceeds " + std::to_string(kMaxCallDepth));
   }
@@ -152,7 +174,7 @@ void Instance::call_function(u32 fidx, Slot* base) {
   struct DepthGuard {
     int& d;
     ~DepthGuard() { --d; }
-  } depth_guard{depth_};
+  } depth_guard{es.depth};
 
   if (fidx < imported) {
     HostContext ctx(*this);
@@ -239,14 +261,15 @@ Value Instance::invoke_index(u32 func_index, std::span<const Value> args) {
   // Reserve a small argument window; call_function reads args in place and
   // writes the result to slot 0.
   const u32 window = u32(std::max<size_t>(args.size(), 1));
-  const size_t saved_top = arena_top_;
+  ExecState& es = exec_state();
+  const size_t saved_top = es.arena_top;
   Slot* base = alloc_frame(window);
   for (size_t i = 0; i < args.size(); ++i) base[i] = args[i].slot;
   try {
     call_function(func_index, base);
   } catch (...) {
-    arena_top_ = saved_top;  // unwind any frames the trap skipped
-    depth_ = 0;
+    es.arena_top = saved_top;  // unwind any frames the trap skipped
+    es.depth = 0;
     throw;
   }
   Value result;

@@ -5,9 +5,11 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "runtime/memory.h"
@@ -110,6 +112,20 @@ class Instance {
   void release_frame(u32 slots);
 
  private:
+  /// Per-thread execution state. With shared memories a single Instance is
+  /// entered concurrently by several guest threads (wasi thread-spawn), so
+  /// the frame arena and call-depth counter cannot be instance members.
+  struct ExecState {
+    std::vector<Slot> arena;
+    size_t arena_top = 0;
+    int depth = 0;
+  };
+
+  /// Returns the calling thread's ExecState, creating it on first entry.
+  /// A thread_local (id, pointer) pair caches the lookup; the id guards
+  /// against address reuse after an Instance is destroyed.
+  ExecState& exec_state();
+
   void apply_segments();
 
   std::shared_ptr<const CompiledModule> cm_;
@@ -118,9 +134,9 @@ class Instance {
   std::vector<u32> table_;
   std::vector<const ImportTable::Entry*> resolved_;  // by import ordinal
   void* user_data_ = nullptr;
-  std::vector<Slot> arena_;
-  size_t arena_top_ = 0;
-  int depth_ = 0;
+  u64 instance_id_ = 0;  // process-unique, assigned at construction
+  std::mutex exec_mu_;
+  std::map<std::thread::id, std::unique_ptr<ExecState>> exec_states_;
   static constexpr int kMaxCallDepth = 1000;
 };
 

@@ -1,5 +1,6 @@
 #include "runtime/interp.h"
 
+#include <atomic>
 #include <bit>
 #include <cmath>
 #include <cstring>
@@ -240,7 +241,29 @@ PreFunc predecode_function(const wasm::Module& m, u32 defined_index) {
       default: {
         // Numeric / memory ops: net stack effect from the opcode shape.
         using wasm::ImmKind;
-        if (wasm::op_imm_kind(in.op) == ImmKind::kMemArg) {
+        if (wasm::op_is_atomic(in.op)) {
+          // 0xFE space; the generic kMemArg load/store split below doesn't
+          // know these shapes, so handle each family explicitly.
+          const u16 code = u16(in.op);
+          if (in.op == Op::kMemoryAtomicNotify) {
+            bump(-1);  // addr, count -> woken
+          } else if (in.op == Op::kMemoryAtomicWait32 ||
+                     in.op == Op::kMemoryAtomicWait64) {
+            bump(-2);  // addr, expected, timeout -> outcome
+          } else if (in.op == Op::kAtomicFence) {
+            // net 0
+          } else if (code >= u16(Op::kI32AtomicLoad) &&
+                     code <= u16(Op::kI64AtomicLoad32U)) {
+            // load: addr -> value, net 0
+          } else if (code >= u16(Op::kI32AtomicStore) &&
+                     code <= u16(Op::kI64AtomicStore32)) {
+            bump(-2);  // addr, value ->
+          } else if (code >= u16(Op::kI32AtomicRmwCmpxchg)) {
+            bump(-2);  // addr, expected, replacement -> old
+          } else {
+            bump(-1);  // rmw: addr, operand -> old
+          }
+        } else if (wasm::op_imm_kind(in.op) == ImmKind::kMemArg) {
           // load: -1 +1 = 0 ; store: -2
           bool is_store = false;
           switch (in.op) {
@@ -417,6 +440,35 @@ void interp_exec(Instance& inst, const PreFunc& f, Slot* frame) {
     auto v = TOP.sfield;                                                      \
     --sp;                                                                     \
     TOP.v128v.set_lane<T, N>(int(in.imm_i), T(v));                            \
+  }                                                                           \
+  break
+#define IALOAD(dfield, T)                                                     \
+  TOP.dfield =                                                                \
+      decltype(TOP.dfield)(mem.atomic_load<T>(u64(TOP.u32v) + in.mem_offset)); \
+  break
+#define IASTORE(T, sfield)                                                    \
+  {                                                                           \
+    auto v = TOP.sfield;                                                      \
+    u32 addr = NXT.u32v;                                                      \
+    sp -= 2;                                                                  \
+    mem.atomic_store<T>(u64(addr) + in.mem_offset, T(v));                     \
+  }                                                                           \
+  break
+#define IARMW(fn, dfield, T, sfield)                                          \
+  {                                                                           \
+    auto v = TOP.sfield;                                                      \
+    --sp;                                                                     \
+    TOP.dfield =                                                              \
+        decltype(TOP.dfield)(mem.fn<T>(u64(TOP.u32v) + in.mem_offset, T(v))); \
+  }                                                                           \
+  break
+#define IACMPXCHG(dfield, T, sfield)                                          \
+  {                                                                           \
+    auto repl = TOP.sfield;                                                   \
+    auto expd = NXT.sfield;                                                   \
+    sp -= 2;                                                                  \
+    TOP.dfield = decltype(TOP.dfield)(mem.atomic_rmw_cmpxchg<T>(              \
+        u64(TOP.u32v) + in.mem_offset, T(expd), T(repl)));                    \
   }                                                                           \
   break
 
@@ -893,6 +945,93 @@ void interp_exec(Instance& inst, const PreFunc& f, Slot* frame) {
       case Op::kF64x2Max: IVBIN(f64, 2, fmax_wasm(xx, yy));
       case Op::kF64x2Pmin: IVBIN(f64, 2, lane_pmin(xx, yy));
       case Op::kF64x2Pmax: IVBIN(f64, 2, lane_pmax(xx, yy));
+
+      // --- 0xFE atomics (threads proposal) ------------------------------
+      case Op::kMemoryAtomicNotify: {
+        u32 count = pop_slot().u32v;
+        TOP.u32v = mem.atomic_notify(u64(TOP.u32v) + in.mem_offset, count);
+        break;
+      }
+      case Op::kMemoryAtomicWait32: {
+        i64 timeout = pop_slot().i64v;
+        u32 expected = pop_slot().u32v;
+        TOP.u32v =
+            mem.atomic_wait32(u64(TOP.u32v) + in.mem_offset, expected, timeout);
+        break;
+      }
+      case Op::kMemoryAtomicWait64: {
+        i64 timeout = pop_slot().i64v;
+        u64 expected = pop_slot().u64v;
+        TOP.u32v =
+            mem.atomic_wait64(u64(TOP.u32v) + in.mem_offset, expected, timeout);
+        break;
+      }
+      case Op::kAtomicFence:
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        break;
+      case Op::kI32AtomicLoad: IALOAD(u32v, u32);
+      case Op::kI64AtomicLoad: IALOAD(u64v, u64);
+      case Op::kI32AtomicLoad8U: IALOAD(u32v, u8);
+      case Op::kI32AtomicLoad16U: IALOAD(u32v, u16);
+      case Op::kI64AtomicLoad8U: IALOAD(u64v, u8);
+      case Op::kI64AtomicLoad16U: IALOAD(u64v, u16);
+      case Op::kI64AtomicLoad32U: IALOAD(u64v, u32);
+      case Op::kI32AtomicStore: IASTORE(u32, u32v);
+      case Op::kI64AtomicStore: IASTORE(u64, u64v);
+      case Op::kI32AtomicStore8: IASTORE(u8, u32v);
+      case Op::kI32AtomicStore16: IASTORE(u16, u32v);
+      case Op::kI64AtomicStore8: IASTORE(u8, u64v);
+      case Op::kI64AtomicStore16: IASTORE(u16, u64v);
+      case Op::kI64AtomicStore32: IASTORE(u32, u64v);
+      case Op::kI32AtomicRmwAdd: IARMW(atomic_rmw_add, u32v, u32, u32v);
+      case Op::kI64AtomicRmwAdd: IARMW(atomic_rmw_add, u64v, u64, u64v);
+      case Op::kI32AtomicRmw8AddU: IARMW(atomic_rmw_add, u32v, u8, u32v);
+      case Op::kI32AtomicRmw16AddU: IARMW(atomic_rmw_add, u32v, u16, u32v);
+      case Op::kI64AtomicRmw8AddU: IARMW(atomic_rmw_add, u64v, u8, u64v);
+      case Op::kI64AtomicRmw16AddU: IARMW(atomic_rmw_add, u64v, u16, u64v);
+      case Op::kI64AtomicRmw32AddU: IARMW(atomic_rmw_add, u64v, u32, u64v);
+      case Op::kI32AtomicRmwSub: IARMW(atomic_rmw_sub, u32v, u32, u32v);
+      case Op::kI64AtomicRmwSub: IARMW(atomic_rmw_sub, u64v, u64, u64v);
+      case Op::kI32AtomicRmw8SubU: IARMW(atomic_rmw_sub, u32v, u8, u32v);
+      case Op::kI32AtomicRmw16SubU: IARMW(atomic_rmw_sub, u32v, u16, u32v);
+      case Op::kI64AtomicRmw8SubU: IARMW(atomic_rmw_sub, u64v, u8, u64v);
+      case Op::kI64AtomicRmw16SubU: IARMW(atomic_rmw_sub, u64v, u16, u64v);
+      case Op::kI64AtomicRmw32SubU: IARMW(atomic_rmw_sub, u64v, u32, u64v);
+      case Op::kI32AtomicRmwAnd: IARMW(atomic_rmw_and, u32v, u32, u32v);
+      case Op::kI64AtomicRmwAnd: IARMW(atomic_rmw_and, u64v, u64, u64v);
+      case Op::kI32AtomicRmw8AndU: IARMW(atomic_rmw_and, u32v, u8, u32v);
+      case Op::kI32AtomicRmw16AndU: IARMW(atomic_rmw_and, u32v, u16, u32v);
+      case Op::kI64AtomicRmw8AndU: IARMW(atomic_rmw_and, u64v, u8, u64v);
+      case Op::kI64AtomicRmw16AndU: IARMW(atomic_rmw_and, u64v, u16, u64v);
+      case Op::kI64AtomicRmw32AndU: IARMW(atomic_rmw_and, u64v, u32, u64v);
+      case Op::kI32AtomicRmwOr: IARMW(atomic_rmw_or, u32v, u32, u32v);
+      case Op::kI64AtomicRmwOr: IARMW(atomic_rmw_or, u64v, u64, u64v);
+      case Op::kI32AtomicRmw8OrU: IARMW(atomic_rmw_or, u32v, u8, u32v);
+      case Op::kI32AtomicRmw16OrU: IARMW(atomic_rmw_or, u32v, u16, u32v);
+      case Op::kI64AtomicRmw8OrU: IARMW(atomic_rmw_or, u64v, u8, u64v);
+      case Op::kI64AtomicRmw16OrU: IARMW(atomic_rmw_or, u64v, u16, u64v);
+      case Op::kI64AtomicRmw32OrU: IARMW(atomic_rmw_or, u64v, u32, u64v);
+      case Op::kI32AtomicRmwXor: IARMW(atomic_rmw_xor, u32v, u32, u32v);
+      case Op::kI64AtomicRmwXor: IARMW(atomic_rmw_xor, u64v, u64, u64v);
+      case Op::kI32AtomicRmw8XorU: IARMW(atomic_rmw_xor, u32v, u8, u32v);
+      case Op::kI32AtomicRmw16XorU: IARMW(atomic_rmw_xor, u32v, u16, u32v);
+      case Op::kI64AtomicRmw8XorU: IARMW(atomic_rmw_xor, u64v, u8, u64v);
+      case Op::kI64AtomicRmw16XorU: IARMW(atomic_rmw_xor, u64v, u16, u64v);
+      case Op::kI64AtomicRmw32XorU: IARMW(atomic_rmw_xor, u64v, u32, u64v);
+      case Op::kI32AtomicRmwXchg: IARMW(atomic_rmw_xchg, u32v, u32, u32v);
+      case Op::kI64AtomicRmwXchg: IARMW(atomic_rmw_xchg, u64v, u64, u64v);
+      case Op::kI32AtomicRmw8XchgU: IARMW(atomic_rmw_xchg, u32v, u8, u32v);
+      case Op::kI32AtomicRmw16XchgU: IARMW(atomic_rmw_xchg, u32v, u16, u32v);
+      case Op::kI64AtomicRmw8XchgU: IARMW(atomic_rmw_xchg, u64v, u8, u64v);
+      case Op::kI64AtomicRmw16XchgU: IARMW(atomic_rmw_xchg, u64v, u16, u64v);
+      case Op::kI64AtomicRmw32XchgU: IARMW(atomic_rmw_xchg, u64v, u32, u64v);
+      case Op::kI32AtomicRmwCmpxchg: IACMPXCHG(u32v, u32, u32v);
+      case Op::kI64AtomicRmwCmpxchg: IACMPXCHG(u64v, u64, u64v);
+      case Op::kI32AtomicRmw8CmpxchgU: IACMPXCHG(u32v, u8, u32v);
+      case Op::kI32AtomicRmw16CmpxchgU: IACMPXCHG(u32v, u16, u32v);
+      case Op::kI64AtomicRmw8CmpxchgU: IACMPXCHG(u64v, u8, u64v);
+      case Op::kI64AtomicRmw16CmpxchgU: IACMPXCHG(u64v, u16, u64v);
+      case Op::kI64AtomicRmw32CmpxchgU: IACMPXCHG(u64v, u32, u64v);
     }
     ++i;
   }
@@ -912,6 +1051,10 @@ void interp_exec(Instance& inst, const PreFunc& f, Slot* frame) {
 #undef IVUN
 #undef IVCMP
 #undef IVREPLACE
+#undef IALOAD
+#undef IASTORE
+#undef IARMW
+#undef IACMPXCHG
 }
 
 }  // namespace mpiwasm::rt

@@ -263,6 +263,120 @@ u64 h_i64_trunc_f64_u(f64 x) {
 f32 h_f32_convert_i64_u(u64 x) { return f32(x); }
 f64 h_f64_convert_i64_u(u64 x) { return f64(x); }
 
+// --- Threads/atomics ----------------------------------------------------------
+
+[[noreturn]] void h_trap_unaligned_atomic(u64 addr, u64 len) {
+  // Message must match LinearMemory::check_atomic byte-for-byte.
+  try {
+    throw Trap(TrapKind::kUnalignedAtomic,
+               "atomic access at " + std::to_string(addr) + " not aligned to " +
+                   std::to_string(len) + " bytes");
+  } catch (...) {
+    g_pending = std::current_exception();
+  }
+  unwind_pending();
+}
+
+// The rmw pointer helpers receive a host address the template has already
+// bounds- and alignment-checked, so the atomic_ref cast is well-formed.
+template <typename T, typename F>
+u64 atomic_rmw_ptr(u8* p, u64 v, F f) {
+  return u64(f(std::atomic_ref<T>(*reinterpret_cast<T*>(p)), T(v)));
+}
+
+u64 h_atomic_and8(u8* p, u64 v) {
+  return atomic_rmw_ptr<u8>(p, v, [](auto r, u8 x) {
+    return r.fetch_and(x, std::memory_order_seq_cst);
+  });
+}
+u64 h_atomic_and16(u8* p, u64 v) {
+  return atomic_rmw_ptr<u16>(p, v, [](auto r, u16 x) {
+    return r.fetch_and(x, std::memory_order_seq_cst);
+  });
+}
+u64 h_atomic_and32(u8* p, u64 v) {
+  return atomic_rmw_ptr<u32>(p, v, [](auto r, u32 x) {
+    return r.fetch_and(x, std::memory_order_seq_cst);
+  });
+}
+u64 h_atomic_and64(u8* p, u64 v) {
+  return atomic_rmw_ptr<u64>(p, v, [](auto r, u64 x) {
+    return r.fetch_and(x, std::memory_order_seq_cst);
+  });
+}
+u64 h_atomic_or8(u8* p, u64 v) {
+  return atomic_rmw_ptr<u8>(p, v, [](auto r, u8 x) {
+    return r.fetch_or(x, std::memory_order_seq_cst);
+  });
+}
+u64 h_atomic_or16(u8* p, u64 v) {
+  return atomic_rmw_ptr<u16>(p, v, [](auto r, u16 x) {
+    return r.fetch_or(x, std::memory_order_seq_cst);
+  });
+}
+u64 h_atomic_or32(u8* p, u64 v) {
+  return atomic_rmw_ptr<u32>(p, v, [](auto r, u32 x) {
+    return r.fetch_or(x, std::memory_order_seq_cst);
+  });
+}
+u64 h_atomic_or64(u8* p, u64 v) {
+  return atomic_rmw_ptr<u64>(p, v, [](auto r, u64 x) {
+    return r.fetch_or(x, std::memory_order_seq_cst);
+  });
+}
+u64 h_atomic_xor8(u8* p, u64 v) {
+  return atomic_rmw_ptr<u8>(p, v, [](auto r, u8 x) {
+    return r.fetch_xor(x, std::memory_order_seq_cst);
+  });
+}
+u64 h_atomic_xor16(u8* p, u64 v) {
+  return atomic_rmw_ptr<u16>(p, v, [](auto r, u16 x) {
+    return r.fetch_xor(x, std::memory_order_seq_cst);
+  });
+}
+u64 h_atomic_xor32(u8* p, u64 v) {
+  return atomic_rmw_ptr<u32>(p, v, [](auto r, u32 x) {
+    return r.fetch_xor(x, std::memory_order_seq_cst);
+  });
+}
+u64 h_atomic_xor64(u8* p, u64 v) {
+  return atomic_rmw_ptr<u64>(p, v, [](auto r, u64 x) {
+    return r.fetch_xor(x, std::memory_order_seq_cst);
+  });
+}
+
+template <typename T>
+u64 atomic_cmpxchg_ptr(u8* p, u64 expected, u64 repl) {
+  T e = T(expected);
+  std::atomic_ref<T>(*reinterpret_cast<T*>(p))
+      .compare_exchange_strong(e, T(repl), std::memory_order_seq_cst);
+  return u64(e);  // old value on success and failure alike
+}
+
+u64 h_atomic_cmpxchg8(u8* p, u64 e, u64 r) { return atomic_cmpxchg_ptr<u8>(p, e, r); }
+u64 h_atomic_cmpxchg16(u8* p, u64 e, u64 r) { return atomic_cmpxchg_ptr<u16>(p, e, r); }
+u64 h_atomic_cmpxchg32(u8* p, u64 e, u64 r) { return atomic_cmpxchg_ptr<u32>(p, e, r); }
+u64 h_atomic_cmpxchg64(u8* p, u64 e, u64 r) { return atomic_cmpxchg_ptr<u64>(p, e, r); }
+
+// wait/notify go through the Instance so LinearMemory can do its own
+// checking (bounds + alignment trap inside the guarded region) and reach
+// the parking table.
+u32 h_atomic_wait32(Instance* inst, u64 addr, u32 expected, i64 timeout_ns) {
+  u32 r = 0;
+  MW_JIT_GUARDED(r = inst->memory().atomic_wait32(addr, expected, timeout_ns));
+  return r;
+}
+u32 h_atomic_wait64(Instance* inst, u64 addr, u64 expected, i64 timeout_ns) {
+  u32 r = 0;
+  MW_JIT_GUARDED(r = inst->memory().atomic_wait64(addr, expected, timeout_ns));
+  return r;
+}
+u32 h_atomic_notify(Instance* inst, u64 addr, u32 count) {
+  u32 r = 0;
+  MW_JIT_GUARDED(r = inst->memory().atomic_notify(addr, count));
+  return r;
+}
+
 #undef MW_JIT_GUARDED
 
 // Table order must match JitHelperId (checked by the kCount sentinel).
@@ -311,6 +425,26 @@ const void* const g_helper_table[u32(JitHelperId::kCount)] = {
     reinterpret_cast<const void*>(&h_i64_trunc_f64_u),
     reinterpret_cast<const void*>(&h_f32_convert_i64_u),
     reinterpret_cast<const void*>(&h_f64_convert_i64_u),
+    reinterpret_cast<const void*>(&h_trap_unaligned_atomic),
+    reinterpret_cast<const void*>(&h_atomic_and8),
+    reinterpret_cast<const void*>(&h_atomic_and16),
+    reinterpret_cast<const void*>(&h_atomic_and32),
+    reinterpret_cast<const void*>(&h_atomic_and64),
+    reinterpret_cast<const void*>(&h_atomic_or8),
+    reinterpret_cast<const void*>(&h_atomic_or16),
+    reinterpret_cast<const void*>(&h_atomic_or32),
+    reinterpret_cast<const void*>(&h_atomic_or64),
+    reinterpret_cast<const void*>(&h_atomic_xor8),
+    reinterpret_cast<const void*>(&h_atomic_xor16),
+    reinterpret_cast<const void*>(&h_atomic_xor32),
+    reinterpret_cast<const void*>(&h_atomic_xor64),
+    reinterpret_cast<const void*>(&h_atomic_cmpxchg8),
+    reinterpret_cast<const void*>(&h_atomic_cmpxchg16),
+    reinterpret_cast<const void*>(&h_atomic_cmpxchg32),
+    reinterpret_cast<const void*>(&h_atomic_cmpxchg64),
+    reinterpret_cast<const void*>(&h_atomic_wait32),
+    reinterpret_cast<const void*>(&h_atomic_wait64),
+    reinterpret_cast<const void*>(&h_atomic_notify),
 };
 
 }  // namespace

@@ -89,6 +89,18 @@ enum class JitHelperId : u32 {
   kI32TruncF32S, kI32TruncF32U, kI32TruncF64S, kI32TruncF64U,
   kI64TruncF32S, kI64TruncF32U, kI64TruncF64S, kI64TruncF64U,
   kF32ConvertI64U, kF64ConvertI64U,
+  // Threads/atomics (v7). The pointer-taking rmw helpers receive the
+  // already-bounds-and-alignment-checked host address; wait/notify go
+  // through the Instance so they can reach the memory's parking table.
+  kTrapUnalignedAtomic,  // (addr, len) noreturn
+  kAtomicAnd8, kAtomicAnd16, kAtomicAnd32, kAtomicAnd64,    // (u8* p, u64 v) -> old
+  kAtomicOr8, kAtomicOr16, kAtomicOr32, kAtomicOr64,        // (u8* p, u64 v) -> old
+  kAtomicXor8, kAtomicXor16, kAtomicXor32, kAtomicXor64,    // (u8* p, u64 v) -> old
+  kAtomicCmpxchg8, kAtomicCmpxchg16,                        // (u8* p, u64 expected,
+  kAtomicCmpxchg32, kAtomicCmpxchg64,                       //  u64 repl) -> old
+  kAtomicWait32,  // (Instance*, u64 addr, u32 expected, i64 timeout_ns) -> u32
+  kAtomicWait64,  // (Instance*, u64 addr, u64 expected, i64 timeout_ns) -> u32
+  kAtomicNotify,  // (Instance*, u64 addr, u32 count) -> u32
   kCount,
 };
 

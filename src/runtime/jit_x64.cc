@@ -44,6 +44,7 @@ struct Emitter {
   std::vector<PoolFix> pool_fixes;
   std::vector<TableFix> table_fixes;
   std::vector<TrapSite> trap_sites;
+  std::vector<TrapSite> ua_sites;  // rel32 to this site's unaligned stub
   std::vector<V128> pool;  // f.v128_pool + emitter-generated masks
 
   Emitter(const RFunc& fn, u32 features)
@@ -256,6 +257,18 @@ struct Emitter {
     bounds_check(len);
   }
 
+  /// Natural-alignment check for atomics: jnz to an out-of-line stub when
+  /// the effective address in rax is not a multiple of len. The stub calls
+  /// h_trap_unaligned_atomic(rax, len) for a byte-identical check_atomic
+  /// message.
+  void align_check(u32 len) {
+    if (len == 1) return;
+    bs({0xA8, u8(len - 1)});  // test al, len-1
+    bs({0x0F, 0x85});         // jnz stub
+    ua_sites.push_back({u32(code.size()), len});
+    i32le(0);
+  }
+
   // --- constant pool ---------------------------------------------------------
 
   u32 pool_const(const V128& v) {
@@ -321,6 +334,13 @@ struct Emitter {
       op_rr(0, true, {0x89}, R15, RDX);  // mov rdx, r15 (size)
       call_helper(JitHelperId::kTrapOob);
     }
+    for (const TrapSite& t : ua_sites) {
+      patch32(t.at, u32(code.size()) - (t.at + 4));
+      op_rr(0, true, {0x89}, RAX, RDI);  // mov rdi, rax (address)
+      b1(0xBE);                          // mov esi, len
+      i32le(t.len);
+      call_helper(JitHelperId::kTrapUnalignedAtomic);
+    }
 
     // 16-aligned constant pool.
     while (code.size() & 15) b1(0xCC);
@@ -345,9 +365,11 @@ struct Emitter {
 
   bool emit_instr(const RInstr& in);
   bool emit_simd_or_fused(const RInstr& in);
+  bool emit_atomic(const RInstr& in);
 };
 
 bool Emitter::emit_instr(const RInstr& in) {
+  if (rop_is_atomic(in.op)) return emit_atomic(in);
   const u32 a = in.a, b = in.b, c = in.c;
   const u64 imm = in.imm;
 
@@ -1629,6 +1651,229 @@ bool Emitter::emit_simd_or_fused(const RInstr& in) {
 
     default:
       return false;  // no template (jit_op_covered should have caught this)
+  }
+}
+
+bool Emitter::emit_atomic(const RInstr& in) {
+  const u32 a = in.a, b = in.b, c = in.c, d = in.d;
+  const u64 imm = in.imm;
+
+  // rax = bounds- and alignment-checked effective address.
+  auto aaddr = [&](u32 base_slot, u32 len) {
+    lin_addr(base_slot, imm);
+    bounds_check(len);
+    align_check(len);
+  };
+  // Narrow old values come back in rcx's low bytes; zero-extend in place.
+  auto zext_cl = [&](u32 len) {
+    if (len == 1)
+      bs({0x0F, 0xB6, 0xC9});  // movzx ecx, cl
+    else if (len == 2)
+      bs({0x0F, 0xB7, 0xC9});  // movzx ecx, cx
+  };
+  auto store_rcx = [&](bool w) {
+    if (w)
+      store64(a, RCX);
+    else
+      store32(a, RCX);
+  };
+  auto store_rax = [&](bool w) {
+    if (w)
+      store64(a, RAX);
+    else
+      store32(a, RAX);
+  };
+  // Seq-cst atomic load: on x86 an aligned plain load (narrow: movzx).
+  auto a_load = [&](u32 len, bool w) {
+    aaddr(b, len);
+    if (len == 1)
+      op_mem(0, false, {0x0F, 0xB6}, RCX);
+    else if (len == 2)
+      op_mem(0, false, {0x0F, 0xB7}, RCX);
+    else
+      op_mem(0, len == 8, {0x8B}, RCX);
+    store_rcx(w);
+  };
+  // Seq-cst atomic store: xchg (implicitly locked) supplies the trailing
+  // full barrier a plain mov would lack.
+  auto a_xchg_mem = [&](u32 len) {
+    if (len == 1)
+      op_mem(0, false, {0x86}, RCX);
+    else if (len == 2)
+      op_mem(0x66, false, {0x87}, RCX);
+    else
+      op_mem(0, len == 8, {0x87}, RCX);
+  };
+  auto a_store = [&](u32 len) {
+    aaddr(a, len);
+    if (len == 8)
+      load64(RCX, b);
+    else
+      load32(RCX, b);
+    a_xchg_mem(len);
+  };
+  // rmw add/sub: lock xadd (negate the operand first for sub); the old
+  // value lands in rcx.
+  auto a_xadd = [&](u32 len, bool w, bool negate) {
+    aaddr(b, len);
+    if (len == 8)
+      load64(RCX, c);
+    else
+      load32(RCX, c);
+    if (negate) {
+      rex_if(len == 8, 0, RCX);
+      bs({0xF7, 0xD9});  // neg (r|e)cx
+    }
+    b1(0xF0);  // lock
+    if (len == 1)
+      op_mem(0, false, {0x0F, 0xC0}, RCX);
+    else if (len == 2)
+      op_mem(0x66, false, {0x0F, 0xC1}, RCX);
+    else
+      op_mem(0, len == 8, {0x0F, 0xC1}, RCX);
+    zext_cl(len);
+    store_rcx(w);
+  };
+  auto a_xchg = [&](u32 len, bool w) {
+    aaddr(b, len);
+    if (len == 8)
+      load64(RCX, c);
+    else
+      load32(RCX, c);
+    a_xchg_mem(len);
+    zext_cl(len);
+    store_rcx(w);
+  };
+  // and/or/xor go through pointer helpers: the template proves the access
+  // in-bounds and aligned, then hands the host address to a cmpxchg loop.
+  auto a_helper_rmw = [&](u32 len, bool w, JitHelperId id) {
+    aaddr(b, len);
+    op_mem(0, true, {0x8D}, RDI);  // lea rdi, [r13 + rax]
+    if (len == 8)
+      load64(RSI, c);
+    else
+      load32(RSI, c);
+    call_helper(id);
+    store_rax(w);
+  };
+  auto a_cmpxchg = [&](u32 len, bool w, JitHelperId id) {
+    aaddr(b, len);
+    op_mem(0, true, {0x8D}, RDI);
+    if (len == 8) {
+      load64(RSI, c);
+      load64(RDX, d);
+    } else {
+      load32(RSI, c);
+      load32(RDX, d);
+    }
+    call_helper(id);
+    store_rax(w);
+  };
+
+  switch (in.op) {
+    // wait/notify: the helper re-checks bounds/alignment inside the guarded
+    // region (it must hold the parking lock anyway), so the template only
+    // computes the effective address.
+    case ROp::kAtomicNotify:
+      lin_addr(b, imm);
+      op_rr(0, true, {0x89}, RAX, RSI);  // mov rsi, rax
+      op_rr(0, true, {0x89}, R14, RDI);  // mov rdi, r14
+      load32(RDX, c);
+      call_helper(JitHelperId::kAtomicNotify);
+      store32(a, RAX);
+      return true;
+    case ROp::kAtomicWait32:
+    case ROp::kAtomicWait64:
+      lin_addr(b, imm);
+      op_rr(0, true, {0x89}, RAX, RSI);
+      op_rr(0, true, {0x89}, R14, RDI);
+      if (in.op == ROp::kAtomicWait64)
+        load64(RDX, c);
+      else
+        load32(RDX, c);
+      load64(RCX, d);  // timeout_ns
+      call_helper(in.op == ROp::kAtomicWait64 ? JitHelperId::kAtomicWait64
+                                              : JitHelperId::kAtomicWait32);
+      store32(a, RAX);
+      return true;
+    case ROp::kAtomicFence:
+      bs({0x0F, 0xAE, 0xF0});  // mfence
+      return true;
+
+    case ROp::kI32AtomicLoad: a_load(4, false); return true;
+    case ROp::kI64AtomicLoad: a_load(8, true); return true;
+    case ROp::kI32AtomicLoad8U: a_load(1, false); return true;
+    case ROp::kI32AtomicLoad16U: a_load(2, false); return true;
+    case ROp::kI64AtomicLoad8U: a_load(1, true); return true;
+    case ROp::kI64AtomicLoad16U: a_load(2, true); return true;
+    case ROp::kI64AtomicLoad32U: a_load(4, true); return true;
+
+    case ROp::kI32AtomicStore: a_store(4); return true;
+    case ROp::kI64AtomicStore: a_store(8); return true;
+    case ROp::kI32AtomicStore8: a_store(1); return true;
+    case ROp::kI32AtomicStore16: a_store(2); return true;
+    case ROp::kI64AtomicStore8: a_store(1); return true;
+    case ROp::kI64AtomicStore16: a_store(2); return true;
+    case ROp::kI64AtomicStore32: a_store(4); return true;
+
+    case ROp::kI32AtomicRmwAdd: a_xadd(4, false, false); return true;
+    case ROp::kI64AtomicRmwAdd: a_xadd(8, true, false); return true;
+    case ROp::kI32AtomicRmw8AddU: a_xadd(1, false, false); return true;
+    case ROp::kI32AtomicRmw16AddU: a_xadd(2, false, false); return true;
+    case ROp::kI64AtomicRmw8AddU: a_xadd(1, true, false); return true;
+    case ROp::kI64AtomicRmw16AddU: a_xadd(2, true, false); return true;
+    case ROp::kI64AtomicRmw32AddU: a_xadd(4, true, false); return true;
+
+    case ROp::kI32AtomicRmwSub: a_xadd(4, false, true); return true;
+    case ROp::kI64AtomicRmwSub: a_xadd(8, true, true); return true;
+    case ROp::kI32AtomicRmw8SubU: a_xadd(1, false, true); return true;
+    case ROp::kI32AtomicRmw16SubU: a_xadd(2, false, true); return true;
+    case ROp::kI64AtomicRmw8SubU: a_xadd(1, true, true); return true;
+    case ROp::kI64AtomicRmw16SubU: a_xadd(2, true, true); return true;
+    case ROp::kI64AtomicRmw32SubU: a_xadd(4, true, true); return true;
+
+    case ROp::kI32AtomicRmwAnd: a_helper_rmw(4, false, JitHelperId::kAtomicAnd32); return true;
+    case ROp::kI64AtomicRmwAnd: a_helper_rmw(8, true, JitHelperId::kAtomicAnd64); return true;
+    case ROp::kI32AtomicRmw8AndU: a_helper_rmw(1, false, JitHelperId::kAtomicAnd8); return true;
+    case ROp::kI32AtomicRmw16AndU: a_helper_rmw(2, false, JitHelperId::kAtomicAnd16); return true;
+    case ROp::kI64AtomicRmw8AndU: a_helper_rmw(1, true, JitHelperId::kAtomicAnd8); return true;
+    case ROp::kI64AtomicRmw16AndU: a_helper_rmw(2, true, JitHelperId::kAtomicAnd16); return true;
+    case ROp::kI64AtomicRmw32AndU: a_helper_rmw(4, true, JitHelperId::kAtomicAnd32); return true;
+
+    case ROp::kI32AtomicRmwOr: a_helper_rmw(4, false, JitHelperId::kAtomicOr32); return true;
+    case ROp::kI64AtomicRmwOr: a_helper_rmw(8, true, JitHelperId::kAtomicOr64); return true;
+    case ROp::kI32AtomicRmw8OrU: a_helper_rmw(1, false, JitHelperId::kAtomicOr8); return true;
+    case ROp::kI32AtomicRmw16OrU: a_helper_rmw(2, false, JitHelperId::kAtomicOr16); return true;
+    case ROp::kI64AtomicRmw8OrU: a_helper_rmw(1, true, JitHelperId::kAtomicOr8); return true;
+    case ROp::kI64AtomicRmw16OrU: a_helper_rmw(2, true, JitHelperId::kAtomicOr16); return true;
+    case ROp::kI64AtomicRmw32OrU: a_helper_rmw(4, true, JitHelperId::kAtomicOr32); return true;
+
+    case ROp::kI32AtomicRmwXor: a_helper_rmw(4, false, JitHelperId::kAtomicXor32); return true;
+    case ROp::kI64AtomicRmwXor: a_helper_rmw(8, true, JitHelperId::kAtomicXor64); return true;
+    case ROp::kI32AtomicRmw8XorU: a_helper_rmw(1, false, JitHelperId::kAtomicXor8); return true;
+    case ROp::kI32AtomicRmw16XorU: a_helper_rmw(2, false, JitHelperId::kAtomicXor16); return true;
+    case ROp::kI64AtomicRmw8XorU: a_helper_rmw(1, true, JitHelperId::kAtomicXor8); return true;
+    case ROp::kI64AtomicRmw16XorU: a_helper_rmw(2, true, JitHelperId::kAtomicXor16); return true;
+    case ROp::kI64AtomicRmw32XorU: a_helper_rmw(4, true, JitHelperId::kAtomicXor32); return true;
+
+    case ROp::kI32AtomicRmwXchg: a_xchg(4, false); return true;
+    case ROp::kI64AtomicRmwXchg: a_xchg(8, true); return true;
+    case ROp::kI32AtomicRmw8XchgU: a_xchg(1, false); return true;
+    case ROp::kI32AtomicRmw16XchgU: a_xchg(2, false); return true;
+    case ROp::kI64AtomicRmw8XchgU: a_xchg(1, true); return true;
+    case ROp::kI64AtomicRmw16XchgU: a_xchg(2, true); return true;
+    case ROp::kI64AtomicRmw32XchgU: a_xchg(4, true); return true;
+
+    case ROp::kI32AtomicRmwCmpxchg: a_cmpxchg(4, false, JitHelperId::kAtomicCmpxchg32); return true;
+    case ROp::kI64AtomicRmwCmpxchg: a_cmpxchg(8, true, JitHelperId::kAtomicCmpxchg64); return true;
+    case ROp::kI32AtomicRmw8CmpxchgU: a_cmpxchg(1, false, JitHelperId::kAtomicCmpxchg8); return true;
+    case ROp::kI32AtomicRmw16CmpxchgU: a_cmpxchg(2, false, JitHelperId::kAtomicCmpxchg16); return true;
+    case ROp::kI64AtomicRmw8CmpxchgU: a_cmpxchg(1, true, JitHelperId::kAtomicCmpxchg8); return true;
+    case ROp::kI64AtomicRmw16CmpxchgU: a_cmpxchg(2, true, JitHelperId::kAtomicCmpxchg16); return true;
+    case ROp::kI64AtomicRmw32CmpxchgU: a_cmpxchg(4, true, JitHelperId::kAtomicCmpxchg32); return true;
+
+    default:
+      return false;
   }
 }
 

@@ -236,6 +236,63 @@ ROp replace_lane_rop(Op op) {
   }
 }
 
+/// 0xFE atomic ops with a memarg (loads/stores/rmw/cmpxchg); ROp names
+/// mirror the Wasm names exactly. wait/notify/fence lower separately.
+ROp atomic_rop(Op op) {
+  switch (op) {
+#define ACASE(N) case Op::k##N: return ROp::k##N;
+    ACASE(I32AtomicLoad) ACASE(I64AtomicLoad)
+    ACASE(I32AtomicLoad8U) ACASE(I32AtomicLoad16U)
+    ACASE(I64AtomicLoad8U) ACASE(I64AtomicLoad16U) ACASE(I64AtomicLoad32U)
+    ACASE(I32AtomicStore) ACASE(I64AtomicStore)
+    ACASE(I32AtomicStore8) ACASE(I32AtomicStore16)
+    ACASE(I64AtomicStore8) ACASE(I64AtomicStore16) ACASE(I64AtomicStore32)
+    ACASE(I32AtomicRmwAdd) ACASE(I64AtomicRmwAdd)
+    ACASE(I32AtomicRmw8AddU) ACASE(I32AtomicRmw16AddU)
+    ACASE(I64AtomicRmw8AddU) ACASE(I64AtomicRmw16AddU)
+    ACASE(I64AtomicRmw32AddU)
+    ACASE(I32AtomicRmwSub) ACASE(I64AtomicRmwSub)
+    ACASE(I32AtomicRmw8SubU) ACASE(I32AtomicRmw16SubU)
+    ACASE(I64AtomicRmw8SubU) ACASE(I64AtomicRmw16SubU)
+    ACASE(I64AtomicRmw32SubU)
+    ACASE(I32AtomicRmwAnd) ACASE(I64AtomicRmwAnd)
+    ACASE(I32AtomicRmw8AndU) ACASE(I32AtomicRmw16AndU)
+    ACASE(I64AtomicRmw8AndU) ACASE(I64AtomicRmw16AndU)
+    ACASE(I64AtomicRmw32AndU)
+    ACASE(I32AtomicRmwOr) ACASE(I64AtomicRmwOr)
+    ACASE(I32AtomicRmw8OrU) ACASE(I32AtomicRmw16OrU)
+    ACASE(I64AtomicRmw8OrU) ACASE(I64AtomicRmw16OrU)
+    ACASE(I64AtomicRmw32OrU)
+    ACASE(I32AtomicRmwXor) ACASE(I64AtomicRmwXor)
+    ACASE(I32AtomicRmw8XorU) ACASE(I32AtomicRmw16XorU)
+    ACASE(I64AtomicRmw8XorU) ACASE(I64AtomicRmw16XorU)
+    ACASE(I64AtomicRmw32XorU)
+    ACASE(I32AtomicRmwXchg) ACASE(I64AtomicRmwXchg)
+    ACASE(I32AtomicRmw8XchgU) ACASE(I32AtomicRmw16XchgU)
+    ACASE(I64AtomicRmw8XchgU) ACASE(I64AtomicRmw16XchgU)
+    ACASE(I64AtomicRmw32XchgU)
+    ACASE(I32AtomicRmwCmpxchg) ACASE(I64AtomicRmwCmpxchg)
+    ACASE(I32AtomicRmw8CmpxchgU) ACASE(I32AtomicRmw16CmpxchgU)
+    ACASE(I64AtomicRmw8CmpxchgU) ACASE(I64AtomicRmw16CmpxchgU)
+    ACASE(I64AtomicRmw32CmpxchgU)
+#undef ACASE
+    default: return ROp::kCount;
+  }
+}
+
+bool atomic_is_load(Op op) {
+  return u16(op) >= u16(Op::kI32AtomicLoad) &&
+         u16(op) <= u16(Op::kI64AtomicLoad32U);
+}
+bool atomic_is_store(Op op) {
+  return u16(op) >= u16(Op::kI32AtomicStore) &&
+         u16(op) <= u16(Op::kI64AtomicStore32);
+}
+bool atomic_is_cmpxchg(Op op) {
+  return u16(op) >= u16(Op::kI32AtomicRmwCmpxchg) &&
+         u16(op) <= u16(Op::kI64AtomicRmw32CmpxchgU);
+}
+
 /// Binops the lowerer can fuse with an immediately preceding constant into
 /// an *Imm form at emission time — one instruction instead of two on every
 /// tier, including Baseline (the optimizer would only recover this at the
@@ -637,6 +694,49 @@ void FuncLowering::step(const InstrView& in) {
         u32 mask = top(), v2 = reg(h_ - 2), v1 = reg(h_ - 3);
         pop(2);
         emit(ROp::kV128Bitselect, v1, v2, mask);
+        break;
+      }
+      if (wasm::op_is_atomic(in.op)) {
+        // Atomics reuse the address slot as the destination (a == b for
+        // rmw/cmpxchg/wait/notify); handlers read every input before
+        // writing r[a].
+        if (in.op == Op::kAtomicFence) {
+          emit(ROp::kAtomicFence);
+          break;
+        }
+        if (in.op == Op::kMemoryAtomicNotify) {
+          u32 cnt = top(), addr = reg(h_ - 2);
+          pop();
+          emit(ROp::kAtomicNotify, addr, addr, cnt, in.mem_offset);
+          break;
+        }
+        if (in.op == Op::kMemoryAtomicWait32 ||
+            in.op == Op::kMemoryAtomicWait64) {
+          u32 tmo = top(), expd = reg(h_ - 2), addr = reg(h_ - 3);
+          pop(2);
+          emit(in.op == Op::kMemoryAtomicWait32 ? ROp::kAtomicWait32
+                                                : ROp::kAtomicWait64,
+               addr, addr, expd, in.mem_offset, tmo);
+          break;
+        }
+        ROp r = atomic_rop(in.op);
+        MW_CHECK(r != ROp::kCount, std::string("unlowered atomic: ") +
+                                       wasm::op_name(in.op));
+        if (atomic_is_load(in.op)) {
+          emit(r, top(), top(), 0, in.mem_offset);
+        } else if (atomic_is_store(in.op)) {
+          u32 val = top(), addr = reg(h_ - 2);
+          pop(2);
+          emit(r, addr, val, 0, in.mem_offset);
+        } else if (atomic_is_cmpxchg(in.op)) {
+          u32 repl = top(), expd = reg(h_ - 2), addr = reg(h_ - 3);
+          pop(2);
+          emit(r, addr, addr, expd, in.mem_offset, repl);
+        } else {
+          u32 operand = top(), addr = reg(h_ - 2);
+          pop();
+          emit(r, addr, addr, operand, in.mem_offset);
+        }
         break;
       }
       ROp r = simple_rop(in.op);

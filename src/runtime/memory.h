@@ -9,7 +9,9 @@
 // *logical* size (pages_), so growth semantics are exact.
 #pragma once
 
+#include <atomic>
 #include <cstring>
+#include <memory>
 #include <span>
 #include <string>
 
@@ -20,8 +22,8 @@ namespace mpiwasm::rt {
 
 class LinearMemory {
  public:
-  LinearMemory() = default;
-  LinearMemory(u32 min_pages, u32 max_pages);
+  LinearMemory();
+  LinearMemory(u32 min_pages, u32 max_pages, bool shared = false);
   ~LinearMemory();
   LinearMemory(const LinearMemory&) = delete;
   LinearMemory& operator=(const LinearMemory&) = delete;
@@ -32,11 +34,17 @@ class LinearMemory {
   u8* base() { return base_; }
   const u8* base() const { return base_; }
 
-  u64 byte_size() const { return u64(pages_) * wasm::kPageSize; }
-  u32 pages() const { return pages_; }
+  u64 byte_size() const {
+    return u64(pages_.load(std::memory_order_acquire)) * wasm::kPageSize;
+  }
+  u32 pages() const { return pages_.load(std::memory_order_acquire); }
   u32 max_pages() const { return max_pages_; }
+  /// Threads-proposal shared memory: growable concurrently, never moves.
+  bool is_shared() const { return shared_; }
 
   /// memory.grow semantics: returns previous page count, or -1 on failure.
+  /// Thread-safe: the reservation covers max_pages up front, so growth only
+  /// publishes a larger logical size — the base address never relocates.
   i32 grow(u32 delta_pages);
 
   /// Bounds check used by every guest memory access and by the embedder's
@@ -93,16 +101,100 @@ class LinearMemory {
     std::memcpy(base_ + addr, &v, sizeof(T));
   }
   /// Monotonic counter bumped by every successful memory.grow.
-  u64 generation() const { return generation_; }
+  u64 generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  // --- 0xFE atomics (threads proposal) ------------------------------------
+  // All accesses are seq-cst and trap (kUnalignedAtomic) when the effective
+  // address is not a multiple of the access width. base_ is page-aligned,
+  // so a naturally-aligned guest address is naturally aligned in the host.
+
+  void check_atomic(u64 addr, u64 len) const {
+    check(addr, len);
+    if ((addr & (len - 1)) != 0)
+      throw Trap(TrapKind::kUnalignedAtomic,
+                 "atomic access at " + std::to_string(addr) +
+                     " not aligned to " + std::to_string(len) + " bytes");
+  }
+
+  template <typename T>
+  T atomic_load(u64 addr) const {
+    check_atomic(addr, sizeof(T));
+    return std::atomic_ref<T>(*reinterpret_cast<T*>(base_ + addr))
+        .load(std::memory_order_seq_cst);
+  }
+  template <typename T>
+  void atomic_store(u64 addr, T v) {
+    check_atomic(addr, sizeof(T));
+    std::atomic_ref<T>(*reinterpret_cast<T*>(base_ + addr))
+        .store(v, std::memory_order_seq_cst);
+  }
+  template <typename T>
+  T atomic_rmw_add(u64 addr, T v) {
+    check_atomic(addr, sizeof(T));
+    return std::atomic_ref<T>(*reinterpret_cast<T*>(base_ + addr))
+        .fetch_add(v, std::memory_order_seq_cst);
+  }
+  template <typename T>
+  T atomic_rmw_sub(u64 addr, T v) {
+    check_atomic(addr, sizeof(T));
+    return std::atomic_ref<T>(*reinterpret_cast<T*>(base_ + addr))
+        .fetch_sub(v, std::memory_order_seq_cst);
+  }
+  template <typename T>
+  T atomic_rmw_and(u64 addr, T v) {
+    check_atomic(addr, sizeof(T));
+    return std::atomic_ref<T>(*reinterpret_cast<T*>(base_ + addr))
+        .fetch_and(v, std::memory_order_seq_cst);
+  }
+  template <typename T>
+  T atomic_rmw_or(u64 addr, T v) {
+    check_atomic(addr, sizeof(T));
+    return std::atomic_ref<T>(*reinterpret_cast<T*>(base_ + addr))
+        .fetch_or(v, std::memory_order_seq_cst);
+  }
+  template <typename T>
+  T atomic_rmw_xor(u64 addr, T v) {
+    check_atomic(addr, sizeof(T));
+    return std::atomic_ref<T>(*reinterpret_cast<T*>(base_ + addr))
+        .fetch_xor(v, std::memory_order_seq_cst);
+  }
+  template <typename T>
+  T atomic_rmw_xchg(u64 addr, T v) {
+    check_atomic(addr, sizeof(T));
+    return std::atomic_ref<T>(*reinterpret_cast<T*>(base_ + addr))
+        .exchange(v, std::memory_order_seq_cst);
+  }
+  template <typename T>
+  T atomic_rmw_cmpxchg(u64 addr, T expected, T replacement) {
+    check_atomic(addr, sizeof(T));
+    std::atomic_ref<T>(*reinterpret_cast<T*>(base_ + addr))
+        .compare_exchange_strong(expected, replacement,
+                                 std::memory_order_seq_cst);
+    return expected;  // holds the old value on success and failure alike
+  }
+
+  // Futex-style wait/notify over a per-address parking table. wait returns
+  // 0 (woken by notify), 1 (value != expected), or 2 (timed out);
+  // timeout_ns < 0 waits forever. notify returns the number of waiters
+  // granted a wake token.
+  u32 atomic_notify(u64 addr, u32 count);
+  u32 atomic_wait32(u64 addr, u32 expected, i64 timeout_ns);
+  u32 atomic_wait64(u64 addr, u64 expected, i64 timeout_ns);
 
  private:
+  struct MemSync;  // grow mutex + parking table (memory.cc)
+
   void release();
 
   u8* base_ = nullptr;
   u64 reserved_bytes_ = 0;
-  u32 pages_ = 0;
+  std::atomic<u32> pages_{0};
   u32 max_pages_ = 0;
-  u64 generation_ = 0;
+  bool shared_ = false;
+  std::atomic<u64> generation_{0};
+  std::unique_ptr<MemSync> sync_;
 };
 
 }  // namespace mpiwasm::rt

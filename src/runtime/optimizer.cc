@@ -39,6 +39,33 @@ bool is_fused_select(ROp op) {
 /// Register reads of an instruction (calls handled by callers).
 void collect_reads(const RInstr& in, std::vector<u32>& out) {
   out.clear();
+  // Atomics: loads read the address (b); rmw additionally the operand (c);
+  // cmpxchg and wait also read d; stores read address (a) and value (b).
+  if (rop_is_atomic(in.op)) {
+    switch (in.op) {
+      case ROp::kAtomicFence:
+        break;
+      case ROp::kAtomicNotify:
+        out.push_back(in.b); out.push_back(in.c);
+        break;
+      case ROp::kAtomicWait32: case ROp::kAtomicWait64:
+        out.push_back(in.b); out.push_back(in.c); out.push_back(in.d);
+        break;
+      default:
+        if (in.op >= ROp::kI32AtomicLoad && in.op <= ROp::kI64AtomicLoad32U) {
+          out.push_back(in.b);
+        } else if (in.op >= ROp::kI32AtomicStore &&
+                   in.op <= ROp::kI64AtomicStore32) {
+          out.push_back(in.a); out.push_back(in.b);
+        } else if (in.op >= ROp::kI32AtomicRmwCmpxchg) {
+          out.push_back(in.b); out.push_back(in.c); out.push_back(in.d);
+        } else {
+          out.push_back(in.b); out.push_back(in.c);  // rmw
+        }
+        break;
+    }
+    return;
+  }
   // Fused selects read the destination (the "true" value), the "false"
   // value, and both compare operands.
   if (is_fused_select(in.op)) {
@@ -139,6 +166,12 @@ void collect_reads(const RInstr& in, std::vector<u32>& out) {
 }
 
 bool writes_dest(const RInstr& in) {
+  // Atomic stores and the fence produce no register result; every other
+  // atomic (loads, rmw, cmpxchg, wait, notify) writes the old/outcome
+  // value to a.
+  if (in.op == ROp::kAtomicFence ||
+      (in.op >= ROp::kI32AtomicStore && in.op <= ROp::kI64AtomicStore32))
+    return false;
   switch (in.op) {
     case ROp::kNop: case ROp::kGlobalSet: case ROp::kBr: case ROp::kBrIf:
     case ROp::kBrIfNot: case ROp::kBrTable: case ROp::kReturn:
@@ -171,7 +204,10 @@ bool writes_dest(const RInstr& in) {
 /// Ops whose d field names a register (not a shift amount / flag word).
 bool reads_d_reg(ROp op) {
   return op == ROp::kF64MulAdd || op == ROp::kF32MulAdd ||
-         is_fused_select(op);
+         is_fused_select(op) ||
+         op == ROp::kAtomicWait32 || op == ROp::kAtomicWait64 ||
+         (op >= ROp::kI32AtomicRmwCmpxchg &&
+          op <= ROp::kI64AtomicRmw32CmpxchgU);
 }
 
 /// Instructions that may be removed when their destination is dead: no
@@ -691,6 +727,9 @@ Liveness compute_liveness(const RFunc& f, const Cfg& cfg) {
 /// ops that read r[a] (select family, memory.grow) and the calls, whose a
 /// anchors the contiguous argument window.
 bool dest_retargetable(ROp op) {
+  // Atomics are optimization barriers: leave them untouched by every
+  // rewrite, including destination renaming.
+  if (rop_is_atomic(op)) return false;
   if (!writes_dest(RInstr{op}) || is_fused_select(op)) return false;
   switch (op) {
     case ROp::kSelect: case ROp::kV128Bitselect: case ROp::kMemoryGrow:
@@ -1129,6 +1168,9 @@ bool analyze_loop_body(const RFunc& f, HoistLoop& loop) {
 
   for (size_t k = loop.head + 1; k < loop.backedge; ++k) {
     const RInstr& in = f.code[k];
+    // Loops containing atomics are never versioned: the guarded fast copy
+    // must not change how concurrent accesses interleave with checks.
+    if (rop_is_atomic(in.op)) return false;
     // The induction increment: i += positive constant.
     if (in.op == ROp::kI32AddImm && in.a == i_reg) {
       if (in.b != i_reg) return false;  // i redefined from something else

@@ -169,9 +169,56 @@ enum class ROp : u16 {
   kI32LoadIxRaw, kI64LoadIxRaw, kF32LoadIxRaw, kF64LoadIxRaw, kV128LoadIxRaw,
   kI32StoreIxRaw, kI64StoreIxRaw, kF32StoreIxRaw, kF64StoreIxRaw,
   kV128StoreIxRaw,
+  // ---- 0xFE atomics (threads proposal; cache v7) ----
+  // All atomic accesses are seq-cst, bounds-checked, and trap on effective
+  // addresses that are not naturally aligned. Optimizer passes must treat
+  // every atomic op as a full optimization barrier: no fusion, hoisting, or
+  // superinstruction formation across or into them.
+  // Wait/notify: r[a] = result. notify: addr r[b], count r[c].
+  // wait32/wait64: addr r[b], expected r[c], timeout_ns (i64) r[d].
+  kAtomicNotify, kAtomicWait32, kAtomicWait64,
+  kAtomicFence,
+  // Atomic loads: r[a] = atomic mem[r[b].u32 + imm] (narrow: zero-extend).
+  kI32AtomicLoad, kI64AtomicLoad,
+  kI32AtomicLoad8U, kI32AtomicLoad16U,
+  kI64AtomicLoad8U, kI64AtomicLoad16U, kI64AtomicLoad32U,
+  // Atomic stores: atomic mem[r[a].u32 + imm] = r[b].
+  kI32AtomicStore, kI64AtomicStore,
+  kI32AtomicStore8, kI32AtomicStore16,
+  kI64AtomicStore8, kI64AtomicStore16, kI64AtomicStore32,
+  // Atomic RMW: r[a] = old value at mem[r[b].u32 + imm]; operand r[c].
+  // NOTE: the lowering reuses the address slot as the destination (a == b),
+  // so handlers must read every input before writing r[a].
+  kI32AtomicRmwAdd, kI64AtomicRmwAdd,
+  kI32AtomicRmw8AddU, kI32AtomicRmw16AddU,
+  kI64AtomicRmw8AddU, kI64AtomicRmw16AddU, kI64AtomicRmw32AddU,
+  kI32AtomicRmwSub, kI64AtomicRmwSub,
+  kI32AtomicRmw8SubU, kI32AtomicRmw16SubU,
+  kI64AtomicRmw8SubU, kI64AtomicRmw16SubU, kI64AtomicRmw32SubU,
+  kI32AtomicRmwAnd, kI64AtomicRmwAnd,
+  kI32AtomicRmw8AndU, kI32AtomicRmw16AndU,
+  kI64AtomicRmw8AndU, kI64AtomicRmw16AndU, kI64AtomicRmw32AndU,
+  kI32AtomicRmwOr, kI64AtomicRmwOr,
+  kI32AtomicRmw8OrU, kI32AtomicRmw16OrU,
+  kI64AtomicRmw8OrU, kI64AtomicRmw16OrU, kI64AtomicRmw32OrU,
+  kI32AtomicRmwXor, kI64AtomicRmwXor,
+  kI32AtomicRmw8XorU, kI32AtomicRmw16XorU,
+  kI64AtomicRmw8XorU, kI64AtomicRmw16XorU, kI64AtomicRmw32XorU,
+  kI32AtomicRmwXchg, kI64AtomicRmwXchg,
+  kI32AtomicRmw8XchgU, kI32AtomicRmw16XchgU,
+  kI64AtomicRmw8XchgU, kI64AtomicRmw16XchgU, kI64AtomicRmw32XchgU,
+  // Cmpxchg: r[a] = old; addr r[b], expected r[c], replacement r[d].
+  kI32AtomicRmwCmpxchg, kI64AtomicRmwCmpxchg,
+  kI32AtomicRmw8CmpxchgU, kI32AtomicRmw16CmpxchgU,
+  kI64AtomicRmw8CmpxchgU, kI64AtomicRmw16CmpxchgU, kI64AtomicRmw32CmpxchgU,
 
   kCount,
 };
+
+/// Whether `op` is one of the atomic RegCode ops (contiguous range).
+inline bool rop_is_atomic(ROp op) {
+  return op >= ROp::kAtomicNotify && op < ROp::kCount;
+}
 
 const char* rop_name(ROp op);
 

@@ -59,6 +59,7 @@ enum class TrapKind : u8 {
   kUndefinedTableElement,
   kCallStackExhausted,
   kHostError,           // raised by host functions (WASI / MPI layer)
+  kUnalignedAtomic,     // atomic access at a non-naturally-aligned address
 };
 
 const char* trap_kind_name(TrapKind k);

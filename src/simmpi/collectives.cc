@@ -720,7 +720,10 @@ Comm Rank::comm_dup(Comm comm) {
   detail::CommData dup = parent;
   dup.id = new_id;
   dup.coll = world_->attach_coll(new_id, int(dup.world_ranks.size()));
-  comms_[new_id] = std::move(dup);
+  {
+    std::unique_lock<std::shared_mutex> lock(comms_mu_);
+    comms_[new_id] = std::move(dup);
+  }
   return new_id;
 }
 
@@ -771,25 +774,31 @@ Comm Rank::comm_split(Comm comm, int color, int key) {
   }
   nc.coll = world_->attach_coll(nc.id, int(members.size()));
   Comm id = nc.id;
-  comms_[id] = std::move(nc);
+  {
+    std::unique_lock<std::shared_mutex> lock(comms_mu_);
+    comms_[id] = std::move(nc);
+  }
   return id;
 }
 
 void Rank::comm_free(Comm comm) {
   if (comm == kCommWorld) throw MpiError("cannot free MPI_COMM_WORLD");
-  auto it = comms_.find(comm);
-  if (it == comms_.end()) throw MpiError("comm_free: invalid communicator");
+  comm_data(comm);  // validates the handle (throws on an unknown id)
   // MPI_Comm_free must let pending operations complete: outstanding
   // nonblocking-collective schedules hold a pointer into this CommData, so
   // drain them before it is destroyed. Every member rank frees the
   // communicator, so the collective can always run to completion here.
   auto drained = [&] {
+    std::lock_guard<std::recursive_mutex> guard(icoll_mu_);
     for (const auto& s : icoll_active_)
       if (s->comm_id() == comm) return false;
     return true;
   };
   if (!drained())
     poll_with_progress(drained, "comm_free: outstanding nonblocking collective");
+  std::unique_lock<std::shared_mutex> lock(comms_mu_);
+  auto it = comms_.find(comm);
+  if (it == comms_.end()) throw MpiError("comm_free: invalid communicator");
   if (it->second.coll != nullptr) world_->release_coll(comm);
   comms_.erase(it);
 }

@@ -207,6 +207,8 @@ void World::request_abort(int code) {
 
 Rank* World::current() { return tl_current_rank; }
 
+void World::bind_current(Rank* rank) { tl_current_rank = rank; }
+
 void World::run(const std::function<void(Rank&)>& fn) {
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(size_);
@@ -262,6 +264,9 @@ Rank::~Rank() {
 }
 
 const detail::CommData& Rank::comm_data(Comm comm) const {
+  // Shared lock protects the map structure only; node stability keeps the
+  // returned reference valid while other guest threads dup/split.
+  std::shared_lock<std::shared_mutex> lock(comms_mu_);
   auto it = comms_.find(comm);
   if (it == comms_.end() || it->second.my_comm_rank < 0)
     throw MpiError("invalid communicator handle " + std::to_string(comm));
@@ -296,8 +301,15 @@ void Rank::check_user_tag(int tag) const {
 // ---------------------------------------------------------------------------
 
 bool Rank::icoll_progress() {
-  // Guarded: schedule steps poll p2p requests through test(), which itself
-  // hooks progress — without the flag that would recurse.
+  if (icoll_count_.load(std::memory_order_relaxed) == 0) return false;
+  // A sibling guest thread already progressing on this rank's behalf makes
+  // a second concurrent pass pure contention: skip instead of blocking.
+  // (Recursive mutex: the same thread re-acquires during its own pass.)
+  std::unique_lock<std::recursive_mutex> guard(icoll_mu_, std::try_to_lock);
+  if (!guard.owns_lock()) return false;
+  // Same-thread reentrancy: schedule steps poll p2p requests through
+  // test(), which itself hooks progress — without the flag that would
+  // recurse.
   if (icoll_in_progress_ || icoll_active_.empty()) return false;
   icoll_in_progress_ = true;
   bool advanced = false;
@@ -306,6 +318,7 @@ bool Rank::icoll_progress() {
       const int before = (*it)->remaining();
       if ((*it)->progress(*this)) {
         it = icoll_active_.erase(it);
+        icoll_count_.fetch_sub(1, std::memory_order_relaxed);
         advanced = true;
       } else {
         advanced = advanced || (*it)->remaining() != before;
@@ -354,7 +367,11 @@ Request Rank::start_icoll(std::shared_ptr<coll::Schedule> sched) {
   Request req;
   req.kind_ = Request::Kind::kColl;
   req.coll = sched;
-  icoll_active_.push_back(std::move(sched));
+  {
+    std::lock_guard<std::recursive_mutex> guard(icoll_mu_);
+    icoll_active_.push_back(std::move(sched));
+    icoll_count_.fetch_add(1, std::memory_order_relaxed);
+  }
   // Kick the first wave (post initial sends/receives) so peers can match
   // and the wire-time deadlines start running before the caller computes.
   icoll_progress();
@@ -368,11 +385,18 @@ bool Rank::wait_with_progress(detail::Mailbox& box,
       now_ns() + u64(std::chrono::nanoseconds(kBlockTimeout).count());
   while (!pred()) {
     if (now_ns() > deadline) return false;
-    if (icoll_active_.empty() && box.draining.empty()) {
+    if (icoll_count_.load(std::memory_order_relaxed) == 0 &&
+        box.draining.empty()) {
       // Nothing to poll: a peer's notify is the only wake source. Pipelined
       // sends matched while we sleep wake us via the draining clause so we
-      // fall through into the polling branch below.
-      box.cv.wait_for(lock, kBlockTimeout,
+      // fall through into the polling branch below. With multiple guest
+      // threads per rank a sibling may initiate a nonblocking collective
+      // while we sleep (its start does not notify our mailbox cv), so the
+      // wait is bounded to a ~1ms quantum to re-check icoll_count_.
+      box.cv.wait_for(lock,
+                      world_->threaded()
+                          ? std::chrono::nanoseconds(std::chrono::milliseconds(1))
+                          : std::chrono::nanoseconds(kBlockTimeout),
                       [&] { return pred() || !box.draining.empty(); });
       continue;
     }

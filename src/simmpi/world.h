@@ -10,6 +10,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <thread>
 #include <vector>
@@ -189,9 +190,14 @@ class Request {
   detail::Mailbox* box = nullptr;  // box whose cv signals completion
 };
 
-/// Per-thread MPI context; the API mirrors the MPI-2.2 subset MPIWasm
-/// implements (paper §3.1). Rank methods are called only from the owning
-/// rank thread.
+/// Per-rank MPI context; the API mirrors the MPI-2.2 subset MPIWasm
+/// implements (paper §3.1). Historically one thread per rank; with the
+/// threads proposal a rank's guest threads all funnel into the same Rank
+/// (MPI_THREAD_MULTIPLE), so the p2p/collective entry points are safe for
+/// concurrent same-rank callers: mailbox state is guarded by Mailbox::mu,
+/// the nonblocking-collective schedule list by icoll_mu_, and the
+/// communicator table by comms_mu_. Spawned guest threads must call
+/// World::bind_current before their first MPI call.
 class Rank {
  public:
   ~Rank();
@@ -342,11 +348,14 @@ class Rank {
   /// The shared body of every schedule-aware blocking wait (wait on a
   /// collective request, waitany, the comm_free drain).
   void poll_with_progress(const std::function<bool()>& pred, const char* what);
-  /// Advances every outstanding schedule once (reentrancy-guarded).
+  /// Advances every outstanding schedule once. Reentrancy-guarded (schedule
+  /// steps call test() which hooks progress) and cross-thread safe: a second
+  /// guest thread finding icoll_mu_ held skips the pass — the holder is
+  /// already progressing on this rank's behalf.
   bool icoll_progress();  // true when any schedule step completed
   /// Cheap entry-point hook: progress only when something is outstanding.
   void maybe_icoll_progress() {
-    if (!icoll_active_.empty()) icoll_progress();
+    if (icoll_count_.load(std::memory_order_relaxed) != 0) icoll_progress();
   }
   /// cv wait that keeps outstanding schedules progressing while blocked —
   /// without this, a rank stuck in a blocking call could starve a peer
@@ -357,11 +366,22 @@ class Rank {
 
   World* world_ = nullptr;
   int world_rank_ = 0;
+  /// Guards the communicator table's *structure* (MPI_THREAD_MULTIPLE:
+  /// another guest thread of this rank may dup/split/free concurrently).
+  /// std::map node stability keeps returned CommData references valid
+  /// across unrelated insertions; MPI forbids using a comm concurrently
+  /// with freeing it.
+  mutable std::shared_mutex comms_mu_;
   std::map<Comm, detail::CommData> comms_;
-  i32 next_local_comm_slot_ = 1;
+  i32 next_local_comm_slot_ = 1;  // guarded by comms_mu_
   /// Outstanding nonblocking-collective schedules, in initiation order.
+  /// Guarded by icoll_mu_ (recursive: progress passes re-enter through
+  /// test()); icoll_count_ mirrors the size so hot entry points can skip
+  /// the lock when nothing is outstanding.
+  std::recursive_mutex icoll_mu_;
   std::vector<std::shared_ptr<coll::Schedule>> icoll_active_;
-  bool icoll_in_progress_ = false;
+  std::atomic<size_t> icoll_count_{0};
+  bool icoll_in_progress_ = false;  // same-thread reentrancy guard
 };
 
 /// A simulated MPI job: N rank threads over an interconnect profile.
@@ -387,6 +407,17 @@ class World {
 
   /// Current thread's Rank context (valid only inside run()).
   static Rank* current();
+  /// Binds the calling thread to `rank`'s context. Guest threads spawned by
+  /// the embedder (wasi thread-spawn) inherit their parent rank with this
+  /// before their first MPI call; pass null on thread exit.
+  static void bind_current(Rank* rank);
+
+  /// Marks the world as having multiple guest threads per rank
+  /// (MPI_THREAD_MULTIPLE). Blocking waits then use bounded cv quanta so a
+  /// sibling thread's newly initiated work is picked up promptly instead of
+  /// sleeping until a mailbox notify. Sticky for the world's lifetime.
+  void set_threaded() { threaded_.store(true, std::memory_order_relaxed); }
+  bool threaded() const { return threaded_.load(std::memory_order_relaxed); }
 
   // --- internals used by Rank ---------------------------------------------
   detail::Mailbox& box(int world_rank) { return *boxes_[world_rank]; }
@@ -422,6 +453,7 @@ class World {
   std::atomic<i32> next_comm_id_{1};
   std::atomic<bool> abort_flag_{false};
   std::atomic<int> abort_code_{0};
+  std::atomic<bool> threaded_{false};
 
   struct CollEntry {
     std::shared_ptr<CollectiveContext> ctx;

@@ -195,6 +195,62 @@ std::vector<u8> build_micro_kernel_module(const MicroKernelParams& p);
 f64 micro_kernel_reference(const MicroKernelParams& p, u32 reps);
 
 // ---------------------------------------------------------------------------
+// Threaded kernels — wasi-threads + 0xFE atomics (bench_threads).
+// ---------------------------------------------------------------------------
+
+struct ThreadedKernelParams {
+  /// Only the element-wise f64 kernels (kDaxpy, kStencil3) have threaded
+  /// twins: their results are bit-exact for any partition of the index
+  /// space, so the threaded build's checksum equals micro_kernel_reference.
+  MicroKernel kernel = MicroKernel::kDaxpy;
+  u32 n = 1 << 14;   // elements; multiple of 16 and >= 64
+  u32 nthreads = 4;  // worker threads spawned by init(); 1..64
+};
+
+/// Shared-memory module (threads proposal) exporting
+///   init() -> i32     — fills inputs and spawns `nthreads` workers via the
+///                       "wasi" "thread-spawn" import; 0 on success
+///   run(reps) -> f64  — per rep, drives the worker pool through one epoch
+///                       barrier over the element-wise kernel; returns the
+///                       same sequential scalar checksum as the
+///                       single-threaded build (bit-exact)
+///   shutdown()        — raises the stop flag and wakes the workers so the
+///                       host's join completes
+/// All coordination is 0xFE atomics: seq-cst RMWs on the epoch/done words
+/// plus memory.atomic.wait32 / notify instead of host-visible locks.
+std::vector<u8> build_threaded_micro_kernel_module(
+    const ThreadedKernelParams& p);
+
+/// Dot products in the threaded CG reduce into this many fixed partial
+/// blocks, combined sequentially by the main thread — so the residual is
+/// bit-identical for every nthreads in 1..kCgDotBlocks.
+constexpr u32 kCgDotBlocks = 16;
+
+struct ThreadedCgParams {
+  u32 n = 1 << 12;   // elements; multiple of kCgDotBlocks
+  u32 nthreads = 4;  // 1..kCgDotBlocks
+};
+
+/// Threaded conjugate gradient on the 1-D Laplacian [-1, 2, -1]: the
+/// shared-memory analogue of build_hpcg_module's per-rank solve (pure
+/// engine, no MPI). Exports init() -> i32, run(iters) -> f64 (the final
+/// residual), and shutdown(). Worker threads own fixed element blocks;
+/// scalars (alpha/beta) are computed and broadcast by the main thread.
+std::vector<u8> build_threaded_cg_module(const ThreadedCgParams& p);
+
+/// Host-side twin of the threaded CG with the identical operation order
+/// (block-partial dots combined sequentially): residuals match bit-exactly
+/// for every thread count.
+f64 threaded_cg_reference(const ThreadedCgParams& p, u32 iterations);
+
+/// Guest-concurrency probe for the engine differential suite: calls
+/// MPI_Init_thread (expects MPI_THREAD_MULTIPLE), spawns two guest threads
+/// that hammer a shared counter with atomic RMWs and park/wake through
+/// wait32/notify, checks wait return codes (ok / not-equal / timed-out) and
+/// a cmpxchg round-trip, then exits 0 iff every check passed.
+std::vector<u8> build_threads_check_module();
+
+// ---------------------------------------------------------------------------
 // Micro kernels (tests, quickstart, Table 1 single-core runs).
 // ---------------------------------------------------------------------------
 

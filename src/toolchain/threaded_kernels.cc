@@ -1,0 +1,983 @@
+// Threaded kernels (wasi-threads + 0xFE atomics): the shared-memory twins
+// of the element-wise micro kernels, a worker-pool CG solve, and the
+// guest-concurrency probe for the differential suite.
+//
+// All three modules share one coordination scheme — a worker-pool epoch
+// barrier built purely from guest atomics:
+//   epoch  (i32)  main bumps it once per parallel phase and notifies
+//   done   (i32)  workers increment it when their chunk is finished; the
+//                 last one notifies the main thread parked on it
+//   stop   (i32)  raised by shutdown() so workers return from
+//                 wasi_thread_start and the host's join completes
+// Workers initialize their local epoch cursor to 0 as a *literal*, not an
+// initial atomic load: a load could observe an already-bumped epoch and
+// silently skip the first phase, deadlocking the main thread's done-count
+// wait. Phases are handed out faster than workers can possibly skip ahead
+// because main waits for done == nthreads before every bump.
+#include "toolchain/kernels.h"
+
+#include <cmath>
+#include <vector>
+
+#include "embedder/abi.h"
+#include "toolchain/mpi_imports.h"
+#include "wasm/decoder.h"
+#include "wasm/validator.h"
+
+namespace mpiwasm::toolchain {
+
+using wasm::FuncType;
+using wasm::FunctionBuilder;
+using wasm::ModuleBuilder;
+using wasm::Op;
+using wasm::ValType;
+namespace abi = embed::abi;
+
+namespace {
+
+constexpr ValType I32 = ValType::kI32;
+constexpr ValType I64 = ValType::kI64;
+constexpr ValType F64 = ValType::kF64;
+
+// Control block (all naturally aligned; page 0 is guest scratch space).
+constexpr u32 kEpoch = 2048;
+constexpr u32 kDone = 2052;
+constexpr u32 kStop = 2056;
+constexpr u32 kNThreads = 2060;
+constexpr u32 kOpWord = 2064;     // CG phase selector
+constexpr u32 kAlpha = 2072;      // f64 scalars broadcast by main
+constexpr u32 kBeta = 2080;
+constexpr u32 kPartials = 2176;   // kCgDotBlocks f64 dot partials
+
+constexpr i32 kNotifyAll = 0x7FFFFFFF;
+
+constexpr u32 kArrayBase = 1 << 16;
+
+u32 align16(u32 v) { return (v + 15) & ~15u; }
+
+std::vector<u8> finish(ModuleBuilder& b, const char* what) {
+  std::vector<u8> bytes = b.build();
+  auto decoded = wasm::decode_module({bytes.data(), bytes.size()});
+  MW_CHECK(decoded.ok(),
+           std::string(what) + " failed to decode: " + decoded.error);
+  auto vr = wasm::validate_module(*decoded.module);
+  MW_CHECK(vr.ok, std::string(what) + " failed to validate: " + vr.error);
+  return bytes;
+}
+
+/// addr = base + i  (i is a byte-offset local).
+void tk_addr(FunctionBuilder& f, u32 base, u32 i_local) {
+  f.i32_const(i32(base));
+  f.local_get(i_local);
+  f.op(Op::kI32Add);
+}
+
+/// Main-thread side of one parallel phase: reset done, bump epoch, wake
+/// the pool. The done reset is sequenced before the bump, so a worker that
+/// observes the new epoch (acquire via the seq-cst load in its spin loop)
+/// also observes done == 0.
+void emit_phase_release(FunctionBuilder& f) {
+  f.i32_const(i32(kDone));
+  f.i32_const(0);
+  f.mem_op(Op::kI32AtomicStore);
+  f.i32_const(i32(kEpoch));
+  f.i32_const(1);
+  f.mem_op(Op::kI32AtomicRmwAdd);
+  f.op(Op::kDrop);
+  f.i32_const(i32(kEpoch));
+  f.i32_const(kNotifyAll);
+  f.mem_op(Op::kMemoryAtomicNotify);
+  f.op(Op::kDrop);
+}
+
+/// Main-thread park until done == nthreads. Reading the final increment
+/// synchronizes with the whole RMW release sequence, so every worker's
+/// writes from this phase are visible afterwards.
+void emit_phase_wait(FunctionBuilder& f, u32 nt_local, u32 scratch_i32) {
+  f.block();
+  f.loop();
+  f.i32_const(i32(kDone));
+  f.mem_op(Op::kI32AtomicLoad);
+  f.local_tee(scratch_i32);
+  f.local_get(nt_local);
+  f.op(Op::kI32Eq);
+  f.br_if(1);
+  f.i32_const(i32(kDone));
+  f.local_get(scratch_i32);
+  f.i64_const(-1);
+  f.mem_op(Op::kMemoryAtomicWait32);
+  f.op(Op::kDrop);
+  f.br(0);
+  f.end();
+  f.end();
+}
+
+/// Worker main loop around `body` (one invocation per epoch). `cur` must
+/// be a zero-initialized i32 local; `e`/`nt` are i32 scratch locals.
+/// The worker parks on the epoch word, runs `body` once per bump, then
+/// joins the done count (the last arrival wakes the main thread). A raised
+/// stop flag makes it return from wasi_thread_start instead.
+void emit_worker_loop(FunctionBuilder& f, u32 cur, u32 e, u32 nt_local,
+                      const std::function<void()>& body) {
+  f.block();  // $exit
+  f.loop();   // $phases
+  // Park until epoch != cur.
+  f.block();  // $changed
+  f.loop();   // $spin
+  f.i32_const(i32(kEpoch));
+  f.mem_op(Op::kI32AtomicLoad);
+  f.local_tee(e);
+  f.local_get(cur);
+  f.op(Op::kI32Ne);
+  f.br_if(1);
+  f.i32_const(i32(kEpoch));
+  f.local_get(cur);
+  f.i64_const(-1);
+  f.mem_op(Op::kMemoryAtomicWait32);
+  f.op(Op::kDrop);
+  f.br(0);
+  f.end();  // $spin
+  f.end();  // $changed
+  f.local_get(e);
+  f.local_set(cur);
+  // shutdown() raises stop before bumping the epoch, so this load is
+  // ordered after the worker's acquiring epoch read.
+  f.i32_const(i32(kStop));
+  f.mem_op(Op::kI32AtomicLoad);
+  f.br_if(1);  // -> $exit
+  body();
+  // done++ — the last arrival wakes main.
+  f.i32_const(i32(kDone));
+  f.i32_const(1);
+  f.mem_op(Op::kI32AtomicRmwAdd);
+  f.i32_const(1);
+  f.op(Op::kI32Add);
+  f.local_get(nt_local);
+  f.op(Op::kI32Eq);
+  f.if_();
+  f.i32_const(i32(kDone));
+  f.i32_const(kNotifyAll);
+  f.mem_op(Op::kMemoryAtomicNotify);
+  f.op(Op::kDrop);
+  f.end();
+  f.br(0);  // $phases
+  f.end();  // $phases loop
+  f.end();  // $exit
+}
+
+/// `for (i = start_b; i < end_b; i += step)` with *local* bounds (the
+/// builder's for_loop_i32 sugar only takes a constant start).
+void emit_range_loop(FunctionBuilder& f, u32 i, u32 start_b, u32 end_b,
+                     i32 step, const std::function<void()>& body) {
+  f.local_get(start_b);
+  f.local_set(i);
+  f.block();
+  f.loop();
+  f.local_get(i);
+  f.local_get(end_b);
+  f.op(Op::kI32GeU);
+  f.br_if(1);
+  body();
+  f.local_get(i);
+  f.i32_const(step);
+  f.op(Op::kI32Add);
+  f.local_set(i);
+  f.br(0);
+  f.end();
+  f.end();
+}
+
+/// Publishes the thread count and spawns `nthreads` workers (arg = worker
+/// index); leaves the init() result (0 ok / 1 spawn failure) on the stack.
+void emit_spawn_workers(FunctionBuilder& f, u32 spawn_import, u32 nthreads,
+                        u32 w, u32 lim, u32 fail) {
+  f.i32_const(i32(kNThreads));
+  f.i32_const(i32(nthreads));
+  f.mem_op(Op::kI32AtomicStore);
+  f.i32_const(i32(nthreads));
+  f.local_set(lim);
+  f.for_loop_i32(w, 0, lim, 1, [&] {
+    f.local_get(w);
+    f.call(spawn_import);
+    f.i32_const(0);
+    f.op(Op::kI32LtS);
+    f.if_();
+    f.i32_const(1);
+    f.local_set(fail);
+    f.end();
+  });
+  f.local_get(fail);
+}
+
+/// shutdown(): raise stop, then bump + notify the epoch so parked workers
+/// wake, observe the flag, and return from wasi_thread_start.
+void emit_shutdown_func(ModuleBuilder& b) {
+  auto& f = b.begin_func({{}, {}}, "shutdown");
+  f.i32_const(i32(kStop));
+  f.i32_const(1);
+  f.mem_op(Op::kI32AtomicStore);
+  f.i32_const(i32(kEpoch));
+  f.i32_const(1);
+  f.mem_op(Op::kI32AtomicRmwAdd);
+  f.op(Op::kDrop);
+  f.i32_const(i32(kEpoch));
+  f.i32_const(kNotifyAll);
+  f.mem_op(Op::kMemoryAtomicNotify);
+  f.op(Op::kDrop);
+  f.end();
+}
+
+}  // namespace
+
+std::vector<u8> build_threaded_micro_kernel_module(
+    const ThreadedKernelParams& p) {
+  MW_CHECK(p.kernel == MicroKernel::kDaxpy ||
+               p.kernel == MicroKernel::kStencil3,
+           "threaded micro kernels cover the element-wise f64 kernels only");
+  MW_CHECK(p.n >= 64 && p.n % 16 == 0,
+           "threaded kernel size must be a multiple of 16 and >= 64");
+  MW_CHECK(p.nthreads >= 1 && p.nthreads <= 64,
+           "threaded kernel nthreads must be in 1..64");
+  const u32 n = p.n;
+  const bool stencil = p.kernel == MicroKernel::kStencil3;
+  // Same layout as the single-threaded build (mk_layout, elem = 8).
+  const u32 x0 = kArrayBase;
+  const u32 y0 = x0 + align16(n * 8);
+  const u32 out0 = y0 + align16(n * 8);
+  const u32 pages = (out0 + n * 8) / wasm::kPageSize + 2;
+
+  ModuleBuilder b;
+  u32 spawn = b.import_func("wasi", "thread-spawn", FuncType{{I32}, {I32}});
+  b.add_memory(pages, pages, /*has_max=*/true, /*shared=*/true);
+  b.export_memory();
+
+  // --- init() -> i32: inputs (identical to the single-threaded build's
+  // f64 pattern), thread-count word, worker spawns ------------------------
+  {
+    auto& f = b.begin_func({{}, {I32}}, "init");
+    u32 i = f.add_local(I32);
+    u32 lim = f.add_local(I32);
+    u32 fail = f.add_local(I32);
+    f.i32_const(i32(n));
+    f.local_set(lim);
+    f.for_loop_i32(i, 0, lim, 1, [&] {
+      // x[i] = f64(i % 97)*0.5 + 1 ; y[i] = f64(i % 89)*0.25 + 2
+      for (int arr = 0; arr < 2; ++arr) {
+        f.local_get(i);
+        f.i32_const(3);
+        f.op(Op::kI32Shl);
+        f.i32_const(i32(arr == 0 ? x0 : y0));
+        f.op(Op::kI32Add);
+        f.local_get(i);
+        f.i32_const(arr == 0 ? 97 : 89);
+        f.op(Op::kI32RemS);
+        f.op(Op::kF64ConvertI32S);
+        f.f64_const(arr == 0 ? 0.5 : 0.25);
+        f.op(Op::kF64Mul);
+        f.f64_const(arr == 0 ? 1.0 : 2.0);
+        f.op(Op::kF64Add);
+        f.mem_op(Op::kF64Store);
+      }
+    });
+    emit_spawn_workers(f, spawn, p.nthreads, i, lim, fail);
+    f.end();
+  }
+
+  // --- wasi_thread_start(tid, arg): worker over a fixed element chunk ----
+  {
+    auto& f = b.begin_func({{I32, I32}, {}}, "wasi_thread_start");
+    const u32 w = 1;  // arg = worker index
+    u32 cur = f.add_local(I32);
+    u32 e = f.add_local(I32);
+    u32 nt = f.add_local(I32);
+    u32 start_b = f.add_local(I32);
+    u32 end_b = f.add_local(I32);
+    u32 i = f.add_local(I32);
+    u32 t = f.add_local(I32);
+
+    f.i32_const(i32(kNThreads));
+    f.mem_op(Op::kI32AtomicLoad);
+    f.local_set(nt);
+    // chunk = ceil(n / nt); my elements = [w*chunk, min((w+1)*chunk, n)).
+    f.i32_const(i32(n));
+    f.local_get(nt);
+    f.op(Op::kI32Add);
+    f.i32_const(1);
+    f.op(Op::kI32Sub);
+    f.local_get(nt);
+    f.op(Op::kI32DivU);
+    f.local_set(t);  // chunk
+    f.local_get(w);
+    f.local_get(t);
+    f.op(Op::kI32Mul);
+    f.local_set(start_b);  // start element for now
+    f.local_get(start_b);
+    f.local_get(t);
+    f.op(Op::kI32Add);
+    f.local_set(end_b);  // end element for now
+    // end = min(end, n)
+    f.local_get(end_b);
+    f.i32_const(i32(n));
+    f.local_get(end_b);
+    f.i32_const(i32(n));
+    f.op(Op::kI32LtU);
+    f.op(Op::kSelect);
+    f.local_set(end_b);
+    if (stencil) {
+      // The stencil touches the interior [1, n-1) only; x is read-only so
+      // chunk boundaries need no halo handling.
+      f.local_get(start_b);
+      f.i32_const(1);
+      f.local_get(start_b);
+      f.i32_const(1);
+      f.op(Op::kI32GtU);
+      f.op(Op::kSelect);
+      f.local_set(start_b);
+      f.local_get(end_b);
+      f.i32_const(i32(n - 1));
+      f.local_get(end_b);
+      f.i32_const(i32(n - 1));
+      f.op(Op::kI32LtU);
+      f.op(Op::kSelect);
+      f.local_set(end_b);
+    }
+    // Elements -> byte offsets.
+    for (u32 local : {start_b, end_b}) {
+      f.local_get(local);
+      f.i32_const(3);
+      f.op(Op::kI32Shl);
+      f.local_set(local);
+    }
+
+    emit_worker_loop(f, cur, e, nt, [&] {
+      if (!stencil) {
+        // y[i] = 2.5*x[i] + y[i] (operation order matches the scalar build)
+        emit_range_loop(f, i, start_b, end_b, 8, [&] {
+          tk_addr(f, y0, i);
+          f.f64_const(2.5);
+          tk_addr(f, x0, i);
+          f.mem_op(Op::kF64Load);
+          f.op(Op::kF64Mul);
+          tk_addr(f, y0, i);
+          f.mem_op(Op::kF64Load);
+          f.op(Op::kF64Add);
+          f.mem_op(Op::kF64Store);
+        });
+      } else {
+        // out[i] = 0.25*x[i-1] + 0.5*x[i] + 0.25*x[i+1]
+        emit_range_loop(f, i, start_b, end_b, 8, [&] {
+          tk_addr(f, out0, i);
+          tk_addr(f, x0 - 8, i);
+          f.mem_op(Op::kF64Load);
+          f.f64_const(0.25);
+          f.op(Op::kF64Mul);
+          tk_addr(f, x0, i);
+          f.mem_op(Op::kF64Load);
+          f.f64_const(0.5);
+          f.op(Op::kF64Mul);
+          f.op(Op::kF64Add);
+          tk_addr(f, x0 + 8, i);
+          f.mem_op(Op::kF64Load);
+          f.f64_const(0.25);
+          f.op(Op::kF64Mul);
+          f.op(Op::kF64Add);
+          f.mem_op(Op::kF64Store);
+        });
+      }
+    });
+    f.end();
+  }
+
+  // --- run(reps) -> f64: one barrier per rep + sequential checksum -------
+  {
+    auto& f = b.begin_func({{I32}, {F64}}, "run");
+    const u32 reps = 0;
+    u32 rep = f.add_local(I32);
+    u32 d = f.add_local(I32);
+    u32 nt = f.add_local(I32);
+    u32 i = f.add_local(I32);
+    u32 lim = f.add_local(I32);
+    u32 acc = f.add_local(F64);
+    f.i32_const(i32(kNThreads));
+    f.mem_op(Op::kI32AtomicLoad);
+    f.local_set(nt);
+    f.for_loop_i32(rep, 0, reps, 1, [&] {
+      emit_phase_release(f);
+      emit_phase_wait(f, nt, d);
+    });
+    // Checksum: the same sequential scalar pass as the single-threaded
+    // build (emit_scalar_sum), so results compare bit-exactly.
+    const u32 sum_base = stencil ? out0 : y0;
+    f.f64_const(0.0);
+    f.local_set(acc);
+    f.i32_const(i32(n * 8));
+    f.local_set(lim);
+    f.for_loop_i32(i, 0, lim, 8, [&] {
+      f.local_get(acc);
+      tk_addr(f, sum_base, i);
+      f.mem_op(Op::kF64Load);
+      f.op(Op::kF64Add);
+      f.local_set(acc);
+    });
+    f.local_get(acc);
+    f.end();
+  }
+
+  emit_shutdown_func(b);
+  return finish(b, "threaded micro kernel module");
+}
+
+// ---------------------------------------------------------------------------
+// Threaded CG
+// ---------------------------------------------------------------------------
+
+std::vector<u8> build_threaded_cg_module(const ThreadedCgParams& p) {
+  MW_CHECK(p.n >= kCgDotBlocks * 4 && p.n % kCgDotBlocks == 0,
+           "threaded CG size must be a multiple of kCgDotBlocks");
+  MW_CHECK(p.nthreads >= 1 && p.nthreads <= kCgDotBlocks,
+           "threaded CG nthreads must be in 1..kCgDotBlocks");
+  const u32 n = p.n;
+  const u32 nb = n / kCgDotBlocks;  // elements per dot block
+  // p is padded with one zero element on each side so the Laplacian needs
+  // no boundary branches: p[i] lives at pb + 8*(i+1).
+  const u32 pb = kArrayBase;
+  const u32 ap0 = pb + align16(8 * (n + 2));
+  const u32 r0 = ap0 + align16(8 * n);
+  const u32 xx0 = r0 + align16(8 * n);
+  const u32 b0 = xx0 + align16(8 * n);
+  const u32 pages = (b0 + 8 * n) / wasm::kPageSize + 2;
+
+  ModuleBuilder b;
+  u32 spawn = b.import_func("wasi", "thread-spawn", FuncType{{I32}, {I32}});
+  b.add_memory(pages, pages, /*has_max=*/true, /*shared=*/true);
+  b.export_memory();
+
+  // --- init() -> i32 ------------------------------------------------------
+  {
+    auto& f = b.begin_func({{}, {I32}}, "init");
+    u32 i = f.add_local(I32);
+    u32 lim = f.add_local(I32);
+    u32 fail = f.add_local(I32);
+    u32 v = f.add_local(F64);
+    f.i32_const(i32(n));
+    f.local_set(lim);
+    f.for_loop_i32(i, 0, lim, 1, [&] {
+      // v = f64(i % 23)*0.5 + 1 ; b[i] = r[i] = p[i] = v (x, Ap stay 0)
+      f.local_get(i);
+      f.i32_const(23);
+      f.op(Op::kI32RemS);
+      f.op(Op::kF64ConvertI32S);
+      f.f64_const(0.5);
+      f.op(Op::kF64Mul);
+      f.f64_const(1.0);
+      f.op(Op::kF64Add);
+      f.local_set(v);
+      for (u32 base : {b0, r0}) {
+        f.local_get(i);
+        f.i32_const(3);
+        f.op(Op::kI32Shl);
+        f.i32_const(i32(base));
+        f.op(Op::kI32Add);
+        f.local_get(v);
+        f.mem_op(Op::kF64Store);
+      }
+      f.local_get(i);
+      f.i32_const(3);
+      f.op(Op::kI32Shl);
+      f.i32_const(i32(pb + 8));
+      f.op(Op::kI32Add);
+      f.local_get(v);
+      f.mem_op(Op::kF64Store);
+    });
+    emit_spawn_workers(f, spawn, p.nthreads, i, lim, fail);
+    f.end();
+  }
+
+  // --- wasi_thread_start(tid, arg): the three CG phases ------------------
+  {
+    auto& f = b.begin_func({{I32, I32}, {}}, "wasi_thread_start");
+    const u32 w = 1;
+    u32 cur = f.add_local(I32);
+    u32 e = f.add_local(I32);
+    u32 nt = f.add_local(I32);
+    u32 blk_lo = f.add_local(I32);
+    u32 blk_hi = f.add_local(I32);
+    u32 blk = f.add_local(I32);
+    u32 i = f.add_local(I32);
+    u32 start_b = f.add_local(I32);
+    u32 end_b = f.add_local(I32);
+    u32 acc = f.add_local(F64);
+    u32 t = f.add_local(F64);
+    u32 scal = f.add_local(F64);
+
+    f.i32_const(i32(kNThreads));
+    f.mem_op(Op::kI32AtomicLoad);
+    f.local_set(nt);
+    // Fixed block ownership: worker w owns blocks [w*P/nt, (w+1)*P/nt).
+    // The partial for a given block is identical no matter which worker
+    // computes it, so the residual is nthreads-invariant.
+    f.local_get(w);
+    f.i32_const(i32(kCgDotBlocks));
+    f.op(Op::kI32Mul);
+    f.local_get(nt);
+    f.op(Op::kI32DivU);
+    f.local_set(blk_lo);
+    f.local_get(w);
+    f.i32_const(1);
+    f.op(Op::kI32Add);
+    f.i32_const(i32(kCgDotBlocks));
+    f.op(Op::kI32Mul);
+    f.local_get(nt);
+    f.op(Op::kI32DivU);
+    f.local_set(blk_hi);
+
+    // Byte range of one block: [blk*nb*8, (blk+1)*nb*8).
+    auto block_bounds = [&] {
+      f.local_get(blk);
+      f.i32_const(i32(nb * 8));
+      f.op(Op::kI32Mul);
+      f.local_set(start_b);
+      f.local_get(start_b);
+      f.i32_const(i32(nb * 8));
+      f.op(Op::kI32Add);
+      f.local_set(end_b);
+    };
+    auto store_partial = [&] {
+      f.i32_const(i32(kPartials));
+      f.local_get(blk);
+      f.i32_const(3);
+      f.op(Op::kI32Shl);
+      f.op(Op::kI32Add);
+      f.local_get(acc);
+      f.mem_op(Op::kF64Store);
+    };
+    // `for (blk = blk_lo; blk < blk_hi; ++blk)` around `body`.
+    auto for_my_blocks = [&](const std::function<void()>& body) {
+      f.local_get(blk_lo);
+      f.local_set(blk);
+      f.block();
+      f.loop();
+      f.local_get(blk);
+      f.local_get(blk_hi);
+      f.op(Op::kI32GeU);
+      f.br_if(1);
+      body();
+      f.local_get(blk);
+      f.i32_const(1);
+      f.op(Op::kI32Add);
+      f.local_set(blk);
+      f.br(0);
+      f.end();
+      f.end();
+    };
+
+    emit_worker_loop(f, cur, e, nt, [&] {
+      f.i32_const(i32(kOpWord));
+      f.mem_op(Op::kI32AtomicLoad);
+      f.local_tee(i);  // reuse i as the op scratch before the loops
+      f.op(Op::kI32Eqz);
+      f.if_();
+      // --- phase 0: Ap = A*p ; partial[blk] = dot(p, Ap) over blk -------
+      for_my_blocks([&] {
+        block_bounds();
+        f.f64_const(0.0);
+        f.local_set(acc);
+        emit_range_loop(f, i, start_b, end_b, 8, [&] {
+          // t = 2*p[i] - p[i-1] - p[i+1]
+          f.f64_const(2.0);
+          tk_addr(f, pb + 8, i);
+          f.mem_op(Op::kF64Load);
+          f.op(Op::kF64Mul);
+          tk_addr(f, pb, i);
+          f.mem_op(Op::kF64Load);
+          f.op(Op::kF64Sub);
+          tk_addr(f, pb + 16, i);
+          f.mem_op(Op::kF64Load);
+          f.op(Op::kF64Sub);
+          f.local_set(t);
+          tk_addr(f, ap0, i);
+          f.local_get(t);
+          f.mem_op(Op::kF64Store);
+          // acc += p[i] * t
+          f.local_get(acc);
+          tk_addr(f, pb + 8, i);
+          f.mem_op(Op::kF64Load);
+          f.local_get(t);
+          f.op(Op::kF64Mul);
+          f.op(Op::kF64Add);
+          f.local_set(acc);
+        });
+        store_partial();
+      });
+      f.else_();
+      f.local_get(i);
+      f.i32_const(1);
+      f.op(Op::kI32Eq);
+      f.if_();
+      // --- phase 1: x += alpha p ; r -= alpha Ap ; partial = dot(r, r) --
+      f.i32_const(i32(kAlpha));
+      f.mem_op(Op::kF64Load);
+      f.local_set(scal);
+      for_my_blocks([&] {
+        block_bounds();
+        f.f64_const(0.0);
+        f.local_set(acc);
+        emit_range_loop(f, i, start_b, end_b, 8, [&] {
+          tk_addr(f, xx0, i);
+          tk_addr(f, xx0, i);
+          f.mem_op(Op::kF64Load);
+          f.local_get(scal);
+          tk_addr(f, pb + 8, i);
+          f.mem_op(Op::kF64Load);
+          f.op(Op::kF64Mul);
+          f.op(Op::kF64Add);
+          f.mem_op(Op::kF64Store);
+          tk_addr(f, r0, i);
+          tk_addr(f, r0, i);
+          f.mem_op(Op::kF64Load);
+          f.local_get(scal);
+          tk_addr(f, ap0, i);
+          f.mem_op(Op::kF64Load);
+          f.op(Op::kF64Mul);
+          f.op(Op::kF64Sub);
+          f.mem_op(Op::kF64Store);
+          f.local_get(acc);
+          tk_addr(f, r0, i);
+          f.mem_op(Op::kF64Load);
+          tk_addr(f, r0, i);
+          f.mem_op(Op::kF64Load);
+          f.op(Op::kF64Mul);
+          f.op(Op::kF64Add);
+          f.local_set(acc);
+        });
+        store_partial();
+      });
+      f.else_();
+      // --- phase 2: p = r + beta p --------------------------------------
+      f.i32_const(i32(kBeta));
+      f.mem_op(Op::kF64Load);
+      f.local_set(scal);
+      for_my_blocks([&] {
+        block_bounds();
+        emit_range_loop(f, i, start_b, end_b, 8, [&] {
+          tk_addr(f, pb + 8, i);
+          tk_addr(f, r0, i);
+          f.mem_op(Op::kF64Load);
+          f.local_get(scal);
+          tk_addr(f, pb + 8, i);
+          f.mem_op(Op::kF64Load);
+          f.op(Op::kF64Mul);
+          f.op(Op::kF64Add);
+          f.mem_op(Op::kF64Store);
+        });
+      });
+      f.end();
+      f.end();
+    });
+    f.end();
+  }
+
+  // --- run(iters) -> f64: orchestrate phases, return the residual --------
+  {
+    auto& f = b.begin_func({{I32}, {F64}}, "run");
+    const u32 iters = 0;
+    u32 it = f.add_local(I32);
+    u32 d = f.add_local(I32);
+    u32 nt = f.add_local(I32);
+    u32 i = f.add_local(I32);
+    u32 lim = f.add_local(I32);
+    u32 rr = f.add_local(F64);
+    u32 acc = f.add_local(F64);
+    f.i32_const(i32(kNThreads));
+    f.mem_op(Op::kI32AtomicLoad);
+    f.local_set(nt);
+
+    // rr = dot(r, r), sequentially (init state: r = b).
+    f.f64_const(0.0);
+    f.local_set(acc);
+    f.i32_const(i32(n * 8));
+    f.local_set(lim);
+    f.for_loop_i32(i, 0, lim, 8, [&] {
+      f.local_get(acc);
+      tk_addr(f, r0, i);
+      f.mem_op(Op::kF64Load);
+      tk_addr(f, r0, i);
+      f.mem_op(Op::kF64Load);
+      f.op(Op::kF64Mul);
+      f.op(Op::kF64Add);
+      f.local_set(acc);
+    });
+    f.local_get(acc);
+    f.local_set(rr);
+
+    auto run_phase = [&](i32 op) {
+      f.i32_const(i32(kOpWord));
+      f.i32_const(op);
+      f.mem_op(Op::kI32AtomicStore);
+      emit_phase_release(f);
+      emit_phase_wait(f, nt, d);
+    };
+    // acc = sum of the kCgDotBlocks partials, in block order.
+    auto combine_partials = [&] {
+      f.f64_const(0.0);
+      f.local_set(acc);
+      f.i32_const(i32(kCgDotBlocks * 8));
+      f.local_set(lim);
+      f.for_loop_i32(i, 0, lim, 8, [&] {
+        f.local_get(acc);
+        tk_addr(f, kPartials, i);
+        f.mem_op(Op::kF64Load);
+        f.op(Op::kF64Add);
+        f.local_set(acc);
+      });
+    };
+
+    f.for_loop_i32(it, 0, iters, 1, [&] {
+      run_phase(0);
+      combine_partials();  // acc = pAp
+      // alpha = rr / pAp
+      f.i32_const(i32(kAlpha));
+      f.local_get(rr);
+      f.local_get(acc);
+      f.op(Op::kF64Div);
+      f.mem_op(Op::kF64Store);
+      run_phase(1);
+      combine_partials();  // acc = rr_new
+      // beta = rr_new / rr ; rr = rr_new
+      f.i32_const(i32(kBeta));
+      f.local_get(acc);
+      f.local_get(rr);
+      f.op(Op::kF64Div);
+      f.mem_op(Op::kF64Store);
+      f.local_get(acc);
+      f.local_set(rr);
+      run_phase(2);
+    });
+    f.local_get(rr);
+    f.op(Op::kF64Sqrt);
+    f.end();
+  }
+
+  emit_shutdown_func(b);
+  return finish(b, "threaded CG module");
+}
+
+f64 threaded_cg_reference(const ThreadedCgParams& params, u32 iterations) {
+  const u32 n = params.n;
+  const u32 nb = n / kCgDotBlocks;
+  std::vector<f64> p(n + 2, 0.0), ap(n, 0.0), r(n), x(n, 0.0);
+  for (u32 i = 0; i < n; ++i) {
+    f64 v = f64(i32(i % 23)) * 0.5 + 1.0;
+    r[i] = v;
+    p[i + 1] = v;
+  }
+  f64 rr = 0.0;
+  for (u32 i = 0; i < n; ++i) rr += r[i] * r[i];
+  f64 partial[kCgDotBlocks];
+  for (u32 it = 0; it < iterations; ++it) {
+    for (u32 blk = 0; blk < kCgDotBlocks; ++blk) {
+      f64 acc = 0.0;
+      for (u32 i = blk * nb; i < (blk + 1) * nb; ++i) {
+        f64 t = 2.0 * p[i + 1] - p[i] - p[i + 2];
+        ap[i] = t;
+        acc += p[i + 1] * t;
+      }
+      partial[blk] = acc;
+    }
+    f64 pap = 0.0;
+    for (u32 blk = 0; blk < kCgDotBlocks; ++blk) pap += partial[blk];
+    f64 alpha = rr / pap;
+    for (u32 blk = 0; blk < kCgDotBlocks; ++blk) {
+      f64 acc = 0.0;
+      for (u32 i = blk * nb; i < (blk + 1) * nb; ++i) {
+        x[i] = x[i] + alpha * p[i + 1];
+        r[i] = r[i] - alpha * ap[i];
+        acc += r[i] * r[i];
+      }
+      partial[blk] = acc;
+    }
+    f64 rrn = 0.0;
+    for (u32 blk = 0; blk < kCgDotBlocks; ++blk) rrn += partial[blk];
+    f64 beta = rrn / rr;
+    rr = rrn;
+    for (u32 i = 0; i < n; ++i) p[i + 1] = r[i] + beta * p[i + 1];
+  }
+  return std::sqrt(rr);
+}
+
+// ---------------------------------------------------------------------------
+// threads_check: guest-concurrency probe (embedder _start module)
+// ---------------------------------------------------------------------------
+
+std::vector<u8> build_threads_check_module() {
+  constexpr u32 kCounter = 2128;   // hammered by both workers
+  constexpr u32 kWorkers = 2;
+  constexpr i32 kIncrements = 1000;
+  constexpr u32 kProvidedPtr = 2132;
+  constexpr u32 kCmpWord = 2136;
+
+  ModuleBuilder b;
+  MpiImports mpi = declare_mpi_imports(b, {});
+  u32 init_thread = b.import_func("env", "MPI_Init_thread",
+                                  FuncType{{I32, I32, I32, I32}, {I32}});
+  u32 query_thread =
+      b.import_func("env", "MPI_Query_thread", FuncType{{I32}, {I32}});
+  u32 spawn = b.import_func("wasi", "thread-spawn", FuncType{{I32}, {I32}});
+  u32 proc_exit = b.import_func("wasi_snapshot_preview1", "proc_exit",
+                                FuncType{{I32}, {}});
+  b.add_memory(2, 2, /*has_max=*/true, /*shared=*/true);
+  b.export_memory();
+
+  // Worker: hammer the counter with RMW adds, then join the done count.
+  {
+    auto& f = b.begin_func({{I32, I32}, {}}, "wasi_thread_start");
+    u32 k = f.add_local(I32);
+    u32 lim = f.add_local(I32);
+    f.i32_const(kIncrements);
+    f.local_set(lim);
+    f.for_loop_i32(k, 0, lim, 1, [&] {
+      f.i32_const(i32(kCounter));
+      f.i32_const(1);
+      f.mem_op(Op::kI32AtomicRmwAdd);
+      f.op(Op::kDrop);
+    });
+    f.op(Op::kAtomicFence);
+    f.i32_const(i32(kDone));
+    f.i32_const(1);
+    f.mem_op(Op::kI32AtomicRmwAdd);
+    f.op(Op::kDrop);
+    f.i32_const(i32(kDone));
+    f.i32_const(kNotifyAll);
+    f.mem_op(Op::kMemoryAtomicNotify);
+    f.op(Op::kDrop);
+    f.end();
+  }
+
+  auto& f = b.begin_func({{}, {}}, "_start");
+  u32 fails = f.add_local(I32);
+  u32 w = f.add_local(I32);
+  u32 lim = f.add_local(I32);
+  u32 d = f.add_local(I32);
+
+  auto fail_unless = [&](const std::function<void()>& pred) {
+    pred();  // leaves an i32 "ok" on the stack
+    f.op(Op::kI32Eqz);
+    f.if_();
+    f.local_get(fails);
+    f.i32_const(1);
+    f.op(Op::kI32Add);
+    f.local_set(fails);
+    f.end();
+  };
+
+  // MPI_Init_thread must grant MPI_THREAD_MULTIPLE; Query must agree.
+  f.i32_const(0);
+  f.i32_const(0);
+  f.i32_const(abi::MPI_THREAD_MULTIPLE);
+  f.i32_const(i32(kProvidedPtr));
+  f.call(init_thread);
+  f.op(Op::kDrop);
+  fail_unless([&] {
+    f.i32_const(i32(kProvidedPtr));
+    f.mem_op(Op::kI32Load);
+    f.i32_const(abi::MPI_THREAD_MULTIPLE);
+    f.op(Op::kI32Eq);
+  });
+  f.i32_const(i32(kProvidedPtr));
+  f.call(query_thread);
+  f.op(Op::kDrop);
+  fail_unless([&] {
+    f.i32_const(i32(kProvidedPtr));
+    f.mem_op(Op::kI32Load);
+    f.i32_const(abi::MPI_THREAD_MULTIPLE);
+    f.op(Op::kI32Eq);
+  });
+
+  // wait32 on a word whose value differs from `expected` returns 1
+  // ("not-equal") without blocking; an expected match with a finite
+  // timeout and no notifier returns 2 ("timed-out").
+  f.i32_const(i32(kCmpWord));
+  f.i32_const(5);
+  f.mem_op(Op::kI32AtomicStore);
+  fail_unless([&] {
+    f.i32_const(i32(kCmpWord));
+    f.i32_const(4);  // wrong expected
+    f.i64_const(-1);
+    f.mem_op(Op::kMemoryAtomicWait32);
+    f.i32_const(1);
+    f.op(Op::kI32Eq);
+  });
+  fail_unless([&] {
+    f.i32_const(i32(kCmpWord));
+    f.i32_const(5);
+    f.i64_const(1000000);  // 1 ms
+    f.mem_op(Op::kMemoryAtomicWait32);
+    f.i32_const(2);
+    f.op(Op::kI32Eq);
+  });
+  // cmpxchg round trip: (5 -> 9) succeeds returning 5; word reads 9.
+  fail_unless([&] {
+    f.i32_const(i32(kCmpWord));
+    f.i32_const(5);
+    f.i32_const(9);
+    f.mem_op(Op::kI32AtomicRmwCmpxchg);
+    f.i32_const(5);
+    f.op(Op::kI32Eq);
+  });
+  fail_unless([&] {
+    f.i32_const(i32(kCmpWord));
+    f.mem_op(Op::kI32AtomicLoad);
+    f.i32_const(9);
+    f.op(Op::kI32Eq);
+  });
+
+  // Spawn the workers and park on the done word until both arrive.
+  f.i32_const(i32(kWorkers));
+  f.local_set(lim);
+  f.for_loop_i32(w, 0, lim, 1, [&] {
+    f.local_get(w);
+    f.call(spawn);
+    f.i32_const(0);
+    f.op(Op::kI32LtS);
+    f.if_();
+    f.local_get(fails);
+    f.i32_const(1);
+    f.op(Op::kI32Add);
+    f.local_set(fails);
+    f.end();
+  });
+  f.block();
+  f.loop();
+  f.i32_const(i32(kDone));
+  f.mem_op(Op::kI32AtomicLoad);
+  f.local_tee(d);
+  f.i32_const(i32(kWorkers));
+  f.op(Op::kI32Eq);
+  f.br_if(1);
+  f.i32_const(i32(kDone));
+  f.local_get(d);
+  f.i64_const(-1);
+  f.mem_op(Op::kMemoryAtomicWait32);
+  f.op(Op::kDrop);
+  f.br(0);
+  f.end();
+  f.end();
+  fail_unless([&] {
+    f.i32_const(i32(kCounter));
+    f.mem_op(Op::kI32AtomicLoad);
+    f.i32_const(kIncrements * i32(kWorkers));
+    f.op(Op::kI32Eq);
+  });
+
+  f.call(mpi.finalize);
+  f.op(Op::kDrop);
+  f.local_get(fails);
+  f.if_();
+  f.i32_const(1);
+  f.call(proc_exit);
+  f.end();
+  f.end();
+  return finish(b, "threads check module");
+}
+
+}  // namespace mpiwasm::toolchain

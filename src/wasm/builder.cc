@@ -23,6 +23,12 @@ u32 natural_align_log2(Op o) {
     case Op::kV128Load: case Op::kV128Store:
       return 4;
     default:
+      if (op_is_atomic(o)) {
+        // Atomic memargs must carry exactly the natural alignment; the
+        // width is encoded in the opcode's low byte layout, so derive it
+        // from the mnemonic class via atomic_access_bytes.
+        return atomic_align_log2(o);
+      }
       fatal("mem_op on non-memory opcode");
   }
 }
@@ -54,6 +60,7 @@ void FunctionBuilder::op(Op o) {
   // Reserved index immediates required by the binary format.
   switch (op_imm_kind(o)) {
     case ImmKind::kMemIdx:
+    case ImmKind::kAtomicFence:  // reserved ordering byte
       code_.write_u8(0);
       break;
     case ImmKind::kMemCopy:
@@ -232,12 +239,15 @@ u32 ModuleBuilder::import_func(const std::string& module,
   return u32(imports_.size()) - 1;
 }
 
-void ModuleBuilder::add_memory(u32 min_pages, u32 max_pages, bool has_max) {
+void ModuleBuilder::add_memory(u32 min_pages, u32 max_pages, bool has_max,
+                               bool shared) {
   MW_CHECK(!has_memory_, "at most one memory");
+  MW_CHECK(!shared || has_max, "shared memory requires a max");
   has_memory_ = true;
   memory_limits_.min = min_pages;
   memory_limits_.has_max = has_max;
   memory_limits_.max = max_pages;
+  memory_limits_.shared = shared;
 }
 
 void ModuleBuilder::export_memory(const std::string& name) {
@@ -313,7 +323,7 @@ void write_section(ByteWriter& out, SectionId id, const ByteWriter& content) {
 }
 
 void write_limits(ByteWriter& w, const Limits& lim) {
-  w.write_u8(lim.has_max ? 1 : 0);
+  w.write_u8(u8((lim.has_max ? 1 : 0) | (lim.shared ? 2 : 0)));
   w.write_leb_u32(lim.min);
   if (lim.has_max) w.write_leb_u32(lim.max);
 }

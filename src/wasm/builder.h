@@ -107,8 +107,10 @@ class ModuleBuilder {
   u32 import_func(const std::string& module, const std::string& name,
                   const FuncType& type);
 
-  /// Declares the module's linear memory (at most one).
-  void add_memory(u32 min_pages, u32 max_pages = 0, bool has_max = false);
+  /// Declares the module's linear memory (at most one). A shared memory
+  /// (threads proposal) requires a max.
+  void add_memory(u32 min_pages, u32 max_pages = 0, bool has_max = false,
+                  bool shared = false);
   void export_memory(const std::string& name = "memory");
 
   u32 add_global(ValType type, bool mutable_, i64 init_i = 0, f64 init_f = 0);

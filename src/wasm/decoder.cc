@@ -20,9 +20,13 @@ ValType decode_val_type(u8 b) {
 Limits decode_limits(ByteReader& r) {
   Limits lim;
   u8 flags = r.read_u8();
-  if (flags > 1) throw DecodeError("invalid limits flags");
+  // Threads proposal: flag 0x03 marks a shared memory (max required);
+  // 0x02 (shared without max) is invalid by construction.
+  if (flags == 2) throw DecodeError("shared limits require a max");
+  if (flags > 3) throw DecodeError("invalid limits flags");
+  lim.shared = flags == 3;
   lim.min = r.read_leb_u32();
-  if (flags == 1) {
+  if (flags == 1 || flags == 3) {
     lim.has_max = true;
     lim.max = r.read_leb_u32();
     if (lim.max < lim.min) throw DecodeError("limits max < min");
@@ -91,6 +95,7 @@ void decode_import_section(ByteReader& r, Module& m) {
         imp.kind = ExternKind::kTable;
         if (r.read_u8() != 0x70) throw DecodeError("table elem type must be funcref");
         imp.limits = decode_limits(r);
+        if (imp.limits.shared) throw DecodeError("tables cannot be shared");
         break;
       }
       case 2:
@@ -120,6 +125,7 @@ void decode_table_section(ByteReader& r, Module& m) {
   for (u32 i = 0; i < count; ++i) {
     if (r.read_u8() != 0x70) throw DecodeError("table elem type must be funcref");
     m.tables.push_back(decode_limits(r));
+    if (m.tables.back().shared) throw DecodeError("tables cannot be shared");
   }
   if (m.tables.size() > 1) throw DecodeError("at most one table supported");
 }
@@ -267,7 +273,7 @@ InstrView InstrReader::next() {
   v.pc = r_.pos();
   u8 first = r_.read_u8();
   u16 code = first;
-  if (first == 0xFC || first == 0xFD) {
+  if (first == 0xFC || first == 0xFD || first == 0xFE) {
     u32 sub = r_.read_leb_u32();
     if (sub > 0xFF) throw DecodeError("prefixed opcode out of range");
     code = u16((first << 8) | sub);
@@ -341,6 +347,10 @@ InstrView InstrReader::next() {
     }
     case ImmKind::kLaneIdx:
       v.imm_i = r_.read_u8();
+      break;
+    case ImmKind::kAtomicFence:
+      if (r_.read_u8() != 0)
+        throw DecodeError("atomic.fence ordering byte must be 0");
       break;
   }
   v.next_pc = r_.pos();

@@ -68,10 +68,13 @@ struct FuncType {
 };
 
 /// Memory/table limits (unit: 64KiB pages for memories, entries for tables).
+/// `shared` is the threads-proposal flag (limits byte 0x03): a shared memory
+/// must declare a max so its reservation never relocates under growth.
 struct Limits {
   u32 min = 0;
   bool has_max = false;
   u32 max = 0;
+  bool shared = false;
   bool operator==(const Limits&) const = default;
 };
 

@@ -45,6 +45,11 @@ class FuncValidator {
                  std::any_of(m.imports.begin(), m.imports.end(), [](const Import& i) {
                    return i.kind == ExternKind::kTable;
                  });
+    has_shared_memory_ =
+        (!m.memories.empty() && m.memories[0].shared) ||
+        std::any_of(m.imports.begin(), m.imports.end(), [](const Import& i) {
+          return i.kind == ExternKind::kMemory && i.limits.shared;
+        });
   }
 
   void run() {
@@ -152,6 +157,43 @@ class FuncValidator {
     pop_val(ValType::kI32);
   }
 
+  /// Atomic accesses need a *shared* memory and exactly natural alignment
+  /// (the threads proposal forbids under-aligned hints on atomics).
+  void check_atomic(u32 align, u32 bytes) {
+    if (!has_shared_memory_) verr("atomic operation requires a shared memory");
+    u32 natural_log2 = 0;
+    while ((1u << natural_log2) < bytes) ++natural_log2;
+    if (align != natural_log2)
+      verr("atomic alignment must equal natural alignment");
+  }
+
+  void atomic_load(ValType result, u32 bytes, const InstrView& in) {
+    check_atomic(in.mem_align, bytes);
+    pop_val(ValType::kI32);
+    push_val(result);
+  }
+
+  void atomic_store(ValType operand, u32 bytes, const InstrView& in) {
+    check_atomic(in.mem_align, bytes);
+    pop_val(operand);
+    pop_val(ValType::kI32);
+  }
+
+  void atomic_rmw(ValType t, u32 bytes, const InstrView& in) {
+    check_atomic(in.mem_align, bytes);
+    pop_val(t);
+    pop_val(ValType::kI32);
+    push_val(t);
+  }
+
+  void atomic_cmpxchg(ValType t, u32 bytes, const InstrView& in) {
+    check_atomic(in.mem_align, bytes);
+    pop_val(t);  // replacement
+    pop_val(t);  // expected
+    pop_val(ValType::kI32);
+    push_val(t);
+  }
+
   void binop(ValType t) {
     pop_val(t);
     pop_val(t);
@@ -183,6 +225,7 @@ class FuncValidator {
   u32 num_globals_ = 0;
   bool has_memory_ = false;
   bool has_table_ = false;
+  bool has_shared_memory_ = false;
   std::vector<StackType> stack_;
   std::vector<ControlFrame> ctrl_;
 };
@@ -577,6 +620,87 @@ void FuncValidator::step(const InstrView& in) {
     case Op::kF64x2Min: case Op::kF64x2Max: case Op::kF64x2Pmin: case Op::kF64x2Pmax:
       binop(ValType::kV128);
       break;
+    // 0xFE atomics (threads proposal).
+    case Op::kMemoryAtomicNotify:
+      // (addr: i32, count: i32) -> woken: i32
+      check_atomic(in.mem_align, 4);
+      pop_val(ValType::kI32);
+      pop_val(ValType::kI32);
+      push_val(ValType::kI32);
+      break;
+    case Op::kMemoryAtomicWait32:
+      // (addr: i32, expected: i32, timeout_ns: i64) -> i32 (0/1/2)
+      check_atomic(in.mem_align, 4);
+      pop_val(ValType::kI64);
+      pop_val(ValType::kI32);
+      pop_val(ValType::kI32);
+      push_val(ValType::kI32);
+      break;
+    case Op::kMemoryAtomicWait64:
+      check_atomic(in.mem_align, 8);
+      pop_val(ValType::kI64);
+      pop_val(ValType::kI64);
+      pop_val(ValType::kI32);
+      push_val(ValType::kI32);
+      break;
+    case Op::kAtomicFence:
+      break;
+    case Op::kI32AtomicLoad: atomic_load(ValType::kI32, 4, in); break;
+    case Op::kI64AtomicLoad: atomic_load(ValType::kI64, 8, in); break;
+    case Op::kI32AtomicLoad8U: atomic_load(ValType::kI32, 1, in); break;
+    case Op::kI32AtomicLoad16U: atomic_load(ValType::kI32, 2, in); break;
+    case Op::kI64AtomicLoad8U: atomic_load(ValType::kI64, 1, in); break;
+    case Op::kI64AtomicLoad16U: atomic_load(ValType::kI64, 2, in); break;
+    case Op::kI64AtomicLoad32U: atomic_load(ValType::kI64, 4, in); break;
+    case Op::kI32AtomicStore: atomic_store(ValType::kI32, 4, in); break;
+    case Op::kI64AtomicStore: atomic_store(ValType::kI64, 8, in); break;
+    case Op::kI32AtomicStore8: atomic_store(ValType::kI32, 1, in); break;
+    case Op::kI32AtomicStore16: atomic_store(ValType::kI32, 2, in); break;
+    case Op::kI64AtomicStore8: atomic_store(ValType::kI64, 1, in); break;
+    case Op::kI64AtomicStore16: atomic_store(ValType::kI64, 2, in); break;
+    case Op::kI64AtomicStore32: atomic_store(ValType::kI64, 4, in); break;
+    case Op::kI32AtomicRmwAdd: case Op::kI32AtomicRmwSub:
+    case Op::kI32AtomicRmwAnd: case Op::kI32AtomicRmwOr:
+    case Op::kI32AtomicRmwXor: case Op::kI32AtomicRmwXchg:
+      atomic_rmw(ValType::kI32, 4, in);
+      break;
+    case Op::kI64AtomicRmwAdd: case Op::kI64AtomicRmwSub:
+    case Op::kI64AtomicRmwAnd: case Op::kI64AtomicRmwOr:
+    case Op::kI64AtomicRmwXor: case Op::kI64AtomicRmwXchg:
+      atomic_rmw(ValType::kI64, 8, in);
+      break;
+    case Op::kI32AtomicRmw8AddU: case Op::kI32AtomicRmw8SubU:
+    case Op::kI32AtomicRmw8AndU: case Op::kI32AtomicRmw8OrU:
+    case Op::kI32AtomicRmw8XorU: case Op::kI32AtomicRmw8XchgU:
+      atomic_rmw(ValType::kI32, 1, in);
+      break;
+    case Op::kI32AtomicRmw16AddU: case Op::kI32AtomicRmw16SubU:
+    case Op::kI32AtomicRmw16AndU: case Op::kI32AtomicRmw16OrU:
+    case Op::kI32AtomicRmw16XorU: case Op::kI32AtomicRmw16XchgU:
+      atomic_rmw(ValType::kI32, 2, in);
+      break;
+    case Op::kI64AtomicRmw8AddU: case Op::kI64AtomicRmw8SubU:
+    case Op::kI64AtomicRmw8AndU: case Op::kI64AtomicRmw8OrU:
+    case Op::kI64AtomicRmw8XorU: case Op::kI64AtomicRmw8XchgU:
+      atomic_rmw(ValType::kI64, 1, in);
+      break;
+    case Op::kI64AtomicRmw16AddU: case Op::kI64AtomicRmw16SubU:
+    case Op::kI64AtomicRmw16AndU: case Op::kI64AtomicRmw16OrU:
+    case Op::kI64AtomicRmw16XorU: case Op::kI64AtomicRmw16XchgU:
+      atomic_rmw(ValType::kI64, 2, in);
+      break;
+    case Op::kI64AtomicRmw32AddU: case Op::kI64AtomicRmw32SubU:
+    case Op::kI64AtomicRmw32AndU: case Op::kI64AtomicRmw32OrU:
+    case Op::kI64AtomicRmw32XorU: case Op::kI64AtomicRmw32XchgU:
+      atomic_rmw(ValType::kI64, 4, in);
+      break;
+    case Op::kI32AtomicRmwCmpxchg: atomic_cmpxchg(ValType::kI32, 4, in); break;
+    case Op::kI64AtomicRmwCmpxchg: atomic_cmpxchg(ValType::kI64, 8, in); break;
+    case Op::kI32AtomicRmw8CmpxchgU: atomic_cmpxchg(ValType::kI32, 1, in); break;
+    case Op::kI32AtomicRmw16CmpxchgU: atomic_cmpxchg(ValType::kI32, 2, in); break;
+    case Op::kI64AtomicRmw8CmpxchgU: atomic_cmpxchg(ValType::kI64, 1, in); break;
+    case Op::kI64AtomicRmw16CmpxchgU: atomic_cmpxchg(ValType::kI64, 2, in); break;
+    case Op::kI64AtomicRmw32CmpxchgU: atomic_cmpxchg(ValType::kI64, 4, in); break;
   }
 }
 
@@ -625,6 +749,7 @@ void validate_module_shell(const Module& m) {
   for (const auto& mem : m.memories) {
     if (mem.min > kMaxPages || (mem.has_max && mem.max > kMaxPages))
       verr("memory limits exceed 4GiB (65536 pages)");
+    if (mem.shared && !mem.has_max) verr("shared memory requires a max");
   }
   u32 nglobals = m.num_imported_globals() + u32(m.globals.size());
   for (const auto& g : m.globals)

@@ -445,6 +445,16 @@ TEST(KernelDifferential, MicroKernels) {
   expect_kernel_agreement("alloc_mem", build_alloc_mem_module(), 1, no_fields);
 }
 
+TEST(KernelDifferential, ThreadsCheck) {
+  // Guest probe: MPI_Init_thread must report MPI_THREAD_MULTIPLE, wasi
+  // thread-spawn must work, and the 0xFE atomics (rmw contention, fence,
+  // wait/notify, cmpxchg) must behave — under every engine config.
+  if (!rt::threads_enabled_from_env()) GTEST_SKIP() << "MPIWASM_THREADS=0";
+  expect_kernel_agreement("threads_check",
+                          toolchain::build_threads_check_module(), 2,
+                          no_fields);
+}
+
 TEST(KernelDifferential, Hpcg) {
   toolchain::HpcgParams p;
   p.n_per_rank = 128;
